@@ -1,0 +1,109 @@
+//! Criterion bench: ablations of the simulator's design choices called
+//! out in DESIGN.md — arbiter policy and the thermal model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gables_soc_sim::thermal::ThermalConfig;
+use gables_soc_sim::{presets, ArbiterPolicy, Job, RooflineKernel, Simulator, TrafficPattern};
+
+fn contended_jobs() -> Vec<Job> {
+    vec![
+        Job {
+            ip: presets::CPU,
+            kernel: RooflineKernel::dram_resident(1),
+        },
+        Job {
+            ip: presets::GPU,
+            kernel: RooflineKernel {
+                pattern: TrafficPattern::StreamCopy,
+                ..RooflineKernel::dram_resident(1)
+            },
+        },
+    ]
+}
+
+fn bench_arbiter_policies(c: &mut Criterion) {
+    let jobs = contended_jobs();
+    for (name, policy) in [
+        ("arbiter_maxmin", ArbiterPolicy::MaxMin),
+        ("arbiter_proportional", ArbiterPolicy::Proportional),
+    ] {
+        let sim = Simulator::new(presets::snapdragon_835_like())
+            .expect("valid preset")
+            .with_policy(policy);
+        c.bench_function(name, |b| {
+            b.iter(|| sim.run(black_box(&jobs)).expect("runs"))
+        });
+    }
+}
+
+fn bench_thermal(c: &mut Criterion) {
+    let jobs = vec![Job {
+        ip: presets::CPU,
+        kernel: RooflineKernel::dram_resident(1024),
+    }];
+    let cool = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+    c.bench_function("thermal_chamber", |b| {
+        b.iter(|| cool.run(black_box(&jobs)).expect("runs"))
+    });
+    let hot = Simulator::new(presets::snapdragon_835_like())
+        .expect("valid preset")
+        .with_thermal(ThermalConfig::phone_default());
+    c.bench_function("thermal_throttled", |b| {
+        b.iter(|| hot.run(black_box(&jobs)).expect("runs"))
+    });
+}
+
+fn bench_cache_tiers(c: &mut Criterion) {
+    use gables_soc_sim::cache_sim::CacheConfig;
+    use gables_soc_sim::hierarchy::HierarchySim;
+    use gables_soc_sim::trace::TracePattern;
+
+    // The cost gap between the engine's O(1) threshold cache model and
+    // the trace-driven hierarchy tier, on the same working set.
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+    let kernel = RooflineKernel::dram_resident(8).with_array_bytes(1 << 20);
+    c.bench_function("cache_tier_threshold", |b| {
+        b.iter(|| {
+            sim.run(black_box(&[Job {
+                ip: presets::CPU,
+                kernel,
+            }]))
+            .expect("runs")
+        })
+    });
+
+    let levels = vec![
+        (
+            "L1".to_string(),
+            CacheConfig {
+                capacity_bytes: 8 * (32 << 10),
+                line_bytes: 64,
+                associativity: 8,
+            },
+        ),
+        (
+            "L2".to_string(),
+            CacheConfig {
+                capacity_bytes: 2 << 20,
+                line_bytes: 64,
+                associativity: 16,
+            },
+        ),
+    ];
+    let trace = TracePattern::Stream {
+        bytes: 1 << 20,
+        stride: 64,
+        passes: 2,
+        write_back: true,
+    }
+    .generate();
+    c.bench_function("cache_tier_trace_driven", |b| {
+        b.iter(|| {
+            let mut h = HierarchySim::new(levels.clone(), 64).expect("valid geometry");
+            h.run_trace(black_box(&trace))
+        })
+    });
+}
+
+criterion_group!(benches, bench_arbiter_policies, bench_thermal, bench_cache_tiers);
+criterion_main!(benches);

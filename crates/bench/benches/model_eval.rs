@@ -1,0 +1,57 @@
+//! Criterion bench: analytical-model evaluation throughput.
+//!
+//! The model's whole value proposition is being cheap enough for
+//! early-stage design-space sweeps; this bench quantifies evaluations per
+//! second as the IP count grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gables_model::two_ip::TwoIpModel;
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec, Workload};
+
+fn n_ip_inputs(n: usize) -> (SocSpec, Workload) {
+    let mut b = SocSpec::builder();
+    b.ppeak(OpsPerSec::from_gops(10.0))
+        .bpeak(BytesPerSec::from_gbps(30.0))
+        .cpu("CPU", BytesPerSec::from_gbps(15.0));
+    for i in 1..n {
+        b.accelerator(
+            format!("ACC{i}"),
+            1.0 + i as f64,
+            BytesPerSec::from_gbps(5.0 + i as f64),
+        )
+        .expect("valid");
+    }
+    let soc = b.build().expect("valid");
+    let mut w = Workload::builder();
+    let mut assigned = 0.0;
+    for i in 0..n {
+        let f = if i == n - 1 {
+            1.0 - assigned
+        } else {
+            1.0 / n as f64
+        };
+        assigned += f;
+        w.work(f, 8.0).expect("valid");
+    }
+    (soc, w.build().expect("valid"))
+}
+
+fn bench_model_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_eval");
+    for n in [2usize, 8, 32, 128] {
+        let (soc, w) = n_ip_inputs(n);
+        group.bench_with_input(BenchmarkId::new("n_ip", n), &n, |b, _| {
+            b.iter(|| evaluate(black_box(&soc), black_box(&w)).expect("valid"))
+        });
+    }
+    group.finish();
+
+    c.bench_function("two_ip_figure_6d", |b| {
+        let m = TwoIpModel::figure_6d();
+        b.iter(|| black_box(&m).attainable_gops().expect("valid"))
+    });
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

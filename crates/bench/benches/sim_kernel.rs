@@ -1,0 +1,50 @@
+//! Criterion bench: simulator throughput on the Algorithm-1 kernel,
+//! single-IP and concurrent.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gables_soc_sim::{presets, Job, RooflineKernel, Simulator, TrafficPattern};
+
+fn bench_single(c: &mut Criterion) {
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+    let mut group = c.benchmark_group("sim_single_ip");
+    for fpw in [1u32, 64, 1024] {
+        let kernel = RooflineKernel::dram_resident(fpw);
+        group.bench_with_input(BenchmarkId::new("cpu_fpw", fpw), &kernel, |b, k| {
+            b.iter(|| {
+                sim.run(black_box(&[Job {
+                    ip: presets::CPU,
+                    kernel: *k,
+                }]))
+                .expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent(c: &mut Criterion) {
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+    let jobs = vec![
+        Job {
+            ip: presets::CPU,
+            kernel: RooflineKernel::dram_resident(8),
+        },
+        Job {
+            ip: presets::GPU,
+            kernel: RooflineKernel {
+                pattern: TrafficPattern::StreamCopy,
+                ..RooflineKernel::dram_resident(8)
+            },
+        },
+        Job {
+            ip: presets::DSP,
+            kernel: RooflineKernel::dram_resident(8),
+        },
+    ];
+    c.bench_function("sim_three_ip_concurrent", |b| {
+        b.iter(|| sim.run(black_box(&jobs)).expect("runs"))
+    });
+}
+
+criterion_group!(benches, bench_single, bench_concurrent);
+criterion_main!(benches);

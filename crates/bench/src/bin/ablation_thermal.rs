@@ -1,0 +1,6 @@
+//! Regenerates one experiment; see DESIGN.md's per-experiment index.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", gables_bench::figures::ablation::ablation_thermal());
+    Ok(())
+}

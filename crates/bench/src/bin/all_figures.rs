@@ -1,0 +1,10 @@
+//! Regenerates every table and figure of the paper; artifacts land in
+//! `target/figures/`.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = gables_bench::report::default_out_dir();
+    for report in gables_bench::all_reports(&out)? {
+        println!("{report}");
+    }
+    Ok(())
+}

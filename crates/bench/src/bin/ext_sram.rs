@@ -1,0 +1,8 @@
+//! Regenerates one experiment; see DESIGN.md's per-experiment index.
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = gables_bench::report::default_out_dir();
+    let _ = &out;
+    println!("{}", gables_bench::figures::extensions::ext_sram());
+    Ok(())
+}

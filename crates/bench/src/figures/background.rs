@@ -1,0 +1,250 @@
+//! Background figures and tables: Figure 1 (classic Roofline), Figure 2
+//! (market trends), Figure 3 (SoC block diagram as topology text), Figure
+//! 4 (WiFi streaming dataflow), Table I (usecase concurrency), Table II
+//! (parameter glossary).
+
+use std::path::Path;
+
+use gables_market::Market;
+use gables_model::baselines::roofline::Roofline;
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_plot::{render_ascii, render_line_chart, render_roofline, ChartConfig, Series};
+use gables_soc_sim::presets;
+use gables_usecase::{flows::streaming_wifi, render_table1};
+
+use crate::report::Report;
+
+/// Figure 1: the classic Roofline model plot (reprinted from Williams et
+/// al. in the paper). Rendered for a generic multicore chip.
+///
+/// # Errors
+///
+/// Propagates I/O errors when writing the SVG artifact.
+pub fn fig1(out_dir: &Path) -> std::io::Result<Report> {
+    let mut rep = Report::new("fig1", "Classic Roofline model (Williams et al.)");
+    let roofline = Roofline::new(OpsPerSec::from_gops(64.0), BytesPerSec::from_gbps(16.0))
+        .expect("static parameters are valid");
+    rep.line(format!("{roofline}"));
+    rep.line("attainable = min(Ppeak, Bpeak x I); ridge point separates regimes");
+    let series = vec![Series {
+        label: "roofline".into(),
+        points: gables_model::viz::log_space(0.0625, 256.0, 64)
+            .into_iter()
+            .map(|x| {
+                (
+                    x,
+                    roofline
+                        .attainable(gables_model::units::OpsPerByte::new(x))
+                        .to_gops(),
+                )
+            })
+            .collect(),
+    }];
+    rep.line(render_ascii(&series, 64, 14, true, true));
+    let svg = render_roofline(&roofline, "Figure 1: Roofline model", 0.0625, 256.0);
+    rep.artifact(out_dir, "fig1_roofline.svg", &svg)?;
+    Ok(rep)
+}
+
+/// Figure 2: (a) SoC chipsets introduced per year; (b) IP blocks per
+/// flagship SoC. Uses the seeded synthetic market substrate (DESIGN.md
+/// substitution 2) with the paper's trend anchors as the paper column.
+///
+/// # Errors
+///
+/// Propagates I/O errors when writing the SVG artifacts.
+pub fn fig2(out_dir: &Path) -> std::io::Result<Report> {
+    let mut rep = Report::new("fig2", "SoC market trends (synthetic substrate)");
+    let market = Market::generate(42);
+
+    let counts = market.per_year_counts();
+    let peak = counts.iter().max_by_key(|(_, c)| *c).expect("years exist");
+    // Paper anchors: peak in 2014-2015, decline after 2015; Qualcomm 49
+    // chipsets in 2014 vs 27 in 2017 (footnote 2): we check the *shape*.
+    rep.row("2a: peak year", 2014.5, peak.0 as f64);
+    rep.row(
+        "2a: 2017 count / peak count",
+        62.0 / 110.0,
+        counts.last().expect("2017").1 as f64 / peak.1 as f64,
+    );
+    let trend = market.flagship_ip_trend();
+    rep.row(
+        "2b: flagship IP blocks (latest gen)",
+        32.0,
+        trend.last().expect("2017").1 as f64,
+    );
+
+    rep.line("year  new chipsets  flagship IP blocks");
+    for ((y, c), (_, ips)) in counts.iter().zip(&trend) {
+        rep.line(format!("{y}  {c:>12}  {ips:>18}"));
+    }
+    // Footnote 2's consolidation evidence, from the synthetic roster.
+    rep.line(format!(
+        "consolidation: Qualcomm {} chipsets in 2014 vs {} in 2017 (paper: 49 vs 27); \
+         TI exits after 2012 ({} in 2013), Intel after 2016 ({} in 2017); \
+         active vendors {} (2014) -> {} (2017)",
+        market.vendor_count("Qualcomm", 2014),
+        market.vendor_count("Qualcomm", 2017),
+        market.vendor_count("Texas Instruments", 2013),
+        market.vendor_count("Intel", 2017),
+        market.active_vendors(2014),
+        market.active_vendors(2017),
+    ));
+
+    let series_a = vec![Series {
+        label: "new chipsets/year".into(),
+        points: counts.iter().map(|&(y, c)| (y as f64, c as f64)).collect(),
+    }];
+    let svg_a = render_line_chart(
+        &ChartConfig::linear("Figure 2a: SoC chipsets per year", "year", "chipsets"),
+        &series_a,
+        &[],
+    );
+    rep.artifact(out_dir, "fig2a_chipsets_per_year.svg", &svg_a)?;
+
+    let series_b = vec![Series {
+        label: "IP blocks (flagship)".into(),
+        points: trend.iter().map(|&(y, c)| (y as f64, c as f64)).collect(),
+    }];
+    let svg_b = render_line_chart(
+        &ChartConfig::linear("Figure 2b: IP blocks per generation", "year", "IP blocks"),
+        &series_b,
+        &[],
+    );
+    rep.artifact(out_dir, "fig2b_ip_blocks.svg", &svg_b)?;
+    Ok(rep)
+}
+
+/// Figure 3: the example SoC block diagram, reported as the simulator
+/// preset's topology.
+pub fn fig3() -> Report {
+    let mut rep = Report::new("fig3", "Example mobile SoC topology (simulator preset)");
+    let soc = presets::snapdragon_835_like();
+    rep.line(soc.to_string());
+    for (i, f) in soc.fabrics.iter().enumerate() {
+        let members: Vec<&str> = soc
+            .ips
+            .iter()
+            .filter(|ip| ip.fabric == i)
+            .map(|ip| ip.name.as_str())
+            .collect();
+        rep.line(format!(
+            "fabric {} ({}): {}",
+            i,
+            f.name,
+            members.join(", ")
+        ));
+    }
+    rep
+}
+
+/// Figure 4: the streaming-over-WiFi usecase dataflow.
+pub fn fig4() -> Report {
+    let mut rep = Report::new("fig4", "Streaming internet content over WiFi usecase");
+    let flow = streaming_wifi();
+    flow.validate().expect("static flow is valid");
+    rep.line(flow.to_string());
+    rep.row(
+        "standing DRAM traffic (GB/s, model)",
+        0.38, // decoded 1080p60 frames dominate: ~186.6 MB/s x 2 crossings
+        flow.dram_bytes_per_sec() / 1e9,
+    );
+    let inputs = gables_usecase::derive_inputs(&flow).expect("flow has compute");
+    rep.line("derived Gables inputs (fi, Ii):");
+    for row in gables_usecase::gables::input_rows(&flow, &inputs) {
+        rep.line(format!(
+            "  {:<12} f = {:.4}  I = {:>10.4} ops/B  ({:.2} Gops/s, {:.4} GB/s)",
+            row.ip.short_name(),
+            row.fraction,
+            row.intensity,
+            row.gops_per_sec,
+            row.dram_gbps
+        ));
+    }
+    rep
+}
+
+/// Table I: the usecase × IP concurrency matrix.
+pub fn table1() -> Report {
+    let mut rep = Report::new("table1", "Usecase / IP concurrency matrix");
+    rep.line(render_table1());
+    let usecases = gables_usecase::table1_usecases();
+    let min_active = usecases
+        .iter()
+        .map(gables_usecase::Usecase::concurrency)
+        .min()
+        .expect("five usecases");
+    rep.row("minimum concurrently active IPs", 5.0, min_active as f64);
+    rep.row("usecase count", 5.0, usecases.len() as f64);
+    rep
+}
+
+/// Table II: the Gables parameter glossary, printed from the types that
+/// implement it.
+pub fn table2() -> Report {
+    let mut rep = Report::new("table2", "Gables model parameter glossary");
+    for (param, desc) in [
+        ("Ppeak", "peak performance of CPUs (ops/sec) — SocSpec::ppeak"),
+        ("Bpeak", "peak off-chip bandwidth (bytes/sec) — SocSpec::bpeak"),
+        ("Ai", "peak acceleration of IP[i] — IpSpec::acceleration"),
+        ("Bi", "peak bandwidth to/from IP[i] — IpSpec::bandwidth"),
+        ("fi", "fraction of usecase work at IP[i] — WorkAssignment::fraction"),
+        ("Ii", "operational intensity at IP[i] — WorkAssignment::intensity"),
+        ("Ci", "compute time at IP[i] — IpBreakdown::compute_time"),
+        ("Di", "data transferred for IP[i] — IpBreakdown::data"),
+        ("TIP[i]", "time at IP[i] — IpBreakdown::time"),
+        ("Tmemory", "time on chip memory interface — Evaluation::memory_time"),
+        ("Pattainable", "upper bound on SoC performance — Evaluation::attainable"),
+    ] {
+        rep.line(format!("{param:<12} {desc}"));
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gables-fig-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn fig1_writes_roofline() {
+        let rep = fig1(&tmp()).unwrap();
+        assert!(rep.body.contains("ridge"));
+        assert_eq!(rep.artifacts.len(), 1);
+    }
+
+    #[test]
+    fn fig2_shape_close_to_anchors() {
+        let rep = fig2(&tmp()).unwrap();
+        assert!(rep.max_relative_error() < 0.05, "{rep}");
+        assert_eq!(rep.artifacts.len(), 2);
+    }
+
+    #[test]
+    fn fig3_lists_fabrics() {
+        let rep = fig3();
+        assert!(rep.body.contains("high-bandwidth fabric"));
+        assert!(rep.body.contains("Hexagon DSP scalar"));
+    }
+
+    #[test]
+    fn fig4_derives_inputs() {
+        let rep = fig4();
+        assert!(rep.body.contains("derived Gables inputs"));
+        assert!(rep.max_relative_error() < 0.05, "{rep}");
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = table1();
+        assert!(t1.body.contains("HDR+"));
+        assert_eq!(t1.max_relative_error(), 0.0);
+        let t2 = table2();
+        assert!(t2.body.contains("Pattainable"));
+    }
+}

@@ -1,0 +1,242 @@
+//! Synthesis case studies tying the substrates together.
+//!
+//! * [`ipu_case_study`] — Section II's Pixel Visual Core claim: HDR+
+//!   "5X faster than the main application processor at one-tenth of the
+//!   power", reproduced with the simulator plus the energy model.
+//! * [`usecase_bottlenecks`] — every Table I camera usecase pushed
+//!   through dataflow → derived Gables inputs → model evaluation on a
+//!   camera SoC: which IP binds each usecase and whether it is real-time
+//!   feasible.
+
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec};
+use gables_soc_sim::config::{
+    CacheLevel, ComputeEngine, DramConfig, FabricConfig, IpConfig, NumericSupport,
+    PatternEfficiency, SocConfig,
+};
+use gables_soc_sim::energy::{EnergyModel, IpEnergy};
+use gables_soc_sim::{Job, RooflineKernel, Simulator};
+use gables_usecase::camera_flows::{
+    google_lens, hdr_plus, video_capture, video_capture_hfr, video_playback,
+};
+use gables_usecase::gables::derive_inputs;
+use gables_usecase::video::FrameFormat;
+use gables_usecase::{Dataflow, Ip};
+
+use crate::report::Report;
+
+/// A two-IP AP + IPU SoC shaped after Section II's Pixel Visual Core
+/// description: an 8-core IP "that can perform three trillion operations
+/// per second per core", far past what HDR+ actually needs — what matters
+/// for the claim is the delivered 5x at one-tenth the power.
+fn ap_plus_ipu() -> SocConfig {
+    SocConfig {
+        name: "ap-plus-ipu".into(),
+        ips: vec![
+            IpConfig {
+                name: "AP".into(),
+                engine: ComputeEngine::from_peak_gflops(7.5),
+                caches: vec![CacheLevel::new("L2", 2 << 20, 70.0e9)],
+                scratchpad: None,
+                port_bandwidth: 15.1e9,
+                fabric: 0,
+                pattern_efficiency: PatternEfficiency::unity(),
+                numeric: NumericSupport::FloatAndInt,
+            },
+            IpConfig {
+                // Delivered HDR+ rate: 5x the AP on this kernel.
+                name: "IPU".into(),
+                engine: ComputeEngine::from_peak_gflops(37.5),
+                caches: vec![CacheLevel::new("line buffers", 8 << 20, 400.0e9)],
+                scratchpad: None,
+                port_bandwidth: 20.0e9,
+                fabric: 0,
+                pattern_efficiency: PatternEfficiency::unity(),
+                numeric: NumericSupport::FloatAndInt,
+            },
+        ],
+        fabrics: vec![FabricConfig {
+            name: "fabric".into(),
+            bandwidth: 28.0e9,
+        }],
+        dram: DramConfig {
+            peak_bandwidth: 30.0e9,
+            efficiency: 0.85,
+        },
+    }
+}
+
+/// Energy model for the AP + IPU pair: the IPU's fixed-function datapaths
+/// spend ~1/50 the energy per op, netting one-tenth the *power* at 5x the
+/// *speed*.
+fn ap_ipu_energy() -> EnergyModel {
+    EnergyModel::new(
+        vec![
+            IpEnergy {
+                pj_per_op: 250.0,
+                pj_per_byte: 12.0,
+            },
+            IpEnergy {
+                pj_per_op: 3.0,
+                pj_per_byte: 6.0,
+            },
+        ],
+        50.0,
+        0.05,
+    )
+    .expect("static coefficients are valid")
+}
+
+/// Section II's Pixel Visual Core claim, reproduced end to end.
+pub fn ipu_case_study() -> Report {
+    let mut rep = Report::new(
+        "ipu_case_study",
+        "HDR+ on the IPU: 5x faster at one-tenth the power (Section II)",
+    );
+    let soc = ap_plus_ipu();
+    let sim = Simulator::new(soc.clone()).expect("valid config");
+    let energy = ap_ipu_energy();
+
+    // The HDR+ merge kernel: a burst of 4K frames at high reuse (the IPU
+    // works out of line buffers).
+    let kernel = RooflineKernel::dram_resident(512); // I = 64 ops/byte
+    let on_ap = sim.run(&[Job { ip: 0, kernel }]).expect("runs");
+    let on_ipu = sim.run(&[Job { ip: 1, kernel }]).expect("runs");
+    let ap_energy = energy.account(&soc, &on_ap).expect("accounts");
+    let ipu_energy = energy.account(&soc, &on_ipu).expect("accounts");
+
+    let speedup = on_ap.jobs[0].seconds / on_ipu.jobs[0].seconds;
+    let power_ratio = ipu_energy.average_watts / ap_energy.average_watts;
+    rep.row("HDR+ speedup on the IPU (paper: 5x)", 5.0, speedup);
+    rep.row(
+        "IPU power as a fraction of AP power (paper: 1/10)",
+        0.1,
+        power_ratio,
+    );
+    rep.line(format!(
+        "AP:  {:.2} GFLOPS/s at {:.2} W;  IPU: {:.2} GFLOPS/s at {:.2} W",
+        on_ap.jobs[0].achieved_flops_per_sec / 1e9,
+        ap_energy.average_watts,
+        on_ipu.jobs[0].achieved_flops_per_sec / 1e9,
+        ipu_energy.average_watts
+    ));
+    rep.line(format!(
+        "energy per shot: AP {:.3} J vs IPU {:.3} J ({:.0}x less)",
+        ap_energy.total_joules,
+        ipu_energy.total_joules,
+        ap_energy.total_joules / ipu_energy.total_joules
+    ));
+    rep
+}
+
+/// A ten-IP camera SoC covering every Table I column, for usecase
+/// evaluation (units: Gops of usecase work).
+fn camera_soc(ips: &[Ip]) -> SocSpec {
+    let mut b = SocSpec::builder();
+    b.ppeak(OpsPerSec::from_gops(50.0))
+        .bpeak(BytesPerSec::from_gbps(30.0));
+    for (i, ip) in ips.iter().enumerate() {
+        if i == 0 {
+            b.cpu(ip.short_name(), BytesPerSec::from_gbps(15.0));
+            continue;
+        }
+        let (a, bw) = match ip {
+            Ip::Gpu => (8.0, 24.0),
+            Ip::Isp => (10.0, 20.0),
+            Ip::Ipu => (40.0, 18.0),
+            Ip::Venc | Ip::Vdec => (6.0, 12.0),
+            Ip::Jpeg => (4.0, 8.0),
+            Ip::G2ds => (3.0, 10.0),
+            Ip::Dsp => (2.0, 5.4),
+            Ip::Display => (1.0, 8.0),
+            _ => (1.0, 4.0),
+        };
+        b.accelerator(ip.short_name(), a, BytesPerSec::from_gbps(bw))
+            .expect("valid");
+    }
+    b.build().expect("valid")
+}
+
+/// Every Table I camera usecase through the full pipeline.
+pub fn usecase_bottlenecks() -> Report {
+    let mut rep = Report::new(
+        "usecase_bottlenecks",
+        "Table I usecases: dataflow -> Gables inputs -> bottleneck",
+    );
+    let flows: Vec<Dataflow> = vec![
+        hdr_plus(),
+        video_capture(FrameFormat::uhd_4k_yuv420(), 30.0),
+        video_capture_hfr(FrameFormat::uhd_4k_yuv420(), 240.0, 5),
+        video_playback(),
+        google_lens(),
+    ];
+    rep.line(format!(
+        "{:<36} {:>10} {:>12} {:>9} {:>11} {:>18}",
+        "usecase", "demand", "attainable", "headroom", "DRAM GB/s", "bottleneck"
+    ));
+    let mut ordinary_roomy = 0usize;
+    let mut hfr_memory_bound = false;
+    let mut hfr_headroom = f64::INFINITY;
+    for flow in &flows {
+        let inputs = derive_inputs(flow).expect("derives");
+        let soc = camera_soc(&inputs.ips);
+        let eval = evaluate(&soc, &inputs.workload).expect("evaluates");
+        let demand = inputs.total_ops_per_sec;
+        let headroom = eval.attainable().value() / demand;
+        let is_hfr = flow.name.contains("HFR");
+        if is_hfr {
+            hfr_memory_bound = eval.bottleneck() == gables_model::Bottleneck::Memory;
+            hfr_headroom = headroom;
+        } else if headroom >= 2.0 {
+            ordinary_roomy += 1;
+        }
+        rep.line(format!(
+            "{:<36} {:>7.2} G {:>9.2} G {:>8.1}x {:>11.1} {:>18}",
+            flow.name,
+            demand / 1e9,
+            eval.attainable().to_gops(),
+            headroom,
+            flow.dram_bytes_per_sec() / 1e9,
+            eval.bottleneck().to_string(),
+        ));
+    }
+    // Section II-B's argument: ordinary usecases run with ample headroom,
+    // while 4K240 HFR with five reference frames pushes the 30 GB/s
+    // memory system to the edge and is the one usecase bound there.
+    rep.row(
+        "ordinary usecases with >= 2x headroom",
+        4.0,
+        ordinary_roomy as f64,
+    );
+    rep.row(
+        "4K240 HFR bound by the memory interface",
+        1.0,
+        f64::from(hfr_memory_bound),
+    );
+    rep.row(
+        "4K240 HFR headroom < 1.5x (on the edge)",
+        1.0,
+        f64::from(hfr_headroom < 1.5),
+    );
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipu_claim_reproduces() {
+        let rep = ipu_case_study();
+        assert!(rep.max_relative_error() < 0.25, "{rep}");
+        assert!(rep.body.contains("energy per shot"));
+    }
+
+    #[test]
+    fn usecase_table_flags_only_hfr() {
+        let rep = usecase_bottlenecks();
+        assert!(rep.max_relative_error() < 1e-9, "{rep}");
+        assert!(rep.body.contains("HFR"));
+        assert!(rep.body.contains("memory interface"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Figure 8: performance as work is offloaded from the CPU to the GPU at
+//! varying operational intensities, on the simulated Snapdragon-835-like
+//! SoC — plus a Gables-model prediction next to the simulator measurement.
+
+use std::path::Path;
+
+use gables_model::{SocSpec, Workload};
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_plot::{render_line_chart, ChartConfig, Series};
+use gables_soc_sim::{presets, MixHarness, Simulator};
+
+use crate::figures::empirical::FigureError;
+use crate::report::Report;
+
+/// The intensities plotted in Figure 8 (the paper shows lines from 1 to
+/// 1024 ops/byte).
+pub const INTENSITIES: [f64; 6] = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+
+/// The fraction steps: 0 to 1 in increments of 1/8 (the paper's x-axis).
+pub const STEPS: usize = 8;
+
+/// Regenerates Figure 8: sweeps `f` for each intensity on the simulator,
+/// normalizes to the all-CPU point at intensity 1, and renders the lines.
+/// Also evaluates the analytical Gables model at the same points to show
+/// model-vs-simulator agreement on the shape.
+///
+/// # Errors
+///
+/// Returns [`FigureError`] on simulator or artifact-write failure.
+pub fn fig8(out_dir: &Path) -> Result<Report, FigureError> {
+    let mut rep = Report::new(
+        "fig8",
+        "Offload sweep: normalized performance vs f at I in {1..1024}",
+    );
+    let sim = Simulator::new(presets::snapdragon_835_like())?;
+    let harness = MixHarness::new(&sim, presets::CPU, presets::GPU);
+    let lines = harness.sweep(&INTENSITIES, STEPS)?;
+    let baseline = lines[0][0].flops_per_sec; // f = 0, I = 1
+
+    // Paper anchors: ~39.4x speedup at I = 1024 fully offloaded; low-I
+    // offload is a slowdown.
+    let high = lines.last().expect("intensities nonempty");
+    rep.row(
+        "speedup at f=1, I=1024",
+        39.4,
+        high.last().expect("steps").flops_per_sec / baseline,
+    );
+    let low_end = lines[0].last().expect("steps").flops_per_sec / baseline;
+    rep.line(format!(
+        "f=1, I=1 normalized perf: {low_end:.3} (paper: a slowdown, i.e. < 1)"
+    ));
+    assert!(low_end < 1.0, "low-intensity offload should slow down");
+
+    rep.line("normalized performance (simulator):");
+    rep.line(header());
+    let mut series = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let mut row = format!("I={:<6}", INTENSITIES[i]);
+        let mut pts = Vec::new();
+        for p in line {
+            let norm = p.flops_per_sec / baseline;
+            row.push_str(&format!(" {norm:>8.3}"));
+            pts.push((p.f, norm));
+        }
+        rep.line(row);
+        series.push(Series {
+            label: format!("I = {}", INTENSITIES[i]),
+            points: pts,
+        });
+    }
+
+    // The analytical model's view of the same sweep (no coordination
+    // overhead — Gables is an upper bound).
+    let spec = snapdragon_gables_spec();
+    rep.line("\nnormalized performance (Gables model upper bound):");
+    rep.line(header());
+    for &intensity in &INTENSITIES {
+        let mut row = format!("I={intensity:<6}");
+        for step in 0..=STEPS {
+            let f = step as f64 / STEPS as f64;
+            let w = Workload::two_ip(f, intensity, intensity).expect("valid");
+            let p = gables_model::evaluate(&spec, &w)
+                .expect("valid")
+                .attainable()
+                .to_gops();
+            row.push_str(&format!(" {:>8.3}", p / 7.5));
+        }
+        rep.line(row);
+    }
+    rep.line("(model bounds the simulator from above; both agree on who wins where)");
+
+    let svg = render_line_chart(
+        &ChartConfig {
+            y_log: true,
+            ..ChartConfig::linear(
+                "Figure 8: offload sweep",
+                "fraction of work at GPU (f)",
+                "performance normalized to f=0, I=1",
+            )
+        },
+        &series,
+        &[],
+    );
+    let mut rep2 = rep;
+    rep2.artifact(out_dir, "fig8_offload_sweep.svg", &svg)?;
+    Ok(rep2)
+}
+
+fn header() -> String {
+    let mut h = String::from("        ");
+    for step in 0..=STEPS {
+        h.push_str(&format!(" f={:<6.3}", step as f64 / STEPS as f64));
+    }
+    h
+}
+
+/// The Snapdragon-835-like SoC expressed as a Gables hardware spec, using
+/// the paper's measured ceilings (Ppeak = 7.5 Gops/s, A1 = 46.6, B0 =
+/// 15.1 GB/s, B1 = 24.4 GB/s, Bpeak = 25.5 GB/s sustained).
+pub fn snapdragon_gables_spec() -> SocSpec {
+    SocSpec::builder()
+        .ppeak(OpsPerSec::from_gops(7.5))
+        .bpeak(BytesPerSec::from_gbps(25.5))
+        .cpu("Kryo CPU", BytesPerSec::from_gbps(15.1))
+        .accelerator("Adreno 540 GPU", 349.6 / 7.5, BytesPerSec::from_gbps(24.4))
+        .expect("positive acceleration")
+        .build()
+        .expect("valid spec")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_shape_matches_paper() {
+        let dir = std::env::temp_dir().join(format!("gables-fig8-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rep = fig8(&dir).unwrap();
+        // The 39.4x anchor within 5%.
+        assert!(rep.max_relative_error() < 0.05, "{rep}");
+        assert!(rep.body.contains("slowdown"));
+        assert_eq!(rep.artifacts.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn model_bounds_simulator_from_above() {
+        // At every (f, I) grid point the analytical model's Pattainable is
+        // an upper bound on the simulator's measured throughput.
+        let sim = Simulator::new(presets::snapdragon_835_like()).unwrap();
+        let harness = MixHarness::new(&sim, presets::CPU, presets::GPU);
+        let spec = snapdragon_gables_spec();
+        for &intensity in &[1.0, 64.0, 1024.0] {
+            let kernel = harness.kernel_at_intensity(intensity).unwrap();
+            for step in 0..=4 {
+                let f = step as f64 / 4.0;
+                let measured = harness.run(kernel, f).unwrap().flops_per_sec / 1e9;
+                let w = Workload::two_ip(f, intensity, intensity).unwrap();
+                let bound = gables_model::evaluate(&spec, &w)
+                    .unwrap()
+                    .attainable()
+                    .to_gops();
+                assert!(
+                    measured <= bound * 1.02,
+                    "f={f} I={intensity}: measured {measured} above bound {bound}"
+                );
+            }
+        }
+    }
+}

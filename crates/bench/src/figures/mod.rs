@@ -1,0 +1,12 @@
+//! One module per paper table/figure; each produces a [`Report`] with a
+//! paper-anchor-vs-measured comparison.
+//!
+//! [`Report`]: crate::report::Report
+
+pub mod ablation;
+pub mod background;
+pub mod casestudy;
+pub mod empirical;
+pub mod extensions;
+pub mod fig6;
+pub mod fig8;

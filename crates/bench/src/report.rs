@@ -1,0 +1,187 @@
+//! Experiment reports: the paper-anchor-vs-measured tables every
+//! regeneration binary prints.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// What is being compared (e.g. `"CPU peak GFLOPS/s"`).
+    pub metric: String,
+    /// The value the paper reports.
+    pub paper: f64,
+    /// The value this reproduction measures.
+    pub measured: f64,
+}
+
+impl Row {
+    /// Relative error of the measurement against the paper anchor.
+    pub fn relative_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            return if self.measured == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (self.measured - self.paper).abs() / self.paper.abs()
+    }
+}
+
+/// A regenerated experiment: identification, comparison rows, free-form
+/// notes, and written artifacts (SVG plots, tables).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Experiment id (e.g. `"fig6"`).
+    pub id: String,
+    /// Human title (e.g. `"Figure 6: two-IP Gables progression"`).
+    pub title: String,
+    /// Paper-vs-measured rows.
+    pub rows: Vec<Row>,
+    /// Free-form body (tables, series, commentary).
+    pub body: String,
+    /// Paths of artifacts written to disk.
+    pub artifacts: Vec<PathBuf>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Adds a paper-vs-measured row.
+    pub fn row(&mut self, metric: impl Into<String>, paper: f64, measured: f64) -> &mut Self {
+        self.rows.push(Row {
+            metric: metric.into(),
+            paper,
+            measured,
+        });
+        self
+    }
+
+    /// Appends a body line.
+    pub fn line(&mut self, text: impl AsRef<str>) -> &mut Self {
+        self.body.push_str(text.as_ref());
+        self.body.push('\n');
+        self
+    }
+
+    /// Writes an artifact file under `dir` and records its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating `dir` or writing the file.
+    pub fn artifact(
+        &mut self,
+        dir: &Path,
+        name: &str,
+        contents: &str,
+    ) -> std::io::Result<&mut Self> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        fs::write(&path, contents)?;
+        self.artifacts.push(path);
+        Ok(self)
+    }
+
+    /// The worst relative error across all rows (0 when there are none).
+    pub fn max_relative_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(Row::relative_error)
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        if !self.rows.is_empty() {
+            writeln!(
+                f,
+                "{:<44} {:>12} {:>12} {:>8}",
+                "metric", "paper", "measured", "err%"
+            )?;
+            for r in &self.rows {
+                writeln!(
+                    f,
+                    "{:<44} {:>12.4} {:>12.4} {:>7.2}%",
+                    r.metric,
+                    r.paper,
+                    r.measured,
+                    100.0 * r.relative_error()
+                )?;
+            }
+        }
+        if !self.body.is_empty() {
+            writeln!(f, "{}", self.body)?;
+        }
+        for a in &self.artifacts {
+            writeln!(f, "wrote {}", a.display())?;
+        }
+        Ok(())
+    }
+}
+
+/// The default output directory for figure artifacts.
+pub fn default_out_dir() -> PathBuf {
+    PathBuf::from("target/figures")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error() {
+        let r = Row {
+            metric: "x".into(),
+            paper: 10.0,
+            measured: 11.0,
+        };
+        assert!((r.relative_error() - 0.1).abs() < 1e-12);
+        let z = Row {
+            metric: "z".into(),
+            paper: 0.0,
+            measured: 0.0,
+        };
+        assert_eq!(z.relative_error(), 0.0);
+        let inf = Row {
+            metric: "i".into(),
+            paper: 0.0,
+            measured: 1.0,
+        };
+        assert!(inf.relative_error().is_infinite());
+    }
+
+    #[test]
+    fn display_includes_rows_and_body() {
+        let mut rep = Report::new("fig0", "test figure");
+        rep.row("peak", 7.5, 7.49).line("hello");
+        let text = rep.to_string();
+        assert!(text.contains("== fig0 — test figure =="));
+        assert!(text.contains("peak"));
+        assert!(text.contains("hello"));
+    }
+
+    #[test]
+    fn artifact_round_trip() {
+        let dir = std::env::temp_dir().join("gables-bench-test");
+        let mut rep = Report::new("t", "t");
+        rep.artifact(&dir, "x.svg", "<svg/>").unwrap();
+        assert_eq!(rep.artifacts.len(), 1);
+        assert_eq!(std::fs::read_to_string(&rep.artifacts[0]).unwrap(), "<svg/>");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_relative_error_over_rows() {
+        let mut rep = Report::new("t", "t");
+        assert_eq!(rep.max_relative_error(), 0.0);
+        rep.row("a", 10.0, 10.5).row("b", 10.0, 12.0);
+        assert!((rep.max_relative_error() - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,491 @@
+//! # gables-cli
+//!
+//! The command-line Gables explorer — the repository's analog of the
+//! paper's open-source app and interactive visualization tool. Reads an
+//! INI-style spec file describing a SoC, a workload, and optional
+//! extensions; evaluates, sweeps, or plots it.
+//!
+//! ```text
+//! gables example                   # print a starter spec (Figure 6b)
+//! gables eval  spec.gables         # evaluate and explain the bottleneck
+//! gables sweep spec.gables f 0 1 8 # sweep the accelerator fraction
+//! gables plot  spec.gables out.svg # render the multi-roofline plot
+//! ```
+//!
+//! The command layer is a library so it can be tested without spawning
+//! processes; `src/main.rs` is a thin argv wrapper.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod spec;
+
+use std::fmt::Write as _;
+
+use gables_model::analysis::{bpeak_sweep, sufficient_bpeak};
+use gables_model::viz::gables_plot_data;
+use gables_model::{evaluate, Workload};
+use gables_plot::render_gables_plot;
+use spec::{SpecError, SpecFile};
+
+/// Runs one CLI command against spec text; returns the text to print.
+///
+/// `args` excludes the program name. See the crate docs for the grammar.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown commands, malformed arguments, parse
+/// failures, and model errors.
+pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>) -> Result<String, SpecError> {
+    match args.first().map(String::as_str) {
+        Some("example") => Ok(spec::FIGURE_6B_SPEC.to_string()),
+        Some("eval") => {
+            let path = arg(args, 1, "spec file")?;
+            let text = read_file(&path)
+                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            eval_command(&text)
+        }
+        Some("sweep") => {
+            let path = arg(args, 1, "spec file")?;
+            let param = arg(args, 2, "parameter (f | bpeak)")?;
+            let from: f64 = parse_num(&arg(args, 3, "from")?)?;
+            let to: f64 = parse_num(&arg(args, 4, "to")?)?;
+            let steps: usize = arg(args, 5, "steps")?
+                .parse()
+                .map_err(|_| SpecError { line: None, message: "steps must be an integer".into() })?;
+            let text = read_file(&path)
+                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            sweep_command(&text, &param, from, to, steps)
+        }
+        Some("plot") => {
+            let path = arg(args, 1, "spec file")?;
+            let text = read_file(&path)
+                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            plot_command(&text)
+        }
+        Some("frontier") => {
+            let path = arg(args, 1, "spec file")?;
+            let text = read_file(&path)
+                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            frontier_command(&text)
+        }
+        Some("ascii") => {
+            let path = arg(args, 1, "spec file")?;
+            let text = read_file(&path)
+                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            ascii_command(&text)
+        }
+        Some("whatif") => {
+            let path = arg(args, 1, "spec file")?;
+            let text = read_file(&path)
+                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let edits = args[2..].join(" ");
+            whatif_command(&text, &edits)
+        }
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(SpecError {
+            line: None,
+            message: format!("unknown command {other:?}\n{}", usage()),
+        }),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables help\n".to_string()
+}
+
+fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
+    args.get(idx).cloned().ok_or_else(|| SpecError {
+        line: None,
+        message: format!("missing argument: {what}\n{}", usage()),
+    })
+}
+
+fn parse_num(s: &str) -> Result<f64, SpecError> {
+    s.parse().map_err(|_| SpecError {
+        line: None,
+        message: format!("not a number: {s:?}"),
+    })
+}
+
+/// `gables eval`: evaluate the spec, with the SRAM extension if present.
+pub fn eval_command(text: &str) -> Result<String, SpecError> {
+    let spec = SpecFile::parse(text)?;
+    let soc = spec.soc()?;
+    let workload = spec.workload()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{soc}");
+    let eval = evaluate(&soc, &workload)?;
+    let _ = write!(out, "{eval}");
+    let needed = sufficient_bpeak(&soc, &workload)?;
+    let _ = writeln!(
+        out,
+        "sufficient Bpeak for this usecase: {:.2} GB/s (installed {:.2})",
+        needed.to_gbps(),
+        soc.bpeak().to_gbps()
+    );
+    if let Some(sram) = spec.sram()? {
+        let with = sram.evaluate(&soc, &workload)?;
+        let _ = writeln!(
+            out,
+            "with memory-side SRAM: Pattainable = {:.4} Gops/s (bottleneck: {})",
+            with.attainable().to_gops(),
+            with.bottleneck()
+        );
+    }
+    Ok(out)
+}
+
+/// `gables sweep`: sweep `f` (two-IP only) or `bpeak`.
+pub fn sweep_command(
+    text: &str,
+    param: &str,
+    from: f64,
+    to: f64,
+    steps: usize,
+) -> Result<String, SpecError> {
+    let spec = SpecFile::parse(text)?;
+    let soc = spec.soc()?;
+    let workload = spec.workload()?;
+    let mut out = String::new();
+    match param {
+        "f" => {
+            if soc.ip_count() != 2 {
+                return Err(SpecError {
+                    line: None,
+                    message: "sweep f requires exactly two IPs".into(),
+                });
+            }
+            if steps == 0 || !(0.0..=1.0).contains(&from) || !(from..=1.0).contains(&to) {
+                return Err(SpecError {
+                    line: None,
+                    message: "sweep f requires 0 <= from <= to <= 1 and steps >= 1".into(),
+                });
+            }
+            let i0 = workload.assignment(0)?.intensity().value();
+            let i1 = workload.assignment(1)?.intensity().value();
+            let _ = writeln!(out, "f        Pattainable  bottleneck");
+            for k in 0..=steps {
+                let f = from + (to - from) * k as f64 / steps as f64;
+                let w = Workload::two_ip(f, i0, i1)?;
+                let eval = evaluate(&soc, &w)?;
+                let _ = writeln!(
+                    out,
+                    "{f:<8.4} {:>10.4}  {}",
+                    eval.attainable().to_gops(),
+                    eval.bottleneck()
+                );
+            }
+        }
+        "bpeak" => {
+            let points = bpeak_sweep(&soc, &workload, from, to, steps)?;
+            let _ = writeln!(out, "Bpeak(GB/s)  Pattainable  bottleneck");
+            for p in points {
+                let _ = writeln!(
+                    out,
+                    "{:<12.3} {:>10.4}  {}",
+                    p.bpeak_gbps,
+                    p.evaluation.attainable().to_gops(),
+                    p.evaluation.bottleneck()
+                );
+            }
+        }
+        other => {
+            return Err(SpecError {
+                line: None,
+                message: format!("unknown sweep parameter {other:?} (use f or bpeak)"),
+            })
+        }
+    }
+    Ok(out)
+}
+
+/// `gables frontier`: explore an `[explore]` grid and print the Pareto
+/// frontier for the spec's workload.
+pub fn frontier_command(text: &str) -> Result<String, SpecError> {
+    use gables_model::explore::{explore, pareto_frontier};
+    let spec = SpecFile::parse(text)?;
+    let Some((grid, cost)) = spec.explore_grid()? else {
+        return Err(SpecError {
+            line: None,
+            message: "spec has no [explore] section".into(),
+        });
+    };
+    let workload = spec.workload()?;
+    let points = explore(&grid, &cost, &workload)?;
+    let frontier = pareto_frontier(&points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} candidates, {} on the Pareto frontier:",
+        points.len(),
+        frontier.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>8} {:>12} {:>12} {:>18}",
+        "cost", "Pattainable", "A1", "B1(GB/s)", "Bpeak(GB/s)", "bottleneck"
+    );
+    for p in &frontier {
+        let acc = p.soc.ip(1)?;
+        let _ = writeln!(
+            out,
+            "{:<8.1} {:>9.2} G {:>8.1} {:>12.1} {:>12.1} {:>18}",
+            p.cost,
+            p.perf_gops,
+            acc.acceleration().value(),
+            acc.bandwidth().to_gbps(),
+            p.soc.bpeak().to_gbps(),
+            p.bottleneck.to_string()
+        );
+    }
+    Ok(out)
+}
+
+/// `gables whatif`: apply a `; `-separated edit chain and narrate the
+/// performance/bottleneck deltas.
+///
+/// Edit grammar (whitespace-separated operands):
+///
+/// * `set_bpeak <gbps>`
+/// * `set_ppeak <gops>`
+/// * `scale_bw <ip> <factor>`
+/// * `set_intensity <ip> <ops_per_byte>`
+/// * `move_work <from_ip> <to_ip> <fraction>`
+pub fn whatif_command(text: &str, edits: &str) -> Result<String, SpecError> {
+    use gables_model::whatif::{apply, Edit};
+    let spec = SpecFile::parse(text)?;
+    let soc = spec.soc()?;
+    let workload = spec.workload()?;
+
+    let mut parsed = Vec::new();
+    for raw in edits.split(';') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = raw.split_whitespace().collect();
+        let num = |i: usize| -> Result<f64, SpecError> {
+            tokens
+                .get(i)
+                .ok_or_else(|| SpecError {
+                    line: None,
+                    message: format!("edit {raw:?}: missing operand {i}"),
+                })?
+                .parse()
+                .map_err(|_| SpecError {
+                    line: None,
+                    message: format!("edit {raw:?}: operand {i} is not a number"),
+                })
+        };
+        let ip = |i: usize| -> Result<usize, SpecError> { Ok(num(i)? as usize) };
+        let edit = match tokens[0] {
+            "set_bpeak" => Edit::SetBpeakGbps(num(1)?),
+            "set_ppeak" => Edit::SetPpeakGops(num(1)?),
+            "scale_bw" => Edit::ScaleIpBandwidth {
+                ip: ip(1)?,
+                factor: num(2)?,
+            },
+            "set_intensity" => Edit::SetIntensity {
+                ip: ip(1)?,
+                ops_per_byte: num(2)?,
+            },
+            "move_work" => Edit::MoveWork {
+                from: ip(1)?,
+                to: ip(2)?,
+                fraction: num(3)?,
+            },
+            other => {
+                return Err(SpecError {
+                    line: None,
+                    message: format!("unknown edit {other:?}"),
+                })
+            }
+        };
+        parsed.push(edit);
+    }
+    if parsed.is_empty() {
+        return Err(SpecError {
+            line: None,
+            message: "no edits given (e.g. 'set_bpeak 30; set_intensity 1 8')".into(),
+        });
+    }
+    let report = apply(&soc, &workload, &parsed)?;
+    Ok(report.to_string())
+}
+
+/// `gables plot`: render the multi-roofline SVG.
+pub fn plot_command(text: &str) -> Result<String, SpecError> {
+    let data = plot_data_for(text)?;
+    Ok(render_gables_plot(&data, "Gables"))
+}
+
+/// `gables ascii`: the same multi-roofline plot, drawn in the terminal.
+pub fn ascii_command(text: &str) -> Result<String, SpecError> {
+    let data = plot_data_for(text)?;
+    let series: Vec<gables_plot::Series> = data
+        .curves
+        .iter()
+        .map(|c| gables_plot::Series {
+            label: c.label.clone(),
+            points: c.points.clone(),
+        })
+        .collect();
+    let mut out = gables_plot::render_ascii(&series, 72, 18, true, true);
+    out.push_str(&format!(
+        "Pattainable = {:.4} Gops/s at Iavg = {:.4} ops/byte ({})\n",
+        data.attainable.1, data.attainable.0, data.bottleneck
+    ));
+    Ok(out)
+}
+
+fn plot_data_for(
+    text: &str,
+) -> Result<gables_model::viz::GablesPlotData, SpecError> {
+    let spec = SpecFile::parse(text)?;
+    let soc = spec.soc()?;
+    let workload = spec.workload()?;
+    // Frame the plot around the workload's intensities.
+    let intensities: Vec<f64> = workload
+        .assignments()
+        .iter()
+        .filter(|a| a.is_active())
+        .map(|a| a.intensity().value())
+        .collect();
+    let lo = intensities.iter().cloned().fold(f64::INFINITY, f64::min) / 16.0;
+    let hi = intensities.iter().cloned().fold(0.0, f64::max) * 16.0;
+    Ok(gables_plot_data(&soc, &workload, lo.max(1e-6), hi.max(1.0), 96)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_fs(_: &str) -> std::io::Result<String> {
+        Err(std::io::Error::other("no filesystem in tests"))
+    }
+
+    #[test]
+    fn example_prints_the_starter_spec() {
+        let out = run(&["example".into()], &no_fs).unwrap();
+        assert!(out.contains("[soc]"));
+        assert!(out.contains("Figure 6b"));
+    }
+
+    #[test]
+    fn eval_reports_bottleneck_and_sufficient_bpeak() {
+        let out = eval_command(spec::FIGURE_6B_SPEC).unwrap();
+        assert!(out.contains("Pattainable = 1.3278 Gops/s"));
+        assert!(out.contains("bottleneck: memory interface"));
+        assert!(out.contains("sufficient Bpeak"));
+    }
+
+    #[test]
+    fn eval_with_sram_extension() {
+        let text = format!("{}\n[sram]\nmiss_ratios = 1.0, 0.05\n", spec::FIGURE_6B_SPEC);
+        let out = eval_command(&text).unwrap();
+        assert!(out.contains("with memory-side SRAM"));
+    }
+
+    #[test]
+    fn sweep_f_walks_the_fraction() {
+        let out = sweep_command(spec::FIGURE_6B_SPEC, "f", 0.0, 1.0, 4).unwrap();
+        assert_eq!(out.lines().count(), 6);
+        assert!(out.contains("0.0000"));
+        assert!(out.contains("1.0000"));
+    }
+
+    #[test]
+    fn sweep_bpeak_walks_bandwidth() {
+        let out = sweep_command(spec::FIGURE_6B_SPEC, "bpeak", 5.0, 40.0, 4).unwrap();
+        assert!(out.lines().count() >= 6);
+        assert!(out.contains("Bpeak"));
+    }
+
+    #[test]
+    fn sweep_argument_validation() {
+        assert!(sweep_command(spec::FIGURE_6B_SPEC, "f", -0.5, 1.0, 4).is_err());
+        assert!(sweep_command(spec::FIGURE_6B_SPEC, "f", 0.0, 1.0, 0).is_err());
+        assert!(sweep_command(spec::FIGURE_6B_SPEC, "nope", 0.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn whatif_replays_figure_6_from_6b() {
+        // From the 6b spec: buy bandwidth (6c) then fix reuse + trim (6d).
+        let out = whatif_command(
+            spec::FIGURE_6B_SPEC,
+            "set_bpeak 30; set_intensity 1 8; set_bpeak 20",
+        )
+        .unwrap();
+        assert!(out.contains("baseline: 1.3278 Gops/s"));
+        assert!(out.contains("160.0000 Gops/s"));
+        assert!(out.contains("total:"));
+    }
+
+    #[test]
+    fn whatif_rejects_bad_edits() {
+        assert!(whatif_command(spec::FIGURE_6B_SPEC, "").is_err());
+        assert!(whatif_command(spec::FIGURE_6B_SPEC, "frob 1").is_err());
+        assert!(whatif_command(spec::FIGURE_6B_SPEC, "set_bpeak").is_err());
+        assert!(whatif_command(spec::FIGURE_6B_SPEC, "set_bpeak banana").is_err());
+        assert!(whatif_command(spec::FIGURE_6B_SPEC, "scale_bw 9 2").is_err());
+    }
+
+    #[test]
+    fn frontier_walks_the_explore_grid() {
+        let text = format!(
+            "{}\n[explore]\naccelerations = 2, 5, 10\nb1_gbps = 5, 15, 30\nbpeak_gbps = 10, 20, 40\n",
+            spec::FIGURE_6B_SPEC
+        );
+        let out = frontier_command(&text).unwrap();
+        assert!(out.contains("27 candidates"));
+        assert!(out.contains("Pareto frontier"));
+        // Missing section is a clear error.
+        let err = frontier_command(spec::FIGURE_6B_SPEC).unwrap_err();
+        assert!(err.message.contains("[explore]"));
+    }
+
+    #[test]
+    fn explore_grid_requires_two_ips() {
+        let text = "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n[workload]\nfractions = 1\nintensities = 8\n[explore]\naccelerations = 2\nb1_gbps = 5\nbpeak_gbps = 10\n";
+        let spec = spec::SpecFile::parse(text).unwrap();
+        assert!(spec.explore_grid().unwrap_err().message.contains("two"));
+    }
+
+    #[test]
+    fn ascii_draws_the_plot() {
+        let out = ascii_command(spec::FIGURE_6B_SPEC).unwrap();
+        assert!(out.contains("Pattainable = 1.3278 Gops/s"));
+        assert!(out.contains("memory"));
+        assert!(out.lines().count() > 18);
+    }
+
+    #[test]
+    fn plot_emits_svg() {
+        let out = plot_command(spec::FIGURE_6B_SPEC).unwrap();
+        assert!(out.starts_with("<svg"));
+        assert!(out.contains("Pattainable"));
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_unknowns() {
+        assert!(run(&[], &no_fs).unwrap().contains("usage"));
+        assert!(run(&["help".into()], &no_fs).unwrap().contains("usage"));
+        let err = run(&["frobnicate".into()], &no_fs).unwrap_err();
+        assert!(err.message.contains("unknown command"));
+        let err = run(&["eval".into()], &no_fs).unwrap_err();
+        assert!(err.message.contains("missing argument"));
+        let err = run(&["eval".into(), "nope.gables".into()], &no_fs).unwrap_err();
+        assert!(err.message.contains("nope.gables"));
+    }
+
+    #[test]
+    fn run_eval_through_injected_fs() {
+        let fs = |path: &str| -> std::io::Result<String> {
+            assert_eq!(path, "fig6b.gables");
+            Ok(spec::FIGURE_6B_SPEC.to_string())
+        };
+        let out = run(&["eval".into(), "fig6b.gables".into()], &fs).unwrap();
+        assert!(out.contains("1.3278"));
+    }
+}

@@ -1,0 +1,18 @@
+//! The `gables` binary: a thin argv/filesystem wrapper over the library
+//! command layer (see `gables_cli::run`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gables_cli::run(&args, &|path| std::fs::read_to_string(path)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The Gables spec-file format and its parser.
+//!
+//! A small INI-style format describing a SoC, a workload, and optional
+//! extensions — the file-based analog of the paper's interactive tool
+//! inputs. No external parser crates are among the approved offline
+//! dependencies, so the format is parsed in-tree.
+//!
+//! ```text
+//! # Figure 6b of the paper
+//! [soc]
+//! ppeak_gops = 40
+//! bpeak_gbps = 10
+//!
+//! [ip.CPU]                # first [ip.*] section is IP[0], the CPU
+//! bandwidth_gbps = 6
+//!
+//! [ip.GPU]
+//! acceleration = 5
+//! bandwidth_gbps = 15
+//!
+//! [workload]
+//! fractions   = 0.25, 0.75   # one per IP, in section order
+//! intensities = 8, 0.1       # ops/byte
+//!
+//! [sram]                     # optional Section V-A extension
+//! miss_ratios = 1.0, 0.1
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gables_model::ext::sram::MemorySideSram;
+use gables_model::units::{BytesPerSec, MissRatio, OpsPerSec};
+use gables_model::{GablesError, SocSpec, Workload};
+
+/// A parse or build error with the offending line number when known.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// 1-based line number, when attributable.
+    pub line: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl SpecError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    fn general(message: impl Into<String>) -> Self {
+        Self {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(n) => write!(f, "line {n}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<GablesError> for SpecError {
+    fn from(e: GablesError) -> Self {
+        SpecError::general(e.to_string())
+    }
+}
+
+/// A section body: key -> (line number, raw value).
+type SectionBody = BTreeMap<String, (usize, String)>;
+
+/// A parsed (but not yet validated) spec file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecFile {
+    /// Sections in file order: `(section name, body)`.
+    sections: Vec<(String, SectionBody)>,
+}
+
+impl SpecFile {
+    /// Parses the INI-style text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] with a line number for malformed lines.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let mut sections: Vec<(String, SectionBody)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(SpecError::at(n, "unterminated section header"));
+                };
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(SpecError::at(n, "empty section name"));
+                }
+                sections.push((name.to_string(), BTreeMap::new()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(SpecError::at(n, format!("expected `key = value`, got {line:?}")));
+            };
+            let Some((_, body)) = sections.last_mut() else {
+                return Err(SpecError::at(n, "key before any [section]"));
+            };
+            let key = key.trim().to_string();
+            if body.insert(key.clone(), (n, value.trim().to_string())).is_some() {
+                return Err(SpecError::at(n, format!("duplicate key {key:?}")));
+            }
+        }
+        Ok(Self { sections })
+    }
+
+    fn section(&self, name: &str) -> Option<&SectionBody> {
+        self.sections
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, body)| body)
+    }
+
+    /// IP sections in file order: `(ip name, body)`.
+    fn ip_sections(&self) -> Vec<(&str, &SectionBody)> {
+        self.sections
+            .iter()
+            .filter_map(|(s, body)| s.strip_prefix("ip.").map(|name| (name.trim(), body)))
+            .collect()
+    }
+
+    fn number(
+        body: &SectionBody,
+        key: &str,
+        section: &str,
+    ) -> Result<f64, SpecError> {
+        let (line, value) = body
+            .get(key)
+            .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| SpecError::at(*line, format!("{key} is not a number: {value:?}")))
+    }
+
+    fn number_list(
+        body: &SectionBody,
+        key: &str,
+        section: &str,
+    ) -> Result<Vec<f64>, SpecError> {
+        let (line, value) = body
+            .get(key)
+            .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
+        value
+            .split(',')
+            .map(|v| {
+                v.trim()
+                    .parse::<f64>()
+                    .map_err(|_| SpecError::at(*line, format!("{key} entry not a number: {v:?}")))
+            })
+            .collect()
+    }
+
+    /// Builds the SoC specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for missing sections/keys or invalid model
+    /// parameters.
+    pub fn soc(&self) -> Result<SocSpec, SpecError> {
+        let soc = self
+            .section("soc")
+            .ok_or_else(|| SpecError::general("missing [soc] section"))?;
+        let ppeak = Self::number(soc, "ppeak_gops", "soc")?;
+        let bpeak = Self::number(soc, "bpeak_gbps", "soc")?;
+        let ips = self.ip_sections();
+        if ips.is_empty() {
+            return Err(SpecError::general("no [ip.<name>] sections"));
+        }
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(ppeak))
+            .bpeak(BytesPerSec::from_gbps(bpeak));
+        for (i, (name, body)) in ips.iter().enumerate() {
+            let bw = Self::number(body, "bandwidth_gbps", &format!("ip.{name}"))?;
+            if i == 0 {
+                if body.contains_key("acceleration") {
+                    let a = Self::number(body, "acceleration", &format!("ip.{name}"))?;
+                    if (a - 1.0).abs() > 1e-12 {
+                        return Err(SpecError::general(format!(
+                            "[ip.{name}] is IP[0] (the CPU); its acceleration must be 1, got {a}"
+                        )));
+                    }
+                }
+                b.cpu(*name, BytesPerSec::from_gbps(bw));
+            } else {
+                let a = Self::number(body, "acceleration", &format!("ip.{name}"))?;
+                b.accelerator(*name, a, BytesPerSec::from_gbps(bw))?;
+            }
+        }
+        Ok(b.build()?)
+    }
+
+    /// Builds the workload (aligned with the IP section order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for missing keys, length mismatches, or
+    /// invalid fractions/intensities.
+    pub fn workload(&self) -> Result<Workload, SpecError> {
+        let w = self
+            .section("workload")
+            .ok_or_else(|| SpecError::general("missing [workload] section"))?;
+        let fractions = Self::number_list(w, "fractions", "workload")?;
+        let intensities = Self::number_list(w, "intensities", "workload")?;
+        let n = self.ip_sections().len();
+        if fractions.len() != n || intensities.len() != n {
+            return Err(SpecError::general(format!(
+                "workload lists must have one entry per IP ({n}); got {} fractions, {} intensities",
+                fractions.len(),
+                intensities.len()
+            )));
+        }
+        let mut b = Workload::builder();
+        for (f, i) in fractions.iter().zip(&intensities) {
+            b.work(*f, *i)?;
+        }
+        Ok(b.build()?)
+    }
+
+    /// Builds the optional memory-side SRAM extension, if a `[sram]`
+    /// section is present.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for malformed miss ratios or a length
+    /// mismatch with the IP sections.
+    pub fn sram(&self) -> Result<Option<MemorySideSram>, SpecError> {
+        let Some(body) = self.section("sram") else {
+            return Ok(None);
+        };
+        let ratios = Self::number_list(body, "miss_ratios", "sram")?;
+        if ratios.len() != self.ip_sections().len() {
+            return Err(SpecError::general(
+                "sram miss_ratios must have one entry per IP",
+            ));
+        }
+        let ratios: Result<Vec<MissRatio>, GablesError> =
+            ratios.into_iter().map(MissRatio::new).collect();
+        Ok(Some(MemorySideSram::new(ratios?)))
+    }
+
+    /// Builds the optional design-space exploration grid from an
+    /// `[explore]` section:
+    ///
+    /// ```text
+    /// [explore]
+    /// accelerations = 2, 5, 10
+    /// b1_gbps       = 5, 15, 30
+    /// bpeak_gbps    = 10, 20, 40
+    /// # optional cost weights (default 1 each, base 0):
+    /// cost_per_gops = 0.5
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for malformed lists or a spec without
+    /// exactly two IPs (the grid explores CPU + one accelerator).
+    pub fn explore_grid(
+        &self,
+    ) -> Result<Option<(gables_model::explore::CandidateGrid, gables_model::explore::CostModel)>, SpecError>
+    {
+        use gables_model::explore::{CandidateGrid, CostModel};
+        let Some(body) = self.section("explore") else {
+            return Ok(None);
+        };
+        let soc = self.soc()?;
+        if soc.ip_count() != 2 {
+            return Err(SpecError::general(
+                "[explore] requires exactly two [ip.*] sections (CPU + accelerator)",
+            ));
+        }
+        let grid = CandidateGrid {
+            ppeak_gops: soc.ppeak().to_gops(),
+            b0_gbps: soc.ip(0)?.bandwidth().to_gbps(),
+            accelerations: Self::number_list(body, "accelerations", "explore")?,
+            b1_gbps: Self::number_list(body, "b1_gbps", "explore")?,
+            bpeak_gbps: Self::number_list(body, "bpeak_gbps", "explore")?,
+        };
+        let opt = |key: &str, default: f64| -> Result<f64, SpecError> {
+            if body.contains_key(key) {
+                Self::number(body, key, "explore")
+            } else {
+                Ok(default)
+            }
+        };
+        let cost = CostModel {
+            base: opt("cost_base", 0.0)?,
+            per_accelerator_gops: opt("cost_per_gops", 1.0)?,
+            per_port_gbps: opt("cost_per_port_gbps", 1.0)?,
+            per_dram_gbps: opt("cost_per_dram_gbps", 1.0)?,
+        };
+        Ok(Some((grid, cost)))
+    }
+
+    /// The IP names in model order.
+    pub fn ip_names(&self) -> Vec<String> {
+        self.ip_sections()
+            .iter()
+            .map(|(name, _)| (*name).to_string())
+            .collect()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// A ready-to-use spec string for the paper's Figure 6b scenario (used by
+/// `gables example` and tests).
+pub const FIGURE_6B_SPEC: &str = "\
+# Gables spec: the paper's Figure 6b scenario
+[soc]
+ppeak_gops = 40
+bpeak_gbps = 10
+
+[ip.CPU]
+bandwidth_gbps = 6
+
+[ip.GPU]
+acceleration = 5
+bandwidth_gbps = 15
+
+[workload]
+fractions   = 0.25, 0.75
+intensities = 8, 0.1
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_6b_spec_round_trips() {
+        let spec = SpecFile::parse(FIGURE_6B_SPEC).unwrap();
+        let soc = spec.soc().unwrap();
+        let w = spec.workload().unwrap();
+        assert_eq!(spec.ip_names(), vec!["CPU", "GPU"]);
+        let eval = gables_model::evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().to_gops() - 1.3278).abs() < 1e-3);
+        assert!(spec.sram().unwrap().is_none());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# leading comment\n[soc] # trailing\nppeak_gops = 1 # eol\nbpeak_gbps = 1\n\n[ip.CPU]\nbandwidth_gbps = 1\n[workload]\nfractions = 1\nintensities = 8\n";
+        let spec = SpecFile::parse(text).unwrap();
+        assert!(spec.soc().is_ok());
+        assert!(spec.workload().is_ok());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = SpecFile::parse("[soc\n").unwrap_err();
+        assert_eq!(err.line, Some(1));
+        assert!(err.to_string().contains("line 1"));
+
+        let err = SpecFile::parse("key = 1\n").unwrap_err();
+        assert!(err.message.contains("before any"));
+
+        let err = SpecFile::parse("[soc]\nnonsense\n").unwrap_err();
+        assert_eq!(err.line, Some(2));
+
+        let err = SpecFile::parse("[soc]\nx = 1\nx = 2\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+
+        let err = SpecFile::parse("[]\n").unwrap_err();
+        assert!(err.message.contains("empty section"));
+    }
+
+    #[test]
+    fn missing_pieces_are_reported() {
+        let spec = SpecFile::parse("[workload]\nfractions = 1\nintensities = 1\n").unwrap();
+        assert!(spec.soc().unwrap_err().message.contains("[soc]"));
+
+        let spec = SpecFile::parse("[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n").unwrap();
+        assert!(spec.soc().unwrap_err().message.contains("no [ip"));
+
+        let spec = SpecFile::parse(FIGURE_6B_SPEC).unwrap();
+        assert!(spec.workload().is_ok());
+        let no_wl = SpecFile::parse("[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n").unwrap();
+        assert!(no_wl.workload().unwrap_err().message.contains("[workload]"));
+    }
+
+    #[test]
+    fn bad_numbers_are_line_attributed() {
+        let text = "[soc]\nppeak_gops = forty\nbpeak_gbps = 1\n";
+        let spec = SpecFile::parse(text).unwrap();
+        let err = spec.soc().unwrap_err();
+        assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn cpu_acceleration_must_be_unity() {
+        let text = "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nacceleration = 2\nbandwidth_gbps = 1\n";
+        let spec = SpecFile::parse(text).unwrap();
+        assert!(spec.soc().unwrap_err().message.contains("acceleration must be 1"));
+    }
+
+    #[test]
+    fn workload_length_mismatch() {
+        let text = FIGURE_6B_SPEC.replace("fractions   = 0.25, 0.75", "fractions = 1");
+        let spec = SpecFile::parse(&text).unwrap();
+        assert!(spec
+            .workload()
+            .unwrap_err()
+            .message
+            .contains("one entry per IP"));
+    }
+
+    #[test]
+    fn sram_section_builds_extension() {
+        let text = format!("{FIGURE_6B_SPEC}\n[sram]\nmiss_ratios = 1.0, 0.1\n");
+        let spec = SpecFile::parse(&text).unwrap();
+        let sram = spec.sram().unwrap().expect("present");
+        assert_eq!(sram.miss_ratios().len(), 2);
+        let soc = spec.soc().unwrap();
+        let w = spec.workload().unwrap();
+        let eval = sram.evaluate(&soc, &w).unwrap();
+        assert!(eval.attainable().to_gops() > 1.33);
+
+        let bad = format!("{FIGURE_6B_SPEC}\n[sram]\nmiss_ratios = 1.0\n");
+        let spec = SpecFile::parse(&bad).unwrap();
+        assert!(spec.sram().is_err());
+    }
+}

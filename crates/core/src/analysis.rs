@@ -1,0 +1,432 @@
+//! Design-space exploration helpers built on the base model.
+//!
+//! These capture the early-stage questions the paper poses — "which IPs
+//! and roughly how big?", "is the memory system over-provisioned?" — as
+//! reusable sweeps, balance solvers, and sensitivity analyses.
+
+use crate::error::GablesError;
+use crate::model::{evaluate, Evaluation};
+use crate::soc::SocSpec;
+use crate::units::{BytesPerSec, OpsPerSec};
+use crate::workload::Workload;
+
+/// One point of an offload sweep: the fraction `f` of work moved to the
+/// accelerator and the resulting evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadPoint {
+    /// Fraction of work at IP\[1\].
+    pub f: f64,
+    /// Model evaluation at this fraction.
+    pub evaluation: Evaluation,
+    /// Performance normalized to the `f = 0` (all-CPU) baseline, the
+    /// y-axis of the paper's Figure 8.
+    pub normalized: f64,
+}
+
+/// Sweeps the accelerator work fraction `f` from 0 to 1 in `steps` even
+/// increments on a two-IP SoC — the model-side analog of the paper's
+/// Figure 8 experiment.
+///
+/// # Errors
+///
+/// * [`GablesError::InvalidParameter`] if `steps == 0`, an intensity is
+///   invalid, or the SoC has fewer than two IPs.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::analysis::offload_sweep;
+/// use gables_model::two_ip::TwoIpModel;
+///
+/// let soc = TwoIpModel::figure_6a().soc()?;
+/// let sweep = offload_sweep(&soc, 1024.0, 1024.0, 8)?;
+/// // High intensity: offloading to the 5x accelerator helps.
+/// assert!(sweep.last().unwrap().normalized > 1.0);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn offload_sweep(
+    soc: &SocSpec,
+    i0: f64,
+    i1: f64,
+    steps: usize,
+) -> Result<Vec<OffloadPoint>, GablesError> {
+    if steps == 0 {
+        return Err(GablesError::invalid_parameter(
+            "sweep steps",
+            0.0,
+            "must be >= 1",
+        ));
+    }
+    if soc.ip_count() < 2 {
+        return Err(GablesError::IpIndexOutOfBounds {
+            index: 1,
+            len: soc.ip_count(),
+        });
+    }
+    let baseline = evaluate(soc, &pad_two_ip(soc, 0.0, i0, i1)?)?
+        .attainable()
+        .value();
+    let mut out = Vec::with_capacity(steps + 1);
+    for step in 0..=steps {
+        let f = step as f64 / steps as f64;
+        let evaluation = evaluate(soc, &pad_two_ip(soc, f, i0, i1)?)?;
+        let normalized = evaluation.attainable().value() / baseline;
+        out.push(OffloadPoint {
+            f,
+            evaluation,
+            normalized,
+        });
+    }
+    Ok(out)
+}
+
+/// Builds a workload placing `1-f` work at IP\[0\] and `f` at IP\[1\],
+/// padding any further IPs of the SoC as idle.
+fn pad_two_ip(soc: &SocSpec, f: f64, i0: f64, i1: f64) -> Result<Workload, GablesError> {
+    let mut b = Workload::builder();
+    b.work(1.0 - f, i0)?;
+    b.work(f, i1)?;
+    for _ in 2..soc.ip_count() {
+        b.idle();
+    }
+    b.build()
+}
+
+/// One point of a `Bpeak` sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BpeakPoint {
+    /// Off-chip bandwidth in GB/s.
+    pub bpeak_gbps: f64,
+    /// Model evaluation at this bandwidth.
+    pub evaluation: Evaluation,
+}
+
+/// Sweeps off-chip bandwidth over `[lo_gbps, hi_gbps]` in `steps`
+/// log-spaced points — the Figure 6b→6c question ("is more DRAM bandwidth
+/// worth it?") asked systematically.
+///
+/// # Errors
+///
+/// Returns [`GablesError::InvalidParameter`] for a non-positive or empty
+/// range or zero steps, and propagates model errors.
+pub fn bpeak_sweep(
+    soc: &SocSpec,
+    workload: &Workload,
+    lo_gbps: f64,
+    hi_gbps: f64,
+    steps: usize,
+) -> Result<Vec<BpeakPoint>, GablesError> {
+    if steps == 0 || !lo_gbps.is_finite() || lo_gbps <= 0.0 || !hi_gbps.is_finite() || hi_gbps < lo_gbps {
+        return Err(GablesError::invalid_parameter(
+            "bpeak sweep range",
+            lo_gbps,
+            "requires 0 < lo <= hi and steps >= 1",
+        ));
+    }
+    let ratio = (hi_gbps / lo_gbps).ln();
+    let mut out = Vec::with_capacity(steps + 1);
+    for step in 0..=steps {
+        let t = step as f64 / steps as f64;
+        let gbps = lo_gbps * (ratio * t).exp();
+        let edited = soc.with_bpeak(BytesPerSec::from_gbps(gbps))?;
+        out.push(BpeakPoint {
+            bpeak_gbps: gbps,
+            evaluation: evaluate(&edited, workload)?,
+        });
+    }
+    Ok(out)
+}
+
+/// The smallest `Bpeak` at which memory stops being the binding bound for
+/// this workload: `Bpeak* = min-IP-bound / Iavg`. Provisioning above this
+/// is the "additional expense without benefit" the paper calls out in
+/// Figure 6c; below it, memory throttles the IPs.
+///
+/// # Errors
+///
+/// Propagates model errors; returns [`GablesError::NoConvergence`] if no
+/// IP is active (no finite IP bound to balance against).
+pub fn sufficient_bpeak(soc: &SocSpec, workload: &Workload) -> Result<BytesPerSec, GablesError> {
+    let eval = evaluate(soc, workload)?;
+    let min_ip_bound = eval
+        .ips()
+        .iter()
+        .filter_map(|ip| ip.perf_bound)
+        .map(OpsPerSec::value)
+        .fold(f64::INFINITY, f64::min);
+    if !min_ip_bound.is_finite() {
+        return Err(GablesError::NoConvergence {
+            what: "sufficient Bpeak with no active IP",
+        });
+    }
+    let iavg = workload
+        .iavg()
+        .expect("workload with an active IP has an Iavg");
+    Ok(OpsPerSec::new(min_ip_bound) / iavg)
+}
+
+/// The elasticity (log-log sensitivity) of `Pattainable` to one model
+/// parameter, estimated by central finite differences: `d ln P / d ln x`.
+/// 1.0 means performance scales proportionally with the parameter; 0.0
+/// means the parameter is currently off the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Parameter label (e.g. `"Bpeak"`, `"B1"`, `"I1"`).
+    pub parameter: String,
+    /// Estimated elasticity.
+    pub elasticity: f64,
+}
+
+/// Estimates the elasticity of attainable performance to `Bpeak`, `Ppeak`,
+/// and every per-IP `Bi`, `Ai` (accelerators only), and `Ii` (active IPs
+/// only).
+///
+/// # Errors
+///
+/// Propagates model and parameter-validation errors.
+pub fn sensitivities(
+    soc: &SocSpec,
+    workload: &Workload,
+) -> Result<Vec<Sensitivity>, GablesError> {
+    const REL: f64 = 1e-4;
+    let mut out = Vec::new();
+
+    let perf = |soc: &SocSpec, w: &Workload| -> Result<f64, GablesError> {
+        Ok(evaluate(soc, w)?.attainable().value())
+    };
+
+    // Bpeak.
+    {
+        let hi = soc.with_bpeak(soc.bpeak() * (1.0 + REL))?;
+        let lo = soc.with_bpeak(soc.bpeak() * (1.0 - REL))?;
+        out.push(Sensitivity {
+            parameter: "Bpeak".into(),
+            elasticity: elasticity(perf(&lo, workload)?, perf(&hi, workload)?, REL),
+        });
+    }
+    // Ppeak.
+    {
+        let hi = rebuild(soc, |b| {
+            b.ppeak(soc.ppeak() * (1.0 + REL));
+        })?;
+        let lo = rebuild(soc, |b| {
+            b.ppeak(soc.ppeak() * (1.0 - REL));
+        })?;
+        out.push(Sensitivity {
+            parameter: "Ppeak".into(),
+            elasticity: elasticity(perf(&lo, workload)?, perf(&hi, workload)?, REL),
+        });
+    }
+    // Per-IP Bi and Ai.
+    for i in 0..soc.ip_count() {
+        let hi = rebuild_ip(soc, i, 1.0 + REL, 1.0)?;
+        let lo = rebuild_ip(soc, i, 1.0 - REL, 1.0)?;
+        out.push(Sensitivity {
+            parameter: format!("B{i}"),
+            elasticity: elasticity(perf(&lo, workload)?, perf(&hi, workload)?, REL),
+        });
+        if i > 0 {
+            let hi = rebuild_ip(soc, i, 1.0, 1.0 + REL)?;
+            let lo = rebuild_ip(soc, i, 1.0, 1.0 - REL)?;
+            out.push(Sensitivity {
+                parameter: format!("A{i}"),
+                elasticity: elasticity(perf(&lo, workload)?, perf(&hi, workload)?, REL),
+            });
+        }
+    }
+    // Per-IP Ii (active IPs only).
+    for i in workload.active_ips().collect::<Vec<_>>() {
+        let base_i = workload.assignment(i)?.intensity().value();
+        let hi = workload.with_intensity(i, base_i * (1.0 + REL))?;
+        let lo = workload.with_intensity(i, base_i * (1.0 - REL))?;
+        out.push(Sensitivity {
+            parameter: format!("I{i}"),
+            elasticity: elasticity(perf(soc, &lo)?, perf(soc, &hi)?, REL),
+        });
+    }
+    Ok(out)
+}
+
+fn elasticity(p_lo: f64, p_hi: f64, rel: f64) -> f64 {
+    ((p_hi / p_lo).ln()) / (((1.0 + rel) / (1.0 - rel)).ln())
+}
+
+/// Rebuilds a SoC with an arbitrary builder edit, keeping IPs intact.
+fn rebuild(
+    soc: &SocSpec,
+    edit: impl FnOnce(&mut crate::soc::SocSpecBuilder),
+) -> Result<SocSpec, GablesError> {
+    let mut b = SocSpec::builder();
+    b.ppeak(soc.ppeak()).bpeak(soc.bpeak());
+    b.cpu(soc.ip(0)?.name(), soc.ip(0)?.bandwidth());
+    for ip in &soc.ips()[1..] {
+        b.accelerator(ip.name(), ip.acceleration().value(), ip.bandwidth())?;
+    }
+    edit(&mut b);
+    b.build()
+}
+
+/// Rebuilds a SoC scaling IP `index`'s bandwidth by `b_scale` and (for
+/// accelerators) acceleration by `a_scale`.
+fn rebuild_ip(
+    soc: &SocSpec,
+    index: usize,
+    b_scale: f64,
+    a_scale: f64,
+) -> Result<SocSpec, GablesError> {
+    let mut b = SocSpec::builder();
+    b.ppeak(soc.ppeak()).bpeak(soc.bpeak());
+    let cpu = soc.ip(0)?;
+    let cpu_bw = if index == 0 {
+        cpu.bandwidth() * b_scale
+    } else {
+        cpu.bandwidth()
+    };
+    b.cpu(cpu.name(), cpu_bw);
+    for (i, ip) in soc.ips().iter().enumerate().skip(1) {
+        let (bw, a) = if i == index {
+            (ip.bandwidth() * b_scale, ip.acceleration().value() * a_scale)
+        } else {
+            (ip.bandwidth(), ip.acceleration().value())
+        };
+        b.accelerator(ip.name(), a, bw)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Bottleneck;
+    use crate::two_ip::TwoIpModel;
+
+    fn soc() -> SocSpec {
+        TwoIpModel::figure_6a().soc().unwrap()
+    }
+
+    #[test]
+    fn offload_sweep_low_intensity_disappoints() {
+        // Paper finding 1: at low operational intensity, offloading to the
+        // accelerator is memory-bound and captures almost none of the 5x
+        // acceleration.
+        let sweep = offload_sweep(&soc(), 1.0, 1.0, 8).unwrap();
+        assert_eq!(sweep.len(), 9);
+        assert!((sweep[0].normalized - 1.0).abs() < 1e-12);
+        let last = sweep.last().unwrap();
+        // Memory (Bpeak·I = 10 Gops/s) binds, so the best case is 10/6 —
+        // nowhere near the accelerator's 5x.
+        assert!(last.normalized < 2.0, "got {}", last.normalized);
+        assert_eq!(last.evaluation.bottleneck(), Bottleneck::Memory);
+    }
+
+    #[test]
+    fn offload_sweep_poor_reuse_slows_down() {
+        // Figure 6b in sweep form: offloading work whose intensity drops
+        // from 8 to 0.1 ops/byte at the GPU is a large slowdown.
+        let sweep = offload_sweep(&soc(), 8.0, 0.1, 8).unwrap();
+        let at_three_quarters = &sweep[6];
+        assert!((at_three_quarters.f - 0.75).abs() < 1e-12);
+        assert!(
+            at_three_quarters.normalized < 0.05,
+            "got {}",
+            at_three_quarters.normalized
+        );
+    }
+
+    #[test]
+    fn offload_sweep_high_intensity_speeds_up() {
+        // Paper finding 2: high-intensity offload approaches acceleration A.
+        let sweep = offload_sweep(&soc(), 1024.0, 1024.0, 8).unwrap();
+        let last = sweep.last().unwrap();
+        assert!((last.f - 1.0).abs() < 1e-12);
+        assert!((last.normalized - 5.0).abs() < 1e-9, "got {}", last.normalized);
+    }
+
+    #[test]
+    fn offload_sweep_validates() {
+        assert!(offload_sweep(&soc(), 1.0, 1.0, 0).is_err());
+        let one_ip = SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(1.0))
+            .bpeak(BytesPerSec::from_gbps(1.0))
+            .cpu("CPU", BytesPerSec::from_gbps(1.0))
+            .build()
+            .unwrap();
+        assert!(offload_sweep(&one_ip, 1.0, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bpeak_sweep_is_monotone_and_saturates() {
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let sweep = bpeak_sweep(&soc(), &w, 1.0, 1000.0, 16).unwrap();
+        let mut last = 0.0;
+        for p in &sweep {
+            let v = p.evaluation.attainable().value();
+            assert!(v >= last - 1e-6);
+            last = v;
+        }
+        // Saturates at IP[1]'s 2 Gops/s bound (Figure 6c's lesson).
+        assert!((sweep.last().unwrap().evaluation.attainable().to_gops() - 2.0).abs() < 1e-9);
+        assert!(bpeak_sweep(&soc(), &w, 0.0, 10.0, 4).is_err());
+        assert!(bpeak_sweep(&soc(), &w, 10.0, 1.0, 4).is_err());
+        assert!(bpeak_sweep(&soc(), &w, 1.0, 10.0, 0).is_err());
+    }
+
+    #[test]
+    fn sufficient_bpeak_matches_figure_6d() {
+        // For the balanced Figure 6d workload (I0 = I1 = 8, f = 0.75) the
+        // sufficient Bpeak is exactly the paper's 20 GB/s.
+        let m = TwoIpModel::figure_6d();
+        let b = sufficient_bpeak(&m.soc().unwrap(), &m.workload().unwrap()).unwrap();
+        assert!((b.to_gbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sufficient_bpeak_removes_memory_bottleneck() {
+        let m = TwoIpModel::figure_6b();
+        let (soc, w) = (m.soc().unwrap(), m.workload().unwrap());
+        assert_eq!(
+            evaluate(&soc, &w).unwrap().bottleneck(),
+            Bottleneck::Memory
+        );
+        let b = sufficient_bpeak(&soc, &w).unwrap();
+        let fixed = soc.with_bpeak(b).unwrap();
+        let eval = evaluate(&fixed, &w).unwrap();
+        // Memory no longer strictly binds (it may tie).
+        assert!(eval.memory_bound().value() >= eval.attainable().value() - 1e-6);
+    }
+
+    #[test]
+    fn sensitivities_identify_the_bottleneck_parameter() {
+        // Figure 6b is memory-bound: Bpeak elasticity ~1, CPU params ~0.
+        let m = TwoIpModel::figure_6b();
+        let sens = sensitivities(&m.soc().unwrap(), &m.workload().unwrap()).unwrap();
+        let get = |name: &str| {
+            sens.iter()
+                .find(|s| s.parameter == name)
+                .map(|s| s.elasticity)
+                .unwrap()
+        };
+        assert!((get("Bpeak") - 1.0).abs() < 1e-3);
+        assert!(get("Ppeak").abs() < 1e-3);
+        assert!(get("B0").abs() < 1e-3);
+        // I1 dominates Iavg, so raising it helps nearly 1:1.
+        assert!(get("I1") > 0.9);
+    }
+
+    #[test]
+    fn sensitivities_on_compute_bound_design() {
+        // Figure 6a is CPU-compute-bound: Ppeak elasticity 1, rest ~0.
+        let m = TwoIpModel::figure_6a();
+        let sens = sensitivities(&m.soc().unwrap(), &m.workload().unwrap()).unwrap();
+        let get = |name: &str| {
+            sens.iter()
+                .find(|s| s.parameter == name)
+                .map(|s| s.elasticity)
+                .unwrap()
+        };
+        assert!((get("Ppeak") - 1.0).abs() < 1e-3);
+        assert!(get("Bpeak").abs() < 1e-3);
+        // Idle GPU contributes no I1 sensitivity entry.
+        assert!(sens.iter().all(|s| s.parameter != "I1"));
+    }
+}

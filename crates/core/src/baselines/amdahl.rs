@@ -1,0 +1,166 @@
+//! Amdahl's Law (1967) and Gustafson's reevaluation (1988).
+//!
+//! Section VI of the paper places Gables in the tradition of adapting
+//! Amdahl's Law to new architectures. These closed forms are used by the
+//! analysis module to contrast serialized-work intuition with Gables'
+//! concurrent-work model.
+
+use crate::error::GablesError;
+
+/// Amdahl's Law: the speedup of a computation when a fraction `f` of it is
+/// sped up by a factor `s`:
+///
+/// ```text
+/// speedup = 1 / ((1 - f) + f / s)
+/// ```
+///
+/// # Errors
+///
+/// Returns [`GablesError::InvalidParameter`] if `f` is outside `[0, 1]` or
+/// `s` is not finite and positive.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::baselines::amdahl::amdahl_speedup;
+///
+/// // Accelerating 75% of the work by 5x yields only 2.5x overall.
+/// let s = amdahl_speedup(0.75, 5.0)?;
+/// assert!((s - 2.5).abs() < 1e-12);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn amdahl_speedup(f: f64, s: f64) -> Result<f64, GablesError> {
+    validate_fraction(f)?;
+    validate_speedup(s)?;
+    Ok(1.0 / ((1.0 - f) + f / s))
+}
+
+/// The asymptotic limit of Amdahl's Law as the accelerated part becomes
+/// infinitely fast: `1 / (1 - f)`.
+///
+/// # Errors
+///
+/// Returns [`GablesError::InvalidParameter`] if `f` is outside `[0, 1]`.
+pub fn amdahl_limit(f: f64) -> Result<f64, GablesError> {
+    validate_fraction(f)?;
+    Ok(1.0 / (1.0 - f))
+}
+
+/// Gustafson's Law (scaled speedup): when the problem grows to fill `n`
+/// processors with serial fraction `alpha` (measured on the parallel
+/// system), speedup is `n - alpha · (n - 1)`.
+///
+/// # Errors
+///
+/// Returns [`GablesError::InvalidParameter`] if `alpha` is outside `[0, 1]`
+/// or `n` is not finite and >= 1.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::baselines::amdahl::gustafson_speedup;
+///
+/// let s = gustafson_speedup(0.1, 100.0)?;
+/// assert!((s - 90.1).abs() < 1e-9);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn gustafson_speedup(alpha: f64, n: f64) -> Result<f64, GablesError> {
+    if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+        return Err(GablesError::invalid_parameter(
+            "serial fraction",
+            alpha,
+            "must be finite and within [0, 1]",
+        ));
+    }
+    if !n.is_finite() || n < 1.0 {
+        return Err(GablesError::invalid_parameter(
+            "processor count",
+            n,
+            "must be finite and >= 1",
+        ));
+    }
+    Ok(n - alpha * (n - 1.0))
+}
+
+fn validate_fraction(f: f64) -> Result<(), GablesError> {
+    if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+        return Err(GablesError::invalid_parameter(
+            "accelerated fraction",
+            f,
+            "must be finite and within [0, 1]",
+        ));
+    }
+    Ok(())
+}
+
+fn validate_speedup(s: f64) -> Result<(), GablesError> {
+    if !s.is_finite() || s <= 0.0 {
+        return Err(GablesError::invalid_parameter(
+            "speedup factor",
+            s,
+            "must be finite and > 0",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amdahl_classic_values() {
+        assert!((amdahl_speedup(0.5, 2.0).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((amdahl_speedup(0.75, 5.0).unwrap() - 2.5).abs() < 1e-12);
+        // Nothing accelerated: no speedup, regardless of s.
+        assert_eq!(amdahl_speedup(0.0, 1000.0).unwrap(), 1.0);
+        // Everything accelerated: full s.
+        assert!((amdahl_speedup(1.0, 7.0).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_approaches_its_limit() {
+        let f = 0.9;
+        let limit = amdahl_limit(f).unwrap();
+        assert!((limit - 10.0).abs() < 1e-12);
+        let almost = amdahl_speedup(f, 1.0e12).unwrap();
+        assert!((almost - limit).abs() < 1e-6);
+        // And the limit always upper-bounds finite speedups.
+        for s in [1.0, 2.0, 10.0, 100.0] {
+            assert!(amdahl_speedup(f, s).unwrap() <= limit + 1e-12);
+        }
+    }
+
+    #[test]
+    fn slowdown_factor_below_one_slows_down() {
+        let s = amdahl_speedup(0.5, 0.5).unwrap();
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn gustafson_values() {
+        assert_eq!(gustafson_speedup(0.0, 64.0).unwrap(), 64.0);
+        assert_eq!(gustafson_speedup(1.0, 64.0).unwrap(), 1.0);
+        assert!((gustafson_speedup(0.1, 100.0).unwrap() - 90.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gustafson_exceeds_amdahl_for_scaled_problems() {
+        // The famous contrast: with 10% serial work, Amdahl caps at 10x
+        // while Gustafson keeps climbing with n.
+        let amdahl_cap = amdahl_limit(0.9).unwrap();
+        let gustafson = gustafson_speedup(0.1, 1024.0).unwrap();
+        assert!(gustafson > amdahl_cap);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(amdahl_speedup(-0.1, 2.0).is_err());
+        assert!(amdahl_speedup(1.1, 2.0).is_err());
+        assert!(amdahl_speedup(0.5, 0.0).is_err());
+        assert!(amdahl_speedup(0.5, f64::NAN).is_err());
+        assert!(amdahl_limit(2.0).is_err());
+        assert!(gustafson_speedup(-0.1, 4.0).is_err());
+        assert!(gustafson_speedup(0.5, 0.5).is_err());
+    }
+}

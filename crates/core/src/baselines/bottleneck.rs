@@ -1,0 +1,216 @@
+//! Bottleneck-analysis throughput combinators (Lazowska et al., 1984).
+//!
+//! Section VI notes that Roofline and Gables are both special cases of
+//! bottleneck analysis, which computes a system's maximum throughput by
+//! recursively combining component throughputs with two rules:
+//!
+//! 1. components in *parallel*: throughputs **sum**;
+//! 2. components in *series*: throughputs take the **minimum**.
+//!
+//! [`ThroughputExpr`] is that recursion reified as a tree, so prior models
+//! can be written down and checked against their closed forms. For
+//! example, a classic roofline is `Series[Leaf(Ppeak), Leaf(Bpeak · I)]`.
+
+use core::fmt;
+
+/// A bottleneck-analysis expression tree over component throughputs (in
+/// any consistent unit, e.g. ops/sec).
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::baselines::bottleneck::ThroughputExpr;
+///
+/// // Two 5-unit pipes in parallel feeding a 7-unit stage in series.
+/// let expr = ThroughputExpr::series(vec![
+///     ThroughputExpr::parallel(vec![
+///         ThroughputExpr::leaf("pipe A", 5.0),
+///         ThroughputExpr::leaf("pipe B", 5.0),
+///     ]),
+///     ThroughputExpr::leaf("stage", 7.0),
+/// ]);
+/// assert_eq!(expr.throughput(), 7.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThroughputExpr {
+    /// A primitive component with a fixed throughput.
+    Leaf {
+        /// Component label, used for bottleneck reporting.
+        label: String,
+        /// The component's standalone throughput.
+        throughput: f64,
+    },
+    /// Components operating concurrently: throughputs sum.
+    Parallel(Vec<ThroughputExpr>),
+    /// Components that all data must pass through: throughputs take the
+    /// minimum.
+    Series(Vec<ThroughputExpr>),
+}
+
+impl ThroughputExpr {
+    /// Creates a leaf component.
+    pub fn leaf(label: impl Into<String>, throughput: f64) -> Self {
+        ThroughputExpr::Leaf {
+            label: label.into(),
+            throughput,
+        }
+    }
+
+    /// Creates a parallel composition.
+    pub fn parallel(children: Vec<ThroughputExpr>) -> Self {
+        ThroughputExpr::Parallel(children)
+    }
+
+    /// Creates a series composition.
+    pub fn series(children: Vec<ThroughputExpr>) -> Self {
+        ThroughputExpr::Series(children)
+    }
+
+    /// Evaluates the tree to the system's maximum throughput.
+    ///
+    /// Empty `Parallel` nodes contribute 0 (nothing flows); empty `Series`
+    /// nodes contribute +∞ (no restriction).
+    pub fn throughput(&self) -> f64 {
+        match self {
+            ThroughputExpr::Leaf { throughput, .. } => *throughput,
+            ThroughputExpr::Parallel(children) => {
+                children.iter().map(ThroughputExpr::throughput).sum()
+            }
+            ThroughputExpr::Series(children) => children
+                .iter()
+                .map(ThroughputExpr::throughput)
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
+    /// The label of the leaf that binds the series minimum along the
+    /// critical path, if any. In parallel sections every branch
+    /// contributes, so the search descends the slowest series child only.
+    pub fn bottleneck_label(&self) -> Option<&str> {
+        match self {
+            ThroughputExpr::Leaf { label, .. } => Some(label),
+            ThroughputExpr::Parallel(children) => {
+                // All branches contribute; report the weakest contributor
+                // as the most profitable upgrade target.
+                children
+                    .iter()
+                    .min_by(|a, b| a.throughput().total_cmp(&b.throughput()))
+                    .and_then(ThroughputExpr::bottleneck_label)
+            }
+            ThroughputExpr::Series(children) => children
+                .iter()
+                .min_by(|a, b| a.throughput().total_cmp(&b.throughput()))
+                .and_then(ThroughputExpr::bottleneck_label),
+        }
+    }
+}
+
+impl fmt::Display for ThroughputExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThroughputExpr::Leaf { label, throughput } => write!(f, "{label}={throughput}"),
+            ThroughputExpr::Parallel(children) => {
+                write!(f, "par(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            ThroughputExpr::Series(children) => {
+                write!(f, "ser(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " , ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Expresses the classic Roofline model as a bottleneck tree:
+/// compute in series with the memory pipe at intensity `i`.
+pub fn roofline_as_bottleneck(ppeak: f64, bpeak: f64, i: f64) -> ThroughputExpr {
+    ThroughputExpr::series(vec![
+        ThroughputExpr::leaf("compute", ppeak),
+        ThroughputExpr::leaf("memory", bpeak * i),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_takes_minimum() {
+        let e = ThroughputExpr::series(vec![
+            ThroughputExpr::leaf("a", 3.0),
+            ThroughputExpr::leaf("b", 7.0),
+        ]);
+        assert_eq!(e.throughput(), 3.0);
+        assert_eq!(e.bottleneck_label(), Some("a"));
+    }
+
+    #[test]
+    fn parallel_sums() {
+        let e = ThroughputExpr::parallel(vec![
+            ThroughputExpr::leaf("a", 3.0),
+            ThroughputExpr::leaf("b", 7.0),
+        ]);
+        assert_eq!(e.throughput(), 10.0);
+    }
+
+    #[test]
+    fn empty_nodes_are_identities() {
+        assert_eq!(ThroughputExpr::parallel(vec![]).throughput(), 0.0);
+        assert_eq!(
+            ThroughputExpr::series(vec![]).throughput(),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn nested_composition() {
+        let e = ThroughputExpr::series(vec![
+            ThroughputExpr::parallel(vec![
+                ThroughputExpr::leaf("pipe A", 5.0),
+                ThroughputExpr::leaf("pipe B", 5.0),
+            ]),
+            ThroughputExpr::leaf("stage", 7.0),
+        ]);
+        assert_eq!(e.throughput(), 7.0);
+        assert_eq!(e.bottleneck_label(), Some("stage"));
+    }
+
+    #[test]
+    fn roofline_special_case_matches_closed_form() {
+        use crate::baselines::roofline::Roofline;
+        use crate::units::{BytesPerSec, OpsPerByte, OpsPerSec};
+
+        let r = Roofline::new(OpsPerSec::new(7.5), BytesPerSec::new(15.1)).unwrap();
+        for i in [0.01, 0.1, 0.5, 1.0, 8.0, 100.0] {
+            let tree = roofline_as_bottleneck(7.5, 15.1, i);
+            let closed = r.attainable(OpsPerByte::new(i)).value();
+            assert!((tree.throughput() - closed).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let e = ThroughputExpr::series(vec![
+            ThroughputExpr::parallel(vec![
+                ThroughputExpr::leaf("a", 1.0),
+                ThroughputExpr::leaf("b", 2.0),
+            ]),
+            ThroughputExpr::leaf("c", 3.0),
+        ]);
+        let s = e.to_string();
+        assert!(s.contains("par(a=1 + b=2)"));
+        assert!(s.contains("ser("));
+    }
+}

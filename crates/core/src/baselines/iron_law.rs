@@ -1,0 +1,122 @@
+//! The Iron Law of processor performance (Section VI).
+//!
+//! Execution time = (instructions / program) × (cycles / instruction) ×
+//! (time / cycle). The paper cites it as the reminder "to focus on the
+//! product of all three terms rather than a subset, e.g., clock
+//! frequency only" — which this module's comparison helpers make
+//! checkable.
+
+use core::fmt;
+
+use crate::error::GablesError;
+
+/// One design point under the Iron Law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IronLaw {
+    /// Dynamic instruction count of the program.
+    pub instructions: f64,
+    /// Average cycles per instruction.
+    pub cpi: f64,
+    /// Clock frequency in Hz (time/cycle is its reciprocal).
+    pub frequency_hz: f64,
+}
+
+impl IronLaw {
+    /// Creates a validated design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if any term is not
+    /// finite and positive.
+    pub fn new(instructions: f64, cpi: f64, frequency_hz: f64) -> Result<Self, GablesError> {
+        for (name, v) in [
+            ("instruction count", instructions),
+            ("CPI", cpi),
+            ("frequency", frequency_hz),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(GablesError::invalid_parameter(
+                    name,
+                    v,
+                    "must be finite and > 0",
+                ));
+            }
+        }
+        Ok(Self {
+            instructions,
+            cpi,
+            frequency_hz,
+        })
+    }
+
+    /// Execution time in seconds: `I × CPI / f`.
+    pub fn execution_time(&self) -> f64 {
+        self.instructions * self.cpi / self.frequency_hz
+    }
+
+    /// Instructions per second (MIPS × 10^6): `f / CPI`.
+    pub fn instructions_per_sec(&self) -> f64 {
+        self.frequency_hz / self.cpi
+    }
+
+    /// The speedup of `self` over `other` on their respective programs.
+    pub fn speedup_over(&self, other: &IronLaw) -> f64 {
+        other.execution_time() / self.execution_time()
+    }
+}
+
+impl fmt::Display for IronLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3e} insts x {:.2} CPI / {:.3} GHz = {:.4e} s",
+            self.instructions,
+            self.cpi,
+            self.frequency_hz / 1e9,
+            self.execution_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_time_is_the_three_term_product() {
+        let p = IronLaw::new(1.0e9, 2.0, 1.0e9).unwrap();
+        assert!((p.execution_time() - 2.0).abs() < 1e-12);
+        assert!((p.instructions_per_sec() - 0.5e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn frequency_alone_is_not_performance() {
+        // The paper's lesson: a 2x clock with 3x the CPI is a slowdown.
+        let base = IronLaw::new(1.0e9, 1.0, 1.0e9).unwrap();
+        let clocked = IronLaw::new(1.0e9, 3.0, 2.0e9).unwrap();
+        assert!(clocked.speedup_over(&base) < 1.0);
+    }
+
+    #[test]
+    fn better_isa_fewer_instructions_wins() {
+        let cisc = IronLaw::new(0.7e9, 1.5, 1.0e9).unwrap();
+        let risc = IronLaw::new(1.0e9, 1.0, 1.0e9).unwrap();
+        assert!((cisc.speedup_over(&risc) - 1.0 / 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IronLaw::new(0.0, 1.0, 1.0).is_err());
+        assert!(IronLaw::new(1.0, -1.0, 1.0).is_err());
+        assert!(IronLaw::new(1.0, 1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_shows_all_terms() {
+        let p = IronLaw::new(1.0e9, 2.0, 1.9e9).unwrap();
+        let s = p.to_string();
+        assert!(s.contains("CPI"));
+        assert!(s.contains("GHz"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Baseline and prior models that Gables builds on or compares against
+//! (Section VI of the paper).
+//!
+//! * [`roofline`] — the classic single-chip Roofline model of Williams,
+//!   Waterman, and Patterson (Figure 1).
+//! * [`amdahl`] — Amdahl's Law and Gustafson's reevaluation.
+//! * [`multiamdahl`] — MultiAmdahl: serialized work over N IPs with a
+//!   resource-allocation optimizer, the model most closely related to
+//!   Gables.
+//! * [`bottleneck`] — the series/parallel throughput combinators of
+//!   bottleneck analysis (Lazowska et al.), of which both Roofline and
+//!   Gables are special cases.
+
+pub mod amdahl;
+pub mod bottleneck;
+pub mod iron_law;
+pub mod multiamdahl;
+pub mod roofline;

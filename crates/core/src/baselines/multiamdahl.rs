@@ -1,0 +1,506 @@
+//! MultiAmdahl (Keslassy, Weiser, Zidenberg; IEEE CAL 2012).
+//!
+//! Section VI identifies MultiAmdahl as the model most closely related to
+//! Gables: it also targets an N-IP SoC, but divides work *sequentially*
+//! among IPs, models each IP's performance as a function of the resources
+//! (e.g. area) allotted to it, and computes the optimal resource
+//! allocation. Crucially it models no bandwidth bounds — the key
+//! difference Gables adds.
+//!
+//! This module implements the serialized execution-time objective
+//!
+//! ```text
+//! T(a) = Σ fi / pi(ai)     subject to    Σ ai = A_total
+//! ```
+//!
+//! and an optimizer based on Lagrangian water-filling: for concave
+//! performance functions `pi`, the marginal time reduction
+//! `gi(a) = fi · pi'(a) / pi(a)²` is decreasing, so for each multiplier λ
+//! the per-task allocation solving `gi(ai) = λ` is unique and `Σ ai(λ)` is
+//! decreasing in λ; bisection on λ meets the budget.
+
+use core::fmt;
+
+use crate::error::GablesError;
+
+/// An IP's performance as a function of the resources allocated to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PerfFn {
+    /// `p(a) = k · a` — performance linear in resources (e.g. lane count).
+    Linear {
+        /// Performance per unit resource.
+        k: f64,
+    },
+    /// `p(a) = k · √a` — Pollack's rule, the canonical MultiAmdahl choice
+    /// for general-purpose cores.
+    Pollack {
+        /// Performance at one unit of resource.
+        k: f64,
+    },
+    /// `p(a) = k · a^e` with `0 < e <= 1` — generalized diminishing
+    /// returns.
+    Power {
+        /// Performance at one unit of resource.
+        k: f64,
+        /// The (concavity-preserving) exponent.
+        e: f64,
+    },
+}
+
+impl PerfFn {
+    /// Performance delivered with `a` units of resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `a` is negative.
+    pub fn perf(&self, a: f64) -> f64 {
+        debug_assert!(a >= 0.0, "resource allocation must be non-negative");
+        match *self {
+            PerfFn::Linear { k } => k * a,
+            PerfFn::Pollack { k } => k * a.sqrt(),
+            PerfFn::Power { k, e } => k * a.powf(e),
+        }
+    }
+
+    /// First derivative `p'(a)`.
+    fn derivative(&self, a: f64) -> f64 {
+        match *self {
+            PerfFn::Linear { k } => k,
+            PerfFn::Pollack { k } => 0.5 * k / a.sqrt(),
+            PerfFn::Power { k, e } => k * e * a.powf(e - 1.0),
+        }
+    }
+
+    fn validate(&self) -> Result<(), GablesError> {
+        let (k, e) = match *self {
+            PerfFn::Linear { k } => (k, 1.0),
+            PerfFn::Pollack { k } => (k, 0.5),
+            PerfFn::Power { k, e } => (k, e),
+        };
+        if !k.is_finite() || k <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "performance coefficient",
+                k,
+                "must be finite and > 0",
+            ));
+        }
+        if !e.is_finite() || e <= 0.0 || e > 1.0 {
+            return Err(GablesError::invalid_parameter(
+                "performance exponent",
+                e,
+                "must be within (0, 1]",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PerfFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PerfFn::Linear { k } => write!(f, "{k}·a"),
+            PerfFn::Pollack { k } => write!(f, "{k}·sqrt(a)"),
+            PerfFn::Power { k, e } => write!(f, "{k}·a^{e}"),
+        }
+    }
+}
+
+/// One serialized task: a fraction of total work plus the performance
+/// function of the IP that runs it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Task {
+    /// Fraction of total work, `fi` (non-negative; fractions sum to 1).
+    pub work_fraction: f64,
+    /// The IP's performance as a function of allocated resources.
+    pub perf: PerfFn,
+}
+
+/// A MultiAmdahl problem instance: N serialized tasks sharing a resource
+/// budget.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::baselines::multiamdahl::{MultiAmdahl, PerfFn, Task};
+///
+/// let problem = MultiAmdahl::new(vec![
+///     Task { work_fraction: 0.5, perf: PerfFn::Pollack { k: 1.0 } },
+///     Task { work_fraction: 0.5, perf: PerfFn::Pollack { k: 4.0 } },
+/// ])?;
+/// let alloc = problem.optimize(1.0)?;
+/// // The slower IP earns more area.
+/// assert!(alloc.allocations[0] > alloc.allocations[1]);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultiAmdahl {
+    tasks: Vec<Task>,
+}
+
+/// The result of optimizing a [`MultiAmdahl`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Per-task resource allocations, summing to the budget.
+    pub allocations: Vec<f64>,
+    /// The serialized execution time at this allocation.
+    pub execution_time: f64,
+}
+
+impl MultiAmdahl {
+    /// Creates a problem instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::NoIps`] for an empty task list.
+    /// * [`GablesError::WorkFractionSum`] if fractions do not sum to 1.
+    /// * [`GablesError::InvalidParameter`] for invalid fractions or
+    ///   performance functions.
+    pub fn new(tasks: Vec<Task>) -> Result<Self, GablesError> {
+        if tasks.is_empty() {
+            return Err(GablesError::NoIps);
+        }
+        let mut sum = 0.0;
+        for t in &tasks {
+            if !t.work_fraction.is_finite() || t.work_fraction < 0.0 {
+                return Err(GablesError::invalid_parameter(
+                    "work fraction",
+                    t.work_fraction,
+                    "must be finite and >= 0",
+                ));
+            }
+            t.perf.validate()?;
+            sum += t.work_fraction;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(GablesError::WorkFractionSum { sum });
+        }
+        Ok(Self { tasks })
+    }
+
+    /// The tasks in order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Serialized execution time `Σ fi / pi(ai)` for a given allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::IpCountMismatch`] if `allocations` has the
+    /// wrong length, or [`GablesError::InvalidParameter`] if a task with
+    /// work receives a non-positive allocation.
+    pub fn execution_time(&self, allocations: &[f64]) -> Result<f64, GablesError> {
+        if allocations.len() != self.tasks.len() {
+            return Err(GablesError::IpCountMismatch {
+                soc_ips: self.tasks.len(),
+                workload_ips: allocations.len(),
+            });
+        }
+        let mut total = 0.0;
+        for (t, &a) in self.tasks.iter().zip(allocations) {
+            if t.work_fraction == 0.0 {
+                continue;
+            }
+            if !a.is_finite() || a <= 0.0 {
+                return Err(GablesError::invalid_parameter(
+                    "resource allocation",
+                    a,
+                    "must be finite and > 0 for a task with work",
+                ));
+            }
+            total += t.work_fraction / t.perf.perf(a);
+        }
+        Ok(total)
+    }
+
+    /// Finds the resource allocation minimizing serialized execution time
+    /// subject to `Σ ai = budget`, by Lagrangian water-filling.
+    ///
+    /// Tasks with zero work receive zero resources.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::InvalidParameter`] for a non-positive budget.
+    /// * [`GablesError::NoConvergence`] if bisection fails (does not occur
+    ///   for the concave [`PerfFn`] family, but the error is kept total).
+    pub fn optimize(&self, budget: f64) -> Result<Allocation, GablesError> {
+        if !budget.is_finite() || budget <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "resource budget",
+                budget,
+                "must be finite and > 0",
+            ));
+        }
+        let active: Vec<usize> = (0..self.tasks.len())
+            .filter(|&i| self.tasks[i].work_fraction > 0.0)
+            .collect();
+        if active.is_empty() {
+            return Err(GablesError::NoConvergence {
+                what: "allocation with no active tasks",
+            });
+        }
+        if active.len() == 1 {
+            let mut allocations = vec![0.0; self.tasks.len()];
+            allocations[active[0]] = budget;
+            let execution_time = self.execution_time_sparse(&allocations);
+            return Ok(Allocation {
+                allocations,
+                execution_time,
+            });
+        }
+
+        // Marginal time reduction gi(a) = fi·pi'(a)/pi(a)^2, strictly
+        // decreasing in a for the concave PerfFn family.
+        let marginal = |i: usize, a: f64| -> f64 {
+            let t = &self.tasks[i];
+            t.work_fraction * t.perf.derivative(a) / t.perf.perf(a).powi(2)
+        };
+        // Per-λ allocation: solve gi(a) = λ by bisection on a ∈ (lo, budget].
+        let a_lo = budget * 1e-12;
+        let solve_a = |i: usize, lambda: f64| -> f64 {
+            if marginal(i, budget) >= lambda {
+                return budget; // even the full budget leaves marginal above λ
+            }
+            if marginal(i, a_lo) <= lambda {
+                return a_lo;
+            }
+            let (mut lo, mut hi) = (a_lo, budget);
+            for _ in 0..200 {
+                let mid = 0.5 * (lo + hi);
+                if marginal(i, mid) > lambda {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            0.5 * (lo + hi)
+        };
+        // Σ ai(λ) is decreasing in λ; bracket then bisect λ.
+        let sum_for = |lambda: f64| -> f64 { active.iter().map(|&i| solve_a(i, lambda)).sum() };
+        let (mut lam_lo, mut lam_hi) = (1e-300_f64, 1e300_f64);
+        if sum_for(lam_lo) < budget || sum_for(lam_hi) > budget {
+            return Err(GablesError::NoConvergence {
+                what: "lagrange multiplier bracket",
+            });
+        }
+        for _ in 0..500 {
+            let mid = (lam_lo * lam_hi).sqrt(); // geometric: λ spans decades
+            if sum_for(mid) > budget {
+                lam_lo = mid;
+            } else {
+                lam_hi = mid;
+            }
+        }
+        let lambda = (lam_lo * lam_hi).sqrt();
+        let mut allocations = vec![0.0; self.tasks.len()];
+        let mut sum = 0.0;
+        for &i in &active {
+            allocations[i] = solve_a(i, lambda);
+            sum += allocations[i];
+        }
+        // Normalize residual bisection error exactly onto the budget.
+        for &i in &active {
+            allocations[i] *= budget / sum;
+        }
+        let execution_time = self.execution_time_sparse(&allocations);
+        Ok(Allocation {
+            allocations,
+            execution_time,
+        })
+    }
+
+    fn execution_time_sparse(&self, allocations: &[f64]) -> f64 {
+        self.tasks
+            .iter()
+            .zip(allocations)
+            .filter(|(t, _)| t.work_fraction > 0.0)
+            .map(|(t, &a)| t.work_fraction / t.perf.perf(a))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pollack_closed_form() {
+        // For p = k√a the Lagrange condition gives ai ∝ (fi/ki)^(2/3).
+        let tasks = vec![
+            Task {
+                work_fraction: 0.6,
+                perf: PerfFn::Pollack { k: 1.0 },
+            },
+            Task {
+                work_fraction: 0.4,
+                perf: PerfFn::Pollack { k: 3.0 },
+            },
+        ];
+        let problem = MultiAmdahl::new(tasks).unwrap();
+        let alloc = problem.optimize(2.0).unwrap();
+        let w0 = (0.6_f64 / 1.0).powf(2.0 / 3.0);
+        let w1 = (0.4_f64 / 3.0).powf(2.0 / 3.0);
+        let expect0 = 2.0 * w0 / (w0 + w1);
+        let expect1 = 2.0 * w1 / (w0 + w1);
+        assert!((alloc.allocations[0] - expect0).abs() < 1e-6);
+        assert!((alloc.allocations[1] - expect1).abs() < 1e-6);
+        assert!((alloc.allocations.iter().sum::<f64>() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_closed_form() {
+        // For p = k·a the condition gives ai ∝ sqrt(fi/ki).
+        let tasks = vec![
+            Task {
+                work_fraction: 0.5,
+                perf: PerfFn::Linear { k: 1.0 },
+            },
+            Task {
+                work_fraction: 0.5,
+                perf: PerfFn::Linear { k: 4.0 },
+            },
+        ];
+        let problem = MultiAmdahl::new(tasks).unwrap();
+        let alloc = problem.optimize(1.0).unwrap();
+        let w0 = (0.5_f64 / 1.0).sqrt();
+        let w1 = (0.5_f64 / 4.0).sqrt();
+        assert!((alloc.allocations[0] - w0 / (w0 + w1)).abs() < 1e-6);
+        assert!((alloc.allocations[1] - w1 / (w0 + w1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optimum_beats_perturbations() {
+        let problem = MultiAmdahl::new(vec![
+            Task {
+                work_fraction: 0.3,
+                perf: PerfFn::Pollack { k: 2.0 },
+            },
+            Task {
+                work_fraction: 0.5,
+                perf: PerfFn::Power { k: 1.0, e: 0.8 },
+            },
+            Task {
+                work_fraction: 0.2,
+                perf: PerfFn::Linear { k: 0.5 },
+            },
+        ])
+        .unwrap();
+        let opt = problem.optimize(3.0).unwrap();
+        for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+            for eps in [0.01, 0.1] {
+                let mut perturbed = opt.allocations.clone();
+                if perturbed[i] > eps {
+                    perturbed[i] -= eps;
+                    perturbed[j] += eps;
+                    let t = problem.execution_time(&perturbed).unwrap();
+                    assert!(
+                        t >= opt.execution_time - 1e-9,
+                        "perturbation improved the optimum"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_work_tasks_get_nothing() {
+        let problem = MultiAmdahl::new(vec![
+            Task {
+                work_fraction: 1.0,
+                perf: PerfFn::Pollack { k: 1.0 },
+            },
+            Task {
+                work_fraction: 0.0,
+                perf: PerfFn::Pollack { k: 100.0 },
+            },
+        ])
+        .unwrap();
+        let alloc = problem.optimize(4.0).unwrap();
+        assert_eq!(alloc.allocations[1], 0.0);
+        assert!((alloc.allocations[0] - 4.0).abs() < 1e-12);
+        assert!((alloc.execution_time - 1.0 / 2.0).abs() < 1e-12); // 1/(1·√4)
+    }
+
+    #[test]
+    fn execution_time_validates() {
+        let problem = MultiAmdahl::new(vec![Task {
+            work_fraction: 1.0,
+            perf: PerfFn::Linear { k: 1.0 },
+        }])
+        .unwrap();
+        assert!(problem.execution_time(&[1.0, 2.0]).is_err());
+        assert!(problem.execution_time(&[0.0]).is_err());
+        assert!((problem.execution_time(&[2.0]).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(MultiAmdahl::new(vec![]).is_err());
+        assert!(MultiAmdahl::new(vec![Task {
+            work_fraction: 0.5,
+            perf: PerfFn::Linear { k: 1.0 }
+        }])
+        .is_err()); // sum != 1
+        assert!(MultiAmdahl::new(vec![Task {
+            work_fraction: 1.0,
+            perf: PerfFn::Linear { k: 0.0 }
+        }])
+        .is_err());
+        assert!(MultiAmdahl::new(vec![Task {
+            work_fraction: 1.0,
+            perf: PerfFn::Power { k: 1.0, e: 1.5 }
+        }])
+        .is_err());
+        assert!(MultiAmdahl::new(vec![Task {
+            work_fraction: -0.5,
+            perf: PerfFn::Linear { k: 1.0 }
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn optimize_validates_budget() {
+        let problem = MultiAmdahl::new(vec![Task {
+            work_fraction: 1.0,
+            perf: PerfFn::Linear { k: 1.0 },
+        }])
+        .unwrap();
+        assert!(problem.optimize(0.0).is_err());
+        assert!(problem.optimize(-1.0).is_err());
+        assert!(problem.optimize(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn perf_fn_display() {
+        assert_eq!(PerfFn::Linear { k: 2.0 }.to_string(), "2·a");
+        assert_eq!(PerfFn::Pollack { k: 2.0 }.to_string(), "2·sqrt(a)");
+        assert_eq!(PerfFn::Power { k: 2.0, e: 0.7 }.to_string(), "2·a^0.7");
+    }
+
+    #[test]
+    fn gables_serialized_extension_generalizes_multiamdahl() {
+        // With bandwidths set so high they never bind, the Gables
+        // serialized extension's time equals the MultiAmdahl objective for
+        // fixed allocations (perf = Ai·Ppeak).
+        use crate::soc::SocSpec;
+        use crate::units::{BytesPerSec, OpsPerSec};
+        use crate::workload::Workload;
+
+        let soc = SocSpec::builder()
+            .ppeak(OpsPerSec::new(10.0))
+            .bpeak(BytesPerSec::new(1.0e30))
+            .cpu("CPU", BytesPerSec::new(1.0e30))
+            .accelerator("ACC", 4.0, BytesPerSec::new(1.0e30))
+            .unwrap()
+            .build()
+            .unwrap();
+        let w = Workload::two_ip(0.5, 1.0, 1.0).unwrap();
+        let gables = crate::ext::serialized::evaluate_serialized(&soc, &w).unwrap();
+        // MultiAmdahl objective: 0.5/10 + 0.5/40.
+        let expected = 0.5 / 10.0 + 0.5 / 40.0;
+        assert!((gables.total_time().value() - expected).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,228 @@
+//! The classic Roofline model (Williams, Waterman, Patterson; CACM 2009).
+//!
+//! Models a single chip with a peak computation performance `Ppeak` and a
+//! peak off-chip bandwidth `Bpeak`; software is characterized by one
+//! operational intensity `I`. Attainable performance is
+//! `min(Ppeak, Bpeak · I)` — Figure 1 of the Gables paper. Optional
+//! *ceilings* model lesser bounds (e.g. no SIMD, no NUMA-aware placement).
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::units::{BytesPerSec, OpsPerByte, OpsPerSec};
+
+/// A lesser bound below the roof: either a compute ceiling (horizontal) or
+/// a bandwidth ceiling (slanted).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Ceiling {
+    /// A reduced compute bound (e.g. "without SIMD").
+    Compute {
+        /// Ceiling label for plots.
+        label: String,
+        /// The reduced peak.
+        peak: OpsPerSec,
+    },
+    /// A reduced bandwidth bound (e.g. "without prefetching").
+    Bandwidth {
+        /// Ceiling label for plots.
+        label: String,
+        /// The reduced bandwidth.
+        bandwidth: BytesPerSec,
+    },
+}
+
+/// The classic Roofline model of a single (multicore) chip.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::baselines::roofline::Roofline;
+/// use gables_model::units::{BytesPerSec, OpsPerByte, OpsPerSec};
+///
+/// // The paper's empirically-derived Snapdragon 835 CPU roofline (Fig 7a).
+/// let cpu = Roofline::new(OpsPerSec::from_gops(7.5), BytesPerSec::from_gbps(15.1))?;
+/// let at_low = cpu.attainable(OpsPerByte::new(0.125));
+/// assert!((at_low.to_gops() - 15.1 * 0.125).abs() < 1e-9);
+/// let at_high = cpu.attainable(OpsPerByte::new(100.0));
+/// assert_eq!(at_high.to_gops(), 7.5);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Roofline {
+    peak: OpsPerSec,
+    bandwidth: BytesPerSec,
+    ceilings: Vec<Ceiling>,
+}
+
+impl Roofline {
+    /// Creates a roofline from peak performance and peak bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if either peak is not
+    /// finite and positive.
+    pub fn new(peak: OpsPerSec, bandwidth: BytesPerSec) -> Result<Self, GablesError> {
+        if !peak.value().is_finite() || peak.value() <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "peak performance",
+                peak.value(),
+                "must be finite and > 0",
+            ));
+        }
+        if !bandwidth.value().is_finite() || bandwidth.value() <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "peak bandwidth",
+                bandwidth.value(),
+                "must be finite and > 0",
+            ));
+        }
+        Ok(Self {
+            peak,
+            bandwidth,
+            ceilings: Vec::new(),
+        })
+    }
+
+    /// Adds a ceiling (a lesser bound drawn under the roof).
+    pub fn with_ceiling(mut self, ceiling: Ceiling) -> Self {
+        self.ceilings.push(ceiling);
+        self
+    }
+
+    /// Peak computation performance (the flat roof).
+    pub fn peak(&self) -> OpsPerSec {
+        self.peak
+    }
+
+    /// Peak bandwidth (the slanted roof).
+    pub fn bandwidth(&self) -> BytesPerSec {
+        self.bandwidth
+    }
+
+    /// The ceilings, in insertion order.
+    pub fn ceilings(&self) -> &[Ceiling] {
+        &self.ceilings
+    }
+
+    /// Maximum attainable performance at operational intensity `i`:
+    /// `min(Ppeak, Bpeak · I)`.
+    pub fn attainable(&self, i: OpsPerByte) -> OpsPerSec {
+        let bw_bound = (self.bandwidth * i).value();
+        OpsPerSec::new(bw_bound.min(self.peak.value()))
+    }
+
+    /// Attainable performance under a specific ceiling instead of the roof.
+    pub fn attainable_under(&self, ceiling: &Ceiling, i: OpsPerByte) -> OpsPerSec {
+        match ceiling {
+            Ceiling::Compute { peak, .. } => {
+                OpsPerSec::new((self.bandwidth * i).value().min(peak.value()))
+            }
+            Ceiling::Bandwidth { bandwidth, .. } => {
+                OpsPerSec::new((*bandwidth * i).value().min(self.peak.value()))
+            }
+        }
+    }
+
+    /// The ridge point: the operational intensity `Ppeak / Bpeak` at which
+    /// the slanted and flat roofs meet. Software to the left is
+    /// bandwidth-bound; to the right, compute-bound.
+    pub fn ridge_point(&self) -> OpsPerByte {
+        self.peak / self.bandwidth
+    }
+
+    /// Whether software at intensity `i` is bandwidth-bound (left of the
+    /// ridge point).
+    pub fn is_bandwidth_bound(&self, i: OpsPerByte) -> bool {
+        i.value() < self.ridge_point().value()
+    }
+}
+
+impl fmt::Display for Roofline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Roofline(peak = {:.3} Gops/s, bw = {:.3} GB/s, ridge = {:.3} ops/byte)",
+            self.peak.to_gops(),
+            self.bandwidth.to_gbps(),
+            self.ridge_point().value()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Roofline {
+        Roofline::new(OpsPerSec::from_gops(7.5), BytesPerSec::from_gbps(15.1)).unwrap()
+    }
+
+    #[test]
+    fn attainable_is_min_of_two_bounds() {
+        let r = cpu();
+        // Far left: bandwidth-bound.
+        let low = r.attainable(OpsPerByte::new(0.01));
+        assert!((low.to_gops() - 0.151).abs() < 1e-12);
+        // Far right: compute-bound.
+        let high = r.attainable(OpsPerByte::new(1000.0));
+        assert_eq!(high.to_gops(), 7.5);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let r = cpu();
+        let ridge = r.ridge_point().value();
+        assert!((ridge - 7.5 / 15.1).abs() < 1e-12);
+        assert!(r.is_bandwidth_bound(OpsPerByte::new(ridge * 0.9)));
+        assert!(!r.is_bandwidth_bound(OpsPerByte::new(ridge * 1.1)));
+        // At the ridge the two bounds coincide.
+        let at = r.attainable(OpsPerByte::new(ridge));
+        assert!((at.to_gops() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attainable_is_monotone_in_intensity() {
+        let r = cpu();
+        let mut last = 0.0;
+        for exp in -8..8 {
+            let i = OpsPerByte::new(2.0_f64.powi(exp));
+            let p = r.attainable(i).value();
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn ceilings_bound_below_the_roof() {
+        let r = cpu().with_ceiling(Ceiling::Compute {
+            label: "no SIMD".into(),
+            peak: OpsPerSec::from_gops(2.0),
+        });
+        let i = OpsPerByte::new(100.0);
+        let under = r.attainable_under(&r.ceilings()[0].clone(), i);
+        assert_eq!(under.to_gops(), 2.0);
+        assert!(under.value() <= r.attainable(i).value());
+
+        let r2 = cpu().with_ceiling(Ceiling::Bandwidth {
+            label: "no prefetch".into(),
+            bandwidth: BytesPerSec::from_gbps(5.0),
+        });
+        let low = OpsPerByte::new(0.1);
+        let under2 = r2.attainable_under(&r2.ceilings()[0].clone(), low);
+        assert!((under2.to_gops() - 0.5).abs() < 1e-12);
+        assert!(under2.value() <= r2.attainable(low).value());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Roofline::new(OpsPerSec::from_gops(0.0), BytesPerSec::from_gbps(1.0)).is_err());
+        assert!(Roofline::new(OpsPerSec::from_gops(1.0), BytesPerSec::from_gbps(-1.0)).is_err());
+    }
+
+    #[test]
+    fn display_mentions_ridge() {
+        assert!(cpu().to_string().contains("ridge"));
+    }
+}

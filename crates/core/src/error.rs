@@ -1,0 +1,170 @@
+//! Error types for the Gables model.
+
+use core::fmt;
+
+/// The error type returned by all fallible operations in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::units::WorkFraction;
+///
+/// let err = WorkFraction::new(2.0).unwrap_err();
+/// assert!(err.to_string().contains("work fraction"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GablesError {
+    /// A scalar parameter was outside its valid domain.
+    InvalidParameter {
+        /// Human-readable parameter name (e.g. `"work fraction"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
+    /// The per-IP work fractions of a workload did not sum to 1.
+    WorkFractionSum {
+        /// The actual sum of the provided fractions.
+        sum: f64,
+    },
+    /// A workload was built for a different number of IPs than the SoC has.
+    IpCountMismatch {
+        /// Number of IPs in the SoC specification.
+        soc_ips: usize,
+        /// Number of work assignments in the workload.
+        workload_ips: usize,
+    },
+    /// An IP index was out of bounds for the SoC.
+    IpIndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// Number of IPs in the SoC specification.
+        len: usize,
+    },
+    /// A SoC specification was built with no IP blocks at all.
+    NoIps,
+    /// The first IP (`IP[0]`, the CPU complex) must have acceleration 1.
+    ///
+    /// The paper fixes `A0 = 1` so that `Ppeak` is defined relative to the
+    /// CPU complex.
+    NonUnityCpuAcceleration {
+        /// The acceleration that was supplied for IP\[0\].
+        acceleration: f64,
+    },
+    /// A bus-usage matrix had the wrong shape for the SoC/topology pair.
+    BusMatrixShape {
+        /// Expected `(ips, buses)` shape.
+        expected: (usize, usize),
+        /// Provided `(ips, buses)` shape.
+        actual: (usize, usize),
+    },
+    /// An IP with nonzero work has no bus path to memory in the
+    /// interconnect extension, so its data could never be transferred.
+    NoBusPath {
+        /// The index of the disconnected IP.
+        ip: usize,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// What was being solved for.
+        what: &'static str,
+    },
+}
+
+impl GablesError {
+    /// Convenience constructor for [`GablesError::InvalidParameter`].
+    pub fn invalid_parameter(name: &'static str, value: f64, reason: &'static str) -> Self {
+        GablesError::InvalidParameter {
+            name,
+            value,
+            reason,
+        }
+    }
+}
+
+impl fmt::Display for GablesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GablesError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid {name} {value}: {reason}")
+            }
+            GablesError::WorkFractionSum { sum } => {
+                write!(f, "work fractions must sum to 1, got {sum}")
+            }
+            GablesError::IpCountMismatch {
+                soc_ips,
+                workload_ips,
+            } => write!(
+                f,
+                "workload has {workload_ips} work assignments but the SoC has {soc_ips} IPs"
+            ),
+            GablesError::IpIndexOutOfBounds { index, len } => {
+                write!(f, "IP index {index} out of bounds for SoC with {len} IPs")
+            }
+            GablesError::NoIps => write!(f, "a SoC must have at least one IP block"),
+            GablesError::NonUnityCpuAcceleration { acceleration } => write!(
+                f,
+                "IP[0] (the CPU complex) must have acceleration 1, got {acceleration}"
+            ),
+            GablesError::BusMatrixShape { expected, actual } => write!(
+                f,
+                "bus usage matrix has shape {}x{}, expected {}x{}",
+                actual.0, actual.1, expected.0, expected.1
+            ),
+            GablesError::NoBusPath { ip } => {
+                write!(f, "IP[{ip}] has nonzero work but no bus path to memory")
+            }
+            GablesError::NoConvergence { what } => {
+                write!(f, "solver failed to converge while computing {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GablesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<GablesError> = vec![
+            GablesError::invalid_parameter("work fraction", 2.0, "must be within [0, 1]"),
+            GablesError::WorkFractionSum { sum: 0.5 },
+            GablesError::IpCountMismatch {
+                soc_ips: 2,
+                workload_ips: 3,
+            },
+            GablesError::IpIndexOutOfBounds { index: 5, len: 2 },
+            GablesError::NoIps,
+            GablesError::NonUnityCpuAcceleration { acceleration: 2.0 },
+            GablesError::BusMatrixShape {
+                expected: (2, 3),
+                actual: (3, 2),
+            },
+            GablesError::NoBusPath { ip: 1 },
+            GablesError::NoConvergence { what: "balance" },
+        ];
+        for err in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            // Error messages follow C-GOOD-ERR style: lowercase start, no
+            // trailing punctuation.
+            assert!(msg.chars().next().unwrap().is_lowercase() || msg.starts_with("IP"));
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<GablesError>();
+    }
+}

@@ -1,0 +1,328 @@
+//! Design-space exploration: grids, cost models, and Pareto frontiers.
+//!
+//! The paper's opening question — "Which IPs should my SoC include and
+//! roughly how big?" — is a multi-objective search: performance against
+//! silicon/DRAM cost. This module enumerates candidate SoCs over a
+//! parameter grid, prices them with a simple linear cost model, evaluates
+//! a target usecase on each, and extracts the Pareto frontier.
+
+use crate::error::GablesError;
+use crate::model::{evaluate, Bottleneck};
+use crate::soc::SocSpec;
+use crate::units::{BytesPerSec, OpsPerSec};
+use crate::workload::Workload;
+
+/// A linear cost model in arbitrary cost units (area, dollars, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostModel {
+    /// Fixed cost of the base SoC (CPU complex, fabrics, pads).
+    pub base: f64,
+    /// Cost per Gops/s of accelerator peak performance.
+    pub per_accelerator_gops: f64,
+    /// Cost per GB/s of accelerator port bandwidth.
+    pub per_port_gbps: f64,
+    /// Cost per GB/s of off-chip (DRAM interface) bandwidth.
+    pub per_dram_gbps: f64,
+}
+
+impl CostModel {
+    /// A placeholder model with unit weights.
+    pub fn unit() -> Self {
+        Self {
+            base: 0.0,
+            per_accelerator_gops: 1.0,
+            per_port_gbps: 1.0,
+            per_dram_gbps: 1.0,
+        }
+    }
+
+    /// Prices a two-IP candidate.
+    fn price(&self, acceleration: f64, ppeak_gops: f64, b1_gbps: f64, bpeak_gbps: f64) -> f64 {
+        self.base
+            + self.per_accelerator_gops * acceleration * ppeak_gops
+            + self.per_port_gbps * b1_gbps
+            + self.per_dram_gbps * bpeak_gbps
+    }
+}
+
+/// The candidate grid for a CPU-plus-one-accelerator SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateGrid {
+    /// Fixed CPU-complex peak, Gops/s.
+    pub ppeak_gops: f64,
+    /// Fixed CPU port bandwidth, GB/s.
+    pub b0_gbps: f64,
+    /// Accelerator acceleration factors to try.
+    pub accelerations: Vec<f64>,
+    /// Accelerator port bandwidths to try, GB/s.
+    pub b1_gbps: Vec<f64>,
+    /// Off-chip bandwidths to try, GB/s.
+    pub bpeak_gbps: Vec<f64>,
+}
+
+/// One explored candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The candidate hardware.
+    pub soc: SocSpec,
+    /// Cost under the supplied [`CostModel`].
+    pub cost: f64,
+    /// Attainable performance on the target usecase, Gops/s.
+    pub perf_gops: f64,
+    /// The binding component.
+    pub bottleneck: Bottleneck,
+}
+
+impl DesignPoint {
+    /// Whether `self` dominates `other`: no worse on both objectives and
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        (self.cost <= other.cost && self.perf_gops >= other.perf_gops)
+            && (self.cost < other.cost || self.perf_gops > other.perf_gops)
+    }
+}
+
+/// Evaluates every grid candidate on the usecase.
+///
+/// # Errors
+///
+/// * [`GablesError::InvalidParameter`] for an empty grid axis or invalid
+///   fixed parameters.
+/// * Propagates model errors.
+pub fn explore(
+    grid: &CandidateGrid,
+    cost: &CostModel,
+    usecase: &Workload,
+) -> Result<Vec<DesignPoint>, GablesError> {
+    if grid.accelerations.is_empty() || grid.b1_gbps.is_empty() || grid.bpeak_gbps.is_empty() {
+        return Err(GablesError::invalid_parameter(
+            "candidate grid",
+            0.0,
+            "every grid axis needs at least one value",
+        ));
+    }
+    let mut out =
+        Vec::with_capacity(grid.accelerations.len() * grid.b1_gbps.len() * grid.bpeak_gbps.len());
+    for &a in &grid.accelerations {
+        for &b1 in &grid.b1_gbps {
+            for &bpeak in &grid.bpeak_gbps {
+                let soc = SocSpec::builder()
+                    .ppeak(OpsPerSec::from_gops(grid.ppeak_gops))
+                    .bpeak(BytesPerSec::from_gbps(bpeak))
+                    .cpu("CPU", BytesPerSec::from_gbps(grid.b0_gbps))
+                    .accelerator("ACC", a, BytesPerSec::from_gbps(b1))?
+                    .build()?;
+                let eval = evaluate(&soc, usecase)?;
+                out.push(DesignPoint {
+                    cost: cost.price(a, grid.ppeak_gops, b1, bpeak),
+                    perf_gops: eval.attainable().to_gops(),
+                    bottleneck: eval.bottleneck(),
+                    soc,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Extracts the Pareto frontier (min cost, max performance), sorted by
+/// ascending cost. Duplicate-objective points keep one representative.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut sorted: Vec<&DesignPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.cost
+            .total_cmp(&b.cost)
+            .then(b.perf_gops.total_cmp(&a.perf_gops))
+    });
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    let mut best_perf = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.perf_gops > best_perf {
+            frontier.push(p.clone());
+            best_perf = p.perf_gops;
+        }
+    }
+    frontier
+}
+
+/// The cheapest frontier point meeting a performance floor, if any.
+pub fn cheapest_meeting(points: &[DesignPoint], min_gops: f64) -> Option<DesignPoint> {
+    pareto_frontier(points)
+        .into_iter()
+        .find(|p| p.perf_gops >= min_gops)
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn random_grid() -> impl Strategy<Value = CandidateGrid> {
+        (
+            1.0f64..100.0,
+            1.0f64..30.0,
+            proptest::collection::vec(0.5f64..50.0, 1..4),
+            proptest::collection::vec(1.0f64..40.0, 1..4),
+            proptest::collection::vec(2.0f64..60.0, 1..4),
+        )
+            .prop_map(|(ppeak_gops, b0_gbps, accelerations, b1_gbps, bpeak_gbps)| {
+                CandidateGrid {
+                    ppeak_gops,
+                    b0_gbps,
+                    accelerations,
+                    b1_gbps,
+                    bpeak_gbps,
+                }
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The frontier never contains a dominated point and is sorted by
+        /// strictly increasing cost and performance, for arbitrary grids
+        /// and workloads.
+        #[test]
+        fn frontier_is_sound(grid in random_grid(), f in 0.0f64..1.0,
+                             i0 in 0.1f64..256.0, i1 in 0.1f64..256.0) {
+            let w = crate::workload::Workload::two_ip(f, i0, i1).unwrap();
+            let points = explore(&grid, &CostModel::unit(), &w).unwrap();
+            let frontier = pareto_frontier(&points);
+            prop_assert!(!frontier.is_empty());
+            for fp in &frontier {
+                for p in &points {
+                    prop_assert!(!p.dominates(fp));
+                }
+            }
+            for pair in frontier.windows(2) {
+                prop_assert!(pair[1].cost > pair[0].cost);
+                prop_assert!(pair[1].perf_gops > pair[0].perf_gops);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CandidateGrid {
+        CandidateGrid {
+            ppeak_gops: 40.0,
+            b0_gbps: 6.0,
+            accelerations: vec![1.0, 2.0, 5.0, 10.0],
+            b1_gbps: vec![5.0, 15.0, 30.0],
+            bpeak_gbps: vec![10.0, 20.0, 40.0],
+        }
+    }
+
+    fn usecase() -> Workload {
+        Workload::two_ip(0.75, 8.0, 8.0).unwrap()
+    }
+
+    #[test]
+    fn explore_covers_the_grid() {
+        let points = explore(&grid(), &CostModel::unit(), &usecase()).unwrap();
+        assert_eq!(points.len(), 4 * 3 * 3);
+    }
+
+    #[test]
+    fn frontier_has_no_dominated_points() {
+        let points = explore(&grid(), &CostModel::unit(), &usecase()).unwrap();
+        let frontier = pareto_frontier(&points);
+        assert!(!frontier.is_empty());
+        for f in &frontier {
+            for p in &points {
+                assert!(!p.dominates(f), "{p:?} dominates frontier point {f:?}");
+            }
+        }
+        // Frontier sorted by cost with strictly rising performance.
+        for pair in frontier.windows(2) {
+            assert!(pair[1].cost > pair[0].cost);
+            assert!(pair[1].perf_gops > pair[0].perf_gops);
+        }
+    }
+
+    #[test]
+    fn figure_6d_design_sits_on_the_frontier() {
+        // A = 5, B1 = 15, Bpeak = 20 (the paper's balanced design) should
+        // not be dominated when the usecase is its own workload.
+        let mut g = grid();
+        g.b1_gbps = vec![5.0, 15.0, 30.0];
+        g.bpeak_gbps = vec![10.0, 20.0, 30.0];
+        let points = explore(&g, &CostModel::unit(), &usecase()).unwrap();
+        let balanced = points
+            .iter()
+            .find(|p| {
+                (p.soc.bpeak().to_gbps() - 20.0).abs() < 1e-9
+                    && (p.soc.ip(1).unwrap().acceleration().value() - 5.0).abs() < 1e-9
+                    && (p.soc.ip(1).unwrap().bandwidth().to_gbps() - 15.0).abs() < 1e-9
+            })
+            .expect("balanced candidate is in the grid");
+        assert!((balanced.perf_gops - 160.0).abs() < 1e-9);
+        for p in &points {
+            assert!(!p.dominates(balanced), "{p:?} dominates the balanced design");
+        }
+    }
+
+    #[test]
+    fn cheapest_meeting_finds_the_knee() {
+        let points = explore(&grid(), &CostModel::unit(), &usecase()).unwrap();
+        let p = cheapest_meeting(&points, 100.0).expect("some design reaches 100 Gops/s");
+        assert!(p.perf_gops >= 100.0);
+        // Nothing cheaper reaches the floor.
+        for q in &points {
+            if q.perf_gops >= 100.0 {
+                assert!(q.cost >= p.cost - 1e-9);
+            }
+        }
+        assert!(cheapest_meeting(&points, 1.0e9).is_none());
+    }
+
+    #[test]
+    fn overprovisioned_bandwidth_is_dominated() {
+        // Figure 6c's lesson: 30 GB/s with the same accelerator and the
+        // poor-reuse usecase buys nothing over 20 but costs more.
+        let g = CandidateGrid {
+            ppeak_gops: 40.0,
+            b0_gbps: 6.0,
+            accelerations: vec![5.0],
+            b1_gbps: vec![15.0],
+            bpeak_gbps: vec![20.0, 30.0],
+        };
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let points = explore(&g, &CostModel::unit(), &w).unwrap();
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier.len(), 1);
+        assert!((frontier[0].soc.bpeak().to_gbps() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_grid_axis_is_rejected() {
+        let mut g = grid();
+        g.accelerations.clear();
+        assert!(explore(&g, &CostModel::unit(), &usecase()).is_err());
+    }
+
+    #[test]
+    fn dominates_relation() {
+        let soc = grid();
+        let mk = |cost, perf| DesignPoint {
+            soc: SocSpec::builder()
+                .ppeak(OpsPerSec::from_gops(soc.ppeak_gops))
+                .bpeak(BytesPerSec::from_gbps(10.0))
+                .cpu("CPU", BytesPerSec::from_gbps(6.0))
+                .build()
+                .unwrap(),
+            cost,
+            perf_gops: perf,
+            bottleneck: Bottleneck::Memory,
+        };
+        assert!(mk(1.0, 10.0).dominates(&mk(2.0, 5.0)));
+        assert!(mk(1.0, 10.0).dominates(&mk(1.0, 5.0)));
+        assert!(!mk(1.0, 10.0).dominates(&mk(1.0, 10.0))); // equal: no
+        assert!(!mk(2.0, 10.0).dominates(&mk(1.0, 5.0))); // trade-off
+    }
+}

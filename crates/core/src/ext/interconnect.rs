@@ -1,0 +1,438 @@
+//! Detailed on-chip interconnect extension (Section V-B).
+//!
+//! The base model folds the interconnect into the per-IP bandwidths `Bi`
+//! and the off-chip `Bpeak`. This extension models it as `Q` buses, each a
+//! pure bandwidth bound operating concurrently with the IPs and the memory
+//! interface (bottleneck analysis). With `Use(i,j) = 1` when IP\[i\]'s
+//! memory path crosses Bus\[j\]:
+//!
+//! ```text
+//! TBus[j]     = Σi Di · Use(i,j) / BBus[j]                  (Equation 16)
+//! Pattainable = 1 / max(Tmemory, TIP[0..N], TBus[0..Q])     (Equation 17)
+//! ```
+//!
+//! Base Gables' assumption is kept that inter-IP data travel via memory and
+//! each IP has one bus path to/from memory.
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::model::{self, Bottleneck, Evaluation};
+use crate::soc::SocSpec;
+use crate::units::{BytesPerSec, OpsPerSec, Seconds};
+use crate::workload::Workload;
+
+/// One interconnection network (colloquially a "bus"): a pure bandwidth
+/// bound with no computational limit, so its roofline is slanted-only.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Bus {
+    name: String,
+    bandwidth: BytesPerSec,
+}
+
+impl Bus {
+    /// Creates a bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `bandwidth` is not
+    /// finite and positive.
+    pub fn new(name: impl Into<String>, bandwidth: BytesPerSec) -> Result<Self, GablesError> {
+        let bw = bandwidth.value();
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "bus bandwidth",
+                bw,
+                "must be finite and > 0",
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            bandwidth,
+        })
+    }
+
+    /// The bus name (e.g. `"high-bandwidth fabric"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bus bandwidth `BBus[j]`.
+    pub fn bandwidth(&self) -> BytesPerSec {
+        self.bandwidth
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({:.3} GB/s)", self.name, self.bandwidth.to_gbps())
+    }
+}
+
+/// A bus topology: `Q` buses plus the `N × Q` usage matrix `Use(i,j)`.
+///
+/// # Examples
+///
+/// Figure 3's style of clustering — a CPU on a high-bandwidth fabric and a
+/// DSP on a slower system fabric:
+///
+/// ```
+/// use gables_model::ext::interconnect::{Bus, BusTopology};
+/// use gables_model::units::BytesPerSec;
+///
+/// let topology = BusTopology::builder()
+///     .bus(Bus::new("hbf", BytesPerSec::from_gbps(30.0))?)
+///     .bus(Bus::new("system", BytesPerSec::from_gbps(6.0))?)
+///     .route(0, &[0])   // IP[0] uses only the high-bandwidth fabric
+///     .route(1, &[1])   // IP[1] uses only the system fabric
+///     .build(2)?;
+/// assert_eq!(topology.bus_count(), 2);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BusTopology {
+    buses: Vec<Bus>,
+    /// `uses[i][j]` is true when IP\[i\]'s memory path crosses Bus\[j\].
+    uses: Vec<Vec<bool>>,
+}
+
+impl BusTopology {
+    /// Starts building a topology.
+    pub fn builder() -> BusTopologyBuilder {
+        BusTopologyBuilder::default()
+    }
+
+    /// Number of buses `Q`.
+    pub fn bus_count(&self) -> usize {
+        self.buses.len()
+    }
+
+    /// The buses in index order.
+    pub fn buses(&self) -> &[Bus] {
+        &self.buses
+    }
+
+    /// Whether IP\[i\] uses Bus\[j\] (`Use(i,j)`).
+    pub fn uses(&self, ip: usize, bus: usize) -> bool {
+        self.uses
+            .get(ip)
+            .and_then(|row| row.get(bus))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Evaluates Equations 16–17 on top of the base model.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::BusMatrixShape`] if the topology was built for a
+    ///   different IP count than the SoC has.
+    /// * [`GablesError::NoBusPath`] if an IP with nonzero work uses no bus
+    ///   at all (its data could never reach memory).
+    /// * Errors from the base model ([`model::evaluate`]).
+    pub fn evaluate(
+        &self,
+        soc: &SocSpec,
+        workload: &Workload,
+    ) -> Result<InterconnectEvaluation, GablesError> {
+        if self.uses.len() != soc.ip_count() {
+            return Err(GablesError::BusMatrixShape {
+                expected: (soc.ip_count(), self.buses.len()),
+                actual: (self.uses.len(), self.buses.len()),
+            });
+        }
+        let base = model::evaluate(soc, workload)?;
+        for (i, row) in self.uses.iter().enumerate() {
+            let active = workload.assignment(i)?.is_active();
+            if active && !row.iter().any(|&u| u) {
+                return Err(GablesError::NoBusPath { ip: i });
+            }
+        }
+
+        // Equation 16: TBus[j] = sum_i Di * Use(i,j) / BBus[j].
+        let mut bus_times = Vec::with_capacity(self.buses.len());
+        for (j, bus) in self.buses.iter().enumerate() {
+            let data: f64 = base
+                .ips()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| self.uses(*i, j))
+                .map(|(_, ip)| ip.data.value())
+                .sum();
+            bus_times.push(Seconds::new(data / bus.bandwidth().value()));
+        }
+
+        // Equation 17: extend the max with the bus terms.
+        let mut bottleneck = match base.bottleneck() {
+            Bottleneck::Ip(i) => InterconnectBottleneck::Ip(i),
+            Bottleneck::Memory => InterconnectBottleneck::Memory,
+        };
+        let mut max_time = 1.0 / base.attainable().value();
+        for (j, t) in bus_times.iter().enumerate() {
+            if t.value() > max_time {
+                bottleneck = InterconnectBottleneck::Bus(j);
+                max_time = t.value();
+            }
+        }
+        Ok(InterconnectEvaluation {
+            attainable: OpsPerSec::new(1.0 / max_time),
+            bottleneck,
+            bus_times,
+            base,
+        })
+    }
+}
+
+/// Which component binds under the interconnect extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum InterconnectBottleneck {
+    /// IP\[i\] binds.
+    Ip(usize),
+    /// The off-chip memory interface binds.
+    Memory,
+    /// Bus\[j\] binds.
+    Bus(usize),
+}
+
+impl fmt::Display for InterconnectBottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterconnectBottleneck::Ip(i) => write!(f, "IP[{i}]"),
+            InterconnectBottleneck::Memory => write!(f, "memory interface"),
+            InterconnectBottleneck::Bus(j) => write!(f, "bus[{j}]"),
+        }
+    }
+}
+
+/// The result of a Section V-B evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InterconnectEvaluation {
+    attainable: OpsPerSec,
+    bottleneck: InterconnectBottleneck,
+    bus_times: Vec<Seconds>,
+    base: Evaluation,
+}
+
+impl InterconnectEvaluation {
+    /// `Pattainable` under Equation 17.
+    pub fn attainable(&self) -> OpsPerSec {
+        self.attainable
+    }
+
+    /// The limiting component.
+    pub fn bottleneck(&self) -> InterconnectBottleneck {
+        self.bottleneck
+    }
+
+    /// `TBus[j]` for every bus (Equation 16).
+    pub fn bus_times(&self) -> &[Seconds] {
+        &self.bus_times
+    }
+
+    /// The underlying base-model evaluation.
+    pub fn base(&self) -> &Evaluation {
+        &self.base
+    }
+}
+
+/// Builder for [`BusTopology`].
+#[derive(Debug, Clone, Default)]
+pub struct BusTopologyBuilder {
+    buses: Vec<Bus>,
+    routes: Vec<(usize, Vec<usize>)>,
+}
+
+impl BusTopologyBuilder {
+    /// Adds a bus; buses are indexed in insertion order.
+    pub fn bus(&mut self, bus: Bus) -> &mut Self {
+        self.buses.push(bus);
+        self
+    }
+
+    /// Declares that IP `ip`'s memory path crosses the given buses.
+    pub fn route(&mut self, ip: usize, buses: &[usize]) -> &mut Self {
+        self.routes.push((ip, buses.to_vec()));
+        self
+    }
+
+    /// Builds a topology for a SoC with `ip_count` IPs.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::NoIps`] if no bus was added.
+    /// * [`GablesError::IpIndexOutOfBounds`] if a route names an IP `>=
+    ///   ip_count` or a bus index out of range.
+    pub fn build(&self, ip_count: usize) -> Result<BusTopology, GablesError> {
+        if self.buses.is_empty() {
+            return Err(GablesError::NoIps);
+        }
+        let mut uses = vec![vec![false; self.buses.len()]; ip_count];
+        for (ip, buses) in &self.routes {
+            if *ip >= ip_count {
+                return Err(GablesError::IpIndexOutOfBounds {
+                    index: *ip,
+                    len: ip_count,
+                });
+            }
+            for &j in buses {
+                if j >= self.buses.len() {
+                    return Err(GablesError::IpIndexOutOfBounds {
+                        index: j,
+                        len: self.buses.len(),
+                    });
+                }
+                uses[*ip][j] = true;
+            }
+        }
+        Ok(BusTopology {
+            buses: self.buses.clone(),
+            uses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_ip::TwoIpModel;
+
+    fn figure_6d_parts() -> (SocSpec, Workload) {
+        let m = TwoIpModel::figure_6d();
+        (m.soc().unwrap(), m.workload().unwrap())
+    }
+
+    fn shared_bus(gbps: f64) -> BusTopology {
+        BusTopology::builder()
+            .bus(Bus::new("shared", BytesPerSec::from_gbps(gbps)).unwrap())
+            .route(0, &[0])
+            .route(1, &[0])
+            .build(2)
+            .unwrap()
+    }
+
+    #[test]
+    fn infinite_bus_degenerates_to_base_model() {
+        let (soc, w) = figure_6d_parts();
+        let topology = shared_bus(1.0e12);
+        let eval = topology.evaluate(&soc, &w).unwrap();
+        let base = model::evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().value() - base.attainable().value()).abs() < 1.0);
+        assert_eq!(eval.bottleneck(), InterconnectBottleneck::Ip(0));
+    }
+
+    #[test]
+    fn narrow_shared_bus_becomes_the_bottleneck() {
+        let (soc, w) = figure_6d_parts();
+        // Total data per op = 0.25/8 + 0.75/8 = 0.125 bytes/op. A 1 GB/s
+        // bus sustains only 8 Gops/s, well below the balanced 160.
+        let topology = shared_bus(1.0);
+        let eval = topology.evaluate(&soc, &w).unwrap();
+        assert_eq!(eval.bottleneck(), InterconnectBottleneck::Bus(0));
+        assert!((eval.attainable().to_gops() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equation_16_only_counts_ips_that_use_the_bus() {
+        let (soc, w) = figure_6d_parts();
+        let topology = BusTopology::builder()
+            .bus(Bus::new("cpu-only", BytesPerSec::from_gbps(1.0)).unwrap())
+            .bus(Bus::new("gpu-only", BytesPerSec::from_gbps(2.0)).unwrap())
+            .route(0, &[0])
+            .route(1, &[1])
+            .build(2)
+            .unwrap();
+        let eval = topology.evaluate(&soc, &w).unwrap();
+        // D0 = 0.25/8, D1 = 0.75/8.
+        let t0 = (0.25 / 8.0) / 1.0e9;
+        let t1 = (0.75 / 8.0) / 2.0e9;
+        assert!((eval.bus_times()[0].value() - t0).abs() < 1e-20);
+        assert!((eval.bus_times()[1].value() - t1).abs() < 1e-20);
+    }
+
+    #[test]
+    fn disconnected_active_ip_is_an_error() {
+        let (soc, w) = figure_6d_parts();
+        let topology = BusTopology::builder()
+            .bus(Bus::new("cpu-only", BytesPerSec::from_gbps(10.0)).unwrap())
+            .route(0, &[0])
+            .build(2)
+            .unwrap();
+        assert_eq!(
+            topology.evaluate(&soc, &w).unwrap_err(),
+            GablesError::NoBusPath { ip: 1 }
+        );
+    }
+
+    #[test]
+    fn disconnected_idle_ip_is_fine() {
+        let m = TwoIpModel::figure_6a(); // f = 0, GPU idle
+        let (soc, w) = (m.soc().unwrap(), m.workload().unwrap());
+        let topology = BusTopology::builder()
+            .bus(Bus::new("cpu-only", BytesPerSec::from_gbps(100.0)).unwrap())
+            .route(0, &[0])
+            .build(2)
+            .unwrap();
+        let eval = topology.evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().to_gops() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topology_shape_is_validated() {
+        let (soc, w) = figure_6d_parts();
+        let topology = BusTopology::builder()
+            .bus(Bus::new("b", BytesPerSec::from_gbps(10.0)).unwrap())
+            .route(0, &[0])
+            .build(3) // built for 3 IPs, SoC has 2
+            .unwrap();
+        assert!(matches!(
+            topology.evaluate(&soc, &w).unwrap_err(),
+            GablesError::BusMatrixShape { .. }
+        ));
+    }
+
+    #[test]
+    fn builder_validates_indices() {
+        let mut b = BusTopology::builder();
+        b.bus(Bus::new("b", BytesPerSec::from_gbps(10.0)).unwrap());
+        b.route(5, &[0]);
+        assert!(b.build(2).is_err());
+
+        let mut b = BusTopology::builder();
+        b.bus(Bus::new("b", BytesPerSec::from_gbps(10.0)).unwrap());
+        b.route(0, &[9]);
+        assert!(b.build(2).is_err());
+
+        assert!(BusTopology::builder().build(2).is_err());
+    }
+
+    #[test]
+    fn bus_validates_bandwidth() {
+        assert!(Bus::new("x", BytesPerSec::from_gbps(0.0)).is_err());
+        assert!(Bus::new("x", BytesPerSec::from_gbps(-1.0)).is_err());
+        let bus = Bus::new("fabric", BytesPerSec::from_gbps(30.0)).unwrap();
+        assert_eq!(bus.name(), "fabric");
+        assert!(bus.to_string().contains("30.000 GB/s"));
+    }
+
+    #[test]
+    fn uses_is_total() {
+        let topology = shared_bus(10.0);
+        assert!(topology.uses(0, 0));
+        assert!(!topology.uses(9, 0));
+        assert!(!topology.uses(0, 9));
+    }
+
+    #[test]
+    fn bottleneck_display() {
+        assert_eq!(InterconnectBottleneck::Bus(2).to_string(), "bus[2]");
+        assert_eq!(InterconnectBottleneck::Ip(0).to_string(), "IP[0]");
+        assert_eq!(
+            InterconnectBottleneck::Memory.to_string(),
+            "memory interface"
+        );
+    }
+}

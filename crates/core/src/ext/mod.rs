@@ -1,0 +1,17 @@
+//! Model extensions from Section V of the paper.
+//!
+//! * [`sram`] — memory-side memory/scratchpad/cache (Section V-A): per-IP
+//!   miss ratios `mi` shrink off-chip traffic to `D'i = mi · Di`.
+//! * [`interconnect`] — detailed on-chip interconnect (Section V-B): a
+//!   topology of buses, each a pure bandwidth bound.
+//! * [`serialized`] — exclusive/serialized work (Section V-C): one IP
+//!   active at a time, times *sum* instead of taking the max, bridging
+//!   Gables to MultiAmdahl.
+//! * [`phased`] — serialized sequences of concurrent phases, the
+//!   "more complex combinations of parallel and serialized work"
+//!   Section V-C points to.
+
+pub mod interconnect;
+pub mod phased;
+pub mod serialized;
+pub mod sram;

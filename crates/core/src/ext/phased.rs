@@ -1,0 +1,339 @@
+//! Phased execution: serialized sequences of concurrent phases.
+//!
+//! Section V-C closes by noting "more complex combinations of parallel
+//! and serialized work are possible with more assumptions, parameters,
+//! and notation". This module implements the most useful such
+//! combination for mobile usecases: a usecase as an ordered sequence of
+//! *phases*, each phase a base-Gables concurrent workload over the same
+//! SoC. Phases serialize (a camera shot: capture phase, then merge
+//! phase, then encode phase); IPs inside a phase run concurrently.
+//!
+//! Each phase carries a weight `wk` (its share of total usecase ops);
+//! phase k's duration per op of usecase work is `wk / Pk` where `Pk` is
+//! the base model's attainable performance on that phase's workload, and
+//!
+//! ```text
+//! Pattainable = 1 / Σk (wk / Pk)
+//! ```
+//!
+//! — a weighted harmonic mean, which degenerates correctly: a single
+//! phase of weight 1 is exactly the base model, and single-IP phases
+//! recover the Section V-C serialized model without its `Di/Bpeak` term
+//! (because a one-IP "concurrent" phase still owns all of `Bpeak`,
+//! which dominates `Di/Bi` never... see `phase_vs_serialized` test for
+//! the precise relationship).
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::model::{evaluate, Bottleneck, Evaluation};
+use crate::soc::SocSpec;
+use crate::units::OpsPerSec;
+use crate::workload::Workload;
+
+/// One phase: a share of total work executed as a concurrent workload.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Phase {
+    /// Phase label (e.g. `"capture"`).
+    pub name: String,
+    /// Share of total usecase ops executed in this phase, in `[0, 1]`;
+    /// the shares of a [`PhasedUsecase`] sum to 1.
+    pub weight: f64,
+    /// How the phase's work is apportioned across the SoC's IPs.
+    pub workload: Workload,
+}
+
+/// A usecase as an ordered sequence of concurrent phases.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PhasedUsecase {
+    phases: Vec<Phase>,
+}
+
+/// Per-phase results of a phased evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseResult {
+    /// The phase name.
+    pub name: String,
+    /// The phase's weight.
+    pub weight: f64,
+    /// The base-model evaluation of the phase's workload.
+    pub evaluation: Evaluation,
+    /// The phase's share of total time (its weight over its attainable,
+    /// normalized by the usecase total).
+    pub time_share: f64,
+}
+
+/// The result of evaluating a phased usecase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedEvaluation {
+    attainable: OpsPerSec,
+    phases: Vec<PhaseResult>,
+}
+
+impl PhasedEvaluation {
+    /// The usecase's maximal attainable performance.
+    pub fn attainable(&self) -> OpsPerSec {
+        self.attainable
+    }
+
+    /// Per-phase results in order.
+    pub fn phases(&self) -> &[PhaseResult] {
+        &self.phases
+    }
+
+    /// The phase consuming the largest share of time — the one to
+    /// optimize first (Amdahl's Law at phase granularity).
+    pub fn dominant_phase(&self) -> Option<&PhaseResult> {
+        self.phases
+            .iter()
+            .max_by(|a, b| a.time_share.total_cmp(&b.time_share))
+    }
+
+    /// The bottleneck of the dominant phase.
+    pub fn dominant_bottleneck(&self) -> Option<Bottleneck> {
+        self.dominant_phase().map(|p| p.evaluation.bottleneck())
+    }
+}
+
+impl fmt::Display for PhasedEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Pattainable = {:.4} Gops/s over {} phases",
+            self.attainable.to_gops(),
+            self.phases.len()
+        )?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  {}: w = {:.3}, P = {:.3} Gops/s, {:.1}% of time ({})",
+                p.name,
+                p.weight,
+                p.evaluation.attainable().to_gops(),
+                100.0 * p.time_share,
+                p.evaluation.bottleneck()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl PhasedUsecase {
+    /// Creates a phased usecase.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::NoIps`] for an empty phase list.
+    /// * [`GablesError::WorkFractionSum`] if weights do not sum to 1.
+    /// * [`GablesError::InvalidParameter`] for weights outside `[0, 1]`.
+    pub fn new(phases: Vec<Phase>) -> Result<Self, GablesError> {
+        if phases.is_empty() {
+            return Err(GablesError::NoIps);
+        }
+        let mut sum = 0.0;
+        for p in &phases {
+            if !p.weight.is_finite() || !(0.0..=1.0).contains(&p.weight) {
+                return Err(GablesError::invalid_parameter(
+                    "phase weight",
+                    p.weight,
+                    "must be finite and within [0, 1]",
+                ));
+            }
+            sum += p.weight;
+        }
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(GablesError::WorkFractionSum { sum });
+        }
+        Ok(Self { phases })
+    }
+
+    /// The phases in execution order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Evaluates the phased usecase on a SoC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates base-model errors ([`GablesError::IpCountMismatch`] on
+    /// workload/SoC shape mismatches).
+    pub fn evaluate(&self, soc: &SocSpec) -> Result<PhasedEvaluation, GablesError> {
+        let mut total_time = 0.0;
+        let mut partial: Vec<(f64, Evaluation)> = Vec::with_capacity(self.phases.len());
+        for phase in &self.phases {
+            let eval = evaluate(soc, &phase.workload)?;
+            let time = if phase.weight > 0.0 {
+                phase.weight / eval.attainable().value()
+            } else {
+                0.0
+            };
+            total_time += time;
+            partial.push((time, eval));
+        }
+        let phases = self
+            .phases
+            .iter()
+            .zip(partial)
+            .map(|(phase, (time, evaluation))| PhaseResult {
+                name: phase.name.clone(),
+                weight: phase.weight,
+                evaluation,
+                time_share: if total_time > 0.0 { time / total_time } else { 0.0 },
+            })
+            .collect();
+        Ok(PhasedEvaluation {
+            attainable: OpsPerSec::new(1.0 / total_time),
+            phases,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_ip::TwoIpModel;
+
+    fn soc() -> SocSpec {
+        TwoIpModel::figure_6d().soc().unwrap()
+    }
+
+    fn phase(name: &str, weight: f64, f: f64, i0: f64, i1: f64) -> Phase {
+        Phase {
+            name: name.into(),
+            weight,
+            workload: Workload::two_ip(f, i0, i1).unwrap(),
+        }
+    }
+
+    #[test]
+    fn single_phase_equals_base_model() {
+        let usecase =
+            PhasedUsecase::new(vec![phase("all", 1.0, 0.75, 8.0, 8.0)]).unwrap();
+        let eval = usecase.evaluate(&soc()).unwrap();
+        assert!((eval.attainable().to_gops() - 160.0).abs() < 1e-9);
+        assert_eq!(eval.phases().len(), 1);
+        assert!((eval.phases()[0].time_share - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phased_is_weighted_harmonic_mean() {
+        // Phase A: balanced 160 Gops/s. Phase B: CPU-only 40 Gops/s.
+        let usecase = PhasedUsecase::new(vec![
+            phase("merge", 0.5, 0.75, 8.0, 8.0),
+            phase("encode", 0.5, 0.0, 8.0, 8.0),
+        ])
+        .unwrap();
+        let eval = usecase.evaluate(&soc()).unwrap();
+        let expect = 1.0 / (0.5 / 160.0 + 0.5 / 40.0);
+        assert!((eval.attainable().to_gops() - expect).abs() < 1e-9);
+        // The slow phase dominates time.
+        let dom = eval.dominant_phase().unwrap();
+        assert_eq!(dom.name, "encode");
+        assert!((dom.time_share - 0.8).abs() < 1e-9);
+        assert_eq!(
+            eval.dominant_bottleneck().unwrap(),
+            crate::model::Bottleneck::Ip(0)
+        );
+    }
+
+    #[test]
+    fn phased_never_beats_best_phase_nor_trails_worst() {
+        let usecase = PhasedUsecase::new(vec![
+            phase("a", 0.3, 0.75, 8.0, 8.0),
+            phase("b", 0.3, 0.75, 8.0, 0.1),
+            phase("c", 0.4, 0.0, 8.0, 8.0),
+        ])
+        .unwrap();
+        let eval = usecase.evaluate(&soc()).unwrap();
+        let rates: Vec<f64> = eval
+            .phases()
+            .iter()
+            .map(|p| p.evaluation.attainable().value())
+            .collect();
+        let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rates.iter().cloned().fold(0.0, f64::max);
+        let p = eval.attainable().value();
+        assert!(p >= lo * (1.0 - 1e-12));
+        assert!(p <= hi * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn zero_weight_phase_is_free() {
+        let base = PhasedUsecase::new(vec![phase("a", 1.0, 0.75, 8.0, 8.0)]).unwrap();
+        let with_free = PhasedUsecase::new(vec![
+            phase("a", 1.0, 0.75, 8.0, 8.0),
+            phase("noop", 0.0, 0.75, 8.0, 0.1),
+        ])
+        .unwrap();
+        let p1 = base.evaluate(&soc()).unwrap().attainable();
+        let p2 = with_free.evaluate(&soc()).unwrap().attainable();
+        assert!((p1.value() - p2.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PhasedUsecase::new(vec![]).is_err());
+        assert!(PhasedUsecase::new(vec![phase("a", 0.7, 0.0, 8.0, 8.0)]).is_err());
+        assert!(PhasedUsecase::new(vec![phase("a", 1.5, 0.0, 8.0, 8.0)]).is_err());
+        assert!(PhasedUsecase::new(vec![phase("a", f64::NAN, 0.0, 8.0, 8.0)]).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_propagates() {
+        let usecase = PhasedUsecase::new(vec![phase("a", 1.0, 0.75, 8.0, 8.0)]).unwrap();
+        let one_ip = SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(1.0))
+            .bpeak(crate::units::BytesPerSec::from_gbps(1.0))
+            .cpu("CPU", crate::units::BytesPerSec::from_gbps(1.0))
+            .build()
+            .unwrap();
+        assert!(usecase.evaluate(&one_ip).is_err());
+    }
+
+    #[test]
+    fn display_lists_phases() {
+        let usecase = PhasedUsecase::new(vec![
+            phase("capture", 0.25, 0.0, 8.0, 8.0),
+            phase("merge", 0.75, 0.75, 8.0, 8.0),
+        ])
+        .unwrap();
+        let text = usecase.evaluate(&soc()).unwrap().to_string();
+        assert!(text.contains("capture"));
+        assert!(text.contains("merge"));
+        assert!(text.contains("% of time"));
+    }
+
+    #[test]
+    fn phase_vs_serialized_extension() {
+        // Single-IP phases with all of Bpeak available differ from the
+        // V-C serialized model only by its explicit Di/Bpeak term; when
+        // Bpeak is wide, they coincide.
+        use crate::ext::serialized::evaluate_serialized;
+        let m = TwoIpModel {
+            bpeak_gbps: 1.0e6,
+            ..TwoIpModel::figure_6d()
+        };
+        let soc = m.soc().unwrap();
+        let phases = PhasedUsecase::new(vec![
+            Phase {
+                name: "cpu".into(),
+                weight: 0.25,
+                workload: Workload::two_ip(0.0, 8.0, 8.0).unwrap(),
+            },
+            Phase {
+                name: "gpu".into(),
+                weight: 0.75,
+                workload: Workload::two_ip(1.0, 8.0, 8.0).unwrap(),
+            },
+        ])
+        .unwrap();
+        let phased = phases.evaluate(&soc).unwrap().attainable();
+        let serial = evaluate_serialized(&soc, &m.workload().unwrap())
+            .unwrap()
+            .attainable();
+        assert!((phased.value() - serial.value()).abs() / serial.value() < 1e-9);
+    }
+}

@@ -1,0 +1,260 @@
+//! Exclusive/serialized-work extension (Section V-C).
+//!
+//! The base model assumes all IPs run concurrently. This extension models
+//! the opposite regime — only one IP active at a time, as Amdahl's Law and
+//! MultiAmdahl assume — while keeping Gables' data-movement bounds. Each
+//! IP still overlaps its own data transfer with its own execution, and its
+//! off-chip transfer now competes with nothing, so Equation 18 adds a
+//! `Di/Bpeak` term to the per-IP max:
+//!
+//! ```text
+//! T'IP[i]     = max(Di / Bpeak, Di / Bi, Ci)     (Equation 18)
+//! Pattainable = 1 / Σ T'IP[i]                    (Equation 19)
+//! ```
+//!
+//! `Tmemory` is omitted because off-chip transfer is folded into each
+//! exclusive phase.
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::soc::SocSpec;
+use crate::units::{OpsPerSec, Seconds};
+use crate::workload::Workload;
+
+/// Which of the three limits binds one IP's exclusive phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SerialLimit {
+    /// Off-chip transfer `Di / Bpeak` dominates.
+    OffChip,
+    /// The IP's own port `Di / Bi` dominates.
+    IpBandwidth,
+    /// Execution `Ci` dominates.
+    Compute,
+    /// No work at this IP.
+    Idle,
+}
+
+impl fmt::Display for SerialLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialLimit::OffChip => write!(f, "off-chip-bandwidth-bound"),
+            SerialLimit::IpBandwidth => write!(f, "ip-bandwidth-bound"),
+            SerialLimit::Compute => write!(f, "compute-bound"),
+            SerialLimit::Idle => write!(f, "idle"),
+        }
+    }
+}
+
+/// One IP's exclusive phase under Equation 18.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SerialPhase {
+    /// `T'IP[i] = max(Di/Bpeak, Di/Bi, Ci)`.
+    pub time: Seconds,
+    /// Which term of the max binds.
+    pub limit: SerialLimit,
+}
+
+/// The result of a Section V-C evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SerializedEvaluation {
+    attainable: OpsPerSec,
+    phases: Vec<SerialPhase>,
+    total_time: Seconds,
+}
+
+impl SerializedEvaluation {
+    /// `Pattainable = 1 / Σ T'IP[i]` (Equation 19).
+    pub fn attainable(&self) -> OpsPerSec {
+        self.attainable
+    }
+
+    /// Every IP's exclusive phase, in IP index order.
+    pub fn phases(&self) -> &[SerialPhase] {
+        &self.phases
+    }
+
+    /// `Σ T'IP[i]`, the serialized usecase time per op of work.
+    pub fn total_time(&self) -> Seconds {
+        self.total_time
+    }
+
+    /// The index of the IP whose phase takes the longest — under
+    /// serialization the "bottleneck" is the largest *addend*, not a max.
+    /// Returns `None` if no IP has work.
+    pub fn longest_phase(&self) -> Option<usize> {
+        self.phases
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.limit != SerialLimit::Idle)
+            .max_by(|(_, a), (_, b)| a.time.value().total_cmp(&b.time.value()))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Evaluates the serialized/exclusive-work model (Equations 18–19).
+///
+/// # Errors
+///
+/// Returns [`GablesError::IpCountMismatch`] if the workload spans a
+/// different number of IPs than the SoC has.
+///
+/// # Examples
+///
+/// Serialized execution can never beat concurrent execution on the same
+/// inputs:
+///
+/// ```
+/// use gables_model::{evaluate, ext::serialized::evaluate_serialized};
+/// use gables_model::two_ip::TwoIpModel;
+///
+/// let m = TwoIpModel::figure_6d();
+/// let concurrent = evaluate(&m.soc()?, &m.workload()?)?.attainable();
+/// let serial = evaluate_serialized(&m.soc()?, &m.workload()?)?.attainable();
+/// assert!(serial.value() <= concurrent.value());
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn evaluate_serialized(
+    soc: &SocSpec,
+    workload: &Workload,
+) -> Result<SerializedEvaluation, GablesError> {
+    if soc.ip_count() != workload.ip_count() {
+        return Err(GablesError::IpCountMismatch {
+            soc_ips: soc.ip_count(),
+            workload_ips: workload.ip_count(),
+        });
+    }
+    let mut phases = Vec::with_capacity(soc.ip_count());
+    let mut total = 0.0;
+    for (spec, assignment) in soc.ips().iter().zip(workload.assignments()) {
+        let f = assignment.fraction().value();
+        if f == 0.0 {
+            phases.push(SerialPhase {
+                time: Seconds::new(0.0),
+                limit: SerialLimit::Idle,
+            });
+            continue;
+        }
+        let data = f / assignment.intensity().value();
+        let offchip = data / soc.bpeak().value();
+        let port = data / spec.bandwidth().value();
+        let compute = f / (spec.acceleration() * soc.ppeak()).value();
+        let (time, limit) = [
+            (offchip, SerialLimit::OffChip),
+            (port, SerialLimit::IpBandwidth),
+            (compute, SerialLimit::Compute),
+        ]
+        .into_iter()
+        .max_by(|(a, _), (b, _)| a.total_cmp(b))
+        .expect("three candidates");
+        total += time;
+        phases.push(SerialPhase {
+            time: Seconds::new(time),
+            limit,
+        });
+    }
+    Ok(SerializedEvaluation {
+        attainable: OpsPerSec::new(1.0 / total),
+        phases,
+        total_time: Seconds::new(total),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::evaluate;
+    use crate::two_ip::TwoIpModel;
+
+    #[test]
+    fn serialized_never_beats_concurrent() {
+        for (_, m, _) in TwoIpModel::figure_6_progression() {
+            let soc = m.soc().unwrap();
+            let w = m.workload().unwrap();
+            let serial = evaluate_serialized(&soc, &w).unwrap().attainable();
+            let concurrent = evaluate(&soc, &w).unwrap().attainable();
+            assert!(
+                serial.value() <= concurrent.value() * (1.0 + 1e-12),
+                "serialized {serial} beat concurrent {concurrent}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_active_ip_matches_concurrent_when_ip_binds() {
+        // Figure 6a: all work on the CPU, compute-bound at 40 Gops/s; with
+        // only one phase, serialization changes nothing (B0=6 < Bpeak=10,
+        // and compute binds anyway).
+        let m = TwoIpModel::figure_6a();
+        let eval = evaluate_serialized(&m.soc().unwrap(), &m.workload().unwrap()).unwrap();
+        assert!((eval.attainable().to_gops() - 40.0).abs() < 1e-9);
+        assert_eq!(eval.phases()[0].limit, SerialLimit::Compute);
+        assert_eq!(eval.phases()[1].limit, SerialLimit::Idle);
+        assert_eq!(eval.longest_phase(), Some(0));
+    }
+
+    #[test]
+    fn equation_18_and_19_arithmetic() {
+        // Figure 6d parameters, f = 0.75, I0 = I1 = 8, Bpeak = 20.
+        let m = TwoIpModel::figure_6d();
+        let eval = evaluate_serialized(&m.soc().unwrap(), &m.workload().unwrap()).unwrap();
+        // CPU phase: D0 = 0.25/8 = 0.03125 B/op.
+        //   off-chip 0.03125/20e9, port 0.03125/6e9, compute 0.25/40e9.
+        //   compute = 6.25e-12 binds (port = 5.2e-12).
+        let t0 = 0.25 / 40.0e9;
+        // GPU phase: D1 = 0.75/8 = 0.09375 B/op.
+        //   off-chip 0.09375/20e9 = 4.69e-12, port 0.09375/15e9 = 6.25e-12,
+        //   compute 0.75/200e9 = 3.75e-12 -> port binds.
+        let t1 = 0.09375 / 15.0e9;
+        assert!((eval.phases()[0].time.value() - t0).abs() < 1e-22);
+        assert_eq!(eval.phases()[0].limit, SerialLimit::Compute);
+        assert!((eval.phases()[1].time.value() - t1).abs() < 1e-22);
+        assert_eq!(eval.phases()[1].limit, SerialLimit::IpBandwidth);
+        let expected = 1.0 / (t0 + t1);
+        assert!((eval.attainable().value() - expected).abs() / expected < 1e-12);
+        assert!((eval.total_time().value() - (t0 + t1)).abs() < 1e-22);
+    }
+
+    #[test]
+    fn offchip_term_can_bind() {
+        // Give the IP a huge port and huge compute so Di/Bpeak dominates.
+        let soc = SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(1000.0))
+            .bpeak(crate::units::BytesPerSec::from_gbps(1.0))
+            .cpu("CPU", crate::units::BytesPerSec::from_gbps(100.0))
+            .build()
+            .unwrap();
+        let mut b = Workload::builder();
+        b.work(1.0, 0.5).unwrap();
+        let w = b.build().unwrap();
+        let eval = evaluate_serialized(&soc, &w).unwrap();
+        assert_eq!(eval.phases()[0].limit, SerialLimit::OffChip);
+        // D = 2 bytes/op over 1 GB/s -> 0.5 Gops/s.
+        assert!((eval.attainable().to_gops() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let m = TwoIpModel::figure_6a();
+        let mut b = Workload::builder();
+        b.work(1.0, 8.0).unwrap();
+        let w = b.build().unwrap();
+        assert!(matches!(
+            evaluate_serialized(&m.soc().unwrap(), &w).unwrap_err(),
+            GablesError::IpCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn limits_display() {
+        assert_eq!(SerialLimit::OffChip.to_string(), "off-chip-bandwidth-bound");
+        assert_eq!(SerialLimit::IpBandwidth.to_string(), "ip-bandwidth-bound");
+        assert_eq!(SerialLimit::Compute.to_string(), "compute-bound");
+        assert_eq!(SerialLimit::Idle.to_string(), "idle");
+    }
+
+    use crate::units::OpsPerSec;
+}

@@ -1,0 +1,258 @@
+//! Memory-side memory/scratchpad/cache extension (Section V-A).
+//!
+//! The base model assumes all inter-IP communication flows through DRAM.
+//! This extension adds a shared on-chip (or on-package) memory in front of
+//! DRAM: IP\[i\]'s references reach DRAM only with probability `mi`
+//! (misses) and are reused from the new memory otherwise. Off-chip traffic
+//! shrinks to `D'i = mi · Di` and Equation 15 replaces Equation 10:
+//!
+//! ```text
+//! Tmemory = Σ D'i / Bpeak
+//! ```
+//!
+//! Everything else — the per-IP rooflines and Equation 11's max — is
+//! unchanged: the IP still moves its full `Di` through its own port `Bi`;
+//! only the *off-chip* leg is filtered.
+
+use crate::error::GablesError;
+use crate::model::{Bottleneck, Evaluation};
+use crate::soc::SocSpec;
+use crate::units::{MissRatio, OpsPerSec, Seconds};
+use crate::workload::Workload;
+
+/// The memory-side SRAM extension: one miss ratio per IP.
+///
+/// # Examples
+///
+/// A memory-side cache that captures 90% of the GPU's references rescues
+/// the paper's Figure 6b scenario without touching `Bpeak`:
+///
+/// ```
+/// use gables_model::ext::sram::MemorySideSram;
+/// use gables_model::two_ip::TwoIpModel;
+/// use gables_model::units::MissRatio;
+///
+/// let m = TwoIpModel::figure_6b();
+/// let base = m.evaluate()?.attainable().to_gops();
+/// let sram = MemorySideSram::new(vec![
+///     MissRatio::CERTAIN,
+///     MissRatio::new(0.1)?,
+/// ]);
+/// let cached = sram.evaluate(&m.soc()?, &m.workload()?)?.attainable().to_gops();
+/// assert!(cached > base);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemorySideSram {
+    miss_ratios: Vec<MissRatio>,
+}
+
+/// The result of a Section V-A evaluation: the adjusted attainable
+/// performance plus the filtered memory-interface time.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SramEvaluation {
+    attainable: OpsPerSec,
+    bottleneck: Bottleneck,
+    memory_time: Seconds,
+    offchip_data_per_op: f64,
+    base: Evaluation,
+}
+
+impl SramEvaluation {
+    /// `Pattainable` with the memory-side SRAM in place.
+    pub fn attainable(&self) -> OpsPerSec {
+        self.attainable
+    }
+
+    /// The limiting component under the extension.
+    pub fn bottleneck(&self) -> Bottleneck {
+        self.bottleneck
+    }
+
+    /// `Tmemory = Σ D'i / Bpeak` (Equation 15).
+    pub fn memory_time(&self) -> Seconds {
+        self.memory_time
+    }
+
+    /// Total off-chip bytes per op after filtering, `Σ mi · Di`.
+    pub fn offchip_data_per_op(&self) -> f64 {
+        self.offchip_data_per_op
+    }
+
+    /// The underlying base-model evaluation (whose per-IP terms still
+    /// apply verbatim under this extension).
+    pub fn base(&self) -> &Evaluation {
+        &self.base
+    }
+}
+
+impl MemorySideSram {
+    /// Creates the extension from per-IP miss ratios (index-aligned with
+    /// the SoC's IPs).
+    pub fn new(miss_ratios: Vec<MissRatio>) -> Self {
+        Self { miss_ratios }
+    }
+
+    /// A uniform miss ratio across all `n` IPs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `miss_ratio` is outside
+    /// `[0, 1]`.
+    pub fn uniform(n: usize, miss_ratio: f64) -> Result<Self, GablesError> {
+        let m = MissRatio::new(miss_ratio)?;
+        Ok(Self {
+            miss_ratios: vec![m; n],
+        })
+    }
+
+    /// The per-IP miss ratios.
+    pub fn miss_ratios(&self) -> &[MissRatio] {
+        &self.miss_ratios
+    }
+
+    /// Evaluates the N-IP model with Equation 15 replacing Equation 10.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::IpCountMismatch`] if the miss-ratio vector or the
+    ///   workload do not match the SoC's IP count.
+    pub fn evaluate(
+        &self,
+        soc: &SocSpec,
+        workload: &Workload,
+    ) -> Result<SramEvaluation, GablesError> {
+        if self.miss_ratios.len() != soc.ip_count() {
+            return Err(GablesError::IpCountMismatch {
+                soc_ips: soc.ip_count(),
+                workload_ips: self.miss_ratios.len(),
+            });
+        }
+        let base = crate::model::evaluate(soc, workload)?;
+
+        // D'i = mi * Di; only the off-chip leg is filtered.
+        let offchip_data: f64 = base
+            .ips()
+            .iter()
+            .zip(&self.miss_ratios)
+            .map(|(ip, m)| m.value() * ip.data.value())
+            .sum();
+        let memory_time = offchip_data / soc.bpeak().value();
+
+        let mut bottleneck = Bottleneck::Memory;
+        let mut max_time = memory_time;
+        for (i, ip) in base.ips().iter().enumerate().rev() {
+            if ip.time.value() >= max_time {
+                bottleneck = Bottleneck::Ip(i);
+                max_time = ip.time.value();
+            }
+        }
+        Ok(SramEvaluation {
+            attainable: OpsPerSec::new(1.0 / max_time),
+            bottleneck,
+            memory_time: Seconds::new(memory_time),
+            offchip_data_per_op: offchip_data,
+            base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_ip::TwoIpModel;
+
+    fn figure_6b_parts() -> (SocSpec, Workload) {
+        let m = TwoIpModel::figure_6b();
+        (m.soc().unwrap(), m.workload().unwrap())
+    }
+
+    #[test]
+    fn all_miss_degenerates_to_base_model() {
+        let (soc, w) = figure_6b_parts();
+        let ext = MemorySideSram::uniform(2, 1.0).unwrap();
+        let with = ext.evaluate(&soc, &w).unwrap();
+        let base = crate::model::evaluate(&soc, &w).unwrap();
+        assert!((with.attainable().value() - base.attainable().value()).abs() < 1e-6);
+        assert_eq!(with.bottleneck(), base.bottleneck());
+    }
+
+    #[test]
+    fn perfect_reuse_removes_memory_from_the_picture() {
+        let (soc, w) = figure_6b_parts();
+        let ext = MemorySideSram::uniform(2, 0.0).unwrap();
+        let eval = ext.evaluate(&soc, &w).unwrap();
+        assert_eq!(eval.memory_time().value(), 0.0);
+        assert_eq!(eval.offchip_data_per_op(), 0.0);
+        // With memory out of the way, IP[1]'s own port binds at 2 Gops/s
+        // (min(15*0.1, 200)/0.75).
+        assert!((eval.attainable().to_gops() - 2.0).abs() < 1e-9);
+        assert_eq!(eval.bottleneck(), Bottleneck::Ip(1));
+    }
+
+    #[test]
+    fn filtering_only_the_gpu_rescues_figure_6b() {
+        let (soc, w) = figure_6b_parts();
+        let base = crate::model::evaluate(&soc, &w).unwrap().attainable();
+        let ext = MemorySideSram::new(vec![
+            MissRatio::CERTAIN,
+            MissRatio::new(0.05).unwrap(),
+        ]);
+        let eval = ext.evaluate(&soc, &w).unwrap();
+        assert!(eval.attainable().value() > base.value());
+    }
+
+    #[test]
+    fn attainable_is_monotone_in_miss_ratio() {
+        let (soc, w) = figure_6b_parts();
+        let mut last = f64::INFINITY;
+        for m in [0.0, 0.1, 0.3, 0.5, 0.8, 1.0] {
+            let eval = MemorySideSram::uniform(2, m)
+                .unwrap()
+                .evaluate(&soc, &w)
+                .unwrap();
+            assert!(eval.attainable().value() <= last + 1e-6);
+            last = eval.attainable().value();
+        }
+    }
+
+    #[test]
+    fn equation_15_arithmetic() {
+        let (soc, w) = figure_6b_parts();
+        let ext =
+            MemorySideSram::new(vec![MissRatio::new(0.5).unwrap(), MissRatio::new(0.2).unwrap()]);
+        let eval = ext.evaluate(&soc, &w).unwrap();
+        // D0 = 0.25/8 = 0.03125, D1 = 0.75/0.1 = 7.5.
+        let expected = 0.5 * 0.03125 + 0.2 * 7.5;
+        assert!((eval.offchip_data_per_op() - expected).abs() < 1e-12);
+        assert!((eval.memory_time().value() - expected / 10.0e9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn miss_vector_shape_is_validated() {
+        let (soc, w) = figure_6b_parts();
+        let ext = MemorySideSram::new(vec![MissRatio::CERTAIN]);
+        assert!(matches!(
+            ext.evaluate(&soc, &w).unwrap_err(),
+            GablesError::IpCountMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn uniform_rejects_invalid_ratio() {
+        assert!(MemorySideSram::uniform(2, 1.5).is_err());
+        assert!(MemorySideSram::uniform(2, -0.1).is_err());
+    }
+
+    #[test]
+    fn base_breakdown_is_preserved() {
+        let (soc, w) = figure_6b_parts();
+        let ext = MemorySideSram::uniform(2, 0.5).unwrap();
+        let eval = ext.evaluate(&soc, &w).unwrap();
+        // The IP-side picture is untouched by the extension.
+        assert!((eval.base().ip(0).unwrap().perf_bound.unwrap().to_gops() - 160.0).abs() < 1e-9);
+        assert!((eval.base().ip(1).unwrap().perf_bound.unwrap().to_gops() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! # gables-model
+//!
+//! A faithful implementation of **Gables: A Roofline Model for Mobile
+//! SoCs** (Hill & Janapa Reddi, HPCA 2019).
+//!
+//! Gables retargets the classic Roofline model at a system-on-chip with
+//! `N` IP blocks (CPU complex plus accelerators) that operate
+//! *concurrently* and share off-chip memory bandwidth. Hardware is modeled
+//! by a roofline per IP — peak performance `Ai · Ppeak` and bandwidth `Bi`
+//! — plus the shared `Bpeak`; a software usecase apportions work fractions
+//! `fi` at operational intensities `Ii` across the IPs. The model computes
+//! the usecase's maximal attainable performance and identifies the binding
+//! bottleneck.
+//!
+//! ## Quickstart
+//!
+//! The paper's Figure 6 walkthrough in four lines:
+//!
+//! ```
+//! use gables_model::two_ip::TwoIpModel;
+//!
+//! for (name, scenario, expected_gops) in TwoIpModel::figure_6_progression() {
+//!     let got = scenario.attainable_gops()?;
+//!     assert!((got - expected_gops).abs() < 1e-9, "figure {name}");
+//! }
+//! # Ok::<(), gables_model::GablesError>(())
+//! ```
+//!
+//! Or with the full N-IP API:
+//!
+//! ```
+//! use gables_model::{evaluate, SocSpec, Workload};
+//! use gables_model::units::{BytesPerSec, OpsPerSec};
+//!
+//! let soc = SocSpec::builder()
+//!     .ppeak(OpsPerSec::from_gops(40.0))
+//!     .bpeak(BytesPerSec::from_gbps(20.0))
+//!     .cpu("CPU", BytesPerSec::from_gbps(6.0))
+//!     .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))?
+//!     .build()?;
+//! let usecase = Workload::two_ip(0.75, 8.0, 8.0)?;
+//! let eval = evaluate(&soc, &usecase)?;
+//! assert_eq!(eval.attainable().to_gops(), 160.0);
+//! # Ok::<(), gables_model::GablesError>(())
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`units`] — newtyped quantities (Gops/s, GB/s, ops/byte, …).
+//! * [`soc`] / [`workload`] — the hardware and software inputs of Table II.
+//! * [`model`] — the base N-IP model (Equations 9–14), time form and
+//!   performance form.
+//! * [`two_ip`] — the Section III-B two-IP primer and appendix scenarios.
+//! * [`ext`] — Section V extensions: memory-side SRAM, interconnect
+//!   topologies, serialized work.
+//! * [`analysis`] — sweeps, balance solvers, sensitivity analysis.
+//! * [`baselines`] — Roofline, Amdahl, Gustafson, MultiAmdahl, bottleneck
+//!   combinators (Section VI).
+//! * [`viz`] — sampled multi-roofline plot data (Section III-C), rendered
+//!   by the companion `gables-plot` crate.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod baselines;
+pub mod error;
+pub mod explore;
+pub mod ext;
+pub mod model;
+pub mod soc;
+pub mod two_ip;
+pub mod units;
+pub mod viz;
+pub mod whatif;
+pub mod workload;
+
+pub use error::GablesError;
+pub use model::{evaluate, Bottleneck, Evaluation, IpLimit};
+pub use soc::{IpSpec, SocSpec};
+pub use workload::{WorkAssignment, Workload};
+
+#[cfg(test)]
+mod proptests {
+    //! Cross-module property tests for the invariants DESIGN.md calls out.
+
+    use proptest::prelude::*;
+
+    use crate::ext::serialized::evaluate_serialized;
+    use crate::ext::sram::MemorySideSram;
+    use crate::model::{attainable_perf_form, evaluate};
+    use crate::soc::SocSpec;
+    use crate::units::{BytesPerSec, OpsPerSec};
+    use crate::workload::Workload;
+
+    /// Strategy: a plausible 2–5-IP SoC with positive parameters.
+    fn soc_strategy() -> impl Strategy<Value = SocSpec> {
+        (
+            0.5f64..500.0,                       // Ppeak Gops/s
+            0.5f64..100.0,                       // Bpeak GB/s
+            proptest::collection::vec((0.1f64..100.0, 0.1f64..50.0), 1..5),
+            0.1f64..50.0,                        // CPU bandwidth
+        )
+            .prop_map(|(ppeak, bpeak, accs, b0)| {
+                let mut b = SocSpec::builder();
+                b.ppeak(OpsPerSec::from_gops(ppeak))
+                    .bpeak(BytesPerSec::from_gbps(bpeak))
+                    .cpu("CPU", BytesPerSec::from_gbps(b0));
+                for (idx, (a, bw)) in accs.iter().enumerate() {
+                    b.accelerator(format!("ACC{idx}"), *a, BytesPerSec::from_gbps(*bw))
+                        .unwrap();
+                }
+                b.build().unwrap()
+            })
+    }
+
+    /// Strategy: a workload for an `n`-IP SoC with normalized fractions.
+    fn workload_strategy(n: usize) -> impl Strategy<Value = Workload> {
+        (
+            proptest::collection::vec(0.0f64..1.0, n),
+            proptest::collection::vec(0.01f64..1024.0, n),
+        )
+            .prop_filter_map("needs nonzero total weight", move |(weights, intensities)| {
+                let total: f64 = weights.iter().sum();
+                if total <= 0.0 {
+                    return None;
+                }
+                let mut b = Workload::builder();
+                // Assign exact residual to the last IP to defeat rounding.
+                let mut assigned = 0.0_f64;
+                for i in 0..n {
+                    let f = if i == n - 1 {
+                        (1.0 - assigned).max(0.0)
+                    } else {
+                        weights[i] / total
+                    };
+                    assigned += f;
+                    b.work(f.min(1.0), intensities[i]).ok()?;
+                }
+                b.build().ok()
+            })
+    }
+
+    fn soc_and_workload() -> impl Strategy<Value = (SocSpec, Workload)> {
+        soc_strategy().prop_flat_map(|soc| {
+            let n = soc.ip_count();
+            (Just(soc), workload_strategy(n))
+        })
+    }
+
+    proptest! {
+        /// The time form and performance form are exact duals.
+        #[test]
+        fn duals_agree((soc, w) in soc_and_workload()) {
+            let t = evaluate(&soc, &w).unwrap().attainable().value();
+            let p = attainable_perf_form(&soc, &w).unwrap().value();
+            prop_assert!((t - p).abs() <= 1e-9 * t.max(p));
+        }
+
+        /// Pattainable never exceeds any individual component bound.
+        #[test]
+        fn attainable_below_every_bound((soc, w) in soc_and_workload()) {
+            let eval = evaluate(&soc, &w).unwrap();
+            let p = eval.attainable().value();
+            for ip in eval.ips() {
+                if let Some(bound) = ip.perf_bound {
+                    prop_assert!(p <= bound.value() * (1.0 + 1e-12));
+                }
+            }
+            prop_assert!(p <= eval.memory_bound().value() * (1.0 + 1e-12));
+        }
+
+        /// More off-chip bandwidth never hurts.
+        #[test]
+        fn monotone_in_bpeak((soc, w) in soc_and_workload(), scale in 1.0f64..10.0) {
+            let base = evaluate(&soc, &w).unwrap().attainable().value();
+            let wider = soc.with_bpeak(soc.bpeak() * scale).unwrap();
+            let better = evaluate(&wider, &w).unwrap().attainable().value();
+            prop_assert!(better >= base * (1.0 - 1e-12));
+        }
+
+        /// Raising any active IP's operational intensity never hurts.
+        #[test]
+        fn monotone_in_intensity((soc, w) in soc_and_workload(), scale in 1.0f64..10.0) {
+            let base = evaluate(&soc, &w).unwrap().attainable().value();
+            for i in w.active_ips().collect::<Vec<_>>() {
+                let ii = w.assignment(i).unwrap().intensity().value();
+                let raised = w.with_intensity(i, ii * scale).unwrap();
+                let better = evaluate(&soc, &raised).unwrap().attainable().value();
+                prop_assert!(better >= base * (1.0 - 1e-12));
+            }
+        }
+
+        /// The SRAM extension with all-miss ratios equals the base model,
+        /// and any filtering only helps.
+        #[test]
+        fn sram_extension_brackets_base((soc, w) in soc_and_workload(), m in 0.0f64..1.0) {
+            let base = evaluate(&soc, &w).unwrap().attainable().value();
+            let all_miss = MemorySideSram::uniform(soc.ip_count(), 1.0).unwrap()
+                .evaluate(&soc, &w).unwrap().attainable().value();
+            prop_assert!((all_miss - base).abs() <= 1e-9 * base);
+            let filtered = MemorySideSram::uniform(soc.ip_count(), m).unwrap()
+                .evaluate(&soc, &w).unwrap().attainable().value();
+            prop_assert!(filtered >= base * (1.0 - 1e-12));
+        }
+
+        /// Serialized execution never beats concurrent execution.
+        #[test]
+        fn serialized_below_concurrent((soc, w) in soc_and_workload()) {
+            let concurrent = evaluate(&soc, &w).unwrap().attainable().value();
+            let serial = evaluate_serialized(&soc, &w).unwrap().attainable().value();
+            prop_assert!(serial <= concurrent * (1.0 + 1e-9));
+        }
+
+        /// Iavg lies between the smallest and largest active intensity.
+        #[test]
+        fn iavg_within_active_range((_soc, w) in soc_and_workload()) {
+            let iavg = w.iavg().unwrap().value();
+            let actives: Vec<f64> = w.assignments().iter()
+                .filter(|a| a.is_active())
+                .map(|a| a.intensity().value())
+                .collect();
+            let lo = actives.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = actives.iter().cloned().fold(0.0, f64::max);
+            prop_assert!(iavg >= lo * (1.0 - 1e-9));
+            prop_assert!(iavg <= hi * (1.0 + 1e-9));
+        }
+    }
+}

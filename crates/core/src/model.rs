@@ -1,0 +1,597 @@
+//! The base N-IP Gables model (Section III-D).
+//!
+//! [`evaluate`] implements the *time form* of the model, Equations 9–11:
+//!
+//! ```text
+//! Ci        = fi / (Ai · Ppeak)                    compute time at IP[i]
+//! Di        = fi / Ii                              data transferred for IP[i]
+//! TIP[i]    = max(Di / Bi, Ci)                     time at IP[i]
+//! Tmemory   = (Σ Di) / Bpeak                       time at the memory interface
+//! Pattainable = 1 / max(TIP[0..N], Tmemory)
+//! ```
+//!
+//! All work is normalized so that the whole usecase is one operation; the
+//! resulting times are seconds per op and their reciprocals are ops/sec.
+//!
+//! The *performance/roofline form* (Equations 12–14) is exposed as
+//! [`scaled_ip_roofline`] and [`memory_roofline`]; property tests verify
+//! that the two forms are duals of one another.
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::soc::SocSpec;
+use crate::units::{Bytes, OpsPerByte, OpsPerSec, Seconds};
+use crate::workload::Workload;
+
+/// Which component of the SoC limits attainable performance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Bottleneck {
+    /// IP\[i\] is the slowest component (either its compute engine or its
+    /// bandwidth `Bi` into the interconnect).
+    Ip(usize),
+    /// The shared off-chip memory interface (`Bpeak`) is the slowest
+    /// component.
+    Memory,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::Ip(i) => write!(f, "IP[{i}]"),
+            Bottleneck::Memory => write!(f, "memory interface"),
+        }
+    }
+}
+
+/// Which of an IP's two limits binds its `TIP[i] = max(Di/Bi, Ci)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum IpLimit {
+    /// The compute engine (`Ci` dominates): the IP sits on the flat part of
+    /// its roofline.
+    Compute,
+    /// The IP's bandwidth into the interconnect (`Di/Bi` dominates): the IP
+    /// sits on the slanted part of its roofline.
+    Bandwidth,
+    /// The IP has no work assigned for this usecase.
+    Idle,
+}
+
+impl fmt::Display for IpLimit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpLimit::Compute => write!(f, "compute-bound"),
+            IpLimit::Bandwidth => write!(f, "bandwidth-bound"),
+            IpLimit::Idle => write!(f, "idle"),
+        }
+    }
+}
+
+/// Per-IP temporaries of Table II for one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IpBreakdown {
+    /// Compute time `Ci = fi / (Ai · Ppeak)` (seconds per op of work).
+    pub compute_time: Seconds,
+    /// Data transferred `Di = fi / Ii` (bytes per op of work).
+    pub data: Bytes,
+    /// Transfer time through the IP's port, `Di / Bi`.
+    pub transfer_time: Seconds,
+    /// `TIP[i] = max(Di/Bi, Ci)`.
+    pub time: Seconds,
+    /// Which of the two limits binds (Equation 9's `max`).
+    pub limit: IpLimit,
+    /// The dual performance bound `1/TIP[i]` (Equation 12), `None` for an
+    /// idle IP — the paper omits the term when `fi = 0` to avoid dividing
+    /// by zero.
+    pub perf_bound: Option<OpsPerSec>,
+}
+
+/// The result of evaluating a workload on a SoC: `Pattainable` plus every
+/// intermediate term needed to understand *why*.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Evaluation {
+    attainable: OpsPerSec,
+    bottleneck: Bottleneck,
+    ips: Vec<IpBreakdown>,
+    memory_time: Seconds,
+    memory_bound: OpsPerSec,
+    iavg: Option<OpsPerByte>,
+}
+
+impl Evaluation {
+    /// The usecase's maximal attainable performance `Pattainable`
+    /// (Equation 11).
+    pub fn attainable(&self) -> OpsPerSec {
+        self.attainable
+    }
+
+    /// The component whose time is largest (ties broken toward the
+    /// lowest-indexed IP, then memory). Use
+    /// [`binding_components`](Self::binding_components) to see ties.
+    pub fn bottleneck(&self) -> Bottleneck {
+        self.bottleneck
+    }
+
+    /// Per-IP breakdowns in IP index order.
+    pub fn ips(&self) -> &[IpBreakdown] {
+        &self.ips
+    }
+
+    /// The per-IP breakdown for IP\[i\].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::IpIndexOutOfBounds`] if `index` is out of
+    /// range.
+    pub fn ip(&self, index: usize) -> Result<&IpBreakdown, GablesError> {
+        self.ips.get(index).ok_or(GablesError::IpIndexOutOfBounds {
+            index,
+            len: self.ips.len(),
+        })
+    }
+
+    /// `Tmemory = Σ Di / Bpeak` (Equation 10).
+    pub fn memory_time(&self) -> Seconds {
+        self.memory_time
+    }
+
+    /// The memory roofline bound `1/Tmemory = Bpeak · Iavg` (Equation 13).
+    pub fn memory_bound(&self) -> OpsPerSec {
+        self.memory_bound
+    }
+
+    /// The workload's average operational intensity (weighted harmonic
+    /// mean); `None` when no IP is active.
+    pub fn iavg(&self) -> Option<OpsPerByte> {
+        self.iavg
+    }
+
+    /// All components whose time is within `rel_tol` (relative) of the
+    /// maximum — the set of simultaneous bottlenecks. A perfectly balanced
+    /// design such as the paper's Figure 6d reports every component here.
+    pub fn binding_components(&self, rel_tol: f64) -> Vec<Bottleneck> {
+        let max = self.max_time();
+        let mut out = Vec::new();
+        for (i, ip) in self.ips.iter().enumerate() {
+            if ip.time.value() >= max * (1.0 - rel_tol) && ip.limit != IpLimit::Idle {
+                out.push(Bottleneck::Ip(i));
+            }
+        }
+        if self.memory_time.value() >= max * (1.0 - rel_tol) {
+            out.push(Bottleneck::Memory);
+        }
+        out
+    }
+
+    /// Whether every active IP *and* the memory interface are simultaneous
+    /// bottlenecks (within `rel_tol`): the "perfectly balanced design" the
+    /// paper reaches in Figure 6d.
+    pub fn is_balanced(&self, rel_tol: f64) -> bool {
+        let binding = self.binding_components(rel_tol);
+        let active = self
+            .ips
+            .iter()
+            .filter(|ip| ip.limit != IpLimit::Idle)
+            .count();
+        binding.len() == active + 1
+    }
+
+    fn max_time(&self) -> f64 {
+        let ip_max = self
+            .ips
+            .iter()
+            .map(|ip| ip.time.value())
+            .fold(0.0_f64, f64::max);
+        ip_max.max(self.memory_time.value())
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Pattainable = {:.4} Gops/s (bottleneck: {})",
+            self.attainable.to_gops(),
+            self.bottleneck
+        )?;
+        for (i, ip) in self.ips.iter().enumerate() {
+            match ip.perf_bound {
+                Some(bound) => writeln!(
+                    f,
+                    "  IP[{i}]: 1/TIP = {:.4} Gops/s ({})",
+                    bound.to_gops(),
+                    ip.limit
+                )?,
+                None => writeln!(f, "  IP[{i}]: idle")?,
+            }
+        }
+        writeln!(
+            f,
+            "  memory: 1/Tmem = {:.4} Gops/s",
+            self.memory_bound.to_gops()
+        )
+    }
+}
+
+/// Evaluates the base N-IP Gables model (Equations 9–11).
+///
+/// # Errors
+///
+/// Returns [`GablesError::IpCountMismatch`] if the workload spans a
+/// different number of IPs than the SoC has.
+///
+/// # Examples
+///
+/// The paper's Figure 6b: offloading 75% of the work to a GPU with poor
+/// data reuse collapses performance to 1.3 Gops/s:
+///
+/// ```
+/// use gables_model::{evaluate, SocSpec, Workload};
+/// use gables_model::units::{BytesPerSec, OpsPerSec};
+///
+/// let soc = SocSpec::builder()
+///     .ppeak(OpsPerSec::from_gops(40.0))
+///     .bpeak(BytesPerSec::from_gbps(10.0))
+///     .cpu("CPU", BytesPerSec::from_gbps(6.0))
+///     .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))?
+///     .build()?;
+/// let workload = Workload::two_ip(0.75, 8.0, 0.1)?;
+/// let eval = evaluate(&soc, &workload)?;
+/// assert!((eval.attainable().to_gops() - 1.3278).abs() < 1e-3);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn evaluate(soc: &SocSpec, workload: &Workload) -> Result<Evaluation, GablesError> {
+    if soc.ip_count() != workload.ip_count() {
+        return Err(GablesError::IpCountMismatch {
+            soc_ips: soc.ip_count(),
+            workload_ips: workload.ip_count(),
+        });
+    }
+
+    let mut ips = Vec::with_capacity(soc.ip_count());
+    let mut total_data = 0.0;
+    for (spec, assignment) in soc.ips().iter().zip(workload.assignments()) {
+        let f = assignment.fraction().value();
+        if f == 0.0 {
+            ips.push(IpBreakdown {
+                compute_time: Seconds::new(0.0),
+                data: Bytes::new(0.0),
+                transfer_time: Seconds::new(0.0),
+                time: Seconds::new(0.0),
+                limit: IpLimit::Idle,
+                perf_bound: None,
+            });
+            continue;
+        }
+        let peak = (spec.acceleration() * soc.ppeak()).value();
+        let compute_time = f / peak;
+        let data = f / assignment.intensity().value();
+        let transfer_time = data / spec.bandwidth().value();
+        let (time, limit) = if compute_time >= transfer_time {
+            (compute_time, IpLimit::Compute)
+        } else {
+            (transfer_time, IpLimit::Bandwidth)
+        };
+        total_data += data;
+        ips.push(IpBreakdown {
+            compute_time: Seconds::new(compute_time),
+            data: Bytes::new(data),
+            transfer_time: Seconds::new(transfer_time),
+            time: Seconds::new(time),
+            limit,
+            perf_bound: Some(OpsPerSec::new(1.0 / time)),
+        });
+    }
+
+    let memory_time = total_data / soc.bpeak().value();
+    let iavg = workload.iavg();
+    let memory_bound = match iavg {
+        Some(i) => soc.bpeak() * i,
+        None => OpsPerSec::new(f64::INFINITY),
+    };
+
+    let (bottleneck, max_time) = slowest_component(&ips, memory_time);
+    Ok(Evaluation {
+        attainable: OpsPerSec::new(1.0 / max_time),
+        bottleneck,
+        ips,
+        memory_time: Seconds::new(memory_time),
+        memory_bound,
+        iavg,
+    })
+}
+
+/// Finds the slowest component, breaking ties toward the lowest-indexed IP
+/// and then memory (so a balanced design reports IP\[0\]).
+fn slowest_component(ips: &[IpBreakdown], memory_time: f64) -> (Bottleneck, f64) {
+    let mut bottleneck = Bottleneck::Memory;
+    let mut max_time = memory_time;
+    for (i, ip) in ips.iter().enumerate().rev() {
+        if ip.time.value() >= max_time {
+            bottleneck = Bottleneck::Ip(i);
+            max_time = ip.time.value();
+        }
+    }
+    (bottleneck, max_time)
+}
+
+/// The scaled per-IP roofline of Equation 12 evaluated at an arbitrary
+/// operational intensity:
+/// `1/TIP[i] = min(Bi · I, Ai · Ppeak) / fi`.
+///
+/// This is what the Gables multi-roofline plots draw for each IP; the IP's
+/// own operating point is read off at `I = Ii` (the "drop line").
+///
+/// # Errors
+///
+/// * [`GablesError::IpIndexOutOfBounds`] for a bad `index`.
+/// * [`GablesError::InvalidParameter`] if `fraction` is zero (the paper
+///   removes the term entirely; there is no roofline for an idle IP) or
+///   out of `[0, 1]`.
+pub fn scaled_ip_roofline(
+    soc: &SocSpec,
+    index: usize,
+    fraction: f64,
+    intensity: OpsPerByte,
+) -> Result<OpsPerSec, GablesError> {
+    if !(fraction.is_finite() && 0.0 < fraction && fraction <= 1.0) {
+        return Err(GablesError::invalid_parameter(
+            "work fraction",
+            fraction,
+            "scaled roofline requires 0 < fi <= 1",
+        ));
+    }
+    let ip = soc.ip(index)?;
+    let bw_bound = (ip.bandwidth() * intensity).value();
+    let compute_bound = (ip.acceleration() * soc.ppeak()).value();
+    Ok(OpsPerSec::new(bw_bound.min(compute_bound) / fraction))
+}
+
+/// The memory roofline of Equation 13 evaluated at an arbitrary average
+/// intensity: `1/Tmemory = Bpeak · Iavg`. A pure bandwidth bound — it has
+/// no flat region because memory has no computational limit.
+pub fn memory_roofline(soc: &SocSpec, iavg: OpsPerByte) -> OpsPerSec {
+    soc.bpeak() * iavg
+}
+
+/// The performance-form dual (Equation 14): evaluates every scaled roofline
+/// at the workload's own operating points and takes the minimum. Agrees
+/// with [`evaluate`]'s time form to floating-point accuracy (verified by
+/// property test).
+///
+/// # Errors
+///
+/// Returns [`GablesError::IpCountMismatch`] on a workload/SoC shape
+/// mismatch.
+pub fn attainable_perf_form(soc: &SocSpec, workload: &Workload) -> Result<OpsPerSec, GablesError> {
+    if soc.ip_count() != workload.ip_count() {
+        return Err(GablesError::IpCountMismatch {
+            soc_ips: soc.ip_count(),
+            workload_ips: workload.ip_count(),
+        });
+    }
+    let mut min = f64::INFINITY;
+    for (i, assignment) in workload.assignments().iter().enumerate() {
+        if !assignment.is_active() {
+            continue; // Term omitted when fi = 0 (divide-by-zero avoidance).
+        }
+        let bound = scaled_ip_roofline(
+            soc,
+            i,
+            assignment.fraction().value(),
+            assignment.intensity(),
+        )?;
+        min = min.min(bound.value());
+    }
+    if let Some(iavg) = workload.iavg() {
+        min = min.min(memory_roofline(soc, iavg).value());
+    }
+    Ok(OpsPerSec::new(min))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::BytesPerSec;
+
+    fn figure6_soc(bpeak_gbps: f64) -> SocSpec {
+        SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(40.0))
+            .bpeak(BytesPerSec::from_gbps(bpeak_gbps))
+            .cpu("CPU", BytesPerSec::from_gbps(6.0))
+            .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_6a_exact() {
+        // f = 0: all work at the CPU; Pattainable = min(40, -, 80) = 40.
+        let soc = figure6_soc(10.0);
+        let w = Workload::two_ip(0.0, 8.0, 0.1).unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().to_gops() - 40.0).abs() < 1e-9);
+        assert_eq!(eval.bottleneck(), Bottleneck::Ip(0));
+        assert!((eval.memory_bound().to_gops() - 80.0).abs() < 1e-9);
+        assert_eq!(eval.ip(0).unwrap().limit, IpLimit::Compute);
+        assert_eq!(eval.ip(1).unwrap().limit, IpLimit::Idle);
+        assert_eq!(eval.ip(1).unwrap().perf_bound, None);
+    }
+
+    #[test]
+    fn figure_6b_exact() {
+        // f = 0.75: 1/TIP0 = 160, 1/TIP1 = 2, 1/Tmem = 1.3278 -> 1.3.
+        let soc = figure6_soc(10.0);
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().to_gops() - 1.327_800_829).abs() < 1e-6);
+        assert_eq!(eval.bottleneck(), Bottleneck::Memory);
+        assert!((eval.ip(0).unwrap().perf_bound.unwrap().to_gops() - 160.0).abs() < 1e-9);
+        assert!((eval.ip(1).unwrap().perf_bound.unwrap().to_gops() - 2.0).abs() < 1e-9);
+        assert!((eval.memory_bound().to_gops() - 1.327_800_829).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure_6c_exact() {
+        // Bpeak 10 -> 30 GB/s: performance only rises to 2.0 (IP[1] bound).
+        let soc = figure6_soc(30.0);
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().to_gops() - 2.0).abs() < 1e-9);
+        assert_eq!(eval.bottleneck(), Bottleneck::Ip(1));
+        assert_eq!(eval.ip(1).unwrap().limit, IpLimit::Bandwidth);
+        assert!((eval.memory_bound().to_gops() - 3.983_402_49).abs() < 1e-6);
+    }
+
+    #[test]
+    fn figure_6d_exact_balanced() {
+        // I1 0.1 -> 8, Bpeak -> 20 GB/s: all three rooflines equal 160.
+        let soc = figure6_soc(20.0);
+        let w = Workload::two_ip(0.75, 8.0, 8.0).unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        assert!((eval.attainable().to_gops() - 160.0).abs() < 1e-9);
+        assert!((eval.ip(0).unwrap().perf_bound.unwrap().to_gops() - 160.0).abs() < 1e-9);
+        assert!((eval.ip(1).unwrap().perf_bound.unwrap().to_gops() - 160.0).abs() < 1e-9);
+        assert!((eval.memory_bound().to_gops() - 160.0).abs() < 1e-9);
+        assert!(eval.is_balanced(1e-9));
+        assert_eq!(
+            eval.binding_components(1e-9),
+            vec![Bottleneck::Ip(0), Bottleneck::Ip(1), Bottleneck::Memory]
+        );
+    }
+
+    #[test]
+    fn perf_form_agrees_with_time_form_on_figure6() {
+        for (bpeak, f, i1) in [(10.0, 0.0, 0.1), (10.0, 0.75, 0.1), (30.0, 0.75, 0.1), (20.0, 0.75, 8.0)] {
+            let soc = figure6_soc(bpeak);
+            let w = Workload::two_ip(f, 8.0, i1).unwrap();
+            let time_form = evaluate(&soc, &w).unwrap().attainable();
+            let perf_form = attainable_perf_form(&soc, &w).unwrap();
+            let rel = (time_form.value() - perf_form.value()).abs() / time_form.value();
+            assert!(rel < 1e-12, "forms disagree: {time_form} vs {perf_form}");
+        }
+    }
+
+    #[test]
+    fn all_work_on_accelerator() {
+        // f = 1: the CPU term is removed; IP[1] and memory remain.
+        let soc = figure6_soc(10.0);
+        let w = Workload::two_ip(1.0, 8.0, 8.0).unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        assert_eq!(eval.ip(0).unwrap().limit, IpLimit::Idle);
+        // min(15*8, 200)/1 = 120 vs memory 10*8 = 80.
+        assert!((eval.attainable().to_gops() - 80.0).abs() < 1e-9);
+        assert_eq!(eval.bottleneck(), Bottleneck::Memory);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_rejected() {
+        let soc = figure6_soc(10.0);
+        let mut b = Workload::builder();
+        b.work(1.0, 8.0).unwrap();
+        let w = b.build().unwrap();
+        assert_eq!(
+            evaluate(&soc, &w).unwrap_err(),
+            GablesError::IpCountMismatch {
+                soc_ips: 2,
+                workload_ips: 1
+            }
+        );
+        assert!(attainable_perf_form(&soc, &w).is_err());
+    }
+
+    #[test]
+    fn scaled_roofline_rejects_zero_fraction() {
+        let soc = figure6_soc(10.0);
+        assert!(scaled_ip_roofline(&soc, 0, 0.0, OpsPerByte::new(8.0)).is_err());
+        assert!(scaled_ip_roofline(&soc, 0, 1.5, OpsPerByte::new(8.0)).is_err());
+        assert!(scaled_ip_roofline(&soc, 7, 0.5, OpsPerByte::new(8.0)).is_err());
+    }
+
+    #[test]
+    fn scaled_roofline_has_knee_at_ridge_point() {
+        let soc = figure6_soc(10.0);
+        // CPU ridge point: Ppeak/B0 = 40/6 ops/byte.
+        let ridge = 40.0 / 6.0;
+        let below = scaled_ip_roofline(&soc, 0, 1.0, OpsPerByte::new(ridge * 0.5)).unwrap();
+        let at = scaled_ip_roofline(&soc, 0, 1.0, OpsPerByte::new(ridge)).unwrap();
+        let above = scaled_ip_roofline(&soc, 0, 1.0, OpsPerByte::new(ridge * 4.0)).unwrap();
+        assert!(below.to_gops() < 40.0);
+        assert!((at.to_gops() - 40.0).abs() < 1e-9);
+        assert!((above.to_gops() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_roofline_is_linear_in_intensity() {
+        let soc = figure6_soc(10.0);
+        let p1 = memory_roofline(&soc, OpsPerByte::new(1.0));
+        let p8 = memory_roofline(&soc, OpsPerByte::new(8.0));
+        assert!((p8.value() / p1.value() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_times_match_component_data() {
+        let soc = figure6_soc(10.0);
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        let ip1 = eval.ip(1).unwrap();
+        // D1 = f/I1 = 0.75/0.1 = 7.5 bytes per op.
+        assert!((ip1.data.value() - 7.5).abs() < 1e-12);
+        // C1 = 0.75 / 200 Gops.
+        assert!((ip1.compute_time.value() - 0.75 / 200.0e9).abs() < 1e-22);
+        // Tmemory = (D0 + D1)/Bpeak.
+        let d0 = eval.ip(0).unwrap().data.value();
+        assert!(
+            (eval.memory_time().value() - (d0 + 7.5) / 10.0e9).abs() < 1e-20
+        );
+    }
+
+    #[test]
+    fn display_mentions_bottleneck() {
+        let soc = figure6_soc(10.0);
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let text = evaluate(&soc, &w).unwrap().to_string();
+        assert!(text.contains("bottleneck: memory interface"));
+        assert!(text.contains("IP[0]"));
+    }
+
+    #[test]
+    fn bottleneck_display() {
+        assert_eq!(Bottleneck::Ip(3).to_string(), "IP[3]");
+        assert_eq!(Bottleneck::Memory.to_string(), "memory interface");
+        assert_eq!(IpLimit::Compute.to_string(), "compute-bound");
+        assert_eq!(IpLimit::Bandwidth.to_string(), "bandwidth-bound");
+        assert_eq!(IpLimit::Idle.to_string(), "idle");
+    }
+
+    #[test]
+    fn three_ip_evaluation() {
+        // CPU + GPU + DSP with the DSP deliberately starved for bandwidth.
+        let soc = SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(10.0))
+            .bpeak(BytesPerSec::from_gbps(30.0))
+            .cpu("CPU", BytesPerSec::from_gbps(15.0))
+            .accelerator("GPU", 40.0, BytesPerSec::from_gbps(24.0))
+            .unwrap()
+            .accelerator("DSP", 0.4, BytesPerSec::from_gbps(0.5))
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut b = Workload::builder();
+        b.work(0.2, 8.0).unwrap();
+        b.work(0.7, 8.0).unwrap();
+        b.work(0.1, 8.0).unwrap();
+        let w = b.build().unwrap();
+        let eval = evaluate(&soc, &w).unwrap();
+        // DSP: min(0.5*8, 0.4*10)/0.1 = min(4, 4)/0.1 = 40 Gops/s.
+        // CPU: min(15*8, 10)/0.2 = 50. GPU: min(24*8, 400)/0.7 = 274.3.
+        // Memory: 30*8 = 240. DSP binds.
+        assert_eq!(eval.bottleneck(), Bottleneck::Ip(2));
+        assert!((eval.attainable().to_gops() - 40.0).abs() < 1e-9);
+    }
+}

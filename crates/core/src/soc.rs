@@ -1,0 +1,450 @@
+//! Hardware-side model inputs: the SoC specification.
+//!
+//! A [`SocSpec`] captures the hardware inputs of Table II: the CPU-complex
+//! peak performance `Ppeak`, the peak off-chip bandwidth `Bpeak`, and for
+//! every IP block `IP[i]` its acceleration `Ai` (with `A0 = 1` required)
+//! and its bandwidth `Bi` to/from the on-chip interconnect.
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::units::{Acceleration, BytesPerSec, OpsPerSec};
+
+/// One IP block of the SoC (Figure 5): a CPU complex, GPU, DSP, ISP, or any
+/// other accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IpSpec {
+    name: String,
+    acceleration: Acceleration,
+    bandwidth: BytesPerSec,
+}
+
+impl IpSpec {
+    /// Creates an IP block specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `bandwidth` is not
+    /// finite and positive.
+    pub fn new(
+        name: impl Into<String>,
+        acceleration: Acceleration,
+        bandwidth: BytesPerSec,
+    ) -> Result<Self, GablesError> {
+        let bw = bandwidth.value();
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "IP bandwidth",
+                bw,
+                "must be finite and > 0",
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            acceleration,
+            bandwidth,
+        })
+    }
+
+    /// The human-readable IP name (e.g. `"CPU"`, `"GPU"`, `"Hexagon DSP"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The acceleration `Ai` of this IP relative to the CPU complex.
+    pub fn acceleration(&self) -> Acceleration {
+        self.acceleration
+    }
+
+    /// The bandwidth `Bi` in and out of this IP.
+    pub fn bandwidth(&self) -> BytesPerSec {
+        self.bandwidth
+    }
+}
+
+impl fmt::Display for IpSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (A = {}, B = {:.3} GB/s)",
+            self.name,
+            self.acceleration,
+            self.bandwidth.to_gbps()
+        )
+    }
+}
+
+/// The hardware half of the Gables model: an N-IP SoC (Figure 5).
+///
+/// Construct with [`SocSpec::builder`]. IP\[0\] is always the CPU complex
+/// with acceleration 1; its peak performance is `Ppeak` and each other
+/// IP\[i\] peaks at `Ai · Ppeak`.
+///
+/// # Examples
+///
+/// The two-IP SoC of the paper's Figure 6:
+///
+/// ```
+/// use gables_model::{SocSpec, units::{BytesPerSec, OpsPerSec}};
+///
+/// let soc = SocSpec::builder()
+///     .ppeak(OpsPerSec::from_gops(40.0))
+///     .bpeak(BytesPerSec::from_gbps(10.0))
+///     .cpu("CPU", BytesPerSec::from_gbps(6.0))
+///     .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))?
+///     .build()?;
+/// assert_eq!(soc.ip_count(), 2);
+/// assert_eq!(soc.ip_peak_perf(1)?.to_gops(), 200.0);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SocSpec {
+    ppeak: OpsPerSec,
+    bpeak: BytesPerSec,
+    ips: Vec<IpSpec>,
+}
+
+impl SocSpec {
+    /// Starts building a SoC specification.
+    pub fn builder() -> SocSpecBuilder {
+        SocSpecBuilder::new()
+    }
+
+    /// Peak computation performance `Ppeak` of the CPU complex (IP\[0\]).
+    pub fn ppeak(&self) -> OpsPerSec {
+        self.ppeak
+    }
+
+    /// Peak off-chip memory bandwidth `Bpeak`.
+    pub fn bpeak(&self) -> BytesPerSec {
+        self.bpeak
+    }
+
+    /// The number of IP blocks `N`.
+    pub fn ip_count(&self) -> usize {
+        self.ips.len()
+    }
+
+    /// All IP blocks in index order (IP\[0\] is the CPU complex).
+    pub fn ips(&self) -> &[IpSpec] {
+        &self.ips
+    }
+
+    /// The IP block at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::IpIndexOutOfBounds`] if `index >= ip_count()`.
+    pub fn ip(&self, index: usize) -> Result<&IpSpec, GablesError> {
+        self.ips.get(index).ok_or(GablesError::IpIndexOutOfBounds {
+            index,
+            len: self.ips.len(),
+        })
+    }
+
+    /// The peak performance `Ai · Ppeak` of IP\[i\].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::IpIndexOutOfBounds`] if `index >= ip_count()`.
+    pub fn ip_peak_perf(&self, index: usize) -> Result<OpsPerSec, GablesError> {
+        Ok(self.ip(index)?.acceleration() * self.ppeak)
+    }
+
+    /// Returns a copy of this SoC with a different off-chip bandwidth, the
+    /// most common what-if edit in the paper (Figures 6b→6c→6d all change
+    /// `Bpeak`).
+    pub fn with_bpeak(&self, bpeak: BytesPerSec) -> Result<SocSpec, GablesError> {
+        let bw = bpeak.value();
+        if !bw.is_finite() || bw <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "Bpeak",
+                bw,
+                "must be finite and > 0",
+            ));
+        }
+        Ok(SocSpec {
+            bpeak,
+            ..self.clone()
+        })
+    }
+}
+
+impl fmt::Display for SocSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SoC: Ppeak = {:.3} Gops/s, Bpeak = {:.3} GB/s, {} IPs",
+            self.ppeak.to_gops(),
+            self.bpeak.to_gbps(),
+            self.ips.len()
+        )?;
+        for (i, ip) in self.ips.iter().enumerate() {
+            writeln!(f, "  IP[{i}]: {ip}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SocSpec`] (C-BUILDER, non-consuming).
+#[derive(Debug, Clone, Default)]
+pub struct SocSpecBuilder {
+    ppeak: Option<OpsPerSec>,
+    bpeak: Option<BytesPerSec>,
+    ips: Vec<IpSpec>,
+}
+
+impl SocSpecBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the CPU-complex peak performance `Ppeak`.
+    pub fn ppeak(&mut self, ppeak: OpsPerSec) -> &mut Self {
+        self.ppeak = Some(ppeak);
+        self
+    }
+
+    /// Sets the peak off-chip memory bandwidth `Bpeak`.
+    pub fn bpeak(&mut self, bpeak: BytesPerSec) -> &mut Self {
+        self.bpeak = Some(bpeak);
+        self
+    }
+
+    /// Adds the CPU complex as IP\[0\] with acceleration fixed at 1.
+    ///
+    /// Must be called before any [`accelerator`](Self::accelerator) so that
+    /// the CPU lands at index 0, as the model requires.
+    pub fn cpu(&mut self, name: impl Into<String>, bandwidth: BytesPerSec) -> &mut Self {
+        // Defer bandwidth validation to build() so the builder chain stays
+        // infallible until an accelerator (which must validate A) is added.
+        self.ips.insert(
+            0,
+            IpSpec {
+                name: name.into(),
+                acceleration: Acceleration::UNITY,
+                bandwidth,
+            },
+        );
+        self
+    }
+
+    /// Adds an accelerator IP with acceleration `Ai` and bandwidth `Bi`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `acceleration` is not
+    /// finite and positive.
+    pub fn accelerator(
+        &mut self,
+        name: impl Into<String>,
+        acceleration: f64,
+        bandwidth: BytesPerSec,
+    ) -> Result<&mut Self, GablesError> {
+        let a = Acceleration::new(acceleration)?;
+        self.ips.push(IpSpec {
+            name: name.into(),
+            acceleration: a,
+            bandwidth,
+        });
+        Ok(self)
+    }
+
+    /// Builds the [`SocSpec`], validating every parameter.
+    ///
+    /// # Errors
+    ///
+    /// * [`GablesError::InvalidParameter`] if `Ppeak`, `Bpeak`, or any IP
+    ///   bandwidth is missing, non-finite, or non-positive.
+    /// * [`GablesError::NoIps`] if no IP was added.
+    /// * [`GablesError::NonUnityCpuAcceleration`] if IP\[0\] does not have
+    ///   acceleration 1 (i.e. [`cpu`](Self::cpu) was never called).
+    pub fn build(&self) -> Result<SocSpec, GablesError> {
+        let ppeak = self
+            .ppeak
+            .ok_or_else(|| GablesError::invalid_parameter("Ppeak", f64::NAN, "must be set"))?;
+        if !ppeak.value().is_finite() || ppeak.value() <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "Ppeak",
+                ppeak.value(),
+                "must be finite and > 0",
+            ));
+        }
+        let bpeak = self
+            .bpeak
+            .ok_or_else(|| GablesError::invalid_parameter("Bpeak", f64::NAN, "must be set"))?;
+        if !bpeak.value().is_finite() || bpeak.value() <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "Bpeak",
+                bpeak.value(),
+                "must be finite and > 0",
+            ));
+        }
+        if self.ips.is_empty() {
+            return Err(GablesError::NoIps);
+        }
+        if self.ips[0].acceleration != Acceleration::UNITY {
+            return Err(GablesError::NonUnityCpuAcceleration {
+                acceleration: self.ips[0].acceleration.value(),
+            });
+        }
+        for ip in &self.ips {
+            let bw = ip.bandwidth.value();
+            if !bw.is_finite() || bw <= 0.0 {
+                return Err(GablesError::invalid_parameter(
+                    "IP bandwidth",
+                    bw,
+                    "must be finite and > 0",
+                ));
+            }
+        }
+        Ok(SocSpec {
+            ppeak,
+            bpeak,
+            ips: self.ips.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure6_soc() -> SocSpec {
+        SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(40.0))
+            .bpeak(BytesPerSec::from_gbps(10.0))
+            .cpu("CPU", BytesPerSec::from_gbps(6.0))
+            .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_figure6_soc() {
+        let soc = figure6_soc();
+        assert_eq!(soc.ip_count(), 2);
+        assert_eq!(soc.ppeak().to_gops(), 40.0);
+        assert_eq!(soc.bpeak().to_gbps(), 10.0);
+        assert_eq!(soc.ip(0).unwrap().name(), "CPU");
+        assert_eq!(soc.ip(1).unwrap().name(), "GPU");
+        assert_eq!(soc.ip_peak_perf(0).unwrap().to_gops(), 40.0);
+        assert_eq!(soc.ip_peak_perf(1).unwrap().to_gops(), 200.0);
+    }
+
+    #[test]
+    fn cpu_always_lands_at_index_zero() {
+        let soc = SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(10.0))
+            .bpeak(BytesPerSec::from_gbps(10.0))
+            .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))
+            .unwrap()
+            .cpu("CPU", BytesPerSec::from_gbps(6.0))
+            .build()
+            .unwrap();
+        assert_eq!(soc.ip(0).unwrap().name(), "CPU");
+        assert_eq!(soc.ip(1).unwrap().name(), "GPU");
+    }
+
+    #[test]
+    fn build_requires_cpu_first() {
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(10.0))
+            .bpeak(BytesPerSec::from_gbps(10.0));
+        b.accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))
+            .unwrap();
+        let err = b.build().unwrap_err();
+        assert_eq!(
+            err,
+            GablesError::NonUnityCpuAcceleration { acceleration: 5.0 }
+        );
+    }
+
+    #[test]
+    fn build_rejects_missing_and_invalid_params() {
+        assert!(SocSpec::builder().build().is_err());
+
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(10.0))
+            .bpeak(BytesPerSec::from_gbps(10.0));
+        assert_eq!(b.build().unwrap_err(), GablesError::NoIps);
+
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(-1.0))
+            .bpeak(BytesPerSec::from_gbps(10.0))
+            .cpu("CPU", BytesPerSec::from_gbps(6.0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GablesError::InvalidParameter { name: "Ppeak", .. }
+        ));
+
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(1.0))
+            .bpeak(BytesPerSec::from_gbps(0.0))
+            .cpu("CPU", BytesPerSec::from_gbps(6.0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GablesError::InvalidParameter { name: "Bpeak", .. }
+        ));
+
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(1.0))
+            .bpeak(BytesPerSec::from_gbps(10.0))
+            .cpu("CPU", BytesPerSec::from_gbps(0.0));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GablesError::InvalidParameter {
+                name: "IP bandwidth",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn accelerator_rejects_bad_acceleration() {
+        let mut b = SocSpec::builder();
+        assert!(b
+            .accelerator("GPU", 0.0, BytesPerSec::from_gbps(15.0))
+            .is_err());
+        assert!(b
+            .accelerator("GPU", -2.0, BytesPerSec::from_gbps(15.0))
+            .is_err());
+    }
+
+    #[test]
+    fn ip_index_out_of_bounds() {
+        let soc = figure6_soc();
+        assert_eq!(
+            soc.ip(2).unwrap_err(),
+            GablesError::IpIndexOutOfBounds { index: 2, len: 2 }
+        );
+    }
+
+    #[test]
+    fn with_bpeak_edits_only_bandwidth() {
+        let soc = figure6_soc();
+        let edited = soc.with_bpeak(BytesPerSec::from_gbps(30.0)).unwrap();
+        assert_eq!(edited.bpeak().to_gbps(), 30.0);
+        assert_eq!(edited.ppeak(), soc.ppeak());
+        assert_eq!(edited.ips(), soc.ips());
+        assert!(soc.with_bpeak(BytesPerSec::from_gbps(-1.0)).is_err());
+    }
+
+    #[test]
+    fn display_lists_all_ips() {
+        let text = figure6_soc().to_string();
+        assert!(text.contains("Ppeak = 40.000 Gops/s"));
+        assert!(text.contains("IP[0]: CPU"));
+        assert!(text.contains("IP[1]: GPU"));
+    }
+
+    #[test]
+    fn ip_spec_new_validates() {
+        assert!(IpSpec::new("X", Acceleration::UNITY, BytesPerSec::from_gbps(1.0)).is_ok());
+        assert!(IpSpec::new("X", Acceleration::UNITY, BytesPerSec::from_gbps(0.0)).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! The two-IP primer model of Section III-B.
+//!
+//! [`TwoIpModel`] is an ergonomic facade over the N-IP model for the common
+//! teaching case of a CPU complex (IP\[0\]) plus one accelerator (IP\[1\]),
+//! exposing the paper's scalar parameters (`Ppeak`, `Bpeak`, `A`, `B0`,
+//! `B1`, `f`, `I0`, `I1`) directly. The appendix's Figure 6a–6d scenarios
+//! are provided as constructors so that tests, examples, and the figure
+//! regeneration harness share one source of truth.
+
+use crate::error::GablesError;
+use crate::model::{evaluate, Evaluation};
+use crate::soc::SocSpec;
+use crate::units::{BytesPerSec, OpsPerSec};
+use crate::workload::Workload;
+
+/// A two-IP SoC plus usecase, in the paper's Section III-B notation.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::two_ip::TwoIpModel;
+///
+/// // Figure 6d: the balanced design reaching 160 Gops/s.
+/// let model = TwoIpModel::figure_6d();
+/// let eval = model.evaluate()?;
+/// assert!((eval.attainable().to_gops() - 160.0).abs() < 1e-9);
+/// assert!(eval.is_balanced(1e-9));
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TwoIpModel {
+    /// CPU-complex peak performance `Ppeak` in Gops/s.
+    pub ppeak_gops: f64,
+    /// Off-chip memory bandwidth `Bpeak` in GB/s.
+    pub bpeak_gbps: f64,
+    /// Accelerator peak acceleration `A` (IP\[1\] peaks at `A · Ppeak`).
+    pub acceleration: f64,
+    /// CPU bandwidth `B0` in GB/s.
+    pub b0_gbps: f64,
+    /// Accelerator bandwidth `B1` in GB/s.
+    pub b1_gbps: f64,
+    /// Fraction of work `f` at the accelerator (`1 - f` stays on the CPU).
+    pub f: f64,
+    /// Operational intensity `I0` of the CPU's work, ops/byte.
+    pub i0: f64,
+    /// Operational intensity `I1` of the accelerator's work, ops/byte.
+    pub i1: f64,
+}
+
+impl TwoIpModel {
+    /// The initial parameters of the paper's Figure 6 walkthrough
+    /// (Ppeak = 40 Gops/s, Bpeak = 10 GB/s, A = 5, B0 = 6, B1 = 15,
+    /// I0 = 8, I1 = 0.1, f = 0). Expected `Pattainable`: **40 Gops/s**.
+    pub fn figure_6a() -> Self {
+        TwoIpModel {
+            ppeak_gops: 40.0,
+            bpeak_gbps: 10.0,
+            acceleration: 5.0,
+            b0_gbps: 6.0,
+            b1_gbps: 15.0,
+            f: 0.0,
+            i0: 8.0,
+            i1: 0.1,
+        }
+    }
+
+    /// Figure 6b: `f` raised to 0.75 — performance collapses to
+    /// **1.3 Gops/s** because the accelerator's poor reuse (I1 = 0.1)
+    /// overwhelms memory bandwidth.
+    pub fn figure_6b() -> Self {
+        TwoIpModel {
+            f: 0.75,
+            ..Self::figure_6a()
+        }
+    }
+
+    /// Figure 6c: `Bpeak` raised from 10 to 30 GB/s — performance only
+    /// reaches **2.0 Gops/s**; IP\[1\]'s own bandwidth now binds.
+    pub fn figure_6c() -> Self {
+        TwoIpModel {
+            bpeak_gbps: 30.0,
+            ..Self::figure_6b()
+        }
+    }
+
+    /// Figure 6d: `I1` raised to 8 (adding IP-local memory and reusing it)
+    /// and `Bpeak` trimmed to a sufficient 20 GB/s — the balanced design
+    /// reaching **160 Gops/s** with all three rooflines equal at I = 8.
+    pub fn figure_6d() -> Self {
+        TwoIpModel {
+            bpeak_gbps: 20.0,
+            i1: 8.0,
+            ..Self::figure_6c()
+        }
+    }
+
+    /// All four appendix scenarios in order, with their expected
+    /// `Pattainable` in Gops/s as printed in the paper's appendix.
+    pub fn figure_6_progression() -> [(&'static str, Self, f64); 4] {
+        [
+            ("6a", Self::figure_6a(), 40.0),
+            ("6b", Self::figure_6b(), 1.327_800_829_875_518_7),
+            ("6c", Self::figure_6c(), 2.0),
+            ("6d", Self::figure_6d(), 160.0),
+        ]
+    }
+
+    /// The hardware half as an N-IP [`SocSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if any hardware parameter
+    /// is non-positive or non-finite.
+    pub fn soc(&self) -> Result<SocSpec, GablesError> {
+        SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(self.ppeak_gops))
+            .bpeak(BytesPerSec::from_gbps(self.bpeak_gbps))
+            .cpu("CPU", BytesPerSec::from_gbps(self.b0_gbps))
+            .accelerator(
+                "Accelerator",
+                self.acceleration,
+                BytesPerSec::from_gbps(self.b1_gbps),
+            )?
+            .build()
+    }
+
+    /// The software half as an N-IP [`Workload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `f` is outside `[0, 1]` or an active IP's
+    /// intensity is non-positive.
+    pub fn workload(&self) -> Result<Workload, GablesError> {
+        Workload::two_ip(self.f, self.i0, self.i1)
+    }
+
+    /// Evaluates the model: Equations 1–4 (equivalently 5–8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors from [`soc`](Self::soc) and
+    /// [`workload`](Self::workload).
+    pub fn evaluate(&self) -> Result<Evaluation, GablesError> {
+        evaluate(&self.soc()?, &self.workload()?)
+    }
+
+    /// `Pattainable` in Gops/s — shorthand for `evaluate()?.attainable()`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate`](Self::evaluate).
+    pub fn attainable_gops(&self) -> Result<f64, GablesError> {
+        Ok(self.evaluate()?.attainable().to_gops())
+    }
+}
+
+impl Default for TwoIpModel {
+    /// Defaults to the paper's Figure 6a starting point.
+    fn default() -> Self {
+        Self::figure_6a()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Bottleneck;
+
+    #[test]
+    fn appendix_progression_is_exact() {
+        for (name, model, expected_gops) in TwoIpModel::figure_6_progression() {
+            let got = model.attainable_gops().unwrap();
+            assert!(
+                (got - expected_gops).abs() < 1e-9,
+                "figure {name}: expected {expected_gops} Gops/s, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn appendix_intermediate_terms_6b() {
+        // Appendix Figure 6b: 1/TIP0 = 160, 1/TIP1 = 2, 1/Tmem = 1.3.
+        let eval = TwoIpModel::figure_6b().evaluate().unwrap();
+        assert!((eval.ip(0).unwrap().perf_bound.unwrap().to_gops() - 160.0).abs() < 1e-9);
+        assert!((eval.ip(1).unwrap().perf_bound.unwrap().to_gops() - 2.0).abs() < 1e-9);
+        assert!((eval.memory_bound().to_gops() - 1.327_800_829).abs() < 1e-6);
+        assert_eq!(eval.bottleneck(), Bottleneck::Memory);
+    }
+
+    #[test]
+    fn appendix_intermediate_terms_6c() {
+        // Appendix Figure 6c: 1/Tmem = 30 * 0.13278 = 3.98; IP[1] binds at 2.
+        let eval = TwoIpModel::figure_6c().evaluate().unwrap();
+        assert!((eval.memory_bound().to_gops() - 3.983_402_49).abs() < 1e-6);
+        assert_eq!(eval.bottleneck(), Bottleneck::Ip(1));
+    }
+
+    #[test]
+    fn figure_6a_memory_headroom() {
+        // Appendix Figure 6a: memory could sustain 80 Gops/s; CPU binds at 40.
+        let eval = TwoIpModel::figure_6a().evaluate().unwrap();
+        assert!((eval.memory_bound().to_gops() - 80.0).abs() < 1e-9);
+        assert_eq!(eval.bottleneck(), Bottleneck::Ip(0));
+    }
+
+    #[test]
+    fn default_is_figure_6a() {
+        assert_eq!(TwoIpModel::default(), TwoIpModel::figure_6a());
+    }
+
+    #[test]
+    fn soc_and_workload_round_trip() {
+        let m = TwoIpModel::figure_6d();
+        let soc = m.soc().unwrap();
+        assert_eq!(soc.ip_count(), 2);
+        assert_eq!(soc.bpeak().to_gbps(), 20.0);
+        let w = m.workload().unwrap();
+        assert_eq!(w.assignment(1).unwrap().intensity().value(), 8.0);
+    }
+
+    #[test]
+    fn invalid_parameters_propagate() {
+        let mut m = TwoIpModel::figure_6a();
+        m.acceleration = -5.0;
+        assert!(m.evaluate().is_err());
+        let mut m = TwoIpModel::figure_6a();
+        m.f = 1.5;
+        assert!(m.evaluate().is_err());
+        let mut m = TwoIpModel::figure_6b();
+        m.i1 = 0.0;
+        assert!(m.evaluate().is_err());
+    }
+
+    #[test]
+    fn unused_ip_is_free() {
+        // With f = 0, the accelerator's parameters are irrelevant.
+        let mut base = TwoIpModel::figure_6a();
+        base.i1 = 123.0;
+        assert_eq!(
+            base.attainable_gops().unwrap(),
+            TwoIpModel::figure_6a().attainable_gops().unwrap()
+        );
+    }
+}

@@ -1,0 +1,607 @@
+//! Strongly-typed quantities used throughout the Gables model.
+//!
+//! Every hardware and software parameter in Table II of the paper gets a
+//! dedicated newtype so that, for example, a bandwidth can never be passed
+//! where an operational intensity is expected (C-NEWTYPE). All quantities
+//! wrap `f64` and are cheap `Copy` values.
+//!
+//! The internal canonical units are *ops/second*, *bytes/second*,
+//! *ops/byte*, and *seconds*. Giga-scaled constructors and accessors are
+//! provided because the paper quotes everything in Gops/s and GB/s.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+use crate::error::GablesError;
+
+/// One giga (10^9), the scale factor used by the paper's units.
+pub const GIGA: f64 = 1.0e9;
+
+macro_rules! quantity {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $unit:literal
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates a new quantity from a raw value in canonical units.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `value` is NaN.
+            #[inline]
+            pub fn new(value: f64) -> Self {
+                debug_assert!(!value.is_nan(), concat!(stringify!($name), " must not be NaN"));
+                Self(value)
+            }
+
+            /// Returns the raw value in canonical units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(q: $name) -> f64 {
+                q.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Dividing two like quantities yields a dimensionless ratio.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+quantity! {
+    /// Computational performance in operations per second (`Ppeak` and
+    /// `Pattainable` in Table II).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gables_model::units::OpsPerSec;
+    ///
+    /// let p = OpsPerSec::from_gops(40.0);
+    /// assert_eq!(p.to_gops(), 40.0);
+    /// ```
+    OpsPerSec, "ops/s"
+}
+
+quantity! {
+    /// Data bandwidth in bytes per second (`Bpeak` and the per-IP `Bi` in
+    /// Table II).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gables_model::units::BytesPerSec;
+    ///
+    /// let b = BytesPerSec::from_gbps(15.1);
+    /// assert!((b.to_gbps() - 15.1).abs() < 1e-12);
+    /// ```
+    BytesPerSec, "bytes/s"
+}
+
+quantity! {
+    /// Operational intensity in operations per byte transferred (`Ii` in
+    /// Table II). The paper notes a double-precision multiply-accumulate
+    /// without reuse can be as low as 1/16 ops/byte.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gables_model::units::OpsPerByte;
+    ///
+    /// let i = OpsPerByte::new(8.0);
+    /// assert_eq!(i.value(), 8.0);
+    /// ```
+    OpsPerByte, "ops/byte"
+}
+
+quantity! {
+    /// A duration in seconds (the `Ci`, `Di/Bi`, `TIP[i]`, `Tmemory`
+    /// temporaries of Table II). Because the model normalizes total usecase
+    /// work to one operation, times carry units of seconds *per op of
+    /// usecase work*; their reciprocal is an [`OpsPerSec`] performance.
+    Seconds, "s"
+}
+
+quantity! {
+    /// A quantity of data in bytes (the `Di` temporaries of Table II,
+    /// normalized per op of usecase work).
+    Bytes, "bytes"
+}
+
+impl OpsPerSec {
+    /// Creates a performance from a value in Gops/s, the unit the paper
+    /// quotes (e.g. `Ppeak` = 40 Gops/s in Figure 6).
+    #[inline]
+    pub fn from_gops(gops: f64) -> Self {
+        Self::new(gops * GIGA)
+    }
+
+    /// Returns the performance in Gops/s.
+    #[inline]
+    pub fn to_gops(self) -> f64 {
+        self.value() / GIGA
+    }
+}
+
+impl BytesPerSec {
+    /// Creates a bandwidth from a value in GB/s, the unit the paper quotes
+    /// (e.g. `Bpeak` = 10 GB/s in Figure 6a).
+    #[inline]
+    pub fn from_gbps(gbps: f64) -> Self {
+        Self::new(gbps * GIGA)
+    }
+
+    /// Returns the bandwidth in GB/s.
+    #[inline]
+    pub fn to_gbps(self) -> f64 {
+        self.value() / GIGA
+    }
+}
+
+impl Bytes {
+    /// Creates a byte count from gigabytes.
+    #[inline]
+    pub fn from_gb(gb: f64) -> Self {
+        Self::new(gb * GIGA)
+    }
+}
+
+impl Seconds {
+    /// The reciprocal performance of this (per-op) time.
+    ///
+    /// A zero time maps to infinite performance, mirroring the paper's
+    /// convention of dropping terms with no work assigned.
+    #[inline]
+    pub fn reciprocal_perf(self) -> OpsPerSec {
+        OpsPerSec::new(1.0 / self.value())
+    }
+}
+
+// Dimensioned cross-type arithmetic: bandwidth × intensity = performance,
+// the identity underlying every slanted roofline in the paper.
+impl Mul<OpsPerByte> for BytesPerSec {
+    type Output = OpsPerSec;
+    #[inline]
+    fn mul(self, rhs: OpsPerByte) -> OpsPerSec {
+        OpsPerSec::new(self.value() * rhs.value())
+    }
+}
+
+impl Mul<BytesPerSec> for OpsPerByte {
+    type Output = OpsPerSec;
+    #[inline]
+    fn mul(self, rhs: BytesPerSec) -> OpsPerSec {
+        rhs * self
+    }
+}
+
+impl Div<OpsPerByte> for OpsPerSec {
+    /// Performance divided by intensity is the bandwidth needed to sustain it.
+    type Output = BytesPerSec;
+    #[inline]
+    fn div(self, rhs: OpsPerByte) -> BytesPerSec {
+        BytesPerSec::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<BytesPerSec> for OpsPerSec {
+    /// Performance divided by bandwidth is the intensity needed to sustain it.
+    type Output = OpsPerByte;
+    #[inline]
+    fn div(self, rhs: BytesPerSec) -> OpsPerByte {
+        OpsPerByte::new(self.value() / rhs.value())
+    }
+}
+
+impl Div<BytesPerSec> for Bytes {
+    /// Data divided by bandwidth is transfer time.
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: BytesPerSec) -> Seconds {
+        Seconds::new(self.value() / rhs.value())
+    }
+}
+
+/// The fraction of usecase work assigned to an IP (`fi` in Table II).
+///
+/// Validated to lie in `[0, 1]`; the per-IP fractions of a
+/// [`Workload`](crate::workload::Workload) must additionally sum to 1.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::units::WorkFraction;
+///
+/// let f = WorkFraction::new(0.75)?;
+/// assert_eq!(f.value(), 0.75);
+/// assert!(WorkFraction::new(1.5).is_err());
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkFraction(f64);
+
+impl WorkFraction {
+    /// The zero fraction (no work at this IP).
+    pub const ZERO: WorkFraction = WorkFraction(0.0);
+    /// The unit fraction (all work at this IP).
+    pub const ONE: WorkFraction = WorkFraction(1.0);
+
+    /// Creates a validated work fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `value` is not in
+    /// `[0, 1]` or is not finite.
+    pub fn new(value: f64) -> Result<Self, GablesError> {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(GablesError::invalid_parameter(
+                "work fraction",
+                value,
+                "must be finite and within [0, 1]",
+            ));
+        }
+        Ok(Self(value))
+    }
+
+    /// Returns the fraction as a plain `f64` in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the complementary fraction `1 - f`.
+    #[inline]
+    pub fn complement(self) -> WorkFraction {
+        WorkFraction(1.0 - self.0)
+    }
+
+    /// Returns `true` if the fraction is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for WorkFraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<WorkFraction> for f64 {
+    #[inline]
+    fn from(f: WorkFraction) -> f64 {
+        f.0
+    }
+}
+
+/// The acceleration of an IP relative to the CPU complex (`Ai` in Table II,
+/// unitless). The paper requires `A0 = 1` for IP\[0\].
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::units::Acceleration;
+///
+/// let a = Acceleration::new(5.0)?;
+/// assert_eq!(a.value(), 5.0);
+/// assert!(Acceleration::new(0.0).is_err());
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Acceleration(f64);
+
+impl Acceleration {
+    /// The identity acceleration required of IP\[0\] (the CPU complex).
+    pub const UNITY: Acceleration = Acceleration(1.0);
+
+    /// Creates a validated acceleration factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `value` is not finite
+    /// and strictly positive.
+    pub fn new(value: f64) -> Result<Self, GablesError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "acceleration",
+                value,
+                "must be finite and > 0",
+            ));
+        }
+        Ok(Self(value))
+    }
+
+    /// Returns the acceleration as a plain `f64`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Default for Acceleration {
+    fn default() -> Self {
+        Self::UNITY
+    }
+}
+
+impl fmt::Display for Acceleration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x", self.0)
+    }
+}
+
+impl Mul<OpsPerSec> for Acceleration {
+    type Output = OpsPerSec;
+    #[inline]
+    fn mul(self, rhs: OpsPerSec) -> OpsPerSec {
+        OpsPerSec::new(self.0 * rhs.value())
+    }
+}
+
+/// The probability that an IP's memory reference misses the memory-side
+/// SRAM and goes to DRAM (`mi` in the Section V-A extension).
+///
+/// `MissRatio::CERTAIN` (1.0) degenerates the extension to the base model;
+/// good reuse has `mi ≪ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::units::MissRatio;
+///
+/// let m = MissRatio::new(0.1)?;
+/// assert_eq!(m.value(), 0.1);
+/// assert!(MissRatio::new(-0.5).is_err());
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MissRatio(f64);
+
+impl MissRatio {
+    /// Every reference goes to DRAM (no memory-side reuse at all).
+    pub const CERTAIN: MissRatio = MissRatio(1.0);
+    /// Every reference hits the memory-side SRAM (perfect reuse).
+    pub const NEVER: MissRatio = MissRatio(0.0);
+
+    /// Creates a validated miss ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `value` is not in
+    /// `[0, 1]` or is not finite.
+    pub fn new(value: f64) -> Result<Self, GablesError> {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(GablesError::invalid_parameter(
+                "miss ratio",
+                value,
+                "must be finite and within [0, 1]",
+            ));
+        }
+        Ok(Self(value))
+    }
+
+    /// Returns the miss ratio as a plain `f64` in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the hit ratio `1 - mi` (reuse probability).
+    #[inline]
+    pub fn hit_ratio(self) -> f64 {
+        1.0 - self.0
+    }
+}
+
+impl Default for MissRatio {
+    fn default() -> Self {
+        Self::CERTAIN
+    }
+}
+
+impl fmt::Display for MissRatio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gops_round_trip() {
+        let p = OpsPerSec::from_gops(40.0);
+        assert_eq!(p.value(), 40.0e9);
+        assert_eq!(p.to_gops(), 40.0);
+    }
+
+    #[test]
+    fn gbps_round_trip() {
+        let b = BytesPerSec::from_gbps(15.1);
+        assert!((b.to_gbps() - 15.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_times_intensity_is_performance() {
+        let b = BytesPerSec::from_gbps(6.0);
+        let i = OpsPerByte::new(8.0);
+        let p: OpsPerSec = b * i;
+        assert_eq!(p.to_gops(), 48.0);
+        // And commuted.
+        let p2: OpsPerSec = i * b;
+        assert_eq!(p2, p);
+    }
+
+    #[test]
+    fn performance_over_intensity_is_bandwidth() {
+        let p = OpsPerSec::from_gops(160.0);
+        let i = OpsPerByte::new(8.0);
+        let b: BytesPerSec = p / i;
+        assert_eq!(b.to_gbps(), 20.0);
+    }
+
+    #[test]
+    fn performance_over_bandwidth_is_intensity() {
+        let p = OpsPerSec::from_gops(160.0);
+        let b = BytesPerSec::from_gbps(20.0);
+        let i: OpsPerByte = p / b;
+        assert_eq!(i.value(), 8.0);
+    }
+
+    #[test]
+    fn data_over_bandwidth_is_time() {
+        let d = Bytes::from_gb(2.0);
+        let b = BytesPerSec::from_gbps(4.0);
+        let t: Seconds = d / b;
+        assert_eq!(t.value(), 0.5);
+    }
+
+    #[test]
+    fn reciprocal_perf_of_time() {
+        let t = Seconds::new(0.025e-9);
+        assert!((t.reciprocal_perf().to_gops() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_fraction_validates_range() {
+        assert!(WorkFraction::new(0.0).is_ok());
+        assert!(WorkFraction::new(1.0).is_ok());
+        assert!(WorkFraction::new(0.75).is_ok());
+        assert!(WorkFraction::new(-0.01).is_err());
+        assert!(WorkFraction::new(1.01).is_err());
+        assert!(WorkFraction::new(f64::NAN).is_err());
+        assert!(WorkFraction::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn work_fraction_complement() {
+        let f = WorkFraction::new(0.75).unwrap();
+        assert!((f.complement().value() - 0.25).abs() < 1e-15);
+        assert!(WorkFraction::ZERO.is_zero());
+        assert!(!WorkFraction::ONE.is_zero());
+    }
+
+    #[test]
+    fn acceleration_validates_positive() {
+        assert!(Acceleration::new(5.0).is_ok());
+        assert!(Acceleration::new(0.0).is_err());
+        assert!(Acceleration::new(-1.0).is_err());
+        assert!(Acceleration::new(f64::NAN).is_err());
+        assert_eq!(Acceleration::default(), Acceleration::UNITY);
+    }
+
+    #[test]
+    fn acceleration_scales_performance() {
+        let a = Acceleration::new(5.0).unwrap();
+        let p = a * OpsPerSec::from_gops(40.0);
+        assert_eq!(p.to_gops(), 200.0);
+    }
+
+    #[test]
+    fn miss_ratio_validates_range() {
+        assert!(MissRatio::new(0.0).is_ok());
+        assert!(MissRatio::new(1.0).is_ok());
+        assert!(MissRatio::new(2.0).is_err());
+        assert!(MissRatio::new(-0.1).is_err());
+        let m = MissRatio::new(0.2).unwrap();
+        assert!((m.hit_ratio() - 0.8).abs() < 1e-15);
+        assert_eq!(MissRatio::default(), MissRatio::CERTAIN);
+    }
+
+    #[test]
+    fn display_formats_include_units() {
+        assert_eq!(format!("{}", OpsPerSec::new(5.0)), "5 ops/s");
+        assert_eq!(format!("{}", BytesPerSec::new(3.0)), "3 bytes/s");
+        assert_eq!(format!("{}", OpsPerByte::new(8.0)), "8 ops/byte");
+        assert_eq!(format!("{}", Acceleration::UNITY), "1x");
+    }
+
+    #[test]
+    fn quantity_arithmetic() {
+        let a = OpsPerSec::new(3.0) + OpsPerSec::new(4.0);
+        assert_eq!(a.value(), 7.0);
+        let s = OpsPerSec::new(4.0) - OpsPerSec::new(3.0);
+        assert_eq!(s.value(), 1.0);
+        let m = OpsPerSec::new(4.0) * 2.0;
+        assert_eq!(m.value(), 8.0);
+        let m2 = 2.0 * OpsPerSec::new(4.0);
+        assert_eq!(m2.value(), 8.0);
+        let d = OpsPerSec::new(4.0) / 2.0;
+        assert_eq!(d.value(), 2.0);
+        let r: f64 = OpsPerSec::new(8.0) / OpsPerSec::new(2.0);
+        assert_eq!(r, 4.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Plot-ready data for the Gables scaled-roofline visualization
+//! (Section III-C).
+//!
+//! The paper visualizes a usecase on a SoC as multiple rooflines on one
+//! log-log plot: one *scaled* roofline per active IP (Equation 12 divided
+//! by its work fraction), the slanted-only memory roofline (Equation 13),
+//! "drop lines" where each component's operational intensity selects its
+//! operating point, and the attainable performance as the lowest selected
+//! point. This module produces that data as plain sampled series; the
+//! `gables-plot` crate renders it to SVG or ASCII.
+
+use crate::error::GablesError;
+use crate::model::{evaluate, memory_roofline, scaled_ip_roofline, Bottleneck};
+use crate::soc::SocSpec;
+use crate::units::OpsPerByte;
+use crate::workload::Workload;
+
+/// What a curve on the plot represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CurveKind {
+    /// A scaled per-IP roofline (slanted then flat).
+    Ip(usize),
+    /// The memory roofline (slanted only).
+    Memory,
+}
+
+/// A sampled curve in plot coordinates: x is operational intensity in
+/// ops/byte, y is attainable performance in Gops/s. Both axes are meant to
+/// be drawn on log scales.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RooflineCurve {
+    /// Legend label.
+    pub label: String,
+    /// What the curve represents.
+    pub kind: CurveKind,
+    /// `(intensity, gops)` samples in increasing-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A vertical drop line marking where a component's own operational
+/// intensity selects its operating point on its roofline.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DropLine {
+    /// Label (e.g. `"I0"`, `"Iavg"`).
+    pub label: String,
+    /// The x position (ops/byte).
+    pub intensity: f64,
+    /// The y value where the drop line meets its roofline (Gops/s).
+    pub gops: f64,
+    /// Which curve this drop line belongs to.
+    pub kind: CurveKind,
+}
+
+/// Everything needed to draw one Gables multi-roofline plot.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GablesPlotData {
+    /// The scaled per-IP and memory roofline curves.
+    pub curves: Vec<RooflineCurve>,
+    /// One drop line per active IP plus one for `Iavg` on the memory
+    /// roofline.
+    pub drop_lines: Vec<DropLine>,
+    /// The attainable operating point `(Iavg, Pattainable in Gops/s)` —
+    /// the lowest selected point among the rooflines.
+    pub attainable: (f64, f64),
+    /// Which component binds.
+    pub bottleneck: Bottleneck,
+    /// The x range `[lo, hi]` the curves were sampled over (ops/byte).
+    pub x_range: (f64, f64),
+}
+
+/// Samples the Gables multi-roofline plot for a SoC/workload pair over
+/// `[x_lo, x_hi]` ops/byte with `samples` log-spaced points per curve.
+///
+/// # Errors
+///
+/// * [`GablesError::InvalidParameter`] for an invalid range or fewer than
+///   two samples.
+/// * Model errors from [`evaluate`].
+///
+/// # Examples
+///
+/// ```
+/// use gables_model::viz::gables_plot_data;
+/// use gables_model::two_ip::TwoIpModel;
+///
+/// let m = TwoIpModel::figure_6d();
+/// let plot = gables_plot_data(&m.soc()?, &m.workload()?, 0.01, 100.0, 64)?;
+/// // Two IP curves plus the memory curve.
+/// assert_eq!(plot.curves.len(), 3);
+/// assert!((plot.attainable.1 - 160.0).abs() < 1e-6);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn gables_plot_data(
+    soc: &SocSpec,
+    workload: &Workload,
+    x_lo: f64,
+    x_hi: f64,
+    samples: usize,
+) -> Result<GablesPlotData, GablesError> {
+    if !x_lo.is_finite() || x_lo <= 0.0 || !x_hi.is_finite() || x_hi <= x_lo || samples < 2 {
+        return Err(GablesError::invalid_parameter(
+            "plot range",
+            x_lo,
+            "requires 0 < x_lo < x_hi and samples >= 2",
+        ));
+    }
+    let eval = evaluate(soc, workload)?;
+    let xs: Vec<f64> = log_space(x_lo, x_hi, samples);
+
+    let mut curves = Vec::new();
+    let mut drop_lines = Vec::new();
+
+    for (i, assignment) in workload.assignments().iter().enumerate() {
+        if !assignment.is_active() {
+            continue; // Idle IPs are not shown (Figure 6a omits the GPU).
+        }
+        let f = assignment.fraction().value();
+        let points = xs
+            .iter()
+            .map(|&x| {
+                let p = scaled_ip_roofline(soc, i, f, OpsPerByte::new(x))
+                    .expect("validated inputs");
+                (x, p.to_gops())
+            })
+            .collect();
+        curves.push(RooflineCurve {
+            label: format!("IP[{i}] {} (f={f})", soc.ip(i)?.name()),
+            kind: CurveKind::Ip(i),
+            points,
+        });
+        let ii = assignment.intensity().value();
+        let at = scaled_ip_roofline(soc, i, f, assignment.intensity())?;
+        drop_lines.push(DropLine {
+            label: format!("I{i}"),
+            intensity: ii,
+            gops: at.to_gops(),
+            kind: CurveKind::Ip(i),
+        });
+    }
+
+    let memory_points = xs
+        .iter()
+        .map(|&x| (x, memory_roofline(soc, OpsPerByte::new(x)).to_gops()))
+        .collect();
+    curves.push(RooflineCurve {
+        label: format!("memory (Bpeak={:.1} GB/s)", soc.bpeak().to_gbps()),
+        kind: CurveKind::Memory,
+        points: memory_points,
+    });
+
+    let iavg = workload
+        .iavg()
+        .expect("validated workload has an active IP");
+    drop_lines.push(DropLine {
+        label: "Iavg".into(),
+        intensity: iavg.value(),
+        gops: memory_roofline(soc, iavg).to_gops(),
+        kind: CurveKind::Memory,
+    });
+
+    Ok(GablesPlotData {
+        curves,
+        drop_lines,
+        attainable: (iavg.value(), eval.attainable().to_gops()),
+        bottleneck: eval.bottleneck(),
+        x_range: (x_lo, x_hi),
+    })
+}
+
+/// `n` log-spaced samples covering `[lo, hi]` inclusive.
+pub fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    debug_assert!(n >= 2 && lo > 0.0 && hi > lo);
+    let ratio = (hi / lo).ln();
+    (0..n)
+        .map(|k| lo * (ratio * k as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_ip::TwoIpModel;
+
+    #[test]
+    fn figure_6a_plot_omits_idle_gpu() {
+        let m = TwoIpModel::figure_6a();
+        let plot =
+            gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 32).unwrap();
+        // Only the CPU curve + memory curve.
+        assert_eq!(plot.curves.len(), 2);
+        assert!(matches!(plot.curves[0].kind, CurveKind::Ip(0)));
+        assert!(matches!(plot.curves[1].kind, CurveKind::Memory));
+        assert!((plot.attainable.1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_6d_plot_selects_equal_points() {
+        let m = TwoIpModel::figure_6d();
+        let plot =
+            gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 32).unwrap();
+        assert_eq!(plot.curves.len(), 3);
+        // All three drop lines select 160 Gops/s at I = 8.
+        for d in &plot.drop_lines {
+            assert!((d.intensity - 8.0).abs() < 1e-9, "{d:?}");
+            assert!((d.gops - 160.0).abs() < 1e-6, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn curves_are_monotone_nondecreasing() {
+        let m = TwoIpModel::figure_6b();
+        let plot =
+            gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 1000.0, 64).unwrap();
+        for curve in &plot.curves {
+            for pair in curve.points.windows(2) {
+                assert!(pair[1].1 >= pair[0].1 - 1e-9, "curve {} dips", curve.label);
+                assert!(pair[1].0 > pair[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn memory_curve_is_purely_slanted() {
+        let m = TwoIpModel::figure_6a();
+        let plot =
+            gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 16).unwrap();
+        let memory = plot
+            .curves
+            .iter()
+            .find(|c| c.kind == CurveKind::Memory)
+            .unwrap();
+        // Slope in log-log space is exactly 1 everywhere (no flat region).
+        for pair in memory.points.windows(2) {
+            let slope = (pair[1].1 / pair[0].1).ln() / (pair[1].0 / pair[0].0).ln();
+            assert!((slope - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn attainable_is_lowest_drop_line() {
+        for (_, m, _) in TwoIpModel::figure_6_progression() {
+            if m.f == 0.0 {
+                continue;
+            }
+            let plot =
+                gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 16)
+                    .unwrap();
+            let min_drop = plot
+                .drop_lines
+                .iter()
+                .map(|d| d.gops)
+                .fold(f64::INFINITY, f64::min);
+            assert!((plot.attainable.1 - min_drop).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_space_covers_endpoints() {
+        let xs = log_space(0.1, 100.0, 31);
+        assert_eq!(xs.len(), 31);
+        assert!((xs[0] - 0.1).abs() < 1e-12);
+        assert!((xs[30] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        let m = TwoIpModel::figure_6a();
+        let soc = m.soc().unwrap();
+        let w = m.workload().unwrap();
+        assert!(gables_plot_data(&soc, &w, 0.0, 10.0, 8).is_err());
+        assert!(gables_plot_data(&soc, &w, 10.0, 1.0, 8).is_err());
+        assert!(gables_plot_data(&soc, &w, 1.0, 10.0, 1).is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Structured what-if analysis.
+//!
+//! The paper's Figure 6 walkthrough is a chain of what-ifs: *assign work
+//! to the GPU* → *buy more DRAM bandwidth* → *fix the reuse instead*.
+//! This module reifies such edits as data ([`Edit`]) so a scenario chain
+//! can be applied, explained, and diffed mechanically — each step
+//! reporting the performance delta and any bottleneck migration.
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::model::{evaluate, Bottleneck, Evaluation};
+use crate::soc::SocSpec;
+use crate::units::{BytesPerSec, OpsPerSec, WorkFraction};
+use crate::workload::{WorkAssignment, Workload};
+
+/// One edit to a SoC/workload scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Edit {
+    /// Set the off-chip bandwidth `Bpeak` (GB/s) — Figures 6c/6d's knob.
+    SetBpeakGbps(f64),
+    /// Set the CPU-complex peak `Ppeak` (Gops/s).
+    SetPpeakGops(f64),
+    /// Scale IP\[i\]'s port bandwidth `Bi` by a factor.
+    ScaleIpBandwidth {
+        /// IP index.
+        ip: usize,
+        /// Multiplicative factor (> 0).
+        factor: f64,
+    },
+    /// Set IP\[i\]'s operational intensity `Ii` (ops/byte) — Figure 6d's
+    /// "add memory and ensure the usecase reuses it".
+    SetIntensity {
+        /// IP index.
+        ip: usize,
+        /// New intensity, ops/byte.
+        ops_per_byte: f64,
+    },
+    /// Move a fraction of total work from one IP to another.
+    MoveWork {
+        /// Source IP index.
+        from: usize,
+        /// Destination IP index.
+        to: usize,
+        /// Fraction of *total* work to move (clamped to what `from` has).
+        fraction: f64,
+    },
+}
+
+impl fmt::Display for Edit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edit::SetBpeakGbps(v) => write!(f, "set Bpeak = {v} GB/s"),
+            Edit::SetPpeakGops(v) => write!(f, "set Ppeak = {v} Gops/s"),
+            Edit::ScaleIpBandwidth { ip, factor } => {
+                write!(f, "scale B{ip} by {factor}x")
+            }
+            Edit::SetIntensity { ip, ops_per_byte } => {
+                write!(f, "set I{ip} = {ops_per_byte} ops/byte")
+            }
+            Edit::MoveWork { from, to, fraction } => {
+                write!(f, "move {fraction} of work from IP[{from}] to IP[{to}]")
+            }
+        }
+    }
+}
+
+/// One applied step of a what-if chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// The edit applied.
+    pub edit: Edit,
+    /// Evaluation after the edit.
+    pub after: Evaluation,
+    /// `after / before` attainable-performance ratio.
+    pub speedup: f64,
+    /// The bottleneck before the edit.
+    pub bottleneck_before: Bottleneck,
+}
+
+impl Step {
+    /// Whether the edit moved the bottleneck to a different component.
+    pub fn bottleneck_moved(&self) -> bool {
+        self.after.bottleneck() != self.bottleneck_before
+    }
+}
+
+/// The result of applying a chain of edits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfReport {
+    /// The starting evaluation.
+    pub baseline: Evaluation,
+    /// Each applied step in order.
+    pub steps: Vec<Step>,
+    /// The final SoC.
+    pub soc: SocSpec,
+    /// The final workload.
+    pub workload: Workload,
+}
+
+impl WhatIfReport {
+    /// Total speedup from baseline to the final step.
+    pub fn total_speedup(&self) -> f64 {
+        match self.steps.last() {
+            Some(last) => last.after.attainable().value() / self.baseline.attainable().value(),
+            None => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for WhatIfReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "baseline: {:.4} Gops/s ({})",
+            self.baseline.attainable().to_gops(),
+            self.baseline.bottleneck()
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {}: -> {:.4} Gops/s ({:.2}x){}",
+                s.edit,
+                s.after.attainable().to_gops(),
+                s.speedup,
+                if s.bottleneck_moved() {
+                    format!(
+                        ", bottleneck {} -> {}",
+                        s.bottleneck_before,
+                        s.after.bottleneck()
+                    )
+                } else {
+                    String::new()
+                }
+            )?;
+        }
+        writeln!(f, "total: {:.2}x", self.total_speedup())
+    }
+}
+
+/// Applies a chain of edits, re-evaluating after each.
+///
+/// # Errors
+///
+/// Propagates model/parameter errors; edits referencing out-of-range IPs
+/// return [`GablesError::IpIndexOutOfBounds`].
+pub fn apply(
+    soc: &SocSpec,
+    workload: &Workload,
+    edits: &[Edit],
+) -> Result<WhatIfReport, GablesError> {
+    let baseline = evaluate(soc, workload)?;
+    let mut soc = soc.clone();
+    let mut workload = workload.clone();
+    let mut steps = Vec::with_capacity(edits.len());
+    let mut prev = baseline.attainable().value();
+    let mut prev_bottleneck = baseline.bottleneck();
+
+    for edit in edits {
+        match *edit {
+            Edit::SetBpeakGbps(gbps) => {
+                soc = soc.with_bpeak(BytesPerSec::from_gbps(gbps))?;
+            }
+            Edit::SetPpeakGops(gops) => {
+                soc = rebuild_soc(&soc, Some(OpsPerSec::from_gops(gops)), None, 1.0)?;
+            }
+            Edit::ScaleIpBandwidth { ip, factor } => {
+                if !(factor.is_finite() && factor > 0.0) {
+                    return Err(GablesError::invalid_parameter(
+                        "bandwidth factor",
+                        factor,
+                        "must be finite and > 0",
+                    ));
+                }
+                soc = rebuild_soc(&soc, None, Some(ip), factor)?;
+            }
+            Edit::SetIntensity { ip, ops_per_byte } => {
+                workload = workload.with_intensity(ip, ops_per_byte)?;
+            }
+            Edit::MoveWork { from, to, fraction } => {
+                workload = move_work(&workload, from, to, fraction)?;
+            }
+        }
+        let after = evaluate(&soc, &workload)?;
+        let speedup = after.attainable().value() / prev;
+        prev = after.attainable().value();
+        let bottleneck_before = prev_bottleneck;
+        prev_bottleneck = after.bottleneck();
+        steps.push(Step {
+            edit: edit.clone(),
+            after,
+            speedup,
+            bottleneck_before,
+        });
+    }
+    Ok(WhatIfReport {
+        baseline,
+        steps,
+        soc,
+        workload,
+    })
+}
+
+fn rebuild_soc(
+    soc: &SocSpec,
+    ppeak: Option<OpsPerSec>,
+    scale_ip: Option<usize>,
+    factor: f64,
+) -> Result<SocSpec, GablesError> {
+    if let Some(ip) = scale_ip {
+        // Validate the index up front for a precise error.
+        soc.ip(ip)?;
+    }
+    let mut b = SocSpec::builder();
+    b.ppeak(ppeak.unwrap_or_else(|| soc.ppeak())).bpeak(soc.bpeak());
+    let cpu = soc.ip(0)?;
+    let cpu_bw = if scale_ip == Some(0) {
+        cpu.bandwidth() * factor
+    } else {
+        cpu.bandwidth()
+    };
+    b.cpu(cpu.name(), cpu_bw);
+    for (i, ip) in soc.ips().iter().enumerate().skip(1) {
+        let bw = if scale_ip == Some(i) {
+            ip.bandwidth() * factor
+        } else {
+            ip.bandwidth()
+        };
+        b.accelerator(ip.name(), ip.acceleration().value(), bw)?;
+    }
+    b.build()
+}
+
+fn move_work(
+    workload: &Workload,
+    from: usize,
+    to: usize,
+    fraction: f64,
+) -> Result<Workload, GablesError> {
+    if !(fraction.is_finite() && fraction >= 0.0) {
+        return Err(GablesError::invalid_parameter(
+            "moved fraction",
+            fraction,
+            "must be finite and >= 0",
+        ));
+    }
+    let src = *workload.assignment(from)?;
+    let dst = *workload.assignment(to)?;
+    let moved = fraction.min(src.fraction().value());
+    let mut assignments: Vec<WorkAssignment> = workload.assignments().to_vec();
+    assignments[from] = WorkAssignment::new(
+        WorkFraction::new(src.fraction().value() - moved)?,
+        src.intensity(),
+    )?;
+    assignments[to] = WorkAssignment::new(
+        WorkFraction::new(dst.fraction().value() + moved)?,
+        dst.intensity(),
+    )?;
+    Workload::from_assignments(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_ip::TwoIpModel;
+
+    #[test]
+    fn figure_6_walkthrough_as_a_what_if_chain() {
+        // Start at Figure 6a and replay the paper's exact edits.
+        let m = TwoIpModel::figure_6a();
+        let soc = m.soc().unwrap();
+        let w = m.workload().unwrap();
+        let report = apply(
+            &soc,
+            &w,
+            &[
+                Edit::MoveWork {
+                    from: 0,
+                    to: 1,
+                    fraction: 0.75,
+                }, // -> 6b
+                Edit::SetBpeakGbps(30.0), // -> 6c
+                Edit::SetIntensity {
+                    ip: 1,
+                    ops_per_byte: 8.0,
+                },
+                Edit::SetBpeakGbps(20.0), // -> 6d
+            ],
+        )
+        .unwrap();
+        assert!((report.baseline.attainable().to_gops() - 40.0).abs() < 1e-9);
+        let gops: Vec<f64> = report
+            .steps
+            .iter()
+            .map(|s| s.after.attainable().to_gops())
+            .collect();
+        assert!((gops[0] - 1.327_800_829).abs() < 1e-6);
+        assert!((gops[1] - 2.0).abs() < 1e-9);
+        assert!((gops[3] - 160.0).abs() < 1e-9);
+        assert!((report.total_speedup() - 4.0).abs() < 1e-9);
+        // The first edit moves the bottleneck CPU -> memory; the second
+        // moves it memory -> GPU port.
+        assert!(report.steps[0].bottleneck_moved());
+        assert_eq!(report.steps[1].after.bottleneck(), Bottleneck::Ip(1));
+    }
+
+    #[test]
+    fn move_work_clamps_to_available() {
+        let w = Workload::two_ip(0.25, 8.0, 8.0).unwrap();
+        let moved = move_work(&w, 1, 0, 0.9).unwrap();
+        assert!((moved.assignment(1).unwrap().fraction().value() - 0.0).abs() < 1e-12);
+        assert!((moved.assignment(0).unwrap().fraction().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edits_validate() {
+        let m = TwoIpModel::figure_6a();
+        let soc = m.soc().unwrap();
+        let w = m.workload().unwrap();
+        assert!(apply(&soc, &w, &[Edit::ScaleIpBandwidth { ip: 9, factor: 2.0 }]).is_err());
+        assert!(apply(&soc, &w, &[Edit::ScaleIpBandwidth { ip: 0, factor: 0.0 }]).is_err());
+        assert!(apply(
+            &soc,
+            &w,
+            &[Edit::MoveWork {
+                from: 0,
+                to: 1,
+                fraction: -0.5
+            }]
+        )
+        .is_err());
+        assert!(apply(&soc, &w, &[Edit::SetBpeakGbps(-1.0)]).is_err());
+    }
+
+    #[test]
+    fn scale_bandwidth_and_ppeak_edits() {
+        let m = TwoIpModel::figure_6a();
+        let soc = m.soc().unwrap();
+        let w = m.workload().unwrap();
+        // 6a is CPU-compute bound; doubling Ppeak doubles performance
+        // until memory binds (B0*I0 = 48 > 80? memory is 80; CPU port is
+        // 6*8 = 48 -> CPU becomes port-bound at 48).
+        let r = apply(&soc, &w, &[Edit::SetPpeakGops(80.0)]).unwrap();
+        assert!((r.steps[0].after.attainable().to_gops() - 48.0).abs() < 1e-9);
+        // Then widening B0 helps further.
+        let r = apply(
+            &soc,
+            &w,
+            &[
+                Edit::SetPpeakGops(80.0),
+                Edit::ScaleIpBandwidth { ip: 0, factor: 2.0 },
+            ],
+        )
+        .unwrap();
+        assert!((r.steps[1].after.attainable().to_gops() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let m = TwoIpModel::figure_6b();
+        let r = apply(&m.soc().unwrap(), &m.workload().unwrap(), &[]).unwrap();
+        assert_eq!(r.total_speedup(), 1.0);
+        assert!(r.steps.is_empty());
+    }
+
+    #[test]
+    fn report_display_narrates_the_chain() {
+        let m = TwoIpModel::figure_6a();
+        let r = apply(
+            &m.soc().unwrap(),
+            &m.workload().unwrap(),
+            &[Edit::SetBpeakGbps(20.0)],
+        )
+        .unwrap();
+        let text = r.to_string();
+        assert!(text.contains("baseline: 40.0000 Gops/s"));
+        assert!(text.contains("set Bpeak = 20 GB/s"));
+        assert!(text.contains("total:"));
+    }
+
+    #[test]
+    fn edit_display() {
+        assert_eq!(Edit::SetBpeakGbps(20.0).to_string(), "set Bpeak = 20 GB/s");
+        assert_eq!(
+            Edit::MoveWork {
+                from: 0,
+                to: 1,
+                fraction: 0.75
+            }
+            .to_string(),
+            "move 0.75 of work from IP[0] to IP[1]"
+        );
+        assert_eq!(
+            Edit::SetIntensity {
+                ip: 1,
+                ops_per_byte: 8.0
+            }
+            .to_string(),
+            "set I1 = 8 ops/byte"
+        );
+        assert_eq!(
+            Edit::ScaleIpBandwidth { ip: 2, factor: 1.5 }.to_string(),
+            "scale B2 by 1.5x"
+        );
+        assert_eq!(Edit::SetPpeakGops(40.0).to_string(), "set Ppeak = 40 Gops/s");
+    }
+}

@@ -1,0 +1,381 @@
+//! Software-side model inputs: the usecase workload.
+//!
+//! A [`Workload`] captures the software inputs of Table II: for every IP\[i\]
+//! the fraction of usecase work `fi` assigned to it and the operational
+//! intensity `Ii` of that work. Fractions are non-negative and sum to 1;
+//! work at different IPs proceeds *concurrently* in the base model
+//! (Section II-B), unlike Amdahl's Law.
+
+use core::fmt;
+
+use crate::error::GablesError;
+use crate::units::{OpsPerByte, WorkFraction};
+
+/// Tolerance used when validating that work fractions sum to 1.
+pub const FRACTION_SUM_TOLERANCE: f64 = 1e-9;
+
+/// The work assigned to one IP: a fraction `fi` of total usecase ops at
+/// operational intensity `Ii`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct WorkAssignment {
+    fraction: WorkFraction,
+    intensity: OpsPerByte,
+}
+
+impl WorkAssignment {
+    /// Creates a work assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if the fraction is nonzero
+    /// but the intensity is not finite and positive. (Zero-work assignments
+    /// may carry any intensity since it is never used.)
+    pub fn new(fraction: WorkFraction, intensity: OpsPerByte) -> Result<Self, GablesError> {
+        let i = intensity.value();
+        if !fraction.is_zero() && (!i.is_finite() || i <= 0.0) {
+            return Err(GablesError::invalid_parameter(
+                "operational intensity",
+                i,
+                "must be finite and > 0 when the IP is assigned work",
+            ));
+        }
+        Ok(Self {
+            fraction,
+            intensity,
+        })
+    }
+
+    /// An assignment of zero work (the IP is idle for this usecase).
+    pub fn idle() -> Self {
+        Self {
+            fraction: WorkFraction::ZERO,
+            intensity: OpsPerByte::new(1.0),
+        }
+    }
+
+    /// The fraction of usecase work `fi`.
+    pub fn fraction(&self) -> WorkFraction {
+        self.fraction
+    }
+
+    /// The operational intensity `Ii` of the work at this IP.
+    pub fn intensity(&self) -> OpsPerByte {
+        self.intensity
+    }
+
+    /// Whether this IP is assigned any work at all.
+    pub fn is_active(&self) -> bool {
+        !self.fraction.is_zero()
+    }
+}
+
+/// The software half of the Gables model: a usecase apportioned over N IPs.
+///
+/// # Examples
+///
+/// The workload of the paper's Figure 6b (f = 0.75, `I0` = 8, `I1` = 0.1):
+///
+/// ```
+/// use gables_model::Workload;
+///
+/// let workload = Workload::builder()
+///     .work(0.25, 8.0)?
+///     .work(0.75, 0.1)?
+///     .build()?;
+/// assert_eq!(workload.ip_count(), 2);
+/// assert!((workload.iavg().unwrap().value() - 0.13278).abs() < 1e-4);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Workload {
+    assignments: Vec<WorkAssignment>,
+}
+
+impl Workload {
+    /// Starts building a workload.
+    pub fn builder() -> WorkloadBuilder {
+        WorkloadBuilder::new()
+    }
+
+    /// Builds a workload directly from assignments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::WorkFractionSum`] if the fractions do not sum
+    /// to 1 (within [`FRACTION_SUM_TOLERANCE`]), or
+    /// [`GablesError::NoIps`] if `assignments` is empty.
+    pub fn from_assignments(assignments: Vec<WorkAssignment>) -> Result<Self, GablesError> {
+        if assignments.is_empty() {
+            return Err(GablesError::NoIps);
+        }
+        let sum: f64 = assignments.iter().map(|a| a.fraction().value()).sum();
+        if (sum - 1.0).abs() > FRACTION_SUM_TOLERANCE {
+            return Err(GablesError::WorkFractionSum { sum });
+        }
+        Ok(Self { assignments })
+    }
+
+    /// Convenience constructor for the paper's two-IP primer (Section
+    /// III-B): `f` work at IP\[1\] with intensity `i1`, `1 - f` work at
+    /// IP\[0\] with intensity `i0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `f` is outside `[0, 1]` or an active IP has a
+    /// non-positive intensity.
+    pub fn two_ip(f: f64, i0: f64, i1: f64) -> Result<Self, GablesError> {
+        let f = WorkFraction::new(f)?;
+        Self::from_assignments(vec![
+            WorkAssignment::new(f.complement(), OpsPerByte::new(i0))?,
+            WorkAssignment::new(f, OpsPerByte::new(i1))?,
+        ])
+    }
+
+    /// The number of IPs this workload spans.
+    pub fn ip_count(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// All work assignments in IP index order.
+    pub fn assignments(&self) -> &[WorkAssignment] {
+        &self.assignments
+    }
+
+    /// The work assignment for IP\[i\].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::IpIndexOutOfBounds`] if `index` is out of
+    /// range.
+    pub fn assignment(&self, index: usize) -> Result<&WorkAssignment, GablesError> {
+        self.assignments
+            .get(index)
+            .ok_or(GablesError::IpIndexOutOfBounds {
+                index,
+                len: self.assignments.len(),
+            })
+    }
+
+    /// The indices of IPs that are assigned nonzero work.
+    pub fn active_ips(&self) -> impl Iterator<Item = usize> + '_ {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_active())
+            .map(|(i, _)| i)
+    }
+
+    /// The average operational intensity `Iavg`: the harmonic mean of the
+    /// per-IP intensities weighted by fraction of work (Equation 7 and the
+    /// Equation 13 discussion),
+    /// `Iavg = 1 / (Σ fi / Ii)`.
+    ///
+    /// This is the x-coordinate at which the memory roofline is read off.
+    /// Returns `None` if no IP has work (cannot happen for a validated
+    /// workload, but kept total for robustness).
+    pub fn iavg(&self) -> Option<OpsPerByte> {
+        let denom: f64 = self
+            .assignments
+            .iter()
+            .filter(|a| a.is_active())
+            .map(|a| a.fraction().value() / a.intensity().value())
+            .sum();
+        if denom > 0.0 {
+            Some(OpsPerByte::new(1.0 / denom))
+        } else {
+            None
+        }
+    }
+
+    /// Total bytes of DRAM traffic per op of usecase work,
+    /// `Σ Di = Σ fi / Ii` — the reciprocal of [`iavg`](Self::iavg).
+    pub fn total_data_per_op(&self) -> f64 {
+        self.assignments
+            .iter()
+            .filter(|a| a.is_active())
+            .map(|a| a.fraction().value() / a.intensity().value())
+            .sum()
+    }
+
+    /// Returns a copy of this workload with IP\[i\]'s intensity replaced,
+    /// the what-if edit of Figure 6d (raising `I1` from 0.1 to 8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::IpIndexOutOfBounds`] if `index` is out of
+    /// range, or [`GablesError::InvalidParameter`] for a non-positive
+    /// intensity on an active IP.
+    pub fn with_intensity(&self, index: usize, intensity: f64) -> Result<Workload, GablesError> {
+        let current = *self.assignment(index)?;
+        let mut assignments = self.assignments.clone();
+        assignments[index] =
+            WorkAssignment::new(current.fraction(), OpsPerByte::new(intensity))?;
+        Ok(Workload { assignments })
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.assignments.iter().enumerate() {
+            writeln!(
+                f,
+                "  IP[{i}]: f = {:.4}, I = {} ops/byte",
+                a.fraction().value(),
+                a.intensity().value()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Workload`] (C-BUILDER, non-consuming). Assignments are
+/// added in IP index order.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadBuilder {
+    assignments: Vec<WorkAssignment>,
+}
+
+impl WorkloadBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns the next IP `fraction` of the work at `intensity` ops/byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `fraction` is outside
+    /// `[0, 1]` or `intensity` is non-positive while `fraction` is nonzero.
+    pub fn work(&mut self, fraction: f64, intensity: f64) -> Result<&mut Self, GablesError> {
+        let f = WorkFraction::new(fraction)?;
+        self.assignments
+            .push(WorkAssignment::new(f, OpsPerByte::new(intensity))?);
+        Ok(self)
+    }
+
+    /// Assigns the next IP no work at all.
+    pub fn idle(&mut self) -> &mut Self {
+        self.assignments.push(WorkAssignment::idle());
+        self
+    }
+
+    /// Builds the [`Workload`], validating that fractions sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// See [`Workload::from_assignments`].
+    pub fn build(&self) -> Result<Workload, GablesError> {
+        Workload::from_assignments(self.assignments.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_sum() {
+        let mut b = Workload::builder();
+        b.work(0.25, 8.0).unwrap();
+        b.work(0.5, 0.1).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, GablesError::WorkFractionSum { sum } if (sum - 0.75).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        assert_eq!(
+            Workload::builder().build().unwrap_err(),
+            GablesError::NoIps
+        );
+    }
+
+    #[test]
+    fn two_ip_constructor_matches_figure_6b() {
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        assert_eq!(w.ip_count(), 2);
+        assert!((w.assignment(0).unwrap().fraction().value() - 0.25).abs() < 1e-15);
+        assert!((w.assignment(1).unwrap().fraction().value() - 0.75).abs() < 1e-15);
+        // Appendix: Iavg = 1/[(0.25/8) + (0.75/0.1)] = 0.13278...
+        let iavg = w.iavg().unwrap().value();
+        assert!((iavg - 0.132_780_082).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iavg_with_single_active_ip_is_its_intensity() {
+        // Figure 6a: f = 0 so Iavg = I0 = 8.
+        let w = Workload::two_ip(0.0, 8.0, 0.1).unwrap();
+        assert!((w.iavg().unwrap().value() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iavg_is_harmonic_mean_weighted_by_fraction() {
+        let w = Workload::two_ip(0.5, 4.0, 4.0).unwrap();
+        assert!((w.iavg().unwrap().value() - 4.0).abs() < 1e-12);
+        let w = Workload::two_ip(0.5, 2.0, 8.0).unwrap();
+        // 1/(0.25 + 0.0625) = 3.2
+        assert!((w.iavg().unwrap().value() - 3.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_data_is_reciprocal_of_iavg() {
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let product = w.total_data_per_op() * w.iavg().unwrap().value();
+        assert!((product - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_assignment_allows_any_intensity() {
+        let mut b = Workload::builder();
+        b.work(1.0, 8.0).unwrap();
+        b.idle();
+        let w = b.build().unwrap();
+        assert!(!w.assignment(1).unwrap().is_active());
+        assert_eq!(w.active_ips().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn active_assignment_requires_positive_intensity() {
+        let f = WorkFraction::new(0.5).unwrap();
+        assert!(WorkAssignment::new(f, OpsPerByte::new(0.0)).is_err());
+        assert!(WorkAssignment::new(f, OpsPerByte::new(-3.0)).is_err());
+        // But zero fraction tolerates it.
+        assert!(WorkAssignment::new(WorkFraction::ZERO, OpsPerByte::new(0.0)).is_ok());
+    }
+
+    #[test]
+    fn with_intensity_edits_one_ip() {
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let w2 = w.with_intensity(1, 8.0).unwrap();
+        assert_eq!(w2.assignment(1).unwrap().intensity().value(), 8.0);
+        assert_eq!(w2.assignment(0).unwrap().intensity().value(), 8.0);
+        assert_eq!(
+            w2.assignment(1).unwrap().fraction(),
+            w.assignment(1).unwrap().fraction()
+        );
+        assert!(w.with_intensity(5, 1.0).is_err());
+    }
+
+    #[test]
+    fn fraction_sum_tolerance_accepts_rounding() {
+        // Eight increments of 1/8 accumulate rounding error well below the
+        // tolerance; this mirrors the Figure 8 sweep.
+        let mut b = Workload::builder();
+        b.work(1.0 - 7.0 * 0.125, 1.0).unwrap();
+        for _ in 0..7 {
+            b.work(0.125, 1.0).unwrap();
+        }
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn display_shows_assignments() {
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        let text = w.to_string();
+        assert!(text.contains("IP[0]"));
+        assert!(text.contains("IP[1]"));
+    }
+}

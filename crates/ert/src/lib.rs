@@ -1,0 +1,464 @@
+//! # gables-ert
+//!
+//! An analog of the Empirical Roofline Toolkit (Lo et al., PMBS 2014) —
+//! the methodology the paper's Algorithm 1 is based on — targeting the
+//! `gables-soc-sim` simulator instead of physical hardware.
+//!
+//! The toolkit sweeps the roofline kernel over array sizes (to probe each
+//! level of the memory hierarchy) and over flops-per-word (to vary
+//! operational intensity), then fits an empirical roofline: the best
+//! observed compute rate, the best observed DRAM bandwidth, and per-cache
+//! bandwidth ceilings. This is the paper's "pessimistic estimate ... that
+//! is attainable but may not be the best performance possible".
+//!
+//! ## Example
+//!
+//! ```
+//! use gables_ert::{fit, sweep, SweepConfig};
+//! use gables_soc_sim::{presets, Simulator};
+//!
+//! let sim = Simulator::new(presets::snapdragon_835_like())?;
+//! let points = sweep(&sim, presets::CPU, &SweepConfig::default())?;
+//! let roofline = fit(&points);
+//! // Recovers the calibrated Figure 7a ceilings.
+//! assert!((roofline.peak_gflops - 7.5).abs() < 0.1);
+//! assert!((roofline.dram_gbps - 15.1).abs() < 0.2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gables_model::baselines::roofline::{Ceiling, Roofline};
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_soc_sim::{
+    run_single, RooflineKernel, ServedFrom, SimError, Simulator, TrafficPattern,
+};
+
+/// The sweep grid: which array sizes and flops-per-word values to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Array sizes in bytes (probing cache levels up to DRAM).
+    pub array_bytes: Vec<u64>,
+    /// Flops applied per word per pass (sets operational intensity).
+    pub flops_per_word: Vec<u32>,
+    /// Passes over the array.
+    pub trials: u64,
+    /// The access pattern (the paper uses read-modify-write on the CPU
+    /// and a stream variant on the GPU).
+    pub pattern: TrafficPattern,
+}
+
+impl SweepConfig {
+    /// The paper-style CPU sweep: read-modify-write over sizes from 16 KiB
+    /// to 256 MiB, intensities from 1/8 to 1024 flops/byte.
+    pub fn cpu_default() -> Self {
+        Self {
+            array_bytes: size_grid(),
+            flops_per_word: fpw_grid(),
+            trials: 2,
+            pattern: TrafficPattern::ReadModifyWrite,
+        }
+    }
+
+    /// The paper's GPU variant: stream read one array, update another.
+    pub fn gpu_default() -> Self {
+        Self {
+            pattern: TrafficPattern::StreamCopy,
+            ..Self::cpu_default()
+        }
+    }
+
+    /// The read-only sanity-check sweep (footnote 3 of the paper).
+    pub fn read_only() -> Self {
+        Self {
+            pattern: TrafficPattern::StreamRead,
+            ..Self::cpu_default()
+        }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::cpu_default()
+    }
+}
+
+fn size_grid() -> Vec<u64> {
+    // 16 KiB .. 256 MiB, one point per doubling.
+    (14..=28).map(|p| 1u64 << p).collect()
+}
+
+fn fpw_grid() -> Vec<u32> {
+    // flops/word 1..8192 per doubling => intensity 0.125..1024 for RMW f32.
+    (0..=13).map(|p| 1u32 << p).collect()
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Array size in bytes.
+    pub array_bytes: u64,
+    /// Flops per word.
+    pub flops_per_word: u32,
+    /// Operational intensity, flops/byte.
+    pub intensity: f64,
+    /// Achieved GFLOPS/s.
+    pub gflops: f64,
+    /// Achieved GB/s.
+    pub gbps: f64,
+    /// Which memory level served the kernel.
+    pub served_from: ServedFrom,
+}
+
+/// Runs the full sweep of a config on one IP.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]).
+pub fn sweep(
+    sim: &Simulator,
+    ip: usize,
+    config: &SweepConfig,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut out = Vec::with_capacity(config.array_bytes.len() * config.flops_per_word.len());
+    for &bytes in &config.array_bytes {
+        for &fpw in &config.flops_per_word {
+            let kernel = RooflineKernel {
+                trials: config.trials,
+                words: (bytes / 4).max(1),
+                word_bytes: 4,
+                flops_per_word: fpw,
+                pattern: config.pattern,
+                data_type: gables_soc_sim::kernel::DataType::Fp32,
+            };
+            let job = run_single(sim, ip, kernel)?;
+            out.push(SweepPoint {
+                array_bytes: bytes,
+                flops_per_word: fpw,
+                intensity: kernel.intensity(),
+                gflops: job.achieved_flops_per_sec / 1e9,
+                gbps: job.achieved_bytes_per_sec / 1e9,
+                served_from: job.served_from,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// An empirically fitted roofline: the best observed ceilings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalRoofline {
+    /// Best observed compute rate, GFLOPS/s.
+    pub peak_gflops: f64,
+    /// Best observed DRAM bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// Best observed bandwidth per cache level (and the scratchpad, under
+    /// the key `"scratchpad"`), GB/s.
+    pub cache_gbps: BTreeMap<String, f64>,
+    /// The ridge point `peak / dram_bw`, flops/byte.
+    pub ridge_intensity: f64,
+}
+
+impl EmpiricalRoofline {
+    /// Converts the DRAM-level fit into an analytical [`Roofline`] for use
+    /// with `gables-model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either fitted ceiling is non-positive (an empty
+    /// or degenerate sweep).
+    pub fn to_roofline(&self) -> Result<Roofline, gables_model::GablesError> {
+        Roofline::new(
+            OpsPerSec::from_gops(self.peak_gflops),
+            BytesPerSec::from_gbps(self.dram_gbps),
+        )
+    }
+
+    /// The attainable GFLOPS/s this fit predicts at a given intensity —
+    /// `min(peak, dram_bw · I)`.
+    pub fn attainable_gflops(&self, intensity: f64) -> f64 {
+        self.peak_gflops.min(self.dram_gbps * intensity)
+    }
+
+    /// Converts the fit into an analytical [`Roofline`] whose *roof* is
+    /// the fastest observed memory level and whose *ceilings* are the
+    /// slower levels (DRAM included) — the classic ERT multi-band plot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fitted ceilings are non-positive (an empty
+    /// or degenerate sweep).
+    pub fn to_roofline_with_ceilings(&self) -> Result<Roofline, gables_model::GablesError> {
+        let best_cache = self
+            .cache_gbps
+            .values()
+            .cloned()
+            .fold(self.dram_gbps, f64::max);
+        let mut roofline = Roofline::new(
+            OpsPerSec::from_gops(self.peak_gflops),
+            BytesPerSec::from_gbps(best_cache),
+        )?;
+        for (level, gbps) in &self.cache_gbps {
+            if *gbps < best_cache {
+                roofline = roofline.with_ceiling(Ceiling::Bandwidth {
+                    label: level.clone(),
+                    bandwidth: BytesPerSec::from_gbps(*gbps),
+                });
+            }
+        }
+        roofline = roofline.with_ceiling(Ceiling::Bandwidth {
+            label: "DRAM".into(),
+            bandwidth: BytesPerSec::from_gbps(self.dram_gbps),
+        });
+        Ok(roofline)
+    }
+}
+
+impl fmt::Display for EmpiricalRoofline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:.1} GFLOPs/sec (Maximum); DRAM - {:.1} GB/s (ridge at {:.3} flops/byte)",
+            self.peak_gflops, self.dram_gbps, self.ridge_intensity
+        )?;
+        for (level, gbps) in &self.cache_gbps {
+            writeln!(f, "  {level} - {gbps:.1} GB/s")?;
+        }
+        Ok(())
+    }
+}
+
+/// Fits an empirical roofline from sweep points: the maximum observed
+/// compute rate and, per serving level, the maximum observed bandwidth.
+///
+/// Degenerate input (no points) yields zeroed ceilings.
+pub fn fit(points: &[SweepPoint]) -> EmpiricalRoofline {
+    let mut peak_gflops = 0.0f64;
+    let mut dram_gbps = 0.0f64;
+    let mut cache_gbps: BTreeMap<String, f64> = BTreeMap::new();
+    for p in points {
+        peak_gflops = peak_gflops.max(p.gflops);
+        match &p.served_from {
+            ServedFrom::Dram => dram_gbps = dram_gbps.max(p.gbps),
+            ServedFrom::Cache(name) => {
+                let e = cache_gbps.entry(name.clone()).or_insert(0.0);
+                *e = e.max(p.gbps);
+            }
+            ServedFrom::Scratchpad => {
+                let e = cache_gbps.entry("scratchpad".into()).or_insert(0.0);
+                *e = e.max(p.gbps);
+            }
+        }
+    }
+    EmpiricalRoofline {
+        peak_gflops,
+        dram_gbps,
+        cache_gbps,
+        ridge_intensity: if dram_gbps > 0.0 {
+            peak_gflops / dram_gbps
+        } else {
+            f64::INFINITY
+        },
+    }
+}
+
+/// Convenience: sweep one IP and fit in one call.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn measure(
+    sim: &Simulator,
+    ip: usize,
+    config: &SweepConfig,
+) -> Result<EmpiricalRoofline, SimError> {
+    Ok(fit(&sweep(sim, ip, config)?))
+}
+
+/// Formats a sweep as the classic ERT text table (one row per point),
+/// for the figure-regeneration binaries.
+pub fn table(points: &[SweepPoint]) -> String {
+    let mut s = String::from(
+        "array_bytes  flops/word  intensity(flops/B)  GFLOPS/s     GB/s  served_from\n",
+    );
+    for p in points {
+        let level = match &p.served_from {
+            ServedFrom::Dram => "DRAM".to_string(),
+            ServedFrom::Cache(name) => name.clone(),
+            ServedFrom::Scratchpad => "scratchpad".to_string(),
+        };
+        s.push_str(&format!(
+            "{:>11}  {:>10}  {:>18.4}  {:>8.2}  {:>7.2}  {}\n",
+            p.array_bytes, p.flops_per_word, p.intensity, p.gflops, p.gbps, level
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gables_soc_sim::presets;
+
+    fn sim() -> Simulator {
+        Simulator::new(presets::snapdragon_835_like()).unwrap()
+    }
+
+    fn small_config(pattern: TrafficPattern) -> SweepConfig {
+        SweepConfig {
+            array_bytes: vec![64 << 10, 1 << 20, 64 << 20],
+            flops_per_word: vec![1, 8, 64, 1024],
+            trials: 1,
+            pattern,
+        }
+    }
+
+    #[test]
+    fn cpu_fit_recovers_figure_7a() {
+        let roofline = measure(&sim(), presets::CPU, &SweepConfig::cpu_default()).unwrap();
+        assert!(
+            (roofline.peak_gflops - 7.5).abs() < 0.05,
+            "peak {}",
+            roofline.peak_gflops
+        );
+        assert!(
+            (roofline.dram_gbps - 15.1).abs() < 0.1,
+            "dram {}",
+            roofline.dram_gbps
+        );
+        // Caches show higher bandwidth than DRAM (Section IV-B).
+        for (level, gbps) in &roofline.cache_gbps {
+            assert!(*gbps > roofline.dram_gbps, "{level} not faster than DRAM");
+        }
+    }
+
+    #[test]
+    fn gpu_fit_recovers_figure_7b() {
+        let roofline = measure(&sim(), presets::GPU, &SweepConfig::gpu_default()).unwrap();
+        assert!(
+            (roofline.peak_gflops - 349.6).abs() < 1.0,
+            "peak {}",
+            roofline.peak_gflops
+        );
+        assert!(
+            (roofline.dram_gbps - 24.4).abs() < 0.2,
+            "dram {}",
+            roofline.dram_gbps
+        );
+    }
+
+    #[test]
+    fn dsp_fit_recovers_figure_9() {
+        let roofline = measure(&sim(), presets::DSP, &SweepConfig::cpu_default()).unwrap();
+        assert!(
+            (roofline.peak_gflops - 3.0).abs() < 0.05,
+            "peak {}",
+            roofline.peak_gflops
+        );
+        assert!(
+            (roofline.dram_gbps - 5.4).abs() < 0.1,
+            "dram {}",
+            roofline.dram_gbps
+        );
+    }
+
+    #[test]
+    fn read_only_cpu_reaches_twenty() {
+        // Footnote 3: the read-only variant "achieves close to 20 GB/s".
+        let roofline = measure(&sim(), presets::CPU, &SweepConfig::read_only()).unwrap();
+        assert!(
+            (roofline.dram_gbps - 20.0).abs() < 0.5,
+            "dram {}",
+            roofline.dram_gbps
+        );
+    }
+
+    #[test]
+    fn sweep_points_cover_the_grid() {
+        let cfg = small_config(TrafficPattern::ReadModifyWrite);
+        let points = sweep(&sim(), presets::CPU, &cfg).unwrap();
+        assert_eq!(points.len(), 12);
+        // Small arrays served from cache, large from DRAM.
+        assert!(matches!(points[0].served_from, ServedFrom::Cache(_)));
+        assert_eq!(points.last().unwrap().served_from, ServedFrom::Dram);
+    }
+
+    #[test]
+    fn fit_on_empty_is_zeroed() {
+        let r = fit(&[]);
+        assert_eq!(r.peak_gflops, 0.0);
+        assert_eq!(r.dram_gbps, 0.0);
+        assert!(r.cache_gbps.is_empty());
+        assert!(r.ridge_intensity.is_infinite());
+    }
+
+    #[test]
+    fn to_roofline_round_trip() {
+        let roofline =
+            measure(&sim(), presets::CPU, &small_config(TrafficPattern::ReadModifyWrite))
+                .unwrap();
+        let analytical = roofline.to_roofline().unwrap();
+        assert!((analytical.peak().to_gops() - roofline.peak_gflops).abs() < 1e-9);
+        // Attainable matches min(peak, bw*I) at a couple of intensities.
+        for i in [0.1, 1.0, 100.0] {
+            let a = roofline.attainable_gflops(i);
+            let b = analytical
+                .attainable(gables_model::units::OpsPerByte::new(i))
+                .to_gops();
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn roofline_with_ceilings_orders_bands() {
+        let fit = measure(&sim(), presets::CPU, &SweepConfig::cpu_default()).unwrap();
+        let roofline = fit.to_roofline_with_ceilings().unwrap();
+        // The roof is the fastest band; every ceiling sits at or below it.
+        let roof_bw = roofline.bandwidth().to_gbps();
+        assert!(roof_bw >= fit.dram_gbps);
+        let mut saw_dram = false;
+        for c in roofline.ceilings() {
+            if let Ceiling::Bandwidth { label, bandwidth } = c {
+                assert!(bandwidth.to_gbps() <= roof_bw + 1e-9);
+                if label == "DRAM" {
+                    saw_dram = true;
+                    assert!((bandwidth.to_gbps() - fit.dram_gbps).abs() < 1e-9);
+                }
+            }
+        }
+        assert!(saw_dram);
+    }
+
+    #[test]
+    fn attainable_tracks_measured_dram_points() {
+        // Every DRAM-served measured point lies on or under the fit.
+        let cfg = SweepConfig::cpu_default();
+        let points = sweep(&sim(), presets::CPU, &cfg).unwrap();
+        let rf = fit(&points);
+        for p in points.iter().filter(|p| p.served_from == ServedFrom::Dram) {
+            assert!(p.gflops <= rf.attainable_gflops(p.intensity) * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn table_renders_rows() {
+        let cfg = small_config(TrafficPattern::StreamCopy);
+        let points = sweep(&sim(), presets::GPU, &cfg).unwrap();
+        let t = table(&points);
+        assert!(t.lines().count() == 13);
+        assert!(t.contains("DRAM"));
+    }
+
+    #[test]
+    fn display_matches_figure_style() {
+        let r = measure(&sim(), presets::CPU, &small_config(TrafficPattern::ReadModifyWrite))
+            .unwrap();
+        let text = r.to_string();
+        assert!(text.contains("GFLOPs/sec (Maximum)"));
+        assert!(text.contains("DRAM"));
+    }
+}

@@ -1,0 +1,323 @@
+//! # gables-market
+//!
+//! A seeded synthetic mobile-chipset dataset standing in for the paper's
+//! Figure 2 sources, which are unavailable offline (see DESIGN.md):
+//!
+//! * **Figure 2a** mined GSM Arena (9165 phone models, 109 brands) for the
+//!   number of new SoC chipsets introduced per year since 2007 — growth to
+//!   a 2014–2015 peak, then a decline the authors attribute to vendors
+//!   exiting the low-margin market (TI's OMAP, Intel) and consolidating
+//!   their line-ups (Qualcomm: 49 chipsets in 2014 → 27 in 2017).
+//! * **Figure 2b** plots the IP-block count of a state-of-the-art SoC per
+//!   generation (after Shao et al.), climbing past 30.
+//!
+//! The generator reproduces those aggregate *shapes* with a deterministic,
+//! seeded chipset database; per-year trend anchors are encoded as data and
+//! asserted by tests.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic chipset record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chipset {
+    /// Vendor name.
+    pub vendor: String,
+    /// Model designation.
+    pub model: String,
+    /// Year of introduction.
+    pub year: u32,
+    /// Number of distinct IP blocks on die.
+    pub ip_blocks: u32,
+}
+
+/// The modeled market years (matching Figure 2a's x-axis).
+pub const YEARS: std::ops::RangeInclusive<u32> = 2007..=2017;
+
+/// Trend anchors for new chipsets per year: rise from smartphone-boom 2007
+/// to a 2014–2015 peak, then consolidation decline (Figure 2a's shape).
+fn target_count(year: u32) -> u32 {
+    match year {
+        2007 => 12,
+        2008 => 18,
+        2009 => 27,
+        2010 => 41,
+        2011 => 60,
+        2012 => 78,
+        2013 => 95,
+        2014 => 110,
+        2015 => 104,
+        2016 => 78,
+        2017 => 62,
+        _ => 0,
+    }
+}
+
+/// Trend anchors for the IP-block count of a flagship SoC per generation
+/// (Figure 2b's shape, after Shao et al.): climbing monotonically past 30.
+pub fn flagship_ip_blocks(year: u32) -> u32 {
+    match year {
+        2007 => 6,
+        2008 => 8,
+        2009 => 10,
+        2010 => 12,
+        2011 => 15,
+        2012 => 18,
+        2013 => 21,
+        2014 => 24,
+        2015 => 26,
+        2016 => 29,
+        2017 => 32,
+        _ => 0,
+    }
+}
+
+/// The vendor roster with active year ranges, encoding the exits the paper
+/// names (TI stopped OMAP; Intel departed consumer smartphones).
+fn vendors() -> Vec<(&'static str, u32, u32, f64)> {
+    // (name, first year, last year, market weight)
+    vec![
+        ("Qualcomm", 2007, 2017, 0.30),
+        ("MediaTek", 2008, 2017, 0.25),
+        ("Samsung", 2010, 2017, 0.12),
+        ("HiSilicon", 2012, 2017, 0.08),
+        ("Apple", 2010, 2017, 0.05),
+        ("Spreadtrum", 2009, 2017, 0.08),
+        ("Texas Instruments", 2007, 2012, 0.07),
+        ("Intel", 2012, 2016, 0.03),
+        ("Nvidia", 2008, 2015, 0.04),
+        ("Marvell", 2007, 2014, 0.04),
+        ("Broadcom", 2008, 2014, 0.03),
+        ("Rockchip", 2010, 2017, 0.05),
+    ]
+}
+
+/// The seeded synthetic market database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Market {
+    chipsets: Vec<Chipset>,
+}
+
+impl Market {
+    /// Generates the database from a seed. The same seed always produces
+    /// the same database.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let roster = vendors();
+        let mut chipsets = Vec::new();
+        for year in YEARS {
+            let total = target_count(year);
+            let active: Vec<_> = roster
+                .iter()
+                .filter(|(_, from, to, _)| (*from..=*to).contains(&year))
+                .collect();
+            let weight_sum: f64 = active.iter().map(|(_, _, _, w)| w).sum();
+            let mut produced = 0;
+            for (k, (vendor, _, _, weight)) in active.iter().enumerate() {
+                let share = if k == active.len() - 1 {
+                    total - produced // exact remainder to hit the target
+                } else {
+                    ((total as f64) * weight / weight_sum).round() as u32
+                };
+                for n in 0..share {
+                    let flagship = flagship_ip_blocks(year);
+                    // Non-flagship parts integrate fewer IPs; flagships
+                    // define the Figure 2b frontier.
+                    let ip_blocks = if n == 0 {
+                        flagship
+                    } else {
+                        let lo = (flagship / 2).max(3);
+                        rng.gen_range(lo..=flagship)
+                    };
+                    chipsets.push(Chipset {
+                        vendor: (*vendor).to_string(),
+                        model: format!("{}-{}{:03}", vendor_code(vendor), year % 100, n),
+                        year,
+                        ip_blocks,
+                    });
+                }
+                produced += share;
+            }
+        }
+        Self { chipsets }
+    }
+
+    /// All chipset records.
+    pub fn chipsets(&self) -> &[Chipset] {
+        &self.chipsets
+    }
+
+    /// New chipsets introduced per year — the Figure 2a series.
+    pub fn per_year_counts(&self) -> Vec<(u32, usize)> {
+        YEARS
+            .map(|y| (y, self.chipsets.iter().filter(|c| c.year == y).count()))
+            .collect()
+    }
+
+    /// The maximum IP-block count per year — the Figure 2b series.
+    pub fn flagship_ip_trend(&self) -> Vec<(u32, u32)> {
+        YEARS
+            .map(|y| {
+                (
+                    y,
+                    self.chipsets
+                        .iter()
+                        .filter(|c| c.year == y)
+                        .map(|c| c.ip_blocks)
+                        .max()
+                        .unwrap_or(0),
+                )
+            })
+            .collect()
+    }
+
+    /// Chipsets introduced by one vendor in one year (the consolidation
+    /// evidence: Qualcomm 2014 vs 2017 in the paper's footnote).
+    pub fn vendor_count(&self, vendor: &str, year: u32) -> usize {
+        self.chipsets
+            .iter()
+            .filter(|c| c.vendor == vendor && c.year == year)
+            .count()
+    }
+
+    /// Distinct vendors active in a year.
+    pub fn active_vendors(&self, year: u32) -> usize {
+        let mut names: Vec<&str> = self
+            .chipsets
+            .iter()
+            .filter(|c| c.year == year)
+            .map(|c| c.vendor.as_str())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+fn vendor_code(vendor: &str) -> String {
+    vendor
+        .chars()
+        .filter(|c| c.is_ascii_uppercase())
+        .collect::<String>()
+        .to_lowercase()
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The Figure 2 shape anchors hold for every seed: per-year
+        /// counts hit the trend exactly, the flagship IP trend is
+        /// monotone past 30, and per-chipset IP counts stay within the
+        /// generation's bounds.
+        #[test]
+        fn anchors_hold_for_any_seed(seed in any::<u64>()) {
+            let m = Market::generate(seed);
+            for (year, count) in m.per_year_counts() {
+                prop_assert_eq!(count as u32, super::target_count(year));
+            }
+            let trend = m.flagship_ip_trend();
+            for pair in trend.windows(2) {
+                prop_assert!(pair[1].1 >= pair[0].1);
+            }
+            prop_assert!(trend.last().unwrap().1 > 30);
+            for c in m.chipsets() {
+                prop_assert!(c.ip_blocks >= 3);
+                prop_assert!(c.ip_blocks <= flagship_ip_blocks(c.year));
+            }
+            prop_assert!(m.vendor_count("Qualcomm", 2017) < m.vendor_count("Qualcomm", 2014));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Market::generate(7);
+        let b = Market::generate(7);
+        assert_eq!(a, b);
+        let c = Market::generate(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn per_year_counts_hit_the_anchors() {
+        let m = Market::generate(42);
+        for (year, count) in m.per_year_counts() {
+            assert_eq!(count as u32, target_count(year), "year {year}");
+        }
+    }
+
+    #[test]
+    fn figure_2a_shape_rises_then_falls() {
+        let m = Market::generate(42);
+        let counts = m.per_year_counts();
+        let peak = counts.iter().max_by_key(|(_, c)| *c).unwrap();
+        // Peak in 2014–2015, as the paper reports.
+        assert!((2014..=2015).contains(&peak.0), "peak in {}", peak.0);
+        // Monotone growth up to the peak, decline after 2015.
+        for pair in counts.windows(2) {
+            if pair[1].0 <= peak.0 {
+                assert!(pair[1].1 >= pair[0].1);
+            }
+            if pair[0].0 >= 2015 {
+                assert!(pair[1].1 <= pair[0].1);
+            }
+        }
+    }
+
+    #[test]
+    fn figure_2b_trend_is_monotone_and_exceeds_30() {
+        let m = Market::generate(42);
+        let trend = m.flagship_ip_trend();
+        for pair in trend.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+        assert!(trend.last().unwrap().1 > 30, "2017 flagship has {} IPs", trend.last().unwrap().1);
+    }
+
+    #[test]
+    fn consolidation_evidence() {
+        let m = Market::generate(42);
+        // Qualcomm sheds chipset lines between 2014 and 2017 (paper: 49 -> 27).
+        assert!(m.vendor_count("Qualcomm", 2017) < m.vendor_count("Qualcomm", 2014));
+        // TI and Intel exit.
+        assert_eq!(m.vendor_count("Texas Instruments", 2013), 0);
+        assert!(m.vendor_count("Texas Instruments", 2012) > 0);
+        assert_eq!(m.vendor_count("Intel", 2017), 0);
+        // Fewer active vendors in 2017 than at the peak.
+        assert!(m.active_vendors(2017) < m.active_vendors(2014));
+    }
+
+    #[test]
+    fn ip_blocks_within_plausible_bounds() {
+        let m = Market::generate(42);
+        for c in m.chipsets() {
+            assert!(c.ip_blocks >= 3, "{c:?}");
+            assert!(c.ip_blocks <= flagship_ip_blocks(c.year), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn model_names_are_unique() {
+        use std::collections::HashSet;
+        let m = Market::generate(42);
+        let names: HashSet<String> = m
+            .chipsets()
+            .iter()
+            .map(|c| format!("{} {}", c.vendor, c.model))
+            .collect();
+        assert_eq!(names.len(), m.chipsets().len());
+    }
+}

@@ -1,0 +1,151 @@
+//! ASCII chart rendering for terminal output from the figure-regeneration
+//! binaries.
+
+use crate::chart::Series;
+use crate::scale::Scale;
+
+/// Renders series onto a character grid. Each series draws with its own
+/// glyph (`*`, `+`, `o`, …); the frame carries min/max annotations.
+pub fn render_ascii(
+    series: &[Series],
+    width: usize,
+    height: usize,
+    x_log: bool,
+    y_log: bool,
+) -> String {
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let width = width.max(16);
+    let height = height.max(6);
+
+    let mut x_lo = f64::INFINITY;
+    let mut x_hi = f64::NEG_INFINITY;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(y);
+            y_hi = y_hi.max(y);
+        }
+    }
+    if !x_lo.is_finite() {
+        return String::from("(no data)\n");
+    }
+    let xs = if x_log {
+        Scale::log(x_lo, x_hi)
+    } else {
+        Scale::linear(x_lo, x_hi)
+    };
+    let ys = if y_log {
+        Scale::log(y_lo, y_hi)
+    } else {
+        Scale::linear(y_lo, y_hi)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        // Dense sampling along segments so lines look continuous.
+        for pair in s.points.windows(2) {
+            let steps = width * 2;
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let x = pair[0].0 + t * (pair[1].0 - pair[0].0);
+                let y = pair[0].1 + t * (pair[1].1 - pair[0].1);
+                let cx = (xs.normalize(x) * (width - 1) as f64).round() as usize;
+                let cy = ((1.0 - ys.normalize(y)) * (height - 1) as f64).round() as usize;
+                grid[cy.min(height - 1)][cx.min(width - 1)] = glyph;
+            }
+        }
+        if s.points.len() == 1 {
+            let (x, y) = s.points[0];
+            let cx = (xs.normalize(x) * (width - 1) as f64).round() as usize;
+            let cy = ((1.0 - ys.normalize(y)) * (height - 1) as f64).round() as usize;
+            grid[cy.min(height - 1)][cx.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>10.3} ┐\n"));
+    for row in &grid {
+        out.push_str("           │");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>10.3} └"));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "            {:<12.4}{:>width$.4}\n",
+        x_lo,
+        x_hi,
+        width = width.saturating_sub(8)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_grid_with_legend() {
+        let series = vec![
+            Series {
+                label: "rising".into(),
+                points: vec![(0.0, 0.0), (10.0, 10.0)],
+            },
+            Series {
+                label: "flat".into(),
+                points: vec![(0.0, 5.0), (10.0, 5.0)],
+            },
+        ];
+        let text = render_ascii(&series, 40, 10, false, false);
+        assert!(text.contains('*'));
+        assert!(text.contains('+'));
+        assert!(text.contains("rising"));
+        assert!(text.contains("flat"));
+        assert_eq!(text.lines().count(), 10 + 3 + 2);
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(render_ascii(&[], 40, 10, false, false), "(no data)\n");
+    }
+
+    #[test]
+    fn log_axes_render_roofline_knee() {
+        // A roofline in log-log space: slanted then flat. The top row
+        // should only be occupied on the right half.
+        let points: Vec<(f64, f64)> = (0..64)
+            .map(|k| {
+                let x = 0.01 * (10f64).powf(k as f64 / 16.0);
+                (x, (15.1 * x).min(7.5))
+            })
+            .collect();
+        let series = vec![Series {
+            label: "cpu".into(),
+            points,
+        }];
+        let text = render_ascii(&series, 60, 12, true, true);
+        let first_grid_line = text.lines().nth(1).unwrap();
+        let stars_left = first_grid_line.chars().take(30).filter(|&c| c == '*').count();
+        let stars_right = first_grid_line.chars().skip(30).filter(|&c| c == '*').count();
+        assert!(stars_right > 0, "flat roof missing:\n{text}");
+        assert_eq!(stars_left, 0, "roof should not extend left:\n{text}");
+    }
+
+    #[test]
+    fn single_point_series() {
+        let series = vec![Series {
+            label: "dot".into(),
+            points: vec![(1.0, 1.0)],
+        }];
+        let text = render_ascii(&series, 20, 8, false, false);
+        assert!(text.contains('*'));
+    }
+}

@@ -1,0 +1,389 @@
+//! Chart renderers: generic line charts plus the paper's roofline and
+//! Gables multi-roofline plots.
+
+use gables_model::baselines::roofline::Roofline;
+use gables_model::units::OpsPerByte;
+use gables_model::viz::GablesPlotData;
+
+use crate::scale::{format_tick, Scale};
+use crate::svg::{SvgDocument, PALETTE};
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in increasing-x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart framing: titles, axis labels, and scale kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartConfig {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Log-scale x-axis.
+    pub x_log: bool,
+    /// Log-scale y-axis.
+    pub y_log: bool,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+}
+
+impl ChartConfig {
+    /// A roofline-style log-log frame.
+    pub fn log_log(title: impl Into<String>, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_log: true,
+            y_log: true,
+            width: 640,
+            height: 420,
+        }
+    }
+
+    /// A linear frame.
+    pub fn linear(title: impl Into<String>, x_label: &str, y_label: &str) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            x_log: false,
+            y_log: false,
+            width: 640,
+            height: 420,
+        }
+    }
+}
+
+/// A dashed vertical marker with a label (the Gables "drop lines").
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerticalMarker {
+    /// X position in data coordinates.
+    pub x: f64,
+    /// Label drawn by the line.
+    pub label: String,
+}
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 16.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 48.0;
+
+fn data_bounds(series: &[Series]) -> ((f64, f64), (f64, f64)) {
+    let mut xb = (f64::INFINITY, f64::NEG_INFINITY);
+    let mut yb = (f64::INFINITY, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in &s.points {
+            xb.0 = xb.0.min(x);
+            xb.1 = xb.1.max(x);
+            yb.0 = yb.0.min(y);
+            yb.1 = yb.1.max(y);
+        }
+    }
+    if !xb.0.is_finite() {
+        xb = (0.0, 1.0);
+        yb = (0.0, 1.0);
+    }
+    (xb, yb)
+}
+
+/// Renders a multi-series line chart to an SVG string.
+pub fn render_line_chart(
+    cfg: &ChartConfig,
+    series: &[Series],
+    markers: &[VerticalMarker],
+) -> String {
+    let ((x_lo, x_hi), (y_lo, y_hi)) = data_bounds(series);
+    let xs = if cfg.x_log {
+        Scale::log(x_lo, x_hi)
+    } else {
+        Scale::linear(x_lo, x_hi)
+    };
+    let ys = if cfg.y_log {
+        Scale::log(y_lo * 0.8, y_hi * 1.25)
+    } else {
+        Scale::linear(0.0f64.min(y_lo), y_hi * 1.05)
+    };
+
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let (px_l, px_r) = (MARGIN_L, w - MARGIN_R);
+    let (px_t, px_b) = (MARGIN_T, h - MARGIN_B);
+    let mut doc = SvgDocument::new(cfg.width, cfg.height);
+
+    // Frame and grid.
+    doc.text(w / 2.0, 20.0, &cfg.title, 14.0, "middle", "#111");
+    for t in xs.ticks() {
+        let x = xs.to_pixel(t, px_l, px_r);
+        doc.line(x, px_t, x, px_b, "#e0e0e0", 1.0, None);
+        doc.text(x, px_b + 16.0, &format_tick(t), 10.0, "middle", "#333");
+    }
+    for t in ys.ticks() {
+        let y = ys.to_pixel(t, px_b, px_t);
+        doc.line(px_l, y, px_r, y, "#e0e0e0", 1.0, None);
+        doc.text(px_l - 6.0, y + 3.0, &format_tick(t), 10.0, "end", "#333");
+    }
+    doc.line(px_l, px_b, px_r, px_b, "#333", 1.5, None);
+    doc.line(px_l, px_t, px_l, px_b, "#333", 1.5, None);
+    doc.text(w / 2.0, h - 10.0, &cfg.x_label, 12.0, "middle", "#333");
+    doc.vtext(16.0, h / 2.0, &cfg.y_label, 12.0);
+
+    // Markers.
+    for m in markers {
+        let x = xs.to_pixel(m.x, px_l, px_r);
+        doc.line(x, px_t, x, px_b, "#888", 1.0, Some("4,3"));
+        doc.text(x + 3.0, px_t + 12.0, &m.label, 10.0, "start", "#555");
+    }
+
+    // Series and legend.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .map(|&(x, y)| (xs.to_pixel(x, px_l, px_r), ys.to_pixel(y, px_b, px_t)))
+            .collect();
+        doc.polyline(&pts, color, 2.0);
+        let ly = px_t + 14.0 * (i as f64 + 1.0);
+        doc.line(px_r - 110.0, ly - 4.0, px_r - 92.0, ly - 4.0, color, 2.5, None);
+        doc.text(px_r - 88.0, ly, &s.label, 10.0, "start", "#333");
+    }
+    doc.finish()
+}
+
+/// Renders a classic single-chip roofline (the paper's Figures 1, 7, 9
+/// style) over `[x_lo, x_hi]` flops/byte.
+pub fn render_roofline(roofline: &Roofline, title: &str, x_lo: f64, x_hi: f64) -> String {
+    let cfg = ChartConfig::log_log(title, "FLOPs / Byte", "GFLOPs / sec");
+    let xs = gables_model::viz::log_space(x_lo, x_hi, 96);
+    let points: Vec<(f64, f64)> = xs
+        .iter()
+        .map(|&x| (x, roofline.attainable(OpsPerByte::new(x)).to_gops()))
+        .collect();
+    let mut series = vec![Series {
+        label: format!(
+            "{:.1} GFLOPs/s, {:.1} GB/s",
+            roofline.peak().to_gops(),
+            roofline.bandwidth().to_gbps()
+        ),
+        points,
+    }];
+    for c in roofline.ceilings() {
+        let pts = xs
+            .iter()
+            .map(|&x| {
+                (
+                    x,
+                    roofline
+                        .attainable_under(c, OpsPerByte::new(x))
+                        .to_gops(),
+                )
+            })
+            .collect();
+        let label = match c {
+            gables_model::baselines::roofline::Ceiling::Compute { label, .. } => label.clone(),
+            gables_model::baselines::roofline::Ceiling::Bandwidth { label, .. } => label.clone(),
+        };
+        series.push(Series { label, points: pts });
+    }
+    let ridge = VerticalMarker {
+        x: roofline.ridge_point().value(),
+        label: "ridge".into(),
+    };
+    render_line_chart(&cfg, &series, &[ridge])
+}
+
+/// Renders a Gables multi-roofline plot (the paper's Figure 6 style): one
+/// scaled roofline per active IP, the memory roofline, drop lines at each
+/// operating intensity, and the attainable point.
+pub fn render_gables_plot(data: &GablesPlotData, title: &str) -> String {
+    let cfg = ChartConfig::log_log(title, "Operational intensity (ops/byte)", "Gops / sec");
+    let series: Vec<Series> = data
+        .curves
+        .iter()
+        .map(|c| Series {
+            label: c.label.clone(),
+            points: c.points.clone(),
+        })
+        .collect();
+    let markers: Vec<VerticalMarker> = data
+        .drop_lines
+        .iter()
+        .map(|d| VerticalMarker {
+            x: d.intensity,
+            label: d.label.clone(),
+        })
+        .collect();
+    let mut svg = render_line_chart(&cfg, &series, &markers);
+    // Mark the attainable point by appending before the closing tag.
+    let ((x_lo, x_hi), (y_lo, y_hi)) = data_bounds(&series);
+    let xs = Scale::log(x_lo, x_hi);
+    let ys = Scale::log(y_lo * 0.8, y_hi * 1.25);
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let px = xs.to_pixel(data.attainable.0, MARGIN_L, w - MARGIN_R);
+    let py = ys.to_pixel(data.attainable.1, h - MARGIN_B, MARGIN_T);
+    let marker = format!(
+        r##"<circle cx="{px:.1}" cy="{py:.1}" r="5" fill="#d55e00"/><text x="{:.1}" y="{:.1}" font-size="11" font-family="sans-serif" fill="#d55e00">Pattainable = {:.1} Gops/s ({})</text>"##,
+        px + 8.0,
+        py - 6.0,
+        data.attainable.1,
+        data.bottleneck,
+    );
+    svg.insert_str(svg.rfind("</svg>").expect("closing tag"), &marker);
+    svg
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn series_strategy() -> impl Strategy<Value = Vec<Series>> {
+        proptest::collection::vec(
+            proptest::collection::vec((1.0e-6f64..1.0e6, 1.0e-6f64..1.0e6), 1..24),
+            0..5,
+        )
+        .prop_map(|lists| {
+            lists
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut pts)| {
+                    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    Series {
+                        label: format!("s{i}"),
+                        points: pts,
+                    }
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The renderer never panics and always emits balanced SVG,
+        /// whatever the data, on all four axis combinations.
+        #[test]
+        fn render_is_total(series in series_strategy(), x_log: bool, y_log: bool) {
+            let cfg = ChartConfig {
+                title: "prop".into(),
+                x_label: "x".into(),
+                y_label: "y".into(),
+                x_log,
+                y_log,
+                width: 320,
+                height: 240,
+            };
+            let svg = render_line_chart(&cfg, &series, &[]);
+            prop_assert!(svg.starts_with("<svg"));
+            prop_assert!(svg.trim_end().ends_with("</svg>"));
+            prop_assert_eq!(
+                svg.matches("<polyline").count(),
+                series.len()
+            );
+        }
+
+        /// The ASCII renderer is total as well.
+        #[test]
+        fn ascii_is_total(series in series_strategy(), x_log: bool, y_log: bool) {
+            let text = crate::ascii::render_ascii(&series, 40, 10, x_log, y_log);
+            prop_assert!(!text.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gables_model::two_ip::TwoIpModel;
+    use gables_model::units::{BytesPerSec, OpsPerSec};
+    use gables_model::viz::gables_plot_data;
+
+    fn sample_series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "a".into(),
+                points: vec![(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)],
+            },
+            Series {
+                label: "b".into(),
+                points: vec![(1.0, 2.0), (2.0, 2.0), (3.0, 2.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn line_chart_renders_all_series_and_markers() {
+        let cfg = ChartConfig::linear("test", "x", "y");
+        let svg = render_line_chart(
+            &cfg,
+            &sample_series(),
+            &[VerticalMarker {
+                x: 2.0,
+                label: "mid".into(),
+            }],
+        );
+        assert!(svg.contains("<svg"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">mid<"));
+        assert!(svg.contains(">test<"));
+        assert!(svg.contains("dasharray"));
+    }
+
+    #[test]
+    fn empty_series_still_renders_frame() {
+        let cfg = ChartConfig::linear("empty", "x", "y");
+        let svg = render_line_chart(&cfg, &[], &[]);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn roofline_svg_contains_ceiling_and_ridge() {
+        use gables_model::baselines::roofline::{Ceiling, Roofline};
+        let r = Roofline::new(OpsPerSec::from_gops(7.5), BytesPerSec::from_gbps(15.1))
+            .unwrap()
+            .with_ceiling(Ceiling::Compute {
+                label: "no SIMD".into(),
+                peak: OpsPerSec::from_gops(2.0),
+            });
+        let svg = render_roofline(&r, "Figure 7a", 0.01, 100.0);
+        assert!(svg.contains("7.5 GFLOPs/s"));
+        assert!(svg.contains("no SIMD"));
+        assert!(svg.contains(">ridge<"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn gables_plot_svg_shows_attainable_point() {
+        let m = TwoIpModel::figure_6d();
+        let data =
+            gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 48).unwrap();
+        let svg = render_gables_plot(&data, "Figure 6d");
+        assert!(svg.contains("Pattainable = 160.0 Gops/s"));
+        // Three rooflines drawn.
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        // Drop lines for I0, I1, Iavg.
+        assert!(svg.contains(">I0<"));
+        assert!(svg.contains(">I1<"));
+        assert!(svg.contains(">Iavg<"));
+    }
+
+    #[test]
+    fn log_log_config() {
+        let cfg = ChartConfig::log_log("t", "x", "y");
+        assert!(cfg.x_log && cfg.y_log);
+        let lin = ChartConfig::linear("t", "x", "y");
+        assert!(!lin.x_log && !lin.y_log);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gables-plot
+//!
+//! SVG and ASCII renderers for the paper's plots: classic rooflines
+//! (Figures 1, 7, 9), Gables scaled multi-rooflines with drop lines
+//! (Figure 6), and generic line charts (Figures 2 and 8). Built in-tree
+//! because no chart crate is among the approved offline dependencies.
+//!
+//! ## Example
+//!
+//! ```
+//! use gables_model::two_ip::TwoIpModel;
+//! use gables_model::viz::gables_plot_data;
+//! use gables_plot::render_gables_plot;
+//!
+//! let m = TwoIpModel::figure_6d();
+//! let data = gables_plot_data(&m.soc()?, &m.workload()?, 0.01, 100.0, 64)?;
+//! let svg = render_gables_plot(&data, "Figure 6d");
+//! assert!(svg.contains("</svg>"));
+//! # Ok::<(), gables_model::GablesError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ascii;
+pub mod chart;
+pub mod scale;
+pub mod svg;
+
+pub use ascii::render_ascii;
+pub use chart::{
+    render_gables_plot, render_line_chart, render_roofline, ChartConfig, Series, VerticalMarker,
+};
+pub use svg::SvgDocument;

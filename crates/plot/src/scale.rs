@@ -1,0 +1,181 @@
+//! Axis scales: linear and logarithmic data→pixel mappings.
+
+/// An axis scale mapping a data interval onto a pixel interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// Linear interpolation.
+    Linear {
+        /// Data minimum.
+        lo: f64,
+        /// Data maximum.
+        hi: f64,
+    },
+    /// Base-10 logarithmic interpolation (requires positive data).
+    Log {
+        /// Data minimum (> 0).
+        lo: f64,
+        /// Data maximum (> lo).
+        hi: f64,
+    },
+}
+
+impl Scale {
+    /// Creates a linear scale; degenerate ranges are widened slightly so
+    /// mapping stays total.
+    pub fn linear(lo: f64, hi: f64) -> Self {
+        if hi > lo {
+            Scale::Linear { lo, hi }
+        } else {
+            Scale::Linear {
+                lo: lo - 0.5,
+                hi: lo + 0.5,
+            }
+        }
+    }
+
+    /// Creates a log scale, clamping non-positive bounds to a tiny
+    /// positive value.
+    pub fn log(lo: f64, hi: f64) -> Self {
+        let lo = lo.max(1e-12);
+        let hi = hi.max(lo * 10.0);
+        Scale::Log { lo, hi }
+    }
+
+    /// Maps `x` to a normalized position in `[0, 1]` (clamped).
+    pub fn normalize(&self, x: f64) -> f64 {
+        let t = match *self {
+            Scale::Linear { lo, hi } => (x - lo) / (hi - lo),
+            Scale::Log { lo, hi } => (x.max(1e-300) / lo).ln() / (hi / lo).ln(),
+        };
+        t.clamp(0.0, 1.0)
+    }
+
+    /// Maps `x` into pixel space `[a, b]` (b may be less than a for an
+    /// inverted y-axis).
+    pub fn to_pixel(&self, x: f64, a: f64, b: f64) -> f64 {
+        a + self.normalize(x) * (b - a)
+    }
+
+    /// Tick positions: decade ticks for log scales, ~6 round steps for
+    /// linear scales.
+    pub fn ticks(&self) -> Vec<f64> {
+        match *self {
+            Scale::Log { lo, hi } => {
+                let first = lo.log10().ceil() as i32;
+                let last = hi.log10().floor() as i32;
+                (first..=last).map(|e| 10f64.powi(e)).collect()
+            }
+            Scale::Linear { lo, hi } => {
+                let span = hi - lo;
+                let raw = span / 6.0;
+                let mag = 10f64.powf(raw.log10().floor());
+                let step = [1.0, 2.0, 5.0, 10.0]
+                    .iter()
+                    .map(|m| m * mag)
+                    .find(|s| span / s <= 7.0)
+                    .unwrap_or(mag * 10.0);
+                let mut t = (lo / step).ceil() * step;
+                let mut out = Vec::new();
+                while t <= hi + step * 1e-9 {
+                    out.push(t);
+                    t += step;
+                }
+                out
+            }
+        }
+    }
+
+    /// The data bounds.
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            Scale::Linear { lo, hi } | Scale::Log { lo, hi } => (lo, hi),
+        }
+    }
+}
+
+/// Formats a tick value compactly (decades as 0.01/0.1/1/10/…, others with
+/// minimal digits).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (1e-3..1e6).contains(&a) {
+        if (v - v.round()).abs() < 1e-9 * a.max(1.0) {
+            format!("{}", v.round() as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        format!("{v:e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_maps_endpoints() {
+        let s = Scale::linear(0.0, 10.0);
+        assert_eq!(s.normalize(0.0), 0.0);
+        assert_eq!(s.normalize(10.0), 1.0);
+        assert_eq!(s.normalize(5.0), 0.5);
+        assert_eq!(s.to_pixel(5.0, 0.0, 100.0), 50.0);
+        // Inverted (y-axis) mapping.
+        assert_eq!(s.to_pixel(0.0, 100.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn log_maps_decades_evenly() {
+        let s = Scale::log(0.01, 100.0);
+        assert!((s.normalize(0.01)).abs() < 1e-12);
+        assert!((s.normalize(100.0) - 1.0).abs() < 1e-12);
+        assert!((s.normalize(1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_clamps_out_of_range() {
+        let s = Scale::linear(0.0, 1.0);
+        assert_eq!(s.normalize(-5.0), 0.0);
+        assert_eq!(s.normalize(5.0), 1.0);
+        let l = Scale::log(1.0, 10.0);
+        assert_eq!(l.normalize(0.0), 0.0);
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let s = Scale::log(0.01, 100.0);
+        assert_eq!(s.ticks(), vec![0.01, 0.1, 1.0, 10.0, 100.0]);
+    }
+
+    #[test]
+    fn linear_ticks_are_round_and_bounded() {
+        let s = Scale::linear(0.0, 1.0);
+        let ticks = s.ticks();
+        assert!(ticks.len() >= 3 && ticks.len() <= 8, "{ticks:?}");
+        for t in &ticks {
+            assert!(*t >= 0.0 && *t <= 1.0 + 1e-9);
+        }
+        let s = Scale::linear(2007.0, 2017.0);
+        assert!(s.ticks().iter().all(|t| t.fract().abs() < 1e-9));
+    }
+
+    #[test]
+    fn degenerate_ranges_are_widened() {
+        let s = Scale::linear(3.0, 3.0);
+        let (lo, hi) = s.bounds();
+        assert!(hi > lo);
+        let l = Scale::log(-1.0, -0.5);
+        let (lo, hi) = l.bounds();
+        assert!(lo > 0.0 && hi > lo);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(10.0), "10");
+        assert_eq!(format_tick(0.1), "0.1");
+        assert_eq!(format_tick(1e9), "1e9");
+    }
+}

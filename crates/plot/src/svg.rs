@@ -1,0 +1,173 @@
+//! A minimal SVG document builder — just the primitives the chart
+//! renderers need (the Rust chart ecosystem is not among the approved
+//! offline dependencies, so this is built in-tree).
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDocument {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+/// The default categorical palette (color-blind-safe Okabe–Ito subset).
+pub const PALETTE: [&str; 6] = [
+    "#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9",
+];
+
+impl SvgDocument {
+    /// Starts a document of the given pixel size with a white background.
+    pub fn new(width: u32, height: u32) -> Self {
+        let mut doc = Self {
+            width,
+            height,
+            body: String::new(),
+        };
+        doc.rect(0.0, 0.0, width as f64, height as f64, "#ffffff");
+        doc
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        );
+        self
+    }
+
+    /// A stroked line; `dash` like `"4,3"` for dashed strokes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+        dash: Option<&str>,
+    ) -> &mut Self {
+        let dash_attr = dash
+            .map(|d| format!(r#" stroke-dasharray="{d}""#))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}"{dash_attr}/>"#
+        );
+        self
+    }
+
+    /// An open polyline through the points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) -> &mut Self {
+        let mut attr = String::new();
+        for (x, y) in points {
+            let _ = write!(attr, "{x:.1},{y:.1} ");
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#,
+            attr.trim_end()
+        );
+        self
+    }
+
+    /// A filled circle marker.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" fill="{fill}"/>"#
+        );
+        self
+    }
+
+    /// A text label. `anchor` is `start`, `middle`, or `end`.
+    pub fn text(
+        &mut self,
+        x: f64,
+        y: f64,
+        content: &str,
+        size: f64,
+        anchor: &str,
+        fill: &str,
+    ) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size}" font-family="sans-serif" text-anchor="{anchor}" fill="{fill}">{}</text>"#,
+            escape(content)
+        );
+        self
+    }
+
+    /// A text label rotated 90° counter-clockwise about its anchor (for
+    /// y-axis titles).
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64) -> &mut Self {
+        let _ = writeln!(
+            self.body,
+            r##"<text x="{x:.1}" y="{y:.1}" font-size="{size}" font-family="sans-serif" text-anchor="middle" fill="#333" transform="rotate(-90 {x:.1} {y:.1})">{}</text>"##,
+            escape(content)
+        );
+        self
+    }
+
+    /// Finalizes the document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_well_formed() {
+        let mut doc = SvgDocument::new(200, 100);
+        doc.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0, None)
+            .polyline(&[(0.0, 0.0), (5.0, 5.0)], "#f00", 2.0)
+            .circle(3.0, 3.0, 2.0, "#0f0")
+            .text(1.0, 1.0, "label", 10.0, "start", "#333")
+            .vtext(5.0, 50.0, "vertical", 10.0);
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("rotate(-90"));
+        // Balanced element counts (every element self-closes or pairs).
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn dash_attribute_only_when_requested() {
+        let mut doc = SvgDocument::new(10, 10);
+        doc.line(0.0, 0.0, 1.0, 1.0, "#000", 1.0, Some("4,3"));
+        assert!(doc.finish().contains("stroke-dasharray=\"4,3\""));
+        let mut doc = SvgDocument::new(10, 10);
+        doc.line(0.0, 0.0, 1.0, 1.0, "#000", 1.0, None);
+        assert!(!doc.finish().contains("dasharray"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let mut doc = SvgDocument::new(10, 10);
+        doc.text(0.0, 0.0, "a < b & c", 8.0, "start", "#000");
+        let svg = doc.finish();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn palette_has_distinct_colors() {
+        use std::collections::HashSet;
+        let set: HashSet<&str> = PALETTE.iter().copied().collect();
+        assert_eq!(set.len(), PALETTE.len());
+    }
+}

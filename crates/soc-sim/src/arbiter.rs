@@ -1,0 +1,380 @@
+//! Max-min fair bandwidth arbitration.
+//!
+//! When several IPs stream concurrently, their request flows share the
+//! interconnect fabrics and the DRAM controller. The simulator allocates
+//! bandwidth by *progressive filling*: every unfrozen flow's rate rises at
+//! the same pace until either the flow hits its private cap (its port or
+//! compute limit) or some shared resource saturates, freezing every flow
+//! crossing it. The result is the classic max-min fair allocation, the
+//! behaviour a round-robin memory-controller arbiter approximates.
+//!
+//! An alternative `proportional` policy (each flow gets capacity in
+//! proportion to its demand) is provided for the ablation bench.
+
+/// A flow competing for bandwidth: a private rate cap plus the indices of
+/// the shared resources its path crosses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flow {
+    /// The flow's standalone maximum rate (port bandwidth, compute/I, …).
+    pub cap: f64,
+    /// Indices into the shared-resource capacity slice.
+    pub resources: Vec<usize>,
+}
+
+/// Allocation policy for shared bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbiterPolicy {
+    /// Max-min fairness via progressive filling (default; models a fair
+    /// round-robin arbiter).
+    MaxMin,
+    /// Proportional share: a saturated resource scales all its flows by
+    /// the same factor relative to demand (models a demand-proportional
+    /// arbiter; used by the ablation bench).
+    Proportional,
+}
+
+/// Computes per-flow rates under the given policy.
+///
+/// `capacities[j]` is the capacity of shared resource `j`. Flows with an
+/// empty resource list are limited only by their private cap. Rates are
+/// guaranteed to respect every private cap and every resource capacity.
+///
+/// # Panics
+///
+/// Panics in debug builds if a flow references a resource index out of
+/// range or a cap/capacity is negative or NaN.
+pub fn allocate(flows: &[Flow], capacities: &[f64], policy: ArbiterPolicy) -> Vec<f64> {
+    for f in flows {
+        debug_assert!(f.cap >= 0.0 && !f.cap.is_nan());
+        for &r in &f.resources {
+            debug_assert!(r < capacities.len(), "resource index out of range");
+        }
+    }
+    for &c in capacities {
+        debug_assert!(c >= 0.0 && !c.is_nan());
+    }
+    match policy {
+        ArbiterPolicy::MaxMin => max_min(flows, capacities),
+        ArbiterPolicy::Proportional => proportional(flows, capacities),
+    }
+}
+
+fn max_min(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
+    let n = flows.len();
+    let mut rates = vec![0.0f64; n];
+    let mut frozen = vec![false; n];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+
+    // Each round freezes at least one flow or saturates at least one
+    // resource, so n + |resources| rounds suffice.
+    for _ in 0..(n + capacities.len() + 1) {
+        // Unfrozen flows and the per-resource unfrozen user counts.
+        let mut users = vec![0usize; capacities.len()];
+        let mut any_unfrozen = false;
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            any_unfrozen = true;
+            for &r in &f.resources {
+                users[r] += 1;
+            }
+        }
+        if !any_unfrozen {
+            break;
+        }
+        // The common increment: limited by the tightest resource share and
+        // the smallest private headroom.
+        let mut alpha = f64::INFINITY;
+        for (j, &u) in users.iter().enumerate() {
+            if u > 0 {
+                alpha = alpha.min(remaining[j] / u as f64);
+            }
+        }
+        for (i, f) in flows.iter().enumerate() {
+            if !frozen[i] {
+                alpha = alpha.min(f.cap - rates[i]);
+            }
+        }
+        let alpha = alpha.max(0.0);
+
+        // Raise every unfrozen flow and charge its resources.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            rates[i] += alpha;
+            for &r in &f.resources {
+                remaining[r] -= alpha;
+            }
+        }
+        // Freeze flows at their private cap or crossing a saturated
+        // resource.
+        for (i, f) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let eps_cap = f.cap * 1e-12 + 1e-12;
+            if rates[i] >= f.cap - eps_cap {
+                rates[i] = f.cap;
+                frozen[i] = true;
+                continue;
+            }
+            for &r in &f.resources {
+                let eps_res = capacities[r] * 1e-12 + 1e-12;
+                if remaining[r] <= eps_res {
+                    frozen[i] = true;
+                    break;
+                }
+            }
+        }
+    }
+    rates
+}
+
+fn proportional(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
+    // Start from full demand, then repeatedly scale down the flows of the
+    // most-oversubscribed resource until all constraints hold.
+    let mut rates: Vec<f64> = flows.iter().map(|f| f.cap).collect();
+    for _ in 0..(capacities.len() * 4 + 4) {
+        let mut worst: Option<(usize, f64)> = None;
+        for (j, &cap) in capacities.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&j))
+                .map(|(_, &r)| r)
+                .sum();
+            if load > cap * (1.0 + 1e-12) {
+                let over = load / cap;
+                if worst.is_none_or(|(_, w)| over > w) {
+                    worst = Some((j, over));
+                }
+            }
+        }
+        let Some((j, over)) = worst else { break };
+        for (f, r) in flows.iter().zip(rates.iter_mut()) {
+            if f.resources.contains(&j) {
+                *r /= over;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn instance() -> impl Strategy<Value = (Vec<Flow>, Vec<f64>)> {
+        let caps = proptest::collection::vec(0.1f64..100.0, 1..5);
+        let flows = proptest::collection::vec(
+            (0.1f64..100.0, proptest::collection::vec(0usize..5, 0..4)),
+            1..8,
+        );
+        (caps, flows).prop_map(|(caps, flows)| {
+            let n = caps.len();
+            let flows = flows
+                .into_iter()
+                .map(|(cap, res)| {
+                    let mut resources: Vec<usize> =
+                        res.into_iter().map(|r| r % n).collect();
+                    resources.sort_unstable();
+                    resources.dedup();
+                    Flow { cap, resources }
+                })
+                .collect();
+            (flows, caps)
+        })
+    }
+
+    proptest! {
+        /// Both policies always respect every private cap and every
+        /// shared-resource capacity.
+        #[test]
+        fn allocations_are_feasible((flows, caps) in instance()) {
+            for policy in [ArbiterPolicy::MaxMin, ArbiterPolicy::Proportional] {
+                let rates = allocate(&flows, &caps, policy);
+                prop_assert_eq!(rates.len(), flows.len());
+                for (f, &r) in flows.iter().zip(&rates) {
+                    prop_assert!(r >= -1e-12);
+                    prop_assert!(r <= f.cap * (1.0 + 1e-9) + 1e-9);
+                }
+                for (j, &cap) in caps.iter().enumerate() {
+                    let load: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(f, _)| f.resources.contains(&j))
+                        .map(|(_, &r)| r)
+                        .sum();
+                    prop_assert!(load <= cap * (1.0 + 1e-9) + 1e-9,
+                        "resource {j}: load {load} > cap {cap}");
+                }
+            }
+        }
+
+        /// Max-min allocations are Pareto-efficient: every flow is pinned
+        /// by its own cap or by a saturated resource on its path.
+        #[test]
+        fn maxmin_leaves_no_free_headroom((flows, caps) in instance()) {
+            let rates = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
+            for (i, f) in flows.iter().enumerate() {
+                let at_cap = rates[i] >= f.cap * (1.0 - 1e-6) - 1e-9;
+                let on_saturated = f.resources.iter().any(|&j| {
+                    let load: f64 = flows
+                        .iter()
+                        .zip(&rates)
+                        .filter(|(g, _)| g.resources.contains(&j))
+                        .map(|(_, &r)| r)
+                        .sum();
+                    load >= caps[j] * (1.0 - 1e-6) - 1e-9
+                });
+                prop_assert!(at_cap || on_saturated,
+                    "flow {i} has headroom: rate {} cap {}", rates[i], f.cap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(cap: f64, resources: &[usize]) -> Flow {
+        Flow {
+            cap,
+            resources: resources.to_vec(),
+        }
+    }
+
+    #[test]
+    fn uncontended_flows_run_at_cap() {
+        let rates = allocate(
+            &[flow(5.0, &[0]), flow(3.0, &[0])],
+            &[100.0],
+            ArbiterPolicy::MaxMin,
+        );
+        assert_eq!(rates, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn saturated_resource_splits_evenly() {
+        let rates = allocate(
+            &[flow(100.0, &[0]), flow(100.0, &[0])],
+            &[10.0],
+            ArbiterPolicy::MaxMin,
+        );
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_flow_frees_share_for_big_flow() {
+        // Max-min: the 2-unit flow takes 2; the remainder goes to the other.
+        let rates = allocate(
+            &[flow(2.0, &[0]), flow(100.0, &[0])],
+            &[10.0],
+            ArbiterPolicy::MaxMin,
+        );
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_resource_chain_takes_tightest() {
+        // One flow crossing fabric (cap 4) and DRAM (cap 10): fabric binds.
+        let rates = allocate(&[flow(100.0, &[0, 1])], &[4.0, 10.0], ArbiterPolicy::MaxMin);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separate_fabrics_shared_dram() {
+        // Two flows on private fabrics (caps 8 and 3) both crossing DRAM
+        // (cap 9): flow B freezes at 3 on its fabric, flow A takes the
+        // remaining 6 of DRAM but is also capped by its fabric at 8 -> 6.
+        let rates = allocate(
+            &[flow(100.0, &[0, 2]), flow(100.0, &[1, 2])],
+            &[8.0, 3.0, 9.0],
+            ArbiterPolicy::MaxMin,
+        );
+        assert!((rates[1] - 3.0).abs() < 1e-9);
+        assert!((rates[0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rates_never_violate_constraints_maxmin() {
+        let flows = vec![
+            flow(7.0, &[0, 1]),
+            flow(5.0, &[1]),
+            flow(9.0, &[0, 2]),
+            flow(2.0, &[]),
+        ];
+        let caps = [6.0, 8.0, 4.0];
+        let rates = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
+        for (f, &r) in flows.iter().zip(&rates) {
+            assert!(r <= f.cap + 1e-9);
+            assert!(r >= 0.0);
+        }
+        for (j, &cap) in caps.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&j))
+                .map(|(_, &r)| r)
+                .sum();
+            assert!(load <= cap + 1e-9, "resource {j} over capacity");
+        }
+        // Private-cap-only flow gets its cap.
+        assert!((rates[3] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_scales_by_demand() {
+        // Demands 9 and 3 on a 6-capacity resource: proportional keeps the
+        // 3:1 ratio (4.5 and 1.5) where max-min would give 3 and 3.
+        let flows = vec![flow(9.0, &[0]), flow(3.0, &[0])];
+        let rates = allocate(&flows, &[6.0], ArbiterPolicy::Proportional);
+        assert!((rates[0] - 4.5).abs() < 1e-9);
+        assert!((rates[1] - 1.5).abs() < 1e-9);
+
+        let maxmin = allocate(&flows, &[6.0], ArbiterPolicy::MaxMin);
+        assert!((maxmin[0] - 3.0).abs() < 1e-9);
+        assert!((maxmin[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_respects_all_constraints() {
+        let flows = vec![flow(7.0, &[0, 1]), flow(5.0, &[1]), flow(9.0, &[0])];
+        let caps = [6.0, 8.0];
+        let rates = allocate(&flows, &caps, ArbiterPolicy::Proportional);
+        for (j, &cap) in caps.iter().enumerate() {
+            let load: f64 = flows
+                .iter()
+                .zip(&rates)
+                .filter(|(f, _)| f.resources.contains(&j))
+                .map(|(_, &r)| r)
+                .sum();
+            assert!(load <= cap * (1.0 + 1e-9), "resource {j} over capacity");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(allocate(&[], &[1.0], ArbiterPolicy::MaxMin).is_empty());
+        let rates = allocate(&[flow(3.0, &[])], &[], ArbiterPolicy::MaxMin);
+        assert_eq!(rates, vec![3.0]);
+    }
+
+    #[test]
+    fn zero_capacity_resource_starves_its_flows() {
+        let rates = allocate(
+            &[flow(5.0, &[0]), flow(5.0, &[])],
+            &[0.0],
+            ArbiterPolicy::MaxMin,
+        );
+        assert!(rates[0].abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+}

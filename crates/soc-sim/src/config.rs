@@ -1,0 +1,518 @@
+//! Hardware configuration for the simulated SoC.
+//!
+//! The simulator substitutes for the Snapdragon 835/821 hardware the paper
+//! benchmarks (see DESIGN.md). A [`SocConfig`] describes IP blocks — each a
+//! [`ComputeEngine`] plus a private cache hierarchy and a port onto an
+//! interconnect fabric — the fabrics themselves, and a DRAM controller
+//! whose bandwidth is shared among all concurrently active IPs.
+
+use core::fmt;
+
+use crate::error::SimError;
+
+/// An IP's execution engine: `lanes × ops_per_cycle_per_lane × frequency ×
+/// efficiency` operations per second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeEngine {
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+    /// Number of parallel lanes (cores, shader ALUd groups, threads).
+    pub lanes: f64,
+    /// Operations issued per cycle per lane.
+    pub ops_per_cycle_per_lane: f64,
+    /// Sustained fraction of the theoretical issue rate in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+impl ComputeEngine {
+    /// Creates an engine from microarchitectural parameters.
+    pub fn new(
+        frequency_hz: f64,
+        lanes: f64,
+        ops_per_cycle_per_lane: f64,
+        efficiency: f64,
+    ) -> Self {
+        Self {
+            frequency_hz,
+            lanes,
+            ops_per_cycle_per_lane,
+            efficiency,
+        }
+    }
+
+    /// Creates an engine that sustains exactly `gflops` GFLOPS/s — handy
+    /// for calibrating to a measured ceiling.
+    pub fn from_peak_gflops(gflops: f64) -> Self {
+        Self {
+            frequency_hz: 1.0e9,
+            lanes: gflops,
+            ops_per_cycle_per_lane: 1.0,
+            efficiency: 1.0,
+        }
+    }
+
+    /// Sustained peak in operations per second.
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        self.frequency_hz * self.lanes * self.ops_per_cycle_per_lane * self.efficiency
+    }
+
+    fn validate(&self, ip: &str) -> Result<(), SimError> {
+        for (name, v) in [
+            ("frequency_hz", self.frequency_hz),
+            ("lanes", self.lanes),
+            ("ops_per_cycle_per_lane", self.ops_per_cycle_per_lane),
+            ("efficiency", self.efficiency),
+        ] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SimError::Config {
+                    what: format!("{ip}: engine {name} must be finite and > 0, got {v}"),
+                });
+            }
+        }
+        if self.efficiency > 1.0 {
+            return Err(SimError::Config {
+                what: format!("{ip}: engine efficiency must be <= 1"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One level of an IP's private cache hierarchy. A kernel whose working
+/// set fits within `capacity_bytes` is served at this level's bandwidth
+/// and generates no traffic on the fabric or DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheLevel {
+    /// Level label (e.g. `"L1"`, `"L2"`).
+    pub name: String,
+    /// Capacity in bytes (aggregate across the IP's lanes).
+    pub capacity_bytes: u64,
+    /// Sustained bandwidth to the engine in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl CacheLevel {
+    /// Creates a cache level.
+    pub fn new(name: impl Into<String>, capacity_bytes: u64, bandwidth: f64) -> Self {
+        Self {
+            name: name.into(),
+            capacity_bytes,
+            bandwidth,
+        }
+    }
+
+    fn validate(&self, ip: &str) -> Result<(), SimError> {
+        if self.capacity_bytes == 0 {
+            return Err(SimError::Config {
+                what: format!("{ip}: cache {} has zero capacity", self.name),
+            });
+        }
+        if !self.bandwidth.is_finite() || self.bandwidth <= 0.0 {
+            return Err(SimError::Config {
+                what: format!("{ip}: cache {} bandwidth must be > 0", self.name),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A software-managed scratchpad. For the streaming kernel it behaves
+/// like a last cache level — a kernel whose working set the program can
+/// place entirely in the scratchpad is served at its bandwidth — but
+/// unlike a cache the residency decision belongs to software, so it is
+/// only consulted when no cache level fits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scratchpad {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+/// The memory-access pattern of a kernel, which determines how efficiently
+/// the IP's DRAM path is used. The paper's CPU kernel both reads and
+/// writes each word (achieving 15.1 of ~20 GB/s read-only), while the GPU
+/// variant is a stream read + separate stream update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficPattern {
+    /// Read-modify-write of one array in place.
+    ReadModifyWrite,
+    /// Stream read of one array, stream write of another.
+    StreamCopy,
+    /// Pure stream read (the paper's read-only sanity check).
+    StreamRead,
+}
+
+/// Per-pattern efficiency factors applied to an IP's DRAM-path bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternEfficiency {
+    /// Factor for [`TrafficPattern::ReadModifyWrite`].
+    pub read_modify_write: f64,
+    /// Factor for [`TrafficPattern::StreamCopy`].
+    pub stream_copy: f64,
+    /// Factor for [`TrafficPattern::StreamRead`].
+    pub stream_read: f64,
+}
+
+impl PatternEfficiency {
+    /// No pattern penalty at all.
+    pub fn unity() -> Self {
+        Self {
+            read_modify_write: 1.0,
+            stream_copy: 1.0,
+            stream_read: 1.0,
+        }
+    }
+
+    /// The factor for a pattern.
+    pub fn factor(&self, pattern: TrafficPattern) -> f64 {
+        match pattern {
+            TrafficPattern::ReadModifyWrite => self.read_modify_write,
+            TrafficPattern::StreamCopy => self.stream_copy,
+            TrafficPattern::StreamRead => self.stream_read,
+        }
+    }
+
+    fn validate(&self, ip: &str) -> Result<(), SimError> {
+        for (name, v) in [
+            ("read_modify_write", self.read_modify_write),
+            ("stream_copy", self.stream_copy),
+            ("stream_read", self.stream_read),
+        ] {
+            if !v.is_finite() || v <= 0.0 || v > 1.0 {
+                return Err(SimError::Config {
+                    what: format!("{ip}: pattern efficiency {name} must be in (0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PatternEfficiency {
+    fn default() -> Self {
+        Self::unity()
+    }
+}
+
+/// The numeric formats an execution engine supports. The paper's Section
+/// IV-D notes the Hexagon HVX vector unit "operates only on integer
+/// vectors", so the floating-point microbenchmark cannot run there
+/// without method changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NumericSupport {
+    /// IEEE floating point and integers (CPU, GPU, DSP scalar unit).
+    #[default]
+    FloatAndInt,
+    /// Integer vectors only (e.g. Hexagon HVX).
+    IntegerOnly,
+}
+
+impl NumericSupport {
+    /// Whether a kernel of the given data type can execute here.
+    pub fn supports(self, data_type: crate::kernel::DataType) -> bool {
+        match self {
+            NumericSupport::FloatAndInt => true,
+            NumericSupport::IntegerOnly => {
+                matches!(data_type, crate::kernel::DataType::Int)
+            }
+        }
+    }
+}
+
+/// One IP block of the simulated SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpConfig {
+    /// IP name (e.g. `"Kryo CPU"`).
+    pub name: String,
+    /// The execution engine.
+    pub engine: ComputeEngine,
+    /// Private cache levels, smallest first.
+    pub caches: Vec<CacheLevel>,
+    /// Optional software-managed scratchpad.
+    pub scratchpad: Option<Scratchpad>,
+    /// Port bandwidth onto the fabric, bytes/second (the Gables `Bi`).
+    pub port_bandwidth: f64,
+    /// Index into [`SocConfig::fabrics`] of the fabric this IP hangs off.
+    pub fabric: usize,
+    /// Pattern efficiency of the IP's DRAM path.
+    pub pattern_efficiency: PatternEfficiency,
+    /// Which numeric formats the engine executes.
+    pub numeric: NumericSupport,
+}
+
+impl IpConfig {
+    /// The serving cache level for a working set, if it fits in any.
+    pub fn serving_cache(&self, working_set_bytes: u64) -> Option<&CacheLevel> {
+        self.caches
+            .iter()
+            .find(|c| c.capacity_bytes >= working_set_bytes)
+    }
+}
+
+/// An interconnect fabric: a shared bandwidth domain between IP ports and
+/// the memory controller (Figure 3's "high bandwidth fabric", "multimedia
+/// fabric", etc.).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// Fabric name.
+    pub name: String,
+    /// Aggregate bandwidth in bytes/second.
+    pub bandwidth: f64,
+}
+
+/// The DRAM controller: peak bandwidth shared by every requestor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramConfig {
+    /// Theoretical peak bandwidth in bytes/second (e.g. ~30 GB/s LPDDR4x).
+    pub peak_bandwidth: f64,
+    /// Sustained fraction of peak achievable by real request streams.
+    pub efficiency: f64,
+}
+
+impl DramConfig {
+    /// The sustainable shared bandwidth, `peak × efficiency`.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.peak_bandwidth * self.efficiency
+    }
+}
+
+/// A complete simulated SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SocConfig {
+    /// SoC name (e.g. `"snapdragon-835-like"`).
+    pub name: String,
+    /// IP blocks.
+    pub ips: Vec<IpConfig>,
+    /// Interconnect fabrics.
+    pub fabrics: Vec<FabricConfig>,
+    /// The DRAM controller.
+    pub dram: DramConfig,
+}
+
+impl SocConfig {
+    /// Validates every parameter; call before simulating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.ips.is_empty() {
+            return Err(SimError::Config {
+                what: "SoC has no IPs".into(),
+            });
+        }
+        if self.fabrics.is_empty() {
+            return Err(SimError::Config {
+                what: "SoC has no fabrics".into(),
+            });
+        }
+        for ip in &self.ips {
+            ip.engine.validate(&ip.name)?;
+            for c in &ip.caches {
+                c.validate(&ip.name)?;
+            }
+            // Cache capacities must be strictly increasing so "first fit"
+            // finds the nearest level.
+            for pair in ip.caches.windows(2) {
+                if pair[1].capacity_bytes <= pair[0].capacity_bytes {
+                    return Err(SimError::Config {
+                        what: format!(
+                            "{}: cache capacities must be strictly increasing ({} then {})",
+                            ip.name, pair[0].name, pair[1].name
+                        ),
+                    });
+                }
+            }
+            if let Some(sp) = &ip.scratchpad {
+                if sp.capacity_bytes == 0 || !sp.bandwidth.is_finite() || sp.bandwidth <= 0.0 {
+                    return Err(SimError::Config {
+                        what: format!("{}: invalid scratchpad", ip.name),
+                    });
+                }
+            }
+            if !ip.port_bandwidth.is_finite() || ip.port_bandwidth <= 0.0 {
+                return Err(SimError::Config {
+                    what: format!("{}: port bandwidth must be > 0", ip.name),
+                });
+            }
+            if ip.fabric >= self.fabrics.len() {
+                return Err(SimError::Config {
+                    what: format!(
+                        "{}: fabric index {} out of range ({} fabrics)",
+                        ip.name,
+                        ip.fabric,
+                        self.fabrics.len()
+                    ),
+                });
+            }
+            ip.pattern_efficiency.validate(&ip.name)?;
+        }
+        for f in &self.fabrics {
+            if !f.bandwidth.is_finite() || f.bandwidth <= 0.0 {
+                return Err(SimError::Config {
+                    what: format!("fabric {}: bandwidth must be > 0", f.name),
+                });
+            }
+        }
+        if !self.dram.peak_bandwidth.is_finite() || self.dram.peak_bandwidth <= 0.0 {
+            return Err(SimError::Config {
+                what: "DRAM peak bandwidth must be > 0".into(),
+            });
+        }
+        if !self.dram.efficiency.is_finite()
+            || self.dram.efficiency <= 0.0
+            || self.dram.efficiency > 1.0
+        {
+            return Err(SimError::Config {
+                what: "DRAM efficiency must be in (0, 1]".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Finds an IP by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownIp`] if no IP carries `name`.
+    pub fn ip_index(&self, name: &str) -> Result<usize, SimError> {
+        self.ips
+            .iter()
+            .position(|ip| ip.name == name)
+            .ok_or_else(|| SimError::UnknownIp { name: name.into() })
+    }
+}
+
+impl fmt::Display for SocConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: DRAM {:.1} GB/s x {:.2} eff, {} fabrics, {} IPs",
+            self.name,
+            self.dram.peak_bandwidth / 1e9,
+            self.dram.efficiency,
+            self.fabrics.len(),
+            self.ips.len()
+        )?;
+        for ip in &self.ips {
+            writeln!(
+                f,
+                "  {}: {:.1} GFLOPS/s peak, port {:.1} GB/s, fabric {} ({}), {} cache levels",
+                ip.name,
+                ip.engine.peak_ops_per_sec() / 1e9,
+                ip.port_bandwidth / 1e9,
+                ip.fabric,
+                self.fabrics[ip.fabric].name,
+                ip.caches.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn engine_peak_arithmetic() {
+        let e = ComputeEngine::new(1.9e9, 8.0, 0.5, 1.0);
+        assert!((e.peak_ops_per_sec() - 7.6e9).abs() < 1e-3);
+        let c = ComputeEngine::from_peak_gflops(349.6);
+        assert!((c.peak_ops_per_sec() - 349.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn serving_cache_first_fit() {
+        let ip = IpConfig {
+            name: "X".into(),
+            engine: ComputeEngine::from_peak_gflops(1.0),
+            caches: vec![
+                CacheLevel::new("L1", 64 << 10, 200.0e9),
+                CacheLevel::new("L2", 2 << 20, 80.0e9),
+            ],
+            scratchpad: None,
+            port_bandwidth: 10.0e9,
+            fabric: 0,
+            pattern_efficiency: PatternEfficiency::unity(),
+            numeric: NumericSupport::FloatAndInt,
+        };
+        assert_eq!(ip.serving_cache(32 << 10).unwrap().name, "L1");
+        assert_eq!(ip.serving_cache(256 << 10).unwrap().name, "L2");
+        assert!(ip.serving_cache(16 << 20).is_none());
+    }
+
+    #[test]
+    fn presets_validate() {
+        presets::snapdragon_835_like().validate().unwrap();
+        presets::snapdragon_821_like().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut soc = presets::snapdragon_835_like();
+        soc.ips[0].port_bandwidth = -1.0;
+        assert!(soc.validate().is_err());
+
+        let mut soc = presets::snapdragon_835_like();
+        soc.ips[0].fabric = 99;
+        assert!(soc.validate().is_err());
+
+        let mut soc = presets::snapdragon_835_like();
+        soc.dram.efficiency = 1.5;
+        assert!(soc.validate().is_err());
+
+        let mut soc = presets::snapdragon_835_like();
+        soc.ips.clear();
+        assert!(soc.validate().is_err());
+
+        let mut soc = presets::snapdragon_835_like();
+        soc.ips[0].engine.efficiency = 0.0;
+        assert!(soc.validate().is_err());
+
+        // Non-increasing cache capacities.
+        let mut soc = presets::snapdragon_835_like();
+        if soc.ips[0].caches.len() >= 2 {
+            soc.ips[0].caches[1].capacity_bytes = 1;
+            assert!(soc.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn pattern_efficiency_factors() {
+        let pe = PatternEfficiency {
+            read_modify_write: 0.755,
+            stream_copy: 0.9,
+            stream_read: 1.0,
+        };
+        assert_eq!(pe.factor(TrafficPattern::ReadModifyWrite), 0.755);
+        assert_eq!(pe.factor(TrafficPattern::StreamCopy), 0.9);
+        assert_eq!(pe.factor(TrafficPattern::StreamRead), 1.0);
+        assert_eq!(PatternEfficiency::default(), PatternEfficiency::unity());
+    }
+
+    #[test]
+    fn ip_index_lookup() {
+        let soc = presets::snapdragon_835_like();
+        assert_eq!(soc.ip_index("Kryo CPU").unwrap(), 0);
+        assert!(soc.ip_index("nonexistent").is_err());
+    }
+
+    #[test]
+    fn dram_effective_bandwidth() {
+        let d = DramConfig {
+            peak_bandwidth: 30.0e9,
+            efficiency: 0.85,
+        };
+        assert!((d.effective_bandwidth() - 25.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let text = presets::snapdragon_835_like().to_string();
+        assert!(text.contains("Kryo CPU"));
+        assert!(text.contains("Adreno 540 GPU"));
+    }
+}

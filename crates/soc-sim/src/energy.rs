@@ -1,0 +1,309 @@
+//! Energy and power accounting.
+//!
+//! The paper's motivation is energy: accelerators exist because they
+//! deliver "an order of magnitude improvement in performance and power
+//! efficiency compared to the general-purpose application processor",
+//! all inside "a tight 3 Watt thermal design point". This module adds
+//! per-IP energy coefficients to a simulation run so experiments can
+//! check designs against that budget.
+
+use crate::config::SocConfig;
+use crate::engine::{RunResult, ServedFrom};
+use crate::error::SimError;
+
+/// Energy coefficients for one IP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpEnergy {
+    /// Picojoules per operation executed.
+    pub pj_per_op: f64,
+    /// Picojoules per byte moved through the IP's local hierarchy/port.
+    pub pj_per_byte: f64,
+}
+
+/// A whole-SoC energy model: per-IP coefficients plus the DRAM cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    per_ip: Vec<IpEnergy>,
+    /// Picojoules per byte crossing the off-chip DRAM interface.
+    dram_pj_per_byte: f64,
+    /// Baseline power of the always-on fabric/rail, watts.
+    idle_watts: f64,
+}
+
+/// Per-job energy breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEnergy {
+    /// The IP index.
+    pub ip: usize,
+    /// Joules spent executing operations.
+    pub compute_joules: f64,
+    /// Joules spent moving data locally (caches, scratchpad, port).
+    pub movement_joules: f64,
+    /// Joules spent on the DRAM interface (zero for cache-resident jobs).
+    pub dram_joules: f64,
+}
+
+impl JobEnergy {
+    /// Total joules for this job.
+    pub fn total_joules(&self) -> f64 {
+        self.compute_joules + self.movement_joules + self.dram_joules
+    }
+}
+
+/// The energy report for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyReport {
+    /// Per-job breakdowns, in run order.
+    pub jobs: Vec<JobEnergy>,
+    /// Idle/baseline energy over the makespan.
+    pub idle_joules: f64,
+    /// Total joules (jobs + idle).
+    pub total_joules: f64,
+    /// Average power over the makespan, watts.
+    pub average_watts: f64,
+    /// Total usecase ops per joule — the efficiency the paper's IPs are
+    /// bought for.
+    pub ops_per_joule: f64,
+}
+
+impl EnergyReport {
+    /// Whether the run's average power fits a thermal design point.
+    pub fn within_tdp(&self, tdp_watts: f64) -> bool {
+        self.average_watts <= tdp_watts
+    }
+}
+
+impl EnergyModel {
+    /// Creates a model from per-IP coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for negative coefficients.
+    pub fn new(
+        per_ip: Vec<IpEnergy>,
+        dram_pj_per_byte: f64,
+        idle_watts: f64,
+    ) -> Result<Self, SimError> {
+        for (i, e) in per_ip.iter().enumerate() {
+            let valid = |v: f64| v.is_finite() && v >= 0.0;
+            if !valid(e.pj_per_op) || !valid(e.pj_per_byte) {
+                return Err(SimError::Config {
+                    what: format!("IP {i}: energy coefficients must be finite and >= 0"),
+                });
+            }
+        }
+        if !dram_pj_per_byte.is_finite() || dram_pj_per_byte < 0.0 {
+            return Err(SimError::Config {
+                what: "DRAM pJ/byte must be finite and >= 0".into(),
+            });
+        }
+        if !idle_watts.is_finite() || idle_watts < 0.0 {
+            return Err(SimError::Config {
+                what: "idle watts must be finite and >= 0".into(),
+            });
+        }
+        Ok(Self {
+            per_ip,
+            dram_pj_per_byte,
+            idle_watts,
+        })
+    }
+
+    /// Coefficients shaped like the paper's Section II efficiency claims:
+    /// the GPU roughly 10x and the DSP roughly 8x more efficient per op
+    /// than the CPU; LPDDR-class DRAM interface energy.
+    pub fn snapdragon_835_like() -> Self {
+        Self {
+            per_ip: vec![
+                IpEnergy {
+                    // Kryo CPU: scalar FP on a big OoO core.
+                    pj_per_op: 250.0,
+                    pj_per_byte: 12.0,
+                },
+                IpEnergy {
+                    // Adreno GPU: wide SIMD amortizes control.
+                    pj_per_op: 25.0,
+                    pj_per_byte: 8.0,
+                },
+                IpEnergy {
+                    // Hexagon DSP scalar unit: small in-order engine.
+                    pj_per_op: 30.0,
+                    pj_per_byte: 6.0,
+                },
+            ],
+            dram_pj_per_byte: 50.0,
+            idle_watts: 0.25,
+        }
+    }
+
+    /// Accounts a finished run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IpIndexOutOfBounds`] if the run references an
+    /// IP the model has no coefficients for.
+    pub fn account(&self, _soc: &SocConfig, run: &RunResult) -> Result<EnergyReport, SimError> {
+        const PJ: f64 = 1.0e-12;
+        let mut jobs = Vec::with_capacity(run.jobs.len());
+        let mut total = 0.0;
+        for job in &run.jobs {
+            let coeff = self
+                .per_ip
+                .get(job.ip)
+                .ok_or(SimError::IpIndexOutOfBounds {
+                    index: job.ip,
+                    len: self.per_ip.len(),
+                })?;
+            let compute_joules = job.flops * coeff.pj_per_op * PJ;
+            let movement_joules = job.bytes * coeff.pj_per_byte * PJ;
+            let dram_joules = if job.served_from == ServedFrom::Dram {
+                job.bytes * self.dram_pj_per_byte * PJ
+            } else {
+                0.0
+            };
+            total += compute_joules + movement_joules + dram_joules;
+            jobs.push(JobEnergy {
+                ip: job.ip,
+                compute_joules,
+                movement_joules,
+                dram_joules,
+            });
+        }
+        let idle_joules = self.idle_watts * run.makespan_seconds;
+        let total_joules = total + idle_joules;
+        let average_watts = if run.makespan_seconds > 0.0 {
+            total_joules / run.makespan_seconds
+        } else {
+            0.0
+        };
+        Ok(EnergyReport {
+            jobs,
+            idle_joules,
+            total_joules,
+            average_watts,
+            ops_per_joule: if total_joules > 0.0 {
+                run.total_flops / total_joules
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Job, Simulator};
+    use crate::kernel::RooflineKernel;
+    use crate::presets;
+
+    fn run_one(ip: usize, fpw: u32) -> (SocConfig, RunResult) {
+        let soc = presets::snapdragon_835_like();
+        let sim = Simulator::new(soc.clone()).unwrap();
+        let kernel = if ip == presets::GPU {
+            RooflineKernel {
+                pattern: crate::config::TrafficPattern::StreamCopy,
+                ..RooflineKernel::dram_resident(fpw)
+            }
+        } else {
+            RooflineKernel::dram_resident(fpw)
+        };
+        let run = sim.run(&[Job { ip, kernel }]).unwrap();
+        (soc, run)
+    }
+
+    #[test]
+    fn gpu_is_an_order_of_magnitude_more_efficient_per_op() {
+        let model = EnergyModel::snapdragon_835_like();
+        let (soc, cpu_run) = run_one(presets::CPU, 1024);
+        let (_, gpu_run) = run_one(presets::GPU, 1024);
+        let cpu = model.account(&soc, &cpu_run).unwrap();
+        let gpu = model.account(&soc, &gpu_run).unwrap();
+        let ratio = gpu.ops_per_joule / cpu.ops_per_joule;
+        assert!(
+            ratio > 5.0,
+            "GPU should be far more efficient per op: {ratio}"
+        );
+    }
+
+    #[test]
+    fn dram_energy_only_for_dram_served_jobs() {
+        let model = EnergyModel::snapdragon_835_like();
+        let soc = presets::snapdragon_835_like();
+        let sim = Simulator::new(soc.clone()).unwrap();
+        let cached = RooflineKernel::dram_resident(4).with_array_bytes(64 << 10);
+        let run = sim.run(&[Job { ip: presets::CPU, kernel: cached }]).unwrap();
+        let report = model.account(&soc, &run).unwrap();
+        assert_eq!(report.jobs[0].dram_joules, 0.0);
+        assert!(report.jobs[0].movement_joules > 0.0);
+
+        let (soc, run) = run_one(presets::CPU, 4);
+        let report = model.account(&soc, &run).unwrap();
+        assert!(report.jobs[0].dram_joules > 0.0);
+    }
+
+    #[test]
+    fn average_power_is_total_over_makespan() {
+        let model = EnergyModel::snapdragon_835_like();
+        let (soc, run) = run_one(presets::CPU, 64);
+        let report = model.account(&soc, &run).unwrap();
+        let expect = report.total_joules / run.makespan_seconds;
+        assert!((report.average_watts - expect).abs() < 1e-12);
+        assert!(report.total_joules > report.idle_joules);
+    }
+
+    #[test]
+    fn tdp_check_distinguishes_loads() {
+        // The CPU alone at scalar FP fits a phone TDP; the GPU flat out
+        // does not (which is why phones throttle).
+        let model = EnergyModel::snapdragon_835_like();
+        let (soc, cpu_run) = run_one(presets::CPU, 1024);
+        let cpu = model.account(&soc, &cpu_run).unwrap();
+        assert!(cpu.within_tdp(3.0), "CPU draws {} W", cpu.average_watts);
+
+        let (soc, gpu_run) = run_one(presets::GPU, 1024);
+        let gpu = model.account(&soc, &gpu_run).unwrap();
+        assert!(
+            !gpu.within_tdp(3.0),
+            "full-rate GPU should exceed 3 W: {} W",
+            gpu.average_watts
+        );
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EnergyModel::new(
+            vec![IpEnergy {
+                pj_per_op: -1.0,
+                pj_per_byte: 0.0
+            }],
+            1.0,
+            0.0
+        )
+        .is_err());
+        assert!(EnergyModel::new(vec![], -1.0, 0.0).is_err());
+        assert!(EnergyModel::new(vec![], 1.0, f64::NAN).is_err());
+        assert!(EnergyModel::new(vec![], 1.0, 0.1).is_ok());
+    }
+
+    #[test]
+    fn unknown_ip_is_an_error() {
+        let model = EnergyModel::new(vec![], 1.0, 0.0).unwrap();
+        let (soc, run) = run_one(presets::CPU, 4);
+        assert!(matches!(
+            model.account(&soc, &run).unwrap_err(),
+            SimError::IpIndexOutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn job_energy_total() {
+        let j = JobEnergy {
+            ip: 0,
+            compute_joules: 1.0,
+            movement_joules: 2.0,
+            dram_joules: 3.0,
+        };
+        assert_eq!(j.total_joules(), 6.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for the SoC simulator.
+
+use core::fmt;
+
+/// The error type returned by all fallible simulator operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration field was invalid.
+    Config {
+        /// Description of the offending field.
+        what: String,
+    },
+    /// No IP with the given name exists in the SoC.
+    UnknownIp {
+        /// The requested name.
+        name: String,
+    },
+    /// An IP index was out of range.
+    IpIndexOutOfBounds {
+        /// The requested index.
+        index: usize,
+        /// The number of IPs.
+        len: usize,
+    },
+    /// A kernel was invalid (zero size, non-positive intensity, …).
+    Kernel {
+        /// Description of the problem.
+        what: String,
+    },
+    /// The simulation failed to make progress (e.g. all rates zero).
+    Stalled {
+        /// Simulated time at which progress stopped.
+        at_seconds: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config { what } => write!(f, "invalid configuration: {what}"),
+            SimError::UnknownIp { name } => write!(f, "no IP named {name:?}"),
+            SimError::IpIndexOutOfBounds { index, len } => {
+                write!(f, "IP index {index} out of bounds for SoC with {len} IPs")
+            }
+            SimError::Kernel { what } => write!(f, "invalid kernel: {what}"),
+            SimError::Stalled { at_seconds } => {
+                write!(f, "simulation stalled at t = {at_seconds}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::Config {
+            what: "x".into()
+        }
+        .to_string()
+        .contains("invalid configuration"));
+        assert!(SimError::UnknownIp { name: "GPU".into() }
+            .to_string()
+            .contains("GPU"));
+        assert!(SimError::Stalled { at_seconds: 1.0 }.to_string().contains("stalled"));
+        assert!(SimError::IpIndexOutOfBounds { index: 9, len: 2 }
+            .to_string()
+            .contains('9'));
+        assert!(SimError::Kernel { what: "zero".into() }.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

@@ -1,0 +1,253 @@
+//! The Gables roofline microbenchmark kernel (Algorithm 1 of the paper).
+//!
+//! The kernel walks an array of `size` words for `trials` passes,
+//! performing a compile-time-selected number of floating-point operations
+//! on each word. Varying the array size probes different levels of the
+//! memory hierarchy; varying the operations per word sets the operational
+//! intensity. This module describes the kernel's *demands* — total ops,
+//! total bytes moved, and working-set size — which the rate-based engine
+//! then executes against a hardware configuration.
+
+use crate::config::TrafficPattern;
+use crate::error::SimError;
+
+/// The numeric type of the kernel's operations. The paper's default is
+/// single-precision float — "a compromise between double-precision ...
+/// and the half-precision (or less) favored by emerging algorithms" —
+/// with all three evaluated engines supporting IEEE single precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataType {
+    /// IEEE single-precision floating point (the paper's kernel).
+    #[default]
+    Fp32,
+    /// Integer operations (what the Hexagon HVX vector unit requires).
+    Int,
+}
+
+/// The microbenchmark of Algorithm 1: `trials` passes over `words` array
+/// elements with `flops_per_word` operations each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RooflineKernel {
+    /// Number of passes over the array (`trials` in Algorithm 1).
+    pub trials: u64,
+    /// Array length in words (`size` in Algorithm 1).
+    pub words: u64,
+    /// Bytes per word (4 for the paper's single-precision float).
+    pub word_bytes: u32,
+    /// Floating-point operations applied to each word per pass
+    /// (`FLOPS_PER_BYTE` preprocessor knob in Algorithm 1 — despite its
+    /// name it counts flops per *element*).
+    pub flops_per_word: u32,
+    /// The access pattern, which sets both the bytes moved per word and
+    /// the DRAM-path efficiency.
+    pub pattern: TrafficPattern,
+    /// The numeric type of the per-word operations.
+    pub data_type: DataType,
+}
+
+impl RooflineKernel {
+    /// A kernel sized to stream from DRAM (64 MiB working set) with the
+    /// paper's defaults: 32-bit words, read-modify-write.
+    pub fn dram_resident(flops_per_word: u32) -> Self {
+        Self {
+            trials: 4,
+            words: (64 << 20) / 4,
+            word_bytes: 4,
+            flops_per_word,
+            pattern: TrafficPattern::ReadModifyWrite,
+            data_type: DataType::Fp32,
+        }
+    }
+
+    /// The integer variant of the kernel (same traffic, integer ops) —
+    /// what targeting the HVX vector unit requires (Section IV-D).
+    pub fn with_data_type(self, data_type: DataType) -> Self {
+        Self { data_type, ..self }
+    }
+
+    /// Validates the kernel parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Kernel`] for zero trials/words/word size/flops.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.trials == 0 {
+            return Err(SimError::Kernel {
+                what: "trials must be >= 1".into(),
+            });
+        }
+        if self.words == 0 {
+            return Err(SimError::Kernel {
+                what: "array size must be >= 1 word".into(),
+            });
+        }
+        if self.word_bytes == 0 {
+            return Err(SimError::Kernel {
+                what: "word size must be >= 1 byte".into(),
+            });
+        }
+        if self.flops_per_word == 0 {
+            return Err(SimError::Kernel {
+                what: "flops per word must be >= 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The working-set size in bytes (what must fit in a cache level for
+    /// the kernel to be served there).
+    pub fn working_set_bytes(&self) -> u64 {
+        let arrays = match self.pattern {
+            TrafficPattern::ReadModifyWrite | TrafficPattern::StreamRead => 1,
+            TrafficPattern::StreamCopy => 2,
+        };
+        self.words * u64::from(self.word_bytes) * arrays
+    }
+
+    /// Total floating-point operations executed.
+    pub fn total_flops(&self) -> f64 {
+        self.trials as f64 * self.words as f64 * f64::from(self.flops_per_word)
+    }
+
+    /// Total bytes moved between the engine and the serving memory level.
+    ///
+    /// Read-modify-write touches each word twice per pass (load + store);
+    /// stream copy reads one array and writes another; stream read only
+    /// loads.
+    pub fn total_bytes(&self) -> f64 {
+        let per_word = match self.pattern {
+            TrafficPattern::ReadModifyWrite => 2.0,
+            TrafficPattern::StreamCopy => 2.0,
+            TrafficPattern::StreamRead => 1.0,
+        };
+        self.trials as f64 * self.words as f64 * f64::from(self.word_bytes) * per_word
+    }
+
+    /// The kernel's operational intensity in flops per byte moved.
+    pub fn intensity(&self) -> f64 {
+        self.total_flops() / self.total_bytes()
+    }
+
+    /// Returns a copy with a different array size in bytes (rounded down
+    /// to whole words), for working-set sweeps.
+    pub fn with_array_bytes(&self, bytes: u64) -> Self {
+        Self {
+            words: (bytes / u64::from(self.word_bytes)).max(1),
+            ..*self
+        }
+    }
+
+    /// Returns a copy with a different flops-per-word, for intensity
+    /// sweeps.
+    pub fn with_flops_per_word(&self, flops_per_word: u32) -> Self {
+        Self {
+            flops_per_word,
+            ..*self
+        }
+    }
+
+    /// Returns a copy scaled to `fraction` of the work by shortening the
+    /// array (used by the Figure 8 mixing harness to split one workload
+    /// across IPs). The scaled kernel keeps the same intensity.
+    pub fn scaled(&self, fraction: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&fraction));
+        Self {
+            words: ((self.words as f64 * fraction).round() as u64).max(1),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_for_read_modify_write() {
+        let k = RooflineKernel {
+            trials: 10,
+            words: 1000,
+            word_bytes: 4,
+            flops_per_word: 8,
+            pattern: TrafficPattern::ReadModifyWrite,
+            data_type: DataType::Fp32,
+        };
+        assert_eq!(k.total_flops(), 80_000.0);
+        assert_eq!(k.total_bytes(), 80_000.0); // 2 × 4 B × 10 × 1000
+        assert_eq!(k.intensity(), 1.0);
+        assert_eq!(k.working_set_bytes(), 4000);
+    }
+
+    #[test]
+    fn stream_read_halves_traffic() {
+        let k = RooflineKernel {
+            trials: 1,
+            words: 100,
+            word_bytes: 4,
+            flops_per_word: 2,
+            pattern: TrafficPattern::StreamRead,
+            data_type: DataType::Fp32,
+        };
+        assert_eq!(k.total_bytes(), 400.0);
+        assert_eq!(k.intensity(), 0.5);
+    }
+
+    #[test]
+    fn stream_copy_doubles_working_set() {
+        let k = RooflineKernel {
+            trials: 1,
+            words: 100,
+            word_bytes: 4,
+            flops_per_word: 2,
+            pattern: TrafficPattern::StreamCopy,
+            data_type: DataType::Fp32,
+        };
+        assert_eq!(k.working_set_bytes(), 800);
+        assert_eq!(k.total_bytes(), 800.0);
+    }
+
+    #[test]
+    fn intensity_scales_with_flops_per_word() {
+        let base = RooflineKernel::dram_resident(2);
+        assert!((base.intensity() - 0.25).abs() < 1e-12);
+        let heavy = base.with_flops_per_word(1024);
+        assert!((heavy.intensity() - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_preserves_intensity() {
+        let k = RooflineKernel::dram_resident(16);
+        let half = k.scaled(0.5);
+        assert!((half.intensity() - k.intensity()).abs() < 1e-12);
+        assert!((half.total_flops() - k.total_flops() * 0.5).abs() / k.total_flops() < 1e-3);
+        // Degenerate fractions stay valid.
+        assert_eq!(k.scaled(0.0).words, 1);
+    }
+
+    #[test]
+    fn with_array_bytes_rounds_to_words() {
+        let k = RooflineKernel::dram_resident(2).with_array_bytes(1023);
+        assert_eq!(k.words, 255);
+        assert_eq!(k.with_array_bytes(2).words, 1); // never zero
+    }
+
+    #[test]
+    fn validation() {
+        let ok = RooflineKernel::dram_resident(2);
+        assert!(ok.validate().is_ok());
+        assert!(RooflineKernel { trials: 0, ..ok }.validate().is_err());
+        assert!(RooflineKernel { words: 0, ..ok }.validate().is_err());
+        assert!(RooflineKernel {
+            word_bytes: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(RooflineKernel {
+            flops_per_word: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Optional thermal throttling model.
+//!
+//! The paper benchmarks inside a thermally controlled unit precisely
+//! because sustained floating-point microbenchmarks throttle the chip and
+//! make results unrepeatable. The simulator's default is that thermal
+//! chamber (no throttling); enabling [`ThermalConfig`] reproduces the
+//! throttling behaviour the chamber avoids, which the ablation bench uses.
+
+/// A first-order lumped thermal model with linear frequency derating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalConfig {
+    /// Ambient (and initial) temperature, °C.
+    pub ambient_c: f64,
+    /// Junction temperature at which derating begins, °C.
+    pub throttle_threshold_c: f64,
+    /// Heating rate at full activity, °C per second.
+    pub heat_rate_c_per_s: f64,
+    /// Cooling coefficient, per second (Newtonian cooling toward ambient).
+    pub cool_rate_per_s: f64,
+    /// Derating slope: fraction of peak lost per °C above the threshold.
+    pub derate_per_c: f64,
+    /// Floor on the derate factor.
+    pub min_derate: f64,
+    /// Simulation timestep when the thermal model is active, seconds.
+    pub timestep_s: f64,
+}
+
+impl ThermalConfig {
+    /// A phone-like default: 3 W-class SoC that throttles after a few
+    /// seconds of sustained full-rate floating point.
+    pub fn phone_default() -> Self {
+        Self {
+            ambient_c: 30.0,
+            throttle_threshold_c: 70.0,
+            heat_rate_c_per_s: 8.0,
+            cool_rate_per_s: 0.05,
+            derate_per_c: 0.02,
+            min_derate: 0.4,
+            timestep_s: 0.05,
+        }
+    }
+}
+
+/// Evolving thermal state during a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalState {
+    config: ThermalConfig,
+    temperature_c: f64,
+}
+
+impl ThermalState {
+    /// Starts at ambient.
+    pub fn new(config: ThermalConfig) -> Self {
+        let temperature_c = config.ambient_c;
+        Self {
+            config,
+            temperature_c,
+        }
+    }
+
+    /// Current junction temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// The current compute derate factor in `[min_derate, 1]`.
+    pub fn derate(&self) -> f64 {
+        let over = (self.temperature_c - self.config.throttle_threshold_c).max(0.0);
+        (1.0 - self.config.derate_per_c * over).max(self.config.min_derate)
+    }
+
+    /// Advances the thermal state by `dt` seconds at the given activity
+    /// level (0 = idle, 1 = all engines at full rate).
+    pub fn step(&mut self, dt: f64, activity: f64) {
+        let heating = self.config.heat_rate_c_per_s * activity.clamp(0.0, 1.0);
+        let cooling = self.config.cool_rate_per_s * (self.temperature_c - self.config.ambient_c);
+        self.temperature_c += dt * (heating - cooling);
+    }
+
+    /// The configured timestep.
+    pub fn timestep_s(&self) -> f64 {
+        self.config.timestep_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_ambient_with_no_derate() {
+        let s = ThermalState::new(ThermalConfig::phone_default());
+        assert_eq!(s.temperature_c(), 30.0);
+        assert_eq!(s.derate(), 1.0);
+    }
+
+    #[test]
+    fn sustained_activity_heats_and_derates() {
+        let mut s = ThermalState::new(ThermalConfig::phone_default());
+        for _ in 0..400 {
+            s.step(0.05, 1.0); // 20 simulated seconds at full tilt
+        }
+        assert!(s.temperature_c() > 70.0);
+        assert!(s.derate() < 1.0);
+        assert!(s.derate() >= 0.4);
+    }
+
+    #[test]
+    fn idle_cools_toward_ambient() {
+        let mut s = ThermalState::new(ThermalConfig::phone_default());
+        for _ in 0..400 {
+            s.step(0.05, 1.0);
+        }
+        let hot = s.temperature_c();
+        for _ in 0..4000 {
+            s.step(0.05, 0.0);
+        }
+        assert!(s.temperature_c() < hot);
+        assert!(s.temperature_c() >= 30.0 - 1e-6);
+    }
+
+    #[test]
+    fn derate_floor_holds() {
+        let mut s = ThermalState::new(ThermalConfig {
+            derate_per_c: 10.0, // absurd slope
+            ..ThermalConfig::phone_default()
+        });
+        for _ in 0..2000 {
+            s.step(0.05, 1.0);
+        }
+        assert_eq!(s.derate(), 0.4);
+    }
+}

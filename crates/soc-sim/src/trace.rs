@@ -1,0 +1,295 @@
+//! Synthetic memory-access trace generators.
+//!
+//! The Gables SRAM extension (Section V-A) needs per-IP miss ratios `mi`,
+//! which "depend on properties of both the SoC (e.g., memory size) and
+//! the usecase (e.g., reuse by IP\[i\]'s references)". These generators
+//! produce the reference patterns mobile usecases exhibit — streaming
+//! frames, tiled image processing, strided filters — which the
+//! [`cache_sim`](crate::cache_sim) module runs against a cache model to
+//! *measure* `mi` instead of guessing it.
+
+/// A memory reference: byte address plus access kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Byte address.
+    pub addr: u64,
+    /// Whether the reference writes.
+    pub write: bool,
+}
+
+impl Access {
+    /// A read at `addr`.
+    pub fn read(addr: u64) -> Self {
+        Self { addr, write: false }
+    }
+
+    /// A write at `addr`.
+    pub fn write(addr: u64) -> Self {
+        Self { addr, write: true }
+    }
+}
+
+/// A reusable trace description; `generate` materializes the accesses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TracePattern {
+    /// Sequential streaming over a buffer, repeated `passes` times —
+    /// a video frame scan or the Algorithm-1 kernel.
+    Stream {
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// Element size in bytes.
+        stride: u64,
+        /// Number of passes over the buffer.
+        passes: u32,
+        /// Whether each element is written back (read-modify-write).
+        write_back: bool,
+    },
+    /// Strided access (e.g. column walks of a row-major image).
+    Strided {
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// Distance between consecutive references.
+        stride: u64,
+        /// Number of passes.
+        passes: u32,
+    },
+    /// Tiled processing: the buffer is visited tile by tile, each tile
+    /// re-read `reuse` times before moving on — an ISP/IPU working on
+    /// line buffers or tiles.
+    Tiled {
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// Tile size in bytes.
+        tile_bytes: u64,
+        /// Element stride within a tile.
+        stride: u64,
+        /// Times each tile is revisited.
+        reuse: u32,
+    },
+    /// A pointer-chase through a pseudo-random permutation — worst-case
+    /// locality (the "can't use the added capacity" pitfall of the
+    /// paper's fourth conjecture).
+    RandomChase {
+        /// Buffer size in bytes.
+        bytes: u64,
+        /// Element size in bytes.
+        stride: u64,
+        /// Number of references to emit.
+        count: u64,
+    },
+}
+
+impl TracePattern {
+    /// Materializes the trace.
+    pub fn generate(&self) -> Vec<Access> {
+        match *self {
+            TracePattern::Stream {
+                bytes,
+                stride,
+                passes,
+                write_back,
+            } => {
+                let n = (bytes / stride.max(1)).max(1);
+                let mut out = Vec::with_capacity((n * u64::from(passes) * 2) as usize);
+                for _ in 0..passes {
+                    for i in 0..n {
+                        out.push(Access::read(i * stride));
+                        if write_back {
+                            out.push(Access::write(i * stride));
+                        }
+                    }
+                }
+                out
+            }
+            TracePattern::Strided {
+                bytes,
+                stride,
+                passes,
+            } => {
+                let stride = stride.max(1);
+                let mut out = Vec::new();
+                for _ in 0..passes {
+                    // Walk each congruence class so all bytes are touched.
+                    let mut start = 0;
+                    while start < stride.min(bytes) {
+                        let mut a = start;
+                        while a < bytes {
+                            out.push(Access::read(a));
+                            a += stride;
+                        }
+                        start += stride.min(64);
+                        if stride <= 64 {
+                            break;
+                        }
+                    }
+                }
+                out
+            }
+            TracePattern::Tiled {
+                bytes,
+                tile_bytes,
+                stride,
+                reuse,
+            } => {
+                let stride = stride.max(1);
+                let tile_bytes = tile_bytes.max(stride);
+                let mut out = Vec::new();
+                let mut base = 0;
+                while base < bytes {
+                    let end = (base + tile_bytes).min(bytes);
+                    for _ in 0..=reuse {
+                        let mut a = base;
+                        while a < end {
+                            out.push(Access::read(a));
+                            a += stride;
+                        }
+                    }
+                    base = end;
+                }
+                out
+            }
+            TracePattern::RandomChase {
+                bytes,
+                stride,
+                count,
+            } => {
+                let stride = stride.max(1);
+                let n = (bytes / stride).max(1);
+                // Deterministic LCG permutation walk (no RNG dependency
+                // needed; full-period parameters for power-of-two n are
+                // not required — we mod into range).
+                let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+                let mut out = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let idx = (state >> 11) % n;
+                    out.push(Access::read(idx * stride));
+                }
+                out
+            }
+        }
+    }
+
+    /// The trace's footprint in bytes (upper bound on unique data).
+    pub fn footprint_bytes(&self) -> u64 {
+        match *self {
+            TracePattern::Stream { bytes, .. }
+            | TracePattern::Strided { bytes, .. }
+            | TracePattern::Tiled { bytes, .. }
+            | TracePattern::RandomChase { bytes, .. } => bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_emits_reads_then_writes() {
+        let t = TracePattern::Stream {
+            bytes: 64,
+            stride: 8,
+            passes: 2,
+            write_back: true,
+        };
+        let accesses = t.generate();
+        assert_eq!(accesses.len(), 8 * 2 * 2);
+        assert_eq!(accesses[0], Access::read(0));
+        assert_eq!(accesses[1], Access::write(0));
+        assert_eq!(accesses[2], Access::read(8));
+    }
+
+    #[test]
+    fn stream_read_only() {
+        let t = TracePattern::Stream {
+            bytes: 64,
+            stride: 8,
+            passes: 1,
+            write_back: false,
+        };
+        assert!(t.generate().iter().all(|a| !a.write));
+    }
+
+    #[test]
+    fn strided_touches_all_congruence_classes() {
+        let t = TracePattern::Strided {
+            bytes: 4096,
+            stride: 1024,
+            passes: 1,
+        };
+        let accesses = t.generate();
+        // Addresses cover multiple 64 B-aligned starts within the stride.
+        let starts: std::collections::HashSet<u64> =
+            accesses.iter().map(|a| a.addr % 1024).collect();
+        assert!(starts.len() > 1);
+    }
+
+    #[test]
+    fn tiled_revisits_each_tile() {
+        let t = TracePattern::Tiled {
+            bytes: 256,
+            tile_bytes: 64,
+            stride: 64,
+            reuse: 3,
+        };
+        let accesses = t.generate();
+        // 4 tiles x 1 element each x (1 + 3) visits.
+        assert_eq!(accesses.len(), 16);
+        // First four references are the same tile element.
+        assert!(accesses[..4].iter().all(|a| a.addr == 0));
+    }
+
+    #[test]
+    fn random_chase_is_deterministic_and_bounded() {
+        let t = TracePattern::RandomChase {
+            bytes: 1024,
+            stride: 64,
+            count: 100,
+        };
+        let a = t.generate();
+        let b = t.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|x| x.addr < 1024));
+    }
+
+    #[test]
+    fn footprint_matches_bytes() {
+        for t in [
+            TracePattern::Stream {
+                bytes: 4096,
+                stride: 4,
+                passes: 1,
+                write_back: false,
+            },
+            TracePattern::RandomChase {
+                bytes: 4096,
+                stride: 64,
+                count: 10,
+            },
+        ] {
+            assert_eq!(t.footprint_bytes(), 4096);
+        }
+    }
+
+    #[test]
+    fn degenerate_strides_do_not_panic() {
+        TracePattern::Stream {
+            bytes: 8,
+            stride: 0,
+            passes: 1,
+            write_back: false,
+        }
+        .generate();
+        TracePattern::Tiled {
+            bytes: 8,
+            tile_bytes: 0,
+            stride: 0,
+            reuse: 0,
+        }
+        .generate();
+    }
+}

@@ -1,0 +1,458 @@
+//! Dataflow graphs for the camera usecases of Table I.
+//!
+//! Each builder returns a [`Dataflow`] whose stage set matches the
+//! usecase's Table I row, so the concurrency matrix and the dataflow view
+//! stay consistent (checked by test). Rates derive from the frame format
+//! and frame rate via the [`video`](crate::video) arithmetic.
+
+use crate::flows::{Dataflow, Endpoint, Medium, Stage, Transfer};
+use crate::ip::Ip;
+use crate::video::FrameFormat;
+
+/// Video capture (Table I row 2): ISP frames to the encoder with preview,
+/// audio on the DSP.
+pub fn video_capture(format: FrameFormat, fps: f64) -> Dataflow {
+    let frame_rate = format.frame_bytes() * fps;
+    let preview_rate = FrameFormat::fhd_yuv420().frame_bytes() * fps.min(60.0);
+    let pcm = 48_000.0 * 2.0 * 2.0;
+    let bitstream = 40.0e6 / 8.0; // ~40 Mb/s encode output
+
+    Dataflow {
+        name: format!("Videocapture {}x{}@{fps}", format.width, format.height),
+        stages: vec![
+            Stage {
+                name: "isp".into(),
+                ip: Ip::Isp,
+                ops_per_sec: frame_rate * 6.0, // ~6 ops/pixel-byte of ISP math
+            },
+            Stage {
+                name: "encode".into(),
+                ip: Ip::Venc,
+                ops_per_sec: frame_rate * 4.0,
+            },
+            Stage {
+                name: "preview".into(),
+                ip: Ip::Display,
+                ops_per_sec: preview_rate * 0.5,
+            },
+            Stage {
+                name: "audio".into(),
+                ip: Ip::Dsp,
+                ops_per_sec: pcm * 50.0,
+            },
+            Stage {
+                name: "control".into(),
+                ip: Ip::Ap,
+                ops_per_sec: 0.2e9,
+            },
+        ],
+        transfers: vec![
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(0),
+                medium: Medium::Direct,
+                bytes_per_sec: frame_rate,
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(1),
+                medium: Medium::Dram,
+                bytes_per_sec: frame_rate,
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(2),
+                medium: Medium::Dram,
+                bytes_per_sec: preview_rate,
+            },
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(3),
+                medium: Medium::IpSram,
+                bytes_per_sec: pcm,
+            },
+            Transfer {
+                from: Endpoint::Stage(1),
+                to: Endpoint::Sink,
+                medium: Medium::Dram, // bitstream to flash via memory
+                bytes_per_sec: bitstream,
+            },
+        ],
+    }
+}
+
+/// High-frame-rate capture (Table I row 3): the scaler joins the path and
+/// noise reduction re-reads reference frames.
+pub fn video_capture_hfr(format: FrameFormat, fps: f64, reference_frames: u32) -> Dataflow {
+    let frame_rate = format.frame_bytes() * fps;
+    let tnr_reads = frame_rate * f64::from(reference_frames);
+    Dataflow {
+        name: format!("Videocapture HFR {}x{}@{fps}", format.width, format.height),
+        stages: vec![
+            Stage {
+                name: "isp+tnr".into(),
+                ip: Ip::Isp,
+                ops_per_sec: (frame_rate + tnr_reads) * 4.0,
+            },
+            Stage {
+                name: "scaler".into(),
+                ip: Ip::G2ds,
+                ops_per_sec: frame_rate,
+            },
+            Stage {
+                name: "encode".into(),
+                ip: Ip::Venc,
+                ops_per_sec: frame_rate * 4.0,
+            },
+            Stage {
+                name: "preview".into(),
+                ip: Ip::Display,
+                ops_per_sec: 0.1e9,
+            },
+            Stage {
+                name: "control".into(),
+                ip: Ip::Ap,
+                ops_per_sec: 0.3e9,
+            },
+        ],
+        transfers: vec![
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(0),
+                medium: Medium::Direct,
+                bytes_per_sec: frame_rate,
+            },
+            // TNR reference-frame traffic: the ISP re-reads references
+            // from DRAM (modeled as a self-loop through memory).
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(0),
+                medium: Medium::Dram,
+                bytes_per_sec: tnr_reads / 2.0, // write once, read once = 2 crossings
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(1),
+                medium: Medium::Dram,
+                bytes_per_sec: frame_rate,
+            },
+            Transfer {
+                from: Endpoint::Stage(1),
+                to: Endpoint::Stage(2),
+                medium: Medium::Dram,
+                bytes_per_sec: frame_rate,
+            },
+            Transfer {
+                from: Endpoint::Stage(1),
+                to: Endpoint::Stage(3),
+                medium: Medium::Dram,
+                bytes_per_sec: FrameFormat::fhd_yuv420().frame_bytes() * 60.0,
+            },
+        ],
+    }
+}
+
+/// HDR+ still capture (Table I row 1): a burst through ISP → IPU with
+/// JPEG output and GPU-composited viewfinder.
+pub fn hdr_plus() -> Dataflow {
+    let format = FrameFormat::uhd_4k_yuv420();
+    let burst_fps = 30.0; // burst of raw frames while the shot is open
+    let frame_rate = format.frame_bytes() * burst_fps;
+    let viewfinder = FrameFormat::fhd_yuv420().frame_bytes() * 60.0;
+    Dataflow {
+        name: "HDR+ burst capture".into(),
+        stages: vec![
+            Stage {
+                name: "isp raw".into(),
+                ip: Ip::Isp,
+                ops_per_sec: frame_rate * 4.0,
+            },
+            Stage {
+                name: "ipu align+merge".into(),
+                ip: Ip::Ipu,
+                ops_per_sec: frame_rate * 40.0, // the heavy HDR math
+            },
+            Stage {
+                name: "jpeg encode".into(),
+                ip: Ip::Jpeg,
+                ops_per_sec: format.frame_bytes() * 2.0,
+            },
+            Stage {
+                name: "viewfinder".into(),
+                ip: Ip::Gpu,
+                ops_per_sec: viewfinder * 4.0,
+            },
+            Stage {
+                name: "scan-out".into(),
+                ip: Ip::Display,
+                ops_per_sec: 0.1e9,
+            },
+            Stage {
+                name: "control".into(),
+                ip: Ip::Ap,
+                ops_per_sec: 0.5e9,
+            },
+        ],
+        transfers: vec![
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(0),
+                medium: Medium::Direct,
+                bytes_per_sec: frame_rate,
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(1),
+                medium: Medium::Dram,
+                bytes_per_sec: frame_rate,
+            },
+            Transfer {
+                from: Endpoint::Stage(1),
+                to: Endpoint::Stage(2),
+                medium: Medium::Dram,
+                bytes_per_sec: format.frame_bytes(), // one merged frame/s
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(3),
+                medium: Medium::Dram,
+                bytes_per_sec: viewfinder,
+            },
+            Transfer {
+                from: Endpoint::Stage(3),
+                to: Endpoint::Stage(4),
+                medium: Medium::Dram,
+                bytes_per_sec: viewfinder,
+            },
+            Transfer {
+                from: Endpoint::Stage(2),
+                to: Endpoint::Sink,
+                medium: Medium::Dram,
+                bytes_per_sec: 5.0e6, // JPEG to storage
+            },
+        ],
+    }
+}
+
+/// Video playback with UI (Table I row 4).
+pub fn video_playback() -> Dataflow {
+    let decoded = FrameFormat::uhd_4k_yuv420().frame_bytes() * 30.0;
+    let ui = FrameFormat::fhd_yuv420().frame_bytes() * 60.0;
+    let pcm = 48_000.0 * 2.0 * 2.0;
+    Dataflow {
+        name: "Videoplayback UI".into(),
+        stages: vec![
+            Stage {
+                name: "decode".into(),
+                ip: Ip::Vdec,
+                ops_per_sec: decoded * 3.0,
+            },
+            Stage {
+                name: "ui render".into(),
+                ip: Ip::Gpu,
+                ops_per_sec: ui * 4.0,
+            },
+            Stage {
+                name: "compose+scan".into(),
+                ip: Ip::Display,
+                ops_per_sec: 0.2e9,
+            },
+            Stage {
+                name: "audio".into(),
+                ip: Ip::Dsp,
+                ops_per_sec: pcm * 50.0,
+            },
+            Stage {
+                name: "control".into(),
+                ip: Ip::Ap,
+                ops_per_sec: 0.2e9,
+            },
+        ],
+        transfers: vec![
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(0),
+                medium: Medium::Dram,
+                bytes_per_sec: 20.0e6 / 8.0,
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(2),
+                medium: Medium::Dram,
+                bytes_per_sec: decoded,
+            },
+            Transfer {
+                from: Endpoint::Stage(1),
+                to: Endpoint::Stage(2),
+                medium: Medium::Dram,
+                bytes_per_sec: ui,
+            },
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(3),
+                medium: Medium::IpSram,
+                bytes_per_sec: 256.0e3 / 8.0,
+            },
+            Transfer {
+                from: Endpoint::Stage(2),
+                to: Endpoint::Sink,
+                medium: Medium::Direct,
+                bytes_per_sec: decoded + ui,
+            },
+        ],
+    }
+}
+
+/// Google Lens (Table I row 5): live camera with on-device vision
+/// inference.
+pub fn google_lens() -> Dataflow {
+    let camera = FrameFormat::fhd_yuv420().frame_bytes() * 30.0;
+    let features = 10.0e6; // feature maps between stages
+    Dataflow {
+        name: "Google Lens".into(),
+        stages: vec![
+            Stage {
+                name: "isp".into(),
+                ip: Ip::Isp,
+                ops_per_sec: camera * 4.0,
+            },
+            Stage {
+                name: "vision dsp".into(),
+                ip: Ip::Dsp,
+                ops_per_sec: 8.0e9, // CNN-ish inference load
+            },
+            Stage {
+                name: "ipu features".into(),
+                ip: Ip::Ipu,
+                ops_per_sec: 12.0e9,
+            },
+            Stage {
+                name: "overlay".into(),
+                ip: Ip::Display,
+                ops_per_sec: 0.1e9,
+            },
+            Stage {
+                name: "app".into(),
+                ip: Ip::Ap,
+                ops_per_sec: 1.0e9,
+            },
+        ],
+        transfers: vec![
+            Transfer {
+                from: Endpoint::Source,
+                to: Endpoint::Stage(0),
+                medium: Medium::Direct,
+                bytes_per_sec: camera,
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(2),
+                medium: Medium::Dram,
+                bytes_per_sec: camera,
+            },
+            Transfer {
+                from: Endpoint::Stage(2),
+                to: Endpoint::Stage(1),
+                medium: Medium::Dram,
+                bytes_per_sec: features,
+            },
+            Transfer {
+                from: Endpoint::Stage(1),
+                to: Endpoint::Stage(4),
+                medium: Medium::Dram,
+                bytes_per_sec: 1.0e6, // results
+            },
+            Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(3),
+                medium: Medium::Dram,
+                bytes_per_sec: camera,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gables::derive_inputs;
+    use crate::table1::table1_usecases;
+
+    fn flows_with_rows() -> Vec<(Dataflow, &'static str)> {
+        vec![
+            (hdr_plus(), "HDR+"),
+            (
+                video_capture(FrameFormat::uhd_4k_yuv420(), 30.0),
+                "Videocapture",
+            ),
+            (
+                video_capture_hfr(FrameFormat::uhd_4k_yuv420(), 240.0, 5),
+                "Videocapture (HFR)",
+            ),
+            (video_playback(), "Videoplayback UI"),
+            (google_lens(), "Google Lens"),
+        ]
+    }
+
+    #[test]
+    fn all_camera_flows_validate() {
+        for (flow, _) in flows_with_rows() {
+            flow.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn dataflow_ips_match_table1_rows() {
+        let usecases = table1_usecases();
+        for (flow, row_name) in flows_with_rows() {
+            let row = usecases
+                .iter()
+                .find(|u| u.name() == row_name)
+                .unwrap_or_else(|| panic!("no Table I row {row_name}"));
+            let flow_ips: Vec<Ip> = flow.active_ips();
+            let row_ips: Vec<Ip> = row.active_ips().collect();
+            assert_eq!(flow_ips, row_ips, "{row_name} dataflow vs Table I");
+        }
+    }
+
+    #[test]
+    fn hfr_4k240_dataflow_approaches_the_bandwidth_wall() {
+        let flow = video_capture_hfr(FrameFormat::uhd_4k_yuv420(), 240.0, 5);
+        // With per-frame noise-reduction re-reads, standing traffic is
+        // many GB/s — the Section II-B story.
+        assert!(
+            flow.dram_bytes_per_sec() / 1e9 > 20.0,
+            "only {:.1} GB/s",
+            flow.dram_bytes_per_sec() / 1e9
+        );
+    }
+
+    #[test]
+    fn capture_30fps_is_far_from_the_wall() {
+        let flow = video_capture(FrameFormat::uhd_4k_yuv420(), 30.0);
+        assert!(flow.dram_bytes_per_sec() / 1e9 < 5.0);
+    }
+
+    #[test]
+    fn every_flow_yields_gables_inputs() {
+        for (flow, name) in flows_with_rows() {
+            let inputs = derive_inputs(&flow).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(inputs.ips[0], Ip::Ap, "{name}: AP must be IP[0]");
+            let sum: f64 = inputs
+                .workload
+                .assignments()
+                .iter()
+                .map(|a| a.fraction().value())
+                .sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{name}");
+        }
+    }
+
+    #[test]
+    fn ipu_dominates_hdr_plus_compute() {
+        let inputs = derive_inputs(&hdr_plus()).unwrap();
+        let ipu = inputs.ips.iter().position(|&ip| ip == Ip::Ipu).unwrap();
+        let f = inputs.workload.assignment(ipu).unwrap().fraction().value();
+        assert!(f > 0.5, "IPU fraction {f}");
+    }
+}

@@ -1,0 +1,440 @@
+//! Usecase dataflow graphs (Figure 4).
+//!
+//! A usecase is "best represented as application-level data flows from
+//! sensors to the processing engines" (Section II-B). A [`Dataflow`] is a
+//! graph of processing stages, each bound to an IP with a standing compute
+//! demand, connected by transfers that name the *medium* the data crosses.
+//! Transfers staged through DRAM cost a write plus a read — the base
+//! Gables assumption that "all substantial inter-IP communication occurs
+//! via DRAM memory".
+
+use core::fmt;
+use std::collections::BTreeMap;
+
+use crate::ip::Ip;
+
+/// Where a transfer's data is staged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Medium {
+    /// Insecure system DRAM.
+    Dram,
+    /// Secure (DRM-protected) DRAM carve-out.
+    SecureDram,
+    /// A DRAM buffer DMA-ed into an IP-local SRAM (Figure 4's audio path).
+    /// The standing traffic cost equals plain DRAM staging — write by the
+    /// producer, DMA read by the consumer; what the SRAM buys is *reuse*
+    /// and latency, which the Gables SRAM extension models.
+    IpSram,
+    /// A direct on-chip wire or doorbell (no memory staging).
+    Direct,
+}
+
+impl Medium {
+    /// How many DRAM crossings one transferred byte costs: a producer
+    /// write plus a consumer read for every memory-staged medium, none
+    /// for direct wires.
+    pub fn dram_crossings(self) -> f64 {
+        match self {
+            Medium::Dram | Medium::SecureDram | Medium::IpSram => 2.0,
+            Medium::Direct => 0.0,
+        }
+    }
+}
+
+/// One endpoint of a transfer: a pipeline stage, or the world outside the
+/// SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Index into [`Dataflow::stages`].
+    Stage(usize),
+    /// Data entering from outside the SoC (antenna, sensor).
+    Source,
+    /// Data leaving the SoC (panel, speaker).
+    Sink,
+}
+
+/// A processing stage bound to an IP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Stage name (e.g. `"video decode"`).
+    pub name: String,
+    /// The IP that runs it.
+    pub ip: Ip,
+    /// Standing compute demand, operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// A standing transfer between endpoints at a given rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// Producer endpoint.
+    pub from: Endpoint,
+    /// Consumer endpoint.
+    pub to: Endpoint,
+    /// The staging medium.
+    pub medium: Medium,
+    /// Transfer rate, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+/// A usecase dataflow graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataflow {
+    /// Usecase name.
+    pub name: String,
+    /// Processing stages.
+    pub stages: Vec<Stage>,
+    /// Standing transfers.
+    pub transfers: Vec<Transfer>,
+}
+
+/// Per-IP standing demands extracted from a dataflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpDemand {
+    /// Compute demand, ops/second (summed over the IP's stages).
+    pub ops_per_sec: f64,
+    /// DRAM traffic attributable to the IP, bytes/second (its writes to
+    /// and reads from staged buffers).
+    pub dram_bytes_per_sec: f64,
+}
+
+impl Dataflow {
+    /// Validates endpoint indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first dangling endpoint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, t) in self.transfers.iter().enumerate() {
+            for ep in [t.from, t.to] {
+                if let Endpoint::Stage(s) = ep {
+                    if s >= self.stages.len() {
+                        return Err(format!(
+                            "transfer {i} references stage {s} but there are only {}",
+                            self.stages.len()
+                        ));
+                    }
+                }
+            }
+            if !t.bytes_per_sec.is_finite() || t.bytes_per_sec < 0.0 {
+                return Err(format!("transfer {i} has invalid rate {}", t.bytes_per_sec));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total standing DRAM traffic, bytes per second (each staged transfer
+    /// costs its medium's crossings).
+    pub fn dram_bytes_per_sec(&self) -> f64 {
+        self.transfers
+            .iter()
+            .map(|t| t.bytes_per_sec * t.medium.dram_crossings())
+            .sum()
+    }
+
+    /// The set of IPs exercised by this dataflow.
+    pub fn active_ips(&self) -> Vec<Ip> {
+        let mut ips: Vec<Ip> = self.stages.iter().map(|s| s.ip).collect();
+        ips.sort();
+        ips.dedup();
+        ips
+    }
+
+    /// Per-IP standing demands: compute from the stages, memory from the
+    /// transfers each IP produces or consumes through a staged medium.
+    pub fn ip_demands(&self) -> BTreeMap<Ip, IpDemand> {
+        let mut out: BTreeMap<Ip, IpDemand> = BTreeMap::new();
+        for s in &self.stages {
+            let d = out.entry(s.ip).or_insert(IpDemand {
+                ops_per_sec: 0.0,
+                dram_bytes_per_sec: 0.0,
+            });
+            d.ops_per_sec += s.ops_per_sec;
+        }
+        for t in &self.transfers {
+            if t.medium == Medium::Direct {
+                continue;
+            }
+            // Writer pays one crossing, reader pays one. External
+            // endpoints (source/sink) pay nothing — their side of the
+            // buffer is filled/drained by the named stage itself.
+            if let Endpoint::Stage(s) = t.from {
+                if let Some(d) = out.get_mut(&self.stages[s].ip) {
+                    d.dram_bytes_per_sec += t.bytes_per_sec;
+                }
+            }
+            if let Endpoint::Stage(s) = t.to {
+                if let Some(d) = out.get_mut(&self.stages[s].ip) {
+                    d.dram_bytes_per_sec += t.bytes_per_sec;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} stages, {} transfers, {:.3} GB/s standing DRAM traffic",
+            self.name,
+            self.stages.len(),
+            self.transfers.len(),
+            self.dram_bytes_per_sec() / 1e9
+        )?;
+        for t in &self.transfers {
+            let name = |e: &Endpoint| match e {
+                Endpoint::Stage(s) => self.stages[*s].name.clone(),
+                Endpoint::Source => "<source>".into(),
+                Endpoint::Sink => "<sink>".into(),
+            };
+            writeln!(
+                f,
+                "  {} -> {} [{:?}] {:.3} MB/s",
+                name(&t.from),
+                name(&t.to),
+                t.medium,
+                t.bytes_per_sec / 1e6
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The Figure 4 usecase: streaming internet content over WiFi.
+///
+/// IP packets arrive over WiFi into an insecure buffer; the AP separates
+/// audio/video; the crypto block decrypts into secure memory; the video
+/// decoder produces frame buffers consumed by the display controller; the
+/// audio DSP DMAs its stream into SRAM and drives the speaker.
+///
+/// Rates model a 1080p60 premium stream: 20 Mb/s video + 256 kb/s audio
+/// elementary streams, 1920×1080 YUV420 at 60 FPS decoded output
+/// (~186.6 MB/s).
+pub fn streaming_wifi() -> Dataflow {
+    let video_es = 20.0e6 / 8.0; // 20 Mb/s video elementary stream
+    let audio_es = 256.0e3 / 8.0; // 256 kb/s audio
+    let decoded = 1920.0 * 1080.0 * 1.5 * 60.0; // YUV420 frames
+    let pcm = 48_000.0 * 2.0 * 2.0; // 48 kHz stereo 16-bit
+
+    let stages = vec![
+        Stage {
+            name: "wifi rx".into(),
+            ip: Ip::Modem,
+            ops_per_sec: 0.5e9,
+        },
+        Stage {
+            name: "demux".into(),
+            ip: Ip::Ap,
+            ops_per_sec: 0.3e9,
+        },
+        Stage {
+            name: "decrypt".into(),
+            ip: Ip::Crypto,
+            ops_per_sec: 0.2e9,
+        },
+        Stage {
+            name: "video decode".into(),
+            ip: Ip::Vdec,
+            ops_per_sec: 2.0e9,
+        },
+        Stage {
+            name: "audio decode".into(),
+            ip: Ip::AudioDsp,
+            ops_per_sec: 0.05e9,
+        },
+        Stage {
+            name: "scan-out".into(),
+            ip: Ip::Display,
+            ops_per_sec: 0.1e9,
+        },
+    ];
+    let transfers = vec![
+        Transfer {
+            from: Endpoint::Source,
+            to: Endpoint::Stage(0),
+            medium: Medium::Direct,
+            bytes_per_sec: video_es + audio_es,
+        },
+        // Packets land in an insecure user/application buffer.
+        Transfer {
+            from: Endpoint::Stage(0),
+            to: Endpoint::Stage(1),
+            medium: Medium::Dram,
+            bytes_per_sec: video_es + audio_es,
+        },
+        // Demuxed streams to the crypto block.
+        Transfer {
+            from: Endpoint::Stage(1),
+            to: Endpoint::Stage(2),
+            medium: Medium::Dram,
+            bytes_per_sec: video_es + audio_es,
+        },
+        // Decrypted video into secure memory for the decoder.
+        Transfer {
+            from: Endpoint::Stage(2),
+            to: Endpoint::Stage(3),
+            medium: Medium::SecureDram,
+            bytes_per_sec: video_es,
+        },
+        // Decrypted audio; the DSP DMAs it into its SRAM.
+        Transfer {
+            from: Endpoint::Stage(2),
+            to: Endpoint::Stage(4),
+            medium: Medium::IpSram,
+            bytes_per_sec: audio_es,
+        },
+        // Decoded frame buffers for the display controller.
+        Transfer {
+            from: Endpoint::Stage(3),
+            to: Endpoint::Stage(5),
+            medium: Medium::Dram,
+            bytes_per_sec: decoded,
+        },
+        Transfer {
+            from: Endpoint::Stage(5),
+            to: Endpoint::Sink,
+            medium: Medium::Direct,
+            bytes_per_sec: decoded,
+        },
+        Transfer {
+            from: Endpoint::Stage(4),
+            to: Endpoint::Sink,
+            medium: Medium::Direct,
+            bytes_per_sec: pcm,
+        },
+    ];
+    Dataflow {
+        name: "Streaming internet content over WiFi".into(),
+        stages,
+        transfers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_wifi_validates() {
+        let flow = streaming_wifi();
+        flow.validate().unwrap();
+        assert_eq!(flow.stages.len(), 6);
+    }
+
+    #[test]
+    fn decoded_video_dominates_dram_traffic() {
+        let flow = streaming_wifi();
+        let total = flow.dram_bytes_per_sec();
+        // Frame buffers: ~186.6 MB/s × 2 crossings ≈ 373 MB/s of the total.
+        let frames = 1920.0 * 1080.0 * 1.5 * 60.0 * 2.0;
+        assert!(frames / total > 0.95, "frames are {:.0}% of traffic", 100.0 * frames / total);
+        // And the whole usecase is far below a 30 GB/s SoC — streaming is
+        // not the bandwidth-killer; HFR camera is (see `video`).
+        assert!(total / 1e9 < 1.0);
+    }
+
+    #[test]
+    fn active_ips_match_figure_4() {
+        let flow = streaming_wifi();
+        let ips = flow.active_ips();
+        for ip in [Ip::Modem, Ip::Ap, Ip::Crypto, Ip::Vdec, Ip::AudioDsp, Ip::Display] {
+            assert!(ips.contains(&ip), "{ip} missing");
+        }
+    }
+
+    #[test]
+    fn medium_crossing_costs() {
+        assert_eq!(Medium::Dram.dram_crossings(), 2.0);
+        assert_eq!(Medium::SecureDram.dram_crossings(), 2.0);
+        assert_eq!(Medium::IpSram.dram_crossings(), 2.0);
+        assert_eq!(Medium::Direct.dram_crossings(), 0.0);
+    }
+
+    #[test]
+    fn ip_demands_attribute_reads_and_writes() {
+        let flow = Dataflow {
+            name: "t".into(),
+            stages: vec![
+                Stage {
+                    name: "a".into(),
+                    ip: Ip::Isp,
+                    ops_per_sec: 1.0e9,
+                },
+                Stage {
+                    name: "b".into(),
+                    ip: Ip::Venc,
+                    ops_per_sec: 2.0e9,
+                },
+            ],
+            transfers: vec![Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(1),
+                medium: Medium::Dram,
+                bytes_per_sec: 100.0e6,
+            }],
+        };
+        let demands = flow.ip_demands();
+        assert_eq!(demands[&Ip::Isp].dram_bytes_per_sec, 100.0e6); // write
+        assert_eq!(demands[&Ip::Venc].dram_bytes_per_sec, 100.0e6); // read
+        assert_eq!(demands[&Ip::Venc].ops_per_sec, 2.0e9);
+        // Total crossings match the graph-level accounting.
+        let sum: f64 = demands.values().map(|d| d.dram_bytes_per_sec).sum();
+        assert_eq!(sum, flow.dram_bytes_per_sec());
+    }
+
+    #[test]
+    fn sram_dma_charges_the_consumer_one_read() {
+        let flow = Dataflow {
+            name: "t".into(),
+            stages: vec![
+                Stage {
+                    name: "crypto".into(),
+                    ip: Ip::Crypto,
+                    ops_per_sec: 1.0,
+                },
+                Stage {
+                    name: "audio".into(),
+                    ip: Ip::AudioDsp,
+                    ops_per_sec: 1.0,
+                },
+            ],
+            transfers: vec![Transfer {
+                from: Endpoint::Stage(0),
+                to: Endpoint::Stage(1),
+                medium: Medium::IpSram,
+                bytes_per_sec: 1000.0,
+            }],
+        };
+        let demands = flow.ip_demands();
+        // Producer writes the staged buffer; the consumer's DMA reads it.
+        assert_eq!(demands[&Ip::Crypto].dram_bytes_per_sec, 1000.0);
+        assert_eq!(demands[&Ip::AudioDsp].dram_bytes_per_sec, 1000.0);
+        let sum: f64 = demands.values().map(|d| d.dram_bytes_per_sec).sum();
+        assert_eq!(sum, flow.dram_bytes_per_sec());
+    }
+
+    #[test]
+    fn validate_catches_dangling_endpoints_and_bad_rates() {
+        let mut flow = streaming_wifi();
+        flow.transfers.push(Transfer {
+            from: Endpoint::Stage(99),
+            to: Endpoint::Sink,
+            medium: Medium::Dram,
+            bytes_per_sec: 1.0,
+        });
+        assert!(flow.validate().is_err());
+
+        let mut flow = streaming_wifi();
+        flow.transfers[0].bytes_per_sec = f64::NAN;
+        assert!(flow.validate().is_err());
+    }
+
+    #[test]
+    fn display_renders_flow() {
+        let text = streaming_wifi().to_string();
+        assert!(text.contains("video decode -> scan-out"));
+        assert!(text.contains("<source>"));
+    }
+}

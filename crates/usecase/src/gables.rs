@@ -1,0 +1,204 @@
+//! Deriving Gables software inputs (`fi`, `Ii`) from a usecase dataflow.
+//!
+//! Gables models a usecase with a work fraction and an operational
+//! intensity per IP (Table II). Given a [`Dataflow`]'s standing per-IP
+//! demands, the fraction is the IP's share of total ops and the intensity
+//! is its ops per DRAM byte — exactly the quantities the paper says an
+//! architect must estimate for important usecases (conjectures 3 and 4).
+
+use std::collections::BTreeMap;
+
+use gables_model::{GablesError, Workload};
+
+use crate::flows::Dataflow;
+use crate::ip::Ip;
+
+/// An intensity assigned to IPs that touch no DRAM at all (pure on-chip
+/// processing); effectively "off the slanted roofline".
+pub const COMPUTE_ONLY_INTENSITY: f64 = 1.0e6;
+
+/// The derived Gables software inputs for one usecase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GablesInputs {
+    /// IPs in workload order (index `i` in the Gables model).
+    pub ips: Vec<Ip>,
+    /// The derived workload (fractions + intensities, index-aligned with
+    /// [`ips`](Self::ips)).
+    pub workload: Workload,
+    /// Total compute demand across the usecase, ops/second.
+    pub total_ops_per_sec: f64,
+}
+
+/// Derives Gables `fi`/`Ii` inputs from a dataflow's standing demands.
+///
+/// The IP order is sorted with [`Ip::Ap`] first when present (Gables
+/// reserves index 0 for the CPU complex), then the remaining IPs in enum
+/// order.
+///
+/// # Errors
+///
+/// Returns [`GablesError`] if the dataflow has no compute demand at all.
+///
+/// # Examples
+///
+/// ```
+/// use gables_usecase::flows::streaming_wifi;
+/// use gables_usecase::gables::derive_inputs;
+///
+/// let inputs = derive_inputs(&streaming_wifi())?;
+/// // Video decode dominates the compute in this usecase.
+/// let vdec = inputs.ips.iter().position(|ip| *ip == gables_usecase::Ip::Vdec).unwrap();
+/// let f = inputs.workload.assignment(vdec)?.fraction().value();
+/// assert!(f > 0.5);
+/// # Ok::<(), gables_model::GablesError>(())
+/// ```
+pub fn derive_inputs(flow: &Dataflow) -> Result<GablesInputs, GablesError> {
+    let demands = flow.ip_demands();
+    let total_ops: f64 = demands.values().map(|d| d.ops_per_sec).sum();
+    if total_ops <= 0.0 {
+        return Err(GablesError::invalid_parameter(
+            "total ops",
+            total_ops,
+            "dataflow has no compute demand",
+        ));
+    }
+
+    let mut ips: Vec<Ip> = demands.keys().copied().collect();
+    ips.sort_by_key(|ip| (*ip != Ip::Ap, *ip));
+
+    let mut builder = Workload::builder();
+    let mut remaining = 1.0;
+    for (k, ip) in ips.iter().enumerate() {
+        let d = &demands[ip];
+        // Assign the exact residual to the final IP so fractions sum to 1
+        // despite rounding.
+        let f = if k == ips.len() - 1 {
+            remaining
+        } else {
+            d.ops_per_sec / total_ops
+        };
+        remaining -= f;
+        let intensity = if d.dram_bytes_per_sec > 0.0 {
+            d.ops_per_sec / d.dram_bytes_per_sec
+        } else {
+            COMPUTE_ONLY_INTENSITY
+        };
+        builder.work(f.clamp(0.0, 1.0), intensity)?;
+    }
+    Ok(GablesInputs {
+        ips,
+        workload: builder.build()?,
+        total_ops_per_sec: total_ops,
+    })
+}
+
+/// A per-IP summary row for reporting: the derived `fi` and `Ii` next to
+/// the raw demands they came from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputRow {
+    /// The IP.
+    pub ip: Ip,
+    /// Derived work fraction.
+    pub fraction: f64,
+    /// Derived operational intensity, ops/byte.
+    pub intensity: f64,
+    /// Raw compute demand, Gops/s.
+    pub gops_per_sec: f64,
+    /// Raw DRAM demand, GB/s.
+    pub dram_gbps: f64,
+}
+
+/// Tabulates the derived inputs for display.
+pub fn input_rows(flow: &Dataflow, inputs: &GablesInputs) -> Vec<InputRow> {
+    let demands: BTreeMap<Ip, _> = flow.ip_demands();
+    inputs
+        .ips
+        .iter()
+        .enumerate()
+        .map(|(i, ip)| {
+            let a = inputs.workload.assignment(i).expect("aligned");
+            let d = &demands[ip];
+            InputRow {
+                ip: *ip,
+                fraction: a.fraction().value(),
+                intensity: a.intensity().value(),
+                gops_per_sec: d.ops_per_sec / 1e9,
+                dram_gbps: d.dram_bytes_per_sec / 1e9,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flows::streaming_wifi;
+
+    #[test]
+    fn fractions_sum_to_one_and_align() {
+        let flow = streaming_wifi();
+        let inputs = derive_inputs(&flow).unwrap();
+        assert_eq!(inputs.ips.len(), inputs.workload.ip_count());
+        let sum: f64 = inputs
+            .workload
+            .assignments()
+            .iter()
+            .map(|a| a.fraction().value())
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ap_is_index_zero() {
+        let inputs = derive_inputs(&streaming_wifi()).unwrap();
+        assert_eq!(inputs.ips[0], Ip::Ap);
+    }
+
+    #[test]
+    fn fractions_proportional_to_ops() {
+        let flow = streaming_wifi();
+        let inputs = derive_inputs(&flow).unwrap();
+        let demands = flow.ip_demands();
+        for (i, ip) in inputs.ips.iter().enumerate() {
+            let expect = demands[ip].ops_per_sec / inputs.total_ops_per_sec;
+            let got = inputs.workload.assignment(i).unwrap().fraction().value();
+            assert!((got - expect).abs() < 1e-9, "{ip}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn intensities_are_ops_per_dram_byte() {
+        let flow = streaming_wifi();
+        let inputs = derive_inputs(&flow).unwrap();
+        let demands = flow.ip_demands();
+        for (i, ip) in inputs.ips.iter().enumerate() {
+            let d = &demands[ip];
+            if d.dram_bytes_per_sec > 0.0 {
+                let expect = d.ops_per_sec / d.dram_bytes_per_sec;
+                let got = inputs.workload.assignment(i).unwrap().intensity().value();
+                assert!((got / expect - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_match_workload() {
+        let flow = streaming_wifi();
+        let inputs = derive_inputs(&flow).unwrap();
+        let rows = input_rows(&flow, &inputs);
+        assert_eq!(rows.len(), inputs.ips.len());
+        let total_f: f64 = rows.iter().map(|r| r.fraction).sum();
+        assert!((total_f - 1.0).abs() < 1e-9);
+        assert!(rows.iter().any(|r| r.ip == Ip::Vdec && r.fraction > 0.5));
+    }
+
+    #[test]
+    fn empty_compute_is_rejected() {
+        let flow = Dataflow {
+            name: "idle".into(),
+            stages: vec![],
+            transfers: vec![],
+        };
+        assert!(derive_inputs(&flow).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! The IP-block vocabulary of a mobile SoC (Figure 3 / Table I).
+
+use core::fmt;
+
+/// The IP blocks named by the paper's Table I plus the additional engines
+/// of Figures 3–4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Ip {
+    /// Application processor (the CPU complex).
+    Ap,
+    /// Display controller.
+    Display,
+    /// 2D graphics/scaler block (G2DS).
+    G2ds,
+    /// Graphics processing unit.
+    Gpu,
+    /// Camera image signal processor.
+    Isp,
+    /// JPEG encoder.
+    Jpeg,
+    /// Image processing unit (e.g. Pixel Visual Core for HDR+).
+    Ipu,
+    /// Video decoder.
+    Vdec,
+    /// Video encoder.
+    Venc,
+    /// Digital signal processor (e.g. Hexagon).
+    Dsp,
+    /// Audio DSP front end.
+    AudioDsp,
+    /// Cellular/WiFi modem.
+    Modem,
+    /// Crypto/DRM engine.
+    Crypto,
+    /// GPS/WiFi/Bluetooth connectivity block.
+    Connectivity,
+}
+
+impl Ip {
+    /// The ten Table I columns, in the paper's order.
+    pub const TABLE1_COLUMNS: [Ip; 10] = [
+        Ip::Ap,
+        Ip::Display,
+        Ip::G2ds,
+        Ip::Gpu,
+        Ip::Isp,
+        Ip::Jpeg,
+        Ip::Ipu,
+        Ip::Vdec,
+        Ip::Venc,
+        Ip::Dsp,
+    ];
+
+    /// The short label used in Table I's header.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Ip::Ap => "AP",
+            Ip::Display => "Display",
+            Ip::G2ds => "G2DS",
+            Ip::Gpu => "GPU",
+            Ip::Isp => "ISP",
+            Ip::Jpeg => "JPEG",
+            Ip::Ipu => "IPU",
+            Ip::Vdec => "VDEC",
+            Ip::Venc => "VENC",
+            Ip::Dsp => "DSP",
+            Ip::AudioDsp => "AudioDSP",
+            Ip::Modem => "Modem",
+            Ip::Crypto => "Crypto",
+            Ip::Connectivity => "GPS/WiFi/BT",
+        }
+    }
+}
+
+impl fmt::Display for Ip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_ten_columns_in_paper_order() {
+        assert_eq!(Ip::TABLE1_COLUMNS.len(), 10);
+        assert_eq!(Ip::TABLE1_COLUMNS[0], Ip::Ap);
+        assert_eq!(Ip::TABLE1_COLUMNS[9], Ip::Dsp);
+    }
+
+    #[test]
+    fn short_names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = Ip::TABLE1_COLUMNS.iter().map(|ip| ip.short_name()).collect();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn display_matches_short_name() {
+        assert_eq!(Ip::Gpu.to_string(), "GPU");
+        assert_eq!(Ip::Connectivity.to_string(), "GPS/WiFi/BT");
+    }
+}

@@ -1,0 +1,34 @@
+//! # gables-usecase
+//!
+//! Mobile-SoC application usecases as data, reproducing the software side
+//! of the Gables paper's Section II: the Table I usecase/IP concurrency
+//! matrix, the Figure 4 WiFi-streaming dataflow, the camera-pipeline
+//! bandwidth arithmetic (4K240 ≈ 12 MB frames), and the derivation of
+//! Gables `fi`/`Ii` inputs from a dataflow's standing demands.
+//!
+//! ## Example
+//!
+//! ```
+//! use gables_usecase::{flows::streaming_wifi, gables::derive_inputs};
+//!
+//! let flow = streaming_wifi();
+//! let inputs = derive_inputs(&flow)?;
+//! assert_eq!(inputs.ips[0], gables_usecase::Ip::Ap);
+//! # Ok::<(), gables_model::GablesError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod camera_flows;
+pub mod flows;
+pub mod gables;
+pub mod ip;
+pub mod table1;
+pub mod video;
+
+pub use flows::{Dataflow, Endpoint, Medium, Stage, Transfer};
+pub use gables::{derive_inputs, GablesInputs};
+pub use ip::Ip;
+pub use table1::{render_table1, table1_usecases, Usecase};
+pub use video::{CameraPipeline, ColorEncoding, FrameFormat, PipelineStage};

@@ -1,0 +1,289 @@
+//! Frame formats and camera-pipeline bandwidth arithmetic (Section II-B).
+//!
+//! The paper's motivating calculation: a 4K frame in YUV420 (6 bytes per 4
+//! pixels) is ~12 MB; recording at 240 FPS while the ISP runs wavelet and
+//! temporal noise reduction over as many as five reference frames moves
+//! frames through DRAM fast enough to exhaust a mobile SoC's ~30 GB/s.
+
+use core::fmt;
+
+/// Pixel encodings and their storage cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColorEncoding {
+    /// YUV 4:2:0 — 6 bytes per 4 pixels (1.5 bytes/pixel), the paper's
+    /// example encoding.
+    Yuv420,
+    /// YUV 4:2:2 — 2 bytes/pixel.
+    Yuv422,
+    /// 8-bit RGBA — 4 bytes/pixel.
+    Rgba8888,
+    /// 10-bit packed RAW Bayer — 1.25 bytes/pixel.
+    Raw10,
+}
+
+impl ColorEncoding {
+    /// Storage cost in bytes per pixel.
+    pub fn bytes_per_pixel(self) -> f64 {
+        match self {
+            ColorEncoding::Yuv420 => 1.5,
+            ColorEncoding::Yuv422 => 2.0,
+            ColorEncoding::Rgba8888 => 4.0,
+            ColorEncoding::Raw10 => 1.25,
+        }
+    }
+}
+
+/// A video frame format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameFormat {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Pixel encoding.
+    pub encoding: ColorEncoding,
+}
+
+impl FrameFormat {
+    /// The paper's 4K example: 3840×2160 YUV420.
+    pub fn uhd_4k_yuv420() -> Self {
+        Self {
+            width: 3840,
+            height: 2160,
+            encoding: ColorEncoding::Yuv420,
+        }
+    }
+
+    /// 1080p YUV420.
+    pub fn fhd_yuv420() -> Self {
+        Self {
+            width: 1920,
+            height: 1080,
+            encoding: ColorEncoding::Yuv420,
+        }
+    }
+
+    /// Frame size in bytes.
+    pub fn frame_bytes(&self) -> f64 {
+        f64::from(self.width) * f64::from(self.height) * self.encoding.bytes_per_pixel()
+    }
+
+    /// Frame size in megabytes (10^6 bytes, as the paper quotes "12 MB").
+    pub fn frame_megabytes(&self) -> f64 {
+        self.frame_bytes() / 1.0e6
+    }
+}
+
+impl fmt::Display for FrameFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} ({:.2} MB/frame)",
+            self.width,
+            self.height,
+            self.frame_megabytes()
+        )
+    }
+}
+
+/// One processing stage of a camera pipeline and how many times it moves
+/// each frame through DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStage {
+    /// Stage name (e.g. `"WNR"`, `"TNR"`).
+    pub name: String,
+    /// Full-frame reads from DRAM per frame processed.
+    pub frame_reads: f64,
+    /// Full-frame writes to DRAM per frame processed.
+    pub frame_writes: f64,
+}
+
+impl PipelineStage {
+    /// Wavelet noise reduction: read the frame, write the cleaned frame.
+    pub fn wnr() -> Self {
+        Self {
+            name: "WNR".into(),
+            frame_reads: 1.0,
+            frame_writes: 1.0,
+        }
+    }
+
+    /// Temporal noise reduction tracking `references` previous frames:
+    /// reads the new frame plus every reference, writes one output.
+    pub fn tnr(references: u32) -> Self {
+        Self {
+            name: format!("TNR({references} refs)"),
+            frame_reads: 1.0 + f64::from(references),
+            frame_writes: 1.0,
+        }
+    }
+
+    /// Video encode: reads the frame (compressed output is negligible
+    /// next to raw frames).
+    pub fn encode() -> Self {
+        Self {
+            name: "VENC".into(),
+            frame_reads: 1.0,
+            frame_writes: 0.0,
+        }
+    }
+
+    /// Display scan-out: reads the frame.
+    pub fn scanout() -> Self {
+        Self {
+            name: "Display".into(),
+            frame_reads: 1.0,
+            frame_writes: 0.0,
+        }
+    }
+
+    /// Sensor/ISP capture: writes the frame into DRAM.
+    pub fn capture() -> Self {
+        Self {
+            name: "ISP capture".into(),
+            frame_reads: 0.0,
+            frame_writes: 1.0,
+        }
+    }
+}
+
+/// A camera pipeline: frames of one format flowing through DRAM-staged
+/// stages at a target frame rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CameraPipeline {
+    /// The frame format.
+    pub format: FrameFormat,
+    /// Frames per second.
+    pub fps: f64,
+    /// The DRAM-staged stages.
+    pub stages: Vec<PipelineStage>,
+}
+
+impl CameraPipeline {
+    /// The paper's high-frame-rate recording example: 4K at 240 FPS with
+    /// capture, WNR, TNR over five reference frames, encode, and scan-out.
+    pub fn hfr_4k240() -> Self {
+        Self {
+            format: FrameFormat::uhd_4k_yuv420(),
+            fps: 240.0,
+            stages: vec![
+                PipelineStage::capture(),
+                PipelineStage::wnr(),
+                PipelineStage::tnr(5),
+                PipelineStage::encode(),
+                PipelineStage::scanout(),
+            ],
+        }
+    }
+
+    /// Total DRAM traffic in bytes per second: frame size × fps × total
+    /// frame movements across all stages.
+    pub fn dram_bytes_per_sec(&self) -> f64 {
+        let movements: f64 = self
+            .stages
+            .iter()
+            .map(|s| s.frame_reads + s.frame_writes)
+            .sum();
+        self.format.frame_bytes() * self.fps * movements
+    }
+
+    /// Total DRAM traffic in GB/s.
+    pub fn dram_gbps(&self) -> f64 {
+        self.dram_bytes_per_sec() / 1.0e9
+    }
+
+    /// Whether the pipeline's standing DRAM demand alone exceeds a SoC's
+    /// memory bandwidth (the Section II-B bottleneck argument).
+    pub fn saturates(&self, soc_bpeak_gbps: f64) -> bool {
+        self.dram_gbps() > soc_bpeak_gbps
+    }
+
+    /// The highest frame rate the given bandwidth could sustain for this
+    /// pipeline.
+    pub fn max_fps(&self, soc_bpeak_gbps: f64) -> f64 {
+        self.fps * soc_bpeak_gbps / self.dram_gbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frame_size_is_about_12_mb() {
+        let f = FrameFormat::uhd_4k_yuv420();
+        // 3840*2160*1.5 = 12,441,600 bytes ≈ 12 MB.
+        assert!((f.frame_bytes() - 12_441_600.0).abs() < 1.0);
+        assert!((f.frame_megabytes() - 12.44).abs() < 0.01);
+    }
+
+    #[test]
+    fn yuv420_is_six_bytes_per_four_pixels() {
+        assert!((ColorEncoding::Yuv420.bytes_per_pixel() - 6.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hfr_4k240_saturates_a_30_gbps_soc() {
+        // The paper's claim: 4K240 with noise reduction and five reference
+        // frames "can cause the memory bandwidth of a mobile SoC (around
+        // 30 GB/s) to become the bottleneck".
+        let p = CameraPipeline::hfr_4k240();
+        assert!(
+            p.dram_gbps() > 30.0,
+            "pipeline only demands {:.1} GB/s",
+            p.dram_gbps()
+        );
+        assert!(p.saturates(30.0));
+        assert!(p.max_fps(30.0) < 240.0);
+    }
+
+    #[test]
+    fn fhd30_playback_is_comfortable() {
+        let p = CameraPipeline {
+            format: FrameFormat::fhd_yuv420(),
+            fps: 30.0,
+            stages: vec![PipelineStage::capture(), PipelineStage::scanout()],
+        };
+        assert!(!p.saturates(30.0));
+        assert!(p.dram_gbps() < 1.0);
+    }
+
+    #[test]
+    fn tnr_reads_scale_with_references() {
+        let t3 = PipelineStage::tnr(3);
+        let t5 = PipelineStage::tnr(5);
+        assert_eq!(t3.frame_reads, 4.0);
+        assert_eq!(t5.frame_reads, 6.0);
+        assert!(t5.name.contains('5'));
+    }
+
+    #[test]
+    fn traffic_arithmetic() {
+        let p = CameraPipeline {
+            format: FrameFormat {
+                width: 1000,
+                height: 1000,
+                encoding: ColorEncoding::Rgba8888,
+            },
+            fps: 10.0,
+            stages: vec![PipelineStage::wnr()], // 1 read + 1 write
+        };
+        // 4 MB frame × 10 fps × 2 movements = 80 MB/s.
+        assert!((p.dram_bytes_per_sec() - 80.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn max_fps_is_consistent_with_saturates() {
+        let p = CameraPipeline::hfr_4k240();
+        let cap = p.max_fps(30.0);
+        let feasible = CameraPipeline { fps: cap, ..p.clone() };
+        assert!((feasible.dram_gbps() - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats() {
+        let text = FrameFormat::uhd_4k_yuv420().to_string();
+        assert!(text.contains("3840x2160"));
+        assert!(text.contains("12.44 MB/frame"));
+    }
+}

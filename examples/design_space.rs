@@ -1,0 +1,100 @@
+//! Early-stage design-space exploration: the "which IPs and roughly how
+//! big?" question the paper says Gables exists to answer.
+//!
+//! Compares three candidate SoCs for one usecase, sweeps offload fraction
+//! and memory bandwidth, reads sensitivities, and contrasts with a
+//! MultiAmdahl area split.
+//!
+//! Run with `cargo run --example design_space`.
+
+use gables_model::analysis::{bpeak_sweep, offload_sweep, sensitivities, sufficient_bpeak};
+use gables_model::baselines::multiamdahl::{MultiAmdahl, PerfFn, Task};
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec, Workload};
+
+fn candidate(name: &str, a1: f64, bpeak: f64) -> Result<SocSpec, gables_model::GablesError> {
+    SocSpec::builder()
+        .ppeak(OpsPerSec::from_gops(20.0))
+        .bpeak(BytesPerSec::from_gbps(bpeak))
+        .cpu(format!("{name}-CPU"), BytesPerSec::from_gbps(12.0))
+        .accelerator(format!("{name}-NPU"), a1, BytesPerSec::from_gbps(16.0))?
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The usecase: 80% of work offloadable at 6 ops/byte, rest on the CPU
+    // at 8 ops/byte.
+    let usecase = Workload::two_ip(0.8, 8.0, 6.0)?;
+
+    println!("candidate comparison for the fixed usecase:");
+    println!(
+        "{:<28} {:>12} {:>16} {:>14}",
+        "candidate", "Pattainable", "bottleneck", "needed Bpeak"
+    );
+    for (name, a1, bpeak) in [
+        ("big-npu/thin-dram", 30.0, 12.0),
+        ("mid-npu/mid-dram", 12.0, 20.0),
+        ("small-npu/fat-dram", 6.0, 34.0),
+    ] {
+        let soc = candidate(name, a1, bpeak)?;
+        let eval = evaluate(&soc, &usecase)?;
+        let needed = sufficient_bpeak(&soc, &usecase)?;
+        println!(
+            "{name:<28} {:>9.1} G {:>16} {:>11.1} GB/s",
+            eval.attainable().to_gops(),
+            eval.bottleneck().to_string(),
+            needed.to_gbps()
+        );
+    }
+
+    // Offload sweep on the middle candidate: where does acceleration pay?
+    let soc = candidate("mid", 12.0, 20.0)?;
+    println!("\noffload sweep (I0 = I1 = 6):");
+    for p in offload_sweep(&soc, 6.0, 6.0, 8)? {
+        println!(
+            "  f = {:<5} normalized = {:>6.3} ({})",
+            p.f,
+            p.normalized,
+            p.evaluation.bottleneck()
+        );
+    }
+
+    // Bandwidth sweep: diminishing returns once the IPs bind.
+    println!("\nBpeak sweep:");
+    for p in bpeak_sweep(&soc, &usecase, 5.0, 80.0, 8)? {
+        println!(
+            "  Bpeak = {:>6.1} GB/s -> {:>7.2} Gops/s ({})",
+            p.bpeak_gbps,
+            p.evaluation.attainable().to_gops(),
+            p.evaluation.bottleneck()
+        );
+    }
+
+    // Sensitivities: which knob is worth a respin?
+    println!("\nelasticities of Pattainable (1.0 = proportional):");
+    for s in sensitivities(&soc, &usecase)? {
+        println!("  d ln P / d ln {:<6} = {:>6.3}", s.parameter, s.elasticity);
+    }
+
+    // MultiAmdahl's serialized, compute-only view of the same split, with
+    // Pollack's-rule cores: how much area each side earns.
+    let problem = MultiAmdahl::new(vec![
+        Task {
+            work_fraction: 0.2,
+            perf: PerfFn::Pollack { k: 20.0 },
+        },
+        Task {
+            work_fraction: 0.8,
+            perf: PerfFn::Pollack { k: 60.0 },
+        },
+    ])?;
+    let alloc = problem.optimize(10.0)?;
+    println!(
+        "\nMultiAmdahl area split (10 units): CPU {:.2}, NPU {:.2} -> serial P = {:.1} Gops/s",
+        alloc.allocations[0],
+        alloc.allocations[1],
+        1.0 / alloc.execution_time
+    );
+    println!("(MultiAmdahl sees no bandwidth walls; Gables above does — Section VI)");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Empirically derive rooflines for a simulated Snapdragon-835-like SoC
+//! (the paper's Section IV methodology) and feed them back into the
+//! analytical Gables model.
+//!
+//! Run with `cargo run --example empirical_roofline`.
+
+use gables_ert::{fit, sweep, SweepConfig};
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec, Workload};
+use gables_soc_sim::{presets, MixHarness, Simulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sim = Simulator::new(presets::snapdragon_835_like())?;
+    println!("{}", sim.soc());
+
+    // Empirical rooflines via the Algorithm-1 sweep (Figures 7 and 9).
+    let cpu = fit(&sweep(&sim, presets::CPU, &SweepConfig::cpu_default())?);
+    let gpu = fit(&sweep(&sim, presets::GPU, &SweepConfig::gpu_default())?);
+    let dsp = fit(&sweep(&sim, presets::DSP, &SweepConfig::cpu_default())?);
+    println!("CPU: {cpu}");
+    println!("GPU: {gpu}");
+    println!("DSP: {dsp}");
+    println!(
+        "GPU acceleration vs CPU: {:.1}x (paper: 349.6/7.5 = 46.6x)\n",
+        gpu.peak_gflops / cpu.peak_gflops
+    );
+
+    // Assemble the measured ceilings into a Gables hardware spec.
+    let spec = SocSpec::builder()
+        .ppeak(OpsPerSec::from_gops(cpu.peak_gflops))
+        .bpeak(BytesPerSec::from_gbps(25.5))
+        .cpu("CPU", BytesPerSec::from_gbps(cpu.dram_gbps))
+        .accelerator(
+            "GPU",
+            gpu.peak_gflops / cpu.peak_gflops,
+            BytesPerSec::from_gbps(gpu.dram_gbps),
+        )?
+        .accelerator(
+            "DSP",
+            dsp.peak_gflops / cpu.peak_gflops,
+            BytesPerSec::from_gbps(dsp.dram_gbps),
+        )?
+        .build()?;
+
+    // Model vs simulator on one mixing point (Section IV-C).
+    let harness = MixHarness::new(&sim, presets::CPU, presets::GPU);
+    for (f, intensity) in [(0.5, 8.0), (0.75, 64.0), (1.0, 1024.0)] {
+        let kernel = harness.kernel_at_intensity(intensity)?;
+        let measured = harness.run(kernel, f)?.flops_per_sec / 1e9;
+        let workload = Workload::builder()
+            .work(1.0 - f, intensity)?
+            .work(f, intensity)?
+            .idle()
+            .build()?;
+        let bound = evaluate(&spec, &workload)?.attainable().to_gops();
+        println!(
+            "f = {f:<5} I = {intensity:<6} simulator {measured:>8.2} GFLOPS/s   Gables bound {bound:>8.2}   ({:.0}% of bound)",
+            100.0 * measured / bound
+        );
+    }
+    Ok(())
+}

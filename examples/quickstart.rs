@@ -1,0 +1,46 @@
+//! Quickstart: model a two-IP SoC with Gables, find the bottleneck, and
+//! walk the paper's Figure 6 design iteration.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use gables_model::analysis::sufficient_bpeak;
+use gables_model::two_ip::TwoIpModel;
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Hardware: a 40 Gops/s CPU complex (6 GB/s port), a 5x accelerator
+    // (15 GB/s port), 10 GB/s of shared off-chip bandwidth.
+    let soc = SocSpec::builder()
+        .ppeak(OpsPerSec::from_gops(40.0))
+        .bpeak(BytesPerSec::from_gbps(10.0))
+        .cpu("CPU", BytesPerSec::from_gbps(6.0))
+        .accelerator("GPU", 5.0, BytesPerSec::from_gbps(15.0))?
+        .build()?;
+    println!("{soc}");
+
+    // Software usecase: 75% of the work offloaded to the GPU, but with
+    // poor data reuse there (0.1 ops/byte vs the CPU's 8).
+    let usecase = Workload::two_ip(0.75, 8.0, 0.1)?;
+    let eval = evaluate(&soc, &usecase)?;
+    println!("naive offload:\n{eval}");
+
+    // The model says memory binds. How much bandwidth would be enough?
+    let needed = sufficient_bpeak(&soc, &usecase)?;
+    println!(
+        "bandwidth sufficient for this usecase: {:.1} GB/s (vs {:.1} installed)\n",
+        needed.to_gbps(),
+        soc.bpeak().to_gbps()
+    );
+
+    // The paper's better answer (Figure 6d): fix the *reuse*, then trim
+    // bandwidth to what the balanced design needs.
+    let balanced = TwoIpModel::figure_6d();
+    let eval = balanced.evaluate()?;
+    println!("balanced design (Figure 6d):\n{eval}");
+    println!(
+        "balanced across all components: {}",
+        eval.is_balanced(1e-9)
+    );
+    Ok(())
+}

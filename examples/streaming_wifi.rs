@@ -1,0 +1,55 @@
+//! The Figure 4 usecase end to end: describe the WiFi-streaming dataflow,
+//! derive Gables software inputs from it, and evaluate the usecase on an
+//! SoC specification.
+//!
+//! Run with `cargo run --example streaming_wifi`.
+
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec};
+use gables_usecase::flows::streaming_wifi;
+use gables_usecase::gables::{derive_inputs, input_rows};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = streaming_wifi();
+    flow.validate().map_err(std::io::Error::other)?;
+    println!("{flow}");
+
+    let inputs = derive_inputs(&flow)?;
+    println!("derived Gables software inputs:");
+    for row in input_rows(&flow, &inputs) {
+        println!(
+            "  {:<12} f = {:.4}  I = {:>10.3} ops/byte",
+            row.ip.short_name(),
+            row.fraction,
+            row.intensity
+        );
+    }
+
+    // Hardware: a modest SoC; IP order must match the derived input order.
+    let mut b = SocSpec::builder();
+    b.ppeak(OpsPerSec::from_gops(10.0))
+        .bpeak(BytesPerSec::from_gbps(12.0));
+    for (i, ip) in inputs.ips.iter().enumerate() {
+        if i == 0 {
+            b.cpu(ip.short_name(), BytesPerSec::from_gbps(10.0));
+        } else {
+            // Fixed-function blocks: modest acceleration, narrow ports.
+            b.accelerator(ip.short_name(), 2.0, BytesPerSec::from_gbps(4.0))?;
+        }
+    }
+    let soc = b.build()?;
+
+    let eval = evaluate(&soc, &inputs.workload)?;
+    println!("\nusecase on the SoC:\n{eval}");
+    println!(
+        "standing demand {:.2} Gops/s vs attainable {:.2} Gops/s -> {}",
+        inputs.total_ops_per_sec / 1e9,
+        eval.attainable().to_gops(),
+        if inputs.total_ops_per_sec <= eval.attainable().value() {
+            "real-time feasible"
+        } else {
+            "NOT feasible in real time"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Umbrella package for the Gables reproduction workspace:
+//! re-exports the member crates for the integration tests and examples.
+
+pub use gables_ert as ert;
+pub use gables_market as market;
+pub use gables_model as model;
+pub use gables_plot as plot;
+pub use gables_soc_sim as soc_sim;
+pub use gables_usecase as usecase;

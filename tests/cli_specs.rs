@@ -1,0 +1,73 @@
+//! Integration: every shipped spec file under `specs/` parses, evaluates,
+//! and produces the values its comments promise, through the CLI command
+//! layer (the same path `gables eval` takes).
+
+use std::path::Path;
+
+fn read_spec(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn all_shipped_specs_evaluate() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("specs dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "gables") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            let out = gables_cli::eval_command(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            assert!(out.contains("Pattainable"), "{}", path.display());
+            count += 1;
+        }
+    }
+    assert!(count >= 6, "expected the shipped spec set, found {count}");
+}
+
+#[test]
+fn figure_specs_match_the_appendix() {
+    for (file, expected) in [
+        ("figure_6a.gables", "Pattainable = 40.0000 Gops/s"),
+        ("figure_6b.gables", "Pattainable = 1.3278 Gops/s"),
+        ("figure_6d.gables", "Pattainable = 160.0000 Gops/s"),
+    ] {
+        let out = gables_cli::eval_command(&read_spec(file)).expect("evaluates");
+        assert!(out.contains(expected), "{file}:\n{out}");
+    }
+}
+
+#[test]
+fn sram_spec_reports_the_extension() {
+    let out = gables_cli::eval_command(&read_spec("sram_extension.gables")).expect("evaluates");
+    assert!(out.contains("with memory-side SRAM"));
+    // Rescued from 1.33 to the 2 Gops/s IP bound.
+    assert!(out.contains("2.0000 Gops/s"), "{out}");
+}
+
+#[test]
+fn explore_spec_yields_a_frontier() {
+    let out =
+        gables_cli::frontier_command(&read_spec("explore_npu.gables")).expect("explores");
+    assert!(out.contains("60 candidates"));
+    assert!(out.contains("Pareto frontier"));
+}
+
+#[test]
+fn snapdragon_spec_is_cpu_bound_at_f_quarter() {
+    let out = gables_cli::eval_command(&read_spec("snapdragon_835.gables")).expect("evaluates");
+    // At I = 64 and f = 0.75, the CPU's 7.5/0.25 = 30 Gops/s binds.
+    assert!(out.contains("Pattainable = 30.0000 Gops/s"), "{out}");
+    assert!(out.contains("bottleneck: IP[0]"), "{out}");
+}
+
+#[test]
+fn whatif_on_shipped_spec_replays_the_walkthrough() {
+    let out = gables_cli::whatif_command(
+        &read_spec("figure_6b.gables"),
+        "set_bpeak 30; set_intensity 1 8; set_bpeak 20",
+    )
+    .expect("applies");
+    assert!(out.contains("160.0000 Gops/s"), "{out}");
+}

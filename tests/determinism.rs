@@ -1,0 +1,87 @@
+//! Integration: the whole stack is deterministic — identical inputs give
+//! bit-identical outputs across runs, which the figure-regeneration
+//! harness and EXPERIMENTS.md rely on.
+
+use gables_market::Market;
+use gables_model::explore::{explore, pareto_frontier, CandidateGrid, CostModel};
+use gables_model::Workload;
+use gables_soc_sim::cache_sim::{CacheConfig, CacheSim};
+use gables_soc_sim::trace::TracePattern;
+use gables_soc_sim::{presets, Job, MixHarness, RooflineKernel, Simulator};
+
+#[test]
+fn simulator_runs_are_deterministic() {
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid");
+    let jobs = vec![
+        Job {
+            ip: presets::CPU,
+            kernel: RooflineKernel::dram_resident(8),
+        },
+        Job {
+            ip: presets::GPU,
+            kernel: RooflineKernel {
+                pattern: gables_soc_sim::TrafficPattern::StreamCopy,
+                ..RooflineKernel::dram_resident(8)
+            },
+        },
+    ];
+    let a = sim.run(&jobs).expect("runs");
+    let b = sim.run(&jobs).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn mix_sweep_is_deterministic() {
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid");
+    let harness = MixHarness::new(&sim, presets::CPU, presets::GPU);
+    let a = harness.sweep(&[1.0, 64.0], 4).expect("sweeps");
+    let b = harness.sweep(&[1.0, 64.0], 4).expect("sweeps");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cache_simulation_is_deterministic() {
+    let cfg = CacheConfig {
+        capacity_bytes: 64 << 10,
+        line_bytes: 64,
+        associativity: 4,
+    };
+    let trace = TracePattern::RandomChase {
+        bytes: 1 << 20,
+        stride: 64,
+        count: 50_000,
+    }
+    .generate();
+    let mut a = CacheSim::new(cfg).expect("valid");
+    let mut b = CacheSim::new(cfg).expect("valid");
+    assert_eq!(a.run_trace(&trace), b.run_trace(&trace));
+}
+
+#[test]
+fn market_and_explorer_are_deterministic() {
+    assert_eq!(Market::generate(7), Market::generate(7));
+
+    let grid = CandidateGrid {
+        ppeak_gops: 40.0,
+        b0_gbps: 6.0,
+        accelerations: vec![1.0, 5.0],
+        b1_gbps: vec![5.0, 15.0],
+        bpeak_gbps: vec![10.0, 20.0],
+    };
+    let w = Workload::two_ip(0.75, 8.0, 8.0).expect("valid");
+    let a = explore(&grid, &CostModel::unit(), &w).expect("explores");
+    let b = explore(&grid, &CostModel::unit(), &w).expect("explores");
+    assert_eq!(a, b);
+    assert_eq!(pareto_frontier(&a), pareto_frontier(&b));
+}
+
+#[test]
+fn figure_regeneration_is_deterministic() {
+    // The pure-model reports are cheap enough to run twice and compare.
+    let a = gables_bench::figures::extensions::ext_serialized();
+    let b = gables_bench::figures::extensions::ext_serialized();
+    assert_eq!(a, b);
+    let a = gables_bench::figures::background::table1();
+    let b = gables_bench::figures::background::table1();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,167 @@
+//! Integration: the analytical Gables model against the execution-driven
+//! simulator — the reproduction's core validity argument.
+//!
+//! On a cacheless simulator SoC built *from* a Gables hardware spec, a
+//! single-IP run must land exactly on the IP's roofline, and concurrent
+//! runs must respect (and, without overheads, approach) the model's
+//! `Pattainable` bound.
+
+use gables_model::two_ip::TwoIpModel;
+use gables_model::{evaluate, Workload};
+use gables_soc_sim::{
+    presets, CoordinationOverhead, Job, MixHarness, RooflineKernel, Simulator,
+};
+
+fn sim_for(model: &TwoIpModel) -> Simulator {
+    let spec = model.soc().expect("valid spec");
+    Simulator::new(presets::from_gables_spec(&spec)).expect("valid sim config")
+}
+
+#[test]
+fn single_ip_run_sits_on_the_roofline() {
+    let model = TwoIpModel::figure_6a();
+    let sim = sim_for(&model);
+    for fpw in [1u32, 8, 48, 64, 256, 4096] {
+        let kernel = RooflineKernel::dram_resident(fpw);
+        let run = sim.run(&[Job { ip: 0, kernel }]).expect("runs");
+        let i = kernel.intensity();
+        // IP[0] roofline: min(B0 * I, Ppeak) = min(6*I, 40) Gops/s.
+        let expected = (6.0 * i).min(40.0);
+        let got = run.jobs[0].achieved_flops_per_sec / 1e9;
+        assert!(
+            (got - expected).abs() / expected < 1e-6,
+            "I={i}: {got} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_run_never_exceeds_pattainable() {
+    // Sweep (f, I0=I1) over the Figure 6 hardware; the simulator's
+    // aggregate throughput must respect the model's upper bound at the
+    // matching workload.
+    let model = TwoIpModel::figure_6a();
+    let spec = model.soc().expect("valid");
+    let sim = sim_for(&model);
+    let harness =
+        MixHarness::new(&sim, 0, 1).with_overhead(CoordinationOverhead::none());
+    for intensity in [0.5, 2.0, 8.0, 64.0] {
+        let kernel = harness.kernel_at_intensity(intensity).expect("representable");
+        for step in 0..=4 {
+            let f = step as f64 / 4.0;
+            let measured = harness.run(kernel, f).expect("runs").flops_per_sec / 1e9;
+            let w = Workload::two_ip(f, kernel.intensity(), kernel.intensity()).expect("valid");
+            let bound = evaluate(&spec, &w).expect("valid").attainable().to_gops();
+            assert!(
+                measured <= bound * 1.01,
+                "f={f} I={intensity}: measured {measured} > bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ideal_concurrent_run_approaches_pattainable() {
+    // With no coordination overhead and perfectly divisible work, the
+    // simulator should achieve most of the model's bound: the bound is
+    // tight, not loose. (The gap comes from the two halves finishing at
+    // different times — the model assumes perfect overlap.)
+    let model = TwoIpModel::figure_6d();
+    let spec = model.soc().expect("valid");
+    let sim = sim_for(&model);
+    let harness = MixHarness::new(&sim, 0, 1).with_overhead(CoordinationOverhead::none());
+    let kernel = harness.kernel_at_intensity(8.0).expect("representable");
+    let measured = harness.run(kernel, 0.75).expect("runs").flops_per_sec / 1e9;
+    let w = model.workload().expect("valid");
+    let bound = evaluate(&spec, &w).expect("valid").attainable().to_gops();
+    assert!((bound - 160.0).abs() < 1e-9);
+    assert!(
+        measured > 0.9 * bound,
+        "measured {measured} too far below bound {bound}"
+    );
+}
+
+#[test]
+fn figure_6b_memory_wall_shows_up_in_the_simulator() {
+    // The model's headline story — offloading poor-reuse work collapses
+    // performance — must reproduce mechanically in the simulator. The
+    // workload of Figure 6b has different intensities per IP, which the
+    // mix harness does not support directly, so run the jobs explicitly.
+    let model = TwoIpModel::figure_6b();
+    let sim = sim_for(&model);
+    // CPU: 25% of ops at I=8; GPU: 75% of ops at I=0.1. Build kernels
+    // with matching op counts: ops = words * fpw (trials=1).
+    // CPU kernel: fpw 64 (I = 8), GPU kernel: IA = 0.1 needs fpw 0.8 —
+    // not representable; use word_bytes 4, pattern RMW, fpw 1 => I=0.125.
+    // Keep I ratio approximate; shape is what matters.
+    let total_ops = 4.0e9;
+    let cpu_kernel = RooflineKernel {
+        trials: 1,
+        words: (total_ops * 0.25 / 64.0) as u64,
+        word_bytes: 4,
+        flops_per_word: 64,
+        pattern: gables_soc_sim::TrafficPattern::ReadModifyWrite,
+        data_type: gables_soc_sim::kernel::DataType::Fp32,
+    };
+    let gpu_kernel = RooflineKernel {
+        trials: 1,
+        words: (total_ops * 0.75) as u64,
+        word_bytes: 4,
+        flops_per_word: 1,
+        pattern: gables_soc_sim::TrafficPattern::ReadModifyWrite,
+        data_type: gables_soc_sim::kernel::DataType::Fp32,
+    };
+    let run = sim
+        .run(&[
+            Job { ip: 0, kernel: cpu_kernel },
+            Job { ip: 1, kernel: gpu_kernel },
+        ])
+        .expect("runs");
+    let aggregate = run.aggregate_flops_per_sec / 1e9;
+    // The model (at I1 = 0.125) bounds it just above the paper's 1.3:
+    let w = Workload::two_ip(0.75, 8.0, 0.125).expect("valid");
+    let bound = evaluate(&model.soc().expect("valid"), &w)
+        .expect("valid")
+        .attainable()
+        .to_gops();
+    assert!(aggregate <= bound * 1.01, "{aggregate} > {bound}");
+    // And it is a catastrophe compared to the 40 Gops/s of Figure 6a.
+    assert!(aggregate < 4.0, "memory wall did not materialize: {aggregate}");
+}
+
+#[test]
+fn snapdragon_presets_agree_with_ert_and_model() {
+    // End-to-end: simulate, fit empirical rooflines, assemble a Gables
+    // spec from them, and check the model's f=0 / f=1 endpoints match the
+    // simulator's single-IP measurements.
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid");
+    let cpu = gables_ert::measure(&sim, presets::CPU, &gables_ert::SweepConfig::cpu_default())
+        .expect("sweeps");
+    let gpu = gables_ert::measure(&sim, presets::GPU, &gables_ert::SweepConfig::gpu_default())
+        .expect("sweeps");
+    let spec = gables_model::SocSpec::builder()
+        .ppeak(gables_model::units::OpsPerSec::from_gops(cpu.peak_gflops))
+        .bpeak(gables_model::units::BytesPerSec::from_gbps(25.5))
+        .cpu("CPU", gables_model::units::BytesPerSec::from_gbps(cpu.dram_gbps))
+        .accelerator(
+            "GPU",
+            gpu.peak_gflops / cpu.peak_gflops,
+            gables_model::units::BytesPerSec::from_gbps(gpu.dram_gbps),
+        )
+        .expect("valid")
+        .build()
+        .expect("valid");
+
+    for (f, i, expect_gflops) in [
+        (0.0, 1024.0, 7.5),   // all-CPU compute bound
+        (1.0, 1024.0, 349.6), // all-GPU compute bound
+        (1.0, 0.125, 24.4 * 0.125), // all-GPU bandwidth bound
+    ] {
+        let w = Workload::two_ip(f, i, i).expect("valid");
+        let bound = evaluate(&spec, &w).expect("valid").attainable().to_gops();
+        assert!(
+            (bound - expect_gflops).abs() / expect_gflops < 0.02,
+            "f={f} I={i}: {bound} vs {expect_gflops}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration: every paper table and figure regenerates, and each
+//! anchored metric lands near its paper value. This is the executable
+//! form of EXPERIMENTS.md.
+
+use std::path::PathBuf;
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gables-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn every_experiment_regenerates_within_tolerance() {
+    let dir = out_dir("all");
+    let reports = gables_bench::all_reports(&dir).expect("all experiments run");
+    assert_eq!(reports.len(), 21, "one report per regeneration target");
+    for report in &reports {
+        let tol = gables_bench::report_tolerance(&report.id);
+        assert!(
+            report.max_relative_error() < tol,
+            "{} off by {:.1}% (tol {:.0}%):\n{report}",
+            report.id,
+            100.0 * report.max_relative_error(),
+            100.0 * tol
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure_6_is_bit_exact_against_the_appendix() {
+    use gables_model::two_ip::TwoIpModel;
+    for (name, model, expected) in TwoIpModel::figure_6_progression() {
+        let got = model.attainable_gops().expect("valid");
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "figure {name}: {got} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn svg_artifacts_are_written_and_well_formed() {
+    let dir = out_dir("svg");
+    let reports = gables_bench::all_reports(&dir).expect("runs");
+    let mut svg_count = 0;
+    for r in &reports {
+        for artifact in &r.artifacts {
+            let text = std::fs::read_to_string(artifact).expect("artifact exists");
+            if artifact.extension().is_some_and(|e| e == "svg") {
+                svg_count += 1;
+                assert!(text.starts_with("<svg"), "{}", artifact.display());
+                assert!(text.trim_end().ends_with("</svg>"), "{}", artifact.display());
+            }
+        }
+    }
+    // fig1 (1) + fig2 (2) + fig6 (4) + fig7 (2) + fig8 (1) + fig9 (1).
+    assert_eq!(svg_count, 11);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figure_8_ordering_matches_the_paper() {
+    // The qualitative claims of Section IV-C, checked from the raw sweep:
+    // higher intensity lines dominate lower ones at full offload, the
+    // I=1024 line peaks at f=1, and the I=1 line ends below where it
+    // starts.
+    use gables_soc_sim::{presets, MixHarness, Simulator};
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid");
+    let harness = MixHarness::new(&sim, presets::CPU, presets::GPU);
+    let lines = harness
+        .sweep(&gables_bench::figures::fig8::INTENSITIES, 8)
+        .expect("sweeps");
+
+    // Dominance at f = 1.
+    for pair in lines.windows(2) {
+        let low = pair[0].last().expect("points").flops_per_sec;
+        let high = pair[1].last().expect("points").flops_per_sec;
+        assert!(high >= low, "intensity ordering violated at f=1");
+    }
+    // I = 1024 monotone rising in f.
+    let top = lines.last().expect("lines");
+    for pair in top.windows(2) {
+        assert!(pair[1].flops_per_sec >= pair[0].flops_per_sec * 0.999);
+    }
+    // I = 1 ends in a slowdown.
+    let bottom = lines.first().expect("lines");
+    assert!(
+        bottom.last().expect("points").flops_per_sec
+            < bottom.first().expect("points").flops_per_sec
+    );
+}
+
+#[test]
+fn hfr_4k240_bandwidth_wall_reproduces() {
+    // Section II-B's motivating arithmetic.
+    let pipeline = gables_usecase::CameraPipeline::hfr_4k240();
+    assert!((pipeline.format.frame_megabytes() - 12.44).abs() < 0.01);
+    assert!(pipeline.saturates(30.0));
+}

@@ -1,0 +1,149 @@
+//! Integration: camera dataflows → Gables inputs → phased execution →
+//! design-space exploration, exercising the whole pipeline a SoC
+//! architect would walk.
+
+use gables_model::explore::{cheapest_meeting, explore, CandidateGrid, CostModel};
+use gables_model::ext::phased::{Phase, PhasedUsecase};
+use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{evaluate, SocSpec, Workload};
+use gables_usecase::camera_flows::{hdr_plus, video_capture};
+use gables_usecase::gables::derive_inputs;
+use gables_usecase::video::FrameFormat;
+use gables_usecase::Ip;
+
+/// A camera-oriented SoC whose IP order matches an HDR+ derived workload.
+fn camera_soc(ips: &[Ip]) -> SocSpec {
+    let mut b = SocSpec::builder();
+    b.ppeak(OpsPerSec::from_gops(500.0))
+        .bpeak(BytesPerSec::from_gbps(30.0));
+    for (i, ip) in ips.iter().enumerate() {
+        if i == 0 {
+            b.cpu(ip.short_name(), BytesPerSec::from_gbps(15.0));
+        } else {
+            let (a, bw) = match ip {
+                Ip::Ipu => (48.0, 18.0),
+                Ip::Gpu => (4.0, 24.0),
+                Ip::Isp => (6.0, 20.0),
+                _ => (2.0, 8.0),
+            };
+            b.accelerator(ip.short_name(), a, BytesPerSec::from_gbps(bw))
+                .expect("valid");
+        }
+    }
+    b.build().expect("valid")
+}
+
+#[test]
+fn hdr_plus_dataflow_runs_through_the_model() {
+    let flow = hdr_plus();
+    let inputs = derive_inputs(&flow).expect("derives");
+    let soc = camera_soc(&inputs.ips);
+    let eval = evaluate(&soc, &inputs.workload).expect("evaluates");
+    assert!(eval.attainable().value() > 0.0);
+    // The usecase's standing demand should be feasible in real time on
+    // this SoC (attainable exceeds demand).
+    assert!(
+        eval.attainable().value() > inputs.total_ops_per_sec,
+        "HDR+ not real-time: attainable {:.2} Gops/s vs demand {:.2}",
+        eval.attainable().to_gops(),
+        inputs.total_ops_per_sec / 1e9
+    );
+}
+
+#[test]
+fn hdr_shot_as_phased_usecase() {
+    // An HDR+ shot: a capture-dominated phase then a merge-dominated
+    // phase, both derived from dataflows with the same IP universe.
+    let capture_inputs = derive_inputs(&hdr_plus()).expect("derives");
+    let soc = camera_soc(&capture_inputs.ips);
+    let n = capture_inputs.ips.len();
+
+    // Merge phase: all math on the IPU (high intensity), control on AP.
+    let ipu = capture_inputs
+        .ips
+        .iter()
+        .position(|&ip| ip == Ip::Ipu)
+        .expect("IPU present");
+    let mut b = Workload::builder();
+    for i in 0..n {
+        if i == 0 {
+            b.work(0.1, 4.0).expect("valid");
+        } else if i == ipu {
+            b.work(0.9, 32.0).expect("valid");
+        } else {
+            b.idle();
+        }
+    }
+    let merge = b.build().expect("valid");
+
+    let phased = PhasedUsecase::new(vec![
+        Phase {
+            name: "capture burst".into(),
+            weight: 0.35,
+            workload: capture_inputs.workload.clone(),
+        },
+        Phase {
+            name: "align+merge".into(),
+            weight: 0.65,
+            workload: merge,
+        },
+    ])
+    .expect("weights sum to 1");
+    let eval = phased.evaluate(&soc).expect("evaluates");
+
+    // Sanity: phased result sits between its phase extremes and the
+    // dominant phase is identified.
+    let rates: Vec<f64> = eval
+        .phases()
+        .iter()
+        .map(|p| p.evaluation.attainable().value())
+        .collect();
+    let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = rates.iter().cloned().fold(0.0, f64::max);
+    assert!(eval.attainable().value() >= lo && eval.attainable().value() <= hi);
+    assert!(eval.dominant_phase().is_some());
+    let shares: f64 = eval.phases().iter().map(|p| p.time_share).sum();
+    assert!((shares - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn explorer_sizes_an_npu_for_video_capture() {
+    // Derive the 4K30 capture workload, then ask the explorer for the
+    // cheapest two-IP design sustaining it with 2x headroom.
+    let flow = video_capture(FrameFormat::uhd_4k_yuv420(), 30.0);
+    let inputs = derive_inputs(&flow).expect("derives");
+    // Collapse to two IPs: AP keeps its share, everything else goes to
+    // one "camera engine" at the demand-weighted intensity.
+    let ap_f = inputs.workload.assignment(0).expect("AP").fraction().value();
+    let ap_i = inputs.workload.assignment(0).expect("AP").intensity().value();
+    let rest_f = 1.0 - ap_f;
+    let demands = flow.ip_demands();
+    let rest_ops: f64 = demands
+        .iter()
+        .filter(|(ip, _)| **ip != Ip::Ap)
+        .map(|(_, d)| d.ops_per_sec)
+        .sum();
+    let rest_bytes: f64 = demands
+        .iter()
+        .filter(|(ip, _)| **ip != Ip::Ap)
+        .map(|(_, d)| d.dram_bytes_per_sec)
+        .sum();
+    let rest_i = rest_ops / rest_bytes;
+    let usecase = Workload::two_ip(rest_f, ap_i, rest_i).expect("valid");
+
+    let grid = CandidateGrid {
+        ppeak_gops: 20.0,
+        b0_gbps: 12.0,
+        accelerations: vec![1.0, 2.0, 4.0, 8.0, 16.0],
+        b1_gbps: vec![4.0, 8.0, 16.0, 32.0],
+        bpeak_gbps: vec![8.0, 16.0, 32.0],
+    };
+    let points = explore(&grid, &CostModel::unit(), &usecase).expect("explores");
+    let needed_gops = 2.0 * rest_ops / 1e9 / rest_f; // 2x headroom on total work rate
+    let pick = cheapest_meeting(&points, needed_gops)
+        .expect("some candidate sustains 4K30 capture with headroom");
+    assert!(pick.perf_gops >= needed_gops);
+    // And the pick is not the most expensive candidate.
+    let max_cost = points.iter().map(|p| p.cost).fold(0.0, f64::max);
+    assert!(pick.cost < max_cost);
+}
