@@ -1,7 +1,8 @@
-//! Criterion bench: ablations of the simulator's design choices called
-//! out in DESIGN.md — arbiter policy and the thermal model.
+//! Timing bench: ablations of the simulator's design choices called
+//! out in DESIGN.md — arbiter policy, the thermal model, and the two
+//! cache-fidelity tiers.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gables_bench::microbench::{black_box, Harness};
 use gables_soc_sim::thermal::ThermalConfig;
 use gables_soc_sim::{presets, ArbiterPolicy, Job, RooflineKernel, Simulator, TrafficPattern};
 
@@ -21,7 +22,7 @@ fn contended_jobs() -> Vec<Job> {
     ]
 }
 
-fn bench_arbiter_policies(c: &mut Criterion) {
+fn bench_arbiter_policies(h: &mut Harness) {
     let jobs = contended_jobs();
     for (name, policy) in [
         ("arbiter_maxmin", ArbiterPolicy::MaxMin),
@@ -30,30 +31,30 @@ fn bench_arbiter_policies(c: &mut Criterion) {
         let sim = Simulator::new(presets::snapdragon_835_like())
             .expect("valid preset")
             .with_policy(policy);
-        c.bench_function(name, |b| {
-            b.iter(|| sim.run(black_box(&jobs)).expect("runs"))
+        h.bench(name, || {
+            sim.run(black_box(&jobs)).expect("runs");
         });
     }
 }
 
-fn bench_thermal(c: &mut Criterion) {
+fn bench_thermal(h: &mut Harness) {
     let jobs = vec![Job {
         ip: presets::CPU,
         kernel: RooflineKernel::dram_resident(1024),
     }];
     let cool = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
-    c.bench_function("thermal_chamber", |b| {
-        b.iter(|| cool.run(black_box(&jobs)).expect("runs"))
+    h.bench("thermal_chamber", || {
+        cool.run(black_box(&jobs)).expect("runs");
     });
     let hot = Simulator::new(presets::snapdragon_835_like())
         .expect("valid preset")
         .with_thermal(ThermalConfig::phone_default());
-    c.bench_function("thermal_throttled", |b| {
-        b.iter(|| hot.run(black_box(&jobs)).expect("runs"))
+    h.bench("thermal_throttled", || {
+        hot.run(black_box(&jobs)).expect("runs");
     });
 }
 
-fn bench_cache_tiers(c: &mut Criterion) {
+fn bench_cache_tiers(h: &mut Harness) {
     use gables_soc_sim::cache_sim::CacheConfig;
     use gables_soc_sim::hierarchy::HierarchySim;
     use gables_soc_sim::trace::TracePattern;
@@ -62,14 +63,12 @@ fn bench_cache_tiers(c: &mut Criterion) {
     // the trace-driven hierarchy tier, on the same working set.
     let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
     let kernel = RooflineKernel::dram_resident(8).with_array_bytes(1 << 20);
-    c.bench_function("cache_tier_threshold", |b| {
-        b.iter(|| {
-            sim.run(black_box(&[Job {
-                ip: presets::CPU,
-                kernel,
-            }]))
-            .expect("runs")
-        })
+    h.bench("cache_tier_threshold", || {
+        sim.run(black_box(&[Job {
+            ip: presets::CPU,
+            kernel,
+        }]))
+        .expect("runs");
     });
 
     let levels = vec![
@@ -97,13 +96,16 @@ fn bench_cache_tiers(c: &mut Criterion) {
         write_back: true,
     }
     .generate();
-    c.bench_function("cache_tier_trace_driven", |b| {
-        b.iter(|| {
-            let mut h = HierarchySim::new(levels.clone(), 64).expect("valid geometry");
-            h.run_trace(black_box(&trace))
-        })
+    h.bench("cache_tier_trace_driven", || {
+        let mut hier = HierarchySim::new(levels.clone(), 64).expect("valid geometry");
+        hier.run_trace(black_box(&trace));
     });
 }
 
-criterion_group!(benches, bench_arbiter_policies, bench_thermal, bench_cache_tiers);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_env();
+    bench_arbiter_policies(&mut h);
+    bench_thermal(&mut h);
+    bench_cache_tiers(&mut h);
+    h.finish();
+}

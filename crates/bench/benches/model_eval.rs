@@ -1,10 +1,10 @@
-//! Criterion bench: analytical-model evaluation throughput.
+//! Timing bench: analytical-model evaluation throughput.
 //!
 //! The model's whole value proposition is being cheap enough for
 //! early-stage design-space sweeps; this bench quantifies evaluations per
 //! second as the IP count grows.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gables_bench::microbench::{black_box, Harness};
 use gables_model::two_ip::TwoIpModel;
 use gables_model::units::{BytesPerSec, OpsPerSec};
 use gables_model::{evaluate, SocSpec, Workload};
@@ -37,21 +37,17 @@ fn n_ip_inputs(n: usize) -> (SocSpec, Workload) {
     (soc, w.build().expect("valid"))
 }
 
-fn bench_model_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("model_eval");
+fn main() {
+    let mut h = Harness::from_env();
     for n in [2usize, 8, 32, 128] {
         let (soc, w) = n_ip_inputs(n);
-        group.bench_with_input(BenchmarkId::new("n_ip", n), &n, |b, _| {
-            b.iter(|| evaluate(black_box(&soc), black_box(&w)).expect("valid"))
+        h.bench(&format!("model_eval/n_ip/{n}"), || {
+            evaluate(black_box(&soc), black_box(&w)).expect("valid");
         });
     }
-    group.finish();
-
-    c.bench_function("two_ip_figure_6d", |b| {
-        let m = TwoIpModel::figure_6d();
-        b.iter(|| black_box(&m).attainable_gops().expect("valid"))
+    let m = TwoIpModel::figure_6d();
+    h.bench("two_ip_figure_6d", || {
+        black_box(&m).attainable_gops().expect("valid");
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_model_eval);
-criterion_main!(benches);

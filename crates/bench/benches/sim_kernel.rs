@@ -1,29 +1,24 @@
-//! Criterion bench: simulator throughput on the Algorithm-1 kernel,
+//! Timing bench: simulator throughput on the Algorithm-1 kernel,
 //! single-IP and concurrent.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gables_bench::microbench::{black_box, Harness};
 use gables_soc_sim::{presets, Job, RooflineKernel, Simulator, TrafficPattern};
 
-fn bench_single(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
-    let mut group = c.benchmark_group("sim_single_ip");
+
     for fpw in [1u32, 64, 1024] {
         let kernel = RooflineKernel::dram_resident(fpw);
-        group.bench_with_input(BenchmarkId::new("cpu_fpw", fpw), &kernel, |b, k| {
-            b.iter(|| {
-                sim.run(black_box(&[Job {
-                    ip: presets::CPU,
-                    kernel: *k,
-                }]))
-                .expect("runs")
-            })
+        h.bench(&format!("sim_single_ip/cpu_fpw/{fpw}"), || {
+            sim.run(black_box(&[Job {
+                ip: presets::CPU,
+                kernel,
+            }]))
+            .expect("runs");
         });
     }
-    group.finish();
-}
 
-fn bench_concurrent(c: &mut Criterion) {
-    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
     let jobs = vec![
         Job {
             ip: presets::CPU,
@@ -41,10 +36,8 @@ fn bench_concurrent(c: &mut Criterion) {
             kernel: RooflineKernel::dram_resident(8),
         },
     ];
-    c.bench_function("sim_three_ip_concurrent", |b| {
-        b.iter(|| sim.run(black_box(&jobs)).expect("runs"))
+    h.bench("sim_three_ip_concurrent", || {
+        sim.run(black_box(&jobs)).expect("runs");
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_single, bench_concurrent);
-criterion_main!(benches);

@@ -1,30 +1,27 @@
-//! Criterion bench: end-to-end experiment harnesses — a reduced ERT sweep
+//! Timing bench: end-to-end experiment harnesses — a reduced ERT sweep
 //! (Figure 7 pipeline) and a reduced mixing sweep (Figure 8 pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gables_bench::microbench::Harness;
 use gables_ert::{measure, SweepConfig};
 use gables_soc_sim::{presets, MixHarness, Simulator, TrafficPattern};
 
-fn bench_ert(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_env();
     let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+
     let cfg = SweepConfig {
         array_bytes: vec![64 << 10, 4 << 20, 64 << 20],
         flops_per_word: vec![1, 16, 256, 4096],
         trials: 1,
         pattern: TrafficPattern::ReadModifyWrite,
     };
-    c.bench_function("ert_sweep_cpu_reduced", |b| {
-        b.iter(|| measure(&sim, presets::CPU, &cfg).expect("runs"))
+    h.bench("ert_sweep_cpu_reduced", || {
+        measure(&sim, presets::CPU, &cfg).expect("runs");
     });
-}
 
-fn bench_mix(c: &mut Criterion) {
-    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
     let harness = MixHarness::new(&sim, presets::CPU, presets::GPU);
-    c.bench_function("fig8_mix_sweep_reduced", |b| {
-        b.iter(|| harness.sweep(&[1.0, 1024.0], 4).expect("runs"))
+    h.bench("fig8_mix_sweep_reduced", || {
+        harness.sweep(&[1.0, 1024.0], 4).expect("runs");
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_ert, bench_mix);
-criterion_main!(benches);

@@ -1,6 +1,9 @@
 //! Regenerates one experiment; see DESIGN.md's per-experiment index.
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", gables_bench::figures::casestudy::usecase_bottlenecks());
+    println!(
+        "{}",
+        gables_bench::figures::casestudy::usecase_bottlenecks()
+    );
     Ok(())
 }

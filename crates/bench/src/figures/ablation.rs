@@ -85,13 +85,19 @@ pub fn ablation_thermal() -> Report {
     };
     let chamber = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
     let cool = chamber
-        .run(&[Job { ip: presets::CPU, kernel: long }])
+        .run(&[Job {
+            ip: presets::CPU,
+            kernel: long,
+        }])
         .expect("runs");
     let phone = Simulator::new(presets::snapdragon_835_like())
         .expect("valid preset")
         .with_thermal(ThermalConfig::phone_default());
     let hot = phone
-        .run(&[Job { ip: presets::CPU, kernel: long }])
+        .run(&[Job {
+            ip: presets::CPU,
+            kernel: long,
+        }])
         .expect("runs");
     rep.row(
         "chamber: sustained CPU GFLOPS/s",
@@ -103,9 +109,7 @@ pub fn ablation_thermal() -> Report {
         hot.jobs[0].achieved_flops_per_sec / 1e9,
         hot.peak_temperature_c.expect("thermal model on")
     ));
-    rep.line(
-        "without thermal control the measured 'roofline' would be a moving target —",
-    );
+    rep.line("without thermal control the measured 'roofline' would be a moving target —");
     rep.line("the paper's methodology note reproduced mechanically.");
     rep
 }
@@ -132,17 +136,32 @@ pub fn soc_821() -> Report {
         "mixing endpoints: I=1 f=1 -> {low:.3}x, I=1024 f=1 -> {high:.1}x"
     ));
     // The qualitative findings, encoded as anchors of 1.0 = "holds".
-    rep.row("821: GPU >> CPU peak", 1.0, f64::from(gpu.peak_gflops > 10.0 * cpu.peak_gflops) );
-    rep.row("821: DSP on slow fabric (< CPU bw)", 1.0, f64::from(dsp.dram_gbps < cpu.dram_gbps));
+    rep.row(
+        "821: GPU >> CPU peak",
+        1.0,
+        f64::from(gpu.peak_gflops > 10.0 * cpu.peak_gflops),
+    );
+    rep.row(
+        "821: DSP on slow fabric (< CPU bw)",
+        1.0,
+        f64::from(dsp.dram_gbps < cpu.dram_gbps),
+    );
     rep.row("821: low-I offload slows down", 1.0, f64::from(low < 1.0));
-    rep.row("821: high-I offload speeds up >10x", 1.0, f64::from(high > 10.0));
+    rep.row(
+        "821: high-I offload speeds up >10x",
+        1.0,
+        f64::from(high > 10.0),
+    );
     rep
 }
 
 /// Energy accounting under the 3 W thermal design point the paper's
 /// introduction motivates.
 pub fn energy_budget() -> Report {
-    let mut rep = Report::new("energy_budget", "Energy/TDP accounting (Section I motivation)");
+    let mut rep = Report::new(
+        "energy_budget",
+        "Energy/TDP accounting (Section I motivation)",
+    );
     let soc = presets::snapdragon_835_like();
     let sim = Simulator::new(soc.clone()).expect("valid preset");
     let model = EnergyModel::snapdragon_835_like();
@@ -181,7 +200,11 @@ pub fn energy_budget() -> Report {
     }
     // Section II: IPs deliver "an order of magnitude improvement in
     // performance and power efficiency" vs the AP.
-    rep.row("GPU/CPU efficiency ratio (order of magnitude)", 10.0, gpu_eff / cpu_eff);
+    rep.row(
+        "GPU/CPU efficiency ratio (order of magnitude)",
+        10.0,
+        gpu_eff / cpu_eff,
+    );
     rep
 }
 
@@ -232,17 +255,17 @@ pub fn measured_miss_ratios() -> Report {
     ] {
         let mi = measure_miss_ratio(sram, &pattern).expect("valid geometry");
         let ext = MemorySideSram::new(vec![MissRatio::CERTAIN, mi]);
-        let p = ext.evaluate(&soc, &w).expect("valid").attainable().to_gops();
+        let p = ext
+            .evaluate(&soc, &w)
+            .expect("valid")
+            .attainable()
+            .to_gops();
         if name.starts_with("tiled") {
             rescued = p;
         }
         rep.line(format!("{name:<38} {:>10.4} {:>14.4}", mi.value(), p));
     }
-    rep.row(
-        "tiled reuse rescues Fig 6b to the IP bound",
-        2.0,
-        rescued,
-    );
+    rep.row("tiled reuse rescues Fig 6b to the IP bound", 2.0, rescued);
     rep.line("streaming and random patterns cannot use the added capacity —");
     rep.line("the paper's fourth conjecture ('adding more IP-local memory even when");
     rep.line("important usecases don't/can't use the added capacity') made measurable.");

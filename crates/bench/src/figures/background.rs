@@ -128,12 +128,7 @@ pub fn fig3() -> Report {
             .filter(|ip| ip.fabric == i)
             .map(|ip| ip.name.as_str())
             .collect();
-        rep.line(format!(
-            "fabric {} ({}): {}",
-            i,
-            f.name,
-            members.join(", ")
-        ));
+        rep.line(format!("fabric {} ({}): {}", i, f.name, members.join(", ")));
     }
     rep
 }
@@ -184,17 +179,35 @@ pub fn table1() -> Report {
 pub fn table2() -> Report {
     let mut rep = Report::new("table2", "Gables model parameter glossary");
     for (param, desc) in [
-        ("Ppeak", "peak performance of CPUs (ops/sec) — SocSpec::ppeak"),
-        ("Bpeak", "peak off-chip bandwidth (bytes/sec) — SocSpec::bpeak"),
+        (
+            "Ppeak",
+            "peak performance of CPUs (ops/sec) — SocSpec::ppeak",
+        ),
+        (
+            "Bpeak",
+            "peak off-chip bandwidth (bytes/sec) — SocSpec::bpeak",
+        ),
         ("Ai", "peak acceleration of IP[i] — IpSpec::acceleration"),
         ("Bi", "peak bandwidth to/from IP[i] — IpSpec::bandwidth"),
-        ("fi", "fraction of usecase work at IP[i] — WorkAssignment::fraction"),
-        ("Ii", "operational intensity at IP[i] — WorkAssignment::intensity"),
+        (
+            "fi",
+            "fraction of usecase work at IP[i] — WorkAssignment::fraction",
+        ),
+        (
+            "Ii",
+            "operational intensity at IP[i] — WorkAssignment::intensity",
+        ),
         ("Ci", "compute time at IP[i] — IpBreakdown::compute_time"),
         ("Di", "data transferred for IP[i] — IpBreakdown::data"),
         ("TIP[i]", "time at IP[i] — IpBreakdown::time"),
-        ("Tmemory", "time on chip memory interface — Evaluation::memory_time"),
-        ("Pattainable", "upper bound on SoC performance — Evaluation::attainable"),
+        (
+            "Tmemory",
+            "time on chip memory interface — Evaluation::memory_time",
+        ),
+        (
+            "Pattainable",
+            "upper bound on SoC performance — Evaluation::attainable",
+        ),
     ] {
         rep.line(format!("{param:<12} {desc}"));
     }

@@ -95,7 +95,10 @@ pub fn ext_interconnect() -> Report {
     rep.row(
         "bus knee: Pattainable at 20 GB/s shared bus",
         160.0,
-        knee.evaluate(&soc, &w).expect("valid").attainable().to_gops(),
+        knee.evaluate(&soc, &w)
+            .expect("valid")
+            .attainable()
+            .to_gops(),
     );
     rep
 }

@@ -49,16 +49,12 @@ pub fn fig6(out_dir: &Path) -> std::io::Result<Report> {
         ));
         rep.line(format!("  bottleneck: {}", eval.bottleneck()));
         if name == "6d" {
-            rep.line(format!(
-                "  balanced design: {}",
-                eval.is_balanced(1e-9)
-            ));
+            rep.line(format!("  balanced design: {}", eval.is_balanced(1e-9)));
         }
 
         let soc = model.soc().expect("valid");
         let workload = model.workload().expect("valid");
-        let data =
-            gables_plot_data(&soc, &workload, 0.01, 100.0, 96).expect("valid plot range");
+        let data = gables_plot_data(&soc, &workload, 0.01, 100.0, 96).expect("valid plot range");
         let svg = render_gables_plot(&data, &format!("Figure {name}"));
         rep.artifact(out_dir, &format!("fig{name}.svg"), &svg)?;
     }

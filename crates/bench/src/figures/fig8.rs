@@ -4,8 +4,8 @@
 
 use std::path::Path;
 
-use gables_model::{SocSpec, Workload};
 use gables_model::units::{BytesPerSec, OpsPerSec};
+use gables_model::{SocSpec, Workload};
 use gables_plot::{render_line_chart, ChartConfig, Series};
 use gables_soc_sim::{presets, MixHarness, Simulator};
 

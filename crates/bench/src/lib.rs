@@ -2,7 +2,8 @@
 //!
 //! The benchmark harness of the Gables reproduction: one regeneration
 //! target per paper table and figure (see DESIGN.md's per-experiment
-//! index) plus the Criterion benches under `benches/`.
+//! index) plus the [`microbench`]-driven timing benches under
+//! `benches/`.
 //!
 //! Run everything with `cargo run -p gables-bench --bin all_figures`;
 //! individual figures have their own binaries (`fig1` … `fig9`,
@@ -12,6 +13,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod figures;
+pub mod microbench;
 pub mod report;
 
 use std::path::Path;
@@ -56,9 +58,9 @@ pub fn all_reports(out_dir: &Path) -> Result<Vec<Report>, Box<dyn std::error::Er
 /// policies rather than paper values.
 pub fn report_tolerance(id: &str) -> f64 {
     match id {
-        "energy_budget" => 1.0,      // "order of magnitude" claim
-        "ablation_arbiter" => 0.25,  // cross-policy ratio, not a paper value
-        "ipu_case_study" => 0.25,    // "5x" and "one-tenth" are round claims
+        "energy_budget" => 1.0,     // "order of magnitude" claim
+        "ablation_arbiter" => 0.25, // cross-policy ratio, not a paper value
+        "ipu_case_study" => 0.25,   // "5x" and "one-tenth" are round claims
         _ => 0.05,
     }
 }
@@ -75,10 +77,27 @@ mod tests {
         assert_eq!(reports.len(), 21);
         let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
         for id in [
-            "fig1", "fig2", "fig3", "fig4", "table1", "table2", "fig6", "fig7", "fig8",
-            "fig9", "ext_sram", "ext_interconnect", "ext_serialized", "ablation_arbiter",
-            "ablation_thermal", "soc_821", "energy_budget", "measured_miss_ratios",
-            "cache_fidelity", "ipu_case_study", "usecase_bottlenecks",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ext_sram",
+            "ext_interconnect",
+            "ext_serialized",
+            "ablation_arbiter",
+            "ablation_thermal",
+            "soc_821",
+            "energy_budget",
+            "measured_miss_ratios",
+            "cache_fidelity",
+            "ipu_case_study",
+            "usecase_bottlenecks",
         ] {
             assert!(ids.contains(&id), "missing {id}");
         }

@@ -1,0 +1,170 @@
+//! A minimal in-tree microbenchmark harness.
+//!
+//! The build environment is offline, so the Criterion dependency the
+//! benches originally used cannot be fetched; this module provides the
+//! small subset the `benches/` targets need: named timed closures with
+//! warm-up, an adaptive per-bench time budget, a name filter from the
+//! command line, and a one-line-per-bench report. It has no statistics
+//! beyond mean time per iteration — these benches exist to expose gross
+//! throughput regressions, not microsecond-level noise.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The timing result of one named benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations (warm-up excluded).
+    pub iterations: u64,
+    /// Total wall time over the timed iterations.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Mean nanoseconds per iteration.
+    pub fn nanos_per_iter(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.total.as_nanos() as f64 / self.iterations as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ns = self.nanos_per_iter();
+        let (value, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "us")
+        } else {
+            (ns, "ns")
+        };
+        write!(
+            f,
+            "{:<40} {:>10.2} {}/iter ({} iters)",
+            self.name, value, unit, self.iterations
+        )
+    }
+}
+
+/// A benchmark runner: register closures with [`bench`](Self::bench),
+/// print the report with [`finish`](Self::finish).
+#[derive(Debug, Default)]
+pub struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments: the first non-flag
+    /// argument (if any) is a substring filter on benchmark names — the
+    /// convention `cargo bench <filter>` follows. Flags such as the
+    /// `--bench` cargo appends are ignored. The per-bench time budget
+    /// defaults to 200 ms and can be overridden with the
+    /// `GABLES_BENCH_BUDGET_MS` environment variable.
+    pub fn from_env() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let budget_ms = std::env::var("GABLES_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(200);
+        Self {
+            filter,
+            budget: Duration::from_millis(budget_ms.max(1)),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-bench time budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = budget.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Times `f`, unless the name filter excludes it: a few warm-up
+    /// calls, then repeated calls until the time budget is spent (at
+    /// least one timed iteration always runs).
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        for _ in 0..3 {
+            f();
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            f();
+            iterations += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.results.push(Measurement {
+            name: name.to_string(),
+            iterations,
+            total: start.elapsed(),
+        });
+    }
+
+    /// Prints one line per measurement and returns them.
+    pub fn finish(self) -> Vec<Measurement> {
+        for m in &self.results {
+            println!("{m}");
+        }
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_at_least_one_iteration() {
+        let mut h = Harness::default().with_budget(Duration::from_millis(1));
+        let mut count = 0u64;
+        h.bench("spin", || count += 1);
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].iterations >= 1);
+        // Warm-up (3) plus the timed iterations.
+        assert_eq!(count, results[0].iterations + 3);
+        assert!(results[0].nanos_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut h = Harness {
+            filter: Some("keep".into()),
+            budget: Duration::from_millis(1),
+            results: Vec::new(),
+        };
+        h.bench("keep_this", || {});
+        h.bench("drop_this", || {});
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].name, "keep_this");
+    }
+
+    #[test]
+    fn display_picks_a_readable_unit() {
+        let m = Measurement {
+            name: "x".into(),
+            iterations: 1,
+            total: Duration::from_micros(1500),
+        };
+        let line = m.to_string();
+        assert!(line.contains("ms/iter"), "{line}");
+    }
+}

@@ -20,7 +20,11 @@ impl Row {
     /// Relative error of the measurement against the paper anchor.
     pub fn relative_error(&self) -> f64 {
         if self.paper == 0.0 {
-            return if self.measured == 0.0 { 0.0 } else { f64::INFINITY };
+            return if self.measured == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
         }
         (self.measured - self.paper).abs() / self.paper.abs()
     }
@@ -173,7 +177,10 @@ mod tests {
         let mut rep = Report::new("t", "t");
         rep.artifact(&dir, "x.svg", "<svg/>").unwrap();
         assert_eq!(rep.artifacts.len(), 1);
-        assert_eq!(std::fs::read_to_string(&rep.artifacts[0]).unwrap(), "<svg/>");
+        assert_eq!(
+            std::fs::read_to_string(&rep.artifacts[0]).unwrap(),
+            "<svg/>"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

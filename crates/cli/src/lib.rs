@@ -10,6 +10,8 @@
 //! gables eval  spec.gables         # evaluate and explain the bottleneck
 //! gables sweep spec.gables f 0 1 8 # sweep the accelerator fraction
 //! gables plot  spec.gables out.svg # render the multi-roofline plot
+//! gables trace spec.gables out     # simulate with telemetry; write
+//!                                  # out.trace.json/.timeline.csv/.report.txt
 //! ```
 //!
 //! The command layer is a library so it can be tested without spawning
@@ -36,13 +38,18 @@ use spec::{SpecError, SpecFile};
 ///
 /// Returns [`SpecError`] for unknown commands, malformed arguments, parse
 /// failures, and model errors.
-pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>) -> Result<String, SpecError> {
+pub fn run(
+    args: &[String],
+    read_file: &dyn Fn(&str) -> std::io::Result<String>,
+) -> Result<String, SpecError> {
     match args.first().map(String::as_str) {
         Some("example") => Ok(spec::FIGURE_6B_SPEC.to_string()),
         Some("eval") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path)
-                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
             eval_command(&text)
         }
         Some("sweep") => {
@@ -50,37 +57,74 @@ pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>)
             let param = arg(args, 2, "parameter (f | bpeak)")?;
             let from: f64 = parse_num(&arg(args, 3, "from")?)?;
             let to: f64 = parse_num(&arg(args, 4, "to")?)?;
-            let steps: usize = arg(args, 5, "steps")?
-                .parse()
-                .map_err(|_| SpecError { line: None, message: "steps must be an integer".into() })?;
-            let text = read_file(&path)
-                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let steps: usize = arg(args, 5, "steps")?.parse().map_err(|_| SpecError {
+                line: None,
+                message: "steps must be an integer".into(),
+            })?;
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
             sweep_command(&text, &param, from, to, steps)
         }
         Some("plot") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path)
-                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
             plot_command(&text)
         }
         Some("frontier") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path)
-                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
             frontier_command(&text)
         }
         Some("ascii") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path)
-                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
             ascii_command(&text)
         }
         Some("whatif") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path)
-                .map_err(|e| SpecError { line: None, message: format!("{path}: {e}") })?;
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
             let edits = args[2..].join(" ");
             whatif_command(&text, &edits)
+        }
+        Some("trace") => {
+            let path = arg(args, 1, "spec file")?;
+            let prefix = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| "gables-trace".to_string());
+            let text = read_file(&path).map_err(|e| SpecError {
+                line: None,
+                message: format!("{path}: {e}"),
+            })?;
+            let artifacts = trace_command(&text)?;
+            let mut out = artifacts.report.clone();
+            for (suffix, contents) in [
+                (".trace.json", &artifacts.chrome_json),
+                (".timeline.csv", &artifacts.csv),
+                (".report.txt", &artifacts.report),
+            ] {
+                let file = format!("{prefix}{suffix}");
+                std::fs::write(&file, contents).map_err(|e| SpecError {
+                    line: None,
+                    message: format!("{file}: {e}"),
+                })?;
+                let _ = writeln!(out, "wrote {file}");
+            }
+            Ok(out)
         }
         Some("help") | None => Ok(usage()),
         Some(other) => Err(SpecError {
@@ -91,7 +135,7 @@ pub fn run(args: &[String], read_file: &dyn Fn(&str) -> std::io::Result<String>)
 }
 
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables help\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables help\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
@@ -314,6 +358,116 @@ pub fn whatif_command(text: &str, edits: &str) -> Result<String, SpecError> {
     Ok(report.to_string())
 }
 
+/// The three artifacts produced by `gables trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArtifacts {
+    /// Chrome trace-event JSON (load in `chrome://tracing` or Perfetto).
+    pub chrome_json: String,
+    /// Per-epoch CSV timeline.
+    pub csv: String,
+    /// Human-readable bottleneck report with an ASCII timeline.
+    pub report: String,
+}
+
+/// `gables trace`: build a cacheless simulator from the spec's Gables
+/// parameters, run the workload as one concurrent read-modify-write job
+/// per active IP with a telemetry recorder attached, and return the
+/// Chrome-trace JSON, CSV timeline, and text report.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for parse failures, an intensity too low for
+/// the RMW kernel to represent, or simulator errors.
+pub fn trace_command(text: &str) -> Result<TraceArtifacts, SpecError> {
+    use gables_plot::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
+    use gables_soc_sim::{presets, telemetry, Job, RooflineKernel, Simulator, TimelineRecorder};
+
+    let spec = SpecFile::parse(text)?;
+    let soc = spec.soc()?;
+    let workload = spec.workload()?;
+    let names = spec.ip_names();
+    let sim = Simulator::new(presets::from_gables_spec(&soc)).map_err(|e| SpecError {
+        line: None,
+        message: e.to_string(),
+    })?;
+
+    // One job per active IP: the paper's RMW kernel at the assignment's
+    // intensity (fpw = I × 8 for f32), sized by its work fraction.
+    let mut jobs = Vec::new();
+    for (ip, a) in workload.assignments().iter().enumerate() {
+        if !a.is_active() {
+            continue;
+        }
+        let intensity = a.intensity().value();
+        let fpw = (intensity * 8.0).round();
+        if fpw < 1.0 {
+            return Err(SpecError {
+                line: None,
+                message: format!(
+                    "[{}] intensity {intensity} is not representable by the RMW \
+                     kernel (rounds below 1 flop per word); raise it to trace",
+                    names.get(ip).map(String::as_str).unwrap_or("ip")
+                ),
+            });
+        }
+        let kernel = RooflineKernel::dram_resident(fpw as u32).scaled(a.fraction().value());
+        jobs.push(Job { ip, kernel });
+    }
+    if jobs.is_empty() {
+        return Err(SpecError {
+            line: None,
+            message: "workload has no active IPs to trace".into(),
+        });
+    }
+
+    let mut recorder = TimelineRecorder::new();
+    let run = sim
+        .run_with_recorder(&jobs, &mut recorder)
+        .map_err(|e| SpecError {
+            line: None,
+            message: e.to_string(),
+        })?;
+    let epochs = recorder.epochs();
+
+    // Bottleneck ribbon per IP (glyph = binding constraint) plus a
+    // shaded DRAM-utilization row.
+    let mut rows: Vec<TimelineRow> = names
+        .iter()
+        .map(|n| TimelineRow {
+            label: n.clone(),
+            spans: Vec::new(),
+        })
+        .collect();
+    for e in epochs {
+        for f in &e.flows {
+            if let Some(row) = rows.get_mut(f.ip) {
+                row.spans.push(TimelineSpan {
+                    t_start: e.t_start,
+                    t_end: e.t_end,
+                    glyph: f.binding.glyph(),
+                });
+            }
+        }
+    }
+    let dram_samples: Vec<(f64, f64, f64)> = epochs
+        .iter()
+        .map(|e| (e.t_start, e.t_end, e.dram_utilization))
+        .collect();
+    rows.push(utilization_row("DRAM", &dram_samples));
+
+    let mut report = telemetry::text_report(&run, epochs, &names);
+    report.push('\n');
+    report.push_str("timeline (C compute, P port, F fabric, D DRAM, $ cache, S scratchpad;\n");
+    report.push_str("          DRAM row shading = utilization):\n");
+    report.push_str(&render_timeline(&rows, 64));
+
+    Ok(TraceArtifacts {
+        chrome_json: telemetry::chrome_trace_json(epochs, &names),
+        csv: telemetry::csv_timeline(epochs, &names),
+        report,
+    })
+}
+
 /// `gables plot`: render the multi-roofline SVG.
 pub fn plot_command(text: &str) -> Result<String, SpecError> {
     let data = plot_data_for(text)?;
@@ -339,9 +493,7 @@ pub fn ascii_command(text: &str) -> Result<String, SpecError> {
     Ok(out)
 }
 
-fn plot_data_for(
-    text: &str,
-) -> Result<gables_model::viz::GablesPlotData, SpecError> {
+fn plot_data_for(text: &str) -> Result<gables_model::viz::GablesPlotData, SpecError> {
     let spec = SpecFile::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
@@ -354,7 +506,13 @@ fn plot_data_for(
         .collect();
     let lo = intensities.iter().cloned().fold(f64::INFINITY, f64::min) / 16.0;
     let hi = intensities.iter().cloned().fold(0.0, f64::max) * 16.0;
-    Ok(gables_plot_data(&soc, &workload, lo.max(1e-6), hi.max(1.0), 96)?)
+    Ok(gables_plot_data(
+        &soc,
+        &workload,
+        lo.max(1e-6),
+        hi.max(1.0),
+        96,
+    )?)
 }
 
 #[cfg(test)]
@@ -382,7 +540,10 @@ mod tests {
 
     #[test]
     fn eval_with_sram_extension() {
-        let text = format!("{}\n[sram]\nmiss_ratios = 1.0, 0.05\n", spec::FIGURE_6B_SPEC);
+        let text = format!(
+            "{}\n[sram]\nmiss_ratios = 1.0, 0.05\n",
+            spec::FIGURE_6B_SPEC
+        );
         let out = eval_command(&text).unwrap();
         assert!(out.contains("with memory-side SRAM"));
     }
@@ -458,6 +619,63 @@ mod tests {
         assert!(out.contains("Pattainable = 1.3278 Gops/s"));
         assert!(out.contains("memory"));
         assert!(out.lines().count() > 18);
+    }
+
+    #[test]
+    fn trace_produces_all_three_artifacts() {
+        let a = trace_command(spec::FIGURE_6B_SPEC).unwrap();
+        assert!(a.chrome_json.contains("\"traceEvents\""));
+        assert!(a.chrome_json.contains("\"ph\":\"X\""));
+        assert!(a.csv.starts_with("epoch,"));
+        assert!(a.csv.lines().count() > 1);
+        assert!(a.report.contains("Gables run report"));
+        assert!(a.report.contains("per-job bottleneck attribution"));
+        assert!(a.report.contains("CPU"));
+        assert!(a.report.contains("GPU"));
+        assert!(a.report.contains("timeline"));
+    }
+
+    #[test]
+    fn trace_rejects_unrepresentable_intensity() {
+        // I = 0.01 rounds below one flop per word on the RMW kernel.
+        let text = FIGURE_6B_SPEC_WITH_TINY_INTENSITY;
+        let err = trace_command(text).unwrap_err();
+        assert!(err.message.contains("not representable"), "{}", err.message);
+    }
+
+    const FIGURE_6B_SPEC_WITH_TINY_INTENSITY: &str = "\
+[soc]
+ppeak_gops = 40
+bpeak_gbps = 10
+[ip.CPU]
+bandwidth_gbps = 6
+[ip.GPU]
+acceleration = 5
+bandwidth_gbps = 15
+[workload]
+fractions   = 0.25, 0.75
+intensities = 8, 0.01
+";
+
+    #[test]
+    fn run_trace_writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("gables-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("t").to_string_lossy().to_string();
+        let fs = |_: &str| -> std::io::Result<String> { Ok(spec::FIGURE_6B_SPEC.to_string()) };
+        let out = run(
+            &["trace".into(), "fig6b.gables".into(), prefix.clone()],
+            &fs,
+        )
+        .unwrap();
+        assert!(out.contains("Gables run report"));
+        assert!(out.contains("wrote"));
+        for suffix in [".trace.json", ".timeline.csv", ".report.txt"] {
+            let path = format!("{prefix}{suffix}");
+            let written = std::fs::read_to_string(&path).unwrap();
+            assert!(!written.is_empty(), "{path} empty");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -111,13 +111,19 @@ impl SpecFile {
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
-                return Err(SpecError::at(n, format!("expected `key = value`, got {line:?}")));
+                return Err(SpecError::at(
+                    n,
+                    format!("expected `key = value`, got {line:?}"),
+                ));
             };
             let Some((_, body)) = sections.last_mut() else {
                 return Err(SpecError::at(n, "key before any [section]"));
             };
             let key = key.trim().to_string();
-            if body.insert(key.clone(), (n, value.trim().to_string())).is_some() {
+            if body
+                .insert(key.clone(), (n, value.trim().to_string()))
+                .is_some()
+            {
                 return Err(SpecError::at(n, format!("duplicate key {key:?}")));
             }
         }
@@ -139,11 +145,7 @@ impl SpecFile {
             .collect()
     }
 
-    fn number(
-        body: &SectionBody,
-        key: &str,
-        section: &str,
-    ) -> Result<f64, SpecError> {
+    fn number(body: &SectionBody, key: &str, section: &str) -> Result<f64, SpecError> {
         let (line, value) = body
             .get(key)
             .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
@@ -152,11 +154,7 @@ impl SpecFile {
             .map_err(|_| SpecError::at(*line, format!("{key} is not a number: {value:?}")))
     }
 
-    fn number_list(
-        body: &SectionBody,
-        key: &str,
-        section: &str,
-    ) -> Result<Vec<f64>, SpecError> {
+    fn number_list(body: &SectionBody, key: &str, section: &str) -> Result<Vec<f64>, SpecError> {
         let (line, value) = body
             .get(key)
             .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
@@ -276,8 +274,13 @@ impl SpecFile {
     /// exactly two IPs (the grid explores CPU + one accelerator).
     pub fn explore_grid(
         &self,
-    ) -> Result<Option<(gables_model::explore::CandidateGrid, gables_model::explore::CostModel)>, SpecError>
-    {
+    ) -> Result<
+        Option<(
+            gables_model::explore::CandidateGrid,
+            gables_model::explore::CostModel,
+        )>,
+        SpecError,
+    > {
         use gables_model::explore::{CandidateGrid, CostModel};
         let Some(body) = self.section("explore") else {
             return Ok(None);
@@ -399,7 +402,10 @@ mod tests {
 
         let spec = SpecFile::parse(FIGURE_6B_SPEC).unwrap();
         assert!(spec.workload().is_ok());
-        let no_wl = SpecFile::parse("[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n").unwrap();
+        let no_wl = SpecFile::parse(
+            "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n",
+        )
+        .unwrap();
         assert!(no_wl.workload().unwrap_err().message.contains("[workload]"));
     }
 
@@ -415,7 +421,11 @@ mod tests {
     fn cpu_acceleration_must_be_unity() {
         let text = "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nacceleration = 2\nbandwidth_gbps = 1\n";
         let spec = SpecFile::parse(text).unwrap();
-        assert!(spec.soc().unwrap_err().message.contains("acceleration must be 1"));
+        assert!(spec
+            .soc()
+            .unwrap_err()
+            .message
+            .contains("acceleration must be 1"));
     }
 
     #[test]

@@ -116,7 +116,12 @@ pub fn bpeak_sweep(
     hi_gbps: f64,
     steps: usize,
 ) -> Result<Vec<BpeakPoint>, GablesError> {
-    if steps == 0 || !lo_gbps.is_finite() || lo_gbps <= 0.0 || !hi_gbps.is_finite() || hi_gbps < lo_gbps {
+    if steps == 0
+        || !lo_gbps.is_finite()
+        || lo_gbps <= 0.0
+        || !hi_gbps.is_finite()
+        || hi_gbps < lo_gbps
+    {
         return Err(GablesError::invalid_parameter(
             "bpeak sweep range",
             lo_gbps,
@@ -184,10 +189,7 @@ pub struct Sensitivity {
 /// # Errors
 ///
 /// Propagates model and parameter-validation errors.
-pub fn sensitivities(
-    soc: &SocSpec,
-    workload: &Workload,
-) -> Result<Vec<Sensitivity>, GablesError> {
+pub fn sensitivities(soc: &SocSpec, workload: &Workload) -> Result<Vec<Sensitivity>, GablesError> {
     const REL: f64 = 1e-4;
     let mut out = Vec::new();
 
@@ -285,7 +287,10 @@ fn rebuild_ip(
     b.cpu(cpu.name(), cpu_bw);
     for (i, ip) in soc.ips().iter().enumerate().skip(1) {
         let (bw, a) = if i == index {
-            (ip.bandwidth() * b_scale, ip.acceleration().value() * a_scale)
+            (
+                ip.bandwidth() * b_scale,
+                ip.acceleration().value() * a_scale,
+            )
         } else {
             (ip.bandwidth(), ip.acceleration().value())
         };
@@ -339,7 +344,11 @@ mod tests {
         let sweep = offload_sweep(&soc(), 1024.0, 1024.0, 8).unwrap();
         let last = sweep.last().unwrap();
         assert!((last.f - 1.0).abs() < 1e-12);
-        assert!((last.normalized - 5.0).abs() < 1e-9, "got {}", last.normalized);
+        assert!(
+            (last.normalized - 5.0).abs() < 1e-9,
+            "got {}",
+            last.normalized
+        );
     }
 
     #[test]
@@ -384,10 +393,7 @@ mod tests {
     fn sufficient_bpeak_removes_memory_bottleneck() {
         let m = TwoIpModel::figure_6b();
         let (soc, w) = (m.soc().unwrap(), m.workload().unwrap());
-        assert_eq!(
-            evaluate(&soc, &w).unwrap().bottleneck(),
-            Bottleneck::Memory
-        );
+        assert_eq!(evaluate(&soc, &w).unwrap().bottleneck(), Bottleneck::Memory);
         let b = sufficient_bpeak(&soc, &w).unwrap();
         let fixed = soc.with_bpeak(b).unwrap();
         let eval = evaluate(&fixed, &w).unwrap();

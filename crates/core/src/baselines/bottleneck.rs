@@ -168,10 +168,7 @@ mod tests {
     #[test]
     fn empty_nodes_are_identities() {
         assert_eq!(ThroughputExpr::parallel(vec![]).throughput(), 0.0);
-        assert_eq!(
-            ThroughputExpr::series(vec![]).throughput(),
-            f64::INFINITY
-        );
+        assert_eq!(ThroughputExpr::series(vec![]).throughput(), f64::INFINITY);
     }
 
     #[test]

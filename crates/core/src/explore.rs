@@ -154,51 +154,47 @@ pub fn cheapest_meeting(points: &[DesignPoint], min_gops: f64) -> Option<DesignP
 }
 
 #[cfg(test)]
-mod proptests {
-    use proptest::prelude::*;
-
+mod invariant_tests {
     use super::*;
+    use crate::rng::SplitMix64;
 
-    fn random_grid() -> impl Strategy<Value = CandidateGrid> {
-        (
-            1.0f64..100.0,
-            1.0f64..30.0,
-            proptest::collection::vec(0.5f64..50.0, 1..4),
-            proptest::collection::vec(1.0f64..40.0, 1..4),
-            proptest::collection::vec(2.0f64..60.0, 1..4),
-        )
-            .prop_map(|(ppeak_gops, b0_gbps, accelerations, b1_gbps, bpeak_gbps)| {
-                CandidateGrid {
-                    ppeak_gops,
-                    b0_gbps,
-                    accelerations,
-                    b1_gbps,
-                    bpeak_gbps,
-                }
-            })
+    fn random_grid(rng: &mut SplitMix64) -> CandidateGrid {
+        let dims = |rng: &mut SplitMix64, lo: f64, hi: f64| {
+            let n = rng.range_usize(1, 3);
+            (0..n).map(|_| rng.range_f64(lo, hi)).collect::<Vec<_>>()
+        };
+        CandidateGrid {
+            ppeak_gops: rng.range_f64(1.0, 100.0),
+            b0_gbps: rng.range_f64(1.0, 30.0),
+            accelerations: dims(rng, 0.5, 50.0),
+            b1_gbps: dims(rng, 1.0, 40.0),
+            bpeak_gbps: dims(rng, 2.0, 60.0),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The frontier never contains a dominated point and is sorted by
-        /// strictly increasing cost and performance, for arbitrary grids
-        /// and workloads.
-        #[test]
-        fn frontier_is_sound(grid in random_grid(), f in 0.0f64..1.0,
-                             i0 in 0.1f64..256.0, i1 in 0.1f64..256.0) {
+    /// The frontier never contains a dominated point and is sorted by
+    /// strictly increasing cost and performance, for arbitrary grids
+    /// and workloads.
+    #[test]
+    fn frontier_is_sound() {
+        let mut rng = SplitMix64::new(0xF407);
+        for _ in 0..48 {
+            let grid = random_grid(&mut rng);
+            let f = rng.next_f64();
+            let i0 = rng.range_f64(0.1, 256.0);
+            let i1 = rng.range_f64(0.1, 256.0);
             let w = crate::workload::Workload::two_ip(f, i0, i1).unwrap();
             let points = explore(&grid, &CostModel::unit(), &w).unwrap();
             let frontier = pareto_frontier(&points);
-            prop_assert!(!frontier.is_empty());
+            assert!(!frontier.is_empty());
             for fp in &frontier {
                 for p in &points {
-                    prop_assert!(!p.dominates(fp));
+                    assert!(!p.dominates(fp));
                 }
             }
             for pair in frontier.windows(2) {
-                prop_assert!(pair[1].cost > pair[0].cost);
-                prop_assert!(pair[1].perf_gops > pair[0].perf_gops);
+                assert!(pair[1].cost > pair[0].cost);
+                assert!(pair[1].perf_gops > pair[0].perf_gops);
             }
         }
     }
@@ -263,7 +259,10 @@ mod tests {
             .expect("balanced candidate is in the grid");
         assert!((balanced.perf_gops - 160.0).abs() < 1e-9);
         for p in &points {
-            assert!(!p.dominates(balanced), "{p:?} dominates the balanced design");
+            assert!(
+                !p.dominates(balanced),
+                "{p:?} dominates the balanced design"
+            );
         }
     }
 

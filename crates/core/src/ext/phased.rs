@@ -181,7 +181,11 @@ impl PhasedUsecase {
                 name: phase.name.clone(),
                 weight: phase.weight,
                 evaluation,
-                time_share: if total_time > 0.0 { time / total_time } else { 0.0 },
+                time_share: if total_time > 0.0 {
+                    time / total_time
+                } else {
+                    0.0
+                },
             })
             .collect();
         Ok(PhasedEvaluation {
@@ -210,8 +214,7 @@ mod tests {
 
     #[test]
     fn single_phase_equals_base_model() {
-        let usecase =
-            PhasedUsecase::new(vec![phase("all", 1.0, 0.75, 8.0, 8.0)]).unwrap();
+        let usecase = PhasedUsecase::new(vec![phase("all", 1.0, 0.75, 8.0, 8.0)]).unwrap();
         let eval = usecase.evaluate(&soc()).unwrap();
         assert!((eval.attainable().to_gops() - 160.0).abs() < 1e-9);
         assert_eq!(eval.phases().len(), 1);

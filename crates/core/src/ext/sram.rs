@@ -196,10 +196,7 @@ mod tests {
     fn filtering_only_the_gpu_rescues_figure_6b() {
         let (soc, w) = figure_6b_parts();
         let base = crate::model::evaluate(&soc, &w).unwrap().attainable();
-        let ext = MemorySideSram::new(vec![
-            MissRatio::CERTAIN,
-            MissRatio::new(0.05).unwrap(),
-        ]);
+        let ext = MemorySideSram::new(vec![MissRatio::CERTAIN, MissRatio::new(0.05).unwrap()]);
         let eval = ext.evaluate(&soc, &w).unwrap();
         assert!(eval.attainable().value() > base.value());
     }
@@ -221,8 +218,10 @@ mod tests {
     #[test]
     fn equation_15_arithmetic() {
         let (soc, w) = figure_6b_parts();
-        let ext =
-            MemorySideSram::new(vec![MissRatio::new(0.5).unwrap(), MissRatio::new(0.2).unwrap()]);
+        let ext = MemorySideSram::new(vec![
+            MissRatio::new(0.5).unwrap(),
+            MissRatio::new(0.2).unwrap(),
+        ]);
         let eval = ext.evaluate(&soc, &w).unwrap();
         // D0 = 0.25/8 = 0.03125, D1 = 0.75/0.1 = 7.5.
         let expected = 0.5 * 0.03125 + 0.2 * 7.5;

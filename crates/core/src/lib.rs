@@ -58,6 +58,9 @@
 //!   combinators (Section VI).
 //! * [`viz`] — sampled multi-roofline plot data (Section III-C), rendered
 //!   by the companion `gables-plot` crate.
+//! * [`rng`] — a tiny deterministic SplitMix64 PRNG used by tests,
+//!   benches, and the market synthesizer (the workspace builds offline,
+//!   with no registry dependencies).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -68,6 +71,7 @@ pub mod error;
 pub mod explore;
 pub mod ext;
 pub mod model;
+pub mod rng;
 pub mod soc;
 pub mod two_ip;
 pub mod units;
@@ -81,149 +85,183 @@ pub use soc::{IpSpec, SocSpec};
 pub use workload::{WorkAssignment, Workload};
 
 #[cfg(test)]
-mod proptests {
-    //! Cross-module property tests for the invariants DESIGN.md calls out.
-
-    use proptest::prelude::*;
+mod invariant_tests {
+    //! Cross-module randomized invariant tests for the properties
+    //! DESIGN.md calls out. Each test draws a few hundred seeded random
+    //! SoC/workload pairs from [`rng::SplitMix64`], so failures are
+    //! reproducible from the seed embedded in the test.
 
     use crate::ext::serialized::evaluate_serialized;
     use crate::ext::sram::MemorySideSram;
     use crate::model::{attainable_perf_form, evaluate};
+    use crate::rng::SplitMix64;
     use crate::soc::SocSpec;
     use crate::units::{BytesPerSec, OpsPerSec};
     use crate::workload::Workload;
 
-    /// Strategy: a plausible 2–5-IP SoC with positive parameters.
-    fn soc_strategy() -> impl Strategy<Value = SocSpec> {
-        (
-            0.5f64..500.0,                       // Ppeak Gops/s
-            0.5f64..100.0,                       // Bpeak GB/s
-            proptest::collection::vec((0.1f64..100.0, 0.1f64..50.0), 1..5),
-            0.1f64..50.0,                        // CPU bandwidth
-        )
-            .prop_map(|(ppeak, bpeak, accs, b0)| {
-                let mut b = SocSpec::builder();
-                b.ppeak(OpsPerSec::from_gops(ppeak))
-                    .bpeak(BytesPerSec::from_gbps(bpeak))
-                    .cpu("CPU", BytesPerSec::from_gbps(b0));
-                for (idx, (a, bw)) in accs.iter().enumerate() {
-                    b.accelerator(format!("ACC{idx}"), *a, BytesPerSec::from_gbps(*bw))
-                        .unwrap();
-                }
-                b.build().unwrap()
-            })
+    const CASES: usize = 256;
+
+    /// A plausible 2–5-IP SoC with positive parameters.
+    fn random_soc(rng: &mut SplitMix64) -> SocSpec {
+        let ppeak = rng.range_f64(0.5, 500.0);
+        let bpeak = rng.range_f64(0.5, 100.0);
+        let b0 = rng.range_f64(0.1, 50.0);
+        let n_acc = rng.range_usize(1, 4);
+        let mut b = SocSpec::builder();
+        b.ppeak(OpsPerSec::from_gops(ppeak))
+            .bpeak(BytesPerSec::from_gbps(bpeak))
+            .cpu("CPU", BytesPerSec::from_gbps(b0));
+        for idx in 0..n_acc {
+            let acc = rng.range_f64(0.1, 100.0);
+            let bw = rng.range_f64(0.1, 50.0);
+            b.accelerator(format!("ACC{idx}"), acc, BytesPerSec::from_gbps(bw))
+                .unwrap();
+        }
+        b.build().unwrap()
     }
 
-    /// Strategy: a workload for an `n`-IP SoC with normalized fractions.
-    fn workload_strategy(n: usize) -> impl Strategy<Value = Workload> {
-        (
-            proptest::collection::vec(0.0f64..1.0, n),
-            proptest::collection::vec(0.01f64..1024.0, n),
-        )
-            .prop_filter_map("needs nonzero total weight", move |(weights, intensities)| {
-                let total: f64 = weights.iter().sum();
-                if total <= 0.0 {
-                    return None;
-                }
-                let mut b = Workload::builder();
-                // Assign exact residual to the last IP to defeat rounding.
-                let mut assigned = 0.0_f64;
-                for i in 0..n {
-                    let f = if i == n - 1 {
-                        (1.0 - assigned).max(0.0)
-                    } else {
-                        weights[i] / total
-                    };
-                    assigned += f;
-                    b.work(f.min(1.0), intensities[i]).ok()?;
-                }
-                b.build().ok()
-            })
+    /// A workload for an `n`-IP SoC with normalized fractions.
+    fn random_workload(rng: &mut SplitMix64, n: usize) -> Workload {
+        let weights: Vec<f64> = (0..n).map(|_| rng.range_f64(0.001, 1.0)).collect();
+        let intensities: Vec<f64> = (0..n).map(|_| rng.range_f64(0.01, 1024.0)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut b = Workload::builder();
+        // Assign exact residual to the last IP to defeat rounding.
+        let mut assigned = 0.0_f64;
+        for i in 0..n {
+            let f = if i == n - 1 {
+                (1.0 - assigned).max(0.0)
+            } else {
+                weights[i] / total
+            };
+            assigned += f;
+            b.work(f.min(1.0), intensities[i]).unwrap();
+        }
+        b.build().unwrap()
     }
 
-    fn soc_and_workload() -> impl Strategy<Value = (SocSpec, Workload)> {
-        soc_strategy().prop_flat_map(|soc| {
-            let n = soc.ip_count();
-            (Just(soc), workload_strategy(n))
-        })
+    fn random_pair(rng: &mut SplitMix64) -> (SocSpec, Workload) {
+        let soc = random_soc(rng);
+        let n = soc.ip_count();
+        let w = random_workload(rng, n);
+        (soc, w)
     }
 
-    proptest! {
-        /// The time form and performance form are exact duals.
-        #[test]
-        fn duals_agree((soc, w) in soc_and_workload()) {
+    /// The time form and performance form are exact duals.
+    #[test]
+    fn duals_agree() {
+        let mut rng = SplitMix64::new(0xD0A1);
+        for _ in 0..CASES {
+            let (soc, w) = random_pair(&mut rng);
             let t = evaluate(&soc, &w).unwrap().attainable().value();
             let p = attainable_perf_form(&soc, &w).unwrap().value();
-            prop_assert!((t - p).abs() <= 1e-9 * t.max(p));
+            assert!((t - p).abs() <= 1e-9 * t.max(p), "time {t} vs perf {p}");
         }
+    }
 
-        /// Pattainable never exceeds any individual component bound.
-        #[test]
-        fn attainable_below_every_bound((soc, w) in soc_and_workload()) {
+    /// Pattainable never exceeds any individual component bound.
+    #[test]
+    fn attainable_below_every_bound() {
+        let mut rng = SplitMix64::new(0xB0B1);
+        for _ in 0..CASES {
+            let (soc, w) = random_pair(&mut rng);
             let eval = evaluate(&soc, &w).unwrap();
             let p = eval.attainable().value();
             for ip in eval.ips() {
                 if let Some(bound) = ip.perf_bound {
-                    prop_assert!(p <= bound.value() * (1.0 + 1e-12));
+                    assert!(p <= bound.value() * (1.0 + 1e-12));
                 }
             }
-            prop_assert!(p <= eval.memory_bound().value() * (1.0 + 1e-12));
+            assert!(p <= eval.memory_bound().value() * (1.0 + 1e-12));
         }
+    }
 
-        /// More off-chip bandwidth never hurts.
-        #[test]
-        fn monotone_in_bpeak((soc, w) in soc_and_workload(), scale in 1.0f64..10.0) {
+    /// More off-chip bandwidth never hurts.
+    #[test]
+    fn monotone_in_bpeak() {
+        let mut rng = SplitMix64::new(0xBEA7);
+        for _ in 0..CASES {
+            let (soc, w) = random_pair(&mut rng);
+            let scale = rng.range_f64(1.0, 10.0);
             let base = evaluate(&soc, &w).unwrap().attainable().value();
             let wider = soc.with_bpeak(soc.bpeak() * scale).unwrap();
             let better = evaluate(&wider, &w).unwrap().attainable().value();
-            prop_assert!(better >= base * (1.0 - 1e-12));
+            assert!(better >= base * (1.0 - 1e-12));
         }
+    }
 
-        /// Raising any active IP's operational intensity never hurts.
-        #[test]
-        fn monotone_in_intensity((soc, w) in soc_and_workload(), scale in 1.0f64..10.0) {
+    /// Raising any active IP's operational intensity never hurts.
+    #[test]
+    fn monotone_in_intensity() {
+        let mut rng = SplitMix64::new(0x17EA);
+        for _ in 0..CASES {
+            let (soc, w) = random_pair(&mut rng);
+            let scale = rng.range_f64(1.0, 10.0);
             let base = evaluate(&soc, &w).unwrap().attainable().value();
             for i in w.active_ips().collect::<Vec<_>>() {
                 let ii = w.assignment(i).unwrap().intensity().value();
                 let raised = w.with_intensity(i, ii * scale).unwrap();
                 let better = evaluate(&soc, &raised).unwrap().attainable().value();
-                prop_assert!(better >= base * (1.0 - 1e-12));
+                assert!(better >= base * (1.0 - 1e-12));
             }
         }
+    }
 
-        /// The SRAM extension with all-miss ratios equals the base model,
-        /// and any filtering only helps.
-        #[test]
-        fn sram_extension_brackets_base((soc, w) in soc_and_workload(), m in 0.0f64..1.0) {
+    /// The SRAM extension with all-miss ratios equals the base model,
+    /// and any filtering only helps.
+    #[test]
+    fn sram_extension_brackets_base() {
+        let mut rng = SplitMix64::new(0x54A3);
+        for _ in 0..CASES {
+            let (soc, w) = random_pair(&mut rng);
+            let m = rng.next_f64();
             let base = evaluate(&soc, &w).unwrap().attainable().value();
-            let all_miss = MemorySideSram::uniform(soc.ip_count(), 1.0).unwrap()
-                .evaluate(&soc, &w).unwrap().attainable().value();
-            prop_assert!((all_miss - base).abs() <= 1e-9 * base);
-            let filtered = MemorySideSram::uniform(soc.ip_count(), m).unwrap()
-                .evaluate(&soc, &w).unwrap().attainable().value();
-            prop_assert!(filtered >= base * (1.0 - 1e-12));
+            let all_miss = MemorySideSram::uniform(soc.ip_count(), 1.0)
+                .unwrap()
+                .evaluate(&soc, &w)
+                .unwrap()
+                .attainable()
+                .value();
+            assert!((all_miss - base).abs() <= 1e-9 * base);
+            let filtered = MemorySideSram::uniform(soc.ip_count(), m)
+                .unwrap()
+                .evaluate(&soc, &w)
+                .unwrap()
+                .attainable()
+                .value();
+            assert!(filtered >= base * (1.0 - 1e-12));
         }
+    }
 
-        /// Serialized execution never beats concurrent execution.
-        #[test]
-        fn serialized_below_concurrent((soc, w) in soc_and_workload()) {
+    /// Serialized execution never beats concurrent execution.
+    #[test]
+    fn serialized_below_concurrent() {
+        let mut rng = SplitMix64::new(0x5E1A);
+        for _ in 0..CASES {
+            let (soc, w) = random_pair(&mut rng);
             let concurrent = evaluate(&soc, &w).unwrap().attainable().value();
             let serial = evaluate_serialized(&soc, &w).unwrap().attainable().value();
-            prop_assert!(serial <= concurrent * (1.0 + 1e-9));
+            assert!(serial <= concurrent * (1.0 + 1e-9));
         }
+    }
 
-        /// Iavg lies between the smallest and largest active intensity.
-        #[test]
-        fn iavg_within_active_range((_soc, w) in soc_and_workload()) {
+    /// Iavg lies between the smallest and largest active intensity.
+    #[test]
+    fn iavg_within_active_range() {
+        let mut rng = SplitMix64::new(0x1A76);
+        for _ in 0..CASES {
+            let (_soc, w) = random_pair(&mut rng);
             let iavg = w.iavg().unwrap().value();
-            let actives: Vec<f64> = w.assignments().iter()
+            let actives: Vec<f64> = w
+                .assignments()
+                .iter()
                 .filter(|a| a.is_active())
                 .map(|a| a.intensity().value())
                 .collect();
             let lo = actives.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = actives.iter().cloned().fold(0.0, f64::max);
-            prop_assert!(iavg >= lo * (1.0 - 1e-9));
-            prop_assert!(iavg <= hi * (1.0 + 1e-9));
+            assert!(iavg >= lo * (1.0 - 1e-9));
+            assert!(iavg <= hi * (1.0 + 1e-9));
         }
     }
 }

@@ -467,7 +467,12 @@ mod tests {
 
     #[test]
     fn perf_form_agrees_with_time_form_on_figure6() {
-        for (bpeak, f, i1) in [(10.0, 0.0, 0.1), (10.0, 0.75, 0.1), (30.0, 0.75, 0.1), (20.0, 0.75, 8.0)] {
+        for (bpeak, f, i1) in [
+            (10.0, 0.0, 0.1),
+            (10.0, 0.75, 0.1),
+            (30.0, 0.75, 0.1),
+            (20.0, 0.75, 8.0),
+        ] {
             let soc = figure6_soc(bpeak);
             let w = Workload::two_ip(f, 8.0, i1).unwrap();
             let time_form = evaluate(&soc, &w).unwrap().attainable();
@@ -546,9 +551,7 @@ mod tests {
         assert!((ip1.compute_time.value() - 0.75 / 200.0e9).abs() < 1e-22);
         // Tmemory = (D0 + D1)/Bpeak.
         let d0 = eval.ip(0).unwrap().data.value();
-        assert!(
-            (eval.memory_time().value() - (d0 + 7.5) / 10.0e9).abs() < 1e-20
-        );
+        assert!((eval.memory_time().value() - (d0 + 7.5) / 10.0e9).abs() < 1e-20);
     }
 
     #[test]

@@ -122,8 +122,8 @@ pub fn gables_plot_data(
         let points = xs
             .iter()
             .map(|&x| {
-                let p = scaled_ip_roofline(soc, i, f, OpsPerByte::new(x))
-                    .expect("validated inputs");
+                let p =
+                    scaled_ip_roofline(soc, i, f, OpsPerByte::new(x)).expect("validated inputs");
                 (x, p.to_gops())
             })
             .collect();
@@ -246,9 +246,8 @@ mod tests {
             if m.f == 0.0 {
                 continue;
             }
-            let plot =
-                gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 16)
-                    .unwrap();
+            let plot = gables_plot_data(&m.soc().unwrap(), &m.workload().unwrap(), 0.01, 100.0, 16)
+                .unwrap();
             let min_drop = plot
                 .drop_lines
                 .iter()

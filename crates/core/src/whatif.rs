@@ -213,7 +213,8 @@ fn rebuild_soc(
         soc.ip(ip)?;
     }
     let mut b = SocSpec::builder();
-    b.ppeak(ppeak.unwrap_or_else(|| soc.ppeak())).bpeak(soc.bpeak());
+    b.ppeak(ppeak.unwrap_or_else(|| soc.ppeak()))
+        .bpeak(soc.bpeak());
     let cpu = soc.ip(0)?;
     let cpu_bw = if scale_ip == Some(0) {
         cpu.bandwidth() * factor
@@ -403,6 +404,9 @@ mod tests {
             Edit::ScaleIpBandwidth { ip: 2, factor: 1.5 }.to_string(),
             "scale B2 by 1.5x"
         );
-        assert_eq!(Edit::SetPpeakGops(40.0).to_string(), "set Ppeak = 40 Gops/s");
+        assert_eq!(
+            Edit::SetPpeakGops(40.0).to_string(),
+            "set Ppeak = 40 Gops/s"
+        );
     }
 }

@@ -210,8 +210,7 @@ impl Workload {
     pub fn with_intensity(&self, index: usize, intensity: f64) -> Result<Workload, GablesError> {
         let current = *self.assignment(index)?;
         let mut assignments = self.assignments.clone();
-        assignments[index] =
-            WorkAssignment::new(current.fraction(), OpsPerByte::new(intensity))?;
+        assignments[index] = WorkAssignment::new(current.fraction(), OpsPerByte::new(intensity))?;
         Ok(Workload { assignments })
     }
 }
@@ -287,10 +286,7 @@ mod tests {
 
     #[test]
     fn empty_workload_is_rejected() {
-        assert_eq!(
-            Workload::builder().build().unwrap_err(),
-            GablesError::NoIps
-        );
+        assert_eq!(Workload::builder().build().unwrap_err(), GablesError::NoIps);
     }
 
     #[test]

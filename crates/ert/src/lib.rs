@@ -35,7 +35,7 @@ use std::fmt;
 use gables_model::baselines::roofline::{Ceiling, Roofline};
 use gables_model::units::{BytesPerSec, OpsPerSec};
 use gables_soc_sim::{
-    run_single, RooflineKernel, ServedFrom, SimError, Simulator, TrafficPattern,
+    Job, RooflineKernel, ServedFrom, SimError, Simulator, TimelineRecorder, TrafficPattern,
 };
 
 /// The sweep grid: which array sizes and flops-per-word values to run.
@@ -112,9 +112,15 @@ pub struct SweepPoint {
     pub gbps: f64,
     /// Which memory level served the kernel.
     pub served_from: ServedFrom,
+    /// Simulation epochs the measurement spanned (telemetry provenance).
+    pub epochs: usize,
+    /// Total arbiter progressive-filling rounds across those epochs.
+    pub arbiter_rounds: u64,
 }
 
-/// Runs the full sweep of a config on one IP.
+/// Runs the full sweep of a config on one IP. Each point is measured
+/// with a telemetry recorder attached so it carries provenance: how many
+/// simulation epochs it spanned and how many arbiter rounds they cost.
 ///
 /// # Errors
 ///
@@ -135,14 +141,18 @@ pub fn sweep(
                 pattern: config.pattern,
                 data_type: gables_soc_sim::kernel::DataType::Fp32,
             };
-            let job = run_single(sim, ip, kernel)?;
+            let mut recorder = TimelineRecorder::new();
+            let run = sim.run_with_recorder(&[Job { ip, kernel }], &mut recorder)?;
+            let job = &run.jobs[0];
             out.push(SweepPoint {
                 array_bytes: bytes,
                 flops_per_word: fpw,
                 intensity: kernel.intensity(),
                 gflops: job.achieved_flops_per_sec / 1e9,
                 gbps: job.achieved_bytes_per_sec / 1e9,
-                served_from: job.served_from,
+                served_from: job.served_from.clone(),
+                epochs: recorder.epochs().len(),
+                arbiter_rounds: recorder.total_arbiter_rounds(),
             });
         }
     }
@@ -388,6 +398,17 @@ mod tests {
     }
 
     #[test]
+    fn sweep_points_carry_provenance() {
+        let cfg = small_config(TrafficPattern::ReadModifyWrite);
+        let points = sweep(&sim(), presets::CPU, &cfg).unwrap();
+        for p in &points {
+            assert!(p.epochs >= 1, "{p:?}");
+            // Every epoch costs at least one arbiter filling round.
+            assert!(p.arbiter_rounds >= p.epochs as u64, "{p:?}");
+        }
+    }
+
+    #[test]
     fn fit_on_empty_is_zeroed() {
         let r = fit(&[]);
         assert_eq!(r.peak_gflops, 0.0);
@@ -398,9 +419,12 @@ mod tests {
 
     #[test]
     fn to_roofline_round_trip() {
-        let roofline =
-            measure(&sim(), presets::CPU, &small_config(TrafficPattern::ReadModifyWrite))
-                .unwrap();
+        let roofline = measure(
+            &sim(),
+            presets::CPU,
+            &small_config(TrafficPattern::ReadModifyWrite),
+        )
+        .unwrap();
         let analytical = roofline.to_roofline().unwrap();
         assert!((analytical.peak().to_gops() - roofline.peak_gflops).abs() < 1e-9);
         // Attainable matches min(peak, bw*I) at a couple of intensities.
@@ -455,8 +479,12 @@ mod tests {
 
     #[test]
     fn display_matches_figure_style() {
-        let r = measure(&sim(), presets::CPU, &small_config(TrafficPattern::ReadModifyWrite))
-            .unwrap();
+        let r = measure(
+            &sim(),
+            presets::CPU,
+            &small_config(TrafficPattern::ReadModifyWrite),
+        )
+        .unwrap();
         let text = r.to_string();
         assert!(text.contains("GFLOPs/sec (Maximum)"));
         assert!(text.contains("DRAM"));

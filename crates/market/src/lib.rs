@@ -18,8 +18,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gables_model::rng::SplitMix64;
 
 /// A synthetic chipset record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,7 +104,7 @@ impl Market {
     /// Generates the database from a seed. The same seed always produces
     /// the same database.
     pub fn generate(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let roster = vendors();
         let mut chipsets = Vec::new();
         for year in YEARS {
@@ -130,7 +129,7 @@ impl Market {
                         flagship
                     } else {
                         let lo = (flagship / 2).max(3);
-                        rng.gen_range(lo..=flagship)
+                        rng.range_u64(lo as u64, flagship as u64) as u32
                     };
                     chipsets.push(Chipset {
                         vendor: (*vendor).to_string(),
@@ -206,34 +205,38 @@ fn vendor_code(vendor: &str) -> String {
 }
 
 #[cfg(test)]
-mod proptests {
-    use proptest::prelude::*;
-
+mod invariant_tests {
     use super::*;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
-
-        /// The Figure 2 shape anchors hold for every seed: per-year
-        /// counts hit the trend exactly, the flagship IP trend is
-        /// monotone past 30, and per-chipset IP counts stay within the
-        /// generation's bounds.
-        #[test]
-        fn anchors_hold_for_any_seed(seed in any::<u64>()) {
+    /// The Figure 2 shape anchors hold for every seed: per-year
+    /// counts hit the trend exactly, the flagship IP trend is
+    /// monotone past 30, and per-chipset IP counts stay within the
+    /// generation's bounds.
+    #[test]
+    fn anchors_hold_for_any_seed() {
+        let mut seed_rng = SplitMix64::new(0x2A2A);
+        for _ in 0..24 {
+            let seed = seed_rng.next_u64();
             let m = Market::generate(seed);
             for (year, count) in m.per_year_counts() {
-                prop_assert_eq!(count as u32, super::target_count(year));
+                assert_eq!(count as u32, target_count(year), "seed {seed}");
             }
             let trend = m.flagship_ip_trend();
             for pair in trend.windows(2) {
-                prop_assert!(pair[1].1 >= pair[0].1);
+                assert!(pair[1].1 >= pair[0].1, "seed {seed}");
             }
-            prop_assert!(trend.last().unwrap().1 > 30);
+            assert!(trend.last().unwrap().1 > 30, "seed {seed}");
             for c in m.chipsets() {
-                prop_assert!(c.ip_blocks >= 3);
-                prop_assert!(c.ip_blocks <= flagship_ip_blocks(c.year));
+                assert!(c.ip_blocks >= 3, "seed {seed}: {c:?}");
+                assert!(
+                    c.ip_blocks <= flagship_ip_blocks(c.year),
+                    "seed {seed}: {c:?}"
+                );
             }
-            prop_assert!(m.vendor_count("Qualcomm", 2017) < m.vendor_count("Qualcomm", 2014));
+            assert!(
+                m.vendor_count("Qualcomm", 2017) < m.vendor_count("Qualcomm", 2014),
+                "seed {seed}"
+            );
         }
     }
 }
@@ -284,7 +287,11 @@ mod tests {
         for pair in trend.windows(2) {
             assert!(pair[1].1 >= pair[0].1);
         }
-        assert!(trend.last().unwrap().1 > 30, "2017 flagship has {} IPs", trend.last().unwrap().1);
+        assert!(
+            trend.last().unwrap().1 > 30,
+            "2017 flagship has {} IPs",
+            trend.last().unwrap().1
+        );
     }
 
     #[test]

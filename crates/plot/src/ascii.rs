@@ -133,8 +133,16 @@ mod tests {
         }];
         let text = render_ascii(&series, 60, 12, true, true);
         let first_grid_line = text.lines().nth(1).unwrap();
-        let stars_left = first_grid_line.chars().take(30).filter(|&c| c == '*').count();
-        let stars_right = first_grid_line.chars().skip(30).filter(|&c| c == '*').count();
+        let stars_left = first_grid_line
+            .chars()
+            .take(30)
+            .filter(|&c| c == '*')
+            .count();
+        let stars_right = first_grid_line
+            .chars()
+            .skip(30)
+            .filter(|&c| c == '*')
+            .count();
         assert!(stars_right > 0, "flat roof missing:\n{text}");
         assert_eq!(stars_left, 0, "roof should not extend left:\n{text}");
     }

@@ -154,7 +154,15 @@ pub fn render_line_chart(
             .collect();
         doc.polyline(&pts, color, 2.0);
         let ly = px_t + 14.0 * (i as f64 + 1.0);
-        doc.line(px_r - 110.0, ly - 4.0, px_r - 92.0, ly - 4.0, color, 2.5, None);
+        doc.line(
+            px_r - 110.0,
+            ly - 4.0,
+            px_r - 92.0,
+            ly - 4.0,
+            color,
+            2.5,
+            None,
+        );
         doc.text(px_r - 88.0, ly, &s.label, 10.0, "start", "#333");
     }
     doc.finish()
@@ -183,9 +191,7 @@ pub fn render_roofline(roofline: &Roofline, title: &str, x_lo: f64, x_hi: f64) -
             .map(|&x| {
                 (
                     x,
-                    roofline
-                        .attainable_under(c, OpsPerByte::new(x))
-                        .to_gops(),
+                    roofline.attainable_under(c, OpsPerByte::new(x)).to_gops(),
                 )
             })
             .collect();
@@ -244,38 +250,35 @@ pub fn render_gables_plot(data: &GablesPlotData, title: &str) -> String {
 }
 
 #[cfg(test)]
-mod proptests {
-    use proptest::prelude::*;
-
+mod invariant_tests {
     use super::*;
+    use gables_model::rng::SplitMix64;
 
-    fn series_strategy() -> impl Strategy<Value = Vec<Series>> {
-        proptest::collection::vec(
-            proptest::collection::vec((1.0e-6f64..1.0e6, 1.0e-6f64..1.0e6), 1..24),
-            0..5,
-        )
-        .prop_map(|lists| {
-            lists
-                .into_iter()
-                .enumerate()
-                .map(|(i, mut pts)| {
-                    pts.sort_by(|a, b| a.0.total_cmp(&b.0));
-                    Series {
-                        label: format!("s{i}"),
-                        points: pts,
-                    }
-                })
-                .collect()
-        })
+    fn random_series(rng: &mut SplitMix64) -> Vec<Series> {
+        let n_series = rng.range_usize(0, 4);
+        (0..n_series)
+            .map(|i| {
+                let n_pts = rng.range_usize(1, 23);
+                let mut pts: Vec<(f64, f64)> = (0..n_pts)
+                    .map(|_| (rng.range_f64(1.0e-6, 1.0e6), rng.range_f64(1.0e-6, 1.0e6)))
+                    .collect();
+                pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                Series {
+                    label: format!("s{i}"),
+                    points: pts,
+                }
+            })
+            .collect()
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The renderer never panics and always emits balanced SVG,
-        /// whatever the data, on all four axis combinations.
-        #[test]
-        fn render_is_total(series in series_strategy(), x_log: bool, y_log: bool) {
+    /// The renderer never panics and always emits balanced SVG,
+    /// whatever the data, on all four axis combinations.
+    #[test]
+    fn render_is_total() {
+        let mut rng = SplitMix64::new(0x5F61);
+        for case in 0..64 {
+            let series = random_series(&mut rng);
+            let (x_log, y_log) = (case & 1 != 0, case & 2 != 0);
             let cfg = ChartConfig {
                 title: "prop".into(),
                 x_label: "x".into(),
@@ -286,19 +289,21 @@ mod proptests {
                 height: 240,
             };
             let svg = render_line_chart(&cfg, &series, &[]);
-            prop_assert!(svg.starts_with("<svg"));
-            prop_assert!(svg.trim_end().ends_with("</svg>"));
-            prop_assert_eq!(
-                svg.matches("<polyline").count(),
-                series.len()
-            );
+            assert!(svg.starts_with("<svg"));
+            assert!(svg.trim_end().ends_with("</svg>"));
+            assert_eq!(svg.matches("<polyline").count(), series.len());
         }
+    }
 
-        /// The ASCII renderer is total as well.
-        #[test]
-        fn ascii_is_total(series in series_strategy(), x_log: bool, y_log: bool) {
+    /// The ASCII renderer is total as well.
+    #[test]
+    fn ascii_is_total() {
+        let mut rng = SplitMix64::new(0xA5C1);
+        for case in 0..64 {
+            let series = random_series(&mut rng);
+            let (x_log, y_log) = (case & 1 != 0, case & 2 != 0);
             let text = crate::ascii::render_ascii(&series, 40, 10, x_log, y_log);
-            prop_assert!(!text.is_empty());
+            assert!(!text.is_empty());
         }
     }
 }

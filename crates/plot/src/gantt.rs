@@ -1,0 +1,222 @@
+//! ASCII Gantt-style timeline rendering for simulator telemetry.
+//!
+//! The simulator's `TimelineRecorder` (in `gables-soc-sim`) captures
+//! per-epoch flow activity; this module renders such data as a terminal
+//! timeline — one row per track (typically one per IP), each span drawn
+//! with its own glyph (the telemetry layer uses the binding-constraint
+//! glyph, so the row reads as a bottleneck ribbon) — plus shaded
+//! utilization ribbons for scalar signals like DRAM occupancy. The types
+//! here are plain numbers and labels, so the renderer stays independent
+//! of the simulator crates.
+
+/// A labelled interval on a timeline row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSpan {
+    /// Span start time (seconds, or any consistent unit).
+    pub t_start: f64,
+    /// Span end time.
+    pub t_end: f64,
+    /// Glyph drawn over the span's cells.
+    pub glyph: char,
+}
+
+/// One row of a timeline: a track label plus its spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// Track label (e.g. an IP name).
+    pub label: String,
+    /// Spans to draw; later spans overwrite earlier ones where they
+    /// overlap.
+    pub spans: Vec<TimelineSpan>,
+}
+
+/// Shade glyphs from empty to full, used by [`utilization_row`].
+const SHADES: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+
+/// Converts a piecewise-constant scalar signal in `[0, 1]` (e.g. DRAM
+/// utilization per epoch) into a shaded [`TimelineRow`]: each
+/// `(t_start, t_end, value)` sample maps to a glyph from a ramp of eight
+/// shades. Values are clamped to `[0, 1]`; NaN renders as empty.
+pub fn utilization_row(label: impl Into<String>, samples: &[(f64, f64, f64)]) -> TimelineRow {
+    let spans = samples
+        .iter()
+        .map(|&(t_start, t_end, value)| {
+            let v = if value.is_nan() {
+                0.0
+            } else {
+                value.clamp(0.0, 1.0)
+            };
+            let idx = (v * (SHADES.len() - 1) as f64).round() as usize;
+            TimelineSpan {
+                t_start,
+                t_end,
+                glyph: SHADES[idx.min(SHADES.len() - 1)],
+            }
+        })
+        .collect();
+    TimelineRow {
+        label: label.into(),
+        spans,
+    }
+}
+
+/// Renders rows onto a shared time axis, `width` cells wide. Each cell
+/// shows the glyph of the last span covering the cell's center time.
+/// Returns `"(no data)\n"` when no row has a positive-length span.
+pub fn render_timeline(rows: &[TimelineRow], width: usize) -> String {
+    let width = width.max(16);
+    let mut t_lo = f64::INFINITY;
+    let mut t_hi = f64::NEG_INFINITY;
+    for row in rows {
+        for s in &row.spans {
+            if s.t_end > s.t_start {
+                t_lo = t_lo.min(s.t_start);
+                t_hi = t_hi.max(s.t_end);
+            }
+        }
+    }
+    if !t_lo.is_finite() || t_hi <= t_lo {
+        return String::from("(no data)\n");
+    }
+    let span = t_hi - t_lo;
+    let label_width = rows
+        .iter()
+        .map(|r| r.label.chars().count())
+        .max()
+        .unwrap_or(0)
+        .max(4);
+
+    let mut out = String::new();
+    for row in rows {
+        let mut cells = vec![' '; width];
+        for (c, cell) in cells.iter_mut().enumerate() {
+            let t = t_lo + (c as f64 + 0.5) / width as f64 * span;
+            for s in &row.spans {
+                if s.t_start <= t && t < s.t_end {
+                    *cell = s.glyph;
+                }
+            }
+        }
+        out.push_str(&format!("{:>label_width$} │", row.label));
+        out.extend(cells.iter());
+        out.push_str("│\n");
+    }
+    out.push_str(&format!("{:>label_width$} └", ""));
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    let t_label = format!("{t_lo:.6}");
+    out.push_str(&format!(
+        "{:>label_width$}  {:<half$}{:>half$}\n",
+        "s",
+        t_label,
+        format!("{t_hi:.6}"),
+        half = width / 2,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_on_a_shared_axis() {
+        let rows = vec![
+            TimelineRow {
+                label: "CPU".into(),
+                spans: vec![
+                    TimelineSpan {
+                        t_start: 0.0,
+                        t_end: 0.5,
+                        glyph: 'D',
+                    },
+                    TimelineSpan {
+                        t_start: 0.5,
+                        t_end: 1.0,
+                        glyph: 'C',
+                    },
+                ],
+            },
+            TimelineRow {
+                label: "GPU".into(),
+                spans: vec![TimelineSpan {
+                    t_start: 0.0,
+                    t_end: 0.25,
+                    glyph: 'P',
+                }],
+            },
+        ];
+        let text = render_timeline(&rows, 40);
+        assert!(text.contains("CPU"));
+        assert!(text.contains("GPU"));
+        // CPU's two halves and GPU's quarter all show up.
+        assert!(text.contains('D'));
+        assert!(text.contains('C'));
+        assert!(text.contains('P'));
+        // The GPU row goes quiet after its span ends: the last cells of
+        // its line are blank.
+        let gpu_line = text.lines().find(|l| l.contains("GPU")).unwrap();
+        assert!(gpu_line.trim_end().ends_with([' ', '│']));
+    }
+
+    #[test]
+    fn later_spans_overwrite_earlier() {
+        let rows = vec![TimelineRow {
+            label: "x".into(),
+            spans: vec![
+                TimelineSpan {
+                    t_start: 0.0,
+                    t_end: 1.0,
+                    glyph: 'a',
+                },
+                TimelineSpan {
+                    t_start: 0.0,
+                    t_end: 1.0,
+                    glyph: 'b',
+                },
+            ],
+        }];
+        let text = render_timeline(&rows, 20);
+        assert!(!text.contains('a'));
+        assert!(text.contains('b'));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(render_timeline(&[], 40), "(no data)\n");
+        // A row whose spans all have zero length has no drawable extent.
+        let degenerate = vec![TimelineRow {
+            label: "z".into(),
+            spans: vec![TimelineSpan {
+                t_start: 1.0,
+                t_end: 1.0,
+                glyph: '#',
+            }],
+        }];
+        assert_eq!(render_timeline(&degenerate, 40), "(no data)\n");
+    }
+
+    #[test]
+    fn utilization_shades_scale_with_value() {
+        let row = utilization_row(
+            "DRAM",
+            &[
+                (0.0, 1.0, 0.0),
+                (1.0, 2.0, 0.5),
+                (2.0, 3.0, 1.0),
+                (3.0, 4.0, f64::NAN),
+            ],
+        );
+        assert_eq!(row.spans[0].glyph, ' ');
+        assert_eq!(row.spans[2].glyph, '@');
+        assert_eq!(row.spans[3].glyph, ' ');
+        // Mid value lands strictly between the extremes on the ramp.
+        let mid = SHADES
+            .iter()
+            .position(|&c| c == row.spans[1].glyph)
+            .unwrap();
+        assert!(mid > 0 && mid < SHADES.len() - 1);
+        let text = render_timeline(&[row], 30);
+        assert!(text.contains('@'));
+    }
+}

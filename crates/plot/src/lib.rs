@@ -2,8 +2,10 @@
 //!
 //! SVG and ASCII renderers for the paper's plots: classic rooflines
 //! (Figures 1, 7, 9), Gables scaled multi-rooflines with drop lines
-//! (Figure 6), and generic line charts (Figures 2 and 8). Built in-tree
-//! because no chart crate is among the approved offline dependencies.
+//! (Figure 6), generic line charts (Figures 2 and 8), and an ASCII
+//! Gantt/utilization timeline for simulator telemetry ([`gantt`]). Built
+//! in-tree because no chart crate is among the approved offline
+//! dependencies.
 //!
 //! ## Example
 //!
@@ -24,6 +26,7 @@
 
 pub mod ascii;
 pub mod chart;
+pub mod gantt;
 pub mod scale;
 pub mod svg;
 
@@ -31,4 +34,5 @@ pub use ascii::render_ascii;
 pub use chart::{
     render_gables_plot, render_line_chart, render_roofline, ChartConfig, Series, VerticalMarker,
 };
+pub use gantt::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
 pub use svg::SvgDocument;

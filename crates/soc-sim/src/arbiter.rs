@@ -8,6 +8,13 @@
 //! crossing it. The result is the classic max-min fair allocation, the
 //! behaviour a round-robin memory-controller arbiter approximates.
 //!
+//! Beyond the rates themselves, the arbiter reports *why* each flow
+//! stopped rising — [`FlowBound::Cap`] for a private limit,
+//! [`FlowBound::Resource`] for a saturated shared resource — and how many
+//! filling rounds the allocation took. The telemetry layer turns these
+//! tags into per-epoch bottleneck attribution without re-deriving the
+//! arbitration logic in the engine.
+//!
 //! An alternative `proportional` policy (each flow gets capacity in
 //! proportion to its demand) is provided for the ablation bench.
 
@@ -33,17 +40,43 @@ pub enum ArbiterPolicy {
     Proportional,
 }
 
+/// The constraint that pinned one flow's allocated rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowBound {
+    /// The flow froze at its private cap (port bandwidth or compute
+    /// limit). Zero-demand flows (cap == 0) freeze here immediately.
+    Cap,
+    /// The flow froze because shared resource `j` (an index into the
+    /// capacity slice handed to [`allocate`]) saturated.
+    Resource(usize),
+}
+
+/// The result of one arbitration round-trip: per-flow rates, the binding
+/// constraint that froze each flow, and the number of arbiter iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Allocated rate per flow, in input order. Respects every private
+    /// cap and every resource capacity.
+    pub rates: Vec<f64>,
+    /// The constraint that froze each flow, in input order.
+    pub bounds: Vec<FlowBound>,
+    /// Number of progressive-filling (or proportional scale-down) rounds
+    /// the arbiter ran before converging.
+    pub rounds: u32,
+}
+
 /// Computes per-flow rates under the given policy.
 ///
 /// `capacities[j]` is the capacity of shared resource `j`. Flows with an
 /// empty resource list are limited only by their private cap. Rates are
-/// guaranteed to respect every private cap and every resource capacity.
+/// guaranteed to respect every private cap and every resource capacity,
+/// and every flow carries the [`FlowBound`] that pinned it.
 ///
 /// # Panics
 ///
 /// Panics in debug builds if a flow references a resource index out of
 /// range or a cap/capacity is negative or NaN.
-pub fn allocate(flows: &[Flow], capacities: &[f64], policy: ArbiterPolicy) -> Vec<f64> {
+pub fn allocate(flows: &[Flow], capacities: &[f64], policy: ArbiterPolicy) -> Allocation {
     for f in flows {
         debug_assert!(f.cap >= 0.0 && !f.cap.is_nan());
         for &r in &f.resources {
@@ -59,11 +92,15 @@ pub fn allocate(flows: &[Flow], capacities: &[f64], policy: ArbiterPolicy) -> Ve
     }
 }
 
-fn max_min(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
+fn max_min(flows: &[Flow], capacities: &[f64]) -> Allocation {
     let n = flows.len();
     let mut rates = vec![0.0f64; n];
     let mut frozen = vec![false; n];
+    // Until proven otherwise, a flow is pinned by its own cap; the freeze
+    // pass overwrites this with the saturated resource where applicable.
+    let mut bounds = vec![FlowBound::Cap; n];
     let mut remaining: Vec<f64> = capacities.to_vec();
+    let mut rounds = 0u32;
 
     // Each round freezes at least one flow or saturates at least one
     // resource, so n + |resources| rounds suffice.
@@ -83,6 +120,7 @@ fn max_min(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
         if !any_unfrozen {
             break;
         }
+        rounds += 1;
         // The common increment: limited by the tightest resource share and
         // the smallest private headroom.
         let mut alpha = f64::INFINITY;
@@ -109,7 +147,8 @@ fn max_min(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
             }
         }
         // Freeze flows at their private cap or crossing a saturated
-        // resource.
+        // resource. The private cap is checked first, so a flow that hits
+        // both in the same round is attributed to its own limit.
         for (i, f) in flows.iter().enumerate() {
             if frozen[i] {
                 continue;
@@ -118,24 +157,33 @@ fn max_min(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
             if rates[i] >= f.cap - eps_cap {
                 rates[i] = f.cap;
                 frozen[i] = true;
+                bounds[i] = FlowBound::Cap;
                 continue;
             }
             for &r in &f.resources {
                 let eps_res = capacities[r] * 1e-12 + 1e-12;
                 if remaining[r] <= eps_res {
                     frozen[i] = true;
+                    bounds[i] = FlowBound::Resource(r);
                     break;
                 }
             }
         }
     }
-    rates
+    Allocation {
+        rates,
+        bounds,
+        rounds,
+    }
 }
 
-fn proportional(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
+fn proportional(flows: &[Flow], capacities: &[f64]) -> Allocation {
     // Start from full demand, then repeatedly scale down the flows of the
-    // most-oversubscribed resource until all constraints hold.
+    // most-oversubscribed resource until all constraints hold. A flow that
+    // is never scaled runs at its demand, i.e. its private cap binds.
     let mut rates: Vec<f64> = flows.iter().map(|f| f.cap).collect();
+    let mut bounds = vec![FlowBound::Cap; flows.len()];
+    let mut rounds = 0u32;
     for _ in 0..(capacities.len() * 4 + 4) {
         let mut worst: Option<(usize, f64)> = None;
         for (j, &cap) in capacities.iter().enumerate() {
@@ -146,93 +194,154 @@ fn proportional(flows: &[Flow], capacities: &[f64]) -> Vec<f64> {
                 .map(|(_, &r)| r)
                 .sum();
             if load > cap * (1.0 + 1e-12) {
-                let over = load / cap;
+                // A zero-capacity resource admits no traffic at all; treat
+                // its oversubscription as infinite without dividing by it.
+                let over = if cap > 0.0 { load / cap } else { f64::INFINITY };
                 if worst.is_none_or(|(_, w)| over > w) {
                     worst = Some((j, over));
                 }
             }
         }
         let Some((j, over)) = worst else { break };
-        for (f, r) in flows.iter().zip(rates.iter_mut()) {
-            if f.resources.contains(&j) {
-                *r /= over;
+        rounds += 1;
+        for ((f, r), b) in flows.iter().zip(rates.iter_mut()).zip(bounds.iter_mut()) {
+            // Zero-demand flows contribute nothing to the load; leave them
+            // pinned at their (vacuous) cap rather than attributing them
+            // to a resource they never pressured.
+            if f.resources.contains(&j) && *r > 0.0 {
+                if over.is_finite() {
+                    *r /= over;
+                } else {
+                    *r = 0.0;
+                }
+                *b = FlowBound::Resource(j);
             }
         }
     }
-    rates
+    Allocation {
+        rates,
+        bounds,
+        rounds,
+    }
 }
 
 #[cfg(test)]
-mod proptests {
-    use proptest::prelude::*;
-
+mod invariant_tests {
     use super::*;
+    use gables_model::rng::SplitMix64;
 
-    fn instance() -> impl Strategy<Value = (Vec<Flow>, Vec<f64>)> {
-        let caps = proptest::collection::vec(0.1f64..100.0, 1..5);
-        let flows = proptest::collection::vec(
-            (0.1f64..100.0, proptest::collection::vec(0usize..5, 0..4)),
-            1..8,
-        );
-        (caps, flows).prop_map(|(caps, flows)| {
-            let n = caps.len();
-            let flows = flows
-                .into_iter()
-                .map(|(cap, res)| {
-                    let mut resources: Vec<usize> =
-                        res.into_iter().map(|r| r % n).collect();
-                    resources.sort_unstable();
-                    resources.dedup();
-                    Flow { cap, resources }
-                })
-                .collect();
-            (flows, caps)
-        })
+    fn random_instance(rng: &mut SplitMix64) -> (Vec<Flow>, Vec<f64>) {
+        let n_caps = rng.range_usize(1, 4);
+        let caps: Vec<f64> = (0..n_caps).map(|_| rng.range_f64(0.1, 100.0)).collect();
+        let n_flows = rng.range_usize(1, 7);
+        let flows = (0..n_flows)
+            .map(|_| {
+                let cap = rng.range_f64(0.1, 100.0);
+                let n_res = rng.range_usize(0, 3);
+                let mut resources: Vec<usize> =
+                    (0..n_res).map(|_| rng.range_usize(0, n_caps - 1)).collect();
+                resources.sort_unstable();
+                resources.dedup();
+                Flow { cap, resources }
+            })
+            .collect();
+        (flows, caps)
     }
 
-    proptest! {
-        /// Both policies always respect every private cap and every
-        /// shared-resource capacity.
-        #[test]
-        fn allocations_are_feasible((flows, caps) in instance()) {
+    /// Both policies always respect every private cap and every
+    /// shared-resource capacity.
+    #[test]
+    fn allocations_are_feasible() {
+        let mut rng = SplitMix64::new(0xFEA5);
+        for _ in 0..256 {
+            let (flows, caps) = random_instance(&mut rng);
             for policy in [ArbiterPolicy::MaxMin, ArbiterPolicy::Proportional] {
-                let rates = allocate(&flows, &caps, policy);
-                prop_assert_eq!(rates.len(), flows.len());
-                for (f, &r) in flows.iter().zip(&rates) {
-                    prop_assert!(r >= -1e-12);
-                    prop_assert!(r <= f.cap * (1.0 + 1e-9) + 1e-9);
+                let alloc = allocate(&flows, &caps, policy);
+                assert_eq!(alloc.rates.len(), flows.len());
+                assert_eq!(alloc.bounds.len(), flows.len());
+                for (f, &r) in flows.iter().zip(&alloc.rates) {
+                    assert!(r >= -1e-12);
+                    assert!(r <= f.cap * (1.0 + 1e-9) + 1e-9);
                 }
                 for (j, &cap) in caps.iter().enumerate() {
                     let load: f64 = flows
                         .iter()
-                        .zip(&rates)
+                        .zip(&alloc.rates)
                         .filter(|(f, _)| f.resources.contains(&j))
                         .map(|(_, &r)| r)
                         .sum();
-                    prop_assert!(load <= cap * (1.0 + 1e-9) + 1e-9,
-                        "resource {j}: load {load} > cap {cap}");
+                    assert!(
+                        load <= cap * (1.0 + 1e-9) + 1e-9,
+                        "resource {j}: load {load} > cap {cap}"
+                    );
                 }
             }
         }
+    }
 
-        /// Max-min allocations are Pareto-efficient: every flow is pinned
-        /// by its own cap or by a saturated resource on its path.
-        #[test]
-        fn maxmin_leaves_no_free_headroom((flows, caps) in instance()) {
-            let rates = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
+    /// Max-min allocations are Pareto-efficient: every flow is pinned
+    /// by its own cap or by a saturated resource on its path.
+    #[test]
+    fn maxmin_leaves_no_free_headroom() {
+        let mut rng = SplitMix64::new(0x9A3E);
+        for _ in 0..256 {
+            let (flows, caps) = random_instance(&mut rng);
+            let alloc = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
             for (i, f) in flows.iter().enumerate() {
-                let at_cap = rates[i] >= f.cap * (1.0 - 1e-6) - 1e-9;
+                let at_cap = alloc.rates[i] >= f.cap * (1.0 - 1e-6) - 1e-9;
                 let on_saturated = f.resources.iter().any(|&j| {
                     let load: f64 = flows
                         .iter()
-                        .zip(&rates)
+                        .zip(&alloc.rates)
                         .filter(|(g, _)| g.resources.contains(&j))
                         .map(|(_, &r)| r)
                         .sum();
                     load >= caps[j] * (1.0 - 1e-6) - 1e-9
                 });
-                prop_assert!(at_cap || on_saturated,
-                    "flow {i} has headroom: rate {} cap {}", rates[i], f.cap);
+                assert!(
+                    at_cap || on_saturated,
+                    "flow {i} has headroom: rate {} cap {}",
+                    alloc.rates[i],
+                    f.cap
+                );
+            }
+        }
+    }
+
+    /// The reported bound is consistent with the allocation: a flow
+    /// tagged `Cap` runs at (or within epsilon of) its private cap, and a
+    /// flow tagged `Resource(j)` sits on a saturated resource `j`.
+    #[test]
+    fn maxmin_bounds_match_reality() {
+        let mut rng = SplitMix64::new(0xB0D5);
+        for _ in 0..256 {
+            let (flows, caps) = random_instance(&mut rng);
+            let alloc = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
+            for (i, f) in flows.iter().enumerate() {
+                match alloc.bounds[i] {
+                    FlowBound::Cap => {
+                        assert!(
+                            alloc.rates[i] >= f.cap - (f.cap * 1e-9 + 1e-9),
+                            "flow {i} tagged Cap but rate {} < cap {}",
+                            alloc.rates[i],
+                            f.cap
+                        );
+                    }
+                    FlowBound::Resource(j) => {
+                        assert!(f.resources.contains(&j), "flow {i} bound off-path");
+                        let load: f64 = flows
+                            .iter()
+                            .zip(&alloc.rates)
+                            .filter(|(g, _)| g.resources.contains(&j))
+                            .map(|(_, &r)| r)
+                            .sum();
+                        assert!(
+                            load >= caps[j] * (1.0 - 1e-6) - 1e-9,
+                            "flow {i} tagged Resource({j}) but load {load} < cap {}",
+                            caps[j]
+                        );
+                    }
+                }
             }
         }
     }
@@ -251,42 +360,50 @@ mod tests {
 
     #[test]
     fn uncontended_flows_run_at_cap() {
-        let rates = allocate(
+        let alloc = allocate(
             &[flow(5.0, &[0]), flow(3.0, &[0])],
             &[100.0],
             ArbiterPolicy::MaxMin,
         );
-        assert_eq!(rates, vec![5.0, 3.0]);
+        assert_eq!(alloc.rates, vec![5.0, 3.0]);
+        assert_eq!(alloc.bounds, vec![FlowBound::Cap, FlowBound::Cap]);
     }
 
     #[test]
     fn saturated_resource_splits_evenly() {
-        let rates = allocate(
+        let alloc = allocate(
             &[flow(100.0, &[0]), flow(100.0, &[0])],
             &[10.0],
             ArbiterPolicy::MaxMin,
         );
-        assert!((rates[0] - 5.0).abs() < 1e-9);
-        assert!((rates[1] - 5.0).abs() < 1e-9);
+        assert!((alloc.rates[0] - 5.0).abs() < 1e-9);
+        assert!((alloc.rates[1] - 5.0).abs() < 1e-9);
+        assert_eq!(
+            alloc.bounds,
+            vec![FlowBound::Resource(0), FlowBound::Resource(0)]
+        );
     }
 
     #[test]
     fn small_flow_frees_share_for_big_flow() {
         // Max-min: the 2-unit flow takes 2; the remainder goes to the other.
-        let rates = allocate(
+        let alloc = allocate(
             &[flow(2.0, &[0]), flow(100.0, &[0])],
             &[10.0],
             ArbiterPolicy::MaxMin,
         );
-        assert!((rates[0] - 2.0).abs() < 1e-9);
-        assert!((rates[1] - 8.0).abs() < 1e-9);
+        assert!((alloc.rates[0] - 2.0).abs() < 1e-9);
+        assert!((alloc.rates[1] - 8.0).abs() < 1e-9);
+        assert_eq!(alloc.bounds[0], FlowBound::Cap);
+        assert_eq!(alloc.bounds[1], FlowBound::Resource(0));
     }
 
     #[test]
     fn multi_resource_chain_takes_tightest() {
         // One flow crossing fabric (cap 4) and DRAM (cap 10): fabric binds.
-        let rates = allocate(&[flow(100.0, &[0, 1])], &[4.0, 10.0], ArbiterPolicy::MaxMin);
-        assert!((rates[0] - 4.0).abs() < 1e-9);
+        let alloc = allocate(&[flow(100.0, &[0, 1])], &[4.0, 10.0], ArbiterPolicy::MaxMin);
+        assert!((alloc.rates[0] - 4.0).abs() < 1e-9);
+        assert_eq!(alloc.bounds[0], FlowBound::Resource(0));
     }
 
     #[test]
@@ -294,13 +411,15 @@ mod tests {
         // Two flows on private fabrics (caps 8 and 3) both crossing DRAM
         // (cap 9): flow B freezes at 3 on its fabric, flow A takes the
         // remaining 6 of DRAM but is also capped by its fabric at 8 -> 6.
-        let rates = allocate(
+        let alloc = allocate(
             &[flow(100.0, &[0, 2]), flow(100.0, &[1, 2])],
             &[8.0, 3.0, 9.0],
             ArbiterPolicy::MaxMin,
         );
-        assert!((rates[1] - 3.0).abs() < 1e-9);
-        assert!((rates[0] - 6.0).abs() < 1e-9);
+        assert!((alloc.rates[1] - 3.0).abs() < 1e-9);
+        assert!((alloc.rates[0] - 6.0).abs() < 1e-9);
+        assert_eq!(alloc.bounds[1], FlowBound::Resource(1));
+        assert_eq!(alloc.bounds[0], FlowBound::Resource(2));
     }
 
     #[test]
@@ -312,22 +431,23 @@ mod tests {
             flow(2.0, &[]),
         ];
         let caps = [6.0, 8.0, 4.0];
-        let rates = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
-        for (f, &r) in flows.iter().zip(&rates) {
+        let alloc = allocate(&flows, &caps, ArbiterPolicy::MaxMin);
+        for (f, &r) in flows.iter().zip(&alloc.rates) {
             assert!(r <= f.cap + 1e-9);
             assert!(r >= 0.0);
         }
         for (j, &cap) in caps.iter().enumerate() {
             let load: f64 = flows
                 .iter()
-                .zip(&rates)
+                .zip(&alloc.rates)
                 .filter(|(f, _)| f.resources.contains(&j))
                 .map(|(_, &r)| r)
                 .sum();
             assert!(load <= cap + 1e-9, "resource {j} over capacity");
         }
         // Private-cap-only flow gets its cap.
-        assert!((rates[3] - 2.0).abs() < 1e-12);
+        assert!((alloc.rates[3] - 2.0).abs() < 1e-12);
+        assert_eq!(alloc.bounds[3], FlowBound::Cap);
     }
 
     #[test]
@@ -335,24 +455,28 @@ mod tests {
         // Demands 9 and 3 on a 6-capacity resource: proportional keeps the
         // 3:1 ratio (4.5 and 1.5) where max-min would give 3 and 3.
         let flows = vec![flow(9.0, &[0]), flow(3.0, &[0])];
-        let rates = allocate(&flows, &[6.0], ArbiterPolicy::Proportional);
-        assert!((rates[0] - 4.5).abs() < 1e-9);
-        assert!((rates[1] - 1.5).abs() < 1e-9);
+        let alloc = allocate(&flows, &[6.0], ArbiterPolicy::Proportional);
+        assert!((alloc.rates[0] - 4.5).abs() < 1e-9);
+        assert!((alloc.rates[1] - 1.5).abs() < 1e-9);
+        assert_eq!(
+            alloc.bounds,
+            vec![FlowBound::Resource(0), FlowBound::Resource(0)]
+        );
 
         let maxmin = allocate(&flows, &[6.0], ArbiterPolicy::MaxMin);
-        assert!((maxmin[0] - 3.0).abs() < 1e-9);
-        assert!((maxmin[1] - 3.0).abs() < 1e-9);
+        assert!((maxmin.rates[0] - 3.0).abs() < 1e-9);
+        assert!((maxmin.rates[1] - 3.0).abs() < 1e-9);
     }
 
     #[test]
     fn proportional_respects_all_constraints() {
         let flows = vec![flow(7.0, &[0, 1]), flow(5.0, &[1]), flow(9.0, &[0])];
         let caps = [6.0, 8.0];
-        let rates = allocate(&flows, &caps, ArbiterPolicy::Proportional);
+        let alloc = allocate(&flows, &caps, ArbiterPolicy::Proportional);
         for (j, &cap) in caps.iter().enumerate() {
             let load: f64 = flows
                 .iter()
-                .zip(&rates)
+                .zip(&alloc.rates)
                 .filter(|(f, _)| f.resources.contains(&j))
                 .map(|(_, &r)| r)
                 .sum();
@@ -362,19 +486,49 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert!(allocate(&[], &[1.0], ArbiterPolicy::MaxMin).is_empty());
-        let rates = allocate(&[flow(3.0, &[])], &[], ArbiterPolicy::MaxMin);
-        assert_eq!(rates, vec![3.0]);
+        let alloc = allocate(&[], &[1.0], ArbiterPolicy::MaxMin);
+        assert!(alloc.rates.is_empty());
+        assert_eq!(alloc.rounds, 0);
+        let alloc = allocate(&[flow(3.0, &[])], &[], ArbiterPolicy::MaxMin);
+        assert_eq!(alloc.rates, vec![3.0]);
     }
 
     #[test]
     fn zero_capacity_resource_starves_its_flows() {
-        let rates = allocate(
-            &[flow(5.0, &[0]), flow(5.0, &[])],
-            &[0.0],
+        for policy in [ArbiterPolicy::MaxMin, ArbiterPolicy::Proportional] {
+            let alloc = allocate(&[flow(5.0, &[0]), flow(5.0, &[])], &[0.0], policy);
+            assert!(alloc.rates[0].abs() < 1e-9, "{policy:?}");
+            assert!((alloc.rates[1] - 5.0).abs() < 1e-9, "{policy:?}");
+            assert_eq!(alloc.bounds[0], FlowBound::Resource(0));
+            assert_eq!(alloc.bounds[1], FlowBound::Cap);
+        }
+    }
+
+    #[test]
+    fn zero_demand_flow_is_tagged_cap_without_panic() {
+        // A flow with zero demand must not divide-by-zero anywhere and is
+        // attributed to its own (vacuous) cap, never a shared resource.
+        for policy in [ArbiterPolicy::MaxMin, ArbiterPolicy::Proportional] {
+            let alloc = allocate(&[flow(0.0, &[0]), flow(100.0, &[0])], &[10.0], policy);
+            assert_eq!(alloc.rates[0], 0.0, "{policy:?}");
+            assert!(alloc.rates[1] <= 10.0 + 1e-9, "{policy:?}");
+            assert!(alloc.rates.iter().all(|r| r.is_finite()), "{policy:?}");
+            assert_eq!(alloc.bounds[0], FlowBound::Cap, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn rounds_are_reported() {
+        // Two freeze generations: the small flow caps out first, then the
+        // big one saturates the resource.
+        let alloc = allocate(
+            &[flow(2.0, &[0]), flow(100.0, &[0])],
+            &[10.0],
             ArbiterPolicy::MaxMin,
         );
-        assert!(rates[0].abs() < 1e-9);
-        assert!((rates[1] - 5.0).abs() < 1e-9);
+        assert!(alloc.rounds >= 2);
+        // Uncontended single flow converges in one round.
+        let alloc = allocate(&[flow(5.0, &[0])], &[100.0], ArbiterPolicy::MaxMin);
+        assert_eq!(alloc.rounds, 1);
     }
 }

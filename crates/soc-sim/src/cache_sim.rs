@@ -316,65 +316,69 @@ pub fn measure_miss_ratio(
 }
 
 #[cfg(test)]
-mod proptests {
-    use proptest::prelude::*;
+mod invariant_tests {
+    use gables_model::rng::SplitMix64;
 
     use super::*;
     use crate::trace::TracePattern;
 
-    fn pattern_strategy() -> impl Strategy<Value = TracePattern> {
-        prop_oneof![
-            ((1u64..64), (1u32..4), any::<bool>()).prop_map(|(kb, passes, wb)| {
-                TracePattern::Stream {
-                    bytes: kb << 10,
-                    stride: 4,
-                    passes,
-                    write_back: wb,
-                }
-            }),
-            ((4u64..64), (1u64..8), (0u32..4)).prop_map(|(kb, tiles, reuse)| {
+    fn random_pattern(rng: &mut SplitMix64) -> TracePattern {
+        match rng.range_u64(0, 2) {
+            0 => TracePattern::Stream {
+                bytes: rng.range_u64(1, 63) << 10,
+                stride: 4,
+                passes: rng.range_u64(1, 3) as u32,
+                write_back: rng.chance(0.5),
+            },
+            1 => {
+                let bytes = rng.range_u64(4, 63) << 10;
+                let tiles = rng.range_u64(1, 7);
                 TracePattern::Tiled {
-                    bytes: kb << 10,
-                    tile_bytes: (kb << 10) / tiles.max(1),
+                    bytes,
+                    tile_bytes: bytes / tiles,
                     stride: 16,
-                    reuse,
+                    reuse: rng.range_u64(0, 3) as u32,
                 }
-            }),
-            ((1u64..64), (1u64..2000)).prop_map(|(kb, count)| TracePattern::RandomChase {
-                bytes: kb << 10,
+            }
+            _ => TracePattern::RandomChase {
+                bytes: rng.range_u64(1, 63) << 10,
                 stride: 64,
-                count,
-            }),
-        ]
+                count: rng.range_u64(1, 1999),
+            },
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// The 3C identity holds and compulsory misses equal the number
-        /// of distinct lines touched.
-        #[test]
-        fn three_c_identity(pattern in pattern_strategy(), assoc_pow in 0u32..4) {
+    /// The 3C identity holds and compulsory misses equal the number
+    /// of distinct lines touched.
+    #[test]
+    fn three_c_identity() {
+        let mut rng = SplitMix64::new(0x3C3C);
+        for _ in 0..48 {
+            let pattern = random_pattern(&mut rng);
             let cfg = CacheConfig {
                 capacity_bytes: 8 << 10,
                 line_bytes: 64,
-                associativity: 1 << assoc_pow,
+                associativity: 1 << rng.range_u64(0, 3),
             };
             let trace = pattern.generate();
             let mut sim = CacheSim::new(cfg).unwrap();
             let s = sim.run_trace(&trace);
-            prop_assert_eq!(s.accesses as usize, trace.len());
-            prop_assert_eq!(s.hits + s.misses(), s.accesses);
+            assert_eq!(s.accesses as usize, trace.len(), "{pattern:?}");
+            assert_eq!(s.hits + s.misses(), s.accesses, "{pattern:?}");
             let unique: std::collections::HashSet<u64> =
                 trace.iter().map(|a| a.addr / 64).collect();
-            prop_assert_eq!(s.compulsory as usize, unique.len());
+            assert_eq!(s.compulsory as usize, unique.len(), "{pattern:?}");
         }
+    }
 
-        /// A fully-associative cache never records conflict misses, and
-        /// doubling a fully-associative LRU capacity never adds misses
-        /// (LRU is a stack algorithm).
-        #[test]
-        fn fully_associative_inclusion(pattern in pattern_strategy()) {
+    /// A fully-associative cache never records conflict misses, and
+    /// doubling a fully-associative LRU capacity never adds misses
+    /// (LRU is a stack algorithm).
+    #[test]
+    fn fully_associative_inclusion() {
+        let mut rng = SplitMix64::new(0xFA11);
+        for _ in 0..48 {
+            let pattern = random_pattern(&mut rng);
             let trace = pattern.generate();
             let small = CacheConfig::fully_associative(8 << 10, 64);
             let big = CacheConfig::fully_associative(16 << 10, 64);
@@ -382,16 +386,19 @@ mod proptests {
             let sa = a.run_trace(&trace);
             let mut b = CacheSim::new(big).unwrap();
             let sb = b.run_trace(&trace);
-            prop_assert_eq!(sa.conflict, 0);
-            prop_assert_eq!(sb.conflict, 0);
-            prop_assert!(sb.misses() <= sa.misses());
+            assert_eq!(sa.conflict, 0, "{pattern:?}");
+            assert_eq!(sb.conflict, 0, "{pattern:?}");
+            assert!(sb.misses() <= sa.misses(), "{pattern:?}");
         }
+    }
 
-        /// Writebacks never exceed the number of write accesses plus zero
-        /// (clean evictions are free) and never occur for read-only
-        /// traces.
-        #[test]
-        fn writeback_sanity(pattern in pattern_strategy()) {
+    /// Writebacks never exceed the number of write accesses (clean
+    /// evictions are free) and never occur for read-only traces.
+    #[test]
+    fn writeback_sanity() {
+        let mut rng = SplitMix64::new(0x3B5A);
+        for _ in 0..48 {
+            let pattern = random_pattern(&mut rng);
             let trace = pattern.generate();
             let cfg = CacheConfig {
                 capacity_bytes: 4 << 10,
@@ -403,7 +410,7 @@ mod proptests {
             // Each writeback requires at least one write since the line
             // was last filled, so writebacks can never exceed writes.
             let writes = trace.iter().filter(|a| a.write).count() as u64;
-            prop_assert!(s.writebacks <= writes);
+            assert!(s.writebacks <= writes, "{pattern:?}");
         }
     }
 }
@@ -479,8 +486,7 @@ mod tests {
         assert_eq!(s.conflict, 38);
         assert_eq!(s.capacity, 0);
 
-        let mut fa =
-            CacheSim::new(CacheConfig::fully_associative(4096, 64)).unwrap();
+        let mut fa = CacheSim::new(CacheConfig::fully_associative(4096, 64)).unwrap();
         let s = fa.run_trace(&trace);
         assert_eq!(s.misses(), 2); // only compulsory
         assert_eq!(s.conflict, 0);

@@ -232,7 +232,12 @@ mod tests {
         let soc = presets::snapdragon_835_like();
         let sim = Simulator::new(soc.clone()).unwrap();
         let cached = RooflineKernel::dram_resident(4).with_array_bytes(64 << 10);
-        let run = sim.run(&[Job { ip: presets::CPU, kernel: cached }]).unwrap();
+        let run = sim
+            .run(&[Job {
+                ip: presets::CPU,
+                kernel: cached,
+            }])
+            .unwrap();
         let report = model.account(&soc, &run).unwrap();
         assert_eq!(report.jobs[0].dram_joules, 0.0);
         assert!(report.jobs[0].movement_joules > 0.0);

@@ -9,10 +9,13 @@
 //! exactly; with the thermal model enabled, compute caps drift
 //! continuously and the engine steps on a fixed quantum instead.
 
-use crate::arbiter::{allocate, ArbiterPolicy, Flow};
+use crate::arbiter::{allocate, ArbiterPolicy, Flow, FlowBound};
 use crate::config::SocConfig;
 use crate::error::SimError;
 use crate::kernel::RooflineKernel;
+use crate::telemetry::{
+    BindingConstraint, BottleneckBreakdown, Epoch, EpochFlow, NullRecorder, Recorder,
+};
 use crate::thermal::{ThermalConfig, ThermalState};
 
 /// One unit of work for the simulator: an IP index plus the kernel it runs.
@@ -52,6 +55,10 @@ pub struct JobResult {
     pub achieved_bytes_per_sec: f64,
     /// The serving memory level.
     pub served_from: ServedFrom,
+    /// Fraction of this job's wall time bound by each constraint
+    /// (compute, port, fabric, DRAM, cache, scratchpad). Always computed;
+    /// sums to 1 within floating-point error.
+    pub breakdown: BottleneckBreakdown,
 }
 
 /// Whole-run outcome.
@@ -65,7 +72,9 @@ pub struct RunResult {
     pub total_flops: f64,
     /// `total_flops / makespan` — the aggregate SoC throughput.
     pub aggregate_flops_per_sec: f64,
-    /// Peak junction temperature reached (ambient if thermal disabled).
+    /// Peak junction temperature reached. `Some` exactly when the thermal
+    /// model is enabled (an empty run reports the ambient temperature);
+    /// `None` when it is disabled — the paper's thermally controlled unit.
     pub peak_temperature_c: Option<f64>,
 }
 
@@ -112,12 +121,33 @@ impl Simulator {
 
     /// Runs a set of jobs concurrently to completion.
     ///
+    /// Equivalent to [`Self::run_with_recorder`] with a [`NullRecorder`]:
+    /// no epoch telemetry is assembled, but every [`JobResult`] still
+    /// carries its [`BottleneckBreakdown`].
+    ///
     /// # Errors
     ///
     /// * [`SimError::IpIndexOutOfBounds`] / [`SimError::Kernel`] for
     ///   invalid jobs.
     /// * [`SimError::Stalled`] if no job can make progress.
     pub fn run(&self, jobs: &[Job]) -> Result<RunResult, SimError> {
+        self.run_with_recorder(jobs, &mut NullRecorder)
+    }
+
+    /// Runs a set of jobs concurrently to completion, delivering one
+    /// [`Epoch`] per piecewise-constant rate interval to `recorder`.
+    ///
+    /// Observation never perturbs the simulation: the returned
+    /// [`RunResult`] is identical whatever recorder is attached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`].
+    pub fn run_with_recorder(
+        &self,
+        jobs: &[Job],
+        recorder: &mut dyn Recorder,
+    ) -> Result<RunResult, SimError> {
         for job in jobs {
             if job.ip >= self.soc.ips.len() {
                 return Err(SimError::IpIndexOutOfBounds {
@@ -157,7 +187,8 @@ impl Simulator {
                 makespan_seconds: 0.0,
                 total_flops: 0.0,
                 aggregate_flops_per_sec: 0.0,
-                peak_temperature_c: None,
+                // Thermal enabled: the chip idles at ambient.
+                peak_temperature_c: self.thermal.as_ref().map(|t| t.ambient_c),
             });
         }
 
@@ -171,12 +202,15 @@ impl Simulator {
             idx: usize,
             remaining_bytes: f64,
             intensity: f64,
-            compute_cap_bytes: f64, // peak_ops / intensity at derate 1.0
+            compute_cap_bytes: f64,       // peak_ops / intensity at derate 1.0
             local_cap_bytes: Option<f64>, // serving cache/scratchpad bw
             port_cap_bytes: f64,
             resources: Vec<usize>,
             served_from: ServedFrom,
             done_at: Option<f64>,
+            /// Raw seconds spent bound by each constraint (normalized to
+            /// fractions when the job result is assembled).
+            bound_seconds: BottleneckBreakdown,
         }
         let mut live: Vec<Live> = jobs
             .iter()
@@ -185,23 +219,23 @@ impl Simulator {
                 let ip = &self.soc.ips[job.ip];
                 let intensity = job.kernel.intensity();
                 let ws = job.kernel.working_set_bytes();
-                let (local_cap, resources, served_from) =
-                    if let Some(cache) = ip.serving_cache(ws) {
-                        (
-                            Some(cache.bandwidth),
-                            Vec::new(),
-                            ServedFrom::Cache(cache.name.clone()),
-                        )
-                    } else if ip
-                        .scratchpad
-                        .as_ref()
-                        .is_some_and(|sp| sp.capacity_bytes >= ws)
-                    {
-                        let sp = ip.scratchpad.as_ref().expect("checked");
-                        (Some(sp.bandwidth), Vec::new(), ServedFrom::Scratchpad)
-                    } else {
-                        (None, vec![ip.fabric, dram_res], ServedFrom::Dram)
-                    };
+                let (local_cap, resources, served_from) = if let Some(cache) = ip.serving_cache(ws)
+                {
+                    (
+                        Some(cache.bandwidth),
+                        Vec::new(),
+                        ServedFrom::Cache(cache.name.clone()),
+                    )
+                } else if ip
+                    .scratchpad
+                    .as_ref()
+                    .is_some_and(|sp| sp.capacity_bytes >= ws)
+                {
+                    let sp = ip.scratchpad.as_ref().expect("checked");
+                    (Some(sp.bandwidth), Vec::new(), ServedFrom::Scratchpad)
+                } else {
+                    (None, vec![ip.fabric, dram_res], ServedFrom::Dram)
+                };
                 let pattern_factor = ip.pattern_efficiency.factor(job.kernel.pattern);
                 Live {
                     idx,
@@ -213,6 +247,7 @@ impl Simulator {
                     resources,
                     served_from,
                     done_at: None,
+                    bound_seconds: BottleneckBreakdown::default(),
                 }
             })
             .collect();
@@ -220,6 +255,8 @@ impl Simulator {
         let mut thermal = self.thermal.clone().map(ThermalState::new);
         let mut peak_temp = thermal.as_ref().map(|t| t.temperature_c());
         let mut now = 0.0f64;
+        let mut epoch_index = 0usize;
+        let observe = recorder.is_enabled();
 
         // Advance until every job completes.
         loop {
@@ -249,10 +286,38 @@ impl Simulator {
                     }
                 })
                 .collect();
-            let rates = allocate(&flows, &capacities, self.policy);
+            let alloc = allocate(&flows, &capacities, self.policy);
+            let rates = &alloc.rates;
             if rates.iter().all(|&r| r <= 0.0) {
                 return Err(SimError::Stalled { at_seconds: now });
             }
+
+            // Resolve each flow's binding constraint: a saturated shared
+            // resource maps directly; a private cap is whichever of the
+            // compute / local-memory / port limits formed the min (ties
+            // attribute to compute, the innermost limit).
+            let bindings: Vec<BindingConstraint> = active
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| {
+                    let l = &live[i];
+                    match alloc.bounds[k] {
+                        FlowBound::Resource(j) if j == dram_res => BindingConstraint::Dram,
+                        FlowBound::Resource(_) => BindingConstraint::Fabric,
+                        FlowBound::Cap => {
+                            let compute = l.compute_cap_bytes * derate;
+                            match l.local_cap_bytes {
+                                Some(local) if local < compute => match l.served_from {
+                                    ServedFrom::Scratchpad => BindingConstraint::Scratchpad,
+                                    _ => BindingConstraint::Cache,
+                                },
+                                None if l.port_cap_bytes < compute => BindingConstraint::Port,
+                                _ => BindingConstraint::Compute,
+                            }
+                        }
+                    }
+                })
+                .collect();
 
             // Time to the next completion (or thermal quantum).
             let mut dt = f64::INFINITY;
@@ -269,6 +334,7 @@ impl Simulator {
             for (k, &i) in active.iter().enumerate() {
                 let l = &mut live[i];
                 l.remaining_bytes -= rates[k] * dt;
+                l.bound_seconds.add(bindings[k], dt);
                 if l.remaining_bytes <= l.intensity.max(1.0) * 1e-9 {
                     l.remaining_bytes = 0.0;
                     l.done_at = Some(now + dt);
@@ -289,6 +355,39 @@ impl Simulator {
                 t.step(dt, if peak > 0.0 { used / peak } else { 0.0 });
                 peak_temp = Some(peak_temp.unwrap_or(0.0).max(t.temperature_c()));
             }
+            if observe {
+                let dram_cap = capacities[dram_res];
+                let dram_load: f64 = active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &i)| live[i].resources.contains(&dram_res))
+                    .map(|(k, _)| rates[k])
+                    .sum();
+                recorder.record_epoch(Epoch {
+                    index: epoch_index,
+                    t_start: now,
+                    t_end: now + dt,
+                    flows: active
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &i)| EpochFlow {
+                            job: i,
+                            ip: jobs[i].ip,
+                            rate_bytes_per_sec: rates[k],
+                            binding: bindings[k],
+                        })
+                        .collect(),
+                    dram_utilization: if dram_cap > 0.0 {
+                        dram_load / dram_cap
+                    } else {
+                        0.0
+                    },
+                    arbiter_rounds: alloc.rounds,
+                    temperature_c: thermal.as_ref().map(ThermalState::temperature_c),
+                    derate,
+                });
+            }
+            epoch_index += 1;
             now += dt;
         }
 
@@ -305,6 +404,7 @@ impl Simulator {
                 achieved_flops_per_sec: flops / seconds,
                 achieved_bytes_per_sec: bytes / seconds,
                 served_from: l.served_from.clone(),
+                breakdown: l.bound_seconds.normalized(),
             });
             debug_assert_eq!(l.idx, results.len() - 1);
         }
@@ -336,7 +436,12 @@ mod tests {
 
     #[test]
     fn single_cpu_job_low_intensity_is_bandwidth_bound() {
-        let result = sim().run(&[Job { ip: 0, kernel: cpu_kernel(1) }]).unwrap();
+        let result = sim()
+            .run(&[Job {
+                ip: 0,
+                kernel: cpu_kernel(1),
+            }])
+            .unwrap();
         let job = &result.jobs[0];
         assert_eq!(job.served_from, ServedFrom::Dram);
         // Calibrated CPU DRAM-path ceiling: 15.1 GB/s.
@@ -349,7 +454,12 @@ mod tests {
 
     #[test]
     fn single_cpu_job_high_intensity_is_compute_bound() {
-        let result = sim().run(&[Job { ip: 0, kernel: cpu_kernel(1024) }]).unwrap();
+        let result = sim()
+            .run(&[Job {
+                ip: 0,
+                kernel: cpu_kernel(1024),
+            }])
+            .unwrap();
         let job = &result.jobs[0];
         // Calibrated CPU peak: 7.5 GFLOPS/s.
         assert!(
@@ -362,7 +472,12 @@ mod tests {
     #[test]
     fn small_arrays_are_served_from_cache_at_higher_bandwidth() {
         let small = cpu_kernel(1).with_array_bytes(64 << 10);
-        let result = sim().run(&[Job { ip: 0, kernel: small }]).unwrap();
+        let result = sim()
+            .run(&[Job {
+                ip: 0,
+                kernel: small,
+            }])
+            .unwrap();
         let job = &result.jobs[0];
         assert!(matches!(job.served_from, ServedFrom::Cache(_)));
         assert!(job.achieved_bytes_per_sec > 15.1e9);
@@ -373,7 +488,10 @@ mod tests {
         // Two identical low-intensity CPU-class jobs on CPU and GPU: their
         // combined DRAM throughput cannot exceed the controller.
         let jobs = vec![
-            Job { ip: 0, kernel: cpu_kernel(1) },
+            Job {
+                ip: 0,
+                kernel: cpu_kernel(1),
+            },
             Job {
                 ip: 1,
                 kernel: RooflineKernel {
@@ -390,7 +508,11 @@ mod tests {
         for job in &result.jobs {
             assert!(job.achieved_bytes_per_sec <= dram_cap * (1.0 + 1e-9));
         }
-        let min_seconds = result.jobs.iter().map(|j| j.seconds).fold(f64::INFINITY, f64::min);
+        let min_seconds = result
+            .jobs
+            .iter()
+            .map(|j| j.seconds)
+            .fold(f64::INFINITY, f64::min);
         let joint_bytes_rate: f64 = result
             .jobs
             .iter()
@@ -401,10 +523,20 @@ mod tests {
 
     #[test]
     fn concurrency_slows_each_job_down() {
-        let solo = sim().run(&[Job { ip: 0, kernel: cpu_kernel(1) }]).unwrap().jobs[0].seconds;
+        let solo = sim()
+            .run(&[Job {
+                ip: 0,
+                kernel: cpu_kernel(1),
+            }])
+            .unwrap()
+            .jobs[0]
+            .seconds;
         let pair = sim()
             .run(&[
-                Job { ip: 0, kernel: cpu_kernel(1) },
+                Job {
+                    ip: 0,
+                    kernel: cpu_kernel(1),
+                },
                 Job {
                     ip: 1,
                     kernel: RooflineKernel {
@@ -427,7 +559,12 @@ mod tests {
     #[test]
     fn invalid_jobs_are_rejected() {
         assert!(matches!(
-            sim().run(&[Job { ip: 99, kernel: cpu_kernel(1) }]).unwrap_err(),
+            sim()
+                .run(&[Job {
+                    ip: 99,
+                    kernel: cpu_kernel(1)
+                }])
+                .unwrap_err(),
             SimError::IpIndexOutOfBounds { .. }
         ));
         let mut bad = cpu_kernel(1);
@@ -444,11 +581,20 @@ mod tests {
         // double-count the engine.
         let err = sim()
             .run(&[
-                Job { ip: 0, kernel: cpu_kernel(1) },
-                Job { ip: 0, kernel: cpu_kernel(8) },
+                Job {
+                    ip: 0,
+                    kernel: cpu_kernel(1),
+                },
+                Job {
+                    ip: 0,
+                    kernel: cpu_kernel(8),
+                },
             ])
             .unwrap_err();
-        assert!(err.to_string().contains("more than one concurrent job"), "{err}");
+        assert!(
+            err.to_string().contains("more than one concurrent job"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -458,11 +604,19 @@ mod tests {
             trials: 600,
             ..cpu_kernel(1024)
         };
-        let cool = sim().run(&[Job { ip: 0, kernel: long }]).unwrap();
+        let cool = sim()
+            .run(&[Job {
+                ip: 0,
+                kernel: long,
+            }])
+            .unwrap();
         let hot = Simulator::new(snapdragon_835_like())
             .unwrap()
             .with_thermal(crate::thermal::ThermalConfig::phone_default())
-            .run(&[Job { ip: 0, kernel: long }])
+            .run(&[Job {
+                ip: 0,
+                kernel: long,
+            }])
             .unwrap();
         assert!(hot.peak_temperature_c.unwrap() > 70.0);
         assert!(
@@ -475,8 +629,17 @@ mod tests {
     #[test]
     fn makespan_and_aggregate_are_consistent() {
         let jobs = vec![
-            Job { ip: 0, kernel: cpu_kernel(64) },
-            Job { ip: 1, kernel: RooflineKernel { pattern: TrafficPattern::StreamCopy, ..cpu_kernel(64) } },
+            Job {
+                ip: 0,
+                kernel: cpu_kernel(64),
+            },
+            Job {
+                ip: 1,
+                kernel: RooflineKernel {
+                    pattern: TrafficPattern::StreamCopy,
+                    ..cpu_kernel(64)
+                },
+            },
         ];
         let result = sim().run(&jobs).unwrap();
         let expect = result.total_flops / result.makespan_seconds;

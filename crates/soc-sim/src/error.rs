@@ -59,19 +59,23 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(SimError::Config {
-            what: "x".into()
-        }
-        .to_string()
-        .contains("invalid configuration"));
+        assert!(SimError::Config { what: "x".into() }
+            .to_string()
+            .contains("invalid configuration"));
         assert!(SimError::UnknownIp { name: "GPU".into() }
             .to_string()
             .contains("GPU"));
-        assert!(SimError::Stalled { at_seconds: 1.0 }.to_string().contains("stalled"));
+        assert!(SimError::Stalled { at_seconds: 1.0 }
+            .to_string()
+            .contains("stalled"));
         assert!(SimError::IpIndexOutOfBounds { index: 9, len: 2 }
             .to_string()
             .contains('9'));
-        assert!(SimError::Kernel { what: "zero".into() }.to_string().contains("zero"));
+        assert!(SimError::Kernel {
+            what: "zero".into()
+        }
+        .to_string()
+        .contains("zero"));
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl HierarchyStats {
                 ),
             });
         }
-        for &b in level_bandwidths.iter().chain([&compute_rate, &dram_bandwidth]) {
+        for &b in level_bandwidths
+            .iter()
+            .chain([&compute_rate, &dram_bandwidth])
+        {
             if !b.is_finite() || b <= 0.0 {
                 return Err(SimError::Config {
                     what: "rates must be finite and > 0".into(),
@@ -113,10 +116,7 @@ impl HierarchySim {
     ///
     /// * [`SimError::Config`] for an empty level list, invalid geometry,
     ///   non-increasing capacities, or a zero access size.
-    pub fn new(
-        levels: Vec<(String, CacheConfig)>,
-        access_bytes: u64,
-    ) -> Result<Self, SimError> {
+    pub fn new(levels: Vec<(String, CacheConfig)>, access_bytes: u64) -> Result<Self, SimError> {
         if levels.is_empty() {
             return Err(SimError::Config {
                 what: "hierarchy needs at least one level".into(),
@@ -144,7 +144,12 @@ impl HierarchySim {
         }
         let levels = levels
             .into_iter()
-            .map(|(name, cfg)| Ok(Level { name, sim: CacheSim::new(cfg)? }))
+            .map(|(name, cfg)| {
+                Ok(Level {
+                    name,
+                    sim: CacheSim::new(cfg)?,
+                })
+            })
             .collect::<Result<Vec<_>, SimError>>()?;
         Ok(Self {
             levels,

@@ -39,6 +39,7 @@ pub mod hierarchy;
 pub mod kernel;
 pub mod presets;
 pub mod run;
+pub mod telemetry;
 pub mod thermal;
 pub mod trace;
 
@@ -47,71 +48,94 @@ pub use config::{SocConfig, TrafficPattern};
 pub use engine::{Job, JobResult, RunResult, ServedFrom, Simulator};
 pub use error::SimError;
 pub use kernel::RooflineKernel;
-pub use run::{run_serialized, run_single, CoordinationOverhead, MixHarness, MixPoint, SerializedRun};
+pub use run::{
+    run_serialized, run_single, CoordinationOverhead, MixHarness, MixPoint, SerializedRun,
+};
+pub use telemetry::{
+    BindingConstraint, BottleneckBreakdown, Epoch, EpochFlow, NullRecorder, Recorder,
+    TimelineRecorder,
+};
 
 #[cfg(test)]
-mod proptests {
+mod invariant_tests {
     //! Invariants from DESIGN.md: the simulator never exceeds its
     //! configured rooflines, and agrees with the analytical model on
-    //! cacheless single-IP runs.
+    //! cacheless single-IP runs. Deterministic seeded sweeps stand in for
+    //! the original property-based tests (no registry deps offline).
 
-    use proptest::prelude::*;
+    use gables_model::rng::SplitMix64;
 
     use crate::config::TrafficPattern;
     use crate::engine::{Job, Simulator};
     use crate::kernel::RooflineKernel;
     use crate::presets;
 
-    fn kernel_strategy() -> impl Strategy<Value = RooflineKernel> {
-        (1u32..2048, 1u64..4, (64u64 << 10)..(64 << 20), prop_oneof![
-            Just(TrafficPattern::ReadModifyWrite),
-            Just(TrafficPattern::StreamCopy),
-            Just(TrafficPattern::StreamRead),
-        ])
-            .prop_map(|(fpw, trials, bytes, pattern)| RooflineKernel {
-                trials,
-                words: bytes / 4,
-                word_bytes: 4,
-                flops_per_word: fpw,
-                pattern,
-                data_type: crate::kernel::DataType::Fp32,
-            })
+    fn random_kernel(rng: &mut SplitMix64) -> RooflineKernel {
+        let patterns = [
+            TrafficPattern::ReadModifyWrite,
+            TrafficPattern::StreamCopy,
+            TrafficPattern::StreamRead,
+        ];
+        let bytes = rng.range_u64(64 << 10, 64 << 20);
+        RooflineKernel {
+            trials: rng.range_u64(1, 3),
+            words: bytes / 4,
+            word_bytes: 4,
+            flops_per_word: rng.range_u64(1, 2047) as u32,
+            pattern: patterns[rng.range_usize(0, patterns.len() - 1)],
+            data_type: crate::kernel::DataType::Fp32,
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// No job ever exceeds its engine peak or its DRAM-path ceiling.
-        #[test]
-        fn rooflines_are_respected(kernel in kernel_strategy(), ip in 0usize..3) {
-            let sim = Simulator::new(presets::snapdragon_835_like()).unwrap();
+    /// No job ever exceeds its engine peak or its DRAM-path ceiling.
+    #[test]
+    fn rooflines_are_respected() {
+        let mut rng = SplitMix64::new(0x50C5);
+        let sim = Simulator::new(presets::snapdragon_835_like()).unwrap();
+        for _ in 0..64 {
+            let kernel = random_kernel(&mut rng);
+            let ip = rng.range_usize(0, 2);
             let run = sim.run(&[Job { ip, kernel }]).unwrap();
             let job = &run.jobs[0];
             let cfg = &sim.soc().ips[ip];
-            prop_assert!(job.achieved_flops_per_sec
-                <= cfg.engine.peak_ops_per_sec() * (1.0 + 1e-9));
+            assert!(
+                job.achieved_flops_per_sec <= cfg.engine.peak_ops_per_sec() * (1.0 + 1e-9),
+                "{kernel:?} on IP {ip}"
+            );
             if job.served_from == crate::engine::ServedFrom::Dram {
                 let path = cfg.port_bandwidth * cfg.pattern_efficiency.factor(kernel.pattern);
-                prop_assert!(job.achieved_bytes_per_sec <= path * (1.0 + 1e-9));
-                prop_assert!(job.achieved_bytes_per_sec
-                    <= sim.soc().dram.effective_bandwidth() * (1.0 + 1e-9));
+                assert!(
+                    job.achieved_bytes_per_sec <= path * (1.0 + 1e-9),
+                    "{kernel:?} on IP {ip}"
+                );
+                assert!(
+                    job.achieved_bytes_per_sec
+                        <= sim.soc().dram.effective_bandwidth() * (1.0 + 1e-9),
+                    "{kernel:?} on IP {ip}"
+                );
             }
         }
+    }
 
-        /// On a cacheless SoC built from a Gables spec, a single-IP run
-        /// achieves exactly min(peak, Bi·I) — the IP's roofline.
-        #[test]
-        fn single_ip_matches_analytical_roofline(fpw in 1u32..4096) {
-            use gables_model::two_ip::TwoIpModel;
-            let spec = TwoIpModel::figure_6a().soc().unwrap();
-            let sim = Simulator::new(presets::from_gables_spec(&spec)).unwrap();
+    /// On a cacheless SoC built from a Gables spec, a single-IP run
+    /// achieves exactly min(peak, Bi·I) — the IP's roofline.
+    #[test]
+    fn single_ip_matches_analytical_roofline() {
+        use gables_model::two_ip::TwoIpModel;
+        let spec = TwoIpModel::figure_6a().soc().unwrap();
+        let sim = Simulator::new(presets::from_gables_spec(&spec)).unwrap();
+        let mut rng = SplitMix64::new(0x51A7);
+        for _ in 0..64 {
+            let fpw = rng.range_u64(1, 4095) as u32;
             let kernel = RooflineKernel::dram_resident(fpw);
             let run = sim.run(&[Job { ip: 0, kernel }]).unwrap();
             let i = kernel.intensity();
             let expected = (40.0e9f64).min(6.0e9 * i);
             let got = run.jobs[0].achieved_flops_per_sec;
-            prop_assert!((got - expected).abs() / expected < 1e-6,
-                "I={i}: expected {expected}, got {got}");
+            assert!(
+                (got - expected).abs() / expected < 1e-6,
+                "I={i}: expected {expected}, got {got}"
+            );
         }
     }
 }

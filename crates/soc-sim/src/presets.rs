@@ -285,7 +285,9 @@ mod tests {
     fn dsp_sits_on_the_slow_fabric() {
         let soc = snapdragon_835_like();
         assert_ne!(soc.ips[DSP].fabric, soc.ips[CPU].fabric);
-        assert!(soc.fabrics[soc.ips[DSP].fabric].bandwidth < soc.fabrics[soc.ips[CPU].fabric].bandwidth);
+        assert!(
+            soc.fabrics[soc.ips[DSP].fabric].bandwidth < soc.fabrics[soc.ips[CPU].fabric].bandwidth
+        );
     }
 
     #[test]
@@ -308,7 +310,8 @@ mod tests {
         let peak = soc.ips[CPU].engine.peak_ops_per_sec() / 1e9;
         assert!(peak > 40.0, "NEON CPU peak {peak}");
         // The GPU's acceleration collapses below an order of magnitude.
-        let a1 = snapdragon_835_like().ips[GPU].engine.peak_ops_per_sec() / soc.ips[CPU].engine.peak_ops_per_sec();
+        let a1 = snapdragon_835_like().ips[GPU].engine.peak_ops_per_sec()
+            / soc.ips[CPU].engine.peak_ops_per_sec();
         assert!(a1 < 10.0, "vectorized acceleration {a1}");
     }
 
@@ -322,12 +325,22 @@ mod tests {
         let sim = Simulator::new(soc).unwrap();
         // The paper's FP microbenchmark cannot target the vector unit.
         let fp = RooflineKernel::dram_resident(1024);
-        let err = sim.run(&[Job { ip: HVX, kernel: fp }]).unwrap_err();
+        let err = sim
+            .run(&[Job {
+                ip: HVX,
+                kernel: fp,
+            }])
+            .unwrap_err();
         assert!(err.to_string().contains("integer-only"), "{err}");
         // The integer variant runs, at far more than the scalar unit's
         // 3 GFLOPS/s and through the wider 12.5 GB/s path.
         let int = fp.with_data_type(DataType::Int);
-        let run = sim.run(&[Job { ip: HVX, kernel: int }]).unwrap();
+        let run = sim
+            .run(&[Job {
+                ip: HVX,
+                kernel: int,
+            }])
+            .unwrap();
         assert!(run.jobs[0].achieved_flops_per_sec > 8.0 * 7.5e9 * 0.9);
         // FP kernels still run on all three original engines.
         for ip in [CPU, GPU, DSP] {

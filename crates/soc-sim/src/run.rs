@@ -173,11 +173,7 @@ impl<'a> MixHarness<'a> {
     /// # Errors
     ///
     /// Propagates kernel and simulator errors.
-    pub fn sweep(
-        &self,
-        intensities: &[f64],
-        steps: usize,
-    ) -> Result<Vec<Vec<MixPoint>>, SimError> {
+    pub fn sweep(&self, intensities: &[f64], steps: usize) -> Result<Vec<Vec<MixPoint>>, SimError> {
         let mut out = Vec::with_capacity(intensities.len());
         for &intensity in intensities {
             let kernel = self.kernel_at_intensity(intensity)?;
@@ -348,8 +344,8 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].len(), 9);
         let base = lines[0][0].flops_per_sec; // f = 0, I = 1
-        // Low-intensity line dips below 1; high-intensity line rises far
-        // above it.
+                                              // Low-intensity line dips below 1; high-intensity line rises far
+                                              // above it.
         let low_end = lines[0].last().unwrap().flops_per_sec / base;
         let high_end = lines[1].last().unwrap().flops_per_sec / base;
         assert!(low_end < 1.0, "low-I end {low_end}");
@@ -378,9 +374,7 @@ mod tests {
         assert_eq!(serial.phases.len(), 2);
         let sum: f64 = serial.phases.iter().map(|p| p.seconds).sum();
         assert!((serial.total_seconds - sum).abs() / sum < 1e-12);
-        assert!(
-            (serial.phases[1].completes_at - serial.total_seconds).abs() < 1e-12
-        );
+        assert!((serial.phases[1].completes_at - serial.total_seconds).abs() < 1e-12);
         // Concurrent execution of the same jobs finishes no later.
         let concurrent = s.run(&jobs).unwrap();
         assert!(concurrent.makespan_seconds <= serial.total_seconds * (1.0 + 1e-9));

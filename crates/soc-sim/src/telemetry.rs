@@ -1,0 +1,658 @@
+//! Run observability: per-epoch bottleneck attribution and exporters.
+//!
+//! The Gables model's whole point is diagnosing *which* of the three
+//! bottlenecks binds — IP compute (`Ai·Ppeak`), the IP's port/local
+//! memory (`Bi`), or the shared DRAM interface (`Bpeak`). The engine's
+//! completion-to-completion loop already computes piecewise-constant
+//! per-flow rates; this module captures that information instead of
+//! discarding it.
+//!
+//! At every epoch boundary the engine hands an [`Epoch`] to the run's
+//! [`Recorder`]: the allocated byte rate and binding constraint of every
+//! active flow, DRAM utilization, the arbiter's iteration count, and the
+//! thermal state. [`NullRecorder`] (the default) declines the data before
+//! it is even assembled, so an unobserved run does no extra work;
+//! [`TimelineRecorder`] keeps the full timeline for export.
+//!
+//! Rolled-up attribution is always available: every
+//! [`JobResult`](crate::engine::JobResult) carries a
+//! [`BottleneckBreakdown`] — the fraction of the job's wall time spent
+//! bound by each constraint — because the accumulation is a handful of
+//! adds per epoch and keeps observed and unobserved runs bit-identical.
+//!
+//! Exporters are hand-rolled on `std` only (the workspace builds
+//! offline): Chrome trace-event JSON (loadable in `chrome://tracing` or
+//! Perfetto), a CSV timeline, and a human-readable text report.
+
+use core::fmt;
+
+use crate::engine::{RunResult, ServedFrom};
+
+/// The constraint that bound a flow during one epoch — which min in the
+/// max-min arbitration was tight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BindingConstraint {
+    /// The IP's compute engine (`peak_ops / intensity`, after thermal
+    /// derating) could not consume bytes any faster.
+    Compute,
+    /// The IP's port onto its fabric was saturated.
+    Port,
+    /// A shared interconnect fabric was saturated.
+    Fabric,
+    /// The shared DRAM controller was saturated.
+    Dram,
+    /// The serving private cache's bandwidth was the limit.
+    Cache,
+    /// The software-managed scratchpad's bandwidth was the limit.
+    Scratchpad,
+}
+
+impl BindingConstraint {
+    /// All constraints, in display order.
+    pub const ALL: [BindingConstraint; 6] = [
+        BindingConstraint::Compute,
+        BindingConstraint::Port,
+        BindingConstraint::Fabric,
+        BindingConstraint::Dram,
+        BindingConstraint::Cache,
+        BindingConstraint::Scratchpad,
+    ];
+
+    /// A short lowercase label (stable; used by the CSV and JSON
+    /// exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            BindingConstraint::Compute => "compute",
+            BindingConstraint::Port => "port",
+            BindingConstraint::Fabric => "fabric",
+            BindingConstraint::Dram => "dram",
+            BindingConstraint::Cache => "cache",
+            BindingConstraint::Scratchpad => "scratchpad",
+        }
+    }
+
+    /// A one-character glyph for timeline rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            BindingConstraint::Compute => 'C',
+            BindingConstraint::Port => 'P',
+            BindingConstraint::Fabric => 'F',
+            BindingConstraint::Dram => 'D',
+            BindingConstraint::Cache => '$',
+            BindingConstraint::Scratchpad => 'S',
+        }
+    }
+}
+
+impl fmt::Display for BindingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fraction of a job's wall time spent bound by each constraint.
+///
+/// Produced for every job of every run (see the module docs). The
+/// fractions are non-negative and sum to 1 (within floating-point error)
+/// for any job that ran for a positive duration; a degenerate zero-length
+/// job reports all zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BottleneckBreakdown {
+    /// Fraction bound by the IP's compute engine.
+    pub compute: f64,
+    /// Fraction bound by the IP's port bandwidth.
+    pub port: f64,
+    /// Fraction bound by a shared fabric.
+    pub fabric: f64,
+    /// Fraction bound by the shared DRAM controller.
+    pub dram: f64,
+    /// Fraction bound by the serving cache's bandwidth.
+    pub cache: f64,
+    /// Fraction bound by the scratchpad's bandwidth.
+    pub scratchpad: f64,
+}
+
+impl BottleneckBreakdown {
+    /// The fraction attributed to one constraint.
+    pub fn fraction(&self, constraint: BindingConstraint) -> f64 {
+        match constraint {
+            BindingConstraint::Compute => self.compute,
+            BindingConstraint::Port => self.port,
+            BindingConstraint::Fabric => self.fabric,
+            BindingConstraint::Dram => self.dram,
+            BindingConstraint::Cache => self.cache,
+            BindingConstraint::Scratchpad => self.scratchpad,
+        }
+    }
+
+    /// The sum of all fractions (1 for any non-degenerate job, 0 for a
+    /// zero-length one).
+    pub fn total(&self) -> f64 {
+        BindingConstraint::ALL
+            .iter()
+            .map(|&c| self.fraction(c))
+            .sum()
+    }
+
+    /// The constraint with the largest share of the job's wall time.
+    /// Ties resolve in [`BindingConstraint::ALL`] order.
+    pub fn dominant(&self) -> BindingConstraint {
+        let mut best = BindingConstraint::Compute;
+        let mut best_f = f64::NEG_INFINITY;
+        for &c in &BindingConstraint::ALL {
+            let f = self.fraction(c);
+            if f > best_f {
+                best = c;
+                best_f = f;
+            }
+        }
+        best
+    }
+
+    /// Adds `seconds` to one constraint's bucket (used by the engine
+    /// while accumulating raw bound-time; fractions come from
+    /// [`Self::normalized`]).
+    pub(crate) fn add(&mut self, constraint: BindingConstraint, seconds: f64) {
+        match constraint {
+            BindingConstraint::Compute => self.compute += seconds,
+            BindingConstraint::Port => self.port += seconds,
+            BindingConstraint::Fabric => self.fabric += seconds,
+            BindingConstraint::Dram => self.dram += seconds,
+            BindingConstraint::Cache => self.cache += seconds,
+            BindingConstraint::Scratchpad => self.scratchpad += seconds,
+        }
+    }
+
+    /// Converts accumulated seconds to fractions of their own total, so
+    /// the result sums to 1 exactly up to rounding. A zero total (a job
+    /// that never ran) yields all zeros rather than dividing by zero.
+    pub(crate) fn normalized(&self) -> Self {
+        let total = self.total();
+        if total <= 0.0 {
+            return Self::default();
+        }
+        Self {
+            compute: self.compute / total,
+            port: self.port / total,
+            fabric: self.fabric / total,
+            dram: self.dram / total,
+            cache: self.cache / total,
+            scratchpad: self.scratchpad / total,
+        }
+    }
+}
+
+impl fmt::Display for BottleneckBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &c in &BindingConstraint::ALL {
+            let frac = self.fraction(c);
+            if frac > 0.0005 {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{} {:.1}%", c.label(), frac * 100.0)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("idle")?;
+        }
+        Ok(())
+    }
+}
+
+/// One flow's allocation during one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochFlow {
+    /// Index of the job in the run's input order.
+    pub job: usize,
+    /// The IP running the job.
+    pub ip: usize,
+    /// The allocated byte rate over this epoch.
+    pub rate_bytes_per_sec: f64,
+    /// Which constraint was tight for this flow.
+    pub binding: BindingConstraint,
+}
+
+/// One epoch of piecewise-constant rates between completion boundaries
+/// (or thermal quanta).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Epoch {
+    /// Zero-based epoch number.
+    pub index: usize,
+    /// Epoch start, seconds from run start.
+    pub t_start: f64,
+    /// Epoch end, seconds from run start.
+    pub t_end: f64,
+    /// Every still-active flow's allocation.
+    pub flows: Vec<EpochFlow>,
+    /// Fraction of the DRAM controller's effective bandwidth in use.
+    pub dram_utilization: f64,
+    /// Progressive-filling rounds the arbiter ran for this epoch.
+    pub arbiter_rounds: u32,
+    /// Junction temperature at the end of the epoch (`None` without the
+    /// thermal model).
+    pub temperature_c: Option<f64>,
+    /// The thermal derate factor applied to compute caps this epoch
+    /// (1.0 without the thermal model).
+    pub derate: f64,
+}
+
+impl Epoch {
+    /// Epoch duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// Observes a run at epoch granularity.
+///
+/// The engine asks [`Recorder::is_enabled`] before assembling an
+/// [`Epoch`], so a disabled recorder costs one virtual call per epoch and
+/// nothing else. Implementations must not influence the simulation —
+/// the engine hands out data, never control.
+pub trait Recorder {
+    /// Whether the engine should assemble and deliver epochs at all.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Called once per epoch, in time order.
+    fn record_epoch(&mut self, epoch: Epoch);
+}
+
+/// The zero-cost default: discards everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn record_epoch(&mut self, _epoch: Epoch) {}
+}
+
+/// Retains the full epoch timeline for export.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineRecorder {
+    epochs: Vec<Epoch>,
+}
+
+impl TimelineRecorder {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded epochs, in time order.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// Total arbiter iterations across all epochs.
+    pub fn total_arbiter_rounds(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| u64::from(e.arbiter_rounds))
+            .sum()
+    }
+
+    /// Time-weighted mean DRAM utilization over the run.
+    pub fn mean_dram_utilization(&self) -> f64 {
+        let total: f64 = self.epochs.iter().map(Epoch::duration).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.epochs
+            .iter()
+            .map(|e| e.dram_utilization * e.duration())
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl Recorder for TimelineRecorder {
+    fn record_epoch(&mut self, epoch: Epoch) {
+        self.epochs.push(epoch);
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` for JSON (finite guard: NaN/inf become 0, which JSON
+/// cannot represent).
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn ip_label(ip_names: &[String], ip: usize) -> String {
+    ip_names
+        .get(ip)
+        .cloned()
+        .unwrap_or_else(|| format!("IP{ip}"))
+}
+
+/// Renders the timeline as Chrome trace-event JSON — one track (`tid`)
+/// per IP, complete (`"ph":"X"`) events per epoch-flow, plus counter
+/// tracks for DRAM utilization and temperature. Load the output in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// Timestamps are microseconds of simulated time.
+pub fn chrome_trace_json(epochs: &[Epoch], ip_names: &[String]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"gables-soc-sim"}}"#
+            .to_string(),
+    );
+    // One named thread per IP that ever appears.
+    let mut seen_ips: Vec<usize> = epochs
+        .iter()
+        .flat_map(|e| e.flows.iter().map(|f| f.ip))
+        .collect();
+    seen_ips.sort_unstable();
+    seen_ips.dedup();
+    for &ip in &seen_ips {
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
+            ip,
+            json_escape(&ip_label(ip_names, ip)),
+        ));
+    }
+    for epoch in epochs {
+        let ts = epoch.t_start * 1e6;
+        let dur = epoch.duration() * 1e6;
+        for flow in &epoch.flows {
+            events.push(format!(
+                r#"{{"name":"{}","cat":"flow","ph":"X","pid":1,"tid":{},"ts":{},"dur":{},"args":{{"job":{},"rate_gbps":{},"binding":"{}","epoch":{}}}}}"#,
+                flow.binding.label(),
+                flow.ip,
+                json_num(ts),
+                json_num(dur),
+                flow.job,
+                json_num(flow.rate_bytes_per_sec / 1e9),
+                flow.binding.label(),
+                epoch.index,
+            ));
+        }
+        events.push(format!(
+            r#"{{"name":"DRAM utilization","ph":"C","pid":1,"ts":{},"args":{{"utilization":{}}}}}"#,
+            json_num(ts),
+            json_num(epoch.dram_utilization),
+        ));
+        events.push(format!(
+            r#"{{"name":"arbiter rounds","ph":"C","pid":1,"ts":{},"args":{{"rounds":{}}}}}"#,
+            json_num(ts),
+            epoch.arbiter_rounds,
+        ));
+        if let Some(temp) = epoch.temperature_c {
+            events.push(format!(
+                r#"{{"name":"temperature","ph":"C","pid":1,"ts":{},"args":{{"celsius":{}}}}}"#,
+                json_num(ts),
+                json_num(temp),
+            ));
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders the timeline as CSV: one row per flow per epoch.
+pub fn csv_timeline(epochs: &[Epoch], ip_names: &[String]) -> String {
+    let mut out = String::from(
+        "epoch,t_start_s,t_end_s,job,ip,ip_name,rate_bytes_per_sec,binding,\
+         dram_utilization,arbiter_rounds,temperature_c,derate\n",
+    );
+    for epoch in epochs {
+        for flow in &epoch.flows {
+            let name = ip_label(ip_names, flow.ip);
+            // Spec names are alphanumeric, but a spec file could smuggle a
+            // comma or quote into an IP name; quote defensively.
+            let name = if name.contains([',', '"', '\n']) {
+                format!("\"{}\"", name.replace('"', "\"\""))
+            } else {
+                name
+            };
+            out.push_str(&format!(
+                "{},{:e},{:e},{},{},{},{:e},{},{:.6},{},{},{:.6}\n",
+                epoch.index,
+                epoch.t_start,
+                epoch.t_end,
+                flow.job,
+                flow.ip,
+                name,
+                flow.rate_bytes_per_sec,
+                flow.binding.label(),
+                epoch.dram_utilization,
+                epoch.arbiter_rounds,
+                epoch
+                    .temperature_c
+                    .map_or_else(|| "".to_string(), |t| format!("{t:.3}")),
+                epoch.derate,
+            ));
+        }
+    }
+    out
+}
+
+/// Renders a human-readable bottleneck report for a run.
+pub fn text_report(result: &RunResult, epochs: &[Epoch], ip_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("=== Gables run report ===\n");
+    out.push_str(&format!(
+        "makespan      {:.6e} s\naggregate     {:.3} GFLOPS/s\n",
+        result.makespan_seconds,
+        result.aggregate_flops_per_sec / 1e9,
+    ));
+    match result.peak_temperature_c {
+        Some(t) => out.push_str(&format!("peak temp     {t:.1} C\n")),
+        None => out.push_str("peak temp     n/a (thermal model disabled)\n"),
+    }
+    out.push_str(&format!("epochs        {}\n", epochs.len()));
+    let rounds: u64 = epochs.iter().map(|e| u64::from(e.arbiter_rounds)).sum();
+    out.push_str(&format!("arbiter iters {rounds}\n"));
+    let total_t: f64 = epochs.iter().map(Epoch::duration).sum();
+    if total_t > 0.0 {
+        let util: f64 = epochs
+            .iter()
+            .map(|e| e.dram_utilization * e.duration())
+            .sum::<f64>()
+            / total_t;
+        out.push_str(&format!(
+            "DRAM util     {:.1}% (time-weighted mean)\n",
+            util * 100.0
+        ));
+    }
+    out.push_str("\nper-job bottleneck attribution:\n");
+    for (i, job) in result.jobs.iter().enumerate() {
+        let served = match &job.served_from {
+            ServedFrom::Cache(name) => format!("cache {name}"),
+            ServedFrom::Scratchpad => "scratchpad".to_string(),
+            ServedFrom::Dram => "DRAM".to_string(),
+        };
+        out.push_str(&format!(
+            "  job {i} on {:<12} {:.4e} s  {:>8.2} GFLOPS/s  {:>7.2} GB/s  from {}\n",
+            ip_label(ip_names, job.ip),
+            job.seconds,
+            job.achieved_flops_per_sec / 1e9,
+            job.achieved_bytes_per_sec / 1e9,
+            served,
+        ));
+        out.push_str(&format!(
+            "        bound by: {} (dominant: {})\n",
+            job.breakdown,
+            job.breakdown.dominant().label(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch(index: usize, t0: f64, t1: f64, flows: Vec<EpochFlow>) -> Epoch {
+        Epoch {
+            index,
+            t_start: t0,
+            t_end: t1,
+            flows,
+            dram_utilization: 0.5,
+            arbiter_rounds: 2,
+            temperature_c: None,
+            derate: 1.0,
+        }
+    }
+
+    fn flow(job: usize, ip: usize, binding: BindingConstraint) -> EpochFlow {
+        EpochFlow {
+            job,
+            ip,
+            rate_bytes_per_sec: 1.0e9,
+            binding,
+        }
+    }
+
+    #[test]
+    fn breakdown_normalizes_to_unit_sum() {
+        let mut b = BottleneckBreakdown::default();
+        b.add(BindingConstraint::Compute, 3.0);
+        b.add(BindingConstraint::Dram, 1.0);
+        let n = b.normalized();
+        assert!((n.total() - 1.0).abs() < 1e-12);
+        assert!((n.compute - 0.75).abs() < 1e-12);
+        assert!((n.dram - 0.25).abs() < 1e-12);
+        assert_eq!(n.dominant(), BindingConstraint::Compute);
+    }
+
+    #[test]
+    fn zero_length_breakdown_is_all_zero_not_nan() {
+        let b = BottleneckBreakdown::default().normalized();
+        assert_eq!(b.total(), 0.0);
+        for &c in &BindingConstraint::ALL {
+            assert_eq!(b.fraction(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder.is_enabled());
+        let mut r = TimelineRecorder::new();
+        assert!(r.is_enabled());
+        r.record_epoch(epoch(0, 0.0, 1.0, vec![]));
+        assert_eq!(r.epochs().len(), 1);
+    }
+
+    #[test]
+    fn timeline_summaries() {
+        let mut r = TimelineRecorder::new();
+        let mut e0 = epoch(0, 0.0, 1.0, vec![]);
+        e0.dram_utilization = 1.0;
+        let mut e1 = epoch(1, 1.0, 4.0, vec![]);
+        e1.dram_utilization = 0.0;
+        r.record_epoch(e0);
+        r.record_epoch(e1);
+        assert_eq!(r.total_arbiter_rounds(), 4);
+        assert!((r.mean_dram_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let epochs = vec![epoch(
+            0,
+            0.0,
+            0.5,
+            vec![
+                flow(0, 0, BindingConstraint::Port),
+                flow(1, 1, BindingConstraint::Dram),
+            ],
+        )];
+        let names = vec!["CPU".to_string(), "GPU".to_string()];
+        let csv = csv_timeline(&epochs, &names);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("epoch,t_start_s"));
+        assert!(lines[1].contains("CPU"));
+        assert!(lines[1].contains(",port,"));
+        assert!(lines[2].contains("GPU"));
+        assert!(lines[2].contains(",dram,"));
+        // Every row has the same column count as the header.
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn csv_quotes_hostile_names() {
+        let epochs = vec![epoch(
+            0,
+            0.0,
+            0.5,
+            vec![flow(0, 0, BindingConstraint::Compute)],
+        )];
+        let names = vec!["odd,\"name".to_string()];
+        let csv = csv_timeline(&epochs, &names);
+        assert!(csv.contains("\"odd,\"\"name\""));
+    }
+
+    #[test]
+    fn chrome_trace_smoke() {
+        let epochs = vec![
+            epoch(0, 0.0, 0.5, vec![flow(0, 0, BindingConstraint::Port)]),
+            epoch(1, 0.5, 1.0, vec![flow(0, 0, BindingConstraint::Compute)]),
+        ];
+        let names = vec!["CPU".to_string()];
+        let json = chrome_trace_json(&epochs, &names);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("DRAM utilization"));
+        // Balanced braces/brackets (cheap structural sanity; the full
+        // parser check lives in tests/chrome_trace_golden.rs).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn display_breakdown_lists_nonzero_constraints() {
+        let b = BottleneckBreakdown {
+            compute: 0.6,
+            dram: 0.4,
+            ..Default::default()
+        };
+        let s = b.to_string();
+        assert!(s.contains("compute 60.0%"));
+        assert!(s.contains("dram 40.0%"));
+        assert!(!s.contains("port"));
+        assert_eq!(BottleneckBreakdown::default().to_string(), "idle");
+    }
+}

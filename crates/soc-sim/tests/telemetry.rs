@@ -1,0 +1,169 @@
+//! Integration tests for the telemetry layer: observation must not
+//! perturb the simulation, per-job bottleneck attribution must be a
+//! proper distribution, and at single-bottleneck operating points the
+//! attributed constraint must agree with the analytical Gables model
+//! (Equations 5–8).
+
+use gables_model::{evaluate, Bottleneck, IpLimit, Workload};
+use gables_soc_sim::thermal::ThermalConfig;
+use gables_soc_sim::{
+    presets, BindingConstraint, Job, NullRecorder, RooflineKernel, Simulator, TimelineRecorder,
+    TrafficPattern,
+};
+
+fn mixed_jobs() -> Vec<Job> {
+    vec![
+        Job {
+            ip: presets::CPU,
+            kernel: RooflineKernel::dram_resident(8),
+        },
+        Job {
+            ip: presets::GPU,
+            kernel: RooflineKernel {
+                pattern: TrafficPattern::StreamCopy,
+                ..RooflineKernel::dram_resident(64)
+            },
+        },
+        Job {
+            ip: presets::DSP,
+            kernel: RooflineKernel::dram_resident(1),
+        },
+    ]
+}
+
+/// Attaching a `TimelineRecorder` yields bit-identical results to the
+/// default `NullRecorder` path — observation does not perturb the run.
+#[test]
+fn recorder_does_not_perturb_results() {
+    for thermal in [None, Some(ThermalConfig::phone_default())] {
+        let mut sim = Simulator::new(presets::snapdragon_835_like()).unwrap();
+        if let Some(t) = thermal {
+            sim = sim.with_thermal(t);
+        }
+        let jobs = mixed_jobs();
+        let plain = sim.run(&jobs).unwrap();
+        let mut null = NullRecorder;
+        let with_null = sim.run_with_recorder(&jobs, &mut null).unwrap();
+        let mut recorder = TimelineRecorder::new();
+        let with_timeline = sim.run_with_recorder(&jobs, &mut recorder).unwrap();
+        assert_eq!(plain, with_null);
+        assert_eq!(plain, with_timeline);
+        assert!(!recorder.epochs().is_empty());
+    }
+}
+
+/// Every job's breakdown fractions sum to 1.0 ± 1e-9.
+#[test]
+fn breakdown_fractions_sum_to_one() {
+    let sim = Simulator::new(presets::snapdragon_835_like()).unwrap();
+    let run = sim.run(&mixed_jobs()).unwrap();
+    for job in &run.jobs {
+        let total: f64 = BindingConstraint::ALL
+            .iter()
+            .map(|&c| job.breakdown.fraction(c))
+            .sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "job on IP {} sums to {total}",
+            job.ip
+        );
+    }
+}
+
+/// Epochs tile the run: monotonically increasing, gap-free timestamps.
+#[test]
+fn epochs_are_contiguous_and_monotonic() {
+    let sim = Simulator::new(presets::snapdragon_835_like()).unwrap();
+    let mut recorder = TimelineRecorder::new();
+    let run = sim.run_with_recorder(&mixed_jobs(), &mut recorder).unwrap();
+    let epochs = recorder.epochs();
+    assert!(epochs.first().unwrap().t_start.abs() < 1e-15);
+    for pair in epochs.windows(2) {
+        assert!(pair[0].t_end <= pair[1].t_start + 1e-12);
+        assert!(
+            (pair[1].t_start - pair[0].t_end).abs() < 1e-9,
+            "gap in epochs"
+        );
+    }
+    let last = epochs.last().unwrap();
+    assert!((last.t_end - run.makespan_seconds).abs() / run.makespan_seconds < 1e-9);
+}
+
+/// Maps an analytical verdict onto the constraint the simulator should
+/// attribute. The simulated SoC is cacheless (built via
+/// `from_gables_spec`), so Cache/Scratchpad/Fabric never apply here.
+fn expected_constraint(soc: &gables_model::SocSpec, workload: &Workload) -> BindingConstraint {
+    let eval = evaluate(soc, workload).unwrap();
+    match eval.bottleneck() {
+        Bottleneck::Memory => BindingConstraint::Dram,
+        Bottleneck::Ip(i) => match eval.ips()[i].limit {
+            IpLimit::Compute => BindingConstraint::Compute,
+            IpLimit::Bandwidth => BindingConstraint::Port,
+            IpLimit::Idle => panic!("bottleneck IP cannot be idle"),
+        },
+    }
+}
+
+/// At single-bottleneck operating points the simulator's attribution
+/// agrees with the analytical Gables prediction (Eq 5–8): port-bound at
+/// low intensity, compute-bound at high intensity on a single IP, and
+/// DRAM-bound when two low-intensity IPs oversubscribe `Bpeak`.
+#[test]
+fn attribution_matches_analytical_model() {
+    use gables_model::two_ip::TwoIpModel;
+    let spec = TwoIpModel::figure_6a().soc().unwrap();
+    let sim = Simulator::new(presets::from_gables_spec(&spec)).unwrap();
+
+    // Single IP, I = 1 flop/byte: the IP's port roofline binds (Eq 5).
+    // Single IP, I = 512: the flat compute roof binds (Eq 6).
+    for (fpw, intensity) in [(8u32, 1.0), (4096, 512.0)] {
+        let workload = {
+            let mut b = Workload::builder();
+            b.work(1.0, intensity).unwrap();
+            b.work(0.0, intensity).unwrap();
+            b.build().unwrap()
+        };
+        let expected = expected_constraint(&spec, &workload);
+        let run = sim
+            .run(&[Job {
+                ip: 0,
+                kernel: RooflineKernel::dram_resident(fpw),
+            }])
+            .unwrap();
+        let job = &run.jobs[0];
+        assert_eq!(job.breakdown.dominant(), expected, "I = {intensity}");
+        assert!(
+            job.breakdown.fraction(expected) > 1.0 - 1e-9,
+            "I = {intensity}: {}",
+            job.breakdown
+        );
+    }
+
+    // Both IPs at I = 0.125 split the work evenly: combined port
+    // bandwidth oversubscribes Bpeak, so shared DRAM binds (Eq 7–8).
+    let workload = Workload::two_ip(0.5, 0.125, 0.125).unwrap();
+    let expected = expected_constraint(&spec, &workload);
+    assert_eq!(expected, BindingConstraint::Dram);
+    let kernel = RooflineKernel::dram_resident(1);
+    let run = sim
+        .run(&[
+            Job {
+                ip: 0,
+                kernel: kernel.scaled(0.5),
+            },
+            Job {
+                ip: 1,
+                kernel: kernel.scaled(0.5),
+            },
+        ])
+        .unwrap();
+    for job in &run.jobs {
+        assert_eq!(job.breakdown.dominant(), BindingConstraint::Dram);
+        assert!(
+            job.breakdown.fraction(BindingConstraint::Dram) > 1.0 - 1e-9,
+            "IP {}: {}",
+            job.ip,
+            job.breakdown
+        );
+    }
+}

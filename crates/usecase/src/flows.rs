@@ -329,7 +329,11 @@ mod tests {
         let total = flow.dram_bytes_per_sec();
         // Frame buffers: ~186.6 MB/s × 2 crossings ≈ 373 MB/s of the total.
         let frames = 1920.0 * 1080.0 * 1.5 * 60.0 * 2.0;
-        assert!(frames / total > 0.95, "frames are {:.0}% of traffic", 100.0 * frames / total);
+        assert!(
+            frames / total > 0.95,
+            "frames are {:.0}% of traffic",
+            100.0 * frames / total
+        );
         // And the whole usecase is far below a 30 GB/s SoC — streaming is
         // not the bandwidth-killer; HFR camera is (see `video`).
         assert!(total / 1e9 < 1.0);
@@ -339,7 +343,14 @@ mod tests {
     fn active_ips_match_figure_4() {
         let flow = streaming_wifi();
         let ips = flow.active_ips();
-        for ip in [Ip::Modem, Ip::Ap, Ip::Crypto, Ip::Vdec, Ip::AudioDsp, Ip::Display] {
+        for ip in [
+            Ip::Modem,
+            Ip::Ap,
+            Ip::Crypto,
+            Ip::Vdec,
+            Ip::AudioDsp,
+            Ip::Display,
+        ] {
             assert!(ips.contains(&ip), "{ip} missing");
         }
     }

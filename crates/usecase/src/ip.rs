@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn short_names_are_unique() {
         use std::collections::HashSet;
-        let names: HashSet<&str> = Ip::TABLE1_COLUMNS.iter().map(|ip| ip.short_name()).collect();
+        let names: HashSet<&str> = Ip::TABLE1_COLUMNS
+            .iter()
+            .map(|ip| ip.short_name())
+            .collect();
         assert_eq!(names.len(), 10);
     }
 

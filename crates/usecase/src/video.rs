@@ -276,7 +276,10 @@ mod tests {
     fn max_fps_is_consistent_with_saturates() {
         let p = CameraPipeline::hfr_4k240();
         let cap = p.max_fps(30.0);
-        let feasible = CameraPipeline { fps: cap, ..p.clone() };
+        let feasible = CameraPipeline {
+            fps: cap,
+            ..p.clone()
+        };
         assert!((feasible.dram_gbps() - 30.0).abs() < 1e-6);
     }
 

@@ -38,9 +38,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let balanced = TwoIpModel::figure_6d();
     let eval = balanced.evaluate()?;
     println!("balanced design (Figure 6d):\n{eval}");
-    println!(
-        "balanced across all components: {}",
-        eval.is_balanced(1e-9)
-    );
+    println!("balanced across all components: {}", eval.is_balanced(1e-9));
     Ok(())
 }

@@ -62,8 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let perturbed = sim.run(&with_dsp)?;
     let cpu_delta = (perturbed.jobs[0].seconds - base.jobs[0].seconds) / base.jobs[0].seconds;
     let gpu_delta = (perturbed.jobs[1].seconds - base.jobs[1].seconds) / base.jobs[1].seconds;
-    println!("simulator: adding a DSP job perturbs CPU completion by {:.2}% and GPU by {:.2}%",
-        100.0 * cpu_delta, 100.0 * gpu_delta);
+    println!(
+        "simulator: adding a DSP job perturbs CPU completion by {:.2}% and GPU by {:.2}%",
+        100.0 * cpu_delta,
+        100.0 * gpu_delta
+    );
     println!(
         "(the DSP streams {:.1} GB/s of the {:.1} GB/s controller — Section IV-D's finding)",
         perturbed.jobs[2].achieved_bytes_per_sec / 1e9,

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Full local gate: formatting, lints, release build, and every test in
+# the workspace. Run from the repository root; exits non-zero on the
+# first failure. Works offline — the workspace has no external deps.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (tier-1: root suite)"
+cargo test -q
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "all checks passed"

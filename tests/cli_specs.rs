@@ -5,7 +5,9 @@
 use std::path::Path;
 
 fn read_spec(name: &str) -> String {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("specs").join(name);
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("specs")
+        .join(name);
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
 }
 
@@ -48,8 +50,7 @@ fn sram_spec_reports_the_extension() {
 
 #[test]
 fn explore_spec_yields_a_frontier() {
-    let out =
-        gables_cli::frontier_command(&read_spec("explore_npu.gables")).expect("explores");
+    let out = gables_cli::frontier_command(&read_spec("explore_npu.gables")).expect("explores");
     assert!(out.contains("60 candidates"));
     assert!(out.contains("Pareto frontier"));
 }

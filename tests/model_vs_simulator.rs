@@ -8,9 +8,7 @@
 
 use gables_model::two_ip::TwoIpModel;
 use gables_model::{evaluate, Workload};
-use gables_soc_sim::{
-    presets, CoordinationOverhead, Job, MixHarness, RooflineKernel, Simulator,
-};
+use gables_soc_sim::{presets, CoordinationOverhead, Job, MixHarness, RooflineKernel, Simulator};
 
 fn sim_for(model: &TwoIpModel) -> Simulator {
     let spec = model.soc().expect("valid spec");
@@ -43,10 +41,11 @@ fn concurrent_run_never_exceeds_pattainable() {
     let model = TwoIpModel::figure_6a();
     let spec = model.soc().expect("valid");
     let sim = sim_for(&model);
-    let harness =
-        MixHarness::new(&sim, 0, 1).with_overhead(CoordinationOverhead::none());
+    let harness = MixHarness::new(&sim, 0, 1).with_overhead(CoordinationOverhead::none());
     for intensity in [0.5, 2.0, 8.0, 64.0] {
-        let kernel = harness.kernel_at_intensity(intensity).expect("representable");
+        let kernel = harness
+            .kernel_at_intensity(intensity)
+            .expect("representable");
         for step in 0..=4 {
             let f = step as f64 / 4.0;
             let measured = harness.run(kernel, f).expect("runs").flops_per_sec / 1e9;
@@ -113,8 +112,14 @@ fn figure_6b_memory_wall_shows_up_in_the_simulator() {
     };
     let run = sim
         .run(&[
-            Job { ip: 0, kernel: cpu_kernel },
-            Job { ip: 1, kernel: gpu_kernel },
+            Job {
+                ip: 0,
+                kernel: cpu_kernel,
+            },
+            Job {
+                ip: 1,
+                kernel: gpu_kernel,
+            },
         ])
         .expect("runs");
     let aggregate = run.aggregate_flops_per_sec / 1e9;
@@ -126,7 +131,10 @@ fn figure_6b_memory_wall_shows_up_in_the_simulator() {
         .to_gops();
     assert!(aggregate <= bound * 1.01, "{aggregate} > {bound}");
     // And it is a catastrophe compared to the 40 Gops/s of Figure 6a.
-    assert!(aggregate < 4.0, "memory wall did not materialize: {aggregate}");
+    assert!(
+        aggregate < 4.0,
+        "memory wall did not materialize: {aggregate}"
+    );
 }
 
 #[test]
@@ -142,7 +150,10 @@ fn snapdragon_presets_agree_with_ert_and_model() {
     let spec = gables_model::SocSpec::builder()
         .ppeak(gables_model::units::OpsPerSec::from_gops(cpu.peak_gflops))
         .bpeak(gables_model::units::BytesPerSec::from_gbps(25.5))
-        .cpu("CPU", gables_model::units::BytesPerSec::from_gbps(cpu.dram_gbps))
+        .cpu(
+            "CPU",
+            gables_model::units::BytesPerSec::from_gbps(cpu.dram_gbps),
+        )
         .accelerator(
             "GPU",
             gpu.peak_gflops / cpu.peak_gflops,
@@ -153,8 +164,8 @@ fn snapdragon_presets_agree_with_ert_and_model() {
         .expect("valid");
 
     for (f, i, expect_gflops) in [
-        (0.0, 1024.0, 7.5),   // all-CPU compute bound
-        (1.0, 1024.0, 349.6), // all-GPU compute bound
+        (0.0, 1024.0, 7.5),         // all-CPU compute bound
+        (1.0, 1024.0, 349.6),       // all-GPU compute bound
         (1.0, 0.125, 24.4 * 0.125), // all-GPU bandwidth bound
     ] {
         let w = Workload::two_ip(f, i, i).expect("valid");

@@ -51,7 +51,11 @@ fn svg_artifacts_are_written_and_well_formed() {
             if artifact.extension().is_some_and(|e| e == "svg") {
                 svg_count += 1;
                 assert!(text.starts_with("<svg"), "{}", artifact.display());
-                assert!(text.trim_end().ends_with("</svg>"), "{}", artifact.display());
+                assert!(
+                    text.trim_end().ends_with("</svg>"),
+                    "{}",
+                    artifact.display()
+                );
             }
         }
     }

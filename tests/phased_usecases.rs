@@ -114,8 +114,18 @@ fn explorer_sizes_an_npu_for_video_capture() {
     let inputs = derive_inputs(&flow).expect("derives");
     // Collapse to two IPs: AP keeps its share, everything else goes to
     // one "camera engine" at the demand-weighted intensity.
-    let ap_f = inputs.workload.assignment(0).expect("AP").fraction().value();
-    let ap_i = inputs.workload.assignment(0).expect("AP").intensity().value();
+    let ap_f = inputs
+        .workload
+        .assignment(0)
+        .expect("AP")
+        .fraction()
+        .value();
+    let ap_i = inputs
+        .workload
+        .assignment(0)
+        .expect("AP")
+        .intensity()
+        .value();
     let rest_f = 1.0 - ap_f;
     let demands = flow.ip_demands();
     let rest_ops: f64 = demands
