@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod serve;
 pub mod spec;
 
 use std::fmt::Write as _;
@@ -54,7 +55,7 @@ pub fn run(
         }
         Some("sweep") => {
             let path = arg(args, 1, "spec file")?;
-            let param = arg(args, 2, "parameter (f | bpeak)")?;
+            let param = arg(args, 2, "parameter (f | bpeak | intensity)")?;
             let from: f64 = parse_num(&arg(args, 3, "from")?)?;
             let to: f64 = parse_num(&arg(args, 4, "to")?)?;
             let steps: usize = arg(args, 5, "steps")?.parse().map_err(|_| SpecError {
@@ -126,16 +127,26 @@ pub fn run(
             }
             Ok(out)
         }
+        Some("serve") => serve::serve_command(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(SpecError {
             line: None,
-            message: format!("unknown command {other:?}\n{}", usage()),
+            message: format!(
+                "unknown command {other:?} (valid commands: {})\n{}",
+                COMMANDS.join(", "),
+                usage()
+            ),
         }),
     }
 }
 
+/// Every valid subcommand, in the order `usage()` lists them.
+pub const COMMANDS: &[&str] = &[
+    "example", "eval", "sweep", "plot", "ascii", "frontier", "whatif", "trace", "serve", "help",
+];
+
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables help\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve /eval, /sweep, /whatif, /simulate, and\n                                    /metrics over HTTP (default 127.0.0.1:7878)\n  gables help\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
@@ -234,10 +245,37 @@ pub fn sweep_command(
                 );
             }
         }
+        "intensity" => {
+            // ERT-style: set every active IP's operational intensity to
+            // the step value and watch attainment climb the roofline.
+            if steps == 0 || from <= 0.0 || to < from {
+                return Err(SpecError {
+                    line: None,
+                    message: "sweep intensity requires 0 < from <= to and steps >= 1".into(),
+                });
+            }
+            let _ = writeln!(out, "I(ops/B)  Pattainable  bottleneck");
+            for k in 0..=steps {
+                let i = from + (to - from) * k as f64 / steps as f64;
+                let mut w = workload.clone();
+                for idx in 0..w.assignments().len() {
+                    if w.assignment(idx)?.is_active() {
+                        w = w.with_intensity(idx, i)?;
+                    }
+                }
+                let eval = evaluate(&soc, &w)?;
+                let _ = writeln!(
+                    out,
+                    "{i:<9.4} {:>10.4}  {}",
+                    eval.attainable().to_gops(),
+                    eval.bottleneck()
+                );
+            }
+        }
         other => {
             return Err(SpecError {
                 line: None,
-                message: format!("unknown sweep parameter {other:?} (use f or bpeak)"),
+                message: format!("unknown sweep parameter {other:?} (use f, bpeak, or intensity)"),
             })
         }
     }
@@ -380,53 +418,21 @@ pub struct TraceArtifacts {
 /// the RMW kernel to represent, or simulator errors.
 pub fn trace_command(text: &str) -> Result<TraceArtifacts, SpecError> {
     use gables_plot::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
-    use gables_soc_sim::{presets, telemetry, Job, RooflineKernel, Simulator, TimelineRecorder};
+    use gables_soc_sim::{run_gables_workload, telemetry, TimelineRecorder};
 
     let spec = SpecFile::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
     let names = spec.ip_names();
-    let sim = Simulator::new(presets::from_gables_spec(&soc)).map_err(|e| SpecError {
+
+    // The spec workload maps onto engine jobs via the shared soc-sim
+    // entrypoint (one RMW-kernel job per active IP), so `gables trace`
+    // and `gables-serve`'s /simulate agree by construction.
+    let mut recorder = TimelineRecorder::new();
+    let run = run_gables_workload(&soc, &workload, &mut recorder).map_err(|e| SpecError {
         line: None,
         message: e.to_string(),
     })?;
-
-    // One job per active IP: the paper's RMW kernel at the assignment's
-    // intensity (fpw = I × 8 for f32), sized by its work fraction.
-    let mut jobs = Vec::new();
-    for (ip, a) in workload.assignments().iter().enumerate() {
-        if !a.is_active() {
-            continue;
-        }
-        let intensity = a.intensity().value();
-        let fpw = (intensity * 8.0).round();
-        if fpw < 1.0 {
-            return Err(SpecError {
-                line: None,
-                message: format!(
-                    "[{}] intensity {intensity} is not representable by the RMW \
-                     kernel (rounds below 1 flop per word); raise it to trace",
-                    names.get(ip).map(String::as_str).unwrap_or("ip")
-                ),
-            });
-        }
-        let kernel = RooflineKernel::dram_resident(fpw as u32).scaled(a.fraction().value());
-        jobs.push(Job { ip, kernel });
-    }
-    if jobs.is_empty() {
-        return Err(SpecError {
-            line: None,
-            message: "workload has no active IPs to trace".into(),
-        });
-    }
-
-    let mut recorder = TimelineRecorder::new();
-    let run = sim
-        .run_with_recorder(&jobs, &mut recorder)
-        .map_err(|e| SpecError {
-            line: None,
-            message: e.to_string(),
-        })?;
     let epochs = recorder.epochs();
 
     // Bottleneck ribbon per IP (glyph = binding constraint) plus a
@@ -686,11 +692,35 @@ intensities = 8, 0.01
     }
 
     #[test]
+    fn sweep_intensity_walks_the_roofline() {
+        let out = sweep_command(spec::FIGURE_6B_SPEC, "intensity", 0.25, 64.0, 4).unwrap();
+        assert_eq!(out.lines().count(), 6);
+        assert!(out.starts_with("I(ops/B)"));
+        // Attainment grows (or saturates) as intensity rises.
+        let gops: Vec<f64> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(gops.windows(2).all(|w| w[1] >= w[0] - 1e-9), "{gops:?}");
+        assert!(sweep_command(spec::FIGURE_6B_SPEC, "intensity", 0.0, 1.0, 4).is_err());
+        assert!(sweep_command(spec::FIGURE_6B_SPEC, "intensity", 2.0, 1.0, 4).is_err());
+    }
+
+    #[test]
     fn run_dispatches_and_reports_unknowns() {
         assert!(run(&[], &no_fs).unwrap().contains("usage"));
         assert!(run(&["help".into()], &no_fs).unwrap().contains("usage"));
+        let usage_text = run(&["help".into()], &no_fs).unwrap();
+        for command in COMMANDS {
+            assert!(usage_text.contains(command), "usage missing {command}");
+        }
         let err = run(&["frobnicate".into()], &no_fs).unwrap_err();
         assert!(err.message.contains("unknown command"));
+        // The error names every valid subcommand, serve included.
+        for command in COMMANDS {
+            assert!(err.message.contains(command), "error missing {command}");
+        }
         let err = run(&["eval".into()], &no_fs).unwrap_err();
         assert!(err.message.contains("missing argument"));
         let err = run(&["eval".into(), "nope.gables".into()], &no_fs).unwrap_err();

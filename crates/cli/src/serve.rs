@@ -1,0 +1,578 @@
+//! The `gables serve` subcommand: Gables-specific endpoints on top of
+//! the generic `gables-serve` infrastructure.
+//!
+//! Routes (one request per connection, JSON by default, `?format=text`
+//! for the plain CLI output):
+//!
+//! * `POST /eval` — spec text in the body → attainment + bottleneck.
+//!   With `?format=text` the body is byte-identical to `gables eval`.
+//! * `POST /sweep` — ERT-style sweep; `?param=f|bpeak|intensity`,
+//!   `?from=`, `?to=`, `?steps=` (defaults sweep intensity 0.25..64).
+//! * `POST /whatif` — JSON body `{"spec": ..., "edits": ...}` → the
+//!   what-if delta report.
+//! * `POST /simulate` — spec text in the body → a soc-sim run with
+//!   per-job bottleneck attribution.
+//! * `GET /metrics` — request counters, latency histogram, cache hit
+//!   rate; `?format=text` renders an ASCII histogram.
+//! * `GET /healthz` — liveness probe.
+//!
+//! `POST` bodies are raw spec text, or a JSON object with a `"spec"`
+//! field (spec files start with `#` or `[`, so the two are unambiguous).
+//! Successful responses are cached in a sharded LRU keyed by
+//! `route|format|params|canonicalize(spec)`, so re-evaluating the same
+//! design — the common dashboard-polling case — skips parsing and
+//! evaluation entirely.
+
+use std::sync::Arc;
+
+use gables_model::evaluate;
+use gables_model::json::Json;
+use gables_serve::{Request, Response, Router, Server, ServerConfig, ServerMetrics, ShardedCache};
+
+use crate::spec::{canonicalize, SpecError, SpecFile};
+use crate::{eval_command, sweep_command, whatif_command};
+
+/// Parsed `gables serve` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Listen address, default `127.0.0.1:7878`.
+    pub addr: String,
+    /// Worker threads, default 4.
+    pub workers: usize,
+}
+
+/// Parses `[addr] [--workers N]`.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for unknown flags or a malformed worker count.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
+    let mut opts = ServeOptions {
+        addr: "127.0.0.1:7878".to_string(),
+        workers: 4,
+    };
+    let mut it = args.iter();
+    let mut addr_seen = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let n = it.next().ok_or_else(|| SpecError {
+                    line: None,
+                    message: "--workers needs a count".into(),
+                })?;
+                opts.workers = n.parse().map_err(|_| SpecError {
+                    line: None,
+                    message: format!("--workers: {n:?} is not a positive integer"),
+                })?;
+                if opts.workers == 0 {
+                    return Err(SpecError {
+                        line: None,
+                        message: "--workers must be at least 1".into(),
+                    });
+                }
+            }
+            other if other.starts_with('-') => {
+                return Err(SpecError {
+                    line: None,
+                    message: format!("unknown serve flag {other:?} (only --workers <n>)"),
+                })
+            }
+            other => {
+                if addr_seen {
+                    return Err(SpecError {
+                        line: None,
+                        message: format!("unexpected extra argument {other:?}"),
+                    });
+                }
+                opts.addr = other.to_string();
+                addr_seen = true;
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// `gables serve [addr] [--workers N]`: bind, print the listen address
+/// to stderr, and serve until the process is killed.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for bad arguments or a failed bind.
+pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
+    let opts = parse_serve_args(args)?;
+    let config = ServerConfig {
+        workers: opts.workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(opts.addr.as_str(), config).map_err(|e| SpecError {
+        line: None,
+        message: format!("bind {}: {e}", opts.addr),
+    })?;
+    let addr = server.local_addr().map_err(|e| SpecError {
+        line: None,
+        message: e.to_string(),
+    })?;
+    let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128)));
+    eprintln!(
+        "gables-serve listening on http://{addr} ({} workers); POST /eval, /sweep, /whatif, /simulate; GET /metrics",
+        opts.workers
+    );
+    server.run(router).map_err(|e| SpecError {
+        line: None,
+        message: e.to_string(),
+    })?;
+    Ok(String::new())
+}
+
+/// Builds the Gables route table over shared metrics and cache. Public
+/// so tests can run the server on an ephemeral port.
+pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Router {
+    let mut router = Router::new().route("GET", "/healthz", |_| Response::text(200, "ok\n"));
+    {
+        let metrics = Arc::clone(&metrics);
+        router = router.route("GET", "/metrics", move |req| {
+            let snapshot = metrics.snapshot();
+            if wants_text(req) {
+                Response::text(200, snapshot.to_text())
+            } else {
+                Response::json(200, snapshot.to_json())
+            }
+        });
+    }
+    for (path, handler) in [
+        (
+            "/eval",
+            eval_handler as fn(&Request, &str) -> Result<String, Response>,
+        ),
+        ("/sweep", sweep_handler),
+        ("/whatif", whatif_handler),
+        ("/simulate", simulate_handler),
+    ] {
+        let metrics = Arc::clone(&metrics);
+        let cache = Arc::clone(&cache);
+        router = router.route("POST", path, move |req| {
+            let spec_text = match spec_from_body(req) {
+                Ok(s) => s,
+                Err(resp) => return resp,
+            };
+            let key = format!(
+                "{path}|{}|{}|{}",
+                req.query.as_deref().unwrap_or(""),
+                if wants_text(req) { "text" } else { "json" },
+                canonicalize(&spec_text),
+            );
+            if let Some(body) = cache.get(&key) {
+                metrics.record_cache_hit();
+                return finish(req, body);
+            }
+            metrics.record_cache_miss();
+            match handler(req, &spec_text) {
+                Ok(body) => {
+                    cache.insert(key, body.clone());
+                    finish(req, body)
+                }
+                Err(resp) => resp,
+            }
+        });
+    }
+    router
+}
+
+fn wants_text(req: &Request) -> bool {
+    req.query_param("format") == Some("text")
+}
+
+fn finish(req: &Request, body: String) -> Response {
+    if wants_text(req) {
+        Response::text(200, body)
+    } else {
+        Response::json(200, body)
+    }
+}
+
+/// Extracts spec text from a request body: raw spec text, or a JSON
+/// object with a `"spec"` string field.
+fn spec_from_body(req: &Request) -> Result<String, Response> {
+    let body = req
+        .body_str()
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    let trimmed = body.trim_start();
+    if trimmed.starts_with('{') {
+        let doc =
+            Json::parse(body).map_err(|e| Response::error(400, &format!("request body: {e}")))?;
+        Ok(doc
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or_else(|| {
+                Response::error(400, "JSON request body must have a string \"spec\" field")
+            })?
+            .to_string())
+    } else if trimmed.is_empty() {
+        Err(Response::error(
+            400,
+            "empty body: send spec text or {\"spec\": \"...\"}",
+        ))
+    } else {
+        Ok(body.to_string())
+    }
+}
+
+fn bad_request(e: &SpecError) -> Response {
+    Response::error(400, &e.to_string())
+}
+
+/// `POST /eval`: with `?format=text`, exactly the `gables eval` output;
+/// otherwise a JSON object with the structured summary plus that output.
+fn eval_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
+    let output = eval_command(spec_text).map_err(|e| bad_request(&e))?;
+    if wants_text(req) {
+        return Ok(output);
+    }
+    let spec = SpecFile::parse(spec_text).map_err(|e| bad_request(&e))?;
+    let soc = spec.soc().map_err(|e| bad_request(&e))?;
+    let workload = spec.workload().map_err(|e| bad_request(&e))?;
+    let eval = evaluate(&soc, &workload).map_err(|e| bad_request(&SpecError::from(e)))?;
+    Ok(Json::Object(vec![
+        (
+            "attainable_gops".into(),
+            Json::num(eval.attainable().to_gops()),
+        ),
+        (
+            "bottleneck".into(),
+            Json::str(eval.bottleneck().to_string()),
+        ),
+        ("output".into(), Json::str(output)),
+    ])
+    .to_string())
+}
+
+fn query_num(req: &Request, key: &str, default: f64) -> Result<f64, Response> {
+    match req.query_param(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            Response::error(
+                400,
+                &format!("query parameter {key}={raw:?} is not a number"),
+            )
+        }),
+    }
+}
+
+/// `POST /sweep`: `?param=f|bpeak|intensity` with `from`/`to`/`steps`;
+/// defaults to an ERT-style intensity sweep over 0.25..64 ops/byte.
+fn sweep_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
+    let param = req.query_param("param").unwrap_or("intensity");
+    let from = query_num(req, "from", 0.25)?;
+    let to = query_num(req, "to", 64.0)?;
+    let steps = query_num(req, "steps", 16.0)? as usize;
+    let output = sweep_command(spec_text, param, from, to, steps).map_err(|e| bad_request(&e))?;
+    if wants_text(req) {
+        return Ok(output);
+    }
+    Ok(Json::Object(vec![
+        ("param".into(), Json::str(param)),
+        ("output".into(), Json::str(output)),
+    ])
+    .to_string())
+}
+
+/// `POST /whatif`: requires a JSON body with `"spec"` and `"edits"`.
+fn whatif_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
+    let body = req
+        .body_str()
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+    let edits = if body.trim_start().starts_with('{') {
+        Json::parse(body)
+            .ok()
+            .and_then(|doc| doc.get("edits").and_then(Json::as_str).map(str::to_string))
+    } else {
+        None
+    }
+    .ok_or_else(|| {
+        Response::error(
+            400,
+            "whatif needs a JSON body with \"spec\" and \"edits\" fields, e.g. {\"spec\": \"...\", \"edits\": \"set_bpeak 30\"}",
+        )
+    })?;
+    let output = whatif_command(spec_text, &edits).map_err(|e| bad_request(&e))?;
+    if wants_text(req) {
+        return Ok(output);
+    }
+    Ok(Json::Object(vec![
+        ("edits".into(), Json::str(edits)),
+        ("output".into(), Json::str(output)),
+    ])
+    .to_string())
+}
+
+/// `POST /simulate`: run the spec's workload through the cycle-level
+/// simulator and report per-job bottleneck attribution.
+fn simulate_handler(_req: &Request, spec_text: &str) -> Result<String, Response> {
+    use gables_soc_sim::telemetry::{BindingConstraint, NullRecorder};
+
+    let spec = SpecFile::parse(spec_text).map_err(|e| bad_request(&e))?;
+    let soc = spec.soc().map_err(|e| bad_request(&e))?;
+    let workload = spec.workload().map_err(|e| bad_request(&e))?;
+    let names = spec.ip_names();
+    let run = gables_soc_sim::run_gables_workload(&soc, &workload, &mut NullRecorder)
+        .map_err(|e| Response::error(400, &e.to_string()))?;
+
+    let jobs = Json::Array(
+        run.jobs
+            .iter()
+            .map(|j| {
+                let breakdown = Json::Object(
+                    BindingConstraint::ALL
+                        .iter()
+                        .map(|&c| (c.label().to_string(), Json::num(j.breakdown.fraction(c))))
+                        .collect(),
+                );
+                Json::Object(vec![
+                    ("ip".into(), Json::num(j.ip as f64)),
+                    (
+                        "name".into(),
+                        Json::str(
+                            names
+                                .get(j.ip)
+                                .cloned()
+                                .unwrap_or_else(|| format!("IP{}", j.ip)),
+                        ),
+                    ),
+                    ("gflops".into(), Json::num(j.flops / 1e9)),
+                    ("gbytes".into(), Json::num(j.bytes / 1e9)),
+                    (
+                        "dominant_bottleneck".into(),
+                        Json::str(j.breakdown.dominant().label()),
+                    ),
+                    ("bottleneck_breakdown".into(), breakdown),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::Object(vec![
+        ("makespan_seconds".into(), Json::num(run.makespan_seconds)),
+        (
+            "aggregate_gflops_per_sec".into(),
+            Json::num(run.aggregate_flops_per_sec / 1e9),
+        ),
+        ("jobs".into(), jobs),
+    ]);
+    // The simulate report is JSON-native; ?format=text serves the same
+    // document with a text/plain content type (finish() handles that).
+    Ok(doc.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::FIGURE_6B_SPEC;
+
+    fn post(path: &str, query: Option<&str>, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            query: query.map(String::from),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn router() -> Router {
+        build_router(
+            Arc::new(ServerMetrics::new()),
+            Arc::new(ShardedCache::new(4, 32)),
+        )
+    }
+
+    #[test]
+    fn parse_serve_args_defaults_and_overrides() {
+        let opts = parse_serve_args(&[]).unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:7878");
+        assert_eq!(opts.workers, 4);
+        let opts =
+            parse_serve_args(&["0.0.0.0:9000".into(), "--workers".into(), "2".into()]).unwrap();
+        assert_eq!(opts.addr, "0.0.0.0:9000");
+        assert_eq!(opts.workers, 2);
+        assert!(parse_serve_args(&["--workers".into()]).is_err());
+        assert!(parse_serve_args(&["--workers".into(), "0".into()]).is_err());
+        assert!(parse_serve_args(&["--frob".into()]).is_err());
+        assert!(parse_serve_args(&["a:1".into(), "b:2".into()]).is_err());
+    }
+
+    #[test]
+    fn eval_text_format_matches_cli_output_exactly() {
+        let resp = router().dispatch(&post("/eval", Some("format=text"), FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            eval_command(FIGURE_6B_SPEC).unwrap()
+        );
+    }
+
+    #[test]
+    fn eval_json_has_structured_fields() {
+        let resp = router().dispatch(&post("/eval", None, FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let gops = doc.get("attainable_gops").and_then(Json::as_f64).unwrap();
+        assert!((gops - 1.3278).abs() < 1e-3, "{gops}");
+        assert_eq!(
+            doc.get("bottleneck").and_then(Json::as_str),
+            Some("memory interface")
+        );
+        assert!(doc
+            .get("output")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Pattainable"));
+    }
+
+    #[test]
+    fn eval_accepts_a_json_wrapped_spec() {
+        let body = Json::Object(vec![("spec".into(), Json::str(FIGURE_6B_SPEC))]).to_string();
+        let resp = router().dispatch(&post("/eval", None, &body));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn eval_rejects_empty_and_invalid_bodies() {
+        assert_eq!(router().dispatch(&post("/eval", None, "")).status, 400);
+        assert_eq!(
+            router()
+                .dispatch(&post("/eval", None, "{\"nope\": 1}"))
+                .status,
+            400
+        );
+        assert_eq!(
+            router()
+                .dispatch(&post("/eval", None, "[soc]\nbogus = 1\n"))
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn sweep_defaults_to_an_intensity_sweep() {
+        let resp = router().dispatch(&post("/sweep", None, FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("param").and_then(Json::as_str), Some("intensity"));
+        let out = doc.get("output").and_then(Json::as_str).unwrap();
+        assert!(out.contains("I(ops/B)"), "{out}");
+        assert_eq!(out.lines().count(), 18, "header + 17 rows");
+    }
+
+    #[test]
+    fn sweep_accepts_explicit_params_and_rejects_bad_ones() {
+        let resp = router().dispatch(&post(
+            "/sweep",
+            Some("param=bpeak&from=5&to=40&steps=4"),
+            FIGURE_6B_SPEC,
+        ));
+        assert_eq!(resp.status, 200);
+        let resp = router().dispatch(&post("/sweep", Some("from=banana"), FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 400);
+        let resp = router().dispatch(&post("/sweep", Some("param=nope"), FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn whatif_needs_json_body_with_edits() {
+        let body = Json::Object(vec![
+            ("spec".into(), Json::str(FIGURE_6B_SPEC)),
+            ("edits".into(), Json::str("set_bpeak 30; set_intensity 1 8")),
+        ])
+        .to_string();
+        let resp = router().dispatch(&post("/whatif", None, &body));
+        assert_eq!(resp.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(doc
+            .get("output")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("baseline"));
+        // Raw spec text (no edits field) is a clear 400.
+        let resp = router().dispatch(&post("/whatif", None, FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn simulate_reports_per_job_attribution() {
+        let resp = router().dispatch(&post("/simulate", None, FIGURE_6B_SPEC));
+        assert_eq!(
+            resp.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&resp.body)
+        );
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(doc.get("makespan_seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        let jobs = doc.get("jobs").unwrap().as_array().unwrap();
+        assert_eq!(jobs.len(), 2);
+        let cpu = &jobs[0];
+        assert_eq!(cpu.get("name").and_then(Json::as_str), Some("CPU"));
+        let breakdown = cpu
+            .get("bottleneck_breakdown")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(breakdown.len(), 6);
+        let total: f64 = breakdown.iter().map(|(_, v)| v.as_f64().unwrap()).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "fractions sum to 1, got {total}"
+        );
+        assert!(cpu
+            .get("dominant_bottleneck")
+            .and_then(Json::as_str)
+            .is_some());
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let metrics = Arc::new(ServerMetrics::new());
+        let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
+        let first = router.dispatch(&post("/eval", None, FIGURE_6B_SPEC));
+        // Cosmetically different spelling of the same spec still hits.
+        let respelled = format!("# a comment\n{}", FIGURE_6B_SPEC.replace(" = ", "="));
+        let second = router.dispatch(&post("/eval", None, &respelled));
+        assert_eq!(first.body, second.body);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.cache_misses, 1);
+        assert_eq!(snapshot.cache_hits, 1);
+    }
+
+    #[test]
+    fn healthz_answers_ok() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let resp = router().dispatch(&req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_both_formats() {
+        let metrics = Arc::new(ServerMetrics::new());
+        let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
+        let req = |q: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            query: q.map(String::from),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let resp = router.dispatch(&req(None));
+        assert_eq!(resp.status, 200);
+        assert!(Json::parse(std::str::from_utf8(&resp.body).unwrap()).is_ok());
+        let resp = router.dispatch(&req(Some("format=text")));
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("gables-serve metrics"));
+    }
+}

@@ -330,6 +330,36 @@ fn strip_comment(line: &str) -> &str {
     }
 }
 
+/// Normalizes spec text for use as a cache key: comments and blank lines
+/// are dropped, whitespace around keys/values/section headers is
+/// collapsed, so cosmetically different spellings of the same spec map
+/// to the same string. This is purely textual — it does not validate the
+/// spec, so it is cheap enough to run on every request.
+pub fn canonicalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for line in text.lines() {
+        let line = strip_comment(line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((key, value)) = line.split_once('=') {
+            out.push_str(key.trim());
+            out.push('=');
+            // Collapse spacing inside list values ("8, 0.1" == "8,0.1").
+            let value: String = value
+                .split(',')
+                .map(str::trim)
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&value);
+        } else {
+            out.push_str(line);
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// A ready-to-use spec string for the paper's Figure 6b scenario (used by
 /// `gables example` and tests).
 pub const FIGURE_6B_SPEC: &str = "\
@@ -453,5 +483,17 @@ mod tests {
         let bad = format!("{FIGURE_6B_SPEC}\n[sram]\nmiss_ratios = 1.0\n");
         let spec = SpecFile::parse(&bad).unwrap();
         assert!(spec.sram().is_err());
+    }
+
+    #[test]
+    fn canonicalize_erases_cosmetic_differences() {
+        let a = canonicalize(FIGURE_6B_SPEC);
+        let b = canonicalize(
+            "[soc]\n  ppeak_gops=40   # comment\nbpeak_gbps =  10\n\n\n[ip.CPU]\nbandwidth_gbps = 6\n[ip.GPU]\nacceleration=5\nbandwidth_gbps=15\n[workload]\nfractions = 0.25,0.75\nintensities = 8,0.1\n",
+        );
+        assert_eq!(a, b);
+        // But a real change still changes the key.
+        let c = canonicalize(&FIGURE_6B_SPEC.replace("bpeak_gbps = 10", "bpeak_gbps = 20"));
+        assert_ne!(a, c);
     }
 }

@@ -1,0 +1,201 @@
+//! Loopback integration tests for `gables serve`: a real server on an
+//! ephemeral port, driven by plain `TcpStream` clients.
+//!
+//! These are the acceptance tests for the serving tier: a thousand-plus
+//! concurrent `/eval` requests answer byte-identically to the CLI's
+//! `eval` output, repeats hit the cache, a full queue sheds load with
+//! `503` instead of hanging, and `/metrics` reconciles with the traffic
+//! actually sent.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gables_cli::serve::build_router;
+use gables_cli::spec::FIGURE_6B_SPEC;
+use gables_model::json::Json;
+use gables_serve::{Server, ServerConfig, ServerHandle, ShardedCache};
+
+/// Starts a fresh server (own metrics, own cache) on an ephemeral port.
+fn start_server(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128)));
+    let join = std::thread::spawn(move || server.run(router).expect("server run"));
+    (handle, join)
+}
+
+/// One full HTTP exchange; returns (status line, headers, body).
+fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send request");
+    // Read to EOF, tolerating a late reset: a backpressure 503 is written
+    // without reading the request body, so closing that socket RSTs the
+    // connection after the response bytes are already in our buffer.
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) if !bytes.is_empty() => {
+                assert!(
+                    e.kind() == std::io::ErrorKind::ConnectionReset,
+                    "unexpected read error: {e}"
+                );
+                break;
+            }
+            Err(e) => panic!("read reply: {e}"),
+        }
+    }
+    let reply = String::from_utf8(bytes).expect("UTF-8 reply");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+#[test]
+fn concurrent_eval_storm_is_byte_identical_and_metrics_reconcile() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 128;
+    const TOTAL: usize = THREADS * PER_THREAD;
+
+    let (handle, join) = start_server(ServerConfig {
+        workers: 8,
+        queue_depth: 1024,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let expected = gables_cli::eval_command(FIGURE_6B_SPEC).expect("CLI eval output");
+
+    let mut clients = Vec::new();
+    for t in 0..THREADS {
+        let expected = expected.clone();
+        clients.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                // Vary the spec cosmetically (comment only) so cache hits
+                // prove canonicalization, not just string equality.
+                let spec = format!("# probe {t}/{i}\n{FIGURE_6B_SPEC}");
+                let (status, _, body) = request(addr, "POST", "/eval?format=text", &spec);
+                assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+                assert_eq!(body, expected, "response must match `gables eval` exactly");
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    let (status, _, body) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let doc = Json::parse(&body).expect("metrics JSON");
+    let num = |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+
+    // Every eval request was handled (the /metrics request itself is
+    // counted only after its response is written, so it is not included).
+    assert_eq!(num("handled"), TOTAL as f64);
+    assert_eq!(num("status_2xx"), TOTAL as f64);
+    assert_eq!(num("status_4xx"), 0.0);
+    assert_eq!(num("status_5xx"), 0.0);
+    assert_eq!(num("rejected"), 0.0);
+    // The snapshot is taken inside the /metrics handler, whose own
+    // request is the only one in flight.
+    assert_eq!(num("in_flight"), 1.0);
+    // Each eval request records exactly one cache outcome; with one
+    // canonical spec, everything after the first computation hits.
+    assert_eq!(num("cache_hits") + num("cache_misses"), TOTAL as f64);
+    assert!(num("cache_hits") > 0.0, "repeats must hit the cache");
+    assert!(num("cache_hit_rate") > 0.0);
+    let routes = doc.get("routes").expect("routes object");
+    assert_eq!(
+        routes.get("/eval").and_then(Json::as_f64),
+        Some(TOTAL as f64)
+    );
+    // The latency histogram accounts for every handled request.
+    let latency_total: f64 = doc
+        .get("latency_us_log2")
+        .and_then(Json::as_array)
+        .expect("latency histogram")
+        .iter()
+        .map(|b| b.get("count").and_then(Json::as_f64).unwrap_or(0.0))
+        .sum();
+    assert_eq!(latency_total, TOTAL as f64);
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+    // After shutdown the gauge settles back to zero.
+    assert_eq!(handle.metrics().snapshot().in_flight, 0);
+}
+
+#[test]
+fn json_eval_and_simulate_agree_on_the_bottleneck() {
+    let (handle, join) = start_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    let (status, _, body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let eval = Json::parse(&body).expect("eval JSON");
+    assert_eq!(
+        eval.get("bottleneck").and_then(Json::as_str),
+        Some("memory interface")
+    );
+
+    let (status, _, body) = request(addr, "POST", "/simulate", FIGURE_6B_SPEC);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let sim = Json::parse(&body).expect("simulate JSON");
+    let jobs = sim.get("jobs").and_then(Json::as_array).expect("jobs");
+    assert_eq!(jobs.len(), 2);
+    // The analytical model says the SoC is memory-bound; the simulator's
+    // dominant constraint for the heavy GPU job must agree (dram).
+    let gpu = jobs
+        .iter()
+        .find(|j| j.get("name").and_then(Json::as_str) == Some("GPU"))
+        .expect("GPU job");
+    assert_eq!(
+        gpu.get("dominant_bottleneck").and_then(Json::as_str),
+        Some("dram")
+    );
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}
+
+#[test]
+fn full_queue_answers_503_immediately_instead_of_hanging() {
+    // One worker, one queue slot. Two connections that never send a
+    // request pin the worker and fill the slot (they hold until the
+    // read timeout); a real request must then be shed at accept time.
+    let (handle, join) = start_server(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let _stall_worker = TcpStream::connect(addr).expect("stall worker");
+    std::thread::sleep(Duration::from_millis(300));
+    let _stall_queue = TcpStream::connect(addr).expect("stall queue");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let start = Instant::now();
+    let (status, headers, body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "backpressure must answer immediately, not wait out the stalled worker"
+    );
+    assert_eq!(status, "HTTP/1.1 503 Service Unavailable", "{body}");
+    assert!(headers.contains("Retry-After: 1"), "{headers}");
+    assert!(body.contains("queue is full"), "{body}");
+    assert!(handle.metrics().snapshot().rejected >= 1);
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}

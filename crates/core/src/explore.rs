@@ -306,6 +306,55 @@ mod tests {
     }
 
     #[test]
+    fn frontier_of_empty_input_is_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert!(cheapest_meeting(&[], 0.0).is_none());
+    }
+
+    #[test]
+    fn single_point_grid_is_its_own_frontier() {
+        let g = CandidateGrid {
+            ppeak_gops: 40.0,
+            b0_gbps: 6.0,
+            accelerations: vec![5.0],
+            b1_gbps: vec![15.0],
+            bpeak_gbps: vec![20.0],
+        };
+        let points = explore(&g, &CostModel::unit(), &usecase()).unwrap();
+        assert_eq!(points.len(), 1);
+        let frontier = pareto_frontier(&points);
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0], points[0]);
+    }
+
+    #[test]
+    fn duplicate_and_tied_points_keep_one_representative() {
+        let base = explore(&grid(), &CostModel::unit(), &usecase()).unwrap();
+        // Duplicate every point: the frontier must not grow.
+        let mut doubled = base.clone();
+        doubled.extend(base.iter().cloned());
+        let from_single = pareto_frontier(&base);
+        let from_doubled = pareto_frontier(&doubled);
+        assert_eq!(from_single.len(), from_doubled.len());
+        // Tied on both objectives (same cost, same perf, different SoC):
+        // exactly one survives.
+        let mut tied = vec![base[0].clone(), base[0].clone()];
+        tied[1].soc = base[1].soc.clone();
+        let frontier = pareto_frontier(&tied);
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].cost, base[0].cost);
+    }
+
+    #[test]
+    fn cheapest_meeting_unreachable_target_is_none() {
+        let points = explore(&grid(), &CostModel::unit(), &usecase()).unwrap();
+        let best = points.iter().map(|p| p.perf_gops).fold(0.0, f64::max);
+        assert!(cheapest_meeting(&points, best + 1.0).is_none());
+        // At exactly the best attainable performance, it still matches.
+        assert!(cheapest_meeting(&points, best).is_some());
+    }
+
+    #[test]
     fn dominates_relation() {
         let soc = grid();
         let mk = |cost, perf| DesignPoint {

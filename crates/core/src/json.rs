@@ -1,0 +1,497 @@
+//! A minimal JSON value type with a recursive-descent parser and a
+//! serializer, built on `std` only — no external JSON crate is among the
+//! approved offline dependencies.
+//!
+//! Shared by the telemetry exporters' golden tests (which must re-parse
+//! the Chrome trace JSON they emit) and by `gables-serve`'s HTTP request
+//! and response bodies. The grammar is standard JSON; two deliberate
+//! simplifications keep it small:
+//!
+//! * numbers are `f64` (fine for this workspace: rates, seconds,
+//!   fractions, and counters well below 2^53), and
+//! * objects preserve insertion order in a `Vec` of pairs, with
+//!   [`Json::get`] returning the first match — duplicate keys are
+//!   accepted on parse, as most JSON parsers do.
+//!
+//! ```
+//! use gables_model::json::Json;
+//!
+//! let v = Json::parse(r#"{"spec": "[soc]", "steps": 8}"#)?;
+//! assert_eq!(v.get("spec").and_then(Json::as_str), Some("[soc]"));
+//! assert_eq!(v.get("steps").and_then(Json::as_f64), Some(8.0));
+//! // Serialization round-trips.
+//! assert_eq!(Json::parse(&v.to_string())?, v);
+//! # Ok::<(), gables_model::json::JsonError>(())
+//! ```
+
+use core::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object: key/value pairs in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing bytes are an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset for malformed input.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        Parser::parse(text)
+    }
+
+    /// Looks up a key in an object (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// A string value (convenience constructor).
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::String(s.into())
+    }
+
+    /// A number value; non-finite floats (which JSON cannot represent)
+    /// become `null`.
+    pub fn num(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Number(x)
+        } else {
+            Json::Null
+        }
+    }
+}
+
+/// Serializes compactly (no insignificant whitespace). Non-finite
+/// numbers — unreachable via [`Json::num`] but constructible directly —
+/// render as `null`.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(n) if n.is_finite() => write!(f, "{n}"),
+            Json::Number(_) => f.write_str("null"),
+            Json::String(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parse error: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            offset,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(p.pos, "trailing bytes"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(
+                self.pos,
+                format!(
+                    "expected {:?}, found {:?}",
+                    b as char,
+                    self.peek().map(|c| c as char)
+                ),
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(JsonError::new(
+                self.pos,
+                format!("unexpected {:?}", other.map(|c| c as char)),
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(self.pos, "bad literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                other => {
+                    return Err(JsonError::new(
+                        self.pos,
+                        format!("expected ',' or '}}', found {:?}", other.map(|c| c as char)),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(JsonError::new(
+                        self.pos,
+                        format!("expected ',' or ']', found {:?}", other.map(|c| c as char)),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new(self.pos, "truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| JsonError::new(self.pos, "truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|e| JsonError::new(self.pos, e.to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| JsonError::new(self.pos, e.to_string()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| {
+                                    JsonError::new(self.pos, "bad \\u code point")
+                                })?,
+                            );
+                        }
+                        other => {
+                            return Err(JsonError::new(
+                                self.pos,
+                                format!("bad escape {:?}", other as char),
+                            ))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| JsonError::new(self.pos, e.to_string()))?;
+                    let ch = rest.chars().next().expect("non-empty by construction");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii by scan");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|e| JsonError::new(start, format!("bad number {text:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-1.5e3").unwrap(), Json::Number(-1500.0));
+        assert_eq!(
+            Json::parse("\"a\\nb\"").unwrap(),
+            Json::String("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn parses_structures_and_preserves_object_order() {
+        let v = Json::parse(r#"{"z": [1, 2, {"k": null}], "a": "x"}"#).unwrap();
+        let pairs = v.as_object().unwrap();
+        assert_eq!(pairs[0].0, "z");
+        assert_eq!(pairs[1].0, "a");
+        let arr = v.get("z").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[2].get("k"), Some(&Json::Null));
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "\"x", "{\"a\" 1}", "tru", "1 2", "nul"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        let err = Json::parse("[1, @]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("offset 4"));
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        let v = Json::parse("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("Aé"));
+        assert_eq!(Json::parse("\"héllo\"").unwrap().as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn serializes_compactly_and_round_trips() {
+        let v = Json::Object(vec![
+            ("name".into(), Json::str("a\"b")),
+            ("n".into(), Json::num(2.5)),
+            (
+                "flags".into(),
+                Json::Array(vec![Json::Bool(true), Json::Null]),
+            ),
+        ]);
+        let text = v.to_string();
+        assert_eq!(text, r#"{"name":"a\"b","n":2.5,"flags":[true,null]}"#);
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        assert_eq!(Json::num(f64::NAN), Json::Null);
+        assert_eq!(Json::num(f64::INFINITY), Json::Null);
+        assert_eq!(Json::Number(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn whitespace_is_tolerated_everywhere() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_return_first_match() {
+        let v = Json::parse(r#"{"a": 1, "a": 2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.0));
+    }
+}

@@ -70,6 +70,7 @@ pub mod baselines;
 pub mod error;
 pub mod explore;
 pub mod ext;
+pub mod json;
 pub mod model;
 pub mod rng;
 pub mod soc;

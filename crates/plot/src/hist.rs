@@ -1,0 +1,92 @@
+//! ASCII horizontal histogram rendering — used by `gables-serve`'s
+//! `/metrics?format=text` latency view, and generic enough for any
+//! labelled count distribution.
+
+/// Renders labelled counts as a horizontal bar chart. Bars scale to the
+/// largest count across `bar_width` columns; each row shows the label,
+/// the bar, and the raw count. Rows with a zero count render an empty
+/// bar (they are kept so bucket boundaries stay visible). Returns
+/// `"(no data)\n"` when every count is zero or `bins` is empty.
+///
+/// ```
+/// let out = gables_plot::render_histogram(
+///     &[("<1ms".to_string(), 3), ("<2ms".to_string(), 9)],
+///     20,
+/// );
+/// assert!(out.contains("<2ms"));
+/// assert!(out.contains("9"));
+/// ```
+pub fn render_histogram(bins: &[(String, u64)], bar_width: usize) -> String {
+    let bar_width = bar_width.clamp(8, 200);
+    let max = bins.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    if max == 0 {
+        return String::from("(no data)\n");
+    }
+    let label_width = bins.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, count) in bins {
+        // Round up so any non-zero count paints at least one column.
+        let cols = ((*count as f64 / max as f64) * bar_width as f64).ceil() as usize;
+        out.push_str(&format!(
+            "{label:>label_width$} |{:<bar_width$}| {count}\n",
+            "#".repeat(cols.min(bar_width)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bins(counts: &[(&str, u64)]) -> Vec<(String, u64)> {
+        counts.iter().map(|(l, n)| ((*l).to_string(), *n)).collect()
+    }
+
+    #[test]
+    fn bars_scale_to_the_maximum() {
+        let out = render_histogram(&bins(&[("a", 1), ("b", 10)]), 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains(&"#".repeat(10)), "{out}");
+        // 1/10 of 10 columns rounds up to one '#'.
+        assert!(lines[0].contains('#'));
+        assert!(!lines[0].contains("##"));
+        assert!(lines[0].ends_with("| 1"));
+        assert!(lines[1].ends_with("| 10"));
+    }
+
+    #[test]
+    fn zero_count_rows_keep_their_label_with_an_empty_bar() {
+        let out = render_histogram(&bins(&[("low", 0), ("high", 4)]), 8);
+        assert!(out.lines().count() == 2);
+        assert!(out.contains("low"));
+        let low_line = out.lines().next().unwrap();
+        assert!(!low_line.contains('#'));
+    }
+
+    #[test]
+    fn empty_or_all_zero_input_says_no_data() {
+        assert_eq!(render_histogram(&[], 10), "(no data)\n");
+        assert_eq!(
+            render_histogram(&bins(&[("a", 0), ("b", 0)]), 10),
+            "(no data)\n"
+        );
+    }
+
+    #[test]
+    fn labels_right_align_to_the_widest() {
+        let out = render_histogram(&bins(&[("ab", 1), ("abcdef", 1)]), 8);
+        for line in out.lines() {
+            assert_eq!(line.find('|'), Some(7), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let out = render_histogram(&bins(&[("a", 5)]), 0);
+        assert!(out.contains(&"#".repeat(8)));
+        let out = render_histogram(&bins(&[("a", 5)]), 10_000);
+        assert!(out.lines().next().unwrap().len() < 300);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod ascii;
 pub mod chart;
 pub mod gantt;
+pub mod hist;
 pub mod scale;
 pub mod svg;
 
@@ -35,4 +36,5 @@ pub use chart::{
     render_gables_plot, render_line_chart, render_roofline, ChartConfig, Series, VerticalMarker,
 };
 pub use gantt::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
+pub use hist::render_histogram;
 pub use svg::SvgDocument;

@@ -1,0 +1,209 @@
+//! A sharded LRU response cache.
+//!
+//! The Gables analytical core is microsecond-cheap, but a serving tier
+//! still wins by caching: repeated evaluations of the same SoC/workload
+//! spec (the common case for a dashboard polling a design) skip spec
+//! parsing, model evaluation, and response serialization entirely.
+//! Keys are expected to be *canonicalized* upstream (comments and
+//! insignificant whitespace stripped — see `gables-cli`'s
+//! `spec::canonicalize`), so cosmetic edits to a spec still hit.
+//!
+//! Sharding bounds lock contention: a key hashes to one of `N` shards,
+//! each an independently locked LRU map, so concurrent workers only
+//! contend when they touch the same shard. Within a shard, eviction is
+//! least-recently-used by access stamp; the scan is `O(capacity)` but
+//! capacities are small (hundreds), and eviction only runs on insertion
+//! into a full shard.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+struct Entry {
+    value: String,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<String, Entry>,
+    clock: u64,
+}
+
+/// A thread-safe string-to-string cache with per-shard LRU eviction.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ShardedCache {
+    /// Creates a cache of `shards` independent LRU maps holding at most
+    /// `capacity_per_shard` entries each. Zeroes are clamped to 1.
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        clock: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Fetches a value, refreshing its recency on hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        let entry = shard.map.get_mut(key)?;
+        entry.last_used = clock;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts (or refreshes) a value, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: String, value: String) {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let clock = shard.clock;
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.capacity_per_shard {
+            if let Some(oldest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&oldest);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let cache = ShardedCache::new(4, 8);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("k"), None);
+        cache.insert("k".into(), "v".into());
+        assert_eq!(cache.get("k").as_deref(), Some("v"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_keys() {
+        let cache = ShardedCache::new(1, 4);
+        cache.insert("k".into(), "v1".into());
+        cache.insert("k".into(), "v2".into());
+        assert_eq!(cache.get("k").as_deref(), Some("v2"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn full_shard_evicts_least_recently_used() {
+        let cache = ShardedCache::new(1, 2);
+        cache.insert("a".into(), "1".into());
+        cache.insert("b".into(), "2".into());
+        // Touch "a" so "b" becomes the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.insert("c".into(), "3".into());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some(), "recently used entry survives");
+        assert!(cache.get("b").is_none(), "LRU entry was evicted");
+        assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let cache = ShardedCache::new(8, 4);
+        for i in 0..32 {
+            cache.insert(format!("key-{i}"), i.to_string());
+        }
+        // With 8 shards × 4 capacity, at most 32 fit; sharding means not
+        // everything lands in one shard (which would cap len at 4).
+        assert!(cache.len() > 4, "keys should hash to multiple shards");
+        // And every retained key still round-trips.
+        let mut hits = 0;
+        for i in 0..32 {
+            if let Some(v) = cache.get(&format!("key-{i}")) {
+                assert_eq!(v, i.to_string());
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, cache.len());
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedCache::new(4, 64));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let cache = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let key = format!("k{}", (t * 31 + i) % 40);
+                    cache.insert(key.clone(), format!("{t}:{i}"));
+                    let _ = cache.get(&key);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= 40);
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let cache = ShardedCache::new(0, 0);
+        cache.insert("a".into(), "1".into());
+        assert_eq!(cache.get("a").as_deref(), Some("1"));
+        cache.insert("b".into(), "2".into());
+        // Capacity clamped to 1: inserting "b" evicted "a".
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,448 @@
+//! A deliberately small HTTP/1.1 layer: enough of RFC 9112 to serve JSON
+//! evaluation requests over loopback or a trusted LAN, built on `std`
+//! only. One request per connection (`Connection: close` is always
+//! sent), explicit size limits on the head and body, and no support for
+//! chunked transfer encoding — clients must send `Content-Length`.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+
+/// Hard limit on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Hard limit on the request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A reading or parsing failure, mapped onto the status code the server
+/// should answer with.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire were not a well-formed request (400).
+    Malformed(String),
+    /// The head or declared body exceeded its limit (413).
+    TooLarge(String),
+    /// The socket failed or timed out before a full request arrived
+    /// (408 for timeouts, connection drop otherwise).
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                408
+            }
+            HttpError::Io(_) => 400,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target, without the query.
+    pub path: String,
+    /// The raw query string (no percent-decoding), if any.
+    pub query: Option<String>,
+    /// Headers in wire order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a `key=value` query parameter (no percent-decoding;
+    /// the parameters this server defines are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// The body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] for invalid UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body)
+            .map_err(|e| HttpError::Malformed(format!("body is not UTF-8: {e}")))
+    }
+}
+
+/// Reads and parses one request from a stream.
+///
+/// The caller is expected to have set read timeouts on the underlying
+/// socket; a timeout surfaces as [`HttpError::Io`] with
+/// `WouldBlock`/`TimedOut`.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] for malformed, oversized, or interrupted
+/// requests.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    // Accumulate until the blank line that ends the head.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed(
+                "connection closed before a full request head arrived".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|e| HttpError::Malformed(format!("head is not UTF-8: {e}")))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "declared body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
+        )));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed(
+            "chunked transfer encoding is not supported; send Content-Length".into(),
+        ));
+    }
+
+    // Body: whatever followed the head in the buffer, then the rest.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// One response, serialized by [`Response::write_to`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// Extra headers beyond the always-present `Content-Type`,
+    /// `Content-Length`, and `Connection: close`.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Type` value.
+    pub content_type: String,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json".into(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error body `{"error": ...}` with the given status.
+    pub fn error(status: u16, message: &str) -> Self {
+        use gables_model::json::Json;
+        Self::json(
+            status,
+            Json::Object(vec![("error".into(), Json::str(message))]).to_string(),
+        )
+    }
+
+    /// Adds a header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the statuses this server emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Content Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response, always with `Connection: close`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (including write timeouts).
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        let mut head = String::with_capacity(128);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            Self::reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let req = parse(
+            b"POST /eval?format=text&x=1 HTTP/1.1\r\n\
+              Host: localhost\r\n\
+              Content-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/eval");
+        assert_eq!(req.query_param("format"), Some("text"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("HOST"), Some("localhost"));
+        assert_eq!(req.body_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query, None);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn body_split_across_reads_is_reassembled() {
+        // Cursor always serves everything, so emulate fragmentation with
+        // a reader that yields one byte at a time.
+        struct OneByte(std::io::Cursor<Vec<u8>>);
+        impl Read for OneByte {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let take = 1.min(buf.len());
+                self.0.read(&mut buf[..take])
+            }
+        }
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".to_vec();
+        let req = read_request(&mut OneByte(std::io::Cursor::new(raw))).unwrap();
+        assert_eq!(req.body, b"abc");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x SPDY/3\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Closed before the head completes.
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_declarations() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)));
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn truncated_body_is_an_error() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let mut out = Vec::new();
+        Response::text(200, "hi")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn error_response_is_json() {
+        let resp = Response::error(503, "queue full");
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.content_type, "application/json");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(body, r#"{"error":"queue full"}"#);
+    }
+
+    #[test]
+    fn timeout_maps_to_408() {
+        let err = HttpError::Io(std::io::Error::from(std::io::ErrorKind::TimedOut));
+        assert_eq!(err.status(), 408);
+        let err = HttpError::Io(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+        assert_eq!(err.status(), 408);
+    }
+}

@@ -1,0 +1,46 @@
+//! # gables-serve
+//!
+//! A dependency-free HTTP/1.1 JSON serving layer for the Gables suite,
+//! built entirely on `std`: `TcpListener` + a bounded worker thread
+//! pool, a tiny request/response codec ([`http`]), a sharded LRU
+//! response cache ([`cache`]), and always-on request telemetry
+//! ([`metrics`]) in the spirit of the simulator's `Recorder` layer —
+//! observation never perturbs serving behaviour.
+//!
+//! This crate is *generic* server infrastructure: it knows nothing
+//! about spec files or roofline endpoints. The Gables endpoints
+//! (`/eval`, `/sweep`, `/whatif`, `/simulate`, `/metrics`) are wired up
+//! in `gables-cli`, which owns the spec parsers, and exposed as the
+//! `gables serve` subcommand. Capacity is explicit at every stage —
+//! worker count, queue depth, cache size, head/body byte limits — and
+//! load beyond the queue is shed immediately with `503` +
+//! `Retry-After` rather than buffered unboundedly.
+//!
+//! ## Example
+//!
+//! ```
+//! use gables_serve::{Response, Router, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default())?;
+//! let handle = server.handle()?;
+//! let join = std::thread::spawn(move || {
+//!     server.run(Router::new().route("GET", "/ping", |_| Response::text(200, "pong")))
+//! });
+//! // ... issue requests against handle.addr() ...
+//! handle.shutdown();
+//! join.join().unwrap()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use cache::ShardedCache;
+pub use http::{read_request, HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS};
+pub use server::{Handler, Router, Server, ServerConfig, ServerHandle};

@@ -1,0 +1,368 @@
+//! Serve-side telemetry, designed like the simulator's `Recorder` layer
+//! (`gables_soc_sim::telemetry`): the serving loop *hands data out* —
+//! request outcomes, latencies, queue rejections — and observation never
+//! influences behaviour. Counters are lock-free atomics updated on the
+//! worker threads (a handful of relaxed adds per request, the serving
+//! analog of the engine's always-on `BottleneckBreakdown` accumulation);
+//! [`ServerMetrics::snapshot`] materializes a consistent-enough view for
+//! the `/metrics` endpoint, and the snapshot — like the epoch timeline —
+//! has JSON and text exporters.
+//!
+//! Latencies land in a log2 histogram over microseconds: bucket `i`
+//! counts requests that took `< 2^i µs`, with one overflow bucket. That
+//! spans 1 µs to ~2 s in [`LATENCY_BUCKETS`] fixed buckets with no
+//! allocation on the hot path.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use gables_model::json::Json;
+
+/// Number of log2 latency buckets (the last is the overflow bucket).
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// Lock-free request counters shared between the server loop, the
+/// handlers (for cache attribution), and the `/metrics` endpoint.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    handled: AtomicU64,
+    rejected: AtomicU64,
+    in_flight: AtomicU64,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    status_5xx: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    // Route labels are an open set (any path a client sends), so the
+    // per-route counters live behind a mutex rather than fixed atomics;
+    // one short-held lock per request, off every other hot path.
+    routes: Mutex<BTreeMap<String, u64>>,
+}
+
+impl ServerMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fully processed request (any status) with its
+    /// observed service latency.
+    pub fn record_handled(&self, route: &str, status: u16, latency: Duration) {
+        self.handled.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => &self.status_2xx,
+            400..=499 => &self.status_4xx,
+            _ => &self.status_5xx,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.latency[Self::bucket_for(latency)].fetch_add(1, Ordering::Relaxed);
+        let mut routes = self.routes.lock().expect("metrics route map poisoned");
+        *routes.entry(route.to_string()).or_insert(0) += 1;
+    }
+
+    /// Records one connection refused by queue backpressure (503 sent
+    /// from the accept loop; not counted as handled).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as entering service. Pair with
+    /// [`Self::exit_in_flight`].
+    pub fn enter_in_flight(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as leaving service.
+    pub fn exit_in_flight(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records a response served from the cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response that had to be computed.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket_for(latency: Duration) -> usize {
+        let micros = latency.as_micros();
+        for i in 0..LATENCY_BUCKETS - 1 {
+            if micros < (1u128 << i) {
+                return i;
+            }
+        }
+        LATENCY_BUCKETS - 1
+    }
+
+    /// A point-in-time copy of every counter. Individual loads are
+    /// relaxed, so a snapshot taken mid-request may be off by the
+    /// in-flight request — fine for an operational endpoint.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            handled: self.handled.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            status_2xx: self.status_2xx.load(Ordering::Relaxed),
+            status_4xx: self.status_4xx.load(Ordering::Relaxed),
+            status_5xx: self.status_5xx.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            latency: self
+                .latency
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            routes: self
+                .routes
+                .lock()
+                .expect("metrics route map poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServerMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests fully processed (any status), excluding rejections.
+    pub handled: u64,
+    /// Connections refused by queue backpressure (503 at accept).
+    pub rejected: u64,
+    /// Requests currently in service.
+    pub in_flight: u64,
+    /// Responses with a 2xx status.
+    pub status_2xx: u64,
+    /// Responses with a 4xx status.
+    pub status_4xx: u64,
+    /// Responses with a 5xx status (handled, not accept-loop 503s).
+    pub status_5xx: u64,
+    /// Responses served from the cache.
+    pub cache_hits: u64,
+    /// Responses computed on a cache miss.
+    pub cache_misses: u64,
+    /// Log2 latency histogram counts (see [`LATENCY_BUCKETS`]).
+    pub latency: Vec<u64>,
+    /// Per-route handled counts, sorted by route.
+    pub routes: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Cache hits over cache-eligible requests, 0 when none were seen.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The human label of one latency bucket (`"<1us"`, `"<2us"`, …,
+    /// `">=2.1s"` for the overflow bucket).
+    pub fn bucket_label(i: usize) -> String {
+        fn fmt_micros(micros: u128) -> String {
+            if micros >= 1_000_000 {
+                format!("{:.1}s", micros as f64 / 1e6)
+            } else if micros >= 1_000 {
+                format!("{:.0}ms", micros as f64 / 1e3)
+            } else {
+                format!("{micros}us")
+            }
+        }
+        if i + 1 >= LATENCY_BUCKETS {
+            format!(">={}", fmt_micros(1u128 << (LATENCY_BUCKETS - 2)))
+        } else {
+            format!("<{}", fmt_micros(1u128 << i))
+        }
+    }
+
+    /// Serializes the snapshot as the `/metrics` JSON document.
+    pub fn to_json(&self) -> String {
+        let latency = Json::Array(
+            self.latency
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| {
+                    Json::Object(vec![
+                        ("bucket".into(), Json::str(Self::bucket_label(i))),
+                        ("count".into(), Json::num(n as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let routes = Json::Object(
+            self.routes
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                .collect(),
+        );
+        Json::Object(vec![
+            ("handled".into(), Json::num(self.handled as f64)),
+            ("rejected".into(), Json::num(self.rejected as f64)),
+            ("in_flight".into(), Json::num(self.in_flight as f64)),
+            ("status_2xx".into(), Json::num(self.status_2xx as f64)),
+            ("status_4xx".into(), Json::num(self.status_4xx as f64)),
+            ("status_5xx".into(), Json::num(self.status_5xx as f64)),
+            ("cache_hits".into(), Json::num(self.cache_hits as f64)),
+            ("cache_misses".into(), Json::num(self.cache_misses as f64)),
+            ("cache_hit_rate".into(), Json::num(self.cache_hit_rate())),
+            ("latency_us_log2".into(), latency),
+            ("routes".into(), routes),
+        ])
+        .to_string()
+    }
+
+    /// Renders the snapshot as a human-readable text page with an ASCII
+    /// latency histogram (the `/metrics?format=text` view).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== gables-serve metrics ===\n");
+        out.push_str(&format!("handled        {}\n", self.handled));
+        out.push_str(&format!("rejected (503) {}\n", self.rejected));
+        out.push_str(&format!("in flight      {}\n", self.in_flight));
+        out.push_str(&format!(
+            "status         2xx {}  4xx {}  5xx {}\n",
+            self.status_2xx, self.status_4xx, self.status_5xx
+        ));
+        out.push_str(&format!(
+            "cache          {} hits / {} misses ({:.1}% hit rate)\n",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate() * 100.0
+        ));
+        out.push_str("\nper-route handled counts:\n");
+        if self.routes.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (route, count) in &self.routes {
+            out.push_str(&format!("  {route:<12} {count}\n"));
+        }
+        out.push_str("\nservice latency (log2 buckets):\n");
+        // Trim trailing all-zero buckets so the histogram stays compact,
+        // but keep at least one row.
+        let last_used = self
+            .latency
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let bins: Vec<(String, u64)> = self
+            .latency
+            .iter()
+            .take(last_used.max(1))
+            .enumerate()
+            .map(|(i, &n)| (Self::bucket_label(i), n))
+            .collect();
+        out.push_str(&gables_plot::render_histogram(&bins, 48));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handled_requests_update_every_counter_family() {
+        let m = ServerMetrics::new();
+        m.record_handled("/eval", 200, Duration::from_micros(3));
+        m.record_handled("/eval", 400, Duration::from_micros(900));
+        m.record_handled("/metrics", 200, Duration::from_millis(5));
+        m.record_rejected();
+        let s = m.snapshot();
+        assert_eq!(s.handled, 3);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.status_2xx, 2);
+        assert_eq!(s.status_4xx, 1);
+        assert_eq!(s.status_5xx, 0);
+        assert_eq!(s.routes, vec![("/eval".into(), 2), ("/metrics".into(), 1)]);
+        assert_eq!(s.latency.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2_with_overflow() {
+        // < 1µs lands in bucket 0, 3µs in bucket 2 (< 4µs), and an
+        // absurd latency in the overflow bucket.
+        assert_eq!(ServerMetrics::bucket_for(Duration::from_nanos(10)), 0);
+        assert_eq!(ServerMetrics::bucket_for(Duration::from_micros(3)), 2);
+        assert_eq!(
+            ServerMetrics::bucket_for(Duration::from_secs(3600)),
+            LATENCY_BUCKETS - 1
+        );
+        // Boundary: exactly 2^i µs goes to the next bucket.
+        assert_eq!(ServerMetrics::bucket_for(Duration::from_micros(1)), 1);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_enter_exit() {
+        let m = ServerMetrics::new();
+        m.enter_in_flight();
+        m.enter_in_flight();
+        assert_eq!(m.snapshot().in_flight, 2);
+        m.exit_in_flight();
+        assert_eq!(m.snapshot().in_flight, 1);
+    }
+
+    #[test]
+    fn cache_hit_rate_is_guarded_against_divide_by_zero() {
+        let m = ServerMetrics::new();
+        assert_eq!(m.snapshot().cache_hit_rate(), 0.0);
+        m.record_cache_hit();
+        m.record_cache_hit();
+        m.record_cache_miss();
+        let rate = m.snapshot().cache_hit_rate();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_export_parses_and_reconciles() {
+        use gables_model::json::Json;
+        let m = ServerMetrics::new();
+        m.record_handled("/eval", 200, Duration::from_micros(10));
+        m.record_cache_miss();
+        let doc = Json::parse(&m.snapshot().to_json()).unwrap();
+        assert_eq!(doc.get("handled").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("cache_misses").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(
+            doc.get("routes")
+                .unwrap()
+                .get("/eval")
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let hist = doc.get("latency_us_log2").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), LATENCY_BUCKETS);
+        let total: f64 = hist
+            .iter()
+            .map(|b| b.get("count").and_then(Json::as_f64).unwrap())
+            .sum();
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn text_export_contains_histogram_and_counters() {
+        let m = ServerMetrics::new();
+        m.record_handled("/eval", 200, Duration::from_micros(100));
+        let text = m.snapshot().to_text();
+        assert!(text.contains("gables-serve metrics"));
+        assert!(text.contains("handled        1"));
+        assert!(text.contains("/eval"));
+        assert!(text.contains('#'), "histogram bar expected:\n{text}");
+        assert!(text.contains("<128us"));
+    }
+
+    #[test]
+    fn bucket_labels_scale_units() {
+        assert_eq!(MetricsSnapshot::bucket_label(0), "<1us");
+        assert_eq!(MetricsSnapshot::bucket_label(10), "<1ms");
+        assert_eq!(MetricsSnapshot::bucket_label(20), "<1.0s");
+        assert!(MetricsSnapshot::bucket_label(LATENCY_BUCKETS - 1).starts_with(">="));
+    }
+}

@@ -188,6 +188,66 @@ impl<'a> MixHarness<'a> {
     }
 }
 
+/// Translates a Gables workload into simulator jobs: one job per active
+/// IP running the paper's read-modify-write kernel at the assignment's
+/// intensity (`fpw = I × 8` for 4-byte words), sized by its work
+/// fraction.
+///
+/// This is the shared entry point behind `gables trace` and the
+/// `/simulate` endpoint of `gables-serve`; keeping it here means every
+/// consumer agrees on how a spec workload maps onto the engine.
+///
+/// # Errors
+///
+/// Returns [`SimError::Kernel`] if an active intensity rounds below one
+/// flop per word (not representable by the RMW kernel) or if no IP has
+/// work assigned.
+pub fn gables_jobs(workload: &gables_model::Workload) -> Result<Vec<Job>, SimError> {
+    let mut jobs = Vec::new();
+    for (ip, a) in workload.assignments().iter().enumerate() {
+        if !a.is_active() {
+            continue;
+        }
+        let intensity = a.intensity().value();
+        let fpw = (intensity * 8.0).round();
+        if fpw < 1.0 {
+            return Err(SimError::Kernel {
+                what: format!(
+                    "IP {ip} intensity {intensity} is not representable by the RMW \
+                     kernel (rounds below 1 flop per word); raise it to simulate"
+                ),
+            });
+        }
+        let kernel = RooflineKernel::dram_resident(fpw as u32).scaled(a.fraction().value());
+        jobs.push(Job { ip, kernel });
+    }
+    if jobs.is_empty() {
+        return Err(SimError::Kernel {
+            what: "workload has no active IPs to run".into(),
+        });
+    }
+    Ok(jobs)
+}
+
+/// Runs a Gables spec workload on a cacheless simulator built from the
+/// spec's parameters, observing the run with `recorder` (pass a
+/// [`NullRecorder`](crate::telemetry::NullRecorder) when the epoch
+/// timeline is not needed — the per-job
+/// [`BottleneckBreakdown`](crate::telemetry::BottleneckBreakdown) is
+/// always produced).
+///
+/// # Errors
+///
+/// Propagates [`gables_jobs`] and simulator errors.
+pub fn run_gables_workload(
+    spec: &gables_model::SocSpec,
+    workload: &gables_model::Workload,
+    recorder: &mut dyn crate::telemetry::Recorder,
+) -> Result<RunResult, SimError> {
+    let sim = Simulator::new(crate::presets::from_gables_spec(spec))?;
+    sim.run_with_recorder(&gables_jobs(workload)?, recorder)
+}
+
 /// Runs a single-IP roofline measurement: one kernel on one IP, nothing
 /// else on the SoC (Section IV-B's per-IP sweeps).
 ///
@@ -411,6 +471,49 @@ mod tests {
             (measured_gops - bound_gops).abs() / bound_gops < 1e-3,
             "serialized sim {measured_gops} vs model {bound_gops}"
         );
+    }
+
+    #[test]
+    fn gables_jobs_builds_one_job_per_active_ip() {
+        use gables_model::Workload;
+        let w = Workload::two_ip(0.75, 8.0, 8.0).unwrap();
+        let jobs = gables_jobs(&w).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].ip, 0);
+        assert_eq!(jobs[1].ip, 1);
+        // fpw = I × 8; job sizes reflect the 0.25/0.75 split.
+        assert_eq!(jobs[0].kernel.flops_per_word, 64);
+        let f0 = jobs[0].kernel.words as f64;
+        let f1 = jobs[1].kernel.words as f64;
+        assert!((f1 / (f0 + f1) - 0.75).abs() < 1e-3);
+
+        // f = 1 leaves the CPU idle: one job only.
+        let w = Workload::two_ip(1.0, 8.0, 8.0).unwrap();
+        assert_eq!(gables_jobs(&w).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn gables_jobs_rejects_unrepresentable_intensity() {
+        use gables_model::Workload;
+        let tiny = Workload::two_ip(0.75, 8.0, 0.01).unwrap();
+        let err = gables_jobs(&tiny).unwrap_err();
+        assert!(err.to_string().contains("not representable"), "{err}");
+    }
+
+    #[test]
+    fn run_gables_workload_matches_trace_path() {
+        use gables_model::two_ip::TwoIpModel;
+        let m = TwoIpModel::figure_6d();
+        let spec = m.soc().unwrap();
+        let w = m.workload().unwrap();
+        let mut recorder = crate::telemetry::NullRecorder;
+        let run = run_gables_workload(&spec, &w, &mut recorder).unwrap();
+        assert_eq!(run.jobs.len(), 2);
+        assert!(run.makespan_seconds > 0.0);
+        // Every job carries a normalized bottleneck breakdown.
+        for job in &run.jobs {
+            assert!((job.breakdown.total() - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -21,4 +21,7 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> serve loopback smoke test (real server on an ephemeral port)"
+cargo test -q -p gables-cli --test serve_loopback
+
 echo "all checks passed"
