@@ -1,0 +1,204 @@
+//! Timing bench for `gables_model::par`: the deterministic parallel
+//! scheduler against its serial baseline on the two grid shapes the
+//! suite parallelizes — a Figure-7-scale design-space exploration
+//! (analytical model, thousands of tiny evaluations) and an ERT sweep
+//! (simulator-backed, dozens of heavier runs).
+//!
+//! Besides the usual one-line-per-bench report, this bench writes a
+//! machine-readable artifact (`target/figures/BENCH_parallel.json` by
+//! default) recording the environment (`available_parallelism`, any
+//! `GABLES_THREADS` override), per-policy wall times, and the measured
+//! speedups, so speedup claims in the README trace to a reproducible
+//! command. Determinism is asserted on every timed configuration: the
+//! parallel results must equal the serial results exactly before a
+//! timing is recorded.
+//!
+//! Environment knobs:
+//!
+//! * `GABLES_BENCH_OUT` — artifact path (default
+//!   `target/figures/BENCH_parallel.json`).
+//! * `GABLES_BENCH_SCALE` — explore-grid axis length (default 12, i.e.
+//!   12^3 = 1728 candidates; CI smoke runs use a small value).
+
+use std::time::{Duration, Instant};
+
+use gables_model::explore::{explore_with, CandidateGrid, CostModel};
+use gables_model::json::Json;
+use gables_model::{Parallelism, Workload};
+use gables_soc_sim::{presets, Simulator, TrafficPattern};
+
+/// Times one closure: a warm-up call, then the minimum of `reps` timed
+/// calls (minimum, not mean — scheduler noise only ever adds time).
+fn time_min<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn policy_label(par: Parallelism) -> String {
+    match par {
+        Parallelism::Serial => "serial".to_string(),
+        Parallelism::Auto => "auto".to_string(),
+        Parallelism::Threads(n) => format!("threads_{n}"),
+    }
+}
+
+fn main() {
+    let scale: usize = std::env::var("GABLES_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
+        .unwrap_or(12);
+    let out_path = std::env::var("GABLES_BENCH_OUT")
+        .unwrap_or_else(|_| "target/figures/BENCH_parallel.json".to_string());
+    let policies = [
+        Parallelism::Serial,
+        Parallelism::Threads(2),
+        Parallelism::Threads(4),
+    ];
+
+    // Figure-7-scale exploration: scale^3 two-IP candidates.
+    let axis = |lo: f64, hi: f64| -> Vec<f64> {
+        (0..scale)
+            .map(|k| lo + (hi - lo) * k as f64 / (scale - 1) as f64)
+            .collect()
+    };
+    let grid = CandidateGrid {
+        ppeak_gops: 40.0,
+        b0_gbps: 6.0,
+        accelerations: axis(1.0, 16.0),
+        b1_gbps: axis(4.0, 32.0),
+        bpeak_gbps: axis(6.0, 48.0),
+    };
+    let cost = CostModel::unit();
+    let usecase = Workload::two_ip(0.75, 8.0, 0.25).expect("valid workload");
+    let serial_points =
+        explore_with(&grid, &cost, &usecase, Parallelism::Serial).expect("serial explore");
+
+    let mut sections = Vec::new();
+    let mut report_lines = Vec::new();
+    {
+        let mut rows = Vec::new();
+        let mut serial_secs = 0.0;
+        for par in policies {
+            let got = explore_with(&grid, &cost, &usecase, par).expect("explore");
+            assert_eq!(
+                got, serial_points,
+                "explore must be bit-identical ({par:?})"
+            );
+            let t = time_min(5, || {
+                std::hint::black_box(explore_with(&grid, &cost, &usecase, par).expect("explore"));
+            });
+            let secs = t.as_secs_f64();
+            if par == Parallelism::Serial {
+                serial_secs = secs;
+            }
+            let speedup = serial_secs / secs;
+            report_lines.push(format!(
+                "explore_{}x3 {:<12} {:>10.3} ms  speedup {:.2}x",
+                scale,
+                policy_label(par),
+                secs * 1e3,
+                speedup
+            ));
+            rows.push(Json::Object(vec![
+                ("policy".into(), Json::str(policy_label(par))),
+                ("seconds".into(), Json::num(secs)),
+                ("speedup_vs_serial".into(), Json::num(speedup)),
+            ]));
+        }
+        sections.push((
+            "explore".to_string(),
+            Json::Object(vec![
+                ("grid_points".into(), Json::num(serial_points.len() as f64)),
+                ("timings".into(), Json::Array(rows)),
+            ]),
+        ));
+    }
+
+    // ERT sweep: simulator-backed grid, heavier per point.
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+    let config = gables_ert::SweepConfig {
+        array_bytes: vec![64 << 10, 1 << 20, 16 << 20],
+        flops_per_word: vec![1, 4, 16, 64, 256, 1024],
+        trials: 1,
+        pattern: TrafficPattern::ReadModifyWrite,
+    };
+    let serial_sweep = gables_ert::sweep_with(&sim, presets::CPU, &config, Parallelism::Serial)
+        .expect("serial sweep");
+    {
+        let mut rows = Vec::new();
+        let mut serial_secs = 0.0;
+        for par in policies {
+            let got =
+                gables_ert::sweep_with(&sim, presets::CPU, &config, par).expect("parallel sweep");
+            assert_eq!(
+                got, serial_sweep,
+                "ERT sweep must be bit-identical ({par:?})"
+            );
+            let t = time_min(3, || {
+                std::hint::black_box(
+                    gables_ert::sweep_with(&sim, presets::CPU, &config, par).expect("sweep"),
+                );
+            });
+            let secs = t.as_secs_f64();
+            if par == Parallelism::Serial {
+                serial_secs = secs;
+            }
+            let speedup = serial_secs / secs;
+            report_lines.push(format!(
+                "ert_sweep    {:<12} {:>10.3} ms  speedup {:.2}x",
+                policy_label(par),
+                secs * 1e3,
+                speedup
+            ));
+            rows.push(Json::Object(vec![
+                ("policy".into(), Json::str(policy_label(par))),
+                ("seconds".into(), Json::num(secs)),
+                ("speedup_vs_serial".into(), Json::num(speedup)),
+            ]));
+        }
+        sections.push((
+            "ert_sweep".to_string(),
+            Json::Object(vec![
+                ("grid_points".into(), Json::num(serial_sweep.len() as f64)),
+                ("timings".into(), Json::Array(rows)),
+            ]),
+        ));
+    }
+
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = Json::Object(vec![
+        ("bench".into(), Json::str("parallel")),
+        ("available_parallelism".into(), Json::num(available as f64)),
+        (
+            "gables_threads_env".into(),
+            std::env::var("GABLES_THREADS")
+                .map(Json::str)
+                .unwrap_or(Json::Null),
+        ),
+        ("explore_scale".into(), Json::num(scale as f64)),
+        ("determinism_checked".into(), Json::Bool(true)),
+        ("sections".into(), Json::Object(sections)),
+    ]);
+
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(parent).expect("create artifact dir");
+    }
+    std::fs::write(&out_path, doc.to_string()).expect("write artifact");
+
+    for line in &report_lines {
+        println!("{line}");
+    }
+    println!(
+        "wrote {out_path} (available_parallelism = {available}; speedups above 1x \
+         require more than one core)"
+    );
+}

@@ -25,11 +25,12 @@ pub mod spec;
 
 use std::fmt::Write as _;
 
-use gables_model::analysis::{bpeak_sweep, sufficient_bpeak};
+use gables_model::analysis::{bpeak_sweep_with, sufficient_bpeak};
+use gables_model::par::{self, Parallelism};
 use gables_model::viz::gables_plot_data;
 use gables_model::{evaluate, Workload};
 use gables_plot::render_gables_plot;
-use spec::{SpecError, SpecFile};
+use spec::{Spec, SpecError};
 
 /// Runs one CLI command against spec text; returns the text to print.
 ///
@@ -43,6 +44,8 @@ pub fn run(
     args: &[String],
     read_file: &dyn Fn(&str) -> std::io::Result<String>,
 ) -> Result<String, SpecError> {
+    let (args, parallelism) = split_threads_flag(args)?;
+    let args = &args[..];
     match args.first().map(String::as_str) {
         Some("example") => Ok(spec::FIGURE_6B_SPEC.to_string()),
         Some("eval") => {
@@ -66,7 +69,7 @@ pub fn run(
                 line: None,
                 message: format!("{path}: {e}"),
             })?;
-            sweep_command(&text, &param, from, to, steps)
+            sweep_command_with(&text, &param, from, to, steps, parallelism)
         }
         Some("plot") => {
             let path = arg(args, 1, "spec file")?;
@@ -82,7 +85,7 @@ pub fn run(
                 line: None,
                 message: format!("{path}: {e}"),
             })?;
-            frontier_command(&text)
+            frontier_command_with(&text, parallelism)
         }
         Some("ascii") => {
             let path = arg(args, 1, "spec file")?;
@@ -146,7 +149,7 @@ pub const COMMANDS: &[&str] = &[
 ];
 
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve /eval, /sweep, /whatif, /simulate, and\n                                    /metrics over HTTP (default 127.0.0.1:7878)\n  gables help\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
@@ -163,9 +166,41 @@ fn parse_num(s: &str) -> Result<f64, SpecError> {
     })
 }
 
+/// Strips a `--threads <policy>` (or `--threads=<policy>`) flag from
+/// anywhere in the argument list, so every subcommand accepts it
+/// uniformly. Grid-shaped commands (`sweep`, `frontier`) honor it; the
+/// rest run a single evaluation and ignore it.
+fn split_threads_flag(args: &[String]) -> Result<(Vec<String>, Parallelism), SpecError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut parallelism = Parallelism::Auto;
+    let parse = |value: &str| -> Result<Parallelism, SpecError> {
+        Parallelism::from_arg(value).ok_or_else(|| SpecError {
+            line: None,
+            message: format!(
+                "invalid --threads value {value:?} (use auto, serial, or a thread count >= 1)"
+            ),
+        })
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let value = it.next().ok_or_else(|| SpecError {
+                line: None,
+                message: "--threads requires a value (auto, serial, or a thread count)".into(),
+            })?;
+            parallelism = parse(value)?;
+        } else if let Some(value) = a.strip_prefix("--threads=") {
+            parallelism = parse(value)?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, parallelism))
+}
+
 /// `gables eval`: evaluate the spec, with the SRAM extension if present.
 pub fn eval_command(text: &str) -> Result<String, SpecError> {
-    let spec = SpecFile::parse(text)?;
+    let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
     let mut out = String::new();
@@ -191,7 +226,8 @@ pub fn eval_command(text: &str) -> Result<String, SpecError> {
     Ok(out)
 }
 
-/// `gables sweep`: sweep `f` (two-IP only) or `bpeak`.
+/// `gables sweep`: sweep `f` (two-IP only), `bpeak`, or `intensity`,
+/// with the default [`Parallelism::Auto`] policy.
 pub fn sweep_command(
     text: &str,
     param: &str,
@@ -199,7 +235,22 @@ pub fn sweep_command(
     to: f64,
     steps: usize,
 ) -> Result<String, SpecError> {
-    let spec = SpecFile::parse(text)?;
+    sweep_command_with(text, param, from, to, steps, Parallelism::Auto)
+}
+
+/// [`sweep_command`] with an explicit parallelism policy (the CLI's
+/// `--threads` flag). The grid points are evaluated via
+/// [`gables_model::par::try_map`], so the printed table is byte-identical
+/// across policies.
+pub fn sweep_command_with(
+    text: &str,
+    param: &str,
+    from: f64,
+    to: f64,
+    steps: usize,
+    parallelism: Parallelism,
+) -> Result<String, SpecError> {
+    let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
     let mut out = String::new();
@@ -219,11 +270,13 @@ pub fn sweep_command(
             }
             let i0 = workload.assignment(0)?.intensity().value();
             let i1 = workload.assignment(1)?.intensity().value();
-            let _ = writeln!(out, "f        Pattainable  bottleneck");
-            for k in 0..=steps {
+            let points = par::try_map(parallelism, steps + 1, |k| {
                 let f = from + (to - from) * k as f64 / steps as f64;
                 let w = Workload::two_ip(f, i0, i1)?;
-                let eval = evaluate(&soc, &w)?;
+                Ok::<_, SpecError>((f, evaluate(&soc, &w)?))
+            })?;
+            let _ = writeln!(out, "f        Pattainable  bottleneck");
+            for (f, eval) in points {
                 let _ = writeln!(
                     out,
                     "{f:<8.4} {:>10.4}  {}",
@@ -233,7 +286,7 @@ pub fn sweep_command(
             }
         }
         "bpeak" => {
-            let points = bpeak_sweep(&soc, &workload, from, to, steps)?;
+            let points = bpeak_sweep_with(&soc, &workload, from, to, steps, parallelism)?;
             let _ = writeln!(out, "Bpeak(GB/s)  Pattainable  bottleneck");
             for p in points {
                 let _ = writeln!(
@@ -254,8 +307,7 @@ pub fn sweep_command(
                     message: "sweep intensity requires 0 < from <= to and steps >= 1".into(),
                 });
             }
-            let _ = writeln!(out, "I(ops/B)  Pattainable  bottleneck");
-            for k in 0..=steps {
+            let points = par::try_map(parallelism, steps + 1, |k| {
                 let i = from + (to - from) * k as f64 / steps as f64;
                 let mut w = workload.clone();
                 for idx in 0..w.assignments().len() {
@@ -263,7 +315,10 @@ pub fn sweep_command(
                         w = w.with_intensity(idx, i)?;
                     }
                 }
-                let eval = evaluate(&soc, &w)?;
+                Ok::<_, SpecError>((i, evaluate(&soc, &w)?))
+            })?;
+            let _ = writeln!(out, "I(ops/B)  Pattainable  bottleneck");
+            for (i, eval) in points {
                 let _ = writeln!(
                     out,
                     "{i:<9.4} {:>10.4}  {}",
@@ -283,10 +338,17 @@ pub fn sweep_command(
 }
 
 /// `gables frontier`: explore an `[explore]` grid and print the Pareto
-/// frontier for the spec's workload.
+/// frontier for the spec's workload, with the default
+/// [`Parallelism::Auto`] policy.
 pub fn frontier_command(text: &str) -> Result<String, SpecError> {
-    use gables_model::explore::{explore, pareto_frontier};
-    let spec = SpecFile::parse(text)?;
+    frontier_command_with(text, Parallelism::Auto)
+}
+
+/// [`frontier_command`] with an explicit parallelism policy (the CLI's
+/// `--threads` flag).
+pub fn frontier_command_with(text: &str, parallelism: Parallelism) -> Result<String, SpecError> {
+    use gables_model::explore::{explore_with, pareto_frontier};
+    let spec = Spec::parse(text)?;
     let Some((grid, cost)) = spec.explore_grid()? else {
         return Err(SpecError {
             line: None,
@@ -294,7 +356,7 @@ pub fn frontier_command(text: &str) -> Result<String, SpecError> {
         });
     };
     let workload = spec.workload()?;
-    let points = explore(&grid, &cost, &workload)?;
+    let points = explore_with(&grid, &cost, &workload, parallelism)?;
     let frontier = pareto_frontier(&points);
     let mut out = String::new();
     let _ = writeln!(
@@ -336,9 +398,17 @@ pub fn frontier_command(text: &str) -> Result<String, SpecError> {
 /// * `move_work <from_ip> <to_ip> <fraction>`
 pub fn whatif_command(text: &str, edits: &str) -> Result<String, SpecError> {
     use gables_model::whatif::{apply, Edit};
-    let spec = SpecFile::parse(text)?;
+    let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
+
+    // A JSON-envelope spec may carry its own edit chain; explicit CLI
+    // edits win when both are present.
+    let edits = if edits.trim().is_empty() {
+        spec.edits().unwrap_or(edits)
+    } else {
+        edits
+    };
 
     let mut parsed = Vec::new();
     for raw in edits.split(';') {
@@ -420,7 +490,7 @@ pub fn trace_command(text: &str) -> Result<TraceArtifacts, SpecError> {
     use gables_plot::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
     use gables_soc_sim::{run_gables_workload, telemetry, TimelineRecorder};
 
-    let spec = SpecFile::parse(text)?;
+    let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
     let names = spec.ip_names();
@@ -500,7 +570,7 @@ pub fn ascii_command(text: &str) -> Result<String, SpecError> {
 }
 
 fn plot_data_for(text: &str) -> Result<gables_model::viz::GablesPlotData, SpecError> {
-    let spec = SpecFile::parse(text)?;
+    let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
     // Frame the plot around the workload's intensities.
@@ -725,6 +795,70 @@ intensities = 8, 0.01
         assert!(err.message.contains("missing argument"));
         let err = run(&["eval".into(), "nope.gables".into()], &no_fs).unwrap_err();
         assert!(err.message.contains("nope.gables"));
+    }
+
+    #[test]
+    fn threads_flag_is_accepted_everywhere_and_changes_nothing() {
+        let fs = |_: &str| -> std::io::Result<String> { Ok(spec::FIGURE_6B_SPEC.to_string()) };
+        let base: Vec<String> = ["sweep", "s.gables", "f", "0", "1", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let serial = run(&base, &fs).unwrap();
+        for extra in [
+            &["--threads", "2"][..],
+            &["--threads=4"],
+            &["--threads", "serial"],
+        ] {
+            let mut args = base.clone();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            assert_eq!(run(&args, &fs).unwrap(), serial, "{extra:?}");
+        }
+        // The flag may appear anywhere, including before the subcommand.
+        let mut args = vec!["--threads".to_string(), "2".to_string()];
+        args.extend(base.iter().cloned());
+        assert_eq!(run(&args, &fs).unwrap(), serial);
+
+        let err = run(&["eval".into(), "s.gables".into(), "--threads".into()], &fs).unwrap_err();
+        assert!(err.message.contains("--threads requires a value"), "{err}");
+        let err = run(
+            &[
+                "eval".into(),
+                "s.gables".into(),
+                "--threads".into(),
+                "0".into(),
+            ],
+            &fs,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("invalid --threads value"), "{err}");
+        assert!(run(
+            &["eval".into(), "s.gables".into(), "--threads=banana".into()],
+            &fs
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn sweep_is_identical_across_parallelism_policies() {
+        let serial = sweep_command_with(
+            spec::FIGURE_6B_SPEC,
+            "bpeak",
+            5.0,
+            40.0,
+            12,
+            Parallelism::Serial,
+        )
+        .unwrap();
+        for par in [
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+            Parallelism::Auto,
+        ] {
+            let got =
+                sweep_command_with(spec::FIGURE_6B_SPEC, "bpeak", 5.0, 40.0, 12, par).unwrap();
+            assert_eq!(got, serial, "{par:?}");
+        }
     }
 
     #[test]

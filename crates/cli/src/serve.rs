@@ -1,27 +1,44 @@
 //! The `gables serve` subcommand: Gables-specific endpoints on top of
 //! the generic `gables-serve` infrastructure.
 //!
-//! Routes (one request per connection, JSON by default, `?format=text`
-//! for the plain CLI output):
+//! ## The v1 API
 //!
-//! * `POST /eval` — spec text in the body → attainment + bottleneck.
+//! Canonical routes live under `/v1/` (one request per connection, JSON
+//! by default, `?format=text` for the plain CLI output):
+//!
+//! * `POST /v1/eval` — spec text in the body → attainment + bottleneck.
 //!   With `?format=text` the body is byte-identical to `gables eval`.
-//! * `POST /sweep` — ERT-style sweep; `?param=f|bpeak|intensity`,
+//! * `POST /v1/sweep` — ERT-style sweep; `?param=f|bpeak|intensity`,
 //!   `?from=`, `?to=`, `?steps=` (defaults sweep intensity 0.25..64).
-//! * `POST /whatif` — JSON body `{"spec": ..., "edits": ...}` → the
+//!   Grid points are evaluated in parallel (`gables_model::par`), with
+//!   output bit-identical to the serial CLI.
+//! * `POST /v1/whatif` — JSON body `{"spec": ..., "edits": ...}` → the
 //!   what-if delta report.
-//! * `POST /simulate` — spec text in the body → a soc-sim run with
+//! * `POST /v1/simulate` — spec text in the body → a soc-sim run with
 //!   per-job bottleneck attribution.
-//! * `GET /metrics` — request counters, latency histogram, cache hit
+//! * `GET /v1/metrics` — request counters, latency histogram, cache hit
 //!   rate; `?format=text` renders an ASCII histogram.
-//! * `GET /healthz` — liveness probe.
+//! * `GET /v1/healthz` — liveness probe (plain text at both paths).
 //!
-//! `POST` bodies are raw spec text, or a JSON object with a `"spec"`
-//! field (spec files start with `#` or `[`, so the two are unambiguous).
-//! Successful responses are cached in a sharded LRU keyed by
-//! `route|format|params|canonicalize(spec)`, so re-evaluating the same
-//! design — the common dashboard-polling case — skips parsing and
-//! evaluation entirely.
+//! The original unversioned paths (`/eval`, `/sweep`, …) remain as
+//! deprecated aliases: they serve the same responses plus a
+//! `Deprecation: true` header and a `Link: </v1/...>;
+//! rel="successor-version"` pointer to the canonical route.
+//!
+//! Every JSON response uses the envelope documented in [`gables_serve`]:
+//! `{"ok": true, "data": ..., "error": null}` on success and
+//! `{"ok": false, "data": null, "error": {"code", "message"}}` on
+//! failure, with the closed error-code set mapped from the HTTP status.
+//! `?format=text` responses are the raw CLI text, no envelope.
+//!
+//! `POST` bodies are either carrier of [`Spec`]: raw spec text, or a
+//! JSON object with a `"spec"` field (spec files start with `#` or `[`,
+//! so the two are unambiguous). Successful responses are cached in a
+//! sharded LRU keyed by the canonical `/v1` route, the query, and
+//! [`Spec::canonical_key`], so re-evaluating the same design — the
+//! common dashboard-polling case — skips parsing and evaluation
+//! entirely, and an alias request primes the cache for the v1 route
+//! (and vice versa).
 
 use std::sync::Arc;
 
@@ -29,8 +46,8 @@ use gables_model::evaluate;
 use gables_model::json::Json;
 use gables_serve::{Request, Response, Router, Server, ServerConfig, ServerMetrics, ShardedCache};
 
-use crate::spec::{canonicalize, SpecError, SpecFile};
-use crate::{eval_command, sweep_command, whatif_command};
+use crate::spec::{Spec, SpecError};
+use crate::{eval_command, sweep_command_with, whatif_command};
 
 /// Parsed `gables serve` arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,7 +131,7 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
     })?;
     let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128)));
     eprintln!(
-        "gables-serve listening on http://{addr} ({} workers); POST /eval, /sweep, /whatif, /simulate; GET /metrics",
+        "gables-serve listening on http://{addr} ({} workers); POST /v1/eval, /v1/sweep, /v1/whatif, /v1/simulate; GET /v1/metrics (unversioned aliases deprecated)",
         opts.workers
     );
     server.run(router).map_err(|e| SpecError {
@@ -124,96 +141,126 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
     Ok(String::new())
 }
 
-/// Builds the Gables route table over shared metrics and cache. Public
-/// so tests can run the server on an ephemeral port.
+/// The route-layer handler shape: returns the raw data payload (JSON
+/// text, or plain text under `?format=text`) or a complete error
+/// response. The envelope is applied by the route layer, never here.
+type GablesHandler = fn(&Request, &Spec, &str) -> Result<String, Response>;
+
+/// Builds the Gables route table over shared metrics and cache: the
+/// canonical `/v1/*` routes plus the deprecated unversioned aliases.
+/// Public so tests can run the server on an ephemeral port.
 pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Router {
-    let mut router = Router::new().route("GET", "/healthz", |_| Response::text(200, "ok\n"));
-    {
+    let mut router = Router::new()
+        .route("GET", "/v1/healthz", |_| Response::text(200, "ok\n"))
+        .route("GET", "/healthz", |_| {
+            deprecated(Response::text(200, "ok\n"), "/v1/healthz")
+        });
+    for alias in [false, true] {
         let metrics = Arc::clone(&metrics);
-        router = router.route("GET", "/metrics", move |req| {
+        let path = if alias { "/metrics" } else { "/v1/metrics" };
+        router = router.route("GET", path, move |req| {
             let snapshot = metrics.snapshot();
-            if wants_text(req) {
+            let resp = if wants_text(req) {
                 Response::text(200, snapshot.to_text())
             } else {
-                Response::json(200, snapshot.to_json())
+                Response::json(200, envelope(&snapshot.to_json()))
+            };
+            if alias {
+                deprecated(resp, "/v1/metrics")
+            } else {
+                resp
             }
         });
     }
-    for (path, handler) in [
-        (
-            "/eval",
-            eval_handler as fn(&Request, &str) -> Result<String, Response>,
-        ),
-        ("/sweep", sweep_handler),
-        ("/whatif", whatif_handler),
-        ("/simulate", simulate_handler),
+    for (name, handler) in [
+        ("eval", eval_handler as GablesHandler),
+        ("sweep", sweep_handler),
+        ("whatif", whatif_handler),
+        ("simulate", simulate_handler),
     ] {
-        let metrics = Arc::clone(&metrics);
-        let cache = Arc::clone(&cache);
-        router = router.route("POST", path, move |req| {
-            let spec_text = match spec_from_body(req) {
-                Ok(s) => s,
-                Err(resp) => return resp,
+        let v1_path = format!("/v1/{name}");
+        for alias in [false, true] {
+            let path = if alias {
+                format!("/{name}")
+            } else {
+                v1_path.clone()
             };
-            let key = format!(
-                "{path}|{}|{}|{}",
-                req.query.as_deref().unwrap_or(""),
-                if wants_text(req) { "text" } else { "json" },
-                canonicalize(&spec_text),
-            );
-            if let Some(body) = cache.get(&key) {
-                metrics.record_cache_hit();
-                return finish(req, body);
-            }
-            metrics.record_cache_miss();
-            match handler(req, &spec_text) {
-                Ok(body) => {
-                    cache.insert(key, body.clone());
-                    finish(req, body)
+            let v1 = v1_path.clone();
+            let metrics = Arc::clone(&metrics);
+            let cache = Arc::clone(&cache);
+            router = router.route("POST", &path, move |req| {
+                let resp = handle_post(&v1, handler, &metrics, &cache, req);
+                if alias {
+                    deprecated(resp, &v1)
+                } else {
+                    resp
                 }
-                Err(resp) => resp,
-            }
-        });
+            });
+        }
     }
     router
+}
+
+/// Parses the body once into a [`Spec`], consults the cache (keyed by
+/// the canonical v1 path so aliases share entries), and runs the
+/// handler on a miss.
+fn handle_post(
+    v1_path: &str,
+    handler: GablesHandler,
+    metrics: &ServerMetrics,
+    cache: &ShardedCache,
+    req: &Request,
+) -> Response {
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let spec = match Spec::parse(body) {
+        Ok(s) => s,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let key = format!(
+        "{v1_path}|{}|{}|{}",
+        req.query.as_deref().unwrap_or(""),
+        if wants_text(req) { "text" } else { "json" },
+        spec.canonical_key(),
+    );
+    if let Some(data) = cache.get(&key) {
+        metrics.record_cache_hit();
+        return finish(req, data);
+    }
+    metrics.record_cache_miss();
+    match handler(req, &spec, body) {
+        Ok(data) => {
+            cache.insert(key, data.clone());
+            finish(req, data)
+        }
+        Err(resp) => resp,
+    }
 }
 
 fn wants_text(req: &Request) -> bool {
     req.query_param("format") == Some("text")
 }
 
-fn finish(req: &Request, body: String) -> Response {
-    if wants_text(req) {
-        Response::text(200, body)
-    } else {
-        Response::json(200, body)
-    }
+/// Wraps a raw data payload in the success envelope. The payload is
+/// already JSON text, so this is a splice, not a re-serialization.
+fn envelope(data: &str) -> String {
+    format!("{{\"ok\":true,\"data\":{data},\"error\":null}}")
 }
 
-/// Extracts spec text from a request body: raw spec text, or a JSON
-/// object with a `"spec"` string field.
-fn spec_from_body(req: &Request) -> Result<String, Response> {
-    let body = req
-        .body_str()
-        .map_err(|e| Response::error(400, &e.to_string()))?;
-    let trimmed = body.trim_start();
-    if trimmed.starts_with('{') {
-        let doc =
-            Json::parse(body).map_err(|e| Response::error(400, &format!("request body: {e}")))?;
-        Ok(doc
-            .get("spec")
-            .and_then(Json::as_str)
-            .ok_or_else(|| {
-                Response::error(400, "JSON request body must have a string \"spec\" field")
-            })?
-            .to_string())
-    } else if trimmed.is_empty() {
-        Err(Response::error(
-            400,
-            "empty body: send spec text or {\"spec\": \"...\"}",
-        ))
+/// Marks a response served from a deprecated unversioned alias, per the
+/// HTTP `Deprecation` header plus a successor-version `Link`.
+fn deprecated(resp: Response, v1_path: &str) -> Response {
+    resp.with_header("Deprecation", "true")
+        .with_header("Link", format!("<{v1_path}>; rel=\"successor-version\""))
+}
+
+fn finish(req: &Request, data: String) -> Response {
+    if wants_text(req) {
+        Response::text(200, data)
     } else {
-        Ok(body.to_string())
+        Response::json(200, envelope(&data))
     }
 }
 
@@ -221,14 +268,13 @@ fn bad_request(e: &SpecError) -> Response {
     Response::error(400, &e.to_string())
 }
 
-/// `POST /eval`: with `?format=text`, exactly the `gables eval` output;
-/// otherwise a JSON object with the structured summary plus that output.
-fn eval_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
-    let output = eval_command(spec_text).map_err(|e| bad_request(&e))?;
+/// `POST /v1/eval`: with `?format=text`, exactly the `gables eval`
+/// output; otherwise the structured summary plus that output.
+fn eval_handler(req: &Request, spec: &Spec, body: &str) -> Result<String, Response> {
+    let output = eval_command(body).map_err(|e| bad_request(&e))?;
     if wants_text(req) {
         return Ok(output);
     }
-    let spec = SpecFile::parse(spec_text).map_err(|e| bad_request(&e))?;
     let soc = spec.soc().map_err(|e| bad_request(&e))?;
     let workload = spec.workload().map_err(|e| bad_request(&e))?;
     let eval = evaluate(&soc, &workload).map_err(|e| bad_request(&SpecError::from(e)))?;
@@ -258,14 +304,24 @@ fn query_num(req: &Request, key: &str, default: f64) -> Result<f64, Response> {
     }
 }
 
-/// `POST /sweep`: `?param=f|bpeak|intensity` with `from`/`to`/`steps`;
-/// defaults to an ERT-style intensity sweep over 0.25..64 ops/byte.
-fn sweep_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
+/// `POST /v1/sweep`: `?param=f|bpeak|intensity` with `from`/`to`/`steps`;
+/// defaults to an ERT-style intensity sweep over 0.25..64 ops/byte. The
+/// grid is evaluated under the `Auto` parallelism policy; the output is
+/// bit-identical to the serial CLI by construction.
+fn sweep_handler(req: &Request, _spec: &Spec, body: &str) -> Result<String, Response> {
     let param = req.query_param("param").unwrap_or("intensity");
     let from = query_num(req, "from", 0.25)?;
     let to = query_num(req, "to", 64.0)?;
     let steps = query_num(req, "steps", 16.0)? as usize;
-    let output = sweep_command(spec_text, param, from, to, steps).map_err(|e| bad_request(&e))?;
+    let output = sweep_command_with(
+        body,
+        param,
+        from,
+        to,
+        steps,
+        gables_model::Parallelism::Auto,
+    )
+    .map_err(|e| bad_request(&e))?;
     if wants_text(req) {
         return Ok(output);
     }
@@ -276,25 +332,16 @@ fn sweep_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
     .to_string())
 }
 
-/// `POST /whatif`: requires a JSON body with `"spec"` and `"edits"`.
-fn whatif_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
-    let body = req
-        .body_str()
-        .map_err(|e| Response::error(400, &e.to_string()))?;
-    let edits = if body.trim_start().starts_with('{') {
-        Json::parse(body)
-            .ok()
-            .and_then(|doc| doc.get("edits").and_then(Json::as_str).map(str::to_string))
-    } else {
-        None
-    }
-    .ok_or_else(|| {
+/// `POST /v1/whatif`: requires the JSON carrier with `"spec"` and
+/// `"edits"`.
+fn whatif_handler(req: &Request, spec: &Spec, body: &str) -> Result<String, Response> {
+    let edits = spec.edits().ok_or_else(|| {
         Response::error(
             400,
             "whatif needs a JSON body with \"spec\" and \"edits\" fields, e.g. {\"spec\": \"...\", \"edits\": \"set_bpeak 30\"}",
         )
     })?;
-    let output = whatif_command(spec_text, &edits).map_err(|e| bad_request(&e))?;
+    let output = whatif_command(body, edits).map_err(|e| bad_request(&e))?;
     if wants_text(req) {
         return Ok(output);
     }
@@ -305,12 +352,11 @@ fn whatif_handler(req: &Request, spec_text: &str) -> Result<String, Response> {
     .to_string())
 }
 
-/// `POST /simulate`: run the spec's workload through the cycle-level
+/// `POST /v1/simulate`: run the spec's workload through the cycle-level
 /// simulator and report per-job bottleneck attribution.
-fn simulate_handler(_req: &Request, spec_text: &str) -> Result<String, Response> {
+fn simulate_handler(_req: &Request, spec: &Spec, _body: &str) -> Result<String, Response> {
     use gables_soc_sim::telemetry::{BindingConstraint, NullRecorder};
 
-    let spec = SpecFile::parse(spec_text).map_err(|e| bad_request(&e))?;
     let soc = spec.soc().map_err(|e| bad_request(&e))?;
     let workload = spec.workload().map_err(|e| bad_request(&e))?;
     let names = spec.ip_names();
@@ -365,6 +411,7 @@ fn simulate_handler(_req: &Request, spec_text: &str) -> Result<String, Response>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval_command;
     use crate::spec::FIGURE_6B_SPEC;
 
     fn post(path: &str, query: Option<&str>, body: &str) -> Request {
@@ -377,11 +424,42 @@ mod tests {
         }
     }
 
+    fn get(path: &str, query: Option<&str>) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: query.map(String::from),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
     fn router() -> Router {
         build_router(
             Arc::new(ServerMetrics::new()),
             Arc::new(ShardedCache::new(4, 32)),
         )
+    }
+
+    fn header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+        resp.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses an envelope body and returns (ok, data) with the error
+    /// field checked for consistency.
+    fn open_envelope(resp: &Response) -> (bool, Json) {
+        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let ok = doc.get("ok").and_then(Json::as_bool).unwrap();
+        if ok {
+            assert!(matches!(doc.get("error"), Some(Json::Null)));
+            (ok, doc.get("data").unwrap().clone())
+        } else {
+            assert!(matches!(doc.get("data"), Some(Json::Null)));
+            (ok, doc.get("error").unwrap().clone())
+        }
     }
 
     #[test]
@@ -401,7 +479,7 @@ mod tests {
 
     #[test]
     fn eval_text_format_matches_cli_output_exactly() {
-        let resp = router().dispatch(&post("/eval", Some("format=text"), FIGURE_6B_SPEC));
+        let resp = router().dispatch(&post("/v1/eval", Some("format=text"), FIGURE_6B_SPEC));
         assert_eq!(resp.status, 200);
         assert_eq!(
             String::from_utf8(resp.body).unwrap(),
@@ -410,17 +488,18 @@ mod tests {
     }
 
     #[test]
-    fn eval_json_has_structured_fields() {
-        let resp = router().dispatch(&post("/eval", None, FIGURE_6B_SPEC));
+    fn eval_json_has_structured_fields_in_the_envelope() {
+        let resp = router().dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
         assert_eq!(resp.status, 200);
-        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-        let gops = doc.get("attainable_gops").and_then(Json::as_f64).unwrap();
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        let gops = data.get("attainable_gops").and_then(Json::as_f64).unwrap();
         assert!((gops - 1.3278).abs() < 1e-3, "{gops}");
         assert_eq!(
-            doc.get("bottleneck").and_then(Json::as_str),
+            data.get("bottleneck").and_then(Json::as_str),
             Some("memory interface")
         );
-        assert!(doc
+        assert!(data
             .get("output")
             .and_then(Json::as_str)
             .unwrap()
@@ -430,34 +509,34 @@ mod tests {
     #[test]
     fn eval_accepts_a_json_wrapped_spec() {
         let body = Json::Object(vec![("spec".into(), Json::str(FIGURE_6B_SPEC))]).to_string();
-        let resp = router().dispatch(&post("/eval", None, &body));
+        let resp = router().dispatch(&post("/v1/eval", None, &body));
         assert_eq!(resp.status, 200);
     }
 
     #[test]
-    fn eval_rejects_empty_and_invalid_bodies() {
-        assert_eq!(router().dispatch(&post("/eval", None, "")).status, 400);
-        assert_eq!(
-            router()
-                .dispatch(&post("/eval", None, "{\"nope\": 1}"))
-                .status,
-            400
-        );
-        assert_eq!(
-            router()
-                .dispatch(&post("/eval", None, "[soc]\nbogus = 1\n"))
-                .status,
-            400
-        );
+    fn eval_rejects_empty_and_invalid_bodies_with_error_envelopes() {
+        for body in ["", "{\"nope\": 1}", "[soc]\nbogus = 1\n"] {
+            let resp = router().dispatch(&post("/v1/eval", None, body));
+            assert_eq!(resp.status, 400, "{body:?}");
+            let (ok, error) = open_envelope(&resp);
+            assert!(!ok, "{body:?}");
+            assert_eq!(
+                error.get("code").and_then(Json::as_str),
+                Some("bad_request"),
+                "{body:?}"
+            );
+            assert!(error.get("message").and_then(Json::as_str).is_some());
+        }
     }
 
     #[test]
     fn sweep_defaults_to_an_intensity_sweep() {
-        let resp = router().dispatch(&post("/sweep", None, FIGURE_6B_SPEC));
+        let resp = router().dispatch(&post("/v1/sweep", None, FIGURE_6B_SPEC));
         assert_eq!(resp.status, 200);
-        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-        assert_eq!(doc.get("param").and_then(Json::as_str), Some("intensity"));
-        let out = doc.get("output").and_then(Json::as_str).unwrap();
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("param").and_then(Json::as_str), Some("intensity"));
+        let out = data.get("output").and_then(Json::as_str).unwrap();
         assert!(out.contains("I(ops/B)"), "{out}");
         assert_eq!(out.lines().count(), 18, "header + 17 rows");
     }
@@ -465,14 +544,14 @@ mod tests {
     #[test]
     fn sweep_accepts_explicit_params_and_rejects_bad_ones() {
         let resp = router().dispatch(&post(
-            "/sweep",
+            "/v1/sweep",
             Some("param=bpeak&from=5&to=40&steps=4"),
             FIGURE_6B_SPEC,
         ));
         assert_eq!(resp.status, 200);
-        let resp = router().dispatch(&post("/sweep", Some("from=banana"), FIGURE_6B_SPEC));
+        let resp = router().dispatch(&post("/v1/sweep", Some("from=banana"), FIGURE_6B_SPEC));
         assert_eq!(resp.status, 400);
-        let resp = router().dispatch(&post("/sweep", Some("param=nope"), FIGURE_6B_SPEC));
+        let resp = router().dispatch(&post("/v1/sweep", Some("param=nope"), FIGURE_6B_SPEC));
         assert_eq!(resp.status, 400);
     }
 
@@ -483,31 +562,33 @@ mod tests {
             ("edits".into(), Json::str("set_bpeak 30; set_intensity 1 8")),
         ])
         .to_string();
-        let resp = router().dispatch(&post("/whatif", None, &body));
+        let resp = router().dispatch(&post("/v1/whatif", None, &body));
         assert_eq!(resp.status, 200);
-        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-        assert!(doc
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert!(data
             .get("output")
             .and_then(Json::as_str)
             .unwrap()
             .contains("baseline"));
         // Raw spec text (no edits field) is a clear 400.
-        let resp = router().dispatch(&post("/whatif", None, FIGURE_6B_SPEC));
+        let resp = router().dispatch(&post("/v1/whatif", None, FIGURE_6B_SPEC));
         assert_eq!(resp.status, 400);
     }
 
     #[test]
     fn simulate_reports_per_job_attribution() {
-        let resp = router().dispatch(&post("/simulate", None, FIGURE_6B_SPEC));
+        let resp = router().dispatch(&post("/v1/simulate", None, FIGURE_6B_SPEC));
         assert_eq!(
             resp.status,
             200,
             "{:?}",
             String::from_utf8_lossy(&resp.body)
         );
-        let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
-        assert!(doc.get("makespan_seconds").and_then(Json::as_f64).unwrap() > 0.0);
-        let jobs = doc.get("jobs").unwrap().as_array().unwrap();
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert!(data.get("makespan_seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        let jobs = data.get("jobs").unwrap().as_array().unwrap();
         assert_eq!(jobs.len(), 2);
         let cpu = &jobs[0];
         assert_eq!(cpu.get("name").and_then(Json::as_str), Some("CPU"));
@@ -532,10 +613,10 @@ mod tests {
     fn repeated_requests_hit_the_cache() {
         let metrics = Arc::new(ServerMetrics::new());
         let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
-        let first = router.dispatch(&post("/eval", None, FIGURE_6B_SPEC));
+        let first = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
         // Cosmetically different spelling of the same spec still hits.
         let respelled = format!("# a comment\n{}", FIGURE_6B_SPEC.replace(" = ", "="));
-        let second = router.dispatch(&post("/eval", None, &respelled));
+        let second = router.dispatch(&post("/v1/eval", None, &respelled));
         assert_eq!(first.body, second.body);
         let snapshot = metrics.snapshot();
         assert_eq!(snapshot.cache_misses, 1);
@@ -543,34 +624,78 @@ mod tests {
     }
 
     #[test]
-    fn healthz_answers_ok() {
-        let req = Request {
-            method: "GET".into(),
-            path: "/healthz".into(),
-            query: None,
-            headers: Vec::new(),
-            body: Vec::new(),
-        };
-        let resp = router().dispatch(&req);
-        assert_eq!(resp.status, 200);
-        assert_eq!(resp.body, b"ok\n");
+    fn aliases_share_the_cache_with_v1_routes() {
+        let metrics = Arc::new(ServerMetrics::new());
+        let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
+        let via_alias = router.dispatch(&post("/eval", None, FIGURE_6B_SPEC));
+        let via_v1 = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
+        assert_eq!(via_alias.body, via_v1.body);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.cache_misses, 1);
+        assert_eq!(snapshot.cache_hits, 1);
+    }
+
+    #[test]
+    fn unversioned_aliases_carry_deprecation_headers() {
+        let router = router();
+        let whatif_body = Json::Object(vec![
+            ("spec".into(), Json::str(FIGURE_6B_SPEC)),
+            ("edits".into(), Json::str("set_bpeak 30")),
+        ])
+        .to_string();
+        for (req, v1) in [
+            (post("/eval", None, FIGURE_6B_SPEC), "/v1/eval"),
+            (post("/sweep", None, FIGURE_6B_SPEC), "/v1/sweep"),
+            (post("/whatif", None, &whatif_body), "/v1/whatif"),
+            (post("/simulate", None, FIGURE_6B_SPEC), "/v1/simulate"),
+            (get("/metrics", None), "/v1/metrics"),
+            (get("/healthz", None), "/v1/healthz"),
+        ] {
+            let resp = router.dispatch(&req);
+            assert_eq!(resp.status, 200, "{}", req.path);
+            assert_eq!(header(&resp, "Deprecation"), Some("true"), "{}", req.path);
+            let link = header(&resp, "Link").unwrap_or_default();
+            assert!(
+                link.contains(v1) && link.contains("successor-version"),
+                "{}: {link:?}",
+                req.path
+            );
+        }
+    }
+
+    #[test]
+    fn v1_routes_carry_no_deprecation_headers() {
+        let router = router();
+        for req in [
+            post("/v1/eval", None, FIGURE_6B_SPEC),
+            get("/v1/metrics", None),
+            get("/v1/healthz", None),
+        ] {
+            let resp = router.dispatch(&req);
+            assert_eq!(resp.status, 200, "{}", req.path);
+            assert_eq!(header(&resp, "Deprecation"), None, "{}", req.path);
+        }
+    }
+
+    #[test]
+    fn healthz_answers_ok_at_both_paths() {
+        for path in ["/v1/healthz", "/healthz"] {
+            let resp = router().dispatch(&get(path, None));
+            assert_eq!(resp.status, 200, "{path}");
+            assert_eq!(resp.body, b"ok\n", "{path}");
+        }
     }
 
     #[test]
     fn metrics_endpoint_reports_both_formats() {
         let metrics = Arc::new(ServerMetrics::new());
         let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
-        let req = |q: Option<&str>| Request {
-            method: "GET".into(),
-            path: "/metrics".into(),
-            query: q.map(String::from),
-            headers: Vec::new(),
-            body: Vec::new(),
-        };
-        let resp = router.dispatch(&req(None));
+        let resp = router.dispatch(&get("/v1/metrics", None));
         assert_eq!(resp.status, 200);
-        assert!(Json::parse(std::str::from_utf8(&resp.body).unwrap()).is_ok());
-        let resp = router.dispatch(&req(Some("format=text")));
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert!(data.get("requests_total").is_some() || data.as_object().is_some());
+        let resp = router.dispatch(&get("/v1/metrics", Some("format=text")));
         assert!(String::from_utf8(resp.body)
             .unwrap()
             .contains("gables-serve metrics"));

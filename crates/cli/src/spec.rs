@@ -83,6 +83,9 @@ type SectionBody = BTreeMap<String, (usize, String)>;
 pub struct SpecFile {
     /// Sections in file order: `(section name, body)`.
     sections: Vec<(String, SectionBody)>,
+    /// The canonicalized source text (see [`canonicalize`]), computed
+    /// once at parse time so cache keys never re-normalize.
+    canonical: String,
 }
 
 impl SpecFile {
@@ -127,7 +130,16 @@ impl SpecFile {
                 return Err(SpecError::at(n, format!("duplicate key {key:?}")));
             }
         }
-        Ok(Self { sections })
+        Ok(Self {
+            sections,
+            canonical: canonicalize(text),
+        })
+    }
+
+    /// The canonicalized source text, suitable as a cache key (see
+    /// [`canonicalize`]).
+    pub fn canonical(&self) -> &str {
+        &self.canonical
     }
 
     fn section(&self, name: &str) -> Option<&SectionBody> {
@@ -323,6 +335,133 @@ impl SpecFile {
     }
 }
 
+/// A parsed spec input, whatever the carrier: raw INI text (files, CLI)
+/// or the JSON envelope `{"spec": "...", "edits": "..."}` the HTTP tier
+/// accepts. This is the single entry point shared by every CLI
+/// subcommand and serve endpoint — the two carriers are unambiguous
+/// because spec files start with `#` or `[` while JSON starts with `{`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Spec {
+    /// Raw INI spec text.
+    Ini(SpecFile),
+    /// A JSON envelope wrapping spec text, optionally with a what-if
+    /// edit chain.
+    Json {
+        /// The spec parsed from the envelope's `"spec"` string field.
+        file: SpecFile,
+        /// The envelope's optional `"edits"` string field.
+        edits: Option<String>,
+    },
+}
+
+impl Spec {
+    /// Parses either carrier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for empty input, malformed JSON, an
+    /// envelope without a string `"spec"` field, or malformed spec text.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        use gables_model::json::Json;
+        let trimmed = text.trim_start();
+        if trimmed.starts_with('{') {
+            let doc =
+                Json::parse(text).map_err(|e| SpecError::general(format!("request JSON: {e}")))?;
+            let spec_text = doc.get("spec").and_then(Json::as_str).ok_or_else(|| {
+                SpecError::general("JSON envelope must have a string \"spec\" field")
+            })?;
+            let edits = doc.get("edits").and_then(Json::as_str).map(str::to_string);
+            Ok(Spec::Json {
+                file: SpecFile::parse(spec_text)?,
+                edits,
+            })
+        } else if trimmed.is_empty() {
+            Err(SpecError::general(
+                "empty input: send spec text or {\"spec\": \"...\"}",
+            ))
+        } else {
+            Ok(Spec::Ini(SpecFile::parse(text)?))
+        }
+    }
+
+    /// The underlying parsed spec file, whichever carrier it arrived in.
+    pub fn file(&self) -> &SpecFile {
+        match self {
+            Spec::Ini(file) | Spec::Json { file, .. } => file,
+        }
+    }
+
+    /// The edit chain from a JSON envelope, if one was supplied.
+    pub fn edits(&self) -> Option<&str> {
+        match self {
+            Spec::Ini(_) => None,
+            Spec::Json { edits, .. } => edits.as_deref(),
+        }
+    }
+
+    /// The canonical cache key for this spec: the canonicalized spec
+    /// text regardless of carrier, so the same design wrapped in JSON
+    /// and sent raw share one cache entry.
+    pub fn canonical_key(&self) -> &str {
+        self.file().canonical()
+    }
+
+    /// Builds the SoC specification (see [`SpecFile::soc`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for missing sections/keys or invalid model
+    /// parameters.
+    pub fn soc(&self) -> Result<SocSpec, SpecError> {
+        self.file().soc()
+    }
+
+    /// Builds the workload (see [`SpecFile::workload`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for missing keys, length mismatches, or
+    /// invalid fractions/intensities.
+    pub fn workload(&self) -> Result<Workload, SpecError> {
+        self.file().workload()
+    }
+
+    /// Builds the optional SRAM extension (see [`SpecFile::sram`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for malformed miss ratios or a length
+    /// mismatch with the IP sections.
+    pub fn sram(&self) -> Result<Option<MemorySideSram>, SpecError> {
+        self.file().sram()
+    }
+
+    /// Builds the optional exploration grid (see
+    /// [`SpecFile::explore_grid`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for malformed lists or a spec without
+    /// exactly two IPs.
+    #[allow(clippy::type_complexity)]
+    pub fn explore_grid(
+        &self,
+    ) -> Result<
+        Option<(
+            gables_model::explore::CandidateGrid,
+            gables_model::explore::CostModel,
+        )>,
+        SpecError,
+    > {
+        self.file().explore_grid()
+    }
+
+    /// The IP names in model order (see [`SpecFile::ip_names`]).
+    pub fn ip_names(&self) -> Vec<String> {
+        self.file().ip_names()
+    }
+}
+
 fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(pos) => &line[..pos],
@@ -495,5 +634,53 @@ mod tests {
         // But a real change still changes the key.
         let c = canonicalize(&FIGURE_6B_SPEC.replace("bpeak_gbps = 10", "bpeak_gbps = 20"));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn spec_parses_raw_ini() {
+        let spec = Spec::parse(FIGURE_6B_SPEC).unwrap();
+        assert!(matches!(spec, Spec::Ini(_)));
+        assert!(spec.edits().is_none());
+        let eval = gables_model::evaluate(&spec.soc().unwrap(), &spec.workload().unwrap());
+        assert!((eval.unwrap().attainable().to_gops() - 1.3278).abs() < 1e-3);
+    }
+
+    #[test]
+    fn spec_parses_json_envelope_with_and_without_edits() {
+        let escaped = FIGURE_6B_SPEC.replace('\n', "\\n");
+        let bare = format!("{{\"spec\": \"{escaped}\"}}");
+        let spec = Spec::parse(&bare).unwrap();
+        assert!(matches!(spec, Spec::Json { .. }));
+        assert!(spec.edits().is_none());
+        assert_eq!(spec.ip_names(), vec!["CPU", "GPU"]);
+
+        let with_edits = format!("{{\"spec\": \"{escaped}\", \"edits\": \"set_bpeak 20\"}}");
+        let spec = Spec::parse(&with_edits).unwrap();
+        assert_eq!(spec.edits(), Some("set_bpeak 20"));
+    }
+
+    #[test]
+    fn spec_rejects_bad_carriers() {
+        let err = Spec::parse("").unwrap_err();
+        assert!(err.to_string().contains("empty input"), "{err}");
+
+        let err = Spec::parse("{\"spec\": 42}").unwrap_err();
+        assert!(err.to_string().contains("string \"spec\" field"), "{err}");
+
+        let err = Spec::parse("{not json").unwrap_err();
+        assert!(err.to_string().contains("request JSON"), "{err}");
+
+        // Malformed values inside a valid envelope surface when built.
+        let spec = Spec::parse("{\"spec\": \"[soc]\\nppeak_gops = no\"}").unwrap();
+        assert!(spec.soc().is_err());
+    }
+
+    #[test]
+    fn canonical_key_is_carrier_independent() {
+        let ini = Spec::parse(FIGURE_6B_SPEC).unwrap();
+        let respelled = FIGURE_6B_SPEC.replace("ppeak_gops = 40", "  ppeak_gops=40   # comment");
+        let escaped = respelled.replace('\n', "\\n");
+        let json = Spec::parse(&format!("{{\"spec\": \"{escaped}\"}}")).unwrap();
+        assert_eq!(ini.canonical_key(), json.canonical_key());
     }
 }

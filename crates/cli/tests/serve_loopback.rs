@@ -94,9 +94,11 @@ fn concurrent_eval_storm_is_byte_identical_and_metrics_reconcile() {
         c.join().expect("client thread");
     }
 
-    let (status, _, body) = request(addr, "GET", "/metrics", "");
+    let (status, _, body) = request(addr, "GET", "/v1/metrics", "");
     assert_eq!(status, "HTTP/1.1 200 OK");
-    let doc = Json::parse(&body).expect("metrics JSON");
+    let envelope = Json::parse(&body).expect("metrics JSON");
+    assert_eq!(envelope.get("ok").and_then(Json::as_bool), Some(true));
+    let doc = envelope.get("data").expect("data field").clone();
     let num = |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
 
     // Every eval request was handled (the /metrics request itself is
@@ -140,17 +142,20 @@ fn json_eval_and_simulate_agree_on_the_bottleneck() {
     let (handle, join) = start_server(ServerConfig::default());
     let addr = handle.addr();
 
-    let (status, _, body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
+    let (status, _, body) = request(addr, "POST", "/v1/eval", FIGURE_6B_SPEC);
     assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
-    let eval = Json::parse(&body).expect("eval JSON");
+    let envelope = Json::parse(&body).expect("eval JSON");
+    assert_eq!(envelope.get("ok").and_then(Json::as_bool), Some(true));
+    let eval = envelope.get("data").expect("data field");
     assert_eq!(
         eval.get("bottleneck").and_then(Json::as_str),
         Some("memory interface")
     );
 
-    let (status, _, body) = request(addr, "POST", "/simulate", FIGURE_6B_SPEC);
+    let (status, _, body) = request(addr, "POST", "/v1/simulate", FIGURE_6B_SPEC);
     assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
-    let sim = Json::parse(&body).expect("simulate JSON");
+    let envelope = Json::parse(&body).expect("simulate JSON");
+    let sim = envelope.get("data").expect("data field");
     let jobs = sim.get("jobs").and_then(Json::as_array).expect("jobs");
     assert_eq!(jobs.len(), 2);
     // The analytical model says the SoC is memory-bound; the simulator's
@@ -162,6 +167,51 @@ fn json_eval_and_simulate_agree_on_the_bottleneck() {
     assert_eq!(
         gpu.get("dominant_bottleneck").and_then(Json::as_str),
         Some("dram")
+    );
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}
+
+#[test]
+fn unversioned_aliases_answer_identically_with_deprecation_headers() {
+    let (handle, join) = start_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    let (status, headers, alias_body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{alias_body}");
+    assert!(headers.contains("Deprecation: true"), "{headers}");
+    assert!(
+        headers.contains("Link: </v1/eval>; rel=\"successor-version\""),
+        "{headers}"
+    );
+
+    let (status, headers, v1_body) = request(addr, "POST", "/v1/eval", FIGURE_6B_SPEC);
+    assert_eq!(status, "HTTP/1.1 200 OK", "{v1_body}");
+    assert!(!headers.contains("Deprecation"), "{headers}");
+    assert_eq!(alias_body, v1_body, "alias and v1 must serve the same data");
+
+    // The health probe is aliased the same way.
+    let (status, headers, body) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+    assert!(headers.contains("Deprecation: true"), "{headers}");
+    let (status, headers, body) = request(addr, "GET", "/v1/healthz", "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n");
+    assert!(!headers.contains("Deprecation"), "{headers}");
+
+    // Errors carry the envelope with a stable code.
+    let (status, _, body) = request(addr, "POST", "/v1/eval", "");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    let envelope = Json::parse(&body).expect("error envelope");
+    assert_eq!(envelope.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        envelope
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request")
     );
 
     handle.shutdown();

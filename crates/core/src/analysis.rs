@@ -6,6 +6,7 @@
 
 use crate::error::GablesError;
 use crate::model::{evaluate, Evaluation};
+use crate::par::{self, Parallelism};
 use crate::soc::SocSpec;
 use crate::units::{BytesPerSec, OpsPerSec};
 use crate::workload::Workload;
@@ -50,6 +51,23 @@ pub fn offload_sweep(
     i1: f64,
     steps: usize,
 ) -> Result<Vec<OffloadPoint>, GablesError> {
+    offload_sweep_with(soc, i0, i1, steps, Parallelism::Auto)
+}
+
+/// [`offload_sweep`] with an explicit [`Parallelism`] policy. The `f = 0`
+/// baseline is computed up front on the calling thread; the sweep points
+/// then fan out and come back in `f` order with serial-identical bits.
+///
+/// # Errors
+///
+/// Same as [`offload_sweep`].
+pub fn offload_sweep_with(
+    soc: &SocSpec,
+    i0: f64,
+    i1: f64,
+    steps: usize,
+    parallelism: Parallelism,
+) -> Result<Vec<OffloadPoint>, GablesError> {
     if steps == 0 {
         return Err(GablesError::invalid_parameter(
             "sweep steps",
@@ -66,18 +84,16 @@ pub fn offload_sweep(
     let baseline = evaluate(soc, &pad_two_ip(soc, 0.0, i0, i1)?)?
         .attainable()
         .value();
-    let mut out = Vec::with_capacity(steps + 1);
-    for step in 0..=steps {
+    par::try_map(parallelism, steps + 1, |step| {
         let f = step as f64 / steps as f64;
         let evaluation = evaluate(soc, &pad_two_ip(soc, f, i0, i1)?)?;
         let normalized = evaluation.attainable().value() / baseline;
-        out.push(OffloadPoint {
+        Ok(OffloadPoint {
             f,
             evaluation,
             normalized,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Builds a workload placing `1-f` work at IP\[0\] and `f` at IP\[1\],
@@ -116,6 +132,23 @@ pub fn bpeak_sweep(
     hi_gbps: f64,
     steps: usize,
 ) -> Result<Vec<BpeakPoint>, GablesError> {
+    bpeak_sweep_with(soc, workload, lo_gbps, hi_gbps, steps, Parallelism::Auto)
+}
+
+/// [`bpeak_sweep`] with an explicit [`Parallelism`] policy. Points come
+/// back in ascending-bandwidth order with serial-identical bits.
+///
+/// # Errors
+///
+/// Same as [`bpeak_sweep`].
+pub fn bpeak_sweep_with(
+    soc: &SocSpec,
+    workload: &Workload,
+    lo_gbps: f64,
+    hi_gbps: f64,
+    steps: usize,
+    parallelism: Parallelism,
+) -> Result<Vec<BpeakPoint>, GablesError> {
     if steps == 0
         || !lo_gbps.is_finite()
         || lo_gbps <= 0.0
@@ -129,17 +162,15 @@ pub fn bpeak_sweep(
         ));
     }
     let ratio = (hi_gbps / lo_gbps).ln();
-    let mut out = Vec::with_capacity(steps + 1);
-    for step in 0..=steps {
+    par::try_map(parallelism, steps + 1, |step| {
         let t = step as f64 / steps as f64;
         let gbps = lo_gbps * (ratio * t).exp();
         let edited = soc.with_bpeak(BytesPerSec::from_gbps(gbps))?;
-        out.push(BpeakPoint {
+        Ok(BpeakPoint {
             bpeak_gbps: gbps,
             evaluation: evaluate(&edited, workload)?,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// The smallest `Bpeak` at which memory stops being the binding bound for

@@ -24,6 +24,19 @@ pub enum GablesError {
         /// Why the value was rejected.
         reason: &'static str,
     },
+    /// A per-IP parameter was outside its valid domain. Like
+    /// [`GablesError::InvalidParameter`] but names the offending IP, so
+    /// multi-IP builders can say *which* port or accelerator is wrong.
+    InvalidIpParameter {
+        /// The index of the offending IP.
+        ip: usize,
+        /// The field that was rejected (e.g. `"IP bandwidth"`).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
     /// The per-IP work fractions of a workload did not sum to 1.
     WorkFractionSum {
         /// The actual sum of the provided fractions.
@@ -73,6 +86,34 @@ pub enum GablesError {
     },
 }
 
+/// The coarse category of a [`GablesError`], independent of its payload.
+///
+/// Useful for matching on failure class without destructuring the
+/// `#[non_exhaustive]` error enum, and for mapping model errors onto
+/// transport-level error codes (the HTTP tier does exactly this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// A scalar or per-IP parameter was outside its valid domain.
+    InvalidParameter,
+    /// Work fractions did not sum to 1.
+    WorkFractionSum,
+    /// Workload and SoC disagree on the number of IPs.
+    IpCountMismatch,
+    /// An IP index was out of bounds.
+    IpIndexOutOfBounds,
+    /// The SoC had no IP blocks.
+    NoIps,
+    /// IP\[0\] (the CPU complex) had a non-unity acceleration.
+    NonUnityCpuAcceleration,
+    /// A bus-usage matrix had the wrong shape.
+    BusMatrixShape,
+    /// An active IP had no bus path to memory.
+    NoBusPath,
+    /// An iterative solver failed to converge.
+    NoConvergence,
+}
+
 impl GablesError {
     /// Convenience constructor for [`GablesError::InvalidParameter`].
     pub fn invalid_parameter(name: &'static str, value: f64, reason: &'static str) -> Self {
@@ -80,6 +121,58 @@ impl GablesError {
             name,
             value,
             reason,
+        }
+    }
+
+    /// Convenience constructor for [`GablesError::InvalidIpParameter`].
+    pub fn invalid_ip_parameter(
+        ip: usize,
+        field: &'static str,
+        value: f64,
+        reason: &'static str,
+    ) -> Self {
+        GablesError::InvalidIpParameter {
+            ip,
+            field,
+            value,
+            reason,
+        }
+    }
+
+    /// Attaches an IP index to an [`GablesError::InvalidParameter`],
+    /// turning it into [`GablesError::InvalidIpParameter`]. Other
+    /// variants pass through unchanged — they either already carry their
+    /// IP index or have none to name.
+    pub fn for_ip(self, ip: usize) -> Self {
+        match self {
+            GablesError::InvalidParameter {
+                name,
+                value,
+                reason,
+            } => GablesError::InvalidIpParameter {
+                ip,
+                field: name,
+                value,
+                reason,
+            },
+            other => other,
+        }
+    }
+
+    /// The coarse category of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            GablesError::InvalidParameter { .. } | GablesError::InvalidIpParameter { .. } => {
+                ErrorKind::InvalidParameter
+            }
+            GablesError::WorkFractionSum { .. } => ErrorKind::WorkFractionSum,
+            GablesError::IpCountMismatch { .. } => ErrorKind::IpCountMismatch,
+            GablesError::IpIndexOutOfBounds { .. } => ErrorKind::IpIndexOutOfBounds,
+            GablesError::NoIps => ErrorKind::NoIps,
+            GablesError::NonUnityCpuAcceleration { .. } => ErrorKind::NonUnityCpuAcceleration,
+            GablesError::BusMatrixShape { .. } => ErrorKind::BusMatrixShape,
+            GablesError::NoBusPath { .. } => ErrorKind::NoBusPath,
+            GablesError::NoConvergence { .. } => ErrorKind::NoConvergence,
         }
     }
 }
@@ -94,6 +187,14 @@ impl fmt::Display for GablesError {
             } => {
                 write!(f, "invalid {name} {value}: {reason}")
             }
+            GablesError::InvalidIpParameter {
+                ip,
+                field,
+                value,
+                reason,
+            } => {
+                write!(f, "IP[{ip}] has invalid {field} {value}: {reason}")
+            }
             GablesError::WorkFractionSum { sum } => {
                 write!(f, "work fractions must sum to 1, got {sum}")
             }
@@ -105,7 +206,7 @@ impl fmt::Display for GablesError {
                 "workload has {workload_ips} work assignments but the SoC has {soc_ips} IPs"
             ),
             GablesError::IpIndexOutOfBounds { index, len } => {
-                write!(f, "IP index {index} out of bounds for SoC with {len} IPs")
+                write!(f, "IP[{index}] is out of bounds for a SoC with {len} IPs")
             }
             GablesError::NoIps => write!(f, "a SoC must have at least one IP block"),
             GablesError::NonUnityCpuAcceleration { acceleration } => write!(
@@ -137,6 +238,7 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let cases: Vec<GablesError> = vec![
             GablesError::invalid_parameter("work fraction", 2.0, "must be within [0, 1]"),
+            GablesError::invalid_ip_parameter(2, "IP bandwidth", -1.0, "must be positive"),
             GablesError::WorkFractionSum { sum: 0.5 },
             GablesError::IpCountMismatch {
                 soc_ips: 2,
@@ -166,5 +268,88 @@ mod tests {
     fn error_is_send_sync_static() {
         fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
         assert_bounds::<GablesError>();
+    }
+
+    #[test]
+    fn indexed_errors_name_the_ip_consistently() {
+        // Every variant that knows its IP index renders it as `IP[i]`.
+        let indexed = vec![
+            GablesError::invalid_ip_parameter(3, "IP bandwidth", 0.0, "must be positive"),
+            GablesError::IpIndexOutOfBounds { index: 3, len: 2 },
+            GablesError::NoBusPath { ip: 3 },
+        ];
+        for err in indexed {
+            assert!(err.to_string().contains("IP[3]"), "{err}");
+        }
+        assert!(GablesError::NonUnityCpuAcceleration { acceleration: 2.0 }
+            .to_string()
+            .contains("IP[0]"));
+    }
+
+    #[test]
+    fn for_ip_wraps_invalid_parameter_and_passes_others_through() {
+        let base = GablesError::invalid_parameter("IP bandwidth", -4.0, "must be positive");
+        let wrapped = base.clone().for_ip(1);
+        assert_eq!(
+            wrapped,
+            GablesError::InvalidIpParameter {
+                ip: 1,
+                field: "IP bandwidth",
+                value: -4.0,
+                reason: "must be positive",
+            }
+        );
+        assert!(wrapped.to_string().contains("IP[1]"));
+        let passthrough = GablesError::NoIps.for_ip(5);
+        assert_eq!(passthrough, GablesError::NoIps);
+    }
+
+    #[test]
+    fn kind_maps_every_variant() {
+        let pairs: Vec<(GablesError, ErrorKind)> = vec![
+            (
+                GablesError::invalid_parameter("x", 0.0, "r"),
+                ErrorKind::InvalidParameter,
+            ),
+            (
+                GablesError::invalid_ip_parameter(0, "x", 0.0, "r"),
+                ErrorKind::InvalidParameter,
+            ),
+            (
+                GablesError::WorkFractionSum { sum: 0.5 },
+                ErrorKind::WorkFractionSum,
+            ),
+            (
+                GablesError::IpCountMismatch {
+                    soc_ips: 1,
+                    workload_ips: 2,
+                },
+                ErrorKind::IpCountMismatch,
+            ),
+            (
+                GablesError::IpIndexOutOfBounds { index: 1, len: 1 },
+                ErrorKind::IpIndexOutOfBounds,
+            ),
+            (GablesError::NoIps, ErrorKind::NoIps),
+            (
+                GablesError::NonUnityCpuAcceleration { acceleration: 2.0 },
+                ErrorKind::NonUnityCpuAcceleration,
+            ),
+            (
+                GablesError::BusMatrixShape {
+                    expected: (1, 1),
+                    actual: (2, 2),
+                },
+                ErrorKind::BusMatrixShape,
+            ),
+            (GablesError::NoBusPath { ip: 0 }, ErrorKind::NoBusPath),
+            (
+                GablesError::NoConvergence { what: "balance" },
+                ErrorKind::NoConvergence,
+            ),
+        ];
+        for (err, kind) in pairs {
+            assert_eq!(err.kind(), kind, "{err}");
+        }
     }
 }

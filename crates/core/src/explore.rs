@@ -8,6 +8,7 @@
 
 use crate::error::GablesError;
 use crate::model::{evaluate, Bottleneck};
+use crate::par::{self, Parallelism};
 use crate::soc::SocSpec;
 use crate::units::{BytesPerSec, OpsPerSec};
 use crate::workload::Workload;
@@ -95,6 +96,26 @@ pub fn explore(
     cost: &CostModel,
     usecase: &Workload,
 ) -> Result<Vec<DesignPoint>, GablesError> {
+    explore_with(grid, cost, usecase, Parallelism::Auto)
+}
+
+/// [`explore`] with an explicit [`Parallelism`] policy.
+///
+/// Candidates are evaluated over a flat index space that mirrors the
+/// serial nested loop (`accelerations` outermost, `bpeak_gbps`
+/// innermost), so the returned points are in the same order — and carry
+/// the same bits — for every worker count.
+///
+/// # Errors
+///
+/// Same as [`explore`]; with multiple workers, the reported error is the
+/// one the serial loop would have hit first.
+pub fn explore_with(
+    grid: &CandidateGrid,
+    cost: &CostModel,
+    usecase: &Workload,
+    parallelism: Parallelism,
+) -> Result<Vec<DesignPoint>, GablesError> {
     if grid.accelerations.is_empty() || grid.b1_gbps.is_empty() || grid.bpeak_gbps.is_empty() {
         return Err(GablesError::invalid_parameter(
             "candidate grid",
@@ -102,28 +123,27 @@ pub fn explore(
             "every grid axis needs at least one value",
         ));
     }
-    let mut out =
-        Vec::with_capacity(grid.accelerations.len() * grid.b1_gbps.len() * grid.bpeak_gbps.len());
-    for &a in &grid.accelerations {
-        for &b1 in &grid.b1_gbps {
-            for &bpeak in &grid.bpeak_gbps {
-                let soc = SocSpec::builder()
-                    .ppeak(OpsPerSec::from_gops(grid.ppeak_gops))
-                    .bpeak(BytesPerSec::from_gbps(bpeak))
-                    .cpu("CPU", BytesPerSec::from_gbps(grid.b0_gbps))
-                    .accelerator("ACC", a, BytesPerSec::from_gbps(b1))?
-                    .build()?;
-                let eval = evaluate(&soc, usecase)?;
-                out.push(DesignPoint {
-                    cost: cost.price(a, grid.ppeak_gops, b1, bpeak),
-                    perf_gops: eval.attainable().to_gops(),
-                    bottleneck: eval.bottleneck(),
-                    soc,
-                });
-            }
-        }
-    }
-    Ok(out)
+    let nb = grid.b1_gbps.len();
+    let np = grid.bpeak_gbps.len();
+    let total = grid.accelerations.len() * nb * np;
+    par::try_map(parallelism, total, |idx| {
+        let a = grid.accelerations[idx / (nb * np)];
+        let b1 = grid.b1_gbps[(idx / np) % nb];
+        let bpeak = grid.bpeak_gbps[idx % np];
+        let soc = SocSpec::builder()
+            .ppeak(OpsPerSec::from_gops(grid.ppeak_gops))
+            .bpeak(BytesPerSec::from_gbps(bpeak))
+            .cpu("CPU", BytesPerSec::from_gbps(grid.b0_gbps))
+            .accelerator("ACC", a, BytesPerSec::from_gbps(b1))?
+            .build()?;
+        let eval = evaluate(&soc, usecase)?;
+        Ok(DesignPoint {
+            cost: cost.price(a, grid.ppeak_gops, b1, bpeak),
+            perf_gops: eval.attainable().to_gops(),
+            bottleneck: eval.bottleneck(),
+            soc,
+        })
+    })
 }
 
 /// Extracts the Pareto frontier (min cost, max performance), sorted by

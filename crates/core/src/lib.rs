@@ -54,6 +54,8 @@
 //! * [`ext`] — Section V extensions: memory-side SRAM, interconnect
 //!   topologies, serialized work.
 //! * [`analysis`] — sweeps, balance solvers, sensitivity analysis.
+//! * [`par`] — deterministic std-only parallel execution for grid and
+//!   sweep evaluation ([`Parallelism`] policies, order-stable map).
 //! * [`baselines`] — Roofline, Amdahl, Gustafson, MultiAmdahl, bottleneck
 //!   combinators (Section VI).
 //! * [`viz`] — sampled multi-roofline plot data (Section III-C), rendered
@@ -72,6 +74,7 @@ pub mod explore;
 pub mod ext;
 pub mod json;
 pub mod model;
+pub mod par;
 pub mod rng;
 pub mod soc;
 pub mod two_ip;
@@ -80,8 +83,9 @@ pub mod viz;
 pub mod whatif;
 pub mod workload;
 
-pub use error::GablesError;
+pub use error::{ErrorKind, GablesError};
 pub use model::{evaluate, Bottleneck, Evaluation, IpLimit};
+pub use par::Parallelism;
 pub use soc::{IpSpec, SocSpec};
 pub use workload::{WorkAssignment, Workload};
 

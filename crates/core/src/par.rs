@@ -1,0 +1,256 @@
+//! Deterministic std-only parallel execution.
+//!
+//! The Gables model's hottest paths are embarrassingly parallel grids:
+//! design-space exploration enumerates (A, B1, Bpeak) candidates,
+//! offload/bandwidth sweeps step a single knob, and the ERT harness walks
+//! an intensity × working-set lattice. This module gives those loops a
+//! shared engine with two hard guarantees:
+//!
+//! 1. **Bit-identical outputs.** Results land in their original index
+//!    order regardless of worker count or scheduling jitter, so a golden
+//!    test comparing [`Parallelism::Serial`] against `Threads(8)` passes
+//!    byte-for-byte. Work is claimed in contiguous index chunks and each
+//!    chunk's results are reassembled by chunk index before flattening.
+//! 2. **Deterministic errors.** The serial loop reports the *first*
+//!    failing index. The parallel path evaluates every chunk (no
+//!    early-exit races) and returns the error with the minimum index, so
+//!    callers observe the same error object either way. This requires the
+//!    mapped closure to be pure — same index, same outcome.
+//!
+//! No `unsafe`, no dependencies: scoped threads
+//! ([`std::thread::scope`]), an [`AtomicUsize`] chunk cursor, and a
+//! [`Mutex`]-guarded result bin.
+//!
+//! Worker count resolution is centralized in [`Parallelism::resolve`]:
+//! `Serial` pins one worker, `Threads(n)` pins `n`, and `Auto` consults
+//! the `GABLES_THREADS` environment variable before falling back to
+//! [`std::thread::available_parallelism`].
+
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many workers a parallelizable operation may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run on the calling thread, exactly like the original serial loop.
+    Serial,
+    /// `GABLES_THREADS` if set and valid, else
+    /// [`std::thread::available_parallelism`], else 1.
+    #[default]
+    Auto,
+    /// Exactly this many workers (clamped to at least 1).
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of worker threads this policy resolves to, always ≥ 1.
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => match std::env::var("GABLES_THREADS") {
+                Ok(v) => match v.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => available(),
+                },
+                Err(_) => available(),
+            },
+        }
+    }
+
+    /// Parses a CLI-style thread-count argument (`"4"`, `"auto"`,
+    /// `"serial"`). Returns `None` for anything else.
+    pub fn from_arg(arg: &str) -> Option<Self> {
+        match arg.trim() {
+            "auto" => Some(Parallelism::Auto),
+            "serial" | "1" => Some(Parallelism::Serial),
+            other => other
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .map(Parallelism::Threads),
+        }
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `0..len`, preserving index order in the output.
+///
+/// With one resolved worker this is exactly `(0..len).map(f).collect()`
+/// including short-circuit on the first error. With more, indices are
+/// claimed in contiguous chunks by a scoped worker pool; outputs are
+/// reassembled in index order and, on failure, the error from the
+/// *lowest* failing chunk is returned — matching what the serial loop
+/// would have reported, provided `f` is pure.
+pub fn try_map<T, E, F>(par: Parallelism, len: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = par.resolve().min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+
+    // Aim for ~4 chunks per worker so stragglers rebalance, but never
+    // empty chunks.
+    let chunk = len.div_ceil(workers * 4).max(1);
+    let n_chunks = len.div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    // (chunk index, results) on success; (chunk index, error) on failure.
+    let done: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let failed: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    return;
+                }
+                let start = c * chunk;
+                let end = (start + chunk).min(len);
+                let mut local = Vec::with_capacity(end - start);
+                let mut err = None;
+                for i in start..end {
+                    match f(i) {
+                        Ok(v) => local.push(v),
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match err {
+                    None => done.lock().unwrap().push((c, local)),
+                    Some(e) => failed.lock().unwrap().push((c, e)),
+                }
+            });
+        }
+    });
+
+    let mut failures = failed.into_inner().unwrap();
+    if let Some(best) = failures
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (c, _))| *c)
+        .map(|(i, _)| i)
+    {
+        return Err(failures.swap_remove(best).1);
+    }
+    let mut bins = done.into_inner().unwrap();
+    bins.sort_by_key(|(c, _)| *c);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut local) in bins {
+        out.append(&mut local);
+    }
+    Ok(out)
+}
+
+/// Infallible companion to [`try_map`]: maps `f` over `0..len` with
+/// index-ordered output.
+pub fn map<T, F>(par: Parallelism, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let res: Result<Vec<T>, Infallible> = try_map(par, len, |i| Ok(f(i)));
+    match res {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_resolves_to_one() {
+        assert_eq!(Parallelism::Serial.resolve(), 1);
+        assert_eq!(Parallelism::Threads(0).resolve(), 1);
+        assert_eq!(Parallelism::Threads(7).resolve(), 7);
+        assert!(Parallelism::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn from_arg_parses_policies() {
+        assert_eq!(Parallelism::from_arg("auto"), Some(Parallelism::Auto));
+        assert_eq!(Parallelism::from_arg("serial"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::from_arg("1"), Some(Parallelism::Serial));
+        assert_eq!(Parallelism::from_arg("4"), Some(Parallelism::Threads(4)));
+        assert_eq!(Parallelism::from_arg("0"), None);
+        assert_eq!(Parallelism::from_arg("-2"), None);
+        assert_eq!(Parallelism::from_arg("fast"), None);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(8),
+        ] {
+            for len in [0, 1, 2, 3, 7, 64, 1000] {
+                let got = map(par, len, |i| i * i);
+                let want: Vec<usize> = (0..len).map(|i| i * i).collect();
+                assert_eq!(got, want, "par={par:?} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_matches_serial_results() {
+        let f = |i: usize| -> Result<f64, ()> { Ok((i as f64).sqrt().sin()) };
+        let serial = try_map(Parallelism::Serial, 513, f).unwrap();
+        for n in [2, 3, 8] {
+            let par = try_map(Parallelism::Threads(n), 513, f).unwrap();
+            assert_eq!(serial, par, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn try_map_reports_the_first_error_like_serial() {
+        // Fail at several indices; serial reports the lowest one. The
+        // parallel path must report an error from the lowest failing
+        // *chunk*, which for pure f is the same error value when every
+        // failing index carries its own payload.
+        let f = |i: usize| -> Result<usize, usize> {
+            if i % 97 == 13 {
+                Err(i)
+            } else {
+                Ok(i)
+            }
+        };
+        let serial_err = try_map(Parallelism::Serial, 1000, f).unwrap_err();
+        for n in [2, 8] {
+            let par_err = try_map(Parallelism::Threads(n), 1000, f).unwrap_err();
+            assert_eq!(serial_err, par_err, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let got: Vec<usize> = map(Parallelism::Threads(8), 0, |i| i);
+        assert!(got.is_empty());
+        let got = map(Parallelism::Threads(8), 1, |i| i + 41);
+        assert_eq!(got, vec![41]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let got = map(Parallelism::Threads(32), 5, |i| i);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

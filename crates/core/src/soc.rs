@@ -257,8 +257,10 @@ impl SocSpecBuilder {
     ///
     /// # Errors
     ///
-    /// * [`GablesError::InvalidParameter`] if `Ppeak`, `Bpeak`, or any IP
-    ///   bandwidth is missing, non-finite, or non-positive.
+    /// * [`GablesError::InvalidParameter`] if `Ppeak` or `Bpeak` is
+    ///   missing, non-finite, or non-positive.
+    /// * [`GablesError::InvalidIpParameter`] if any IP bandwidth is
+    ///   non-finite or non-positive, naming the offending IP index.
     /// * [`GablesError::NoIps`] if no IP was added.
     /// * [`GablesError::NonUnityCpuAcceleration`] if IP\[0\] does not have
     ///   acceleration 1 (i.e. [`cpu`](Self::cpu) was never called).
@@ -291,14 +293,15 @@ impl SocSpecBuilder {
                 acceleration: self.ips[0].acceleration.value(),
             });
         }
-        for ip in &self.ips {
+        for (i, ip) in self.ips.iter().enumerate() {
             let bw = ip.bandwidth.value();
             if !bw.is_finite() || bw <= 0.0 {
                 return Err(GablesError::invalid_parameter(
                     "IP bandwidth",
                     bw,
                     "must be finite and > 0",
-                ));
+                )
+                .for_ip(i));
             }
         }
         Ok(SocSpec {
@@ -397,8 +400,9 @@ mod tests {
             .cpu("CPU", BytesPerSec::from_gbps(0.0));
         assert!(matches!(
             b.build().unwrap_err(),
-            GablesError::InvalidParameter {
-                name: "IP bandwidth",
+            GablesError::InvalidIpParameter {
+                ip: 0,
+                field: "IP bandwidth",
                 ..
             }
         ));

@@ -33,6 +33,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use gables_model::baselines::roofline::{Ceiling, Roofline};
+use gables_model::par::{self, Parallelism};
 use gables_model::units::{BytesPerSec, OpsPerSec};
 use gables_soc_sim::{
     Job, RooflineKernel, ServedFrom, SimError, Simulator, TimelineRecorder, TrafficPattern,
@@ -130,33 +131,51 @@ pub fn sweep(
     ip: usize,
     config: &SweepConfig,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut out = Vec::with_capacity(config.array_bytes.len() * config.flops_per_word.len());
-    for &bytes in &config.array_bytes {
-        for &fpw in &config.flops_per_word {
-            let kernel = RooflineKernel {
-                trials: config.trials,
-                words: (bytes / 4).max(1),
-                word_bytes: 4,
-                flops_per_word: fpw,
-                pattern: config.pattern,
-                data_type: gables_soc_sim::kernel::DataType::Fp32,
-            };
-            let mut recorder = TimelineRecorder::new();
-            let run = sim.run_with_recorder(&[Job { ip, kernel }], &mut recorder)?;
-            let job = &run.jobs[0];
-            out.push(SweepPoint {
-                array_bytes: bytes,
-                flops_per_word: fpw,
-                intensity: kernel.intensity(),
-                gflops: job.achieved_flops_per_sec / 1e9,
-                gbps: job.achieved_bytes_per_sec / 1e9,
-                served_from: job.served_from.clone(),
-                epochs: recorder.epochs().len(),
-                arbiter_rounds: recorder.total_arbiter_rounds(),
-            });
-        }
-    }
-    Ok(out)
+    sweep_with(sim, ip, config, Parallelism::Auto)
+}
+
+/// [`sweep`] with an explicit [`Parallelism`] policy. Each grid point
+/// runs an independent simulation with its own recorder, so points fan
+/// out across workers and come back in the serial grid order (array size
+/// outermost, flops-per-word innermost) with identical bits.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]); with multiple workers the
+/// reported error is the one the serial sweep would have hit first.
+pub fn sweep_with(
+    sim: &Simulator,
+    ip: usize,
+    config: &SweepConfig,
+    parallelism: Parallelism,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let nf = config.flops_per_word.len();
+    let total = config.array_bytes.len() * nf;
+    par::try_map(parallelism, total, |idx| {
+        let bytes = config.array_bytes[idx / nf];
+        let fpw = config.flops_per_word[idx % nf];
+        let kernel = RooflineKernel {
+            trials: config.trials,
+            words: (bytes / 4).max(1),
+            word_bytes: 4,
+            flops_per_word: fpw,
+            pattern: config.pattern,
+            data_type: gables_soc_sim::kernel::DataType::Fp32,
+        };
+        let mut recorder = TimelineRecorder::new();
+        let run = sim.run_with_recorder(&[Job { ip, kernel }], &mut recorder)?;
+        let job = &run.jobs[0];
+        Ok(SweepPoint {
+            array_bytes: bytes,
+            flops_per_word: fpw,
+            intensity: kernel.intensity(),
+            gflops: job.achieved_flops_per_sec / 1e9,
+            gbps: job.achieved_bytes_per_sec / 1e9,
+            served_from: job.served_from.clone(),
+            epochs: recorder.epochs().len(),
+            arbiter_rounds: recorder.total_arbiter_rounds(),
+        })
+    })
 }
 
 /// An empirically fitted roofline: the best observed ceilings.

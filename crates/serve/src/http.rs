@@ -260,13 +260,39 @@ impl Response {
         }
     }
 
-    /// A JSON error body `{"error": ...}` with the given status.
+    /// A JSON error in the v1 response envelope:
+    /// `{"ok": false, "data": null, "error": {"code": ..., "message": ...}}`.
+    /// The code is derived from the status via [`Response::error_code`].
     pub fn error(status: u16, message: &str) -> Self {
         use gables_model::json::Json;
+        let error = Json::Object(vec![
+            ("code".into(), Json::str(Self::error_code(status))),
+            ("message".into(), Json::str(message)),
+        ]);
         Self::json(
             status,
-            Json::Object(vec![("error".into(), Json::str(message))]).to_string(),
+            Json::Object(vec![
+                ("ok".into(), Json::Bool(false)),
+                ("data".into(), Json::Null),
+                ("error".into(), error),
+            ])
+            .to_string(),
         )
+    }
+
+    /// The stable machine-readable error code for a status — the
+    /// documented set in the crate docs. Unknown statuses map to
+    /// `"internal"`.
+    pub fn error_code(status: u16) -> &'static str {
+        match status {
+            400 => "bad_request",
+            404 => "not_found",
+            405 => "method_not_allowed",
+            408 => "timeout",
+            413 => "too_large",
+            503 => "unavailable",
+            _ => "internal",
+        }
     }
 
     /// Adds a header (builder style).
@@ -430,12 +456,30 @@ mod tests {
     }
 
     #[test]
-    fn error_response_is_json() {
+    fn error_response_is_an_envelope_with_a_code() {
         let resp = Response::error(503, "queue full");
         assert_eq!(resp.status, 503);
         assert_eq!(resp.content_type, "application/json");
         let body = String::from_utf8(resp.body).unwrap();
-        assert_eq!(body, r#"{"error":"queue full"}"#);
+        assert_eq!(
+            body,
+            r#"{"ok":false,"data":null,"error":{"code":"unavailable","message":"queue full"}}"#
+        );
+    }
+
+    #[test]
+    fn error_codes_cover_every_served_status() {
+        for (status, code) in [
+            (400, "bad_request"),
+            (404, "not_found"),
+            (405, "method_not_allowed"),
+            (408, "timeout"),
+            (413, "too_large"),
+            (500, "internal"),
+            (503, "unavailable"),
+        ] {
+            assert_eq!(Response::error_code(status), code);
+        }
     }
 
     #[test]

@@ -16,6 +16,29 @@
 //! load beyond the queue is shed immediately with `503` +
 //! `Retry-After` rather than buffered unboundedly.
 //!
+//! ## Response envelope and error codes
+//!
+//! Every JSON response this layer emits uses one envelope:
+//!
+//! ```json
+//! {"ok": true,  "data": { ... }, "error": null}
+//! {"ok": false, "data": null,    "error": {"code": "...", "message": "..."}}
+//! ```
+//!
+//! [`Response::error`] produces the failure form; the success form is
+//! assembled by the route layer. The `code` field is a closed, stable
+//! set mapped from the HTTP status by [`Response::error_code`]:
+//!
+//! | code                 | status | meaning                                   |
+//! |----------------------|--------|-------------------------------------------|
+//! | `bad_request`        | 400    | unparsable request, spec, or parameters   |
+//! | `not_found`          | 404    | no route at this path                     |
+//! | `method_not_allowed` | 405    | path exists, method does not              |
+//! | `timeout`            | 408    | the request did not arrive in time        |
+//! | `too_large`          | 413    | head or body over its byte limit          |
+//! | `internal`           | 500    | handler panic or other server-side fault  |
+//! | `unavailable`        | 503    | queue full — retry after `Retry-After`    |
+//!
 //! ## Example
 //!
 //! ```

@@ -41,7 +41,7 @@ impl fmt::Display for SimError {
             SimError::Config { what } => write!(f, "invalid configuration: {what}"),
             SimError::UnknownIp { name } => write!(f, "no IP named {name:?}"),
             SimError::IpIndexOutOfBounds { index, len } => {
-                write!(f, "IP index {index} out of bounds for SoC with {len} IPs")
+                write!(f, "IP[{index}] is out of bounds for a SoC with {len} IPs")
             }
             SimError::Kernel { what } => write!(f, "invalid kernel: {what}"),
             SimError::Stalled { at_seconds } => {

@@ -49,8 +49,8 @@ pub use engine::{Job, JobResult, RunResult, ServedFrom, Simulator};
 pub use error::SimError;
 pub use kernel::RooflineKernel;
 pub use run::{
-    gables_jobs, run_gables_workload, run_serialized, run_single, CoordinationOverhead, MixHarness,
-    MixPoint, SerializedRun,
+    gables_jobs, run_gables_batch, run_gables_workload, run_serialized, run_single,
+    CoordinationOverhead, MixHarness, MixPoint, SerializedRun,
 };
 pub use telemetry::{
     BindingConstraint, BottleneckBreakdown, Epoch, EpochFlow, NullRecorder, Recorder,

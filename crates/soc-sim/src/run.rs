@@ -248,6 +248,28 @@ pub fn run_gables_workload(
     sim.run_with_recorder(&gables_jobs(workload)?, recorder)
 }
 
+/// Runs a batch of Gables workloads on one simulator built from the spec,
+/// fanning the independent runs across workers per `parallelism`. Each
+/// run gets its own [`NullRecorder`](crate::telemetry::NullRecorder);
+/// results come back in workload order with bits identical to running
+/// [`run_gables_workload`] in a loop.
+///
+/// # Errors
+///
+/// Propagates [`gables_jobs`] and simulator errors; with multiple workers
+/// the reported error is the one a serial loop would have hit first.
+pub fn run_gables_batch(
+    spec: &gables_model::SocSpec,
+    workloads: &[gables_model::Workload],
+    parallelism: gables_model::par::Parallelism,
+) -> Result<Vec<RunResult>, SimError> {
+    let sim = Simulator::new(crate::presets::from_gables_spec(spec))?;
+    gables_model::par::try_map(parallelism, workloads.len(), |i| {
+        let mut recorder = crate::telemetry::NullRecorder;
+        sim.run_with_recorder(&gables_jobs(&workloads[i])?, &mut recorder)
+    })
+}
+
 /// Runs a single-IP roofline measurement: one kernel on one IP, nothing
 /// else on the SoC (Section IV-B's per-IP sweeps).
 ///
@@ -514,6 +536,49 @@ mod tests {
         for job in &run.jobs {
             assert!((job.breakdown.total() - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn batch_matches_looped_single_runs() {
+        use gables_model::par::Parallelism;
+        use gables_model::two_ip::TwoIpModel;
+        use gables_model::Workload;
+        let spec = TwoIpModel::figure_6d().soc().unwrap();
+        let workloads: Vec<Workload> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&f| Workload::two_ip(f, 8.0, 8.0).unwrap())
+            .collect();
+        let looped: Vec<RunResult> = workloads
+            .iter()
+            .map(|w| {
+                let mut r = crate::telemetry::NullRecorder;
+                run_gables_workload(&spec, w, &mut r).unwrap()
+            })
+            .collect();
+        for par in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let batch = run_gables_batch(&spec, &workloads, par).unwrap();
+            assert_eq!(batch, looped, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn batch_error_matches_the_first_serial_failure() {
+        use gables_model::par::Parallelism;
+        use gables_model::two_ip::TwoIpModel;
+        use gables_model::Workload;
+        let spec = TwoIpModel::figure_6d().soc().unwrap();
+        // Index 1 is the first unrepresentable workload (I1 rounds below
+        // one flop per word); index 3 also fails.
+        let workloads = vec![
+            Workload::two_ip(0.5, 8.0, 8.0).unwrap(),
+            Workload::two_ip(0.5, 8.0, 0.01).unwrap(),
+            Workload::two_ip(0.5, 8.0, 8.0).unwrap(),
+            Workload::two_ip(0.5, 8.0, 0.02).unwrap(),
+        ];
+        let serial = run_gables_batch(&spec, &workloads, Parallelism::Serial).unwrap_err();
+        let parallel = run_gables_batch(&spec, &workloads, Parallelism::Threads(4)).unwrap_err();
+        assert_eq!(serial, parallel);
+        assert!(serial.to_string().contains("0.01"), "{serial}");
     }
 
     #[test]

@@ -24,4 +24,10 @@ cargo test --workspace -q
 echo "==> serve loopback smoke test (real server on an ephemeral port)"
 cargo test -q -p gables-cli --test serve_loopback
 
+echo "==> parallel determinism suite (forced GABLES_THREADS=2)"
+GABLES_THREADS=2 cargo test -q --test parallel_determinism
+
+echo "==> parallel bench smoke (small grid, artifact to target/figures)"
+GABLES_BENCH_SCALE=4 cargo bench -q -p gables-bench --bench parallel
+
 echo "all checks passed"

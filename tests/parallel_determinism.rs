@@ -1,0 +1,147 @@
+//! Integration: the parallel execution paths are *bit-identical* to
+//! their serial counterparts — not merely statistically equivalent.
+//!
+//! Every parallel entry point in the suite (`explore_with`, the
+//! analysis sweeps, the ERT grid, the soc-sim batch runner) is built on
+//! `gables_model::par::try_map`, which chunks the index range and
+//! reassembles results in index order. These tests pin the contract the
+//! rest of the repo (figure regeneration, the serving cache, golden
+//! files) relies on: for every worker count, the output is the same
+//! `Vec`, byte for byte — compared both structurally (`assert_eq!`) and
+//! through the `Debug` rendering to catch any float formatting drift.
+
+use gables_model::analysis::{bpeak_sweep_with, offload_sweep_with};
+use gables_model::explore::{explore_with, CandidateGrid, CostModel};
+use gables_model::two_ip::TwoIpModel;
+use gables_model::{Parallelism, Workload};
+use gables_soc_sim::{presets, run_gables_batch, run_gables_workload, Simulator};
+
+/// The worker policies every suite below must agree across.
+const POLICIES: [Parallelism; 3] = [
+    Parallelism::Threads(1),
+    Parallelism::Threads(2),
+    Parallelism::Threads(8),
+];
+
+fn fig7_scale_grid() -> (CandidateGrid, CostModel) {
+    (
+        CandidateGrid {
+            ppeak_gops: 40.0,
+            b0_gbps: 6.0,
+            accelerations: (1..=8).map(f64::from).collect(),
+            b1_gbps: (1..=8).map(|b| f64::from(b) * 4.0).collect(),
+            bpeak_gbps: (1..=8).map(|b| f64::from(b) * 6.0).collect(),
+        },
+        CostModel::unit(),
+    )
+}
+
+#[test]
+fn explore_grid_is_bit_identical_across_worker_counts() {
+    let (grid, cost) = fig7_scale_grid();
+    let usecase = Workload::two_ip(0.75, 8.0, 0.25).expect("valid workload");
+    let serial = explore_with(&grid, &cost, &usecase, Parallelism::Serial).expect("serial");
+    assert_eq!(serial.len(), 512);
+    let serial_debug = format!("{serial:?}");
+    for par in POLICIES {
+        let got = explore_with(&grid, &cost, &usecase, par).expect("parallel");
+        assert_eq!(got, serial, "{par:?}");
+        assert_eq!(format!("{got:?}"), serial_debug, "{par:?}");
+    }
+}
+
+#[test]
+fn analysis_sweeps_are_bit_identical_across_worker_counts() {
+    let soc = TwoIpModel::figure_6b().soc().expect("figure 6b SoC");
+    let offload_serial =
+        offload_sweep_with(&soc, 8.0, 0.25, 64, Parallelism::Serial).expect("serial");
+    let workload = Workload::two_ip(0.75, 8.0, 0.25).expect("valid workload");
+    let bpeak_serial =
+        bpeak_sweep_with(&soc, &workload, 1.0, 64.0, 64, Parallelism::Serial).expect("serial");
+    for par in POLICIES {
+        let offload = offload_sweep_with(&soc, 8.0, 0.25, 64, par).expect("parallel");
+        assert_eq!(offload, offload_serial, "{par:?}");
+        assert_eq!(
+            format!("{offload:?}"),
+            format!("{offload_serial:?}"),
+            "{par:?}"
+        );
+        let bpeak = bpeak_sweep_with(&soc, &workload, 1.0, 64.0, 64, par).expect("parallel");
+        assert_eq!(bpeak, bpeak_serial, "{par:?}");
+    }
+}
+
+#[test]
+fn ert_sweep_is_bit_identical_across_worker_counts() {
+    let sim = Simulator::new(presets::snapdragon_835_like()).expect("valid preset");
+    let config = gables_ert::SweepConfig {
+        array_bytes: vec![64 << 10, 1 << 20, 16 << 20],
+        flops_per_word: vec![1, 4, 16, 64, 256],
+        trials: 1,
+        pattern: gables_soc_sim::TrafficPattern::ReadModifyWrite,
+    };
+    let serial =
+        gables_ert::sweep_with(&sim, presets::CPU, &config, Parallelism::Serial).expect("serial");
+    assert_eq!(serial.len(), 15);
+    for par in POLICIES {
+        let got = gables_ert::sweep_with(&sim, presets::CPU, &config, par).expect("parallel");
+        assert_eq!(got, serial, "{par:?}");
+        assert_eq!(format!("{got:?}"), format!("{serial:?}"), "{par:?}");
+    }
+}
+
+#[test]
+fn soc_sim_batch_is_bit_identical_across_worker_counts() {
+    let spec = TwoIpModel::figure_6b().soc().expect("figure 6b SoC");
+    let workloads: Vec<Workload> = (0..12)
+        .map(|k| Workload::two_ip(k as f64 / 11.0, 8.0, 0.25).expect("valid workload"))
+        .collect();
+    let serial = run_gables_batch(&spec, &workloads, Parallelism::Serial).expect("serial");
+    // The batch runner agrees with N independent serial runs.
+    for (w, run) in workloads.iter().zip(&serial) {
+        let lone =
+            run_gables_workload(&spec, w, &mut gables_soc_sim::NullRecorder).expect("single run");
+        assert_eq!(&lone, run);
+    }
+    for par in POLICIES {
+        let got = run_gables_batch(&spec, &workloads, par).expect("parallel");
+        assert_eq!(got, serial, "{par:?}");
+        assert_eq!(format!("{got:?}"), format!("{serial:?}"), "{par:?}");
+    }
+}
+
+#[test]
+fn gables_threads_env_override_preserves_the_bits() {
+    // `Auto` reads GABLES_THREADS at resolve time. The env var is
+    // process-global, so this is the only test in this binary that
+    // touches it; every other test pins an explicit policy.
+    let (grid, cost) = fig7_scale_grid();
+    let usecase = Workload::two_ip(0.75, 8.0, 0.25).expect("valid workload");
+    let serial = explore_with(&grid, &cost, &usecase, Parallelism::Serial).expect("serial");
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("GABLES_THREADS", threads);
+        assert_eq!(
+            Parallelism::Auto.resolve(),
+            threads.parse::<usize>().unwrap()
+        );
+        let got = explore_with(&grid, &cost, &usecase, Parallelism::Auto).expect("auto");
+        assert_eq!(got, serial, "GABLES_THREADS={threads}");
+    }
+    std::env::remove_var("GABLES_THREADS");
+}
+
+#[test]
+fn parallel_errors_match_the_first_serial_error() {
+    // An invalid grid point must surface the same error whether the grid
+    // is walked serially or split across workers: acceleration 0 is
+    // rejected, and the serial loop order puts it first.
+    let (mut grid, cost) = fig7_scale_grid();
+    grid.accelerations[3] = 0.0;
+    grid.accelerations[6] = -1.0;
+    let usecase = Workload::two_ip(0.75, 8.0, 0.25).expect("valid workload");
+    let serial = explore_with(&grid, &cost, &usecase, Parallelism::Serial).unwrap_err();
+    for par in POLICIES {
+        let got = explore_with(&grid, &cost, &usecase, par).unwrap_err();
+        assert_eq!(got.to_string(), serial.to_string(), "{par:?}");
+    }
+}
