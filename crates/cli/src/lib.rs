@@ -50,10 +50,7 @@ pub fn run(
         Some("example") => Ok(spec::FIGURE_6B_SPEC.to_string()),
         Some("eval") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             eval_command(&text)
         }
         Some("sweep") => {
@@ -61,46 +58,30 @@ pub fn run(
             let param = arg(args, 2, "parameter (f | bpeak | intensity)")?;
             let from: f64 = parse_num(&arg(args, 3, "from")?)?;
             let to: f64 = parse_num(&arg(args, 4, "to")?)?;
-            let steps: usize = arg(args, 5, "steps")?.parse().map_err(|_| SpecError {
-                line: None,
-                message: "steps must be an integer".into(),
-            })?;
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let steps: usize = arg(args, 5, "steps")?
+                .parse()
+                .map_err(|_| SpecError::general("steps must be an integer"))?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             sweep_command_with(&text, &param, from, to, steps, parallelism)
         }
         Some("plot") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             plot_command(&text)
         }
         Some("frontier") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             frontier_command_with(&text, parallelism)
         }
         Some("ascii") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             ascii_command(&text)
         }
         Some("whatif") => {
             let path = arg(args, 1, "spec file")?;
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             let edits = args[2..].join(" ");
             whatif_command(&text, &edits)
         }
@@ -110,10 +91,7 @@ pub fn run(
                 .get(2)
                 .cloned()
                 .unwrap_or_else(|| "gables-trace".to_string());
-            let text = read_file(&path).map_err(|e| SpecError {
-                line: None,
-                message: format!("{path}: {e}"),
-            })?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
             let artifacts = trace_command(&text)?;
             let mut out = artifacts.report.clone();
             for (suffix, contents) in [
@@ -122,24 +100,19 @@ pub fn run(
                 (".report.txt", &artifacts.report),
             ] {
                 let file = format!("{prefix}{suffix}");
-                std::fs::write(&file, contents).map_err(|e| SpecError {
-                    line: None,
-                    message: format!("{file}: {e}"),
-                })?;
+                std::fs::write(&file, contents)
+                    .map_err(|e| SpecError::general(format!("{file}: {e}")))?;
                 let _ = writeln!(out, "wrote {file}");
             }
             Ok(out)
         }
         Some("serve") => serve::serve_command(&args[1..]),
         Some("help") | None => Ok(usage()),
-        Some(other) => Err(SpecError {
-            line: None,
-            message: format!(
-                "unknown command {other:?} (valid commands: {})\n{}",
-                COMMANDS.join(", "),
-                usage()
-            ),
-        }),
+        Some(other) => Err(SpecError::general(format!(
+            "unknown command {other:?} (valid commands: {})\n{}",
+            COMMANDS.join(", "),
+            usage()
+        ))),
     }
 }
 
@@ -153,17 +126,14 @@ fn usage() -> String {
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
-    args.get(idx).cloned().ok_or_else(|| SpecError {
-        line: None,
-        message: format!("missing argument: {what}\n{}", usage()),
-    })
+    args.get(idx)
+        .cloned()
+        .ok_or_else(|| SpecError::general(format!("missing argument: {what}\n{}", usage())))
 }
 
 fn parse_num(s: &str) -> Result<f64, SpecError> {
-    s.parse().map_err(|_| SpecError {
-        line: None,
-        message: format!("not a number: {s:?}"),
-    })
+    s.parse()
+        .map_err(|_| SpecError::general(format!("not a number: {s:?}")))
 }
 
 /// Strips a `--threads <policy>` (or `--threads=<policy>`) flag from
@@ -174,19 +144,17 @@ fn split_threads_flag(args: &[String]) -> Result<(Vec<String>, Parallelism), Spe
     let mut rest = Vec::with_capacity(args.len());
     let mut parallelism = Parallelism::Auto;
     let parse = |value: &str| -> Result<Parallelism, SpecError> {
-        Parallelism::from_arg(value).ok_or_else(|| SpecError {
-            line: None,
-            message: format!(
+        Parallelism::from_arg(value).ok_or_else(|| {
+            SpecError::general(format!(
                 "invalid --threads value {value:?} (use auto, serial, or a thread count >= 1)"
-            ),
+            ))
         })
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threads" {
-            let value = it.next().ok_or_else(|| SpecError {
-                line: None,
-                message: "--threads requires a value (auto, serial, or a thread count)".into(),
+            let value = it.next().ok_or_else(|| {
+                SpecError::general("--threads requires a value (auto, serial, or a thread count)")
             })?;
             parallelism = parse(value)?;
         } else if let Some(value) = a.strip_prefix("--threads=") {
@@ -257,16 +225,12 @@ pub fn sweep_command_with(
     match param {
         "f" => {
             if soc.ip_count() != 2 {
-                return Err(SpecError {
-                    line: None,
-                    message: "sweep f requires exactly two IPs".into(),
-                });
+                return Err(SpecError::general("sweep f requires exactly two IPs"));
             }
             if steps == 0 || !(0.0..=1.0).contains(&from) || !(from..=1.0).contains(&to) {
-                return Err(SpecError {
-                    line: None,
-                    message: "sweep f requires 0 <= from <= to <= 1 and steps >= 1".into(),
-                });
+                return Err(SpecError::general(
+                    "sweep f requires 0 <= from <= to <= 1 and steps >= 1",
+                ));
             }
             let i0 = workload.assignment(0)?.intensity().value();
             let i1 = workload.assignment(1)?.intensity().value();
@@ -302,10 +266,9 @@ pub fn sweep_command_with(
             // ERT-style: set every active IP's operational intensity to
             // the step value and watch attainment climb the roofline.
             if steps == 0 || from <= 0.0 || to < from {
-                return Err(SpecError {
-                    line: None,
-                    message: "sweep intensity requires 0 < from <= to and steps >= 1".into(),
-                });
+                return Err(SpecError::general(
+                    "sweep intensity requires 0 < from <= to and steps >= 1",
+                ));
             }
             let points = par::try_map(parallelism, steps + 1, |k| {
                 let i = from + (to - from) * k as f64 / steps as f64;
@@ -328,10 +291,9 @@ pub fn sweep_command_with(
             }
         }
         other => {
-            return Err(SpecError {
-                line: None,
-                message: format!("unknown sweep parameter {other:?} (use f, bpeak, or intensity)"),
-            })
+            return Err(SpecError::general(format!(
+                "unknown sweep parameter {other:?} (use f, bpeak, or intensity)"
+            )))
         }
     }
     Ok(out)
@@ -350,10 +312,7 @@ pub fn frontier_command_with(text: &str, parallelism: Parallelism) -> Result<Str
     use gables_model::explore::{explore_with, pareto_frontier};
     let spec = Spec::parse(text)?;
     let Some((grid, cost)) = spec.explore_grid()? else {
-        return Err(SpecError {
-            line: None,
-            message: "spec has no [explore] section".into(),
-        });
+        return Err(SpecError::general("spec has no [explore] section"));
     };
     let workload = spec.workload()?;
     let points = explore_with(&grid, &cost, &workload, parallelism)?;
@@ -420,14 +379,10 @@ pub fn whatif_command(text: &str, edits: &str) -> Result<String, SpecError> {
         let num = |i: usize| -> Result<f64, SpecError> {
             tokens
                 .get(i)
-                .ok_or_else(|| SpecError {
-                    line: None,
-                    message: format!("edit {raw:?}: missing operand {i}"),
-                })?
+                .ok_or_else(|| SpecError::general(format!("edit {raw:?}: missing operand {i}")))?
                 .parse()
-                .map_err(|_| SpecError {
-                    line: None,
-                    message: format!("edit {raw:?}: operand {i} is not a number"),
+                .map_err(|_| {
+                    SpecError::general(format!("edit {raw:?}: operand {i} is not a number"))
                 })
         };
         let ip = |i: usize| -> Result<usize, SpecError> { Ok(num(i)? as usize) };
@@ -447,20 +402,14 @@ pub fn whatif_command(text: &str, edits: &str) -> Result<String, SpecError> {
                 to: ip(2)?,
                 fraction: num(3)?,
             },
-            other => {
-                return Err(SpecError {
-                    line: None,
-                    message: format!("unknown edit {other:?}"),
-                })
-            }
+            other => return Err(SpecError::general(format!("unknown edit {other:?}"))),
         };
         parsed.push(edit);
     }
     if parsed.is_empty() {
-        return Err(SpecError {
-            line: None,
-            message: "no edits given (e.g. 'set_bpeak 30; set_intensity 1 8')".into(),
-        });
+        return Err(SpecError::general(
+            "no edits given (e.g. 'set_bpeak 30; set_intensity 1 8')",
+        ));
     }
     let report = apply(&soc, &workload, &parsed)?;
     Ok(report.to_string())
@@ -499,10 +448,8 @@ pub fn trace_command(text: &str) -> Result<TraceArtifacts, SpecError> {
     // entrypoint (one RMW-kernel job per active IP), so `gables trace`
     // and `gables-serve`'s /simulate agree by construction.
     let mut recorder = TimelineRecorder::new();
-    let run = run_gables_workload(&soc, &workload, &mut recorder).map_err(|e| SpecError {
-        line: None,
-        message: e.to_string(),
-    })?;
+    let run = run_gables_workload(&soc, &workload, &mut recorder)
+        .map_err(|e| SpecError::general(e.to_string()))?;
     let epochs = recorder.epochs();
 
     // Bottleneck ribbon per IP (glyph = binding constraint) plus a

@@ -73,33 +73,26 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => {
-                let n = it.next().ok_or_else(|| SpecError {
-                    line: None,
-                    message: "--workers needs a count".into(),
-                })?;
-                opts.workers = n.parse().map_err(|_| SpecError {
-                    line: None,
-                    message: format!("--workers: {n:?} is not a positive integer"),
+                let n = it
+                    .next()
+                    .ok_or_else(|| SpecError::general("--workers needs a count"))?;
+                opts.workers = n.parse().map_err(|_| {
+                    SpecError::general(format!("--workers: {n:?} is not a positive integer"))
                 })?;
                 if opts.workers == 0 {
-                    return Err(SpecError {
-                        line: None,
-                        message: "--workers must be at least 1".into(),
-                    });
+                    return Err(SpecError::general("--workers must be at least 1"));
                 }
             }
             other if other.starts_with('-') => {
-                return Err(SpecError {
-                    line: None,
-                    message: format!("unknown serve flag {other:?} (only --workers <n>)"),
-                })
+                return Err(SpecError::general(format!(
+                    "unknown serve flag {other:?} (only --workers <n>)"
+                )))
             }
             other => {
                 if addr_seen {
-                    return Err(SpecError {
-                        line: None,
-                        message: format!("unexpected extra argument {other:?}"),
-                    });
+                    return Err(SpecError::general(format!(
+                        "unexpected extra argument {other:?}"
+                    )));
                 }
                 opts.addr = other.to_string();
                 addr_seen = true;
@@ -121,23 +114,19 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
         workers: opts.workers,
         ..ServerConfig::default()
     };
-    let server = Server::bind(opts.addr.as_str(), config).map_err(|e| SpecError {
-        line: None,
-        message: format!("bind {}: {e}", opts.addr),
-    })?;
-    let addr = server.local_addr().map_err(|e| SpecError {
-        line: None,
-        message: e.to_string(),
-    })?;
+    let server = Server::bind(opts.addr.as_str(), config)
+        .map_err(|e| SpecError::general(format!("bind {}: {e}", opts.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| SpecError::general(e.to_string()))?;
     let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128)));
     eprintln!(
         "gables-serve listening on http://{addr} ({} workers); POST /v1/eval, /v1/sweep, /v1/whatif, /v1/simulate; GET /v1/metrics (unversioned aliases deprecated)",
         opts.workers
     );
-    server.run(router).map_err(|e| SpecError {
-        line: None,
-        message: e.to_string(),
-    })?;
+    server
+        .run(router)
+        .map_err(|e| SpecError::general(e.to_string()))?;
     Ok(String::new())
 }
 
@@ -213,11 +202,17 @@ fn handle_post(
 ) -> Response {
     let body = match req.body_str() {
         Ok(b) => b,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => {
+            return Response::error_with_kind(
+                400,
+                Some(crate::spec::SPEC_PARSE_KIND),
+                &e.to_string(),
+            )
+        }
     };
     let spec = match Spec::parse(body) {
         Ok(s) => s,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => return bad_request(&e),
     };
     let key = format!(
         "{v1_path}|{}|{}|{}",
@@ -265,7 +260,7 @@ fn finish(req: &Request, data: String) -> Response {
 }
 
 fn bad_request(e: &SpecError) -> Response {
-    Response::error(400, &e.to_string())
+    Response::error_with_kind(400, Some(e.code()), &e.to_string())
 }
 
 /// `POST /v1/eval`: with `?format=text`, exactly the `gables eval`
@@ -295,13 +290,36 @@ fn eval_handler(req: &Request, spec: &Spec, body: &str) -> Result<String, Respon
 fn query_num(req: &Request, key: &str, default: f64) -> Result<f64, Response> {
     match req.query_param(key) {
         None => Ok(default),
-        Some(raw) => raw.parse().map_err(|_| {
-            Response::error(
+        Some(raw) => match raw.parse::<f64>() {
+            // `f64::from_str` happily produces NaN/∞ from "nan", "inf",
+            // and overflow literals like "1e400"; none of them is a
+            // meaningful sweep bound, so close the hole at the query
+            // boundary with the same closed error code as spec input.
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(Response::error_with_kind(
                 400,
-                &format!("query parameter {key}={raw:?} is not a number"),
-            )
-        }),
+                Some("invalid_parameter"),
+                &format!("query parameter {key}={raw:?} is not a finite number"),
+            )),
+        },
     }
+}
+
+/// Largest accepted `?steps=` grid. Enough for any plausible plot, small
+/// enough that a hostile request cannot turn the sweep into a CPU sink
+/// (`steps=inf` used to cast to `usize::MAX`).
+const MAX_SWEEP_STEPS: usize = 100_000;
+
+fn query_steps(req: &Request, default: usize) -> Result<usize, Response> {
+    let raw = query_num(req, "steps", default as f64)?;
+    if raw.fract() != 0.0 || raw < 1.0 || raw > MAX_SWEEP_STEPS as f64 {
+        return Err(Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            &format!("query parameter steps={raw} must be an integer in 1..={MAX_SWEEP_STEPS}"),
+        ));
+    }
+    Ok(raw as usize)
 }
 
 /// `POST /v1/sweep`: `?param=f|bpeak|intensity` with `from`/`to`/`steps`;
@@ -312,7 +330,7 @@ fn sweep_handler(req: &Request, _spec: &Spec, body: &str) -> Result<String, Resp
     let param = req.query_param("param").unwrap_or("intensity");
     let from = query_num(req, "from", 0.25)?;
     let to = query_num(req, "to", 64.0)?;
-    let steps = query_num(req, "steps", 16.0)? as usize;
+    let steps = query_steps(req, 16)?;
     let output = sweep_command_with(
         body,
         param,
@@ -553,6 +571,69 @@ mod tests {
         assert_eq!(resp.status, 400);
         let resp = router().dispatch(&post("/v1/sweep", Some("param=nope"), FIGURE_6B_SPEC));
         assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn sweep_rejects_non_finite_bounds_and_unbounded_steps() {
+        // `steps=inf` used to cast through `as usize` to usize::MAX and
+        // turn one request into an effectively unbounded evaluation loop.
+        for query in [
+            "steps=inf",
+            "steps=nan",
+            "steps=1e400",
+            "steps=0",
+            "steps=-3",
+            "steps=2.5",
+            "steps=200000",
+            "from=nan",
+            "to=inf",
+            "from=-1e400",
+        ] {
+            let resp = router().dispatch(&post("/v1/sweep", Some(query), FIGURE_6B_SPEC));
+            assert_eq!(resp.status, 400, "{query}");
+            let (ok, error) = open_envelope(&resp);
+            assert!(!ok, "{query}");
+            assert_eq!(
+                error.get("kind").and_then(Json::as_str),
+                Some("invalid_parameter"),
+                "{query}"
+            );
+        }
+        // The cap itself is inclusive.
+        let resp = router().dispatch(&post("/v1/sweep", Some("steps=5"), FIGURE_6B_SPEC));
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn error_envelopes_carry_the_closed_error_kind() {
+        // Model-rule violation surfaces the `ErrorKind` code.
+        let unbalanced =
+            FIGURE_6B_SPEC.replace("fractions   = 0.25, 0.75", "fractions   = 0.25, 0.5");
+        let resp = router().dispatch(&post("/v1/eval", None, &unbalanced));
+        assert_eq!(resp.status, 400);
+        let (ok, error) = open_envelope(&resp);
+        assert!(!ok);
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("work_fraction_sum")
+        );
+        // Non-finite literal in the spec is an invalid_parameter.
+        let poisoned = FIGURE_6B_SPEC.replace("ppeak_gops = 40", "ppeak_gops = nan");
+        let resp = router().dispatch(&post("/v1/eval", None, &poisoned));
+        assert_eq!(resp.status, 400);
+        let (_, error) = open_envelope(&resp);
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("invalid_parameter")
+        );
+        // Transport-level parse failure gets the parser's own kind.
+        let resp = router().dispatch(&post("/v1/eval", None, "not a spec"));
+        assert_eq!(resp.status, 400);
+        let (_, error) = open_envelope(&resp);
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some(crate::spec::SPEC_PARSE_KIND)
+        );
     }
 
     #[test]

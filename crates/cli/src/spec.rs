@@ -30,8 +30,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use gables_model::ext::sram::MemorySideSram;
-use gables_model::units::{BytesPerSec, MissRatio, OpsPerSec};
-use gables_model::{GablesError, SocSpec, Workload};
+use gables_model::units::{BytesPerSec, MissRatio, OpsPerByte, OpsPerSec, WorkFraction};
+use gables_model::{ErrorKind, GablesError, SocSpec, WorkAssignment, Workload};
+
+/// The machine-readable kind reported for input errors that have no
+/// model-level [`ErrorKind`] — malformed INI/JSON, missing sections or
+/// keys, unparseable numbers. Together with [`ErrorKind::code`] values
+/// this forms the closed `kind` vocabulary of the `/v1` error envelope.
+pub const SPEC_PARSE_KIND: &str = "spec_parse";
 
 /// A parse or build error with the offending line number when known.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,21 +46,41 @@ pub struct SpecError {
     pub line: Option<usize>,
     /// What went wrong.
     pub message: String,
+    /// The model-level error category, when the failure came from (or
+    /// maps onto) a [`GablesError`]. `None` means a transport/parse
+    /// problem, reported as [`SPEC_PARSE_KIND`].
+    pub kind: Option<ErrorKind>,
 }
 
 impl SpecError {
-    fn at(line: usize, message: impl Into<String>) -> Self {
+    /// An error attributed to a 1-based source line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
         Self {
             line: Some(line),
             message: message.into(),
+            kind: None,
         }
     }
 
-    fn general(message: impl Into<String>) -> Self {
+    /// An error with no attributable source line.
+    pub fn general(message: impl Into<String>) -> Self {
         Self {
             line: None,
             message: message.into(),
+            kind: None,
         }
+    }
+
+    /// Tags this error with a model-level category.
+    pub fn with_kind(mut self, kind: ErrorKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// The closed machine-readable code for this error: the model
+    /// [`ErrorKind::code`] when known, [`SPEC_PARSE_KIND`] otherwise.
+    pub fn code(&self) -> &'static str {
+        self.kind.map(ErrorKind::code).unwrap_or(SPEC_PARSE_KIND)
     }
 }
 
@@ -71,7 +97,7 @@ impl std::error::Error for SpecError {}
 
 impl From<GablesError> for SpecError {
     fn from(e: GablesError) -> Self {
-        SpecError::general(e.to_string())
+        SpecError::general(e.to_string()).with_kind(e.kind())
     }
 }
 
@@ -157,27 +183,76 @@ impl SpecFile {
             .collect()
     }
 
-    fn number(body: &SectionBody, key: &str, section: &str) -> Result<f64, SpecError> {
+    /// Looks up and parses one numeric value, returning its source line
+    /// for error attribution. Non-finite results (`nan`, `inf`, and
+    /// overflow literals like `1e400` — all of which `f64::from_str`
+    /// accepts) are rejected here, at the input boundary, in every build
+    /// profile, so garbage can never reach the model or the cache key.
+    fn raw_number(body: &SectionBody, key: &str, section: &str) -> Result<(usize, f64), SpecError> {
         let (line, value) = body
             .get(key)
             .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
-        value
-            .parse::<f64>()
-            .map_err(|_| SpecError::at(*line, format!("{key} is not a number: {value:?}")))
+        let parsed = value.parse::<f64>().map_err(|_| {
+            SpecError::at(
+                *line,
+                format!("[{section}] {key} is not a number: {value:?}"),
+            )
+        })?;
+        if !parsed.is_finite() {
+            return Err(SpecError::at(
+                *line,
+                format!("[{section}] {key} must be finite, got {value:?}"),
+            )
+            .with_kind(ErrorKind::InvalidParameter));
+        }
+        Ok((*line, parsed))
+    }
+
+    fn number(body: &SectionBody, key: &str, section: &str) -> Result<f64, SpecError> {
+        Self::raw_number(body, key, section).map(|(_, v)| v)
+    }
+
+    /// Like [`Self::raw_number`] for a comma-separated list, rejecting
+    /// non-finite entries with the entry index in the message.
+    fn raw_number_list(
+        body: &SectionBody,
+        key: &str,
+        section: &str,
+    ) -> Result<(usize, Vec<f64>), SpecError> {
+        let (line, value) = body
+            .get(key)
+            .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
+        let values = value
+            .split(',')
+            .enumerate()
+            .map(|(idx, v)| {
+                let parsed = v.trim().parse::<f64>().map_err(|_| {
+                    SpecError::at(
+                        *line,
+                        format!(
+                            "[{section}] {key} entry {idx} is not a number: {:?}",
+                            v.trim()
+                        ),
+                    )
+                })?;
+                if !parsed.is_finite() {
+                    return Err(SpecError::at(
+                        *line,
+                        format!(
+                            "[{section}] {key} entry {idx} must be finite, got {:?}",
+                            v.trim()
+                        ),
+                    )
+                    .with_kind(ErrorKind::InvalidParameter));
+                }
+                Ok(parsed)
+            })
+            .collect::<Result<Vec<f64>, SpecError>>()?;
+        Ok((*line, values))
     }
 
     fn number_list(body: &SectionBody, key: &str, section: &str) -> Result<Vec<f64>, SpecError> {
-        let (line, value) = body
-            .get(key)
-            .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
-        value
-            .split(',')
-            .map(|v| {
-                v.trim()
-                    .parse::<f64>()
-                    .map_err(|_| SpecError::at(*line, format!("{key} entry not a number: {v:?}")))
-            })
-            .collect()
+        Self::raw_number_list(body, key, section).map(|(_, v)| v)
     }
 
     /// Builds the SoC specification.
@@ -190,30 +265,46 @@ impl SpecFile {
         let soc = self
             .section("soc")
             .ok_or_else(|| SpecError::general("missing [soc] section"))?;
-        let ppeak = Self::number(soc, "ppeak_gops", "soc")?;
-        let bpeak = Self::number(soc, "bpeak_gbps", "soc")?;
+        let (ppeak_line, ppeak) = Self::raw_number(soc, "ppeak_gops", "soc")?;
+        let ppeak = OpsPerSec::try_from_gops(ppeak).map_err(|e| {
+            SpecError::at(ppeak_line, format!("[soc] ppeak_gops: {e}")).with_kind(e.kind())
+        })?;
+        let (bpeak_line, bpeak) = Self::raw_number(soc, "bpeak_gbps", "soc")?;
+        let bpeak = BytesPerSec::try_from_gbps(bpeak).map_err(|e| {
+            SpecError::at(bpeak_line, format!("[soc] bpeak_gbps: {e}")).with_kind(e.kind())
+        })?;
         let ips = self.ip_sections();
         if ips.is_empty() {
             return Err(SpecError::general("no [ip.<name>] sections"));
         }
         let mut b = SocSpec::builder();
-        b.ppeak(OpsPerSec::from_gops(ppeak))
-            .bpeak(BytesPerSec::from_gbps(bpeak));
+        b.ppeak(ppeak).bpeak(bpeak);
         for (i, (name, body)) in ips.iter().enumerate() {
-            let bw = Self::number(body, "bandwidth_gbps", &format!("ip.{name}"))?;
+            let section = format!("ip.{name}");
+            let (bw_line, bw) = Self::raw_number(body, "bandwidth_gbps", &section)?;
+            let bw = BytesPerSec::try_from_gbps(bw).map_err(|e| {
+                SpecError::at(bw_line, format!("[{section}] bandwidth_gbps: {e}"))
+                    .with_kind(e.kind())
+            })?;
             if i == 0 {
                 if body.contains_key("acceleration") {
-                    let a = Self::number(body, "acceleration", &format!("ip.{name}"))?;
+                    let (a_line, a) = Self::raw_number(body, "acceleration", &section)?;
                     if (a - 1.0).abs() > 1e-12 {
-                        return Err(SpecError::general(format!(
-                            "[ip.{name}] is IP[0] (the CPU); its acceleration must be 1, got {a}"
-                        )));
+                        return Err(SpecError::at(
+                            a_line,
+                            format!(
+                                "[{section}] is IP[0] (the CPU); its acceleration must be 1, got {a}"
+                            ),
+                        ));
                     }
                 }
-                b.cpu(*name, BytesPerSec::from_gbps(bw));
+                b.cpu(*name, bw);
             } else {
-                let a = Self::number(body, "acceleration", &format!("ip.{name}"))?;
-                b.accelerator(*name, a, BytesPerSec::from_gbps(bw))?;
+                let (a_line, a) = Self::raw_number(body, "acceleration", &section)?;
+                b.accelerator(*name, a, bw).map_err(|e| {
+                    SpecError::at(a_line, format!("[{section}] acceleration: {e}"))
+                        .with_kind(e.kind())
+                })?;
             }
         }
         Ok(b.build()?)
@@ -229,8 +320,8 @@ impl SpecFile {
         let w = self
             .section("workload")
             .ok_or_else(|| SpecError::general("missing [workload] section"))?;
-        let fractions = Self::number_list(w, "fractions", "workload")?;
-        let intensities = Self::number_list(w, "intensities", "workload")?;
+        let (f_line, fractions) = Self::raw_number_list(w, "fractions", "workload")?;
+        let (i_line, intensities) = Self::raw_number_list(w, "intensities", "workload")?;
         let n = self.ip_sections().len();
         if fractions.len() != n || intensities.len() != n {
             return Err(SpecError::general(format!(
@@ -239,11 +330,22 @@ impl SpecFile {
                 intensities.len()
             )));
         }
-        let mut b = Workload::builder();
-        for (f, i) in fractions.iter().zip(&intensities) {
-            b.work(*f, *i)?;
+        let mut assignments = Vec::with_capacity(n);
+        for (idx, (f, i)) in fractions.iter().zip(&intensities).enumerate() {
+            let f = WorkFraction::new(*f).map_err(|e| {
+                SpecError::at(f_line, format!("[workload] fractions entry {idx}: {e}"))
+                    .with_kind(e.kind())
+            })?;
+            let i = OpsPerByte::try_new(*i).map_err(|e| {
+                SpecError::at(i_line, format!("[workload] intensities entry {idx}: {e}"))
+                    .with_kind(e.kind())
+            })?;
+            assignments.push(WorkAssignment::new(f, i).map_err(|e| {
+                SpecError::at(i_line, format!("[workload] intensities entry {idx}: {e}"))
+                    .with_kind(e.kind())
+            })?);
         }
-        Ok(b.build()?)
+        Ok(Workload::from_assignments(assignments)?)
     }
 
     /// Builds the optional memory-side SRAM extension, if a `[sram]`
@@ -257,15 +359,23 @@ impl SpecFile {
         let Some(body) = self.section("sram") else {
             return Ok(None);
         };
-        let ratios = Self::number_list(body, "miss_ratios", "sram")?;
+        let (line, ratios) = Self::raw_number_list(body, "miss_ratios", "sram")?;
         if ratios.len() != self.ip_sections().len() {
             return Err(SpecError::general(
                 "sram miss_ratios must have one entry per IP",
             ));
         }
-        let ratios: Result<Vec<MissRatio>, GablesError> =
-            ratios.into_iter().map(MissRatio::new).collect();
-        Ok(Some(MemorySideSram::new(ratios?)))
+        let ratios = ratios
+            .into_iter()
+            .enumerate()
+            .map(|(idx, r)| {
+                MissRatio::new(r).map_err(|e| {
+                    SpecError::at(line, format!("[sram] miss_ratios entry {idx}: {e}"))
+                        .with_kind(e.kind())
+                })
+            })
+            .collect::<Result<Vec<MissRatio>, SpecError>>()?;
+        Ok(Some(MemorySideSram::new(ratios)))
     }
 
     /// Builds the optional design-space exploration grid from an
@@ -584,6 +694,89 @@ mod tests {
         let spec = SpecFile::parse(text).unwrap();
         let err = spec.soc().unwrap_err();
         assert_eq!(err.line, Some(2));
+    }
+
+    #[test]
+    fn errors_name_key_section_and_line() {
+        // The offending key, its section, and the 1-based line number all
+        // appear so a user can fix the spec without guessing.
+        let text = "[soc]\nppeak_gops = forty\nbpeak_gbps = 1\n";
+        let err = SpecFile::parse(text).unwrap().soc().unwrap_err();
+        assert!(err.message.contains("[soc]"), "{err}");
+        assert!(err.message.contains("ppeak_gops"), "{err}");
+        assert_eq!(err.line, Some(2));
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+
+        let text = "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n[ip.GPU]\nacceleration = -2\nbandwidth_gbps = 1\n";
+        let err = SpecFile::parse(text).unwrap().soc().unwrap_err();
+        assert!(err.message.contains("[ip.GPU]"), "{err}");
+        assert!(err.message.contains("acceleration"), "{err}");
+        assert_eq!(err.line, Some(7));
+
+        let text = format!(
+            "{}\n[sram]\nmiss_ratios = 1.0, 2.5\n",
+            FIGURE_6B_SPEC.trim_end()
+        );
+        let err = SpecFile::parse(&text).unwrap().sram().unwrap_err();
+        assert!(err.message.contains("[sram]"), "{err}");
+        assert!(err.message.contains("miss_ratios entry 1"), "{err}");
+        assert!(err.line.is_some());
+    }
+
+    #[test]
+    fn non_finite_literals_are_rejected_at_parse_boundary() {
+        // `f64::from_str` happily parses all of these; the spec layer must
+        // not let them through in any build profile.
+        for bad in ["nan", "NaN", "inf", "infinity", "-inf", "1e400", "-1e400"] {
+            let text = format!(
+                "[soc]\nppeak_gops = {bad}\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n"
+            );
+            let err = SpecFile::parse(&text).unwrap().soc().unwrap_err();
+            assert_eq!(err.line, Some(2), "{bad}: {err}");
+            assert!(err.message.contains("ppeak_gops"), "{bad}: {err}");
+            assert_eq!(err.code(), "invalid_parameter", "{bad}: {err}");
+
+            let text = format!(
+                "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n[workload]\nfractions = 1\nintensities = {bad}\n"
+            );
+            let err = SpecFile::parse(&text).unwrap().workload().unwrap_err();
+            assert!(err.message.contains("intensities"), "{bad}: {err}");
+            assert_eq!(err.line, Some(8), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn degenerate_positive_values_are_rejected() {
+        // -0.0, zero, and subnormals parse fine and are finite, but are
+        // outside the model's domain for peak rates and bandwidths.
+        for bad in ["-0.0", "0", "1e-310", "-5"] {
+            let text = format!(
+                "[soc]\nppeak_gops = 1\nbpeak_gbps = {bad}\n[ip.CPU]\nbandwidth_gbps = 1\n"
+            );
+            let err = SpecFile::parse(&text).unwrap().soc().unwrap_err();
+            assert!(err.message.contains("bpeak_gbps"), "{bad}: {err}");
+            assert_eq!(err.line, Some(3), "{bad}: {err}");
+            assert_eq!(err.code(), "invalid_parameter", "{bad}: {err}");
+        }
+        // Huge-but-finite Gops/s values that overflow the canonical
+        // ops/s scaling are caught with attribution too.
+        let text = "[soc]\nppeak_gops = 1e305\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n";
+        let err = SpecFile::parse(text).unwrap().soc().unwrap_err();
+        assert_eq!(err.line, Some(2), "{err}");
+        assert_eq!(err.code(), "invalid_parameter");
+    }
+
+    #[test]
+    fn spec_error_codes_are_closed() {
+        // Parse-level problems report the spec_parse kind; model-level
+        // problems carry their GablesError category.
+        let err = SpecFile::parse("[soc\n").unwrap_err();
+        assert_eq!(err.code(), SPEC_PARSE_KIND);
+        let err = SpecError::from(GablesError::NoIps);
+        assert_eq!(err.code(), "no_ips");
+        let text = "[soc]\nppeak_gops = 1\nbpeak_gbps = 1\n[ip.CPU]\nbandwidth_gbps = 1\n[workload]\nfractions = 0.5\nintensities = 1\n";
+        let err = SpecFile::parse(text).unwrap().workload().unwrap_err();
+        assert_eq!(err.code(), "work_fraction_sum");
     }
 
     #[test]

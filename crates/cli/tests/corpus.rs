@@ -1,0 +1,122 @@
+//! Regression corpus runner: every file under `tests/corpus/` (workspace
+//! root) is replayed through both input boundaries — the CLI's
+//! `eval_command` and the `/v1/eval` route — and must land on the side
+//! its filename declares:
+//!
+//! * `accept_*` — parses, evaluates, and serves as `200`.
+//! * `reject_*` — refused with a structured error at *both* boundaries:
+//!   a `SpecError` from the CLI and a `400` envelope whose `kind` is in
+//!   the closed error-code vocabulary from the route.
+//!
+//! The corpus holds the inputs that motivated the validation layer
+//! (`nan`, `inf`, `-0.0`, subnormals, `1e400`, giga-scaling overflow,
+//! both the INI and JSON carriers). Run it in `--release` too: the
+//! original hole was `debug_assert!`-only checking, so the release
+//! profile is the one that actually proves the domain is closed.
+
+use std::sync::Arc;
+
+use gables_cli::eval_command;
+use gables_cli::serve::build_router;
+use gables_cli::spec::SPEC_PARSE_KIND;
+use gables_model::json::Json;
+use gables_model::ErrorKind;
+use gables_serve::{Request, ServerMetrics, ShardedCache};
+
+const CORPUS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus");
+
+fn corpus() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(CORPUS_DIR)
+        .expect("corpus directory")
+        .map(|entry| {
+            let path = entry.expect("corpus entry").path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            let body = std::fs::read_to_string(&path).expect("corpus file is UTF-8");
+            (name, body)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn post_eval(body: &str) -> gables_serve::Response {
+    let router = build_router(
+        Arc::new(ServerMetrics::new()),
+        Arc::new(ShardedCache::new(4, 32)),
+    );
+    router.dispatch(&Request {
+        method: "POST".into(),
+        path: "/v1/eval".into(),
+        query: None,
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    })
+}
+
+#[test]
+fn corpus_is_present_and_covers_both_verdicts_and_carriers() {
+    let files = corpus();
+    assert!(files.len() >= 12, "corpus shrank to {} files", files.len());
+    for verdict in ["accept_", "reject_"] {
+        for carrier in [".gables", ".json"] {
+            assert!(
+                files
+                    .iter()
+                    .any(|(n, _)| n.starts_with(verdict) && n.ends_with(carrier)),
+                "no {verdict}*{carrier} case in the corpus"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_corpus_file_lands_on_its_declared_side_at_both_boundaries() {
+    let closed_kinds: Vec<&str> = ErrorKind::ALL
+        .iter()
+        .map(|k| k.code())
+        .chain(std::iter::once(SPEC_PARSE_KIND))
+        .collect();
+    for (name, body) in corpus() {
+        let cli = eval_command(&body);
+        let resp = post_eval(&body);
+        if name.starts_with("accept_") {
+            let output = cli.unwrap_or_else(|e| panic!("{name}: CLI rejected it: {e}"));
+            assert!(!output.is_empty(), "{name}: empty CLI output");
+            assert_eq!(resp.status, 200, "{name}: route rejected it");
+        } else if name.starts_with("reject_") {
+            let err = cli.expect_err(&format!("{name}: CLI accepted it"));
+            assert!(!err.to_string().is_empty(), "{name}: empty error message");
+            assert_eq!(resp.status, 400, "{name}: route accepted it");
+            let envelope =
+                Json::parse(std::str::from_utf8(&resp.body).unwrap()).expect("error envelope");
+            assert_eq!(envelope.get("ok").and_then(Json::as_bool), Some(false));
+            let error = envelope.get("error").expect("error object").clone();
+            let kind = error
+                .get("kind")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("{name}: envelope has no error kind"));
+            assert!(
+                closed_kinds.contains(&kind),
+                "{name}: kind {kind:?} is outside the closed vocabulary"
+            );
+            // The two boundaries must agree on the *reason*, not just
+            // the verdict.
+            assert_eq!(err.code(), kind, "{name}: CLI and route disagree");
+        } else {
+            panic!("{name}: corpus files must start with accept_ or reject_");
+        }
+    }
+}
+
+#[test]
+fn release_mode_rejections_do_not_rely_on_debug_assertions() {
+    // The sentinel case for the original hole: a NaN that used to slip
+    // through once `debug_assert!` was compiled out. If this test runs
+    // under `--release` (scripts/check.sh does), a regression back to
+    // assert-only validation would accept the spec instead of erroring.
+    let body = "[soc]\nppeak_gops = nan\nbpeak_gbps = 10\n\n[ip.CPU]\nbandwidth_gbps = 6\n\n\
+                [workload]\nfractions   = 1\nintensities = 4\n";
+    let err = eval_command(body).expect_err("NaN ppeak must be rejected in every profile");
+    assert_eq!(err.code(), "invalid_parameter");
+    assert!(err.to_string().contains("ppeak_gops"), "{err}");
+}

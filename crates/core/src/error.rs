@@ -114,6 +114,42 @@ pub enum ErrorKind {
     NoConvergence,
 }
 
+impl ErrorKind {
+    /// A stable, machine-readable snake_case code for this category.
+    ///
+    /// The set of codes is closed: every [`GablesError`] maps onto exactly
+    /// one of these strings, and transport tiers (the `/v1` HTTP error
+    /// envelope, exit-code mapping in the CLI) treat them as a contract.
+    /// Codes are never reused for a different meaning.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::InvalidParameter => "invalid_parameter",
+            ErrorKind::WorkFractionSum => "work_fraction_sum",
+            ErrorKind::IpCountMismatch => "ip_count_mismatch",
+            ErrorKind::IpIndexOutOfBounds => "ip_index_out_of_bounds",
+            ErrorKind::NoIps => "no_ips",
+            ErrorKind::NonUnityCpuAcceleration => "non_unity_cpu_acceleration",
+            ErrorKind::BusMatrixShape => "bus_matrix_shape",
+            ErrorKind::NoBusPath => "no_bus_path",
+            ErrorKind::NoConvergence => "no_convergence",
+        }
+    }
+
+    /// All categories in declaration order, for exhaustive-coverage tests
+    /// and documentation generators.
+    pub const ALL: [ErrorKind; 9] = [
+        ErrorKind::InvalidParameter,
+        ErrorKind::WorkFractionSum,
+        ErrorKind::IpCountMismatch,
+        ErrorKind::IpIndexOutOfBounds,
+        ErrorKind::NoIps,
+        ErrorKind::NonUnityCpuAcceleration,
+        ErrorKind::BusMatrixShape,
+        ErrorKind::NoBusPath,
+        ErrorKind::NoConvergence,
+    ];
+}
+
 impl GablesError {
     /// Convenience constructor for [`GablesError::InvalidParameter`].
     pub fn invalid_parameter(name: &'static str, value: f64, reason: &'static str) -> Self {
@@ -157,6 +193,13 @@ impl GablesError {
             },
             other => other,
         }
+    }
+
+    /// The closed machine-readable code for this error's category.
+    ///
+    /// Shorthand for `self.kind().code()`.
+    pub fn code(&self) -> &'static str {
+        self.kind().code()
     }
 
     /// The coarse category of this error.
@@ -351,5 +394,25 @@ mod tests {
         for (err, kind) in pairs {
             assert_eq!(err.kind(), kind, "{err}");
         }
+    }
+
+    #[test]
+    fn codes_are_closed_snake_case_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in ErrorKind::ALL {
+            let code = kind.code();
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{code}"
+            );
+            assert!(seen.insert(code), "duplicate code {code}");
+        }
+        assert_eq!(seen.len(), ErrorKind::ALL.len());
+        // GablesError::code delegates to the kind's code.
+        assert_eq!(
+            GablesError::invalid_parameter("x", 0.0, "r").code(),
+            "invalid_parameter"
+        );
+        assert_eq!(GablesError::NoIps.code(), "no_ips");
     }
 }

@@ -33,11 +33,11 @@ impl IpSpec {
         bandwidth: BytesPerSec,
     ) -> Result<Self, GablesError> {
         let bw = bandwidth.value();
-        if !bw.is_finite() || bw <= 0.0 {
+        if !bw.is_normal() || bw <= 0.0 {
             return Err(GablesError::invalid_parameter(
                 "IP bandwidth",
                 bw,
-                "must be finite and > 0",
+                "must be finite, normal, and > 0",
             ));
         }
         Ok(Self {
@@ -158,11 +158,11 @@ impl SocSpec {
     /// `Bpeak`).
     pub fn with_bpeak(&self, bpeak: BytesPerSec) -> Result<SocSpec, GablesError> {
         let bw = bpeak.value();
-        if !bw.is_finite() || bw <= 0.0 {
+        if !bw.is_normal() || bw <= 0.0 {
             return Err(GablesError::invalid_parameter(
                 "Bpeak",
                 bw,
-                "must be finite and > 0",
+                "must be finite, normal, and > 0",
             ));
         }
         Ok(SocSpec {
@@ -268,21 +268,21 @@ impl SocSpecBuilder {
         let ppeak = self
             .ppeak
             .ok_or_else(|| GablesError::invalid_parameter("Ppeak", f64::NAN, "must be set"))?;
-        if !ppeak.value().is_finite() || ppeak.value() <= 0.0 {
+        if !ppeak.value().is_normal() || ppeak.value() <= 0.0 {
             return Err(GablesError::invalid_parameter(
                 "Ppeak",
                 ppeak.value(),
-                "must be finite and > 0",
+                "must be finite, normal, and > 0",
             ));
         }
         let bpeak = self
             .bpeak
             .ok_or_else(|| GablesError::invalid_parameter("Bpeak", f64::NAN, "must be set"))?;
-        if !bpeak.value().is_finite() || bpeak.value() <= 0.0 {
+        if !bpeak.value().is_normal() || bpeak.value() <= 0.0 {
             return Err(GablesError::invalid_parameter(
                 "Bpeak",
                 bpeak.value(),
-                "must be finite and > 0",
+                "must be finite, normal, and > 0",
             ));
         }
         if self.ips.is_empty() {
@@ -295,11 +295,11 @@ impl SocSpecBuilder {
         }
         for (i, ip) in self.ips.iter().enumerate() {
             let bw = ip.bandwidth.value();
-            if !bw.is_finite() || bw <= 0.0 {
+            if !bw.is_normal() || bw <= 0.0 {
                 return Err(GablesError::invalid_parameter(
                     "IP bandwidth",
                     bw,
-                    "must be finite and > 0",
+                    "must be finite, normal, and > 0",
                 )
                 .for_ip(i));
             }
@@ -450,5 +450,38 @@ mod tests {
     fn ip_spec_new_validates() {
         assert!(IpSpec::new("X", Acceleration::UNITY, BytesPerSec::from_gbps(1.0)).is_ok());
         assert!(IpSpec::new("X", Acceleration::UNITY, BytesPerSec::from_gbps(0.0)).is_err());
+    }
+
+    #[test]
+    fn build_rejects_non_finite_and_subnormal_params_in_release_too() {
+        // These rejections are real branches (not debug_assert!), so they
+        // hold in release builds — the profile `gables serve` runs under.
+        // NaN cannot be routed through `new` here because its debug_assert
+        // would fire first in debug builds; the release-only NaN path is
+        // covered end-to-end by the cli corpus suite.
+        for bad in [f64::INFINITY, f64::NEG_INFINITY, 1.0e-320, -0.0, 0.0] {
+            let mut b = SocSpec::builder();
+            b.ppeak(OpsPerSec::new(bad))
+                .bpeak(BytesPerSec::new(10.0e9))
+                .cpu("CPU", BytesPerSec::new(6.0e9));
+            assert!(b.build().is_err(), "ppeak {bad} accepted");
+
+            let mut b = SocSpec::builder();
+            b.ppeak(OpsPerSec::new(1.0e9))
+                .bpeak(BytesPerSec::new(bad))
+                .cpu("CPU", BytesPerSec::new(6.0e9));
+            assert!(b.build().is_err(), "bpeak {bad} accepted");
+
+            let mut b = SocSpec::builder();
+            b.ppeak(OpsPerSec::new(1.0e9))
+                .bpeak(BytesPerSec::new(10.0e9))
+                .cpu("CPU", BytesPerSec::new(bad));
+            let err = b.build().unwrap_err();
+            assert!(
+                matches!(err, GablesError::InvalidIpParameter { ip: 0, .. }),
+                "IP bandwidth {bad}: {err}"
+            );
+            assert_eq!(err.code(), "invalid_parameter");
+        }
     }
 }

@@ -20,7 +20,7 @@ pub const GIGA: f64 = 1.0e9;
 macro_rules! quantity {
     (
         $(#[$meta:meta])*
-        $name:ident, $unit:literal
+        $name:ident, $unit:literal, $human:literal
     ) => {
         $(#[$meta])*
         #[derive(Debug, Default, Clone, Copy, PartialEq, PartialOrd)]
@@ -30,6 +30,12 @@ macro_rules! quantity {
         impl $name {
             /// Creates a new quantity from a raw value in canonical units.
             ///
+            /// This is the *trusted* constructor for values computed inside
+            /// the model, where infinity is meaningful (e.g. the reciprocal
+            /// performance of a zero time). External inputs must come in
+            /// through [`Self::try_new`] or [`Self::try_positive`], which
+            /// validate in every build profile.
+            ///
             /// # Panics
             ///
             /// Panics in debug builds if `value` is NaN.
@@ -37,6 +43,51 @@ macro_rules! quantity {
             pub fn new(value: f64) -> Self {
                 debug_assert!(!value.is_nan(), concat!(stringify!($name), " must not be NaN"));
                 Self(value)
+            }
+
+            /// Creates a quantity from an untrusted raw value, rejecting
+            /// NaN and ±∞ in **all** build profiles (unlike the
+            /// `debug_assert!` in [`Self::new`], which vanishes in release
+            /// builds).
+            ///
+            /// # Errors
+            ///
+            /// Returns [`GablesError::InvalidParameter`] with code
+            /// `invalid_parameter` if `value` is NaN or infinite.
+            #[inline]
+            pub fn try_new(value: f64) -> Result<Self, GablesError> {
+                if !value.is_finite() {
+                    return Err(GablesError::invalid_parameter(
+                        $human,
+                        value,
+                        "must be finite",
+                    ));
+                }
+                Ok(Self(value))
+            }
+
+            /// Creates a quantity from an untrusted raw value that must be
+            /// strictly positive, rejecting NaN, ±∞, zeros, negatives, and
+            /// subnormals in **all** build profiles.
+            ///
+            /// Subnormals are rejected because dividing by one overflows to
+            /// infinity and silently breaks the model's finiteness
+            /// guarantees downstream.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`GablesError::InvalidParameter`] with code
+            /// `invalid_parameter` if `value` is outside the domain.
+            #[inline]
+            pub fn try_positive(value: f64) -> Result<Self, GablesError> {
+                if !value.is_normal() || value <= 0.0 {
+                    return Err(GablesError::invalid_parameter(
+                        $human,
+                        value,
+                        "must be finite, normal, and > 0",
+                    ));
+                }
+                Ok(Self(value))
             }
 
             /// Returns the raw value in canonical units.
@@ -128,7 +179,7 @@ quantity! {
     /// let p = OpsPerSec::from_gops(40.0);
     /// assert_eq!(p.to_gops(), 40.0);
     /// ```
-    OpsPerSec, "ops/s"
+    OpsPerSec, "ops/s", "performance"
 }
 
 quantity! {
@@ -143,7 +194,7 @@ quantity! {
     /// let b = BytesPerSec::from_gbps(15.1);
     /// assert!((b.to_gbps() - 15.1).abs() < 1e-12);
     /// ```
-    BytesPerSec, "bytes/s"
+    BytesPerSec, "bytes/s", "bandwidth"
 }
 
 quantity! {
@@ -159,7 +210,7 @@ quantity! {
     /// let i = OpsPerByte::new(8.0);
     /// assert_eq!(i.value(), 8.0);
     /// ```
-    OpsPerByte, "ops/byte"
+    OpsPerByte, "ops/byte", "operational intensity"
 }
 
 quantity! {
@@ -167,13 +218,13 @@ quantity! {
     /// temporaries of Table II). Because the model normalizes total usecase
     /// work to one operation, times carry units of seconds *per op of
     /// usecase work*; their reciprocal is an [`OpsPerSec`] performance.
-    Seconds, "s"
+    Seconds, "s", "time"
 }
 
 quantity! {
     /// A quantity of data in bytes (the `Di` temporaries of Table II,
     /// normalized per op of usecase work).
-    Bytes, "bytes"
+    Bytes, "bytes", "data size"
 }
 
 impl OpsPerSec {
@@ -189,6 +240,20 @@ impl OpsPerSec {
     pub fn to_gops(self) -> f64 {
         self.value() / GIGA
     }
+
+    /// Validated counterpart of [`Self::from_gops`] for untrusted input:
+    /// both the Gops/s value and its canonical ops/s scaling must be
+    /// finite, normal, and strictly positive, in every build profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `gops` (or `gops`
+    /// × 10⁹, which can overflow to ∞ for huge finite inputs) is outside
+    /// the domain.
+    pub fn try_from_gops(gops: f64) -> Result<Self, GablesError> {
+        Self::try_positive(gops)?;
+        Self::try_positive(gops * GIGA)
+    }
 }
 
 impl BytesPerSec {
@@ -203,6 +268,20 @@ impl BytesPerSec {
     #[inline]
     pub fn to_gbps(self) -> f64 {
         self.value() / GIGA
+    }
+
+    /// Validated counterpart of [`Self::from_gbps`] for untrusted input:
+    /// both the GB/s value and its canonical bytes/s scaling must be
+    /// finite, normal, and strictly positive, in every build profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if `gbps` (or `gbps`
+    /// × 10⁹, which can overflow to ∞ for huge finite inputs) is outside
+    /// the domain.
+    pub fn try_from_gbps(gbps: f64) -> Result<Self, GablesError> {
+        Self::try_positive(gbps)?;
+        Self::try_positive(gbps * GIGA)
     }
 }
 
@@ -587,6 +666,50 @@ mod tests {
         assert_eq!(format!("{}", BytesPerSec::new(3.0)), "3 bytes/s");
         assert_eq!(format!("{}", OpsPerByte::new(8.0)), "8 ops/byte");
         assert_eq!(format!("{}", Acceleration::UNITY), "1x");
+    }
+
+    #[test]
+    fn try_new_rejects_non_finite_in_every_profile() {
+        // These checks are real branches, not debug_assert!, so they hold
+        // in release builds too (scripts/check.sh runs them with
+        // `cargo test --release`).
+        assert!(OpsPerSec::try_new(40.0e9).is_ok());
+        assert!(OpsPerSec::try_new(0.0).is_ok());
+        assert!(OpsPerSec::try_new(f64::NAN).is_err());
+        assert!(OpsPerSec::try_new(f64::INFINITY).is_err());
+        assert!(OpsPerSec::try_new(f64::NEG_INFINITY).is_err());
+        assert!(BytesPerSec::try_new(f64::NAN).is_err());
+        assert!(OpsPerByte::try_new(f64::INFINITY).is_err());
+        assert!(Seconds::try_new(f64::NAN).is_err());
+        assert!(Bytes::try_new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_positive_rejects_degenerate_values() {
+        assert!(OpsPerSec::try_positive(40.0e9).is_ok());
+        assert!(OpsPerSec::try_positive(0.0).is_err());
+        assert!(OpsPerSec::try_positive(-0.0).is_err());
+        assert!(OpsPerSec::try_positive(-1.0).is_err());
+        assert!(OpsPerSec::try_positive(f64::NAN).is_err());
+        assert!(OpsPerSec::try_positive(f64::INFINITY).is_err());
+        // Subnormals are rejected: 1/x overflows to infinity.
+        assert!(OpsPerSec::try_positive(1.0e-310).is_err());
+        assert!(OpsPerSec::try_positive(f64::MIN_POSITIVE).is_ok());
+        let err = BytesPerSec::try_positive(f64::NAN).unwrap_err();
+        assert!(err.to_string().contains("bandwidth"), "{err}");
+        assert_eq!(err.code(), "invalid_parameter");
+    }
+
+    #[test]
+    fn try_giga_constructors_catch_scaling_overflow() {
+        assert!(OpsPerSec::try_from_gops(40.0).is_ok());
+        assert!(BytesPerSec::try_from_gbps(10.0).is_ok());
+        // Finite in Gops/s but infinite once scaled by 1e9.
+        assert!(OpsPerSec::try_from_gops(1.0e308).is_err());
+        assert!(BytesPerSec::try_from_gbps(1.0e308).is_err());
+        assert!(OpsPerSec::try_from_gops(f64::NAN).is_err());
+        assert!(BytesPerSec::try_from_gbps(0.0).is_err());
+        assert!(BytesPerSec::try_from_gbps(-10.0).is_err());
     }
 
     #[test]

@@ -26,24 +26,50 @@ pub struct WorkAssignment {
 impl WorkAssignment {
     /// Creates a work assignment.
     ///
+    /// Validation is active in **all** build profiles: a NaN or infinite
+    /// intensity is rejected even on idle assignments (it would poison
+    /// equality comparisons and canonical cache keys), and an active
+    /// assignment additionally requires a normal, strictly positive
+    /// intensity (a subnormal `Ii` makes `fi / Ii` overflow to ∞).
+    ///
     /// # Errors
     ///
-    /// Returns [`GablesError::InvalidParameter`] if the fraction is nonzero
-    /// but the intensity is not finite and positive. (Zero-work assignments
-    /// may carry any intensity since it is never used.)
+    /// Returns [`GablesError::InvalidParameter`] if the intensity is not
+    /// finite, or if the fraction is nonzero and the intensity is not
+    /// normal and strictly positive. (Zero-work assignments may carry any
+    /// finite intensity since it is never used.)
     pub fn new(fraction: WorkFraction, intensity: OpsPerByte) -> Result<Self, GablesError> {
         let i = intensity.value();
-        if !fraction.is_zero() && (!i.is_finite() || i <= 0.0) {
+        if !i.is_finite() {
             return Err(GablesError::invalid_parameter(
                 "operational intensity",
                 i,
-                "must be finite and > 0 when the IP is assigned work",
+                "must be finite",
+            ));
+        }
+        if !fraction.is_zero() && (!i.is_normal() || i <= 0.0) {
+            return Err(GablesError::invalid_parameter(
+                "operational intensity",
+                i,
+                "must be finite, normal, and > 0 when the IP is assigned work",
             ));
         }
         Ok(Self {
             fraction,
             intensity,
         })
+    }
+
+    /// Creates a work assignment from raw untrusted values, validating the
+    /// fraction and intensity in all build profiles without ever routing
+    /// NaN through the debug-asserting [`OpsPerByte::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkFraction::new`] and [`WorkAssignment::new`].
+    pub fn try_from_raw(fraction: f64, intensity: f64) -> Result<Self, GablesError> {
+        let f = WorkFraction::new(fraction)?;
+        Self::new(f, OpsPerByte::try_new(intensity)?)
     }
 
     /// An assignment of zero work (the IP is idle for this usecase).
@@ -128,8 +154,8 @@ impl Workload {
     pub fn two_ip(f: f64, i0: f64, i1: f64) -> Result<Self, GablesError> {
         let f = WorkFraction::new(f)?;
         Self::from_assignments(vec![
-            WorkAssignment::new(f.complement(), OpsPerByte::new(i0))?,
-            WorkAssignment::new(f, OpsPerByte::new(i1))?,
+            WorkAssignment::new(f.complement(), OpsPerByte::try_new(i0)?)?,
+            WorkAssignment::new(f, OpsPerByte::try_new(i1)?)?,
         ])
     }
 
@@ -210,7 +236,8 @@ impl Workload {
     pub fn with_intensity(&self, index: usize, intensity: f64) -> Result<Workload, GablesError> {
         let current = *self.assignment(index)?;
         let mut assignments = self.assignments.clone();
-        assignments[index] = WorkAssignment::new(current.fraction(), OpsPerByte::new(intensity))?;
+        assignments[index] =
+            WorkAssignment::new(current.fraction(), OpsPerByte::try_new(intensity)?)?;
         Ok(Workload { assignments })
     }
 }
@@ -249,9 +276,8 @@ impl WorkloadBuilder {
     /// Returns [`GablesError::InvalidParameter`] if `fraction` is outside
     /// `[0, 1]` or `intensity` is non-positive while `fraction` is nonzero.
     pub fn work(&mut self, fraction: f64, intensity: f64) -> Result<&mut Self, GablesError> {
-        let f = WorkFraction::new(fraction)?;
         self.assignments
-            .push(WorkAssignment::new(f, OpsPerByte::new(intensity))?);
+            .push(WorkAssignment::try_from_raw(fraction, intensity)?);
         Ok(self)
     }
 
@@ -340,6 +366,28 @@ mod tests {
         assert!(WorkAssignment::new(f, OpsPerByte::new(-3.0)).is_err());
         // But zero fraction tolerates it.
         assert!(WorkAssignment::new(WorkFraction::ZERO, OpsPerByte::new(0.0)).is_ok());
+    }
+
+    #[test]
+    fn non_finite_intensity_is_rejected_even_when_idle() {
+        // NaN on an idle IP would poison PartialEq and cache keys; it is
+        // rejected in all build profiles, without tripping the
+        // debug_assert! in OpsPerByte::new.
+        assert!(WorkAssignment::try_from_raw(0.0, f64::NAN).is_err());
+        assert!(WorkAssignment::try_from_raw(0.0, f64::INFINITY).is_err());
+        assert!(WorkAssignment::try_from_raw(0.0, -1.0).is_ok());
+        assert!(Workload::two_ip(0.0, 8.0, f64::NAN).is_err());
+        assert!(Workload::builder().work(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn subnormal_intensity_is_rejected_when_active() {
+        // fi / Ii with a subnormal Ii overflows to infinity.
+        assert!(WorkAssignment::try_from_raw(0.5, 1.0e-310).is_err());
+        assert!(WorkAssignment::try_from_raw(0.5, f64::MIN_POSITIVE).is_ok());
+        let w = Workload::two_ip(0.75, 8.0, 0.1).unwrap();
+        assert!(w.with_intensity(1, 1.0e-310).is_err());
+        assert!(w.with_intensity(1, f64::NAN).is_err());
     }
 
     #[test]

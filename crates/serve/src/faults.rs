@@ -1,0 +1,383 @@
+//! A deterministic fault-injection harness for the serving stack.
+//!
+//! Each [`FaultKind`] is one adversarial client behaviour — garbage
+//! bytes, a truncated or oversized head, a slow-loris trickle, a
+//! duplicate `Content-Length`, a body shorter than declared, a client
+//! that vanishes mid-response. [`FaultSchedule`] expands a single seed
+//! into a reproducible sequence of [`FaultCase`]s (every case carries
+//! its own derived seed, so payload shapes vary but replay exactly),
+//! and [`FaultCase::inject`] plays one case against a live server
+//! address and reports what came back.
+//!
+//! The contract under test is the serving analog of the model's closed
+//! input domain: a hostile or broken client may cost the server *one
+//! connection*, never a worker, and every readable reaction must be a
+//! structured non-2xx response ([`FaultReport::acceptable`]). The
+//! harness is pure `std` + the suite's own [`SplitMix64`] — runs are
+//! reproducible from the seed alone, so a failing case number is a
+//! complete bug report.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+use gables_model::rng::SplitMix64;
+
+use crate::http::{MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_BYTES};
+
+/// One adversarial client behaviour the harness can play.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Random bytes that never form an HTTP head.
+    GarbageBytes,
+    /// A plausible head cut off before the blank line, then EOF.
+    TruncatedHead,
+    /// A valid head trickled a few bytes at a time, abandoned mid-way.
+    SlowLoris,
+    /// A head that exceeds [`MAX_HEAD_BYTES`] before its blank line.
+    OversizedHead,
+    /// Two conflicting `Content-Length` headers on one request.
+    DuplicateContentLength,
+    /// More than [`MAX_HEADERS`] header fields.
+    TooManyHeaders,
+    /// A body shorter than its declared `Content-Length`, then EOF.
+    BodyShorterThanDeclared,
+    /// A `Content-Length` declaring more than [`MAX_BODY_BYTES`].
+    OversizedBodyDeclaration,
+    /// A well-formed request whose client disconnects without reading
+    /// the response.
+    MidResponseDisconnect,
+}
+
+impl FaultKind {
+    /// Every fault the harness knows, in schedule order.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::GarbageBytes,
+        FaultKind::TruncatedHead,
+        FaultKind::SlowLoris,
+        FaultKind::OversizedHead,
+        FaultKind::DuplicateContentLength,
+        FaultKind::TooManyHeaders,
+        FaultKind::BodyShorterThanDeclared,
+        FaultKind::OversizedBodyDeclaration,
+        FaultKind::MidResponseDisconnect,
+    ];
+
+    /// A stable lowercase label for logs and failure messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::GarbageBytes => "garbage_bytes",
+            FaultKind::TruncatedHead => "truncated_head",
+            FaultKind::SlowLoris => "slow_loris",
+            FaultKind::OversizedHead => "oversized_head",
+            FaultKind::DuplicateContentLength => "duplicate_content_length",
+            FaultKind::TooManyHeaders => "too_many_headers",
+            FaultKind::BodyShorterThanDeclared => "body_shorter_than_declared",
+            FaultKind::OversizedBodyDeclaration => "oversized_body_declaration",
+            FaultKind::MidResponseDisconnect => "mid_response_disconnect",
+        }
+    }
+}
+
+/// One playable fault: a kind plus the seed that shapes its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCase {
+    /// The behaviour to play.
+    pub kind: FaultKind,
+    /// Derived seed for this case's payload randomness.
+    pub seed: u64,
+}
+
+/// What the server observably did in reaction to one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// A parseable HTTP status line came back.
+    Status(u16),
+    /// The connection closed without a parseable response. Expected
+    /// when the *client* broke the exchange first.
+    ClosedWithoutResponse,
+}
+
+/// The result of injecting one [`FaultCase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The case that was played.
+    pub case: FaultCase,
+    /// The server's observable reaction.
+    pub outcome: FaultOutcome,
+}
+
+impl FaultReport {
+    /// Whether the server reacted acceptably: a structured client-error
+    /// status, or a bare close on an exchange the client itself
+    /// abandoned. A 2xx (the fault was *accepted*) or a 5xx (the fault
+    /// reached a handler it should never reach) always fails.
+    pub fn acceptable(&self) -> bool {
+        match self.outcome {
+            FaultOutcome::Status(s) => (400..500).contains(&s),
+            FaultOutcome::ClosedWithoutResponse => matches!(
+                self.case.kind,
+                FaultKind::GarbageBytes
+                    | FaultKind::TruncatedHead
+                    | FaultKind::SlowLoris
+                    | FaultKind::BodyShorterThanDeclared
+                    | FaultKind::MidResponseDisconnect
+            ),
+        }
+    }
+}
+
+/// A reproducible sequence of fault cases derived from one seed.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    rng: SplitMix64,
+}
+
+impl FaultSchedule {
+    /// A schedule seeded for exact replay.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The next `n` cases: each round cycles through [`FaultKind::ALL`]
+    /// so every kind is exercised, with a fresh per-case payload seed.
+    pub fn cases(&mut self, n: usize) -> Vec<FaultCase> {
+        (0..n)
+            .map(|i| FaultCase {
+                kind: FaultKind::ALL[i % FaultKind::ALL.len()],
+                seed: self.rng.next_u64(),
+            })
+            .collect()
+    }
+}
+
+impl FaultCase {
+    /// Plays this fault against a live server and reports the reaction.
+    ///
+    /// `patience` bounds how long the harness waits for the server's
+    /// response (it must comfortably exceed the server's read timeout
+    /// for the faults that stall on purpose).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the initial connect fails — everything
+    /// after that, including resets, is a legitimate observation and
+    /// lands in the report.
+    pub fn inject(&self, addr: SocketAddr, patience: Duration) -> std::io::Result<FaultReport> {
+        let mut rng = SplitMix64::new(self.seed);
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(patience))?;
+        stream.set_write_timeout(Some(patience))?;
+        let outcome = match self.kind {
+            FaultKind::GarbageBytes => {
+                let len = rng.range_usize(1, 512);
+                let junk: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+                let _ = stream.write_all(&junk);
+                finish_sending(&mut stream)
+            }
+            FaultKind::TruncatedHead => {
+                let head = "POST /v1/eval HTTP/1.1\r\nContent-Le";
+                let cut = rng.range_usize(1, head.len());
+                let _ = stream.write_all(&head.as_bytes()[..cut]);
+                finish_sending(&mut stream)
+            }
+            FaultKind::SlowLoris => {
+                // Trickle a plausible head a byte at a time, then give
+                // up before the blank line ever arrives.
+                let head = b"GET /healthz HTTP/1.1\r\nX-Drip: 1\r\n";
+                let drips = rng.range_usize(4, head.len());
+                for byte in &head[..drips] {
+                    if stream.write_all(std::slice::from_ref(byte)).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                finish_sending(&mut stream)
+            }
+            FaultKind::OversizedHead => {
+                let mut head = String::from("GET /healthz HTTP/1.1\r\n");
+                let filler = format!("X-Pad: {}\r\n", "y".repeat(4096));
+                while head.len() <= MAX_HEAD_BYTES {
+                    head.push_str(&filler);
+                }
+                // No terminating blank line needed: the size cap must
+                // trip before the head ever completes.
+                let _ = stream.write_all(head.as_bytes());
+                finish_sending(&mut stream)
+            }
+            FaultKind::DuplicateContentLength => {
+                let first = rng.range_usize(0, 64);
+                let second = first + rng.range_usize(1, 64);
+                let req = format!(
+                    "POST /v1/eval HTTP/1.1\r\nContent-Length: {first}\r\nContent-Length: {second}\r\n\r\n"
+                );
+                let _ = stream.write_all(req.as_bytes());
+                finish_sending(&mut stream)
+            }
+            FaultKind::TooManyHeaders => {
+                let mut req = String::from("GET /healthz HTTP/1.1\r\n");
+                for i in 0..=MAX_HEADERS {
+                    req.push_str(&format!("X-Flood-{i}: {}\r\n", rng.next_u64()));
+                }
+                req.push_str("\r\n");
+                let _ = stream.write_all(req.as_bytes());
+                finish_sending(&mut stream)
+            }
+            FaultKind::BodyShorterThanDeclared => {
+                let declared = rng.range_usize(64, 4096);
+                let sent = rng.range_usize(0, declared / 2);
+                let req = format!(
+                    "POST /v1/eval HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n{}",
+                    "x".repeat(sent)
+                );
+                let _ = stream.write_all(req.as_bytes());
+                finish_sending(&mut stream)
+            }
+            FaultKind::OversizedBodyDeclaration => {
+                let declared = MAX_BODY_BYTES + rng.range_usize(1, MAX_BODY_BYTES);
+                let req = format!("POST /v1/eval HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+                let _ = stream.write_all(req.as_bytes());
+                finish_sending(&mut stream)
+            }
+            FaultKind::MidResponseDisconnect => {
+                let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                // Vanish without reading a byte of the response; the
+                // server's write may hit a reset and must shrug it off.
+                let _ = stream.shutdown(Shutdown::Both);
+                drop(stream);
+                return Ok(FaultReport {
+                    case: *self,
+                    outcome: FaultOutcome::ClosedWithoutResponse,
+                });
+            }
+        };
+        Ok(FaultReport {
+            case: *self,
+            outcome,
+        })
+    }
+}
+
+/// Signals end-of-request to the server and reads its reaction: the
+/// parsed status line, or [`FaultOutcome::ClosedWithoutResponse`] if
+/// the connection died (EOF, reset, timeout) before one arrived.
+fn finish_sending(stream: &mut TcpStream) -> FaultOutcome {
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    // Bounded read: enough for any status line + error envelope.
+    while raw.len() < 64 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+        }
+    }
+    parse_status(&raw).map_or(FaultOutcome::ClosedWithoutResponse, FaultOutcome::Status)
+}
+
+/// Extracts the status code from a raw `HTTP/1.x NNN ...` response.
+fn parse_status(raw: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(raw).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split(' ');
+    if !parts.next()?.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Response;
+    use crate::server::{Router, Server, ServerConfig};
+
+    fn started() -> (crate::server::ServerHandle, std::thread::JoinHandle<()>) {
+        let config = ServerConfig {
+            workers: 2,
+            read_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        };
+        let server = Server::bind("127.0.0.1:0", config).unwrap();
+        let handle = server.handle().unwrap();
+        let router = Router::new().route("GET", "/healthz", |_| Response::text(200, "ok"));
+        let join = std::thread::spawn(move || server.run(router).unwrap());
+        (handle, join)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_cover_every_kind() {
+        let a = FaultSchedule::new(7).cases(2 * FaultKind::ALL.len());
+        let b = FaultSchedule::new(7).cases(2 * FaultKind::ALL.len());
+        assert_eq!(a, b);
+        for kind in FaultKind::ALL {
+            assert_eq!(a.iter().filter(|c| c.kind == kind).count(), 2, "{kind:?}");
+        }
+        let c = FaultSchedule::new(8).cases(4);
+        assert_ne!(a[..4], c[..], "different seeds, different payloads");
+    }
+
+    #[test]
+    fn every_fault_kind_is_survived_with_an_acceptable_reaction() {
+        let (handle, join) = started();
+        let mut schedule = FaultSchedule::new(0xFA);
+        for case in schedule.cases(FaultKind::ALL.len()) {
+            let report = case
+                .inject(handle.addr(), Duration::from_secs(5))
+                .expect("connect");
+            assert!(
+                report.acceptable(),
+                "{}: unacceptable reaction {:?}",
+                case.kind.label(),
+                report.outcome
+            );
+        }
+        // The server is still healthy after the whole schedule.
+        let case = FaultCase {
+            kind: FaultKind::MidResponseDisconnect,
+            seed: 1,
+        };
+        let _ = case.inject(handle.addr(), Duration::from_secs(5));
+        let mut probe = TcpStream::connect(handle.addr()).unwrap();
+        probe.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        let mut out = String::new();
+        let _ = probe.read_to_string(&mut out);
+        assert!(out.starts_with("HTTP/1.1 200"), "{out}");
+        handle.shutdown();
+        join.join().unwrap();
+        assert_eq!(handle.metrics().snapshot().panics, 0);
+    }
+
+    #[test]
+    fn acceptable_is_strict_about_success_and_server_errors() {
+        let case = FaultCase {
+            kind: FaultKind::DuplicateContentLength,
+            seed: 0,
+        };
+        let report = |outcome| FaultReport { case, outcome };
+        assert!(report(FaultOutcome::Status(400)).acceptable());
+        assert!(!report(FaultOutcome::Status(200)).acceptable());
+        assert!(!report(FaultOutcome::Status(500)).acceptable());
+        // A head the server must answer cannot just be dropped...
+        assert!(!report(FaultOutcome::ClosedWithoutResponse).acceptable());
+        // ...but an exchange the client abandoned can.
+        let abandoned = FaultReport {
+            case: FaultCase {
+                kind: FaultKind::SlowLoris,
+                seed: 0,
+            },
+            outcome: FaultOutcome::ClosedWithoutResponse,
+        };
+        assert!(abandoned.acceptable());
+    }
+
+    #[test]
+    fn status_parser_handles_noise() {
+        assert_eq!(parse_status(b"HTTP/1.1 404 Not Found\r\n\r\n"), Some(404));
+        assert_eq!(parse_status(b""), None);
+        assert_eq!(parse_status(b"SMTP 220 hi"), None);
+        assert_eq!(parse_status(b"HTTP/1.1 banana"), None);
+    }
+}

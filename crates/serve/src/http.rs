@@ -13,6 +13,11 @@ pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Hard limit on the request body.
 pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
+/// Hard limit on the number of header fields in one request. The head
+/// byte limit alone would admit thousands of tiny headers; this bounds
+/// the per-request allocation count too.
+pub const MAX_HEADERS: usize = 64;
+
 /// A reading or parsing failure, mapped onto the status code the server
 /// should answer with.
 #[derive(Debug)]
@@ -166,6 +171,11 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         if line.is_empty() {
             continue;
         }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge(format!(
+                "more than {MAX_HEADERS} header fields"
+            )));
+        }
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
@@ -177,15 +187,29 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         None => (target.to_string(), None),
     };
 
-    let content_length: usize = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .map(|(_, v)| {
-            v.parse()
-                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))
-        })
-        .transpose()?
-        .unwrap_or(0);
+    // Exactly zero or one Content-Length: taking the first of several
+    // (or letting `usize::from_str` accept "+5") is the shape of a
+    // request-smuggling bug, even though this server reads one request
+    // per connection. Conflicting duplicates are rejected outright.
+    let mut content_length: usize = 0;
+    let mut length_seen = false;
+    for (k, v) in &headers {
+        if k != "content-length" {
+            continue;
+        }
+        if length_seen {
+            return Err(HttpError::Malformed(
+                "duplicate Content-Length header".into(),
+            ));
+        }
+        length_seen = true;
+        if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(HttpError::Malformed(format!("bad Content-Length {v:?}")));
+        }
+        content_length = v
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?;
+    }
     if content_length > MAX_BODY_BYTES {
         return Err(HttpError::TooLarge(format!(
             "declared body of {content_length} bytes exceeds {MAX_BODY_BYTES}"
@@ -264,17 +288,27 @@ impl Response {
     /// `{"ok": false, "data": null, "error": {"code": ..., "message": ...}}`.
     /// The code is derived from the status via [`Response::error_code`].
     pub fn error(status: u16, message: &str) -> Self {
+        Self::error_with_kind(status, None, message)
+    }
+
+    /// Like [`Response::error`], with an optional model-level `kind`
+    /// field inside the error object: the closed snake_case category
+    /// (`invalid_parameter`, `work_fraction_sum`, `spec_parse`, …) the
+    /// application layer attributes the failure to. `None` omits the
+    /// field, keeping plain transport errors byte-identical to before.
+    pub fn error_with_kind(status: u16, kind: Option<&str>, message: &str) -> Self {
         use gables_model::json::Json;
-        let error = Json::Object(vec![
-            ("code".into(), Json::str(Self::error_code(status))),
-            ("message".into(), Json::str(message)),
-        ]);
+        let mut fields = vec![("code".to_string(), Json::str(Self::error_code(status)))];
+        if let Some(kind) = kind {
+            fields.push(("kind".into(), Json::str(kind)));
+        }
+        fields.push(("message".into(), Json::str(message)));
         Self::json(
             status,
             Json::Object(vec![
                 ("ok".into(), Json::Bool(false)),
                 ("data".into(), Json::Null),
-                ("error".into(), error),
+                ("error".into(), Json::Object(fields)),
             ])
             .to_string(),
         )
@@ -432,6 +466,66 @@ mod tests {
         let err = parse(raw.as_bytes()).unwrap_err();
         assert!(matches!(err, HttpError::TooLarge(_)));
         assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Taking the first of two conflicting lengths is how request
+        // smuggling starts; both orders must be rejected.
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde")
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+        assert!(
+            err.to_string().contains("duplicate Content-Length"),
+            "{err}"
+        );
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 3\r\n\r\nabcde")
+            .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn content_length_must_be_plain_digits() {
+        // `usize::from_str` accepts a leading '+'; the wire grammar
+        // (RFC 9110 §8.6) does not.
+        for bad in ["+5", "-5", "5 5", "0x5", "5,5", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length: {bad}\r\n\r\nhello");
+            let err = parse(raw.as_bytes()).unwrap_err();
+            assert!(matches!(err, HttpError::Malformed(_)), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_too_many_headers() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADERS {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let err = parse(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err}");
+        assert_eq!(err.status(), 413);
+        // Exactly at the limit still parses.
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS {
+            raw.push_str(&format!("X-H{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert!(parse(raw.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn error_with_kind_adds_the_kind_field() {
+        let resp = Response::error_with_kind(400, Some("invalid_parameter"), "bpeak is nan");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(
+            body,
+            r#"{"ok":false,"data":null,"error":{"code":"bad_request","kind":"invalid_parameter","message":"bpeak is nan"}}"#
+        );
+        // Without a kind the envelope is unchanged.
+        let resp = Response::error(400, "nope");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(!body.contains("kind"), "{body}");
     }
 
     #[test]

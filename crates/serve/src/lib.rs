@@ -23,9 +23,15 @@
 //! ```json
 //! {"ok": true,  "data": { ... }, "error": null}
 //! {"ok": false, "data": null,    "error": {"code": "...", "message": "..."}}
+//! {"ok": false, "data": null,    "error": {"code": "...", "kind": "...", "message": "..."}}
 //! ```
 //!
-//! [`Response::error`] produces the failure form; the success form is
+//! [`Response::error`] produces the failure form;
+//! [`Response::error_with_kind`] additionally carries a `kind` — a
+//! fine-grained, closed domain code (the model's `ErrorKind` codes such
+//! as `invalid_parameter` or `work_fraction_sum`, or the spec parser's
+//! `spec_parse`) naming *why* the input was rejected, while `code`
+//! stays a pure transport-status mapping. The success form is
 //! assembled by the route layer. The `code` field is a closed, stable
 //! set mapped from the HTTP status by [`Response::error_code`]:
 //!
@@ -59,11 +65,15 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod faults;
 pub mod http;
 pub mod metrics;
 pub mod server;
 
 pub use cache::ShardedCache;
-pub use http::{read_request, HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use faults::{FaultCase, FaultKind, FaultOutcome, FaultReport, FaultSchedule};
+pub use http::{
+    read_request, HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_BYTES,
+};
 pub use metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS};
 pub use server::{Handler, Router, Server, ServerConfig, ServerHandle};

@@ -33,6 +33,7 @@ pub struct ServerMetrics {
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     status_5xx: AtomicU64,
+    panics: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
@@ -67,6 +68,12 @@ impl ServerMetrics {
     /// from the accept loop; not counted as handled).
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a caught handler panic (the request was answered with a
+    /// structured 500 and the worker survived).
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks a request as entering service. Pair with
@@ -111,6 +118,7 @@ impl ServerMetrics {
             status_2xx: self.status_2xx.load(Ordering::Relaxed),
             status_4xx: self.status_4xx.load(Ordering::Relaxed),
             status_5xx: self.status_5xx.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             latency: self
@@ -144,6 +152,8 @@ pub struct MetricsSnapshot {
     pub status_4xx: u64,
     /// Responses with a 5xx status (handled, not accept-loop 503s).
     pub status_5xx: u64,
+    /// Handler panics caught and answered with a structured 500.
+    pub panics: u64,
     /// Responses served from the cache.
     pub cache_hits: u64,
     /// Responses computed on a cache miss.
@@ -211,6 +221,7 @@ impl MetricsSnapshot {
             ("status_2xx".into(), Json::num(self.status_2xx as f64)),
             ("status_4xx".into(), Json::num(self.status_4xx as f64)),
             ("status_5xx".into(), Json::num(self.status_5xx as f64)),
+            ("panics".into(), Json::num(self.panics as f64)),
             ("cache_hits".into(), Json::num(self.cache_hits as f64)),
             ("cache_misses".into(), Json::num(self.cache_misses as f64)),
             ("cache_hit_rate".into(), Json::num(self.cache_hit_rate())),
@@ -232,6 +243,7 @@ impl MetricsSnapshot {
             "status         2xx {}  4xx {}  5xx {}\n",
             self.status_2xx, self.status_4xx, self.status_5xx
         ));
+        out.push_str(&format!("caught panics  {}\n", self.panics));
         out.push_str(&format!(
             "cache          {} hits / {} misses ({:.1}% hit rate)\n",
             self.cache_hits,

@@ -17,8 +17,9 @@
 //! letting in-flight requests finish.
 
 use std::collections::VecDeque;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -296,7 +297,16 @@ impl Server {
                 match queue.pop() {
                     Work::Stop => break,
                     Work::Conn(mut stream) => {
-                        serve_connection(&mut stream, &router, &metrics, &config);
+                        // Backstop: `serve_connection` already confines
+                        // handler panics, so this only trips on a bug in
+                        // the serving plumbing itself — and even then the
+                        // worker survives to drain the queue.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            serve_connection(&mut stream, &router, &metrics, &config);
+                        }));
+                        if outcome.is_err() {
+                            metrics.record_panic();
+                        }
                     }
                 }
             }));
@@ -318,6 +328,10 @@ impl Server {
                     .with_header("Retry-After", self.config.retry_after_secs.to_string());
                 let _ = stream.set_write_timeout(Some(self.config.write_timeout));
                 let _ = resp.write_to(&mut stream);
+                // The shed connection's request bytes were never read, so
+                // a plain close would RST and could destroy the 503 still
+                // in the client's direction. Drain first (bounded).
+                drain_and_close(&mut stream);
             }
         }
 
@@ -331,9 +345,21 @@ impl Server {
     }
 }
 
+/// Decrements the in-flight gauge on scope exit, so the gauge stays
+/// honest even when a handler panic unwinds through the serving path.
+struct InFlightGuard<'a>(&'a ServerMetrics);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.exit_in_flight();
+    }
+}
+
 /// Reads one request off the connection, dispatches it, writes the
-/// response, and records metrics. All errors are answered on the wire
-/// where possible and never propagate.
+/// response, and records metrics. All errors — including a panicking
+/// handler, which is confined to this request and answered with a
+/// structured 500 — are answered on the wire where possible and never
+/// propagate.
 fn serve_connection(
     stream: &mut TcpStream,
     router: &Router,
@@ -341,27 +367,65 @@ fn serve_connection(
     config: &ServerConfig,
 ) {
     metrics.enter_in_flight();
+    let _in_flight = InFlightGuard(metrics);
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let (route, response) = match read_request(stream) {
-        Ok(req) => (req.path.clone(), router.dispatch(&req)),
+    let (route, response, fully_read) = match read_request(stream) {
+        Ok(req) => {
+            let route = req.path.clone();
+            // A panic in one handler must cost exactly that request: the
+            // worker answers a structured 500 and lives to serve the next
+            // connection. Handlers borrow only `&Request`, so no shared
+            // state can be left torn by the unwind (`AssertUnwindSafe` is
+            // about the borrow checker, not an actual safety waiver).
+            let response =
+                catch_unwind(AssertUnwindSafe(|| router.dispatch(&req))).unwrap_or_else(|_| {
+                    metrics.record_panic();
+                    Response::error(500, "internal error: handler panicked")
+                });
+            (route, response, true)
+        }
         Err(err) => (
             "(unparsed)".to_string(),
             Response::error(err.status(), &err.to_string()),
+            false,
         ),
     };
     let status = response.status;
     let _ = response.write_to(stream);
     let _ = stream.flush();
-    metrics.exit_in_flight();
+    if !fully_read {
+        // A parse-rejected request leaves unread bytes on the socket;
+        // closing over them would RST and could race the error response
+        // off the wire before the client reads it.
+        drain_and_close(stream);
+    }
     metrics.record_handled(&route, status, started.elapsed());
+}
+
+/// Best-effort graceful close for a connection with (possibly) unread
+/// request bytes: half-close the write side so the client sees EOF
+/// after the response, then drain what the client already sent so the
+/// kernel does not turn unread data into an RST that races the
+/// response. Both the drain time and the drained bytes are bounded, so
+/// a hostile client cannot pin the calling thread.
+fn drain_and_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 64 * 1024;
+    while budget > 0 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read as _;
 
     fn started(
         router: Router,
@@ -452,6 +516,32 @@ mod tests {
         assert!(handle.metrics().snapshot().rejected >= 1);
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn handler_panic_is_a_500_and_the_worker_survives() {
+        let router = Router::new()
+            .route("GET", "/ping", |_| Response::text(200, "pong"))
+            .route("GET", "/boom", |_| panic!("intentional test panic"));
+        // One worker: the request after the panic can only be served by
+        // the same thread that caught it.
+        let config = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let (handle, join) = started(router, config);
+        let reply = roundtrip(handle.addr(), "GET /boom HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
+        assert!(reply.contains("handler panicked"), "{reply}");
+        let reply = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        assert!(reply.ends_with("pong"), "{reply}");
+        handle.shutdown();
+        join.join().unwrap();
+        let snapshot = handle.metrics().snapshot();
+        assert_eq!(snapshot.panics, 1);
+        assert_eq!(snapshot.status_5xx, 1);
+        assert_eq!(snapshot.in_flight, 0);
+        assert_eq!(snapshot.handled, 2);
     }
 
     #[test]

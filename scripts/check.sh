@@ -24,6 +24,15 @@ cargo test --workspace -q
 echo "==> serve loopback smoke test (real server on an ephemeral port)"
 cargo test -q -p gables-cli --test serve_loopback
 
+echo "==> fault-injection smoke (deterministic adversarial clients)"
+cargo test -q -p gables-cli --test fault_injection
+
+echo "==> corpus + validation in release mode (debug_assert! compiled out)"
+cargo test --release -q -p gables-cli
+
+echo "==> differential property suite (dual forms, serial vs parallel, CLI vs HTTP)"
+cargo test -q --test differential
+
 echo "==> parallel determinism suite (forced GABLES_THREADS=2)"
 GABLES_THREADS=2 cargo test -q --test parallel_determinism
 

@@ -1,0 +1,166 @@
+//! Differential property tests over randomized valid specs.
+//!
+//! One deterministic generator (SplitMix64-seeded, so every failure is
+//! reproducible from its case number) produces a thousand random but
+//! *valid* spec files, and each is pushed through independent
+//! implementations of the same math, which must agree:
+//!
+//! * **Dual forms** — the time form of `evaluate` (Eq. 9–11) and the
+//!   performance form `attainable_perf_form` (Eq. 12–14) are algebraic
+//!   duals; they must match to relative 1e-9.
+//! * **Serial vs parallel** — sweeps under `Parallelism::Serial` and
+//!   `Parallelism::Threads(3)` must render byte-identical tables.
+//! * **CLI vs HTTP** — `gables eval` output and the `/v1/eval?format=text`
+//!   route body must be byte-equal for the same spec.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use gables_cli::serve::build_router;
+use gables_cli::spec::Spec;
+use gables_cli::{eval_command, sweep_command_with};
+use gables_model::rng::SplitMix64;
+use gables_model::{evaluate, Parallelism};
+use gables_serve::{Request, Router, ServerMetrics, ShardedCache};
+
+const CASES: usize = 1000;
+
+/// Generates one random valid spec: 1–4 IPs (first one the CPU), peak
+/// rates spanning several orders of magnitude, fractions on the unit
+/// simplex, log-uniform intensities. Values are printed with `{}`
+/// (shortest round-trip formatting), so the parsed spec reproduces the
+/// generated f64s bit-exactly.
+fn random_spec(rng: &mut SplitMix64) -> String {
+    let ip_count = rng.range_usize(1, 4);
+    let ppeak = rng.range_f64(0.1, 500.0);
+    let bpeak = rng.range_f64(0.1, 200.0);
+    let mut spec = String::new();
+    let _ = writeln!(spec, "[soc]\nppeak_gops = {ppeak}\nbpeak_gbps = {bpeak}\n");
+    for i in 0..ip_count {
+        let bandwidth = rng.range_f64(0.05, 100.0);
+        if i == 0 {
+            let _ = writeln!(spec, "[ip.CPU]\nbandwidth_gbps = {bandwidth}\n");
+        } else {
+            let accel = rng.range_f64(1.0, 20.0);
+            let _ = writeln!(
+                spec,
+                "[ip.ACC{i}]\nacceleration = {accel}\nbandwidth_gbps = {bandwidth}\n"
+            );
+        }
+    }
+    // Fractions: random positive weights, normalized, with the last one
+    // written as 1 - (sum of the printed others) so the *parsed* values
+    // sum to 1 within the model's 1e-9 tolerance.
+    let weights: Vec<f64> = (0..ip_count).map(|_| rng.range_f64(0.05, 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut fractions: Vec<f64> = weights.iter().map(|w| w / total).collect();
+    let head_sum: f64 = fractions[..ip_count - 1].iter().sum();
+    fractions[ip_count - 1] = 1.0 - head_sum;
+    let intensities: Vec<f64> = (0..ip_count)
+        .map(|_| 10f64.powf(rng.range_f64(-2.0, 2.0)))
+        .collect();
+    let join = |xs: &[f64]| {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(
+        spec,
+        "[workload]\nfractions   = {}\nintensities = {}",
+        join(&fractions),
+        join(&intensities)
+    );
+    spec
+}
+
+fn router() -> Router {
+    build_router(
+        Arc::new(ServerMetrics::new()),
+        Arc::new(ShardedCache::new(4, 32)),
+    )
+}
+
+fn post_eval_text(router: &Router, body: &str) -> (u16, String) {
+    let resp = router.dispatch(&Request {
+        method: "POST".into(),
+        path: "/v1/eval".into(),
+        query: Some("format=text".into()),
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    });
+    (resp.status, String::from_utf8(resp.body).expect("UTF-8"))
+}
+
+#[test]
+fn generator_is_deterministic_and_produces_valid_specs() {
+    let a = random_spec(&mut SplitMix64::new(1));
+    let b = random_spec(&mut SplitMix64::new(1));
+    assert_eq!(a, b, "same seed, same spec");
+    let spec = Spec::parse(&a).expect("generated spec parses");
+    let soc = spec.soc().expect("generated SoC builds");
+    let workload = spec.workload().expect("generated workload builds");
+    evaluate(&soc, &workload).expect("generated spec evaluates");
+}
+
+#[test]
+fn time_form_and_performance_form_are_duals_on_random_specs() {
+    let mut rng = SplitMix64::new(0xD1FF);
+    for case in 0..CASES {
+        let text = random_spec(&mut rng);
+        let spec = Spec::parse(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        let soc = spec
+            .soc()
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        let workload = spec
+            .workload()
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        let time_form = evaluate(&soc, &workload)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"))
+            .attainable()
+            .value();
+        let perf_form = gables_model::model::attainable_perf_form(&soc, &workload)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"))
+            .value();
+        let rel = (time_form - perf_form).abs() / time_form.abs().max(perf_form.abs());
+        assert!(
+            rel < 1e-9,
+            "case {case}: dual forms disagree: time {time_form} vs perf {perf_form} (rel {rel})\n{text}"
+        );
+    }
+}
+
+#[test]
+fn serial_and_threaded_sweeps_are_bit_identical_on_random_specs() {
+    let mut rng = SplitMix64::new(0xBEE5);
+    // Sweeps evaluate a whole grid per case; a tenth of the case budget
+    // still exercises hundreds of grid points per policy.
+    for case in 0..CASES / 10 {
+        let text = random_spec(&mut rng);
+        let serial = sweep_command_with(&text, "intensity", 0.25, 64.0, 17, Parallelism::Serial)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        let threaded =
+            sweep_command_with(&text, "intensity", 0.25, 64.0, 17, Parallelism::Threads(3))
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        assert_eq!(
+            serial, threaded,
+            "case {case}: parallel sweep diverged from serial\n{text}"
+        );
+    }
+}
+
+#[test]
+fn cli_and_http_route_answer_byte_identically_on_random_specs() {
+    let router = router();
+    let mut rng = SplitMix64::new(0xCAFE);
+    for case in 0..CASES {
+        let text = random_spec(&mut rng);
+        let cli = eval_command(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+        let (status, body) = post_eval_text(&router, &text);
+        assert_eq!(status, 200, "case {case}: {body}\n{text}");
+        assert_eq!(
+            cli, body,
+            "case {case}: /v1/eval diverged from the CLI\n{text}"
+        );
+    }
+}
