@@ -44,7 +44,8 @@ pub fn run(
     args: &[String],
     read_file: &dyn Fn(&str) -> std::io::Result<String>,
 ) -> Result<String, SpecError> {
-    let (args, parallelism) = split_threads_flag(args)?;
+    let args = split_log_flags(args)?;
+    let (args, parallelism) = split_threads_flag(&args)?;
     let args = &args[..];
     match args.first().map(String::as_str) {
         Some("example") => Ok(spec::FIGURE_6B_SPEC.to_string()),
@@ -122,7 +123,7 @@ pub const COMMANDS: &[&str] = &[
 ];
 
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
@@ -164,6 +165,46 @@ fn split_threads_flag(args: &[String]) -> Result<(Vec<String>, Parallelism), Spe
         }
     }
     Ok((rest, parallelism))
+}
+
+/// Strips `--log <level>` / `--log=<level>` and `--log-format <fmt>` /
+/// `--log-format=<fmt>` from anywhere in the argument list and applies
+/// them via [`gables_model::obs`], so every subcommand accepts the same
+/// logging controls. `--log` takes `error`, `warn`, `info`, `debug`,
+/// `trace`, or `off`, and overrides the `GABLES_LOG` environment
+/// variable; `--log-format` takes `text` (default) or `json`.
+fn split_log_flags(args: &[String]) -> Result<Vec<String>, SpecError> {
+    use gables_model::obs;
+    let mut rest = Vec::with_capacity(args.len());
+    let parse_level = |value: &str| -> Result<Option<obs::Level>, SpecError> {
+        obs::Level::parse(value)
+            .map_err(|e| SpecError::general(format!("invalid --log value: {e}")))
+    };
+    let parse_format = |value: &str| -> Result<obs::LogFormat, SpecError> {
+        obs::LogFormat::parse(value)
+            .map_err(|e| SpecError::general(format!("invalid --log-format value: {e}")))
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--log" {
+            let value = it.next().ok_or_else(|| {
+                SpecError::general("--log requires a value (error, warn, info, debug, trace, off)")
+            })?;
+            obs::set_level(parse_level(value)?);
+        } else if let Some(value) = a.strip_prefix("--log=") {
+            obs::set_level(parse_level(value)?);
+        } else if a == "--log-format" {
+            let value = it.next().ok_or_else(|| {
+                SpecError::general("--log-format requires a value (json or text)")
+            })?;
+            obs::set_format(parse_format(value)?);
+        } else if let Some(value) = a.strip_prefix("--log-format=") {
+            obs::set_format(parse_format(value)?);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok(rest)
 }
 
 /// `gables eval`: evaluate the spec, with the SRAM extension if present.
@@ -784,6 +825,58 @@ intensities = 8, 0.01
             &fs
         )
         .is_err());
+    }
+
+    #[test]
+    fn log_flags_are_accepted_everywhere_and_stripped() {
+        let fs = |_: &str| -> std::io::Result<String> { Ok(spec::FIGURE_6B_SPEC.to_string()) };
+        let base: Vec<String> = ["eval", "s.gables"].iter().map(|s| s.to_string()).collect();
+        let plain = run(&base, &fs).unwrap();
+        for extra in [
+            &["--log", "warn"][..],
+            &["--log=warn"],
+            &["--log-format", "text"],
+            &["--log-format=text"],
+            &["--log", "warn", "--log-format", "text"],
+        ] {
+            let mut args = base.clone();
+            args.extend(extra.iter().map(|s| s.to_string()));
+            assert_eq!(run(&args, &fs).unwrap(), plain, "{extra:?}");
+        }
+        // The flags may precede the subcommand.
+        let args: Vec<String> = ["--log", "warn", "eval", "s.gables"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(run(&args, &fs).unwrap(), plain);
+
+        let err = run(&["eval".into(), "s.gables".into(), "--log".into()], &fs).unwrap_err();
+        assert!(err.message.contains("--log requires a value"), "{err}");
+        let err = run(
+            &["eval".into(), "s.gables".into(), "--log=loud".into()],
+            &fs,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("invalid --log value"), "{err}");
+        let err = run(
+            &["eval".into(), "s.gables".into(), "--log-format".into()],
+            &fs,
+        )
+        .unwrap_err();
+        assert!(
+            err.message.contains("--log-format requires a value"),
+            "{err}"
+        );
+        let err = run(
+            &["eval".into(), "s.gables".into(), "--log-format=xml".into()],
+            &fs,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("invalid --log-format value"), "{err}");
+        // Leave the process-global logging state at its defaults for the
+        // other tests in this binary.
+        gables_model::obs::set_level(Some(gables_model::obs::Level::Warn));
+        gables_model::obs::set_format(gables_model::obs::LogFormat::Text);
     }
 
     #[test]

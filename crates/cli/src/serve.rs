@@ -17,8 +17,22 @@
 //! * `POST /v1/simulate` — spec text in the body → a soc-sim run with
 //!   per-job bottleneck attribution.
 //! * `GET /v1/metrics` — request counters, latency histogram, cache hit
-//!   rate; `?format=text` renders an ASCII histogram.
-//! * `GET /v1/healthz` — liveness probe (plain text at both paths).
+//!   rate; `?format=text` renders an ASCII histogram, `?format=prom`
+//!   the Prometheus text exposition (with `uptime_seconds` and
+//!   `build_info`).
+//! * `GET /v1/healthz` — liveness probe; plain `ok` by default
+//!   (byte-identical for existing probes), `?format=json` adds uptime,
+//!   version, in-flight count, and worker-pool saturation.
+//! * `GET /v1/debug/requests` — the flight recorder: the last N
+//!   requests with id, route, status, latency, cache outcome, and span
+//!   summary (`?n=` limits, `?id=` fetches one with full spans,
+//!   `?id=...&format=trace` exports Chrome trace-event JSON for
+//!   `chrome://tracing`, `?id=...&format=text` an ASCII span tree).
+//!
+//! Every request is traced: the server opens a `server.request` span
+//! (trace ID derived from `X-Request-Id`), the route layer nests the
+//! handler span (`eval`, `sweep`, …), and `gables_model::par` worker
+//! chunks nest under those — see `gables_model::obs`.
 //!
 //! The original unversioned paths (`/eval`, `/sweep`, …) remain as
 //! deprecated aliases: they serve the same responses plus a
@@ -41,13 +55,19 @@
 //! (and vice versa).
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use gables_model::evaluate;
 use gables_model::json::Json;
-use gables_serve::{Request, Response, Router, Server, ServerConfig, ServerMetrics, ShardedCache};
+use gables_model::{evaluate, obs};
+use gables_serve::{
+    FlightRecorder, Request, Response, Router, Server, ServerConfig, ServerMetrics, ShardedCache,
+};
 
 use crate::spec::{Spec, SpecError};
 use crate::{eval_command, sweep_command_with, whatif_command};
+
+/// Version string stamped into `build_info` and `/v1/healthz?format=json`.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Parsed `gables serve` arguments.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,8 +122,8 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
     Ok(opts)
 }
 
-/// `gables serve [addr] [--workers N]`: bind, print the listen address
-/// to stderr, and serve until the process is killed.
+/// `gables serve [addr] [--workers N]`: bind, log the listen address,
+/// and serve until the process is killed.
 ///
 /// # Errors
 ///
@@ -119,14 +139,37 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
     let addr = server
         .local_addr()
         .map_err(|e| SpecError::general(e.to_string()))?;
-    let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128)));
-    eprintln!(
-        "gables-serve listening on http://{addr} ({} workers); POST /v1/eval, /v1/sweep, /v1/whatif, /v1/simulate; GET /v1/metrics (unversioned aliases deprecated)",
-        opts.workers
+    // A long-running server narrates its lifecycle and access log at
+    // info by default; an explicit `--log` or `GABLES_LOG` still wins.
+    if !obs::level_is_explicit() && std::env::var_os("GABLES_LOG").is_none() {
+        obs::set_level(Some(obs::Level::Info));
+    }
+    let state = ServeState::new(
+        server.metrics(),
+        Arc::new(ShardedCache::new(8, 128)),
+        server.flight(),
+        opts.workers,
+    );
+    let router = build_router_with(&state);
+    obs::log(
+        obs::Level::Info,
+        "serve",
+        "listening",
+        &[
+            ("addr", format!("http://{addr}").into()),
+            ("workers", opts.workers.into()),
+            ("version", VERSION.into()),
+            (
+                "routes",
+                "POST /v1/{eval,sweep,whatif,simulate}; GET /v1/{metrics,healthz,debug/requests}"
+                    .into(),
+            ),
+        ],
     );
     server
         .run(router)
         .map_err(|e| SpecError::general(e.to_string()))?;
+    obs::log(obs::Level::Info, "serve", "shutdown complete", &[]);
     Ok(String::new())
 }
 
@@ -135,21 +178,87 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
 /// response. The envelope is applied by the route layer, never here.
 type GablesHandler = fn(&Request, &Spec, &str) -> Result<String, Response>;
 
-/// Builds the Gables route table over shared metrics and cache: the
+/// Everything the route layer shares across requests: counters, the
+/// response cache, the flight recorder, and enough static facts (worker
+/// count, start time) to answer `/v1/healthz?format=json` and stamp
+/// `uptime_seconds` into the Prometheus exposition.
+#[derive(Debug, Clone)]
+pub struct ServeState {
+    /// The live request counters (shared with the server loop).
+    pub metrics: Arc<ServerMetrics>,
+    /// The sharded LRU response cache.
+    pub cache: Arc<ShardedCache>,
+    /// The flight recorder (shared with the server loop).
+    pub flight: Arc<FlightRecorder>,
+    /// Configured worker-pool size, for the saturation gauge.
+    pub workers: usize,
+    /// When this serving instance came up.
+    pub started: Instant,
+}
+
+impl ServeState {
+    /// Assembles the shared state; `started` is stamped now.
+    pub fn new(
+        metrics: Arc<ServerMetrics>,
+        cache: Arc<ShardedCache>,
+        flight: Arc<FlightRecorder>,
+        workers: usize,
+    ) -> Self {
+        Self {
+            metrics,
+            cache,
+            flight,
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+/// Builds the Gables route table over shared metrics and cache with a
+/// standalone flight recorder — the signature predating [`ServeState`],
+/// kept for tests that only care about the endpoint behaviour.
+pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Router {
+    let workers = ServerConfig::default().workers;
+    build_router_with(&ServeState::new(
+        metrics,
+        cache,
+        Arc::new(FlightRecorder::new(64)),
+        workers,
+    ))
+}
+
+/// Builds the Gables route table over the shared [`ServeState`]: the
 /// canonical `/v1/*` routes plus the deprecated unversioned aliases.
 /// Public so tests can run the server on an ephemeral port.
-pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Router {
+pub fn build_router_with(state: &ServeState) -> Router {
+    let healthz_state = state.clone();
+    let healthz_alias_state = state.clone();
+    let debug_state = state.clone();
     let mut router = Router::new()
-        .route("GET", "/v1/healthz", |_| Response::text(200, "ok\n"))
-        .route("GET", "/healthz", |_| {
-            deprecated(Response::text(200, "ok\n"), "/v1/healthz")
+        .route("GET", "/v1/healthz", move |req| {
+            healthz_response(req, &healthz_state)
+        })
+        .route("GET", "/healthz", move |req| {
+            deprecated(healthz_response(req, &healthz_alias_state), "/v1/healthz")
+        })
+        .route("GET", "/v1/debug/requests", move |req| {
+            debug_requests_response(req, &debug_state)
         });
     for alias in [false, true] {
-        let metrics = Arc::clone(&metrics);
+        let state = state.clone();
         let path = if alias { "/metrics" } else { "/v1/metrics" };
         router = router.route("GET", path, move |req| {
-            let snapshot = metrics.snapshot();
-            let resp = if wants_text(req) {
+            let snapshot = state.metrics.snapshot();
+            let resp = if req.query_param("format") == Some("prom") {
+                let mut resp =
+                    Response::text(200, snapshot.to_prometheus(state.uptime_seconds(), VERSION));
+                resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
+                resp
+            } else if wants_text(req) {
                 Response::text(200, snapshot.to_text())
             } else {
                 Response::json(200, envelope(&snapshot.to_json()))
@@ -175,8 +284,8 @@ pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Ro
                 v1_path.clone()
             };
             let v1 = v1_path.clone();
-            let metrics = Arc::clone(&metrics);
-            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&state.metrics);
+            let cache = Arc::clone(&state.cache);
             router = router.route("POST", &path, move |req| {
                 let resp = handle_post(&v1, handler, &metrics, &cache, req);
                 if alias {
@@ -190,9 +299,95 @@ pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Ro
     router
 }
 
+/// `GET /v1/healthz`: plain `ok` by default — byte-identical to the
+/// pre-observability response so existing probes keep matching — or a
+/// JSON status document under `?format=json`.
+fn healthz_response(req: &Request, state: &ServeState) -> Response {
+    if req.query_param("format") != Some("json") {
+        return Response::text(200, "ok\n");
+    }
+    let snapshot = state.metrics.snapshot();
+    let workers = state.workers.max(1);
+    let doc = Json::Object(vec![
+        ("status".into(), Json::str("ok")),
+        ("version".into(), Json::str(VERSION)),
+        ("uptime_seconds".into(), Json::num(state.uptime_seconds())),
+        ("in_flight".into(), Json::num(snapshot.in_flight as f64)),
+        ("workers".into(), Json::num(state.workers as f64)),
+        (
+            "worker_saturation".into(),
+            Json::num(snapshot.in_flight as f64 / workers as f64),
+        ),
+    ]);
+    Response::json(200, envelope(&doc.to_string()))
+}
+
+/// Most records `GET /v1/debug/requests` returns in one listing.
+const MAX_DEBUG_REQUESTS: usize = 1000;
+
+/// `GET /v1/debug/requests`: the flight recorder. Without `?id=`, lists
+/// the most recent `?n=` requests (newest first, default 32). With
+/// `?id=`, returns that request with its full span list; `format=trace`
+/// instead exports raw Chrome trace-event JSON (no envelope, ready for
+/// `chrome://tracing`), and `format=text` an ASCII span tree.
+fn debug_requests_response(req: &Request, state: &ServeState) -> Response {
+    if let Some(id) = req.query_param("id") {
+        let Some(record) = state.flight.find(id) else {
+            return Response::error(404, &format!("no retained request with id {id:?}"));
+        };
+        return match req.query_param("format") {
+            Some("trace") => Response::json(200, obs::chrome_trace_for_spans(&record.spans)),
+            Some("text") => Response::text(
+                200,
+                format!(
+                    "{} {} {} status={} latency_us={} spans={} dropped={}\n\n{}",
+                    record.id,
+                    record.method,
+                    record.route,
+                    record.status,
+                    record.latency_us,
+                    record.spans.len(),
+                    record.spans_dropped,
+                    gables_plot::render_span_tree(&record.spans),
+                ),
+            ),
+            _ => Response::json(200, envelope(&record.to_json(true).to_string())),
+        };
+    }
+    let n = match query_num(req, "n", 32.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if n.fract() != 0.0 || n < 1.0 || n > MAX_DEBUG_REQUESTS as f64 {
+        return Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            &format!("query parameter n={n} must be an integer in 1..={MAX_DEBUG_REQUESTS}"),
+        );
+    }
+    let records = state.flight.recent(n as usize);
+    let doc = Json::Object(vec![
+        ("capacity".into(), Json::num(state.flight.capacity() as f64)),
+        (
+            "recorded_total".into(),
+            Json::num(state.flight.recorded_total() as f64),
+        ),
+        ("count".into(), Json::num(records.len() as f64)),
+        (
+            "requests".into(),
+            Json::Array(records.iter().map(|r| r.to_json(false)).collect()),
+        ),
+    ]);
+    Response::json(200, envelope(&doc.to_string()))
+}
+
 /// Parses the body once into a [`Spec`], consults the cache (keyed by
 /// the canonical v1 path so aliases share entries), and runs the
-/// handler on a miss.
+/// handler on a miss. The whole route runs inside a handler-named span
+/// (`eval`, `sweep`, …) so worker spans from the parallel map nest under
+/// it, and the cache outcome is reported out-of-band to the server loop
+/// via an `X-Cache: hit|miss` response header (surfaced in the access
+/// log and the flight recorder).
 fn handle_post(
     v1_path: &str,
     handler: GablesHandler,
@@ -200,6 +395,7 @@ fn handle_post(
     cache: &ShardedCache,
     req: &Request,
 ) -> Response {
+    let _route_span = obs::span(v1_path.trim_start_matches("/v1/"));
     let body = match req.body_str() {
         Ok(b) => b,
         Err(e) => {
@@ -210,9 +406,12 @@ fn handle_post(
             )
         }
     };
-    let spec = match Spec::parse(body) {
-        Ok(s) => s,
-        Err(e) => return bad_request(&e),
+    let spec = {
+        let _parse_span = obs::span("parse");
+        match Spec::parse(body) {
+            Ok(s) => s,
+            Err(e) => return bad_request(&e),
+        }
     };
     let key = format!(
         "{v1_path}|{}|{}|{}",
@@ -222,15 +421,15 @@ fn handle_post(
     );
     if let Some(data) = cache.get(&key) {
         metrics.record_cache_hit();
-        return finish(req, data);
+        return finish(req, data).with_header("X-Cache", "hit");
     }
     metrics.record_cache_miss();
     match handler(req, &spec, body) {
         Ok(data) => {
             cache.insert(key, data.clone());
-            finish(req, data)
+            finish(req, data).with_header("X-Cache", "miss")
         }
-        Err(resp) => resp,
+        Err(resp) => resp.with_header("X-Cache", "miss"),
     }
 }
 
@@ -765,6 +964,141 @@ mod tests {
             assert_eq!(resp.status, 200, "{path}");
             assert_eq!(resp.body, b"ok\n", "{path}");
         }
+    }
+
+    fn state() -> ServeState {
+        ServeState::new(
+            Arc::new(ServerMetrics::new()),
+            Arc::new(ShardedCache::new(4, 32)),
+            Arc::new(FlightRecorder::new(8)),
+            4,
+        )
+    }
+
+    #[test]
+    fn healthz_json_reports_uptime_version_and_saturation() {
+        let state = state();
+        state.metrics.enter_in_flight();
+        let router = build_router_with(&state);
+        let resp = router.dispatch(&get("/v1/healthz", Some("format=json")));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(data.get("version").and_then(Json::as_str), Some(VERSION));
+        assert!(data.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert_eq!(data.get("in_flight").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(data.get("workers").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(
+            data.get("worker_saturation").and_then(Json::as_f64),
+            Some(0.25)
+        );
+        // The default stays byte-identical even with other formats around.
+        let resp = router.dispatch(&get("/v1/healthz", None));
+        assert_eq!(resp.body, b"ok\n");
+        let resp = router.dispatch(&get("/v1/healthz", Some("format=yaml")));
+        assert_eq!(resp.body, b"ok\n", "unknown formats fall back to plain");
+    }
+
+    #[test]
+    fn metrics_prom_format_exposes_the_exposition() {
+        let state = state();
+        state
+            .metrics
+            .record_handled("/v1/eval", 200, std::time::Duration::from_micros(50));
+        let router = build_router_with(&state);
+        let resp = router.dispatch(&get("/v1/metrics", Some("format=prom")));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("gables_requests_handled_total 1\n"), "{body}");
+        assert!(body.contains(&format!("gables_build_info{{version=\"{VERSION}\"}} 1\n")));
+        assert!(body.contains("gables_uptime_seconds "));
+        assert!(body.contains("gables_request_latency_seconds_bucket{le=\"+Inf\"} 1\n"));
+    }
+
+    #[test]
+    fn debug_requests_lists_and_fetches_flight_records() {
+        use gables_serve::FlightRecord;
+        let state = state();
+        for i in 0..3 {
+            state.flight.record(FlightRecord {
+                seq: 0,
+                id: format!("req-{i}"),
+                method: "POST".into(),
+                route: "/v1/eval".into(),
+                status: 200,
+                latency_us: 100 + i,
+                cache_hit: Some(i == 2),
+                spans: vec![gables_model::obs::SpanRecord {
+                    name: "server.request".into(),
+                    trace_id: 7,
+                    span_id: 9,
+                    parent_id: 0,
+                    start_us: 0.0,
+                    dur_us: 120.0,
+                }],
+                spans_dropped: 0,
+            });
+        }
+        let router = build_router_with(&state);
+
+        let resp = router.dispatch(&get("/v1/debug/requests", Some("n=2")));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("recorded_total").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(data.get("count").and_then(Json::as_f64), Some(2.0));
+        let reqs = data.get("requests").unwrap().as_array().unwrap();
+        assert_eq!(reqs[0].get("id").and_then(Json::as_str), Some("req-2"));
+        assert_eq!(reqs[0].get("cache").and_then(Json::as_str), Some("hit"));
+        assert_eq!(
+            reqs[0].get("span_summary").and_then(Json::as_str),
+            Some("server.request")
+        );
+        assert!(reqs[0].get("spans").is_none(), "list view omits full spans");
+
+        let resp = router.dispatch(&get("/v1/debug/requests", Some("id=req-1")));
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("latency_us").and_then(Json::as_f64), Some(101.0));
+        assert_eq!(data.get("spans").unwrap().as_array().unwrap().len(), 1);
+
+        let resp = router.dispatch(&get("/v1/debug/requests", Some("id=req-1&format=trace")));
+        assert_eq!(resp.status, 200);
+        let trace = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert!(!trace
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+
+        let resp = router.dispatch(&get("/v1/debug/requests", Some("id=req-1&format=text")));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("server.request"), "{text}");
+
+        let resp = router.dispatch(&get("/v1/debug/requests", Some("id=ghost")));
+        assert_eq!(resp.status, 404);
+        for bad in ["n=0", "n=1.5", "n=nan", "n=100000"] {
+            let resp = router.dispatch(&get("/v1/debug/requests", Some(bad)));
+            assert_eq!(resp.status, 400, "{bad}");
+        }
+    }
+
+    #[test]
+    fn post_responses_carry_the_cache_outcome_header() {
+        let router = router();
+        let first = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
+        assert_eq!(header(&first, "X-Cache"), Some("miss"));
+        let second = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
+        assert_eq!(header(&second, "X-Cache"), Some("hit"));
+        let bad = router.dispatch(&post("/v1/eval", None, "not a spec"));
+        assert_eq!(
+            header(&bad, "X-Cache"),
+            None,
+            "parse failures have no outcome"
+        );
     }
 
     #[test]

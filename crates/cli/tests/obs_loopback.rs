@@ -1,0 +1,361 @@
+//! Observability loopback tests for `gables serve`: request identity,
+//! the flight recorder, Prometheus exposition, and span propagation
+//! verified over real sockets.
+//!
+//! These are the acceptance tests for the tracing tier: every response
+//! (success, error, or shed) carries an `X-Request-Id`; client-supplied
+//! IDs echo back; `/v1/debug/requests` reconciles with the metrics
+//! counters; `/v1/metrics?format=prom` is a valid exposition whose
+//! `+Inf` latency bucket equals the handled counter; and the Chrome
+//! trace exported for one request nests server → handler → worker
+//! spans.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gables_cli::serve::{build_router_with, ServeState};
+use gables_cli::spec::FIGURE_6B_SPEC;
+use gables_model::json::Json;
+use gables_serve::{Server, ServerConfig, ServerHandle, ShardedCache};
+
+/// Starts a server wired exactly like `gables serve`: shared metrics,
+/// cache, and flight recorder, with the full observability router.
+fn start_server(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let workers = config.workers;
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let state = ServeState::new(
+        server.metrics(),
+        Arc::new(ShardedCache::new(8, 256)),
+        server.flight(),
+        workers,
+    );
+    let router = build_router_with(&state);
+    let join = std::thread::spawn(move || server.run(router).expect("server run"));
+    (handle, join)
+}
+
+/// One full HTTP exchange with optional extra headers; returns
+/// (status line, headers, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: localhost\r\n");
+    for (name, value) in extra_headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read reply");
+    let reply = String::from_utf8(bytes).expect("UTF-8 reply");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// Case-insensitive response-header lookup in the raw header block.
+fn header(headers: &str, name: &str) -> Option<String> {
+    headers.lines().find_map(|line| {
+        let (n, v) = line.split_once(':')?;
+        n.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+    })
+}
+
+/// The value of a Prometheus sample line `name_and_labels value`.
+fn prom_value(exposition: &str, name_and_labels: &str) -> f64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(name_and_labels)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no sample {name_and_labels:?} in exposition"))
+}
+
+/// Unwraps the `{"ok":true,"data":...}` envelope.
+fn open(body: &str) -> Json {
+    let doc = Json::parse(body).expect("envelope JSON");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{body}");
+    doc.get("data").expect("data field").clone()
+}
+
+#[test]
+fn request_ids_flight_recorder_and_prometheus_reconcile_under_load() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 30;
+    const TOTAL: usize = THREADS * PER_THREAD;
+
+    let (handle, join) = start_server(ServerConfig {
+        workers: 8,
+        queue_depth: 1024,
+        flight_capacity: 256,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // ≥100 concurrent requests, a mix of cacheable evals (repeat spec →
+    // hits) and unique sweeps (distinct steps → misses that exercise the
+    // parallel map). Every response must carry an X-Request-Id, and
+    // client-supplied IDs must echo back verbatim.
+    let mut clients = Vec::new();
+    for t in 0..THREADS {
+        clients.push(std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                let (target, body, id) = if i % 2 == 0 {
+                    (
+                        "/v1/eval?format=text".to_string(),
+                        FIGURE_6B_SPEC.to_string(),
+                        None,
+                    )
+                } else {
+                    (
+                        format!(
+                            "/v1/sweep?param=bpeak&from=5&to=40&steps={}",
+                            2 + t * 64 + i
+                        ),
+                        FIGURE_6B_SPEC.to_string(),
+                        Some(format!("probe-{t}-{i}")),
+                    )
+                };
+                let extra: Vec<(&str, &str)> = id
+                    .as_deref()
+                    .map(|v| vec![("X-Request-Id", v)])
+                    .unwrap_or_default();
+                let (status, headers, resp_body) = request(addr, "POST", &target, &extra, &body);
+                assert_eq!(status, "HTTP/1.1 200 OK", "{resp_body}");
+                let echoed = header(&headers, "X-Request-Id")
+                    .unwrap_or_else(|| panic!("missing X-Request-Id: {headers}"));
+                match id {
+                    Some(sent) => assert_eq!(echoed, sent, "client ID must echo back"),
+                    None => assert!(!echoed.is_empty(), "generated ID must be present"),
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // One more unique sweep whose trace we will pull out by ID below.
+    let trace_id = "trace-probe";
+    let (status, headers, _) = request(
+        addr,
+        "POST",
+        "/v1/sweep?param=bpeak&from=5&to=40&steps=97",
+        &[("X-Request-Id", trace_id)],
+        FIGURE_6B_SPEC,
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(header(&headers, "X-Request-Id").as_deref(), Some(trace_id));
+    assert_eq!(
+        header(&headers, "X-Cache").as_deref(),
+        Some("miss"),
+        "unique sweep must be a cache miss so its handler spans exist"
+    );
+
+    // Prometheus exposition: the storm plus the trace probe have all been
+    // recorded by the time their responses were read (metrics are written
+    // before the connection closes).
+    let sent = TOTAL + 1;
+    let (status, headers, prom) = request(addr, "GET", "/v1/metrics?format=prom", &[], "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        header(&headers, "Content-Type")
+            .unwrap()
+            .starts_with("text/plain; version=0.0.4"),
+        "{headers}"
+    );
+    let handled = prom_value(&prom, "gables_requests_handled_total");
+    assert_eq!(handled, sent as f64);
+    assert_eq!(
+        prom_value(&prom, "gables_responses_total{class=\"2xx\"} "),
+        sent as f64
+    );
+    // Histogram buckets are cumulative and end at +Inf == handled.
+    let buckets: Vec<f64> = prom
+        .lines()
+        .filter_map(|l| {
+            l.strip_prefix("gables_request_latency_seconds_bucket{le=")?
+                .split("} ")
+                .nth(1)?
+                .trim()
+                .parse()
+                .ok()
+        })
+        .collect();
+    assert!(!buckets.is_empty(), "{prom}");
+    assert!(
+        buckets.windows(2).all(|w| w[1] >= w[0]),
+        "buckets must be cumulative: {buckets:?}"
+    );
+    assert_eq!(
+        prom_value(&prom, "gables_request_latency_seconds_bucket{le=\"+Inf\"} "),
+        handled,
+        "+Inf bucket must equal the handled counter"
+    );
+    assert_eq!(
+        prom_value(&prom, "gables_request_latency_seconds_count"),
+        handled
+    );
+    assert!(prom_value(&prom, "gables_uptime_seconds") >= 0.0);
+    assert!(prom.contains("gables_build_info{version=\""), "{prom}");
+
+    // Flight recorder: every request ever served is in recorded_total
+    // (the exposition request above is the +1), and the ring holds the
+    // most recent ones with latency and span summaries.
+    let (status, _, body) = request(addr, "GET", "/v1/debug/requests?n=1000", &[], "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let data = open(&body);
+    assert_eq!(
+        data.get("recorded_total").and_then(Json::as_f64),
+        Some((sent + 1) as f64),
+        "flight recorder must reconcile with traffic actually sent"
+    );
+    let requests = data
+        .get("requests")
+        .and_then(Json::as_array)
+        .expect("requests");
+    assert_eq!(
+        requests.len(),
+        256.min(sent + 1),
+        "ring holds the last capacity records"
+    );
+    for r in requests {
+        assert!(r.get("id").and_then(Json::as_str).is_some());
+        assert!(r.get("latency_us").and_then(Json::as_f64).unwrap() >= 0.0);
+        let summary = r.get("span_summary").and_then(Json::as_str).unwrap();
+        assert!(
+            summary.starts_with("server.request"),
+            "every record carries a span tree summary: {summary:?}"
+        );
+    }
+
+    // The traced sweep: full detail by ID, then its Chrome trace. The
+    // span tree must nest server.request → dispatch → sweep → worker.
+    let (status, _, body) = request(
+        addr,
+        "GET",
+        &format!("/v1/debug/requests?id={trace_id}"),
+        &[],
+        "",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let record = open(&body);
+    assert_eq!(record.get("cache").and_then(Json::as_str), Some("miss"));
+    let spans = record.get("spans").and_then(Json::as_array).expect("spans");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["server.request", "dispatch /v1/sweep", "sweep", "worker"] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected:?} in {names:?}"
+        );
+    }
+
+    let (status, _, body) = request(
+        addr,
+        "GET",
+        &format!("/v1/debug/requests?id={trace_id}&format=trace"),
+        &[],
+        "",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let trace = Json::parse(&body).expect("Chrome trace must be valid JSON");
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents");
+    let complete: Vec<&Json> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    let name_of = |e: &Json| e.get("name").and_then(Json::as_str).unwrap().to_string();
+    let root = complete
+        .iter()
+        .find(|e| name_of(e) == "server.request")
+        .expect("root span in trace");
+    let root_dur = root.get("dur").and_then(Json::as_f64).unwrap();
+    for e in &complete {
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+        assert!(ts >= 0.0 && dur >= 0.0);
+        assert!(
+            ts + dur <= root_dur + 1.0,
+            "child spans must nest inside the root: {} ends at {}",
+            name_of(e),
+            ts + dur
+        );
+    }
+    assert!(complete.iter().any(|e| name_of(e) == "worker"));
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}
+
+#[test]
+fn healthz_json_is_additive_and_the_plain_probe_is_byte_identical() {
+    let (handle, join) = start_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    let (status, _, body) = request(addr, "GET", "/v1/healthz", &[], "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(body, "ok\n", "plain probe must stay byte-identical");
+
+    let (status, _, body) = request(addr, "GET", "/v1/healthz?format=json", &[], "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let data = open(&body);
+    assert_eq!(data.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(data.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+    assert!(data.get("version").and_then(Json::as_str).is_some());
+    assert!(data.get("workers").and_then(Json::as_f64).unwrap() >= 1.0);
+    assert!(
+        data.get("worker_saturation")
+            .and_then(Json::as_f64)
+            .unwrap()
+            >= 0.0
+    );
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}
+
+#[test]
+fn error_responses_and_unmatched_routes_are_identified_and_folded() {
+    let (handle, join) = start_server(ServerConfig::default());
+    let addr = handle.addr();
+
+    // A parse failure still gets a request ID.
+    let (status, headers, _) = request(addr, "POST", "/v1/eval", &[], "not a spec");
+    assert_eq!(status, "HTTP/1.1 400 Bad Request");
+    assert!(header(&headers, "X-Request-Id").is_some(), "{headers}");
+
+    // Unknown paths fold into one "(unmatched)" label instead of letting
+    // a client mint unbounded route cardinality.
+    for i in 0..5 {
+        let (status, headers, _) = request(addr, "GET", &format!("/v1/fuzz-{i}"), &[], "");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        assert!(header(&headers, "X-Request-Id").is_some());
+    }
+    let (_, _, prom) = request(addr, "GET", "/v1/metrics?format=prom", &[], "");
+    assert_eq!(
+        prom_value(&prom, "gables_route_requests_total{route=\"(unmatched)\"} "),
+        5.0
+    );
+    assert!(
+        !prom.contains("fuzz"),
+        "unknown paths must not become labels"
+    );
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}

@@ -56,6 +56,8 @@
 //! * [`analysis`] — sweeps, balance solvers, sensitivity analysis.
 //! * [`par`] — deterministic std-only parallel execution for grid and
 //!   sweep evaluation ([`Parallelism`] policies, order-stable map).
+//! * [`obs`] — structured leveled logging, hierarchical spans with
+//!   deterministic IDs, and cross-thread span-context propagation.
 //! * [`baselines`] — Roofline, Amdahl, Gustafson, MultiAmdahl, bottleneck
 //!   combinators (Section VI).
 //! * [`viz`] — sampled multi-roofline plot data (Section III-C), rendered
@@ -74,6 +76,7 @@ pub mod explore;
 pub mod ext;
 pub mod json;
 pub mod model;
+pub mod obs;
 pub mod par;
 pub mod rng;
 pub mod soc;

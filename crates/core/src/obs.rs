@@ -1,0 +1,845 @@
+//! Unified observability: leveled structured logging, hierarchical
+//! spans with deterministic IDs, and span-context propagation across
+//! threads — all on `std` only.
+//!
+//! The Gables model attributes a workload's performance to the component
+//! that binds it; this module does the same for the software stack that
+//! serves the model. Three pieces:
+//!
+//! 1. **Leveled logging** ([`log`], [`Level`], [`LogFormat`]): one line
+//!    per event on stderr, JSON or text, filtered by the `GABLES_LOG`
+//!    environment variable (`error|warn|info|debug|trace|off`) or an
+//!    explicit [`set_level`] (the CLI's `--log` flag). Library crates
+//!    never print to stdout — stdout belongs to command output.
+//! 2. **Spans** ([`span`], [`SpanGuard`], [`SpanCollector`]): scoped
+//!    timers forming a tree per trace. A span only costs anything when a
+//!    collector is installed on the current thread (servers install one
+//!    per request); otherwise [`span`] is a no-op returning an inert
+//!    guard. Finished spans land in the bounded collector and can be
+//!    exported as Chrome trace-event JSON ([`chrome_trace_for_spans`]).
+//! 3. **Propagation** ([`current_context`], [`span_at`]): a
+//!    [`SpanContext`] snapshot is `Send + Sync` and can be captured
+//!    before fanning work out to worker threads (see
+//!    [`par::try_map`](crate::par::try_map)), so worker spans attach to
+//!    the request that spawned them.
+//!
+//! ## Deterministic span IDs
+//!
+//! Span IDs are **derived, not drawn**: a child's ID is a hash of
+//! `(parent span ID, span name, child index)` ([`derive_span_id`]).
+//! Under `Parallelism::Threads(N)` the parallel map claims work in
+//! contiguous chunk order, and each chunk span's index is its *chunk
+//! number*, not its thread or completion order — so the same request
+//! produces the same span IDs at any thread count for a fixed chunking,
+//! and re-running a request reproduces its IDs exactly. Timing fields
+//! (`start_us`, `dur_us`) are wall-clock observations and naturally
+//! vary; identity never does.
+//!
+//! Observation must never perturb results: nothing in this module feeds
+//! back into evaluation, and the differential/parallel-determinism
+//! suites run with `GABLES_LOG=debug` to enforce that.
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json;
+
+/// Log severity, ordered from quietest to chattiest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error = 1,
+    /// Unexpected but survivable conditions.
+    Warn = 2,
+    /// Operational milestones (startup, shutdown, access logs).
+    Info = 3,
+    /// Per-request internals.
+    Debug = 4,
+    /// Per-span / per-chunk firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses `error|warn|info|debug|trace` (case-insensitive). `off`
+    /// and `none` map to `None` (log nothing); anything else is `Err`.
+    pub fn parse(s: &str) -> Result<Option<Level>, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Ok(Some(Level::Error)),
+            "warn" | "warning" => Ok(Some(Level::Warn)),
+            "info" => Ok(Some(Level::Info)),
+            "debug" => Ok(Some(Level::Debug)),
+            "trace" => Ok(Some(Level::Trace)),
+            "off" | "none" => Ok(None),
+            other => Err(format!(
+                "unknown log level {other:?} (use error, warn, info, debug, trace, or off)"
+            )),
+        }
+    }
+
+    /// The stable lowercase label (`"info"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Level> {
+        match v {
+            1 => Some(Level::Error),
+            2 => Some(Level::Warn),
+            3 => Some(Level::Info),
+            4 => Some(Level::Debug),
+            5 => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// How log lines are rendered on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Human-readable single line: timestamp, level, target, message,
+    /// `key=value` fields.
+    #[default]
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parses `json` or `text` (case-insensitive).
+    pub fn parse(s: &str) -> Result<LogFormat, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "json" => Ok(LogFormat::Json),
+            "text" => Ok(LogFormat::Text),
+            other => Err(format!("unknown log format {other:?} (use json or text)")),
+        }
+    }
+}
+
+// Explicit overrides (the CLI's --log / --log-format flags). `u8::MAX`
+// means "not set": fall back to the environment, then the default.
+static LEVEL_OVERRIDE: AtomicU8 = AtomicU8::new(u8::MAX);
+static FORMAT_OVERRIDE: AtomicU8 = AtomicU8::new(u8::MAX);
+const LEVEL_OFF: u8 = 0;
+
+fn env_level() -> Option<Level> {
+    static ENV: OnceLock<Option<Level>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("GABLES_LOG") {
+        Ok(v) => Level::parse(&v).unwrap_or(Some(Level::Warn)),
+        Err(_) => Some(Level::Warn),
+    })
+}
+
+fn env_format() -> LogFormat {
+    static ENV: OnceLock<LogFormat> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("GABLES_LOG_FORMAT") {
+        Ok(v) => LogFormat::parse(&v).unwrap_or_default(),
+        Err(_) => LogFormat::Text,
+    })
+}
+
+/// The process-wide monotonic origin all log timestamps are relative to.
+pub fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Microseconds elapsed since [`origin`].
+pub fn now_us() -> u64 {
+    origin().elapsed().as_micros() as u64
+}
+
+/// Overrides the log level (e.g. from the CLI `--log` flag). `None`
+/// silences logging entirely. Wins over `GABLES_LOG`.
+pub fn set_level(level: Option<Level>) {
+    LEVEL_OVERRIDE.store(level.map_or(LEVEL_OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether [`set_level`] has been called (the environment default is in
+/// effect otherwise). Lets a long-running command raise its own default
+/// without clobbering an explicit user choice.
+pub fn level_is_explicit() -> bool {
+    LEVEL_OVERRIDE.load(Ordering::Relaxed) != u8::MAX
+}
+
+/// Overrides the log format (e.g. from the CLI `--log-format` flag).
+pub fn set_format(format: LogFormat) {
+    FORMAT_OVERRIDE.store(format as u8, Ordering::Relaxed);
+}
+
+/// The effective log level: the [`set_level`] override if present, else
+/// `GABLES_LOG`, else [`Level::Warn`]. `None` means logging is off.
+pub fn level() -> Option<Level> {
+    match LEVEL_OVERRIDE.load(Ordering::Relaxed) {
+        u8::MAX => env_level(),
+        v => Level::from_u8(v),
+    }
+}
+
+/// The effective log format.
+pub fn format() -> LogFormat {
+    match FORMAT_OVERRIDE.load(Ordering::Relaxed) {
+        0 => LogFormat::Text,
+        1 => LogFormat::Json,
+        _ => env_format(),
+    }
+}
+
+/// Whether a record at `at` would currently be emitted.
+pub fn enabled(at: Level) -> bool {
+    level().is_some_and(|l| at <= l)
+}
+
+/// A typed structured-log field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A string field.
+    Str(String),
+    /// A signed integer field.
+    Int(i64),
+    /// An unsigned integer field.
+    UInt(u64),
+    /// A float field (non-finite renders as JSON `null`).
+    Float(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl Value {
+    fn to_json(&self) -> String {
+        match self {
+            Value::Str(s) => format!("\"{}\"", json::escape(s)),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) if f.is_finite() => f.to_string(),
+            Value::Float(_) => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+
+    fn to_text(&self) -> String {
+        match self {
+            Value::Str(s) => {
+                if s.chars().any(|c| c.is_whitespace() || c == '"') {
+                    format!("{s:?}")
+                } else {
+                    s.clone()
+                }
+            }
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Float(f) => f.to_string(),
+            Value::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::UInt(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::UInt(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::UInt(u64::from(v))
+    }
+}
+impl From<u16> for Value {
+    fn from(v: u16) -> Self {
+        Value::UInt(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Emits one structured log record to stderr if `level` is enabled.
+///
+/// `target` names the subsystem (`"serve.access"`, `"cli"`, …); `fields`
+/// are appended as structured key/value pairs. If the calling thread is
+/// inside a span, the trace and span IDs are attached automatically.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_us = now_us();
+    let ctx = CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|state| (state.trace_id, state.span_id))
+    });
+    let line = match format() {
+        LogFormat::Json => {
+            let mut s = format!(
+                "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+                level.label(),
+                json::escape(target),
+                json::escape(msg)
+            );
+            if let Some((trace, span)) = ctx {
+                s.push_str(&format!(
+                    ",\"trace\":\"{trace:016x}\",\"span\":\"{span:016x}\""
+                ));
+            }
+            for (k, v) in fields {
+                s.push_str(&format!(",\"{}\":{}", json::escape(k), v.to_json()));
+            }
+            s.push_str("}\n");
+            s
+        }
+        LogFormat::Text => {
+            let mut s = format!(
+                "{:>12.3}ms {:<5} {target} {msg}",
+                ts_us as f64 / 1e3,
+                level.label().to_ascii_uppercase(),
+            );
+            for (k, v) in fields {
+                s.push_str(&format!(" {k}={}", v.to_text()));
+            }
+            if let Some((trace, span)) = ctx {
+                s.push_str(&format!(" trace={trace:016x} span={span:016x}"));
+            }
+            s.push('\n');
+            s
+        }
+    };
+    // One locked write per line keeps concurrent records unscrambled.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hashes a string to a 64-bit ID (FNV-1a, then mixed). Used to derive
+/// trace IDs from request IDs so the same request ID always maps to the
+/// same trace.
+pub fn hash64(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix(h)
+}
+
+/// Derives a child span ID from `(parent, name, index)`. Pure and
+/// collision-resistant in practice; never returns 0 (reserved for "no
+/// parent"). This is what keeps span identity deterministic across
+/// worker counts: the inputs are structural, never temporal.
+pub fn derive_span_id(parent: u64, name: &str, index: u64) -> u64 {
+    mix(parent ^ hash64(name) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The span's name (e.g. `"server.request"`, `"worker"`).
+    pub name: String,
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// This span's derived ID (see [`derive_span_id`]).
+    pub span_id: u64,
+    /// The parent span's ID, or 0 for a trace root.
+    pub parent_id: u64,
+    /// Start, microseconds since the collector's origin.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// A bounded sink for finished spans, shared across the threads serving
+/// one trace (typically one HTTP request). Spans beyond `capacity` are
+/// counted as dropped rather than growing without bound — a hostile
+/// 100k-step sweep cannot balloon a request's trace.
+#[derive(Debug)]
+pub struct SpanCollector {
+    origin: Instant,
+    capacity: usize,
+    inner: Mutex<CollectorInner>,
+}
+
+#[derive(Debug, Default)]
+struct CollectorInner {
+    spans: Vec<SpanRecord>,
+    dropped: u64,
+}
+
+impl SpanCollector {
+    /// A fresh collector whose clock starts now.
+    pub fn new(capacity: usize) -> Arc<SpanCollector> {
+        Arc::new(SpanCollector {
+            origin: Instant::now(),
+            capacity: capacity.max(1),
+            inner: Mutex::new(CollectorInner::default()),
+        })
+    }
+
+    /// Microseconds since this collector was created.
+    pub fn elapsed_us(&self) -> f64 {
+        self.origin.elapsed().as_nanos() as f64 / 1e3
+    }
+
+    /// Appends a finished span, or counts it as dropped at capacity.
+    pub fn push(&self, record: SpanRecord) {
+        let mut inner = self.inner.lock().expect("span collector poisoned");
+        if inner.spans.len() >= self.capacity {
+            inner.dropped += 1;
+        } else {
+            inner.spans.push(record);
+        }
+    }
+
+    /// Removes and returns every collected span plus the dropped count.
+    pub fn take(&self) -> (Vec<SpanRecord>, u64) {
+        let mut inner = self.inner.lock().expect("span collector poisoned");
+        (std::mem::take(&mut inner.spans), inner.dropped)
+    }
+
+    /// The number of spans currently held.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("span collector poisoned")
+            .spans
+            .len()
+    }
+
+    /// Whether no spans have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The per-thread active span state.
+#[derive(Clone)]
+struct TlsState {
+    trace_id: u64,
+    span_id: u64,
+    /// Next child index for spans opened under the current span.
+    child_seq: u64,
+    collector: Arc<SpanCollector>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TlsState>> = const { RefCell::new(None) };
+}
+
+/// A `Send + Sync` snapshot of the current span context, suitable for
+/// handing to worker threads (see [`span_at`]).
+#[derive(Debug, Clone)]
+pub struct SpanContext {
+    trace_id: u64,
+    span_id: u64,
+    collector: Arc<SpanCollector>,
+}
+
+impl SpanContext {
+    /// The trace ID this context belongs to.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The span ID worker spans will attach to.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
+}
+
+/// Snapshots the calling thread's span context, or `None` when no span
+/// is active (the common, zero-cost case).
+pub fn current_context() -> Option<SpanContext> {
+    CURRENT.with(|c| {
+        c.borrow().as_ref().map(|state| SpanContext {
+            trace_id: state.trace_id,
+            span_id: state.span_id,
+            collector: Arc::clone(&state.collector),
+        })
+    })
+}
+
+/// An RAII guard for an open span. Dropping it records the span into its
+/// collector and restores the previous thread-local context. Inert (all
+/// no-ops) when created outside any span context.
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+    // Guards manipulate thread-local state and must drop on the thread
+    // that created them.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+struct ActiveSpan {
+    name: String,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_us: f64,
+    collector: Arc<SpanCollector>,
+    prev: Option<TlsState>,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(a) => f
+                .debug_struct("SpanGuard")
+                .field("name", &a.name)
+                .field("span_id", &format_args!("{:016x}", a.span_id))
+                .finish_non_exhaustive(),
+            None => f.write_str("SpanGuard(inert)"),
+        }
+    }
+}
+
+impl SpanGuard {
+    const INERT: SpanGuard = SpanGuard {
+        inner: None,
+        _not_send: std::marker::PhantomData,
+    };
+
+    /// Whether this guard is actually recording (a collector is
+    /// installed).
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The span's ID, if active.
+    pub fn span_id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|a| a.span_id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else {
+            return;
+        };
+        let end_us = active.collector.elapsed_us();
+        CURRENT.with(|c| *c.borrow_mut() = active.prev.clone());
+        if enabled(Level::Trace) {
+            log(
+                Level::Trace,
+                "obs.span",
+                &active.name,
+                &[("dur_us", Value::Float(end_us - active.start_us))],
+            );
+        }
+        active.collector.push(SpanRecord {
+            name: active.name,
+            trace_id: active.trace_id,
+            span_id: active.span_id,
+            parent_id: active.parent_id,
+            start_us: active.start_us,
+            dur_us: end_us - active.start_us,
+        });
+    }
+}
+
+fn install(
+    name: &str,
+    trace_id: u64,
+    span_id: u64,
+    parent_id: u64,
+    start_us: f64,
+    collector: Arc<SpanCollector>,
+    prev: Option<TlsState>,
+) -> SpanGuard {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(TlsState {
+            trace_id,
+            span_id,
+            child_seq: 0,
+            collector: Arc::clone(&collector),
+        });
+    });
+    SpanGuard {
+        inner: Some(ActiveSpan {
+            name: name.to_string(),
+            trace_id,
+            span_id,
+            parent_id,
+            start_us,
+            collector,
+            prev,
+        }),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Opens a child span of the calling thread's current span. A no-op
+/// (inert guard) when no span context is installed, so library code can
+/// instrument hot paths unconditionally.
+pub fn span(name: &str) -> SpanGuard {
+    let Some(parent) = CURRENT.with(|c| c.borrow().clone()) else {
+        return SpanGuard::INERT;
+    };
+    let index = parent.child_seq;
+    let id = derive_span_id(parent.span_id, name, index);
+    let start_us = parent.collector.elapsed_us();
+    let collector = Arc::clone(&parent.collector);
+    let mut prev = parent;
+    prev.child_seq += 1;
+    install(
+        name,
+        prev.trace_id,
+        id,
+        prev.span_id,
+        start_us,
+        collector,
+        Some(prev),
+    )
+}
+
+/// Opens a span under a propagated [`SpanContext`] with an explicit
+/// child `index` — the worker-thread entry point. The span's ID depends
+/// only on `(parent span, name, index)`, so chunk `c` of a parallel map
+/// gets the same ID whichever thread claims it.
+pub fn span_at(ctx: &SpanContext, name: &str, index: u64) -> SpanGuard {
+    let id = derive_span_id(ctx.span_id, name, index);
+    let prev = CURRENT.with(|c| c.borrow().clone());
+    let start_us = ctx.collector.elapsed_us();
+    install(
+        name,
+        ctx.trace_id,
+        id,
+        ctx.span_id,
+        start_us,
+        Arc::clone(&ctx.collector),
+        prev,
+    )
+}
+
+/// Opens a trace root span directly on a collector: the server's
+/// per-request entry point. The root's `start_us` is pinned to the
+/// collector's origin (0), so the root always covers the full trace.
+pub fn attach_root(collector: &Arc<SpanCollector>, trace_id: u64, name: &str) -> SpanGuard {
+    let id = derive_span_id(trace_id, name, 0);
+    let prev = CURRENT.with(|c| c.borrow().clone());
+    install(name, trace_id, id, 0, 0.0, Arc::clone(collector), prev)
+}
+
+/// Renders finished spans as Chrome trace-event JSON (load in
+/// `chrome://tracing` or <https://ui.perfetto.dev>) — the same format
+/// `gables-soc-sim`'s epoch exporter emits, so a served request and a
+/// simulator run open in the same tooling. Timestamps are microseconds
+/// since the trace origin.
+pub fn chrome_trace_for_spans(spans: &[SpanRecord]) -> String {
+    let mut ordered: Vec<&SpanRecord> = spans.iter().collect();
+    // Parents before children: earlier start first, longer span first on
+    // ties, so nesting renders correctly.
+    ordered.sort_by(|a, b| {
+        a.start_us
+            .partial_cmp(&b.start_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                b.dur_us
+                    .partial_cmp(&a.dur_us)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+    });
+    let mut events: Vec<String> = Vec::with_capacity(ordered.len() + 1);
+    events.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":1,"args":{"name":"gables-request"}}"#
+            .to_string(),
+    );
+    let num = |x: f64| if x.is_finite() { x } else { 0.0 };
+    for s in ordered {
+        events.push(format!(
+            r#"{{"name":"{}","cat":"span","ph":"X","pid":1,"tid":1,"ts":{},"dur":{},"args":{{"trace":"{:016x}","span":"{:016x}","parent":"{:016x}"}}}}"#,
+            json::escape(&s.name),
+            num(s.start_us),
+            num(s.dur_us),
+            s.trace_id,
+            s.span_id,
+            s.parent_id,
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing_and_ordering() {
+        assert_eq!(Level::parse("info").unwrap(), Some(Level::Info));
+        assert_eq!(Level::parse("WARN").unwrap(), Some(Level::Warn));
+        assert_eq!(Level::parse("off").unwrap(), None);
+        assert!(Level::parse("loud").is_err());
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(LogFormat::parse("json").unwrap(), LogFormat::Json);
+        assert!(LogFormat::parse("yaml").is_err());
+    }
+
+    #[test]
+    fn derived_ids_are_deterministic_and_distinct() {
+        let a = derive_span_id(7, "worker", 0);
+        assert_eq!(a, derive_span_id(7, "worker", 0));
+        assert_ne!(a, derive_span_id(7, "worker", 1));
+        assert_ne!(a, derive_span_id(8, "worker", 0));
+        assert_ne!(a, derive_span_id(7, "chunk", 0));
+        assert_ne!(a, 0, "0 is reserved for no-parent");
+        assert_eq!(hash64("req-1"), hash64("req-1"));
+        assert_ne!(hash64("req-1"), hash64("req-2"));
+    }
+
+    #[test]
+    fn spans_nest_and_record_into_the_collector() {
+        let collector = SpanCollector::new(16);
+        {
+            let root = attach_root(&collector, hash64("t"), "root");
+            assert!(root.is_active());
+            {
+                let child = span("child");
+                assert!(child.is_active());
+                let _grand = span("grandchild");
+            }
+            let _second = span("second-child");
+        }
+        let (spans, dropped) = collector.take();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        // Children close before parents.
+        assert_eq!(names, ["grandchild", "child", "second-child", "root"]);
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        let root = by_name("root");
+        let child = by_name("child");
+        let grand = by_name("grandchild");
+        assert_eq!(root.parent_id, 0);
+        assert_eq!(child.parent_id, root.span_id);
+        assert_eq!(grand.parent_id, child.span_id);
+        assert_eq!(root.start_us, 0.0);
+        assert!(root.dur_us >= child.dur_us);
+        // Sibling IDs differ (distinct child indices).
+        assert_ne!(child.span_id, by_name("second-child").span_id);
+        // The context is fully popped.
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn span_outside_any_context_is_inert() {
+        let g = span("nothing");
+        assert!(!g.is_active());
+        assert!(g.span_id().is_none());
+        drop(g);
+        assert!(current_context().is_none());
+    }
+
+    #[test]
+    fn span_at_reproduces_ids_across_threads() {
+        let run = || {
+            let collector = SpanCollector::new(64);
+            let _root = attach_root(&collector, hash64("det"), "root");
+            let ctx = current_context().unwrap();
+            let mut handles = Vec::new();
+            for i in 0..4u64 {
+                let ctx = ctx.clone();
+                handles.push(std::thread::spawn(move || {
+                    let g = span_at(&ctx, "worker", i);
+                    g.span_id().unwrap()
+                }));
+            }
+            let mut ids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(run(), run(), "worker span IDs must be reproducible");
+    }
+
+    #[test]
+    fn collector_is_bounded() {
+        let collector = SpanCollector::new(2);
+        let trace = hash64("cap");
+        for i in 0..5 {
+            let _s = span_at(
+                &SpanContext {
+                    trace_id: trace,
+                    span_id: 1,
+                    collector: Arc::clone(&collector),
+                },
+                "s",
+                i,
+            );
+        }
+        let (spans, dropped) = collector.take();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(dropped, 3);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_all_spans() {
+        let collector = SpanCollector::new(16);
+        {
+            let _root = attach_root(&collector, hash64("x"), "server.request");
+            let _child = span("eval");
+        }
+        let (spans, _) = collector.take();
+        let trace = chrome_trace_for_spans(&spans);
+        let doc = json::Json::parse(&trace).expect("valid chrome trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Metadata + 2 spans, root ordered before its child.
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[1].get("name").and_then(json::Json::as_str),
+            Some("server.request")
+        );
+        assert_eq!(
+            events[2].get("name").and_then(json::Json::as_str),
+            Some("eval")
+        );
+    }
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(Value::from("plain").to_json(), "\"plain\"");
+        assert_eq!(Value::from("a b").to_text(), "\"a b\"");
+        assert_eq!(Value::from(3u64).to_json(), "3");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::from(1.5).to_text(), "1.5");
+    }
+}

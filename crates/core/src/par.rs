@@ -94,8 +94,17 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    // Snapshot the caller's span context (if any) so worker spans attach
+    // to the trace that spawned them. Span IDs are derived from the chunk
+    // index, never the thread, so traces stay deterministic at any
+    // worker count (see `obs::derive_span_id`).
+    let span_ctx = crate::obs::current_context();
+
     let workers = par.resolve().min(len.max(1));
     if workers <= 1 || len <= 1 {
+        let _span = span_ctx
+            .as_ref()
+            .map(|ctx| crate::obs::span_at(ctx, "worker", 0));
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
             out.push(f(i)?);
@@ -121,6 +130,9 @@ where
                 }
                 let start = c * chunk;
                 let end = (start + chunk).min(len);
+                let _span = span_ctx
+                    .as_ref()
+                    .map(|ctx| crate::obs::span_at(ctx, "worker", c as u64));
                 let mut local = Vec::with_capacity(end - start);
                 let mut err = None;
                 for i in start..end {
@@ -252,5 +264,38 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let got = map(Parallelism::Threads(32), 5, |i| i);
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_spans_attach_to_the_caller_trace_deterministically() {
+        use crate::obs;
+
+        let worker_ids = |par: Parallelism| -> Vec<(u64, u64)> {
+            let collector = obs::SpanCollector::new(256);
+            {
+                let _root = obs::attach_root(&collector, obs::hash64("par-test"), "root");
+                let _ = map(par, 100, |i| i * 2);
+            }
+            let (spans, dropped) = collector.take();
+            assert_eq!(dropped, 0);
+            let mut ids: Vec<(u64, u64)> = spans
+                .iter()
+                .filter(|s| s.name == "worker")
+                .map(|s| (s.span_id, s.parent_id))
+                .collect();
+            assert!(!ids.is_empty(), "parallel map must emit worker spans");
+            ids.sort_unstable();
+            ids
+        };
+
+        // Same policy, two runs: identical span identity despite
+        // scheduling jitter.
+        assert_eq!(
+            worker_ids(Parallelism::Threads(4)),
+            worker_ids(Parallelism::Threads(4))
+        );
+        // The serial path still emits a worker span so traces always
+        // nest root→…→worker.
+        assert_eq!(worker_ids(Parallelism::Serial).len(), 1);
     }
 }

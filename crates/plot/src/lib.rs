@@ -29,6 +29,7 @@ pub mod chart;
 pub mod gantt;
 pub mod hist;
 pub mod scale;
+pub mod span_tree;
 pub mod svg;
 
 pub use ascii::render_ascii;
@@ -37,4 +38,5 @@ pub use chart::{
 };
 pub use gantt::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
 pub use hist::render_histogram;
+pub use span_tree::{render_span_tree, span_tree_summary};
 pub use svg::SvgDocument;

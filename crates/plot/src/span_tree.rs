@@ -1,0 +1,190 @@
+//! ASCII rendering of observability span trees.
+//!
+//! Takes the flat [`SpanRecord`] list a
+//! [`SpanCollector`](gables_model::obs::SpanCollector) produces for one
+//! trace and renders it as an indented tree with durations, plus a
+//! compact one-line summary for flight-recorder listings.
+
+use gables_model::obs::SpanRecord;
+
+/// One node of the reconstructed span tree: the record's index plus the
+/// indices of its children, ordered by start time.
+struct Node {
+    record: usize,
+    children: Vec<usize>,
+}
+
+/// Rebuilds parent/child structure from flat records. Roots are spans
+/// whose parent is 0 or absent (dropped by a bounded collector); both
+/// roots and children are ordered by start time so rendering is stable.
+fn build_tree(spans: &[SpanRecord]) -> (Vec<Node>, Vec<usize>) {
+    let mut nodes: Vec<Node> = (0..spans.len())
+        .map(|i| Node {
+            record: i,
+            children: Vec::new(),
+        })
+        .collect();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        let parent = spans
+            .iter()
+            .position(|p| p.span_id == span.parent_id && p.span_id != span.span_id);
+        match (span.parent_id, parent) {
+            (0, _) | (_, None) => roots.push(i),
+            (_, Some(p)) => nodes[p].children.push(i),
+        }
+    }
+    let by_start = |a: &usize, b: &usize| {
+        spans[*a]
+            .start_us
+            .partial_cmp(&spans[*b].start_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    };
+    roots.sort_by(by_start);
+    for node in &mut nodes {
+        node.children.sort_by(by_start);
+    }
+    (nodes, roots)
+}
+
+/// Renders a trace's spans as an indented ASCII tree, one span per line:
+///
+/// ```text
+/// server.request                             1523.4us
+///   dispatch /v1/sweep                       1401.0us
+///     sweep                                  1350.1us
+///       worker                                700.0us
+/// ```
+///
+/// Spans whose parent was dropped by a bounded collector surface as
+/// extra roots rather than disappearing. Returns `"(no spans)\n"` for an
+/// empty trace.
+pub fn render_span_tree(spans: &[SpanRecord]) -> String {
+    if spans.is_empty() {
+        return "(no spans)\n".to_string();
+    }
+    let (nodes, roots) = build_tree(spans);
+    let name_width = spans
+        .iter()
+        .map(|s| s.name.chars().count())
+        .max()
+        .unwrap_or(0)
+        // Deepest indent must still fit before the duration column.
+        + 2 * depth(&nodes, &roots);
+    let mut out = String::new();
+    let mut stack: Vec<(usize, usize)> = roots.iter().rev().map(|&r| (r, 0)).collect();
+    while let Some((idx, level)) = stack.pop() {
+        let span = &spans[nodes[idx].record];
+        let label = format!("{}{}", "  ".repeat(level), span.name);
+        out.push_str(&format!(
+            "{label:<width$} {dur:>10.1}us\n",
+            width = name_width.max(label.chars().count()),
+            dur = span.dur_us,
+        ));
+        for &child in nodes[idx].children.iter().rev() {
+            stack.push((child, level + 1));
+        }
+    }
+    out
+}
+
+fn depth(nodes: &[Node], roots: &[usize]) -> usize {
+    fn walk(nodes: &[Node], idx: usize, level: usize) -> usize {
+        nodes[idx]
+            .children
+            .iter()
+            .map(|&c| walk(nodes, c, level + 1))
+            .max()
+            .unwrap_or(level)
+    }
+    roots.iter().map(|&r| walk(nodes, r, 0)).max().unwrap_or(0)
+}
+
+/// Compresses a trace into a single line for list views: the chain of
+/// first children, with repeated sibling names collapsed to `×count`:
+///
+/// ```text
+/// server.request > dispatch /v1/sweep > sweep > worker ×4
+/// ```
+pub fn span_tree_summary(spans: &[SpanRecord]) -> String {
+    if spans.is_empty() {
+        return "(no spans)".to_string();
+    }
+    let (nodes, roots) = build_tree(spans);
+    let mut parts: Vec<String> = Vec::new();
+    let mut current = roots.first().copied();
+    while let Some(idx) = current {
+        let node = &nodes[idx];
+        let name = spans[node.record].name.as_str();
+        // Collapse siblings sharing the first child's name into ×count.
+        parts.push(name.to_string());
+        current = node.children.first().copied();
+        if let Some(child) = current {
+            let child_name = &spans[nodes[child].record].name;
+            let same = node
+                .children
+                .iter()
+                .filter(|&&c| spans[nodes[c].record].name == *child_name)
+                .count();
+            if same > 1 {
+                parts.push(format!("{child_name} ×{same}"));
+                current = None;
+            }
+        }
+    }
+    parts.join(" > ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gables_model::obs::{attach_root, hash64, span, span_at, SpanCollector};
+
+    fn sample_trace() -> Vec<SpanRecord> {
+        let collector = SpanCollector::new(32);
+        {
+            let _root = attach_root(&collector, hash64("t"), "server.request");
+            let _dispatch = span("dispatch /v1/sweep");
+            let _handler = span("sweep");
+            let ctx = gables_model::obs::current_context().unwrap();
+            for i in 0..3 {
+                let _w = span_at(&ctx, "worker", i);
+            }
+        }
+        collector.take().0
+    }
+
+    #[test]
+    fn tree_renders_every_span_with_nesting() {
+        let spans = sample_trace();
+        let tree = render_span_tree(&spans);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), spans.len());
+        assert!(lines[0].starts_with("server.request"));
+        assert!(lines[1].starts_with("  dispatch /v1/sweep"));
+        assert!(lines[2].starts_with("    sweep"));
+        assert!(lines[3].starts_with("      worker"));
+        assert!(tree.contains("us\n"));
+    }
+
+    #[test]
+    fn summary_collapses_repeated_workers() {
+        let spans = sample_trace();
+        assert_eq!(
+            span_tree_summary(&spans),
+            "server.request > dispatch /v1/sweep > sweep > worker ×3"
+        );
+        assert_eq!(span_tree_summary(&[]), "(no spans)");
+    }
+
+    #[test]
+    fn orphaned_spans_surface_as_roots() {
+        let mut spans = sample_trace();
+        // Simulate the root being dropped by a bounded collector.
+        let root_id = spans.iter().find(|s| s.parent_id == 0).unwrap().span_id;
+        spans.retain(|s| s.span_id != root_id);
+        let tree = render_span_tree(&spans);
+        assert!(tree.starts_with("dispatch /v1/sweep"));
+        assert_eq!(tree.lines().count(), spans.len());
+    }
+}

@@ -3,9 +3,10 @@
 //! A dependency-free HTTP/1.1 JSON serving layer for the Gables suite,
 //! built entirely on `std`: `TcpListener` + a bounded worker thread
 //! pool, a tiny request/response codec ([`http`]), a sharded LRU
-//! response cache ([`cache`]), and always-on request telemetry
-//! ([`metrics`]) in the spirit of the simulator's `Recorder` layer —
-//! observation never perturbs serving behaviour.
+//! response cache ([`cache`]), always-on request telemetry
+//! ([`metrics`]), and a flight recorder of recent requests with their
+//! span trees ([`flight`]) — all in the spirit of the simulator's
+//! `Recorder` layer: observation never perturbs serving behaviour.
 //!
 //! This crate is *generic* server infrastructure: it knows nothing
 //! about spec files or roofline endpoints. The Gables endpoints
@@ -66,14 +67,16 @@
 
 pub mod cache;
 pub mod faults;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod server;
 
 pub use cache::ShardedCache;
 pub use faults::{FaultCase, FaultKind, FaultOutcome, FaultReport, FaultSchedule};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use http::{
     read_request, HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_BYTES,
 };
-pub use metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS};
+pub use metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS, MAX_ROUTE_LABELS};
 pub use server::{Handler, Router, Server, ServerConfig, ServerHandle};

@@ -23,6 +23,12 @@ use gables_model::json::Json;
 /// Number of log2 latency buckets (the last is the overflow bucket).
 pub const LATENCY_BUCKETS: usize = 22;
 
+/// Maximum distinct route labels tracked before new ones aggregate under
+/// `"(other)"`. The server already folds unknown paths into
+/// `"(unmatched)"`, so this is a second fence: even a bug upstream can't
+/// let a client grow the route map one label per arbitrary path.
+pub const MAX_ROUTE_LABELS: usize = 64;
+
 /// Lock-free request counters shared between the server loop, the
 /// handlers (for cache attribution), and the `/metrics` endpoint.
 #[derive(Debug, Default)]
@@ -37,6 +43,7 @@ pub struct ServerMetrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
+    latency_sum_us: AtomicU64,
     // Route labels are an open set (any path a client sends), so the
     // per-route counters live behind a mutex rather than fixed atomics;
     // one short-held lock per request, off every other hot path.
@@ -60,8 +67,16 @@ impl ServerMetrics {
         }
         .fetch_add(1, Ordering::Relaxed);
         self.latency[Self::bucket_for(latency)].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(
+            latency.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
         let mut routes = self.routes.lock().expect("metrics route map poisoned");
-        *routes.entry(route.to_string()).or_insert(0) += 1;
+        if routes.len() >= MAX_ROUTE_LABELS && !routes.contains_key(route) {
+            *routes.entry("(other)".to_string()).or_insert(0) += 1;
+        } else {
+            *routes.entry(route.to_string()).or_insert(0) += 1;
+        }
     }
 
     /// Records one connection refused by queue backpressure (503 sent
@@ -126,6 +141,7 @@ impl ServerMetrics {
                 .iter()
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
+            latency_sum_us: self.latency_sum_us.load(Ordering::Relaxed),
             routes: self
                 .routes
                 .lock()
@@ -160,6 +176,8 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Log2 latency histogram counts (see [`LATENCY_BUCKETS`]).
     pub latency: Vec<u64>,
+    /// Sum of all observed service latencies, in microseconds.
+    pub latency_sum_us: u64,
     /// Per-route handled counts, sorted by route.
     pub routes: Vec<(String, u64)>,
 }
@@ -225,6 +243,10 @@ impl MetricsSnapshot {
             ("cache_hits".into(), Json::num(self.cache_hits as f64)),
             ("cache_misses".into(), Json::num(self.cache_misses as f64)),
             ("cache_hit_rate".into(), Json::num(self.cache_hit_rate())),
+            (
+                "latency_sum_us".into(),
+                Json::num(self.latency_sum_us as f64),
+            ),
             ("latency_us_log2".into(), latency),
             ("routes".into(), routes),
         ])
@@ -275,6 +297,140 @@ impl MetricsSnapshot {
         out.push_str(&gables_plot::render_histogram(&bins, 48));
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (the `/v1/metrics?format=prom` view).
+    ///
+    /// The log2 latency histogram becomes a native Prometheus histogram:
+    /// internal bucket `i` holds requests in `[2^(i-1), 2^i) µs`, so the
+    /// cumulative `le="2^i µs in seconds"` series is the prefix sum, the
+    /// overflow bucket folds into `le="+Inf"`, and `_count` equals the
+    /// total handled. `uptime_seconds` and `build_info` come from the
+    /// caller because a snapshot has no clock or version of its own.
+    pub fn to_prometheus(&self, uptime_seconds: f64, version: &str) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, u64)]| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            for (labels, value) in series {
+                out.push_str(&format!("{name}{labels} {value}\n"));
+            }
+        };
+        let plain = |v: u64| vec![(String::new(), v)];
+        metric(
+            "gables_requests_handled_total",
+            "counter",
+            "Requests fully processed (any status), excluding rejections.",
+            &plain(self.handled),
+        );
+        metric(
+            "gables_requests_rejected_total",
+            "counter",
+            "Connections refused by queue backpressure (503 at accept).",
+            &plain(self.rejected),
+        );
+        metric(
+            "gables_requests_in_flight",
+            "gauge",
+            "Requests currently in service.",
+            &plain(self.in_flight),
+        );
+        metric(
+            "gables_responses_total",
+            "counter",
+            "Responses by status class.",
+            &[
+                ("{class=\"2xx\"}".to_string(), self.status_2xx),
+                ("{class=\"4xx\"}".to_string(), self.status_4xx),
+                ("{class=\"5xx\"}".to_string(), self.status_5xx),
+            ],
+        );
+        metric(
+            "gables_handler_panics_total",
+            "counter",
+            "Handler panics caught and answered with a structured 500.",
+            &plain(self.panics),
+        );
+        metric(
+            "gables_cache_requests_total",
+            "counter",
+            "Cache-eligible requests by outcome.",
+            &[
+                ("{result=\"hit\"}".to_string(), self.cache_hits),
+                ("{result=\"miss\"}".to_string(), self.cache_misses),
+            ],
+        );
+        let routes: Vec<(String, u64)> = self
+            .routes
+            .iter()
+            .map(|(route, n)| (format!("{{route=\"{}\"}}", escape_label(route)), *n))
+            .collect();
+        metric(
+            "gables_route_requests_total",
+            "counter",
+            "Handled requests by route.",
+            &routes,
+        );
+
+        // Histogram: cumulative buckets in seconds, +Inf = total.
+        out.push_str(concat!(
+            "# HELP gables_request_latency_seconds Service latency of handled requests.\n",
+            "# TYPE gables_request_latency_seconds histogram\n",
+        ));
+        let mut cumulative = 0u64;
+        for (i, count) in self.latency.iter().enumerate().take(LATENCY_BUCKETS - 1) {
+            cumulative += count;
+            out.push_str(&format!(
+                "gables_request_latency_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+                (1u64 << i) as f64 / 1e6,
+            ));
+        }
+        let total: u64 = self.latency.iter().sum();
+        out.push_str(&format!(
+            "gables_request_latency_seconds_bucket{{le=\"+Inf\"}} {total}\n"
+        ));
+        out.push_str(&format!(
+            "gables_request_latency_seconds_sum {}\n",
+            self.latency_sum_us as f64 / 1e6
+        ));
+        out.push_str(&format!("gables_request_latency_seconds_count {total}\n"));
+
+        out.push_str(&format!(
+            concat!(
+                "# HELP gables_uptime_seconds Seconds since the server started.\n",
+                "# TYPE gables_uptime_seconds gauge\n",
+                "gables_uptime_seconds {}\n",
+            ),
+            if uptime_seconds.is_finite() {
+                uptime_seconds.max(0.0)
+            } else {
+                0.0
+            }
+        ));
+        out.push_str(&format!(
+            concat!(
+                "# HELP gables_build_info Build metadata; the value is always 1.\n",
+                "# TYPE gables_build_info gauge\n",
+                "gables_build_info{{version=\"{}\"}} 1\n",
+            ),
+            escape_label(version)
+        ));
+        out
+    }
+}
+
+/// Escapes a Prometheus label value: backslash, double quote, and
+/// newline must be backslash-escaped per the text exposition format.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -368,6 +524,104 @@ mod tests {
         assert!(text.contains("/eval"));
         assert!(text.contains('#'), "histogram bar expected:\n{text}");
         assert!(text.contains("<128us"));
+    }
+
+    #[test]
+    fn prometheus_export_is_well_formed() {
+        let m = ServerMetrics::new();
+        m.record_handled("/v1/eval", 200, Duration::from_micros(3));
+        m.record_handled("/v1/eval", 200, Duration::from_micros(700));
+        m.record_handled("(unmatched)", 404, Duration::from_micros(40));
+        m.record_cache_hit();
+        m.record_cache_miss();
+        let prom = m.snapshot().to_prometheus(12.5, "0.1.0");
+
+        // Every non-comment line is `name{labels} value`.
+        for line in prom.lines() {
+            if line.starts_with('#') {
+                assert!(
+                    line.starts_with("# HELP ") || line.starts_with("# TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
+        assert!(prom.contains("gables_requests_handled_total 3\n"));
+        assert!(prom.contains("gables_responses_total{class=\"2xx\"} 2\n"));
+        assert!(prom.contains("gables_route_requests_total{route=\"/v1/eval\"} 2\n"));
+        assert!(prom.contains("gables_route_requests_total{route=\"(unmatched)\"} 1\n"));
+        assert!(prom.contains("gables_cache_requests_total{result=\"hit\"} 1\n"));
+        assert!(prom.contains("gables_uptime_seconds 12.5\n"));
+        assert!(prom.contains("gables_build_info{version=\"0.1.0\"} 1\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf_equal_to_handled() {
+        let m = ServerMetrics::new();
+        m.record_handled("/a", 200, Duration::from_micros(1)); // bucket 1
+        m.record_handled("/a", 200, Duration::from_micros(3)); // bucket 2
+        m.record_handled("/a", 200, Duration::from_secs(3600)); // overflow
+        let s = m.snapshot();
+        let prom = s.to_prometheus(0.0, "test");
+        let buckets: Vec<(String, u64)> = prom
+            .lines()
+            .filter_map(|l| l.strip_prefix("gables_request_latency_seconds_bucket{le=\""))
+            .map(|rest| {
+                let (le, tail) = rest.split_once("\"} ").unwrap();
+                (le.to_string(), tail.parse::<u64>().unwrap())
+            })
+            .collect();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS, "one per finite le + +Inf");
+        assert_eq!(buckets.last().unwrap().0, "+Inf");
+        assert_eq!(buckets.last().unwrap().1, s.handled);
+        for pair in buckets.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "buckets must be monotone: {pair:?}");
+        }
+        // The 3600s observation is only in +Inf, not the last finite le.
+        assert_eq!(buckets[LATENCY_BUCKETS - 2].1, 2);
+        assert!(prom.contains(&format!(
+            "gables_request_latency_seconds_count {}\n",
+            s.handled
+        )));
+        let sum_line = prom
+            .lines()
+            .find(|l| l.starts_with("gables_request_latency_seconds_sum "))
+            .unwrap();
+        let sum: f64 = sum_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!((sum - s.latency_sum_us as f64 / 1e6).abs() < 1e-9);
+        assert!(sum > 3600.0, "the one-hour observation dominates the sum");
+    }
+
+    #[test]
+    fn prometheus_label_escaping() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+        let m = ServerMetrics::new();
+        m.record_handled("/x\"y", 200, Duration::from_micros(1));
+        let prom = m.snapshot().to_prometheus(0.0, "v\"1");
+        assert!(prom.contains("gables_route_requests_total{route=\"/x\\\"y\"} 1\n"));
+        assert!(prom.contains("gables_build_info{version=\"v\\\"1\"} 1\n"));
+    }
+
+    #[test]
+    fn route_labels_are_bounded_against_cardinality_abuse() {
+        let m = ServerMetrics::new();
+        for i in 0..(MAX_ROUTE_LABELS + 50) {
+            m.record_handled(&format!("/hostile/{i}"), 404, Duration::from_micros(1));
+        }
+        // A known route keeps counting even after the cap.
+        m.record_handled("/hostile/0", 404, Duration::from_micros(1));
+        let s = m.snapshot();
+        assert!(s.routes.len() <= MAX_ROUTE_LABELS + 1, "{}", s.routes.len());
+        let other = s.routes.iter().find(|(r, _)| r == "(other)").unwrap().1;
+        assert_eq!(other, 50);
+        let known = s.routes.iter().find(|(r, _)| r == "/hostile/0").unwrap().1;
+        assert_eq!(known, 2);
+        assert_eq!(s.handled, (MAX_ROUTE_LABELS + 51) as u64);
     }
 
     #[test]

@@ -20,12 +20,18 @@ use std::collections::VecDeque;
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use gables_model::obs;
+
+use crate::flight::{FlightRecord, FlightRecorder};
 use crate::http::{read_request, Request, Response};
 use crate::metrics::ServerMetrics;
+
+/// Spans retained per request before the collector starts dropping.
+const SPAN_CAPACITY: usize = 512;
 
 /// A request handler: pure function of the parsed request.
 pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
@@ -64,6 +70,14 @@ impl Router {
         self.routes
             .push((method.to_string(), path.to_string(), Box::new(handler)));
         self
+    }
+
+    /// Whether any handler is registered at this path (any method).
+    /// Metrics label unknown paths `"(unmatched)"` instead of echoing
+    /// them, so a client scanning arbitrary paths cannot grow the
+    /// per-route counter map.
+    pub fn has_path(&self, path: &str) -> bool {
+        self.routes.iter().any(|(_, p, _)| p == path)
     }
 
     /// Dispatches one request: 404 for unknown paths, 405 (with the
@@ -113,6 +127,8 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Value of the `Retry-After` header on backpressure 503s.
     pub retry_after_secs: u64,
+    /// Requests retained by the flight recorder ring.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -123,6 +139,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             retry_after_secs: 1,
+            flight_capacity: 64,
         }
     }
 }
@@ -181,6 +198,7 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     addr: std::net::SocketAddr,
     metrics: Arc<ServerMetrics>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl ServerHandle {
@@ -193,6 +211,11 @@ impl ServerHandle {
     /// The live request counters.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// The flight recorder of recent requests.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// Requests a graceful stop: sets the flag and wakes the accept
@@ -212,6 +235,7 @@ pub struct Server {
     listener: TcpListener,
     config: ServerConfig,
     metrics: Arc<ServerMetrics>,
+    flight: Arc<FlightRecorder>,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -233,10 +257,12 @@ impl Server {
     /// Returns the bind error (address in use, permission, …).
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let flight = Arc::new(FlightRecorder::new(config.flight_capacity));
         Ok(Self {
             listener,
             config,
             metrics: Arc::new(ServerMetrics::new()),
+            flight,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -255,6 +281,11 @@ impl Server {
         Arc::clone(&self.metrics)
     }
 
+    /// The flight recorder (shared with the eventual workers).
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.flight)
+    }
+
     /// A handle that can stop the server once [`Server::run`] starts.
     ///
     /// # Errors
@@ -265,6 +296,7 @@ impl Server {
             shutdown: Arc::clone(&self.shutdown),
             addr: self.listener.local_addr()?,
             metrics: Arc::clone(&self.metrics),
+            flight: Arc::clone(&self.flight),
         })
     }
 
@@ -292,6 +324,7 @@ impl Server {
             let queue = Arc::clone(&queue);
             let router = Arc::clone(&router);
             let metrics = Arc::clone(&self.metrics);
+            let flight = Arc::clone(&self.flight);
             let config = self.config.clone();
             pool.push(std::thread::spawn(move || loop {
                 match queue.pop() {
@@ -302,7 +335,7 @@ impl Server {
                         // the serving plumbing itself — and even then the
                         // worker survives to drain the queue.
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            serve_connection(&mut stream, &router, &metrics, &config);
+                            serve_connection(&mut stream, &router, &metrics, &config, &flight);
                         }));
                         if outcome.is_err() {
                             metrics.record_panic();
@@ -324,8 +357,19 @@ impl Server {
             };
             if let Err(Work::Conn(mut stream)) = queue.try_push(Work::Conn(stream), queue_limit) {
                 self.metrics.record_rejected();
+                // The request was never read, so the client's request ID
+                // (if any) is unknown; a generated one still lets the
+                // client correlate the 503 with server logs.
+                let request_id = fresh_request_id();
+                obs::log(
+                    obs::Level::Warn,
+                    "serve.access",
+                    "request shed: queue full",
+                    &[("request_id", request_id.as_str().into())],
+                );
                 let resp = Response::error(503, "server busy: request queue is full")
-                    .with_header("Retry-After", self.config.retry_after_secs.to_string());
+                    .with_header("Retry-After", self.config.retry_after_secs.to_string())
+                    .with_header("X-Request-Id", request_id);
                 let _ = stream.set_write_timeout(Some(self.config.write_timeout));
                 let _ = resp.write_to(&mut stream);
                 // The shed connection's request bytes were never read, so
@@ -355,43 +399,96 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
-/// Reads one request off the connection, dispatches it, writes the
-/// response, and records metrics. All errors — including a panicking
-/// handler, which is confined to this request and answered with a
-/// structured 500 — are answered on the wire where possible and never
-/// propagate.
+/// A fresh, process-unique request ID: 16 lowercase hex digits derived
+/// from a per-process salt and a counter. Unguessable enough to avoid
+/// collisions across restarts, cheap enough for the accept loop.
+fn fresh_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SALT: OnceLock<u64> = OnceLock::new();
+    let salt = *SALT.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        nanos ^ u64::from(std::process::id()).rotate_left(32)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}", obs::hash64(&format!("{salt:x}-{n}")))
+}
+
+/// Whether a client-supplied `X-Request-Id` is safe to echo and log:
+/// non-empty, at most 64 bytes, only `[A-Za-z0-9._:-]`.
+fn is_valid_request_id(value: &str) -> bool {
+    !value.is_empty()
+        && value.len() <= 64
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
+}
+
+/// Reads one request off the connection, dispatches it inside a span
+/// tree, writes the response (always carrying `X-Request-Id`), and
+/// records metrics, an access-log line, and a flight-recorder entry. All
+/// errors — including a panicking handler, which is confined to this
+/// request and answered with a structured 500 — are answered on the wire
+/// where possible and never propagate.
 fn serve_connection(
     stream: &mut TcpStream,
     router: &Router,
     metrics: &ServerMetrics,
     config: &ServerConfig,
+    flight: &FlightRecorder,
 ) {
     metrics.enter_in_flight();
     let _in_flight = InFlightGuard(metrics);
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let (route, response, fully_read) = match read_request(stream) {
+    let collector = obs::SpanCollector::new(SPAN_CAPACITY);
+    let (request_id, method, route, response, fully_read) = match read_request(stream) {
         Ok(req) => {
-            let route = req.path.clone();
-            // A panic in one handler must cost exactly that request: the
-            // worker answers a structured 500 and lives to serve the next
-            // connection. Handlers borrow only `&Request`, so no shared
-            // state can be left torn by the unwind (`AssertUnwindSafe` is
-            // about the borrow checker, not an actual safety waiver).
-            let response =
+            let request_id = req
+                .header("x-request-id")
+                .filter(|v| is_valid_request_id(v))
+                .map(str::to_string)
+                .unwrap_or_else(fresh_request_id);
+            // Label unknown paths "(unmatched)" so metrics and span
+            // names stay low-cardinality no matter what paths clients
+            // probe (the 404 body still echoes the real path).
+            let route = if router.has_path(&req.path) {
+                req.path.clone()
+            } else {
+                "(unmatched)".to_string()
+            };
+            let response = {
+                // The trace ID derives from the request ID, so a client
+                // retrying with the same X-Request-Id produces the same
+                // trace identity.
+                let _root =
+                    obs::attach_root(&collector, obs::hash64(&request_id), "server.request");
+                let _dispatch = obs::span(&format!("dispatch {route}"));
+                // A panic in one handler must cost exactly that request:
+                // the worker answers a structured 500 and lives to serve
+                // the next connection. Handlers borrow only `&Request`,
+                // so no shared state can be left torn by the unwind
+                // (`AssertUnwindSafe` is about the borrow checker, not an
+                // actual safety waiver).
                 catch_unwind(AssertUnwindSafe(|| router.dispatch(&req))).unwrap_or_else(|_| {
                     metrics.record_panic();
                     Response::error(500, "internal error: handler panicked")
-                });
-            (route, response, true)
+                })
+            };
+            (request_id, req.method.clone(), route, response, true)
         }
         Err(err) => (
+            fresh_request_id(),
+            "-".to_string(),
             "(unparsed)".to_string(),
             Response::error(err.status(), &err.to_string()),
             false,
         ),
     };
+    let response = response.with_header("X-Request-Id", request_id.as_str());
     let status = response.status;
     let _ = response.write_to(stream);
     let _ = stream.flush();
@@ -401,7 +498,50 @@ fn serve_connection(
         // off the wire before the client reads it.
         drain_and_close(stream);
     }
-    metrics.record_handled(&route, status, started.elapsed());
+    let latency = started.elapsed();
+    metrics.record_handled(&route, status, latency);
+    // Handlers report cache attribution out-of-band via an `X-Cache`
+    // response header (set in the route layer); surface it per-request.
+    let cache_hit = response
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("x-cache"))
+        .map(|(_, v)| v == "hit");
+    if obs::enabled(obs::Level::Info) {
+        obs::log(
+            obs::Level::Info,
+            "serve.access",
+            "request",
+            &[
+                ("method", method.as_str().into()),
+                ("route", route.as_str().into()),
+                ("status", status.into()),
+                ("latency_us", (latency.as_micros() as u64).into()),
+                ("bytes", response.body.len().into()),
+                (
+                    "cache",
+                    match cache_hit {
+                        Some(true) => "hit".into(),
+                        Some(false) => "miss".into(),
+                        None => "-".into(),
+                    },
+                ),
+                ("request_id", request_id.as_str().into()),
+            ],
+        );
+    }
+    let (spans, spans_dropped) = collector.take();
+    flight.record(FlightRecord {
+        seq: 0, // stamped by the recorder
+        id: request_id,
+        method,
+        route,
+        status,
+        latency_us: latency.as_micros() as u64,
+        cache_hit,
+        spans,
+        spans_dropped,
+    });
 }
 
 /// Best-effort graceful close for a connection with (possibly) unread
@@ -567,5 +707,78 @@ mod tests {
         let (handle, join) = started(ping_router(), ServerConfig::default());
         handle.shutdown();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn every_response_carries_a_request_id_and_custom_ids_echo_back() {
+        let (handle, join) = started(ping_router(), ServerConfig::default());
+        let reply = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        assert!(reply.contains("X-Request-Id: "), "{reply}");
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nX-Request-Id: my.custom-id:7\r\n\r\n",
+        );
+        assert!(reply.contains("X-Request-Id: my.custom-id:7"), "{reply}");
+        // A hostile ID (header-injection attempt) is replaced, not echoed.
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nX-Request-Id: evil id\r\n\r\n",
+        );
+        assert!(!reply.contains("evil id"), "{reply}");
+        assert!(reply.contains("X-Request-Id: "), "{reply}");
+        // Even a parse failure is answered with an ID.
+        let reply = roundtrip(handle.addr(), "NOT-HTTP\r\n\r\n");
+        assert!(reply.contains("X-Request-Id: "), "{reply}");
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn request_id_validation_rules() {
+        assert!(is_valid_request_id("abc-123_X.z:9"));
+        assert!(!is_valid_request_id(""));
+        assert!(!is_valid_request_id("has space"));
+        assert!(!is_valid_request_id("crlf\r\ninject"));
+        assert!(!is_valid_request_id(&"x".repeat(65)));
+        let a = fresh_request_id();
+        let b = fresh_request_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(is_valid_request_id(&a));
+    }
+
+    #[test]
+    fn flight_recorder_captures_requests_with_routes_and_spans() {
+        let (handle, join) = started(ping_router(), ServerConfig::default());
+        let _ = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        let _ = roundtrip(handle.addr(), "GET /scan/0 HTTP/1.1\r\n\r\n");
+        handle.shutdown();
+        join.join().unwrap();
+        let recent = handle.flight().recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(handle.flight().recorded_total(), 2);
+        // Newest first: the 404 probe, folded into "(unmatched)".
+        assert_eq!(recent[0].route, "(unmatched)");
+        assert_eq!(recent[0].status, 404);
+        assert_eq!(recent[1].route, "/ping");
+        assert_eq!(recent[1].status, 200);
+        for r in &recent {
+            assert!(!r.id.is_empty());
+            let root = r.spans.iter().find(|s| s.name == "server.request");
+            let root = root.expect("every request records a root span");
+            assert!(r
+                .spans
+                .iter()
+                .any(|s| s.name.starts_with("dispatch ") && s.parent_id == root.span_id));
+        }
+        // The unmatched probe's span tree also uses the folded label.
+        assert!(recent[0]
+            .spans
+            .iter()
+            .any(|s| s.name == "dispatch (unmatched)"));
+        // Metrics fold the same way.
+        let routes = handle.metrics().snapshot().routes;
+        assert!(routes.iter().any(|(r, n)| r == "(unmatched)" && *n == 1));
+        assert!(!routes.iter().any(|(r, _)| r.contains("/scan")));
     }
 }

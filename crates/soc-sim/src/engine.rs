@@ -148,6 +148,7 @@ impl Simulator {
         jobs: &[Job],
         recorder: &mut dyn Recorder,
     ) -> Result<RunResult, SimError> {
+        let _span = gables_model::obs::span("engine.run");
         for job in jobs {
             if job.ip >= self.soc.ips.len() {
                 return Err(SimError::IpIndexOutOfBounds {

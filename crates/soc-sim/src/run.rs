@@ -244,6 +244,7 @@ pub fn run_gables_workload(
     workload: &gables_model::Workload,
     recorder: &mut dyn crate::telemetry::Recorder,
 ) -> Result<RunResult, SimError> {
+    let _span = gables_model::obs::span("sim.run");
     let sim = Simulator::new(crate::presets::from_gables_spec(spec))?;
     sim.run_with_recorder(&gables_jobs(workload)?, recorder)
 }

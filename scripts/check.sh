@@ -6,6 +6,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> no stray stdout printing in library crates"
+# Library code must log through gables_model::obs (stderr, leveled),
+# never print to stdout. eprintln! is allowed; println!/print! are not.
+# The char class before 'print' keeps 'eprintln!' from matching.
+if grep -rnE '(^|[^a-zA-Z0-9_e])print(ln)?!\(' \
+    crates/core/src crates/serve/src crates/soc-sim/src crates/ert/src; then
+  echo "stray stdout printing found in library crates (use gables_model::obs)" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
@@ -24,6 +34,10 @@ cargo test --workspace -q
 echo "==> serve loopback smoke test (real server on an ephemeral port)"
 cargo test -q -p gables-cli --test serve_loopback
 
+echo "==> observability loopback suite (request IDs, flight recorder, prom, spans)"
+cargo test -q -p gables-cli --test obs_loopback
+cargo test --release -q -p gables-cli --test obs_loopback
+
 echo "==> fault-injection smoke (deterministic adversarial clients)"
 cargo test -q -p gables-cli --test fault_injection
 
@@ -31,10 +45,10 @@ echo "==> corpus + validation in release mode (debug_assert! compiled out)"
 cargo test --release -q -p gables-cli
 
 echo "==> differential property suite (dual forms, serial vs parallel, CLI vs HTTP)"
-cargo test -q --test differential
+GABLES_LOG=debug cargo test -q --test differential
 
-echo "==> parallel determinism suite (forced GABLES_THREADS=2)"
-GABLES_THREADS=2 cargo test -q --test parallel_determinism
+echo "==> parallel determinism suite (forced GABLES_THREADS=2, debug logging on)"
+GABLES_THREADS=2 GABLES_LOG=debug cargo test -q --test parallel_determinism
 
 echo "==> parallel bench smoke (small grid, artifact to target/figures)"
 GABLES_BENCH_SCALE=4 cargo bench -q -p gables-bench --bench parallel
