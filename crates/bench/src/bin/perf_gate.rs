@@ -1,0 +1,187 @@
+//! Compares a fresh benchmark trajectory run against the committed
+//! baselines at the repository root and fails on regression.
+//!
+//! For every metric in every `BENCH_{eval,sweep,serve,parallel}.json`
+//! pair it prints one delta line (`bench.metric  baseline  current
+//! delta%`) and exits non-zero if any metric regressed by more than
+//! [`REGRESSION_RATIO`] *and* more than [`ABSOLUTE_SLACK_NS`] — the
+//! absolute floor keeps sub-microsecond jitter from failing the gate.
+//! `--update` copies the candidate artifacts over the baselines instead
+//! of judging them (re-baselining after an accepted perf change).
+//!
+//! Baselines are compared after *machine-speed normalization*: every
+//! artifact records `calibration_ns`, the time of a fixed pure-CPU
+//! spin, and the baseline scales by the candidate/baseline calibration
+//! ratio before judging. A shared machine's CPU-steal episode (or a
+//! different machine) moves the calibration and the metrics together
+//! and cancels out; a code regression moves the metrics alone and
+//! still fails the gate.
+//!
+//! Usage: `perf_gate [--update] [--baseline DIR] [--candidate DIR]`
+//! (defaults: baseline `.`, candidate `$GABLES_BENCH_TRAJECTORY_DIR`
+//! or `target/trajectory`). Baselines and candidates must have been
+//! produced at the same `GABLES_BENCH_SCALE`; the gate refuses to
+//! compare across scales.
+
+use std::process::ExitCode;
+
+use gables_model::json::Json;
+
+/// A metric fails only above `baseline * REGRESSION_RATIO` ...
+const REGRESSION_RATIO: f64 = 1.15;
+/// ... and only when the absolute growth also exceeds this many ns.
+const ABSOLUTE_SLACK_NS: f64 = 25_000.0;
+
+const BENCHES: [&str; 4] = ["eval", "sweep", "serve", "parallel"];
+
+struct Doc {
+    scale: f64,
+    calibration: f64,
+    metrics: Vec<(String, f64)>,
+}
+
+fn load(path: &str) -> Result<Doc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let scale = doc
+        .get("gables_bench_scale")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing gables_bench_scale"))?;
+    let calibration = doc
+        .get("calibration_ns")
+        .and_then(Json::as_f64)
+        .filter(|c| c.is_finite() && *c > 0.0)
+        .ok_or_else(|| format!("{path}: missing calibration_ns"))?;
+    let metrics = doc
+        .get("metrics")
+        .and_then(Json::as_object)
+        .ok_or_else(|| format!("{path}: missing metrics object"))?
+        .iter()
+        .map(|(k, v)| {
+            v.as_f64()
+                .map(|x| (k.clone(), x))
+                .ok_or_else(|| format!("{path}: metric {k} is not a number"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if metrics.is_empty() {
+        return Err(format!("{path}: empty metrics object"));
+    }
+    Ok(Doc {
+        scale,
+        calibration,
+        metrics,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let mut update = false;
+    let mut baseline_dir = ".".to_string();
+    let mut candidate_dir = std::env::var("GABLES_BENCH_TRAJECTORY_DIR")
+        .unwrap_or_else(|_| "target/trajectory".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update" => update = true,
+            "--baseline" => {
+                baseline_dir = args.next().ok_or("--baseline needs a directory")?;
+            }
+            "--candidate" => {
+                candidate_dir = args.next().ok_or("--candidate needs a directory")?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (usage: perf_gate [--update] \
+                     [--baseline DIR] [--candidate DIR])"
+                ))
+            }
+        }
+    }
+
+    if update {
+        for bench in BENCHES {
+            let src = format!("{candidate_dir}/BENCH_{bench}.json");
+            let dst = format!("{baseline_dir}/BENCH_{bench}.json");
+            load(&src)?; // refuse to install a malformed artifact
+            std::fs::copy(&src, &dst).map_err(|e| format!("copy {src} -> {dst}: {e}"))?;
+            println!("updated {dst}");
+        }
+        return Ok(true);
+    }
+
+    println!(
+        "{:<28} {:>14} {:>14} {:>9}",
+        "bench.metric", "baseline ns", "current ns", "delta"
+    );
+    let mut failed = Vec::new();
+    for bench in BENCHES {
+        let base = load(&format!("{baseline_dir}/BENCH_{bench}.json"))?;
+        let cand = load(&format!("{candidate_dir}/BENCH_{bench}.json"))?;
+        if base.scale != cand.scale {
+            return Err(format!(
+                "BENCH_{bench}.json scale mismatch: baseline ran at \
+                 GABLES_BENCH_SCALE={} but candidate at {} — re-run at the \
+                 baseline scale or re-baseline with --update",
+                base.scale, cand.scale
+            ));
+        }
+        // Machine-speed normalization: both runs timed a fixed pure-CPU
+        // calibration spin. If the candidate machine (or the current
+        // CPU-steal episode) is slower, the baseline scales up by the
+        // same ratio — a code regression shows up as the metric moving
+        // *relative to* the calibration. Clamped so a wildly different
+        // machine still triggers an eyeball-worthy delta.
+        let speed_ratio = (cand.calibration / base.calibration).clamp(0.5, 2.0);
+        if (speed_ratio - 1.0).abs() > 0.05 {
+            println!("  [{bench}] baseline scaled by machine-speed ratio {speed_ratio:.2}");
+        }
+        for (name, base_ns) in &base.metrics {
+            let cur_ns = cand
+                .metrics
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("BENCH_{bench}.json candidate lost metric {name}"))?;
+            let adj_ns = base_ns * speed_ratio;
+            let delta_pct = (cur_ns - adj_ns) / adj_ns * 100.0;
+            let regressed =
+                cur_ns > adj_ns * REGRESSION_RATIO && cur_ns - adj_ns > ABSOLUTE_SLACK_NS;
+            println!(
+                "{:<28} {:>14.0} {:>14.0} {:>+8.1}%{}",
+                format!("{bench}.{name}"),
+                adj_ns,
+                cur_ns,
+                delta_pct,
+                if regressed { "  REGRESSED" } else { "" }
+            );
+            if regressed {
+                failed.push(format!("{bench}.{name} ({delta_pct:+.1}%)"));
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!(
+            "perf gate passed (threshold {:.0}% + {:.0} us absolute)",
+            (REGRESSION_RATIO - 1.0) * 100.0,
+            ABSOLUTE_SLACK_NS / 1e3
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "perf gate FAILED: {} (re-baseline with scripts/perf_gate.sh --update \
+             if the regression is accepted)",
+            failed.join(", ")
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("perf_gate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -46,7 +46,19 @@ pub fn run(
 ) -> Result<String, SpecError> {
     let args = split_log_flags(args)?;
     let (args, parallelism) = split_threads_flag(&args)?;
-    let args = &args[..];
+    let (args, profile_out) = split_profile_flag(&args)?;
+    match profile_out {
+        None => dispatch(&args, parallelism, read_file),
+        Some(path) => run_profiled(&args, parallelism, read_file, &path),
+    }
+}
+
+/// Dispatches one already-flag-stripped command line.
+fn dispatch(
+    args: &[String],
+    parallelism: Parallelism,
+    read_file: &dyn Fn(&str) -> std::io::Result<String>,
+) -> Result<String, SpecError> {
     match args.first().map(String::as_str) {
         Some("example") => Ok(spec::FIGURE_6B_SPEC.to_string()),
         Some("eval") => {
@@ -123,7 +135,7 @@ pub const COMMANDS: &[&str] = &[
 ];
 
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {
@@ -205,6 +217,81 @@ fn split_log_flags(args: &[String]) -> Result<Vec<String>, SpecError> {
         }
     }
     Ok(rest)
+}
+
+/// Strips a `--profile <out>` (or `--profile=<out>`) flag from anywhere
+/// in the argument list. When present, the command runs under the
+/// [`gables_model::prof`] sampling profiler inside a
+/// `main;dispatch;<command>` span scaffold, and the collapsed-stack
+/// profile (or JSON, when `<out>` ends in `.json`) is written to `<out>`.
+fn split_profile_flag(args: &[String]) -> Result<(Vec<String>, Option<String>), SpecError> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--profile" {
+            let value = it.next().ok_or_else(|| {
+                SpecError::general("--profile requires an output path (.folded or .json)")
+            })?;
+            out = Some(value.clone());
+        } else if let Some(value) = a.strip_prefix("--profile=") {
+            out = Some(value.to_string());
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, out))
+}
+
+/// Runs a command under the sampling profiler. The command executes
+/// inside a `main` → `dispatch` → `<command>` span scaffold (matching
+/// the server's `server.request` → `dispatch <route>` → handler shape),
+/// so library spans such as the parallel map's `worker` nest beneath it
+/// and the folded output reads `main;dispatch;sweep;worker`. The
+/// profile is written to `out_path` even when the command fails; the
+/// sample/allocation summary and top self-time frames are appended to
+/// successful output.
+fn run_profiled(
+    args: &[String],
+    parallelism: Parallelism,
+    read_file: &dyn Fn(&str) -> std::io::Result<String>,
+    out_path: &str,
+) -> Result<String, SpecError> {
+    use gables_model::{obs, prof};
+    let session = prof::start(prof::SampleConfig::default())
+        .map_err(|e| SpecError::general(format!("--profile: {e}")))?;
+    let collector = obs::SpanCollector::new(8192);
+    let command = args.first().map_or("help", String::as_str).to_string();
+    let result = {
+        let _root = obs::attach_root(&collector, obs::hash64("gables-cli"), "main");
+        let _dispatch = obs::span("dispatch");
+        let _cmd = obs::span(&command);
+        dispatch(args, parallelism, read_file)
+    };
+    let profile = session.stop();
+    let contents = if out_path.ends_with(".json") {
+        profile.to_json().to_string()
+    } else {
+        profile.to_folded()
+    };
+    std::fs::write(out_path, &contents)
+        .map_err(|e| SpecError::general(format!("{out_path}: {e}")))?;
+    let mut out = result?;
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "profile: {} samples across {} stacks ({} dropped), {} allocs / {} bytes",
+        profile.samples_total,
+        profile.samples.len(),
+        profile.samples_dropped,
+        profile.alloc.allocs,
+        profile.alloc.bytes,
+    );
+    out.push_str(&gables_plot::render_self_time_table(&profile.samples, 5));
+    let _ = writeln!(out, "wrote {out_path}");
+    Ok(out)
 }
 
 /// `gables eval`: evaluate the spec, with the SRAM extension if present.

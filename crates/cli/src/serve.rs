@@ -28,6 +28,11 @@
 //!   summary (`?n=` limits, `?id=` fetches one with full spans,
 //!   `?id=...&format=trace` exports Chrome trace-event JSON for
 //!   `chrome://tracing`, `?id=...&format=text` an ASCII span tree).
+//! * `GET /v1/debug/profile` — runs the in-process sampling profiler
+//!   for `?seconds=` (default 1, capped) and returns a collapsed-stack
+//!   profile (`?format=folded`, flamegraph.pl compatible) or a JSON
+//!   document (`?format=json`). One session at a time (409 `conflict`
+//!   while busy); invalid parameters get a 422 `unprocessable`.
 //!
 //! Every request is traced: the server opens a `server.request` span
 //! (trace ID derived from `X-Request-Id`), the route layer nests the
@@ -161,7 +166,8 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
             ("version", VERSION.into()),
             (
                 "routes",
-                "POST /v1/{eval,sweep,whatif,simulate}; GET /v1/{metrics,healthz,debug/requests}"
+                "POST /v1/{eval,sweep,whatif,simulate}; \
+                 GET /v1/{metrics,healthz,debug/requests,debug/profile}"
                     .into(),
             ),
         ],
@@ -247,15 +253,17 @@ pub fn build_router_with(state: &ServeState) -> Router {
         })
         .route("GET", "/v1/debug/requests", move |req| {
             debug_requests_response(req, &debug_state)
-        });
+        })
+        .route("GET", "/v1/debug/profile", debug_profile_response);
     for alias in [false, true] {
         let state = state.clone();
         let path = if alias { "/metrics" } else { "/v1/metrics" };
         router = router.route("GET", path, move |req| {
             let snapshot = state.metrics.snapshot();
             let resp = if req.query_param("format") == Some("prom") {
-                let mut resp =
-                    Response::text(200, snapshot.to_prometheus(state.uptime_seconds(), VERSION));
+                let mut body = snapshot.to_prometheus(state.uptime_seconds(), VERSION);
+                body.push_str(&gables_model::prof::prometheus_text());
+                let mut resp = Response::text(200, body);
                 resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
                 resp
             } else if wants_text(req) {
@@ -379,6 +387,66 @@ fn debug_requests_response(req: &Request, state: &ServeState) -> Response {
         ),
     ]);
     Response::json(200, envelope(&doc.to_string()))
+}
+
+/// Longest profiling window `/v1/debug/profile` accepts, seconds. The
+/// handler sleeps for the window on its worker thread, so the bound
+/// keeps a debug request from pinning a worker indefinitely.
+const MAX_PROFILE_SECONDS: f64 = 15.0;
+
+/// `GET /v1/debug/profile`: runs the process-global sampling profiler
+/// ([`gables_model::prof`]) for `?seconds=` (default 1, bounded) and
+/// returns the aggregated profile — collapsed-stack text by default
+/// (`?format=folded`, flamegraph.pl compatible, identical to what
+/// `gables <cmd> --profile` writes) or a JSON document under
+/// `?format=json`. Sessions are one-at-a-time: a concurrent request
+/// gets a structured 409 `conflict`; out-of-range or non-numeric
+/// parameters get a structured 422 `unprocessable`.
+fn debug_profile_response(req: &Request) -> Response {
+    use gables_model::prof;
+    let seconds = match req.query_param("seconds") {
+        None => 1.0,
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 && v <= MAX_PROFILE_SECONDS => v,
+            _ => {
+                return Response::error_with_kind(
+                    422,
+                    Some("invalid_parameter"),
+                    &format!(
+                        "query parameter seconds={raw:?} must be a finite number in \
+                         (0, {MAX_PROFILE_SECONDS}]"
+                    ),
+                )
+            }
+        },
+    };
+    let format = req.query_param("format").unwrap_or("folded");
+    if format != "folded" && format != "json" {
+        return Response::error_with_kind(
+            422,
+            Some("invalid_parameter"),
+            &format!("query parameter format={format:?} must be \"folded\" or \"json\""),
+        );
+    }
+    let session = match prof::start(prof::SampleConfig::default()) {
+        Ok(s) => s,
+        Err(prof::ProfError::Busy) => {
+            return Response::error_with_kind(
+                409,
+                Some("profile_in_progress"),
+                "a profiling session is already running; retry after it finishes",
+            )
+        }
+    };
+    // The handler thread itself holds `server.request` / `dispatch`
+    // spans, so even an idle server profiles to a non-empty stack set.
+    std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+    let profile = session.stop();
+    if format == "json" {
+        Response::json(200, envelope(&profile.to_json().to_string()))
+    } else {
+        Response::text(200, profile.to_folded())
+    }
 }
 
 /// Parses the body once into a [`Spec`], consults the cache (keyed by
@@ -1015,6 +1083,74 @@ mod tests {
         assert!(body.contains(&format!("gables_build_info{{version=\"{VERSION}\"}} 1\n")));
         assert!(body.contains("gables_uptime_seconds "));
         assert!(body.contains("gables_request_latency_seconds_bucket{le=\"+Inf\"} 1\n"));
+        // Process-global profiler/allocator series are appended.
+        assert!(body.contains("gables_profile_samples_total "), "{body}");
+        assert!(body.contains("gables_allocs_total "));
+        assert!(body.contains("gables_alloc_bytes_total "));
+        assert!(body.contains("# HELP gables_phase_self_seconds_total "));
+    }
+
+    #[test]
+    fn debug_profile_validates_rejects_concurrency_and_profiles() {
+        use gables_model::prof;
+        let router = router();
+        // 422 for unbounded, non-numeric, or non-finite seconds and for
+        // unknown formats — the structured `unprocessable` contract.
+        for bad in [
+            "seconds=0",
+            "seconds=-1",
+            "seconds=16",
+            "seconds=inf",
+            "seconds=nan",
+            "seconds=never",
+            "format=xml",
+        ] {
+            let resp = router.dispatch(&get("/v1/debug/profile", Some(bad)));
+            assert_eq!(resp.status, 422, "{bad}");
+            let (ok, err) = open_envelope(&resp);
+            assert!(!ok);
+            assert_eq!(
+                err.get("code").and_then(Json::as_str),
+                Some("unprocessable")
+            );
+            assert_eq!(
+                err.get("kind").and_then(Json::as_str),
+                Some("invalid_parameter"),
+                "{bad}"
+            );
+        }
+        // 409 while another session holds the process-global profiler.
+        {
+            let _busy = prof::start(prof::SampleConfig::default()).expect("session starts");
+            let resp = router.dispatch(&get("/v1/debug/profile", Some("seconds=0.05")));
+            assert_eq!(resp.status, 409);
+            let (ok, err) = open_envelope(&resp);
+            assert!(!ok);
+            assert_eq!(err.get("code").and_then(Json::as_str), Some("conflict"));
+            assert_eq!(
+                err.get("kind").and_then(Json::as_str),
+                Some("profile_in_progress")
+            );
+        }
+        // Happy path: folded is plain text with `path count` lines
+        // (possibly empty when dispatched without a serving thread);
+        // json is an enveloped profile document.
+        let resp = router.dispatch(&get("/v1/debug/profile", Some("seconds=0.05")));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; charset=utf-8");
+        let body = String::from_utf8(resp.body).unwrap();
+        for line in body.lines() {
+            let (path, count) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(!path.is_empty());
+            count.parse::<u64>().expect("folded count");
+        }
+        let resp = router.dispatch(&get("/v1/debug/profile", Some("seconds=0.05&format=json")));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert!(data.get("samples_total").and_then(Json::as_f64).is_some());
+        assert!(data.get("alloc_bytes").and_then(Json::as_f64).is_some());
+        assert!(data.get("stacks").is_some());
     }
 
     #[test]
@@ -1030,6 +1166,9 @@ mod tests {
                 status: 200,
                 latency_us: 100 + i,
                 cache_hit: Some(i == 2),
+                allocs: 12,
+                alloc_bytes: 4096,
+                cpu_busy_us: 120.0,
                 spans: vec![gables_model::obs::SpanRecord {
                     name: "server.request".into(),
                     trace_id: 7,

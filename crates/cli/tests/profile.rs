@@ -1,0 +1,208 @@
+//! Integration tests for the performance-observability surface: the
+//! CLI's `--profile` flag and the server's `/v1/debug/profile`
+//! endpoint, exercised end to end.
+//!
+//! The profiler session is process-global (one at a time), so every
+//! test here runs inside one `#[test]` function per surface and the
+//! two surfaces serialize on a shared lock.
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use gables_cli::serve::build_router;
+use gables_cli::spec::FIGURE_6B_SPEC;
+use gables_serve::{Server, ServerConfig, ShardedCache};
+
+/// Serializes the profiler-session tests: sessions are one-at-a-time
+/// process-wide, so overlapping tests would see spurious `Busy`.
+static SESSION_LOCK: Mutex<()> = Mutex::new(());
+
+fn run_cli(args: &[&str]) -> Result<String, gables_cli::spec::SpecError> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    gables_cli::run(&args, &|path| {
+        if path == "SPEC" {
+            Ok(FIGURE_6B_SPEC.to_string())
+        } else {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no such file",
+            ))
+        }
+    })
+}
+
+/// Parses folded-stack text into (path, count) pairs, checking the
+/// format line by line: `frame1;frame2;... <count>`.
+fn parse_folded(text: &str) -> Vec<(String, u64)> {
+    text.lines()
+        .map(|line| {
+            let (path, count) = line.rsplit_once(' ').expect("folded line has a count");
+            assert!(!path.is_empty(), "folded line has an empty path: {line:?}");
+            assert!(
+                path.split(';').all(|frame| !frame.is_empty()),
+                "folded path has an empty frame: {line:?}"
+            );
+            (path.to_string(), count.parse().expect("count parses"))
+        })
+        .collect()
+}
+
+#[test]
+fn cli_profile_folded_output_is_stable_across_thread_policies() {
+    let _guard = SESSION_LOCK.lock().unwrap();
+    let dir = std::env::temp_dir().join(format!("gables-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let f_serial = dir.join("serial.folded");
+    let f_threads = dir.join("threads2.folded");
+
+    let out = run_cli(&[
+        "sweep",
+        "SPEC",
+        "intensity",
+        "0.25",
+        "64",
+        "64",
+        "--threads",
+        "serial",
+        "--profile",
+        f_serial.to_str().unwrap(),
+    ])
+    .expect("serial profiled sweep");
+    assert!(out.contains("profile:"), "summary line present:\n{out}");
+    assert!(out.contains("wrote "), "output names the artifact:\n{out}");
+
+    run_cli(&[
+        "sweep",
+        "SPEC",
+        "intensity",
+        "0.25",
+        "64",
+        "64",
+        "--threads",
+        "2",
+        "--profile",
+        f_threads.to_str().unwrap(),
+    ])
+    .expect("two-thread profiled sweep");
+
+    let serial = parse_folded(&std::fs::read_to_string(&f_serial).unwrap());
+    let threads = parse_folded(&std::fs::read_to_string(&f_threads).unwrap());
+    assert!(
+        !serial.is_empty() && !threads.is_empty(),
+        "profiles non-empty"
+    );
+
+    // Counts may differ run to run (timer samples are wall-clock), but
+    // the *path set* is structural: the same spans run under every
+    // policy, so the same frame names in the same nesting must appear.
+    let serial_paths: BTreeSet<&str> = serial.iter().map(|(p, _)| p.as_str()).collect();
+    let thread_paths: BTreeSet<&str> = threads.iter().map(|(p, _)| p.as_str()).collect();
+    assert_eq!(
+        serial_paths, thread_paths,
+        "folded path sets must match across --threads serial|2"
+    );
+    assert!(
+        serial_paths.contains("main;dispatch;sweep;worker"),
+        "span nesting main;dispatch;sweep;worker present, got {serial_paths:?}"
+    );
+
+    // Output is sorted by path (deterministic file layout).
+    let mut sorted = serial.clone();
+    sorted.sort();
+    assert_eq!(serial, sorted, "folded output is path-sorted");
+
+    // JSON flavor: same data, parseable, same stack paths.
+    let f_json = dir.join("serial.json");
+    run_cli(&["eval", "SPEC", "--profile", f_json.to_str().unwrap()]).expect("profiled eval");
+    let doc = gables_model::json::Json::parse(&std::fs::read_to_string(&f_json).unwrap())
+        .expect("profile JSON parses");
+    let stacks = doc
+        .get("stacks")
+        .and_then(|s| s.as_array())
+        .expect("stacks array");
+    assert!(!stacks.is_empty(), "eval profile has stacks");
+    let paths: Vec<&str> = stacks
+        .iter()
+        .filter_map(|s| s.get("stack").and_then(|p| p.as_str()))
+        .collect();
+    assert!(
+        paths.contains(&"main;dispatch;eval"),
+        "eval profile nests main;dispatch;eval, got {paths:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One full HTTP exchange; returns (status line, body).
+fn http_get(addr: SocketAddr, target: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let raw = format!("GET {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(_) if !bytes.is_empty() => break,
+            Err(e) => panic!("read reply: {e}"),
+        }
+    }
+    let reply = String::from_utf8(bytes).expect("UTF-8 reply");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn debug_profile_over_loopback_returns_folded_stacks() {
+    let _guard = SESSION_LOCK.lock().unwrap();
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let addr = handle.addr();
+    let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128)));
+    let join = std::thread::spawn(move || server.run(router).expect("server run"));
+
+    // Traffic generator: keeps request spans running while the profile
+    // session below samples, so the folded output has server frames.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let traffic = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let body = FIGURE_6B_SPEC;
+                let raw = format!(
+                    "POST /eval?format=text HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                stream.write_all(raw.as_bytes()).expect("send");
+                let mut sink = Vec::new();
+                let _ = stream.read_to_end(&mut sink);
+            }
+        })
+    };
+
+    let (status, body) = http_get(addr, "/v1/debug/profile?seconds=0.4&format=folded");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    traffic.join().expect("traffic thread");
+
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    let stacks = parse_folded(body.trim_end_matches('\n'));
+    assert!(!stacks.is_empty(), "loopback profile has stacks:\n{body}");
+    assert!(
+        stacks
+            .iter()
+            .any(|(path, _)| path.contains("server.request")),
+        "profile contains server request frames, got:\n{body}"
+    );
+
+    handle.shutdown();
+    join.join().expect("server thread");
+}

@@ -58,6 +58,9 @@
 //!   sweep evaluation ([`Parallelism`] policies, order-stable map).
 //! * [`obs`] — structured leveled logging, hierarchical spans with
 //!   deterministic IDs, and cross-thread span-context propagation.
+//! * [`prof`] — a deterministic-overhead sampling profiler over the
+//!   span stack (folded-stack / flamegraph export) and process-wide
+//!   allocation counters via a counting global allocator.
 //! * [`baselines`] — Roofline, Amdahl, Gustafson, MultiAmdahl, bottleneck
 //!   combinators (Section VI).
 //! * [`viz`] — sampled multi-roofline plot data (Section III-C), rendered
@@ -78,6 +81,7 @@ pub mod json;
 pub mod model;
 pub mod obs;
 pub mod par;
+pub mod prof;
 pub mod rng;
 pub mod soc;
 pub mod two_ip;
@@ -85,6 +89,12 @@ pub mod units;
 pub mod viz;
 pub mod whatif;
 pub mod workload;
+
+/// Every binary in the workspace allocates through the counting
+/// wrapper so [`prof`]'s allocation counters cover the whole process;
+/// see [`prof::CountingAllocator`] for the (tiny, constant) cost.
+#[global_allocator]
+static GLOBAL_ALLOCATOR: prof::CountingAllocator = prof::CountingAllocator;
 
 pub use error::{ErrorKind, GablesError};
 pub use model::{evaluate, Bottleneck, Evaluation, IpLimit};

@@ -458,6 +458,10 @@ struct TlsState {
     span_id: u64,
     /// Next child index for spans opened under the current span.
     child_seq: u64,
+    /// Semicolon-joined name path from the trace root to this span
+    /// (`main;dispatch;sweep`), published to [`crate::prof`] so the
+    /// sampling profiler can fold stacks without unwinding.
+    path: Arc<str>,
     collector: Arc<SpanCollector>,
 }
 
@@ -471,6 +475,7 @@ thread_local! {
 pub struct SpanContext {
     trace_id: u64,
     span_id: u64,
+    path: Arc<str>,
     collector: Arc<SpanCollector>,
 }
 
@@ -484,6 +489,12 @@ impl SpanContext {
     pub fn span_id(&self) -> u64 {
         self.span_id
     }
+
+    /// The semicolon-joined name path of the context's span, which
+    /// worker spans extend so cross-thread profiles keep full ancestry.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
 }
 
 /// Snapshots the calling thread's span context, or `None` when no span
@@ -493,6 +504,7 @@ pub fn current_context() -> Option<SpanContext> {
         c.borrow().as_ref().map(|state| SpanContext {
             trace_id: state.trace_id,
             span_id: state.span_id,
+            path: Arc::clone(&state.path),
             collector: Arc::clone(&state.collector),
         })
     })
@@ -555,6 +567,7 @@ impl Drop for SpanGuard {
             return;
         };
         let end_us = active.collector.elapsed_us();
+        crate::prof::on_span_exit(active.prev.as_ref().map(|p| &p.path));
         CURRENT.with(|c| *c.borrow_mut() = active.prev.clone());
         if enabled(Level::Trace) {
             log(
@@ -575,20 +588,24 @@ impl Drop for SpanGuard {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn install(
     name: &str,
     trace_id: u64,
     span_id: u64,
     parent_id: u64,
     start_us: f64,
+    path: Arc<str>,
     collector: Arc<SpanCollector>,
     prev: Option<TlsState>,
 ) -> SpanGuard {
+    crate::prof::on_span_enter(&path);
     CURRENT.with(|c| {
         *c.borrow_mut() = Some(TlsState {
             trace_id,
             span_id,
             child_seq: 0,
+            path,
             collector: Arc::clone(&collector),
         });
     });
@@ -617,6 +634,7 @@ pub fn span(name: &str) -> SpanGuard {
     let id = derive_span_id(parent.span_id, name, index);
     let start_us = parent.collector.elapsed_us();
     let collector = Arc::clone(&parent.collector);
+    let path: Arc<str> = format!("{};{}", parent.path, name).into();
     let mut prev = parent;
     prev.child_seq += 1;
     install(
@@ -625,6 +643,7 @@ pub fn span(name: &str) -> SpanGuard {
         id,
         prev.span_id,
         start_us,
+        path,
         collector,
         Some(prev),
     )
@@ -638,12 +657,14 @@ pub fn span_at(ctx: &SpanContext, name: &str, index: u64) -> SpanGuard {
     let id = derive_span_id(ctx.span_id, name, index);
     let prev = CURRENT.with(|c| c.borrow().clone());
     let start_us = ctx.collector.elapsed_us();
+    let path: Arc<str> = format!("{};{}", ctx.path, name).into();
     install(
         name,
         ctx.trace_id,
         id,
         ctx.span_id,
         start_us,
+        path,
         Arc::clone(&ctx.collector),
         prev,
     )
@@ -655,7 +676,16 @@ pub fn span_at(ctx: &SpanContext, name: &str, index: u64) -> SpanGuard {
 pub fn attach_root(collector: &Arc<SpanCollector>, trace_id: u64, name: &str) -> SpanGuard {
     let id = derive_span_id(trace_id, name, 0);
     let prev = CURRENT.with(|c| c.borrow().clone());
-    install(name, trace_id, id, 0, 0.0, Arc::clone(collector), prev)
+    install(
+        name,
+        trace_id,
+        id,
+        0,
+        0.0,
+        Arc::from(name),
+        Arc::clone(collector),
+        prev,
+    )
 }
 
 /// Renders finished spans as Chrome trace-event JSON (load in
@@ -799,6 +829,7 @@ mod tests {
                 &SpanContext {
                     trace_id: trace,
                     span_id: 1,
+                    path: Arc::from("root"),
                     collector: Arc::clone(&collector),
                 },
                 "s",

@@ -1,0 +1,165 @@
+//! ASCII renderers for folded-stack profiles: a sideways flame tree and
+//! a top-N self-time table. Input is the `(stack, count)` pairs a
+//! [`gables_model::prof::Profile`] aggregates (stacks are
+//! semicolon-joined frame paths, root first), so the same data feeds
+//! `flamegraph.pl` and a terminal.
+
+use std::collections::BTreeMap;
+
+/// One node of the reconstructed stack tree.
+#[derive(Debug, Default)]
+struct Node {
+    /// Samples whose path passes through (or ends at) this frame.
+    total: u64,
+    /// Samples whose path ends exactly at this frame.
+    this: u64,
+    children: BTreeMap<String, Node>,
+}
+
+fn build_tree(stacks: &[(String, u64)]) -> Node {
+    let mut root = Node::default();
+    for (path, count) in stacks {
+        root.total += count;
+        let mut node = &mut root;
+        for frame in path.split(';').filter(|f| !f.is_empty()) {
+            node = node.children.entry(frame.to_string()).or_default();
+            node.total += count;
+        }
+        node.this += count;
+    }
+    root
+}
+
+fn render_node(
+    node: &Node,
+    name: &str,
+    depth: usize,
+    grand_total: u64,
+    width: usize,
+    out: &mut String,
+) {
+    let frac = if grand_total == 0 {
+        0.0
+    } else {
+        node.total as f64 / grand_total as f64
+    };
+    let bar_len = ((frac * width as f64).round() as usize).clamp(1, width);
+    let indent = "  ".repeat(depth);
+    out.push_str(&format!(
+        "{indent}{name} {bar} {pct:5.1}% ({count})\n",
+        bar = "█".repeat(bar_len),
+        pct = frac * 100.0,
+        count = node.total,
+    ));
+    for (child_name, child) in &node.children {
+        render_node(child, child_name, depth + 1, grand_total, width, out);
+    }
+}
+
+/// Renders folded stacks as an indented ASCII flame tree: one line per
+/// frame, bar length proportional to the fraction of all samples that
+/// pass through it, children indented under parents in deterministic
+/// (lexicographic) order. `width` is the bar width of a 100% frame.
+pub fn render_flame(stacks: &[(String, u64)], width: usize) -> String {
+    let width = width.clamp(4, 200);
+    let root = build_tree(stacks);
+    if root.total == 0 {
+        return "(no samples)\n".to_string();
+    }
+    let mut out = String::new();
+    for (name, node) in &root.children {
+        render_node(node, name, 0, root.total, width, &mut out);
+    }
+    out
+}
+
+/// Renders the top-`n` frames by *self* samples (samples whose stack
+/// ends at the frame) as a fixed-width table with self%, self count,
+/// total count (samples passing through), and the frame name. Ties
+/// break by name for deterministic output.
+pub fn render_self_time_table(stacks: &[(String, u64)], n: usize) -> String {
+    let mut self_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut total_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut grand_total: u64 = 0;
+    for (path, count) in stacks {
+        grand_total += count;
+        let mut last = None;
+        for frame in path.split(';').filter(|f| !f.is_empty()) {
+            *total_counts.entry(frame).or_default() += count;
+            last = Some(frame);
+        }
+        if let Some(leaf) = last {
+            *self_counts.entry(leaf).or_default() += count;
+        }
+    }
+    if grand_total == 0 {
+        return "(no samples)\n".to_string();
+    }
+    let mut rows: Vec<(&str, u64, u64)> = total_counts
+        .iter()
+        .map(|(frame, total)| (*frame, self_counts.get(frame).copied().unwrap_or(0), *total))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+    let mut out = String::from(" self%    self   total  frame\n");
+    for (frame, this, total) in rows.into_iter().take(n.max(1)) {
+        out.push_str(&format!(
+            "{pct:5.1}%  {this:6}  {total:6}  {frame}\n",
+            pct = this as f64 / grand_total as f64 * 100.0,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stacks() -> Vec<(String, u64)> {
+        vec![
+            ("main".to_string(), 2),
+            ("main;dispatch".to_string(), 3),
+            ("main;dispatch;sweep".to_string(), 5),
+            ("main;dispatch;sweep;worker".to_string(), 90),
+        ]
+    }
+
+    #[test]
+    fn flame_tree_nests_and_scales_bars() {
+        let out = render_flame(&stacks(), 40);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("main "), "root first: {out}");
+        assert!(lines[1].starts_with("  dispatch "), "child indented: {out}");
+        assert!(lines[2].starts_with("    sweep "));
+        assert!(lines[3].starts_with("      worker "));
+        assert!(lines[0].contains("100.0% (100)"));
+        assert!(lines[3].contains("90.0% (90)"));
+        // Bars narrow monotonically down the spine: totals are
+        // inclusive of descendants (main 100 ≥ dispatch 98 ≥ worker 90).
+        let bar = |l: &str| l.chars().filter(|c| *c == '█').count();
+        assert!(bar(lines[0]) >= bar(lines[1]));
+        assert!(bar(lines[1]) >= bar(lines[3]));
+        assert!(lines[1].contains("(98)"));
+    }
+
+    #[test]
+    fn flame_handles_empty_input() {
+        assert_eq!(render_flame(&[], 40), "(no samples)\n");
+        assert_eq!(render_self_time_table(&[], 5), "(no samples)\n");
+    }
+
+    #[test]
+    fn self_time_table_ranks_leaves_first() {
+        let out = render_self_time_table(&stacks(), 3);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4, "header + top 3: {out}");
+        assert!(lines[1].ends_with("worker"), "worker has most self: {out}");
+        assert!(lines[1].contains("90.0%"));
+        assert!(lines[2].ends_with("sweep"));
+        // `main` appears in every stack: total 100, self 2.
+        let main_row = render_self_time_table(&stacks(), 10);
+        assert!(
+            main_row.lines().any(|l| l.contains("   100  main")),
+            "{main_row}"
+        );
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod ascii;
 pub mod chart;
+pub mod flame;
 pub mod gantt;
 pub mod hist;
 pub mod scale;
@@ -36,6 +37,7 @@ pub use ascii::render_ascii;
 pub use chart::{
     render_gables_plot, render_line_chart, render_roofline, ChartConfig, Series, VerticalMarker,
 };
+pub use flame::{render_flame, render_self_time_table};
 pub use gantt::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
 pub use hist::render_histogram;
 pub use span_tree::{render_span_tree, span_tree_summary};

@@ -35,6 +35,19 @@ pub struct FlightRecord {
     pub latency_us: u64,
     /// Cache outcome, when the handler reported one.
     pub cache_hit: Option<bool>,
+    /// Heap allocations observed while the request was served. The
+    /// counter is process-wide ([`gables_model::prof::alloc_totals`]),
+    /// so under concurrency this attributes overlapping requests'
+    /// allocations to each of them — an honest upper bound.
+    pub allocs: u64,
+    /// Heap bytes requested while the request was served (same
+    /// process-wide caveat as `allocs`).
+    pub alloc_bytes: u64,
+    /// Total span self-time in microseconds
+    /// ([`gables_model::prof::cpu_busy_us`]): time attributed to the
+    /// request's own spans across all threads, which exceeds
+    /// `latency_us` when parallel workers overlap.
+    pub cpu_busy_us: f64,
     /// The request's finished spans (empty when tracing collected none).
     pub spans: Vec<SpanRecord>,
     /// Spans discarded because the bounded collector was full.
@@ -65,6 +78,12 @@ impl FlightRecord {
                     None => Json::Null,
                 },
             ),
+            ("allocs".to_string(), Json::num(self.allocs as f64)),
+            (
+                "alloc_bytes".to_string(),
+                Json::num(self.alloc_bytes as f64),
+            ),
+            ("cpu_busy_us".to_string(), Json::num(self.cpu_busy_us)),
             ("span_count".to_string(), Json::num(self.spans.len() as f64)),
             (
                 "spans_dropped".to_string(),
@@ -164,6 +183,9 @@ mod tests {
             status,
             latency_us: 42,
             cache_hit: Some(false),
+            allocs: 7,
+            alloc_bytes: 512,
+            cpu_busy_us: 10.0,
             spans: Vec::new(),
             spans_dropped: 0,
         }
@@ -208,6 +230,9 @@ mod tests {
         let list = r.to_json(false).to_string();
         assert!(list.contains("\"span_summary\":\"server.request\""));
         assert!(list.contains("\"cache\":\"miss\""));
+        assert!(list.contains("\"allocs\":7"));
+        assert!(list.contains("\"alloc_bytes\":512"));
+        assert!(list.contains("\"cpu_busy_us\":10"));
         assert!(!list.contains("\"spans\":["));
         let detail = r.to_json(true).to_string();
         assert!(detail.contains("\"spans\":["));

@@ -323,7 +323,9 @@ impl Response {
             404 => "not_found",
             405 => "method_not_allowed",
             408 => "timeout",
+            409 => "conflict",
             413 => "too_large",
+            422 => "unprocessable",
             503 => "unavailable",
             _ => "internal",
         }
@@ -344,7 +346,9 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            409 => "Conflict",
             413 => "Content Too Large",
+            422 => "Unprocessable Content",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -568,7 +572,9 @@ mod tests {
             (404, "not_found"),
             (405, "method_not_allowed"),
             (408, "timeout"),
+            (409, "conflict"),
             (413, "too_large"),
+            (422, "unprocessable"),
             (500, "internal"),
             (503, "unavailable"),
         ] {

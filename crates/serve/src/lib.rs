@@ -42,7 +42,9 @@
 //! | `not_found`          | 404    | no route at this path                     |
 //! | `method_not_allowed` | 405    | path exists, method does not              |
 //! | `timeout`            | 408    | the request did not arrive in time        |
+//! | `conflict`           | 409    | an exclusive resource is already in use   |
 //! | `too_large`          | 413    | head or body over its byte limit          |
+//! | `unprocessable`      | 422    | well-formed but semantically invalid input |
 //! | `internal`           | 500    | handler panic or other server-side fault  |
 //! | `unavailable`        | 503    | queue full — retry after `Retry-After`    |
 //!

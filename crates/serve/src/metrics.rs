@@ -29,6 +29,12 @@ pub const LATENCY_BUCKETS: usize = 22;
 /// let a client grow the route map one label per arbitrary path.
 pub const MAX_ROUTE_LABELS: usize = 64;
 
+/// Maximum distinct span-phase labels tracked before new ones aggregate
+/// under `"(other)"`. Phase names come from span names (`server.request`,
+/// `dispatch /v1/eval`, `parse`, `eval`, `worker`, …), which are
+/// low-cardinality by construction; this fence makes that a guarantee.
+pub const MAX_PHASE_LABELS: usize = 64;
+
 /// Lock-free request counters shared between the server loop, the
 /// handlers (for cache attribution), and the `/metrics` endpoint.
 #[derive(Debug, Default)]
@@ -48,6 +54,9 @@ pub struct ServerMetrics {
     // per-route counters live behind a mutex rather than fixed atomics;
     // one short-held lock per request, off every other hot path.
     routes: Mutex<BTreeMap<String, u64>>,
+    // Accumulated span self-time per phase (span name), microseconds.
+    // Same cardinality discipline as `routes`.
+    phase_self_us: Mutex<BTreeMap<String, u64>>,
 }
 
 impl ServerMetrics {
@@ -76,6 +85,23 @@ impl ServerMetrics {
             *routes.entry("(other)".to_string()).or_insert(0) += 1;
         } else {
             *routes.entry(route.to_string()).or_insert(0) += 1;
+        }
+    }
+
+    /// Accumulates one request's span *self time* (duration minus direct
+    /// children, see [`gables_model::prof::self_times_us`]) under its
+    /// phase label — where server-side time actually goes, per span
+    /// name, feeding `gables_phase_self_seconds_total`.
+    pub fn record_phase_self(&self, phase: &str, self_us: f64) {
+        if !self_us.is_finite() || self_us <= 0.0 {
+            return;
+        }
+        let us = self_us.round() as u64;
+        let mut phases = self.phase_self_us.lock().expect("phase map poisoned");
+        if phases.len() >= MAX_PHASE_LABELS && !phases.contains_key(phase) {
+            *phases.entry("(other)".to_string()).or_insert(0) += us;
+        } else {
+            *phases.entry(phase.to_string()).or_insert(0) += us;
         }
     }
 
@@ -149,6 +175,13 @@ impl ServerMetrics {
                 .iter()
                 .map(|(k, v)| (k.clone(), *v))
                 .collect(),
+            phase_self_us: self
+                .phase_self_us
+                .lock()
+                .expect("phase map poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
         }
     }
 }
@@ -180,6 +213,9 @@ pub struct MetricsSnapshot {
     pub latency_sum_us: u64,
     /// Per-route handled counts, sorted by route.
     pub routes: Vec<(String, u64)>,
+    /// Accumulated span self-time per phase (span name), microseconds,
+    /// sorted by phase.
+    pub phase_self_us: Vec<(String, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -249,6 +285,15 @@ impl MetricsSnapshot {
             ),
             ("latency_us_log2".into(), latency),
             ("routes".into(), routes),
+            (
+                "phase_self_us".into(),
+                Json::Object(
+                    self.phase_self_us
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::num(*v as f64)))
+                        .collect(),
+                ),
+            ),
         ])
         .to_string()
     }
@@ -370,6 +415,18 @@ impl MetricsSnapshot {
             "Handled requests by route.",
             &routes,
         );
+
+        out.push_str(concat!(
+            "# HELP gables_phase_self_seconds_total Span self-time accumulated per phase (span name).\n",
+            "# TYPE gables_phase_self_seconds_total counter\n",
+        ));
+        for (phase, us) in &self.phase_self_us {
+            out.push_str(&format!(
+                "gables_phase_self_seconds_total{{phase=\"{}\"}} {}\n",
+                escape_label(phase),
+                *us as f64 / 1e6,
+            ));
+        }
 
         // Histogram: cumulative buckets in seconds, +Inf = total.
         out.push_str(concat!(
@@ -592,6 +649,39 @@ mod tests {
         let sum: f64 = sum_line.rsplit_once(' ').unwrap().1.parse().unwrap();
         assert!((sum - s.latency_sum_us as f64 / 1e6).abs() < 1e-9);
         assert!(sum > 3600.0, "the one-hour observation dominates the sum");
+    }
+
+    #[test]
+    fn phase_self_time_accumulates_and_exports() {
+        let m = ServerMetrics::new();
+        m.record_phase_self("eval", 100.0);
+        m.record_phase_self("eval", 50.4);
+        m.record_phase_self("server.request", 10.0);
+        m.record_phase_self("ignored", f64::NAN);
+        m.record_phase_self("ignored", -5.0);
+        let s = m.snapshot();
+        assert_eq!(
+            s.phase_self_us,
+            vec![("eval".into(), 150), ("server.request".into(), 10)]
+        );
+        let prom = s.to_prometheus(0.0, "test");
+        assert!(prom.contains("gables_phase_self_seconds_total{phase=\"eval\"} 0.00015\n"));
+        assert!(prom.contains("# TYPE gables_phase_self_seconds_total counter"));
+        let json = gables_model::json::Json::parse(&s.to_json()).unwrap();
+        assert_eq!(
+            json.get("phase_self_us")
+                .unwrap()
+                .get("eval")
+                .and_then(gables_model::json::Json::as_f64),
+            Some(150.0)
+        );
+        // Cardinality fence: hostile phase names fold into "(other)".
+        for i in 0..(MAX_PHASE_LABELS + 10) {
+            m.record_phase_self(&format!("hostile{i}"), 1.0);
+        }
+        let capped = m.snapshot();
+        assert!(capped.phase_self_us.len() <= MAX_PHASE_LABELS + 1);
+        assert!(capped.phase_self_us.iter().any(|(p, _)| p == "(other)"));
     }
 
     #[test]

@@ -441,6 +441,7 @@ fn serve_connection(
 ) {
     metrics.enter_in_flight();
     let _in_flight = InFlightGuard(metrics);
+    let alloc_scope = gables_model::prof::AllocScope::begin();
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(config.read_timeout));
     let _ = stream.set_write_timeout(Some(config.write_timeout));
@@ -531,6 +532,12 @@ fn serve_connection(
         );
     }
     let (spans, spans_dropped) = collector.take();
+    let self_times = gables_model::prof::self_times_us(&spans);
+    let cpu_busy_us: f64 = self_times.iter().map(|(_, us)| us).sum();
+    for (phase, us) in &self_times {
+        metrics.record_phase_self(phase, *us);
+    }
+    let alloc = alloc_scope.delta();
     flight.record(FlightRecord {
         seq: 0, // stamped by the recorder
         id: request_id,
@@ -539,6 +546,9 @@ fn serve_connection(
         status,
         latency_us: latency.as_micros() as u64,
         cache_hit,
+        allocs: alloc.allocs,
+        alloc_bytes: alloc.bytes,
+        cpu_busy_us,
         spans,
         spans_dropped,
     });

@@ -1,10 +1,26 @@
 #!/usr/bin/env sh
-# Full local gate: formatting, lints, release build, and every test in
-# the workspace. Run from the repository root; exits non-zero on the
-# first failure. Works offline — the workspace has no external deps.
+# Full local gate: formatting, lints, release build, every test in the
+# workspace, and the regression-gated benchmark trajectory. Run from the
+# repository root; exits non-zero on the first failure. Works offline —
+# the workspace has no external deps.
+#
+# `--quick` skips the release-mode builds/tests and both bench stages
+# (smoke + trajectory/perf gate) for a fast edit-compile-test loop; the
+# full run is the gate that counts.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "usage: scripts/check.sh [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 echo "==> no stray stdout printing in library crates"
 # Library code must log through gables_model::obs (stderr, leveled),
@@ -22,8 +38,10 @@ cargo fmt --all --check
 echo "==> cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release
+if [ "$QUICK" -eq 0 ]; then
+  echo "==> cargo build --release"
+  cargo build --release
+fi
 
 echo "==> cargo test (tier-1: root suite)"
 cargo test -q
@@ -36,13 +54,18 @@ cargo test -q -p gables-cli --test serve_loopback
 
 echo "==> observability loopback suite (request IDs, flight recorder, prom, spans)"
 cargo test -q -p gables-cli --test obs_loopback
-cargo test --release -q -p gables-cli --test obs_loopback
+
+echo "==> profiler suite (folded stacks, alloc counters, /v1/debug/profile)"
+cargo test -q -p gables-cli --test profile
 
 echo "==> fault-injection smoke (deterministic adversarial clients)"
 cargo test -q -p gables-cli --test fault_injection
 
-echo "==> corpus + validation in release mode (debug_assert! compiled out)"
-cargo test --release -q -p gables-cli
+if [ "$QUICK" -eq 0 ]; then
+  echo "==> release-mode suites (debug_assert! compiled out)"
+  cargo test --release -q -p gables-cli --test obs_loopback
+  cargo test --release -q -p gables-cli
+fi
 
 echo "==> differential property suite (dual forms, serial vs parallel, CLI vs HTTP)"
 GABLES_LOG=debug cargo test -q --test differential
@@ -50,7 +73,25 @@ GABLES_LOG=debug cargo test -q --test differential
 echo "==> parallel determinism suite (forced GABLES_THREADS=2, debug logging on)"
 GABLES_THREADS=2 GABLES_LOG=debug cargo test -q --test parallel_determinism
 
-echo "==> parallel bench smoke (small grid, artifact to target/figures)"
-GABLES_BENCH_SCALE=4 cargo bench -q -p gables-bench --bench parallel
+if [ "$QUICK" -eq 0 ]; then
+  echo "==> parallel bench smoke (small grid, artifact to target/figures)"
+  # Capture the log and check the exit status explicitly: `cargo bench
+  # -q` is silent on success, and this guards against any wrapper ever
+  # swallowing a nonzero exit from the bench binary itself.
+  bench_log="target/bench-smoke.log"
+  if ! GABLES_BENCH_SCALE=4 cargo bench -q -p gables-bench --bench parallel \
+      >"$bench_log" 2>&1; then
+    cat "$bench_log" >&2
+    echo "parallel bench smoke failed (log above)" >&2
+    exit 1
+  fi
 
-echo "all checks passed"
+  echo "==> benchmark trajectory + perf gate (vs committed BENCH_*.json)"
+  sh scripts/perf_gate.sh
+fi
+
+if [ "$QUICK" -eq 1 ]; then
+  echo "all quick checks passed (run without --quick for the full gate)"
+else
+  echo "all checks passed"
+fi

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Runs the benchmark trajectory (release-profile, fixed scale) and
+# judges it against the committed BENCH_*.json baselines at the repo
+# root. Pass --update to re-baseline instead of judging; any other
+# arguments are forwarded to perf_gate (e.g. --candidate DIR).
+#
+# The gate fails on a >15% median regression that also exceeds 25 us
+# absolute, so it catches real regressions without tripping on noise
+# in sub-microsecond metrics.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+GABLES_BENCH_SCALE="${GABLES_BENCH_SCALE:-8}"
+export GABLES_BENCH_SCALE
+
+# Absolute path: cargo runs benches with the package dir as cwd, while
+# perf_gate runs from the repo root — both must agree on the directory.
+GABLES_BENCH_TRAJECTORY_DIR="${GABLES_BENCH_TRAJECTORY_DIR:-$PWD/target/trajectory}"
+export GABLES_BENCH_TRAJECTORY_DIR
+
+echo "==> benchmark trajectory (GABLES_BENCH_SCALE=$GABLES_BENCH_SCALE)"
+if ! cargo bench -q -p gables-bench --bench trajectory; then
+  echo "benchmark trajectory failed" >&2
+  exit 1
+fi
+
+echo "==> perf gate vs committed BENCH_*.json"
+cargo run --release -q -p gables-bench --bin perf_gate -- "$@"
