@@ -1,7 +1,7 @@
-//! The committed benchmark trajectory: four fixed-seed, fixed-scale
+//! The committed benchmark trajectory: five fixed-seed, fixed-scale
 //! benches whose medians are snapshotted at the repository root
 //! (`BENCH_eval.json`, `BENCH_sweep.json`, `BENCH_serve.json`,
-//! `BENCH_parallel.json`) and regression-gated by
+//! `BENCH_parallel.json`, `BENCH_carm.json`) and regression-gated by
 //! `scripts/perf_gate.sh` on every full `scripts/check.sh` run.
 //!
 //! Each artifact records the machine (`available_parallelism`, OS,
@@ -265,6 +265,80 @@ fn bench_parallel(dir: &str, scale: usize, calibration: f64) {
     );
 }
 
+/// `carm` bench: the cache-hierarchy bandwidth-ladder sweep that feeds
+/// the cache-aware roofline. Only the serial time is gated (the
+/// two-thread time depends on the machine); serial and two-thread
+/// ladders are asserted bit-identical first, so the gated number always
+/// covers a verified-deterministic configuration.
+fn bench_carm(dir: &str, scale: usize, calibration: f64) {
+    use gables_soc_sim::cache_sim::CacheConfig;
+    use gables_soc_sim::{measure_bandwidth_ladder, HierarchyConfig, LevelConfig};
+
+    let level = |name: &str, cap: u64, assoc: u32, lat: f64| LevelConfig {
+        name: name.to_string(),
+        geometry: CacheConfig {
+            capacity_bytes: cap,
+            line_bytes: 64,
+            associativity: assoc,
+        },
+        latency_ns: lat,
+        policy: gables_soc_sim::ReplacementPolicy::Lru,
+        victim_lines: 0,
+    };
+    let config = HierarchyConfig {
+        levels: vec![
+            level("l1", 8 << 10, 4, 1.0),
+            level("l2", 64 << 10, 8, 4.0),
+            level("slc", 256 << 10, 16, 12.0),
+        ],
+        dram_latency_ns: 80.0,
+    };
+    let accesses = (1_000 * scale as u64).max(4_000);
+    let seed = 0xCAB1E;
+
+    let serial = measure_bandwidth_ladder(&config, accesses, seed, Parallelism::Serial)
+        .expect("serial ladder");
+    let threads2 = measure_bandwidth_ladder(&config, accesses, seed, Parallelism::Threads(2))
+        .expect("threads_2 ladder");
+    assert_eq!(
+        serial, threads2,
+        "ladder must be bit-identical across policies"
+    );
+
+    let serial_ns = time_min_ns(7, 3, || {
+        std::hint::black_box(
+            measure_bandwidth_ladder(&config, accesses, seed, Parallelism::Serial).expect("ladder"),
+        );
+    });
+    let threads2_ns = time_min_ns(7, 3, || {
+        std::hint::black_box(
+            measure_bandwidth_ladder(&config, accesses, seed, Parallelism::Threads(2))
+                .expect("ladder"),
+        );
+    });
+    let path = write_artifact(
+        dir,
+        "carm",
+        scale,
+        calibration,
+        vec![("carm_ladder_serial_ns".into(), Json::num(serial_ns))],
+        vec![
+            ("ladder_rungs".into(), Json::num(serial.len() as f64)),
+            ("accesses_per_rung".into(), Json::num(accesses as f64)),
+            ("ladder_threads2_ns".into(), Json::num(threads2_ns)),
+            (
+                "speedup_threads2".into(),
+                Json::num(serial_ns / threads2_ns),
+            ),
+            ("determinism_checked".into(), Json::Bool(true)),
+        ],
+    );
+    println!(
+        "carm      {:>12.0} ns serial / {:.0} ns threads_2  wrote {path}",
+        serial_ns, threads2_ns
+    );
+}
+
 /// One full HTTP exchange against the loopback server.
 fn http_post(addr: SocketAddr, target: &str, body: &str) -> u16 {
     let mut stream = TcpStream::connect(addr).expect("connect");
@@ -397,5 +471,6 @@ fn main() {
     bench_sweep(&dir, scale, calibration_ns());
     bench_parallel(&dir, scale, calibration_ns());
     bench_serve(&dir, scale, calibration_ns());
+    bench_carm(&dir, scale, calibration_ns());
     println!("trajectory complete (scale {scale}) -> {dir}");
 }

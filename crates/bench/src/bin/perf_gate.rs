@@ -1,7 +1,7 @@
 //! Compares a fresh benchmark trajectory run against the committed
 //! baselines at the repository root and fails on regression.
 //!
-//! For every metric in every `BENCH_{eval,sweep,serve,parallel}.json`
+//! For every metric in every `BENCH_{eval,sweep,serve,parallel,carm}.json`
 //! pair it prints one delta line (`bench.metric  baseline  current
 //! delta%`) and exits non-zero if any metric regressed by more than
 //! [`REGRESSION_RATIO`] *and* more than [`ABSOLUTE_SLACK_NS`] — the
@@ -32,7 +32,7 @@ const REGRESSION_RATIO: f64 = 1.15;
 /// ... and only when the absolute growth also exceeds this many ns.
 const ABSOLUTE_SLACK_NS: f64 = 25_000.0;
 
-const BENCHES: [&str; 4] = ["eval", "sweep", "serve", "parallel"];
+const BENCHES: [&str; 5] = ["eval", "sweep", "serve", "parallel", "carm"];
 
 struct Doc {
     scale: f64,

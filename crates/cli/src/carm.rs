@@ -1,0 +1,397 @@
+//! `gables carm`: cache-aware rooflines whose per-level ceilings are
+//! *measured*, not hand-entered.
+//!
+//! The command parses the spec's `[cache.<level>]` sections into a
+//! hierarchy configuration, drives
+//! [`gables_soc_sim::measure_bandwidth_ladder`] to measure one effective
+//! bandwidth per level (plus DRAM), replays a uniform-random probe trace
+//! through [`gables_soc_sim::HierarchySim`] to obtain the workload's
+//! per-level traffic profile, and evaluates
+//! [`gables_model::carm::CacheAwareRoofline`] across an intensity sweep
+//! spanning all the knees. Everything downstream of the spec is
+//! deterministic: the simulator uses in-tree SplitMix64 streams and the
+//! sweep runs through `par::try_map`, so the rendered tables are
+//! byte-identical across `--threads` policies.
+
+use std::fmt::Write as _;
+
+use gables_model::carm::{CacheAwareRoofline, CarmBinding, CarmPoint, TrafficProfile};
+use gables_model::json::Json;
+use gables_model::obs;
+use gables_model::par::Parallelism;
+use gables_model::rng::SplitMix64;
+use gables_model::units::{BytesPerSec, OpsPerByte};
+use gables_model::{ErrorKind, SocSpec};
+use gables_plot::{render_carm, Series, VerticalMarker};
+use gables_soc_sim::{measure_bandwidth_ladder, HierarchyConfig, HierarchySim, LevelBandwidth};
+
+use crate::spec::{Spec, SpecError};
+
+/// Seed for the ladder sweep; the profile trace derives its own stream.
+const LADDER_SEED: u64 = 0xCAB1E;
+/// Measured accesses per ladder rung (after the warm-up pass).
+const LADDER_ACCESSES: u64 = 20_000;
+/// Accesses in the traffic-profile probe trace.
+const PROFILE_ACCESSES: u64 = 30_000;
+/// Points in the intensity sweep.
+const SWEEP_POINTS: usize = 33;
+
+/// Everything `gables carm` computes, reused verbatim by `/v1/carm`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarmReport {
+    /// Measured effective bandwidth per level, nearest-first, DRAM last.
+    pub ladder: Vec<LevelBandwidth>,
+    /// The multi-ceiling roofline built from the ladder.
+    pub roofline: CacheAwareRoofline,
+    /// Per-level traffic fractions of the probe trace.
+    pub profile: TrafficProfile,
+    /// The evaluated intensity sweep.
+    pub points: Vec<CarmPoint>,
+}
+
+fn sim_err(e: gables_soc_sim::SimError) -> SpecError {
+    SpecError::general(e.to_string()).with_kind(ErrorKind::InvalidCacheConfig)
+}
+
+fn model_err(e: gables_model::GablesError) -> SpecError {
+    SpecError::general(e.to_string()).with_kind(e.kind())
+}
+
+/// Parses spec text and builds the full CARM report.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] for parse failures; hierarchy problems carry
+/// the closed `invalid_cache_config` code, including the case of a spec
+/// with no `[cache.<level>]` sections at all.
+pub fn carm_report(text: &str, parallelism: Parallelism) -> Result<CarmReport, SpecError> {
+    let spec = Spec::parse(text)?;
+    let soc = spec.soc()?;
+    let hierarchy = spec.cache_hierarchy()?.ok_or_else(|| {
+        SpecError::general(
+            "carm needs at least one [cache.<level>] section describing the hierarchy",
+        )
+        .with_kind(ErrorKind::InvalidCacheConfig)
+    })?;
+    build_report(&soc, &hierarchy, parallelism)
+}
+
+/// Builds the report from already-parsed inputs.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] with the `invalid_cache_config` kind for
+/// simulator configuration failures or a degenerate measured ladder.
+pub fn build_report(
+    soc: &SocSpec,
+    hierarchy: &HierarchyConfig,
+    parallelism: Parallelism,
+) -> Result<CarmReport, SpecError> {
+    let ladder = {
+        let _span = obs::span("ladder_sweep");
+        measure_bandwidth_ladder(hierarchy, LADDER_ACCESSES, LADDER_SEED, parallelism)
+            .map_err(sim_err)?
+    };
+    let rungs: Vec<(String, BytesPerSec)> = ladder
+        .iter()
+        .map(|r| (r.level.clone(), BytesPerSec::from_gbps(r.gbps)))
+        .collect();
+    let roofline = CacheAwareRoofline::new(soc.ppeak(), rungs).map_err(model_err)?;
+    let profile = {
+        let _span = obs::span("profile_trace");
+        traffic_profile(hierarchy).map_err(sim_err)?
+    };
+    let last = roofline.ceilings().len() - 1;
+    let lo = roofline.knee(0).value() / 8.0;
+    let hi = roofline.knee(last).value() * 8.0;
+    let points = roofline
+        .sweep(&profile, &log_space(lo, hi, SWEEP_POINTS))
+        .map_err(model_err)?;
+    Ok(CarmReport {
+        ladder,
+        roofline,
+        points,
+        profile,
+    })
+}
+
+/// Replays a uniform-random read trace over twice the last level's
+/// capacity and converts the resulting per-level served bytes into a
+/// traffic profile. The footprint deliberately exceeds every cache so
+/// all rungs (DRAM included) carry traffic and every ceiling is live.
+fn traffic_profile(
+    hierarchy: &HierarchyConfig,
+) -> Result<TrafficProfile, gables_soc_sim::SimError> {
+    use gables_soc_sim::trace::Access;
+    let mut sim = HierarchySim::new(hierarchy.clone())?;
+    let line = hierarchy.levels[0].geometry.line_bytes;
+    let last_cap = hierarchy.levels[hierarchy.levels.len() - 1]
+        .geometry
+        .capacity_bytes;
+    let lines = (2 * last_cap / line).max(2);
+    let mut rng = SplitMix64::new(LADDER_SEED ^ 0x5EED);
+    for _ in 0..PROFILE_ACCESSES {
+        sim.access(Access::read(rng.range_u64(0, lines - 1) * line));
+    }
+    TrafficProfile::from_bytes(&sim.stats().bytes_per_level(hierarchy)).map_err(|e| {
+        gables_soc_sim::SimError::Config {
+            what: e.to_string(),
+        }
+    })
+}
+
+/// `n` log-spaced points from `lo` to `hi` inclusive.
+fn log_space(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let (l0, l1) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|k| (l0 + (l1 - l0) * k as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// The human-readable name of a binding constraint.
+fn binding_name(report: &CarmReport, binding: CarmBinding) -> String {
+    match binding {
+        CarmBinding::Compute => "compute".to_string(),
+        CarmBinding::Level(k) => report.ladder[k].level.clone(),
+    }
+}
+
+/// One [`Series`] per ceiling (each `min(Ppeak, B_l * I)` curve) plus
+/// the attainable curve for the measured traffic profile.
+fn chart_series(report: &CarmReport) -> (Vec<Series>, Series) {
+    let xs: Vec<f64> = report.points.iter().map(|p| p.intensity).collect();
+    let ceilings = report
+        .roofline
+        .ceilings()
+        .iter()
+        .enumerate()
+        .map(|(k, c)| Series {
+            label: format!("{} {:.1} GB/s", c.name(), c.bandwidth().to_gbps()),
+            points: xs
+                .iter()
+                .map(|&x| {
+                    (
+                        x,
+                        report.roofline.ceiling_at(k, OpsPerByte::new(x)).to_gops(),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    let attainable = Series {
+        label: "attainable".to_string(),
+        points: report
+            .points
+            .iter()
+            .map(|p| (p.intensity, p.attainable_gops))
+            .collect(),
+    };
+    (ceilings, attainable)
+}
+
+/// Renders the terminal report: ladder table, ASCII multi-ceiling
+/// roofline, and the binding per sweep point.
+pub fn render_text(report: &CarmReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "cache-aware roofline: Ppeak = {:.2} Gops/s, {} measured ceilings",
+        report.roofline.ppeak().to_gops(),
+        report.ladder.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>14} {:>10} {:>13} {:>9}",
+        "level", "working-set", "GB/s", "knee(ops/B)", "traffic"
+    );
+    for (k, rung) in report.ladder.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} B {:>10.2} {:>13.4} {:>8.1}%",
+            rung.level,
+            rung.working_set_bytes,
+            rung.gbps,
+            report.roofline.knee(k).value(),
+            100.0 * report.profile.fraction(k)
+        );
+    }
+    out.push('\n');
+    let (mut series, attainable) = chart_series(report);
+    series.push(attainable);
+    out.push_str(&gables_plot::render_ascii(&series, 72, 18, true, true));
+    let _ = writeln!(out, "{:<12} {:>12}  binding", "I(ops/B)", "Pattainable");
+    for p in &report.points {
+        let _ = writeln!(
+            out,
+            "{:<12.4} {:>12.4}  {}",
+            p.intensity,
+            p.attainable_gops,
+            binding_name(report, p.binding)
+        );
+    }
+    out
+}
+
+/// Renders the SVG multi-ceiling roofline with per-ceiling labels and
+/// per-level knee markers.
+pub fn render_svg(report: &CarmReport) -> String {
+    let (ceilings, attainable) = chart_series(report);
+    let knees: Vec<VerticalMarker> = report
+        .roofline
+        .ceilings()
+        .iter()
+        .enumerate()
+        .map(|(k, c)| VerticalMarker {
+            x: report.roofline.knee(k).value(),
+            label: format!("{} knee", c.name()),
+        })
+        .collect();
+    render_carm("Cache-aware roofline", &ceilings, &attainable, &knees)
+}
+
+/// The structured payload served by `/v1/carm` (everything but the
+/// envelope): the ceiling ladder with knees and traffic fractions, the
+/// sweep with the binding level per point, and the text rendering.
+pub fn json_data(report: &CarmReport) -> Json {
+    let ladder = Json::Array(
+        report
+            .ladder
+            .iter()
+            .enumerate()
+            .map(|(k, rung)| {
+                Json::Object(vec![
+                    ("level".into(), Json::str(rung.level.clone())),
+                    ("gbps".into(), Json::num(rung.gbps)),
+                    (
+                        "knee_ops_per_byte".into(),
+                        Json::num(report.roofline.knee(k).value()),
+                    ),
+                    (
+                        "working_set_bytes".into(),
+                        Json::num(rung.working_set_bytes as f64),
+                    ),
+                    ("hit_ratio".into(), Json::num(rung.hit_ratio)),
+                    (
+                        "traffic_fraction".into(),
+                        Json::num(report.profile.fraction(k)),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let sweep = Json::Array(
+        report
+            .points
+            .iter()
+            .map(|p| {
+                Json::Object(vec![
+                    ("intensity".into(), Json::num(p.intensity)),
+                    ("attainable_gops".into(), Json::num(p.attainable_gops)),
+                    ("binding".into(), Json::str(binding_name(report, p.binding))),
+                ])
+            })
+            .collect(),
+    );
+    Json::Object(vec![
+        (
+            "ppeak_gops".into(),
+            Json::num(report.roofline.ppeak().to_gops()),
+        ),
+        ("ladder".into(), ladder),
+        ("sweep".into(), sweep),
+    ])
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::spec::FIGURE_6B_SPEC;
+
+    /// A spec with a three-level hierarchy small enough for debug-mode
+    /// tests (the DRAM ladder rung warms 4x the last capacity).
+    pub(crate) fn carm_spec() -> String {
+        format!(
+            "{}\n\
+             [cache.l1]\ncapacity_kib = 16\nassociativity = 4\nlatency_ns = 1\n\
+             [cache.l2]\ncapacity_kib = 128\nassociativity = 8\nlatency_ns = 4\n\
+             [cache.slc]\ncapacity_kib = 512\nassociativity = 16\nlatency_ns = 12\npolicy = mru\n\
+             [cache]\ndram_latency_ns = 80\n",
+            FIGURE_6B_SPEC
+        )
+    }
+
+    #[test]
+    fn report_measures_a_live_multi_ceiling_roofline() {
+        let report = carm_report(&carm_spec(), Parallelism::Serial).unwrap();
+        // Three cache levels plus DRAM, strictly decreasing bandwidths.
+        assert_eq!(report.ladder.len(), 4);
+        for pair in report.ladder.windows(2) {
+            assert!(pair[0].gbps > pair[1].gbps, "{pair:?}");
+        }
+        // Every rung of the profile carries traffic (footprint exceeds
+        // every cache), so every ceiling is live.
+        for k in 0..report.profile.len() {
+            assert!(report.profile.fraction(k) > 0.0, "rung {k} has no traffic");
+        }
+        assert_eq!(report.points.len(), SWEEP_POINTS);
+    }
+
+    #[test]
+    fn missing_cache_sections_is_a_closed_coded_error() {
+        let err = carm_report(FIGURE_6B_SPEC, Parallelism::Serial).unwrap_err();
+        assert_eq!(err.code(), "invalid_cache_config");
+        assert!(err.message.contains("[cache."), "{}", err.message);
+    }
+
+    #[test]
+    fn text_report_renders_ladder_chart_and_bindings() {
+        let report = carm_report(&carm_spec(), Parallelism::Serial).unwrap();
+        let out = render_text(&report);
+        assert!(out.contains("cache-aware roofline"));
+        for level in ["l1", "l2", "slc", "dram"] {
+            assert!(out.contains(level), "missing {level}:\n{out}");
+        }
+        assert!(out.contains("knee(ops/B)"));
+        assert!(out.contains("binding"));
+        // The sweep spans memory-bound through compute-bound.
+        assert!(out.contains("compute"));
+    }
+
+    #[test]
+    fn svg_labels_every_ceiling_and_knee() {
+        let report = carm_report(&carm_spec(), Parallelism::Serial).unwrap();
+        let svg = render_svg(&report);
+        assert!(svg.starts_with("<svg"));
+        for level in ["l1", "l2", "slc", "dram"] {
+            assert!(
+                svg.contains(&format!("{level} knee")),
+                "missing {level} knee"
+            );
+        }
+        assert!(svg.contains("GB/s"));
+    }
+
+    #[test]
+    fn report_is_bit_identical_across_parallelism_policies() {
+        let spec = carm_spec();
+        let serial = carm_report(&spec, Parallelism::Serial).unwrap();
+        let threaded = carm_report(&spec, Parallelism::Threads(2)).unwrap();
+        assert_eq!(serial, threaded);
+        assert_eq!(render_text(&serial), render_text(&threaded));
+        assert_eq!(
+            json_data(&serial).to_string(),
+            json_data(&threaded).to_string()
+        );
+    }
+
+    #[test]
+    fn json_payload_carries_ladder_and_bindings() {
+        let report = carm_report(&carm_spec(), Parallelism::Serial).unwrap();
+        let json = json_data(&report).to_string();
+        assert!(json.contains("\"ppeak_gops\""));
+        assert!(json.contains("\"knee_ops_per_byte\""));
+        assert!(json.contains("\"traffic_fraction\""));
+        assert!(json.contains("\"binding\""));
+        assert!(json.contains("\"dram\""));
+    }
+}

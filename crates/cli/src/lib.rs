@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod carm;
 pub mod serve;
 pub mod spec;
 
@@ -119,6 +120,18 @@ fn dispatch(
             }
             Ok(out)
         }
+        Some("carm") => {
+            let (path, svg_out) = carm_args(&args[1..])?;
+            let text = read_file(&path).map_err(|e| SpecError::general(format!("{path}: {e}")))?;
+            let report = carm::carm_report(&text, parallelism)?;
+            let mut out = carm::render_text(&report);
+            if let Some(svg_path) = svg_out {
+                std::fs::write(&svg_path, carm::render_svg(&report))
+                    .map_err(|e| SpecError::general(format!("{svg_path}: {e}")))?;
+                let _ = writeln!(out, "wrote {svg_path}");
+            }
+            Ok(out)
+        }
         Some("serve") => serve::serve_command(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(SpecError::general(format!(
@@ -131,11 +144,40 @@ fn dispatch(
 
 /// Every valid subcommand, in the order `usage()` lists them.
 pub const COMMANDS: &[&str] = &[
-    "example", "eval", "sweep", "plot", "ascii", "frontier", "whatif", "trace", "serve", "help",
+    "example", "eval", "sweep", "plot", "ascii", "carm", "frontier", "whatif", "trace", "serve",
+    "help",
 ];
 
+/// Parses `carm` operands: `carm <spec> [out.svg]`, with the spec path
+/// also accepted as `--spec <path>` / `--spec=<path>` anywhere.
+fn carm_args(args: &[String]) -> Result<(String, Option<String>), SpecError> {
+    let mut spec_path = None;
+    let mut operands = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--spec" {
+            let value = it
+                .next()
+                .ok_or_else(|| SpecError::general("--spec requires a spec file path"))?;
+            spec_path = Some(value.clone());
+        } else if let Some(value) = a.strip_prefix("--spec=") {
+            spec_path = Some(value.to_string());
+        } else {
+            operands.push(a.clone());
+        }
+    }
+    let mut operands = operands.into_iter();
+    let path = match spec_path {
+        Some(p) => p,
+        None => operands.next().ok_or_else(|| {
+            SpecError::general(format!("missing argument: spec file\n{}", usage()))
+        })?,
+    };
+    Ok((path, operands.next()))
+}
+
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables carm  <spec> [out.svg]     cache-aware roofline: measure per-level\n                                    ceilings with the hierarchy simulator, print\n                                    the ladder + ASCII plot (optionally write\n                                    the SVG); spec needs [cache.<level>] sections\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {

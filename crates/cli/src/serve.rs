@@ -16,6 +16,10 @@
 //!   what-if delta report.
 //! * `POST /v1/simulate` — spec text in the body → a soc-sim run with
 //!   per-job bottleneck attribution.
+//! * `POST /v1/carm` — spec text with `[cache.<level>]` sections → the
+//!   cache-aware roofline: measured ceiling ladder, knee intensities,
+//!   and the binding level per sweep point. With `?format=text` the
+//!   body is byte-identical to `gables carm`.
 //! * `GET /v1/metrics` — request counters, latency histogram, cache hit
 //!   rate; `?format=text` renders an ASCII histogram, `?format=prom`
 //!   the Prometheus text exposition (with `uptime_seconds` and
@@ -166,7 +170,7 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
             ("version", VERSION.into()),
             (
                 "routes",
-                "POST /v1/{eval,sweep,whatif,simulate}; \
+                "POST /v1/{eval,sweep,whatif,simulate,carm}; \
                  GET /v1/{metrics,healthz,debug/requests,debug/profile}"
                     .into(),
             ),
@@ -283,6 +287,7 @@ pub fn build_router_with(state: &ServeState) -> Router {
         ("sweep", sweep_handler),
         ("whatif", whatif_handler),
         ("simulate", simulate_handler),
+        ("carm", carm_handler),
     ] {
         let v1_path = format!("/v1/{name}");
         for alias in [false, true] {
@@ -693,6 +698,25 @@ fn simulate_handler(_req: &Request, spec: &Spec, _body: &str) -> Result<String, 
     Ok(doc.to_string())
 }
 
+/// `POST /v1/carm`: spec text with `[cache.<level>]` sections → the
+/// cache-aware roofline report. With `?format=text`, byte-identical to
+/// `gables carm`; otherwise the structured ladder/sweep payload plus
+/// that output. The ladder sweep runs through `par::try_map`, so the
+/// payload is byte-identical across worker parallelism policies.
+fn carm_handler(req: &Request, _spec: &Spec, body: &str) -> Result<String, Response> {
+    let report = crate::carm::carm_report(body, gables_model::Parallelism::Auto)
+        .map_err(|e| bad_request(&e))?;
+    let output = crate::carm::render_text(&report);
+    if wants_text(req) {
+        return Ok(output);
+    }
+    let Json::Object(mut fields) = crate::carm::json_data(&report) else {
+        unreachable!("carm json_data is always an object");
+    };
+    fields.push(("output".into(), Json::str(output)));
+    Ok(Json::Object(fields).to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +836,55 @@ mod tests {
             );
             assert!(error.get("message").and_then(Json::as_str).is_some());
         }
+    }
+
+    #[test]
+    fn carm_serves_the_ladder_in_the_envelope() {
+        let spec = crate::carm::tests::carm_spec();
+        let resp = router().dispatch(&post("/v1/carm", None, &spec));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        let ladder = data.get("ladder").unwrap();
+        let Json::Array(rungs) = ladder else {
+            panic!("ladder must be an array: {ladder:?}");
+        };
+        assert_eq!(rungs.len(), 4, "three cache levels plus DRAM");
+        for rung in rungs {
+            assert!(rung.get("gbps").and_then(Json::as_f64).unwrap() > 0.0);
+            assert!(rung
+                .get("knee_ops_per_byte")
+                .and_then(Json::as_f64)
+                .is_some());
+        }
+        let Some(Json::Array(sweep)) = data.get("sweep") else {
+            panic!("sweep must be an array");
+        };
+        assert!(!sweep.is_empty());
+        assert!(sweep
+            .iter()
+            .any(|p| p.get("binding").and_then(Json::as_str) == Some("compute")));
+
+        // ?format=text matches the CLI byte for byte.
+        let resp = router().dispatch(&post("/v1/carm", Some("format=text"), &spec));
+        assert_eq!(resp.status, 200);
+        let report = crate::carm::carm_report(&spec, gables_model::Parallelism::Auto).unwrap();
+        assert_eq!(
+            String::from_utf8(resp.body).unwrap(),
+            crate::carm::render_text(&report)
+        );
+
+        // Malformed hierarchies carry the closed code.
+        let bad = format!("{FIGURE_6B_SPEC}\n[cache.l1]\ncapacity_kib = 0\nlatency_ns = 1\n");
+        let resp = router().dispatch(&post("/v1/carm", None, &bad));
+        assert_eq!(resp.status, 400);
+        let (ok, error) = open_envelope(&resp);
+        assert!(!ok);
+        assert_eq!(
+            error.get("kind").and_then(Json::as_str),
+            Some("invalid_cache_config"),
+            "{error:?}"
+        );
     }
 
     #[test]

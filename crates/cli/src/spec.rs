@@ -212,6 +212,26 @@ impl SpecFile {
         Self::raw_number(body, key, section).map(|(_, v)| v)
     }
 
+    /// Like [`Self::raw_number`] for non-negative integer keys (cache
+    /// geometry counts), rejecting fractions, signs, and junk outright
+    /// via `u64::from_str`.
+    fn raw_integer(
+        body: &SectionBody,
+        key: &str,
+        section: &str,
+    ) -> Result<(usize, u64), SpecError> {
+        let (line, value) = body
+            .get(key)
+            .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
+        let parsed = value.parse::<u64>().map_err(|_| {
+            SpecError::at(
+                *line,
+                format!("[{section}] {key} is not a non-negative integer: {value:?}"),
+            )
+        })?;
+        Ok((*line, parsed))
+    }
+
     /// Like [`Self::raw_number`] for a comma-separated list, rejecting
     /// non-finite entries with the entry index in the message.
     fn raw_number_list(
@@ -376,6 +396,186 @@ impl SpecFile {
             })
             .collect::<Result<Vec<MissRatio>, SpecError>>()?;
         Ok(Some(MemorySideSram::new(ratios)))
+    }
+
+    /// Builds the optional cache-hierarchy description for the CARM
+    /// subsystem from `[cache.<level>]` sections (one per level, file
+    /// order, nearest level first), plus an optional plain `[cache]`
+    /// section for DRAM parameters:
+    ///
+    /// ```text
+    /// [cache]
+    /// dram_latency_ns = 80       # optional, default 80
+    ///
+    /// [cache.l1]
+    /// capacity_kib  = 32         # required
+    /// latency_ns    = 1.2        # required
+    /// line_bytes    = 64         # optional, default 64
+    /// associativity = 8          # optional, default 8
+    /// policy        = lru        # optional: lru | mru | way_prediction
+    /// victim_lines  = 0          # optional, default 0
+    /// ```
+    ///
+    /// Returns `Ok(None)` when the spec has no `[cache.*]` sections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] with the closed `invalid_cache_config` kind
+    /// and key+section+line context for malformed hierarchies: zero
+    /// capacity or sets, non-power-of-two line size, unknown policy,
+    /// non-positive latency, and level ordering violations.
+    pub fn cache_hierarchy(&self) -> Result<Option<gables_soc_sim::HierarchyConfig>, SpecError> {
+        use gables_soc_sim::cache_sim::CacheConfig;
+        use gables_soc_sim::{HierarchyConfig, LevelConfig, ReplacementPolicy};
+
+        let level_sections: Vec<(&str, &SectionBody)> = self
+            .sections
+            .iter()
+            .filter_map(|(s, body)| s.strip_prefix("cache.").map(|name| (name.trim(), body)))
+            .collect();
+        if level_sections.is_empty() {
+            return Ok(None);
+        }
+        let kind = ErrorKind::InvalidCacheConfig;
+        let mut levels = Vec::new();
+        let mut prev: Option<(String, u64)> = None;
+        for (name, body) in level_sections {
+            let section = format!("cache.{name}");
+            let (cap_line, cap_kib) =
+                Self::raw_integer(body, "capacity_kib", &section).map_err(|e| e.with_kind(kind))?;
+            if cap_kib == 0 {
+                return Err(SpecError::at(
+                    cap_line,
+                    format!("[{section}] capacity_kib must be positive"),
+                )
+                .with_kind(kind));
+            }
+            let capacity_bytes = cap_kib * 1024;
+            let opt_int = |key: &str, default: u64| -> Result<(usize, u64), SpecError> {
+                if body.contains_key(key) {
+                    Self::raw_integer(body, key, &section).map_err(|e| e.with_kind(kind))
+                } else {
+                    // Defaults are always valid; violations therefore
+                    // always have a real line. Fall back to the capacity
+                    // line so the type stays simple.
+                    Ok((cap_line, default))
+                }
+            };
+            let (line_line, line_bytes) = opt_int("line_bytes", 64)?;
+            if line_bytes == 0 || !line_bytes.is_power_of_two() {
+                return Err(SpecError::at(
+                    line_line,
+                    format!("[{section}] line_bytes {line_bytes} must be a power of two"),
+                )
+                .with_kind(kind));
+            }
+            let (assoc_line, associativity) = opt_int("associativity", 8)?;
+            if associativity == 0 || associativity > u64::from(u32::MAX) {
+                return Err(SpecError::at(
+                    assoc_line,
+                    format!("[{section}] associativity {associativity} must be in 1..=2^32-1"),
+                )
+                .with_kind(kind));
+            }
+            let (victim_line, victim_lines) = opt_int("victim_lines", 0)?;
+            if victim_lines > u64::from(u32::MAX) {
+                return Err(SpecError::at(
+                    victim_line,
+                    format!("[{section}] victim_lines {victim_lines} is out of range"),
+                )
+                .with_kind(kind));
+            }
+            let (lat_line, latency_ns) =
+                Self::raw_number(body, "latency_ns", &section).map_err(|e| e.with_kind(kind))?;
+            if latency_ns <= 0.0 {
+                return Err(SpecError::at(
+                    lat_line,
+                    format!("[{section}] latency_ns must be positive, got {latency_ns}"),
+                )
+                .with_kind(kind));
+            }
+            let policy = match body.get("policy") {
+                None => ReplacementPolicy::Lru,
+                Some((line, value)) => ReplacementPolicy::parse(value).ok_or_else(|| {
+                    SpecError::at(
+                        *line,
+                        format!(
+                            "[{section}] policy {value:?} must be one of lru, mru, \
+                             way_prediction"
+                        ),
+                    )
+                    .with_kind(kind)
+                })?,
+            };
+            let geometry = CacheConfig {
+                capacity_bytes,
+                line_bytes,
+                associativity: associativity as u32,
+            };
+            // Remaining geometry failures (capacity below one set — the
+            // zero-sets case — and a non-power-of-two set count) involve
+            // several keys at once; attribute them to the capacity line.
+            let single = gables_soc_sim::HierarchyConfig {
+                levels: vec![LevelConfig {
+                    name: name.to_string(),
+                    geometry,
+                    latency_ns,
+                    policy,
+                    victim_lines: victim_lines as u32,
+                }],
+                dram_latency_ns: 1.0,
+            };
+            if let Err(e) = single.validate() {
+                return Err(SpecError::at(cap_line, format!("[{section}] {e}")).with_kind(kind));
+            }
+            if let Some((prev_name, prev_cap)) = &prev {
+                if capacity_bytes <= *prev_cap {
+                    return Err(SpecError::at(
+                        cap_line,
+                        format!(
+                            "[{section}] capacity_kib: level ordering violation — {name} \
+                             ({capacity_bytes} bytes) must be larger than {prev_name} \
+                             ({prev_cap} bytes)"
+                        ),
+                    )
+                    .with_kind(kind));
+                }
+            }
+            prev = Some((name.to_string(), capacity_bytes));
+            levels.push(LevelConfig {
+                name: name.to_string(),
+                geometry,
+                latency_ns,
+                policy,
+                victim_lines: victim_lines as u32,
+            });
+        }
+        let dram_latency_ns = match self.section("cache") {
+            Some(body) if body.contains_key("dram_latency_ns") => {
+                let (line, v) = Self::raw_number(body, "dram_latency_ns", "cache")
+                    .map_err(|e| e.with_kind(kind))?;
+                if v <= 0.0 {
+                    return Err(SpecError::at(
+                        line,
+                        format!("[cache] dram_latency_ns must be positive, got {v}"),
+                    )
+                    .with_kind(kind));
+                }
+                v
+            }
+            _ => 80.0,
+        };
+        let config = HierarchyConfig {
+            levels,
+            dram_latency_ns,
+        };
+        // Backstop: every per-key check above should have caught any
+        // problem already, but the simulator's own validation is the
+        // final word.
+        config
+            .validate()
+            .map_err(|e| SpecError::general(format!("cache hierarchy: {e}")).with_kind(kind))?;
+        Ok(Some(config))
     }
 
     /// Builds the optional design-space exploration grid from an
@@ -544,6 +744,17 @@ impl Spec {
     /// mismatch with the IP sections.
     pub fn sram(&self) -> Result<Option<MemorySideSram>, SpecError> {
         self.file().sram()
+    }
+
+    /// Builds the optional cache hierarchy (see
+    /// [`SpecFile::cache_hierarchy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] with the `invalid_cache_config` kind for
+    /// malformed hierarchies.
+    pub fn cache_hierarchy(&self) -> Result<Option<gables_soc_sim::HierarchyConfig>, SpecError> {
+        self.file().cache_hierarchy()
     }
 
     /// Builds the optional exploration grid (see
@@ -866,6 +1077,80 @@ mod tests {
         // Malformed values inside a valid envelope surface when built.
         let spec = Spec::parse("{\"spec\": \"[soc]\\nppeak_gops = no\"}").unwrap();
         assert!(spec.soc().is_err());
+    }
+
+    #[test]
+    fn cache_hierarchy_parses_levels_in_file_order() {
+        let text = format!(
+            "{FIGURE_6B_SPEC}\n\
+             [cache.l1]\ncapacity_kib = 4\nassociativity = 4\nlatency_ns = 1\n\
+             [cache.l2]\ncapacity_kib = 32\nline_bytes = 128\nlatency_ns = 4\npolicy = mru\nvictim_lines = 4\n\
+             [cache]\ndram_latency_ns = 60\n"
+        );
+        let spec = SpecFile::parse(&text).unwrap();
+        let h = spec.cache_hierarchy().unwrap().expect("present");
+        assert_eq!(h.levels.len(), 2);
+        assert_eq!(h.levels[0].name, "l1");
+        assert_eq!(h.levels[0].geometry.capacity_bytes, 4 * 1024);
+        assert_eq!(h.levels[0].geometry.line_bytes, 64); // default
+        assert_eq!(h.levels[0].geometry.associativity, 4);
+        assert_eq!(h.levels[1].name, "l2");
+        assert_eq!(h.levels[1].geometry.line_bytes, 128);
+        assert_eq!(h.levels[1].policy.name(), "mru");
+        assert_eq!(h.levels[1].victim_lines, 4);
+        assert_eq!(h.dram_latency_ns, 60.0);
+
+        // No [cache.*] sections at all: cleanly absent, not an error.
+        let spec = SpecFile::parse(FIGURE_6B_SPEC).unwrap();
+        assert!(spec.cache_hierarchy().unwrap().is_none());
+    }
+
+    #[test]
+    fn cache_hierarchy_rejections_carry_code_and_line() {
+        let check = |extra: &str, needle: &str| {
+            let text = format!("{FIGURE_6B_SPEC}\n{extra}");
+            let err = SpecFile::parse(&text)
+                .unwrap()
+                .cache_hierarchy()
+                .unwrap_err();
+            assert_eq!(err.code(), "invalid_cache_config", "{extra:?}: {err}");
+            assert!(err.message.contains(needle), "{extra:?}: {err}");
+            assert!(err.line.is_some(), "{extra:?} should name a line: {err}");
+        };
+        // Zero capacity (the zero-sets case).
+        check(
+            "[cache.l1]\ncapacity_kib = 0\nlatency_ns = 1\n",
+            "capacity_kib",
+        );
+        // Non-power-of-two line size.
+        check(
+            "[cache.l1]\ncapacity_kib = 4\nline_bytes = 48\nlatency_ns = 1\n",
+            "power of two",
+        );
+        // Unknown replacement policy.
+        check(
+            "[cache.l1]\ncapacity_kib = 4\nlatency_ns = 1\npolicy = rainbow\n",
+            "lru, mru, way_prediction",
+        );
+        // Non-positive latency.
+        check(
+            "[cache.l1]\ncapacity_kib = 4\nlatency_ns = 0\n",
+            "latency_ns",
+        );
+        // Level ordering violation: l2 not larger than l1.
+        check(
+            "[cache.l1]\ncapacity_kib = 32\nlatency_ns = 1\n\
+             [cache.l2]\ncapacity_kib = 32\nlatency_ns = 4\n",
+            "level ordering violation",
+        );
+        // Missing required capacity key.
+        let text = format!("{FIGURE_6B_SPEC}\n[cache.l1]\nlatency_ns = 1\n");
+        let err = SpecFile::parse(&text)
+            .unwrap()
+            .cache_hierarchy()
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid_cache_config");
+        assert!(err.message.contains("capacity_kib"), "{err}");
     }
 
     #[test]

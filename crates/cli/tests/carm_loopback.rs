@@ -1,0 +1,222 @@
+//! Loopback acceptance test for `POST /v1/carm`: one real request over
+//! a socket, checked end to end — envelope payload, determinism of the
+//! ladder across parallelism policies, the request's flight record with
+//! the handler's `ladder_sweep` span, and the Prometheus exposition
+//! reconciling with the traffic actually sent.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gables_cli::serve::{build_router_with, ServeState};
+use gables_model::json::Json;
+use gables_model::Parallelism;
+use gables_serve::{Server, ServerConfig, ServerHandle, ShardedCache};
+
+/// Starts a server wired exactly like `gables serve`: shared metrics,
+/// cache, and flight recorder, with the full observability router.
+fn start_server(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let workers = config.workers;
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let state = ServeState::new(
+        server.metrics(),
+        Arc::new(ShardedCache::new(8, 256)),
+        server.flight(),
+        workers,
+    );
+    let router = build_router_with(&state);
+    let join = std::thread::spawn(move || server.run(router).expect("server run"));
+    (handle, join)
+}
+
+/// One full HTTP exchange with optional extra headers; returns
+/// (status line, headers, body).
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: localhost\r\n");
+    for (name, value) in extra_headers {
+        raw.push_str(&format!("{name}: {value}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read reply");
+    let reply = String::from_utf8(bytes).expect("UTF-8 reply");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// The value of a Prometheus sample line `name_and_labels value`.
+fn prom_value(exposition: &str, name_and_labels: &str) -> f64 {
+    exposition
+        .lines()
+        .find_map(|l| l.strip_prefix(name_and_labels)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no sample {name_and_labels:?} in exposition"))
+}
+
+/// Unwraps the `{"ok":true,"data":...}` envelope.
+fn open(body: &str) -> Json {
+    let doc = Json::parse(body).expect("envelope JSON");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{body}");
+    doc.get("data").expect("data field").clone()
+}
+
+/// The committed example spec, read from the repo's `specs/` directory.
+fn example_spec() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/carm_example.ini");
+    std::fs::read_to_string(path).expect("specs/carm_example.ini")
+}
+
+#[test]
+fn carm_request_envelope_flight_record_and_prometheus_reconcile() {
+    let (handle, join) = start_server(ServerConfig {
+        workers: 4,
+        flight_capacity: 64,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let spec = example_spec();
+    let trace_id = "carm-loopback-0001";
+
+    // One traced request: envelope carries the full ladder and sweep.
+    let (status, headers, body) = request(
+        addr,
+        "POST",
+        "/v1/carm",
+        &[("X-Request-Id", trace_id)],
+        &spec,
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    assert!(headers.contains("X-Cache: miss"), "{headers}");
+    let data = open(&body);
+    let ladder = data
+        .get("ladder")
+        .and_then(Json::as_array)
+        .expect("ladder array");
+    assert_eq!(ladder.len(), 4, "l1, l2, slc, dram");
+    let gbps: Vec<f64> = ladder
+        .iter()
+        .map(|r| r.get("gbps").and_then(Json::as_f64).unwrap())
+        .collect();
+    assert!(
+        gbps.windows(2).all(|w| w[0] > w[1]),
+        "measured ceilings must strictly decrease: {gbps:?}"
+    );
+    let sweep = data
+        .get("sweep")
+        .and_then(Json::as_array)
+        .expect("sweep array");
+    assert!(sweep
+        .iter()
+        .any(|p| p.get("binding").and_then(Json::as_str) == Some("dram")));
+    assert!(sweep
+        .iter()
+        .any(|p| p.get("binding").and_then(Json::as_str) == Some("compute")));
+
+    // Determinism across parallelism policies: the served output (the
+    // server evaluates under Auto) is byte-identical to serial and
+    // two-thread CLI reports of the same spec.
+    let served_output = data.get("output").and_then(Json::as_str).unwrap();
+    for par in [Parallelism::Serial, Parallelism::Threads(2)] {
+        let report = gables_cli::carm::carm_report(&spec, par).unwrap();
+        assert_eq!(
+            served_output,
+            gables_cli::carm::render_text(&report),
+            "{par:?} must match the served bytes"
+        );
+        assert_eq!(
+            data.to_string(),
+            {
+                let Json::Object(mut fields) = gables_cli::carm::json_data(&report) else {
+                    panic!("json_data must be an object")
+                };
+                fields.push(("output".into(), Json::str(served_output)));
+                Json::Object(fields).to_string()
+            },
+            "{par:?} ladder data must be byte-identical"
+        );
+    }
+
+    // A repeat of the same spec (cosmetic comment change) hits the cache.
+    let (status, headers, _) = request(addr, "POST", "/v1/carm", &[], &format!("# repeat\n{spec}"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(headers.contains("X-Cache: hit"), "{headers}");
+
+    // Flight record: the traced request is retrievable by ID and its
+    // span tree nests the handler's simulator spans.
+    let (status, _, body) = request(
+        addr,
+        "GET",
+        &format!("/v1/debug/requests?id={trace_id}"),
+        &[],
+        "",
+    );
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let record = open(&body);
+    assert_eq!(record.get("route").and_then(Json::as_str), Some("/v1/carm"));
+    assert_eq!(record.get("status").and_then(Json::as_f64), Some(200.0));
+    assert_eq!(record.get("cache").and_then(Json::as_str), Some("miss"));
+    let spans = record.get("spans").and_then(Json::as_array).expect("spans");
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    for expected in ["server.request", "dispatch /v1/carm", "ladder_sweep"] {
+        assert!(
+            names.contains(&expected),
+            "missing span {expected}: {names:?}"
+        );
+    }
+
+    // Prometheus: every request so far (carm miss, carm hit, the debug
+    // fetch) is in the handled counter, all 2xx.
+    let sent = 3;
+    let (status, _, prom) = request(addr, "GET", "/v1/metrics?format=prom", &[], "");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        prom_value(&prom, "gables_requests_handled_total"),
+        sent as f64
+    );
+    assert_eq!(
+        prom_value(&prom, "gables_responses_total{class=\"2xx\"} "),
+        sent as f64
+    );
+    assert_eq!(
+        prom_value(&prom, "gables_request_latency_seconds_bucket{le=\"+Inf\"} "),
+        sent as f64
+    );
+
+    // Malformed hierarchies answer 400 with the closed code in the
+    // envelope, and the error is flight-recorded too.
+    let bad = format!("{spec}\n[cache.tiny]\ncapacity_kib = 1\nlatency_ns = 1\n");
+    let (status, _, body) = request(addr, "POST", "/v1/carm", &[], &bad);
+    assert_eq!(status, "HTTP/1.1 400 Bad Request", "{body}");
+    let doc = Json::parse(&body).expect("error envelope");
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    let error = doc.get("error").expect("error field");
+    assert_eq!(
+        error.get("kind").and_then(Json::as_str),
+        Some("invalid_cache_config"),
+        "{body}"
+    );
+    assert!(error
+        .get("message")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("ordering violation"));
+
+    handle.shutdown();
+    join.join().expect("graceful shutdown");
+}

@@ -1,0 +1,465 @@
+//! Cache-aware roofline model (CARM): an ordered ladder of per-level
+//! bandwidth ceilings instead of the single DRAM roof.
+//!
+//! Gables (the paper) models one `Bpeak` and folds the memory hierarchy
+//! into the per-IP miss fraction `mi` (Section V-A): only `mi` of an
+//! IP's traffic reaches DRAM. The cache-aware roofline generalizes that
+//! one knob into a *profile*: a fraction of traffic served at every
+//! level of the hierarchy, each level with its own measured effective
+//! bandwidth. For a workload with operational intensity `I` (ops per
+//! requested byte) and per-level traffic fractions `phi_l`, level `l`
+//! serves `phi_l` of the bytes at `B_l`, so its ceiling on performance
+//! is `B_l * I / phi_l` — the *per-level effective intensity* `I / phi_l`
+//! times the level's bandwidth. Attainable performance is the minimum of
+//! the compute roof and every per-level ceiling:
+//!
+//! ```text
+//! P = min( Ppeak,  min over levels l with phi_l > 0 of  B_l * I / phi_l )
+//! ```
+//!
+//! With a two-rung ladder (SRAM, DRAM) and `phi_dram = mi` this reduces
+//! exactly to the paper's SRAM extension, which is the consistency test
+//! at the bottom of this module.
+//!
+//! The ladders themselves come from measurement, not hand entry: see
+//! `gables_soc_sim::cache_sim::measure_bandwidth_ladder`.
+
+use crate::error::GablesError;
+use crate::units::{BytesPerSec, OpsPerByte, OpsPerSec};
+
+/// One rung of the ceiling ladder: a named cache level (or DRAM) with
+/// its measured effective bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ceiling {
+    name: String,
+    bandwidth: BytesPerSec,
+}
+
+impl Ceiling {
+    /// The level name (`l1`, `slc`, `dram`, ...).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The level's effective bandwidth.
+    pub fn bandwidth(&self) -> BytesPerSec {
+        self.bandwidth
+    }
+}
+
+/// Which constraint binds at a sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarmBinding {
+    /// The compute roof `Ppeak` binds.
+    Compute,
+    /// The ceiling of the ladder rung at this index binds.
+    Level(usize),
+}
+
+/// One evaluated point of an intensity sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarmPoint {
+    /// Operational intensity (ops per requested byte).
+    pub intensity: f64,
+    /// Attainable performance in Gops/s.
+    pub attainable_gops: f64,
+    /// The binding constraint at this intensity.
+    pub binding: CarmBinding,
+}
+
+/// Per-rung traffic fractions: what share of the workload's requested
+/// bytes each ladder level serves. Sums to 1 by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficProfile {
+    fractions: Vec<f64>,
+}
+
+impl TrafficProfile {
+    /// Builds a profile from per-level served byte counts (a hit/miss
+    /// profile), normalizing to fractions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidCacheConfig`] for an empty profile,
+    /// a negative or non-finite byte count, or zero total traffic.
+    pub fn from_bytes(per_level_bytes: &[f64]) -> Result<Self, GablesError> {
+        if per_level_bytes.is_empty() {
+            return Err(GablesError::InvalidCacheConfig {
+                what: "traffic profile has no levels".into(),
+            });
+        }
+        for (i, &b) in per_level_bytes.iter().enumerate() {
+            if !b.is_finite() || b < 0.0 {
+                return Err(GablesError::InvalidCacheConfig {
+                    what: format!("traffic profile level {i} has invalid byte count {b}"),
+                });
+            }
+        }
+        let total: f64 = per_level_bytes.iter().sum();
+        if total <= 0.0 {
+            return Err(GablesError::InvalidCacheConfig {
+                what: "traffic profile has zero total traffic".into(),
+            });
+        }
+        Ok(Self {
+            fractions: per_level_bytes.iter().map(|&b| b / total).collect(),
+        })
+    }
+
+    /// Number of rungs the profile covers.
+    pub fn len(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Whether the profile covers no rungs (never true for a
+    /// successfully constructed profile).
+    pub fn is_empty(&self) -> bool {
+        self.fractions.is_empty()
+    }
+
+    /// The traffic fraction of rung `level`.
+    pub fn fraction(&self, level: usize) -> f64 {
+        self.fractions[level]
+    }
+}
+
+/// A roofline with one compute roof and an ordered ladder of per-level
+/// bandwidth ceilings, fastest rung first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheAwareRoofline {
+    ppeak: OpsPerSec,
+    ceilings: Vec<Ceiling>,
+}
+
+impl CacheAwareRoofline {
+    /// Builds a roofline from a peak performance and a ladder of
+    /// `(name, effective bandwidth)` rungs ordered nearest-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] for a non-finite or
+    /// non-positive `ppeak`, and [`GablesError::InvalidCacheConfig`] for
+    /// an empty ladder, an invalid rung bandwidth, or a rung that is not
+    /// strictly slower than the one before it (level ordering violation).
+    pub fn new(ppeak: OpsPerSec, ladder: Vec<(String, BytesPerSec)>) -> Result<Self, GablesError> {
+        if !ppeak.is_finite() || ppeak.value() <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "Ppeak",
+                ppeak.to_gops(),
+                "must be finite and positive",
+            ));
+        }
+        if ladder.is_empty() {
+            return Err(GablesError::InvalidCacheConfig {
+                what: "ceiling ladder has no levels".into(),
+            });
+        }
+        let mut prev: Option<(&str, f64)> = None;
+        for (name, bw) in &ladder {
+            if !bw.is_finite() || bw.value() <= 0.0 {
+                return Err(GablesError::InvalidCacheConfig {
+                    what: format!(
+                        "level {name} bandwidth {} GB/s must be finite and positive",
+                        bw.to_gbps()
+                    ),
+                });
+            }
+            if let Some((prev_name, prev_bw)) = prev {
+                if bw.to_gbps() >= prev_bw {
+                    return Err(GablesError::InvalidCacheConfig {
+                        what: format!(
+                            "level ordering violation: {name} ({} GB/s) must be slower \
+                             than {prev_name} ({prev_bw} GB/s)",
+                            bw.to_gbps()
+                        ),
+                    });
+                }
+            }
+            prev = Some((name, bw.to_gbps()));
+        }
+        Ok(Self {
+            ppeak,
+            ceilings: ladder
+                .into_iter()
+                .map(|(name, bandwidth)| Ceiling { name, bandwidth })
+                .collect(),
+        })
+    }
+
+    /// The compute roof.
+    pub fn ppeak(&self) -> OpsPerSec {
+        self.ppeak
+    }
+
+    /// The ceiling ladder, fastest rung first.
+    pub fn ceilings(&self) -> &[Ceiling] {
+        &self.ceilings
+    }
+
+    /// The knee intensity of rung `level`: the operational intensity at
+    /// which that rung's ceiling meets the compute roof (`Ppeak / B_l`).
+    pub fn knee(&self, level: usize) -> OpsPerByte {
+        OpsPerByte::new(self.ppeak.value() / self.ceilings[level].bandwidth.value())
+    }
+
+    /// Rung `level`'s roofline at intensity `i`, ignoring the traffic
+    /// profile: `min(Ppeak, B_l * i)`. This is what the multi-ceiling
+    /// chart draws, one curve per rung.
+    pub fn ceiling_at(&self, level: usize, i: OpsPerByte) -> OpsPerSec {
+        let memory = self.ceilings[level].bandwidth * i;
+        if memory.value() < self.ppeak.value() {
+            memory
+        } else {
+            self.ppeak
+        }
+    }
+
+    /// The per-level effective intensity of a workload: total intensity
+    /// divided by the rung's traffic fraction (`I / phi_l`), or `None`
+    /// when the rung serves no traffic (its ceiling cannot bind).
+    pub fn effective_intensity(
+        profile: &TrafficProfile,
+        level: usize,
+        i: OpsPerByte,
+    ) -> Option<OpsPerByte> {
+        let phi = profile.fraction(level);
+        if phi <= 0.0 {
+            None
+        } else {
+            Some(OpsPerByte::new(i.value() / phi))
+        }
+    }
+
+    /// Attainable performance at intensity `i` for a workload with the
+    /// given traffic profile, and the constraint that binds there.
+    ///
+    /// Ties between a memory ceiling and the compute roof resolve to the
+    /// memory level (the knee belongs to the ceiling that creates it);
+    /// ties between memory levels resolve to the nearest level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidCacheConfig`] when the profile does
+    /// not cover exactly one fraction per ladder rung, and
+    /// [`GablesError::InvalidParameter`] for a non-finite or
+    /// non-positive intensity.
+    pub fn attainable(
+        &self,
+        profile: &TrafficProfile,
+        i: OpsPerByte,
+    ) -> Result<(OpsPerSec, CarmBinding), GablesError> {
+        if profile.len() != self.ceilings.len() {
+            return Err(GablesError::InvalidCacheConfig {
+                what: format!(
+                    "traffic profile covers {} levels but the ladder has {}",
+                    profile.len(),
+                    self.ceilings.len()
+                ),
+            });
+        }
+        if !i.is_finite() || i.value() <= 0.0 {
+            return Err(GablesError::invalid_parameter(
+                "operational intensity",
+                i.value(),
+                "must be finite and positive",
+            ));
+        }
+        let mut best = self.ppeak.value();
+        let mut binding = CarmBinding::Compute;
+        // Reverse order so a nearer level wins ties with a farther one.
+        for level in (0..self.ceilings.len()).rev() {
+            if let Some(eff) = Self::effective_intensity(profile, level, i) {
+                let p = self.ceilings[level].bandwidth.value() * eff.value();
+                if p <= best {
+                    best = p;
+                    binding = CarmBinding::Level(level);
+                }
+            }
+        }
+        Ok((OpsPerSec::new(best), binding))
+    }
+
+    /// Evaluates an intensity sweep, returning one [`CarmPoint`] per
+    /// input intensity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of
+    /// [`attainable`](Self::attainable).
+    pub fn sweep(
+        &self,
+        profile: &TrafficProfile,
+        intensities: &[f64],
+    ) -> Result<Vec<CarmPoint>, GablesError> {
+        intensities
+            .iter()
+            .map(|&x| {
+                let (p, binding) = self.attainable(profile, OpsPerByte::new(x))?;
+                Ok(CarmPoint {
+                    intensity: x,
+                    attainable_gops: p.to_gops(),
+                    binding,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    fn ladder() -> Vec<(String, BytesPerSec)> {
+        vec![
+            ("l1".to_string(), BytesPerSec::from_gbps(100.0)),
+            ("slc".to_string(), BytesPerSec::from_gbps(40.0)),
+            ("dram".to_string(), BytesPerSec::from_gbps(10.0)),
+        ]
+    }
+
+    fn roofline() -> CacheAwareRoofline {
+        CacheAwareRoofline::new(OpsPerSec::from_gops(40.0), ladder()).unwrap()
+    }
+
+    #[test]
+    fn ladder_validation_is_fallible_and_closed_coded() {
+        let empty = CacheAwareRoofline::new(OpsPerSec::from_gops(40.0), vec![]).unwrap_err();
+        assert_eq!(empty.code(), "invalid_cache_config");
+
+        let mut inverted = ladder();
+        inverted[2].1 = BytesPerSec::from_gbps(50.0); // dram faster than slc
+        let err = CacheAwareRoofline::new(OpsPerSec::from_gops(40.0), inverted).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidCacheConfig);
+        assert!(err.to_string().contains("ordering"), "{err}");
+
+        // (A non-finite rung bandwidth cannot even be constructed in
+        // debug builds — units debug_assert finiteness — but the ladder
+        // check remains as the release-mode backstop.)
+        let bad_peak = CacheAwareRoofline::new(OpsPerSec::from_gops(0.0), ladder());
+        assert_eq!(bad_peak.unwrap_err().code(), "invalid_parameter");
+    }
+
+    #[test]
+    fn knees_and_ceilings() {
+        let r = roofline();
+        assert!((r.knee(0).value() - 0.4).abs() < 1e-12); // 40 / 100
+        assert!((r.knee(2).value() - 4.0).abs() < 1e-12); // 40 / 10
+                                                          // Below the knee the rung's line is bandwidth-sloped; above it
+                                                          // the roof is flat.
+        assert!((r.ceiling_at(2, OpsPerByte::new(1.0)).to_gops() - 10.0).abs() < 1e-12);
+        assert!((r.ceiling_at(2, OpsPerByte::new(100.0)).to_gops() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binding_level_tracks_the_traffic_profile() {
+        let r = roofline();
+        // 90% of traffic served by l1, 8% by slc, 2% by DRAM.
+        let p = TrafficProfile::from_bytes(&[90.0, 8.0, 2.0]).unwrap();
+        // Per-level ceilings at I=0.1: l1 100*0.1/0.9=11.1, slc
+        // 40*0.1/0.08=50, dram 10*0.1/0.02=50 — l1 binds despite being
+        // the fastest level, because it serves nearly all the traffic.
+        let (perf, binding) = r.attainable(&p, OpsPerByte::new(0.1)).unwrap();
+        assert_eq!(binding, CarmBinding::Level(0));
+        assert!((perf.to_gops() - 100.0 * 0.1 / 0.9).abs() < 1e-9);
+
+        // Mostly-DRAM traffic: DRAM binds.
+        let p = TrafficProfile::from_bytes(&[10.0, 10.0, 80.0]).unwrap();
+        let (_, binding) = r.attainable(&p, OpsPerByte::new(0.1)).unwrap();
+        assert_eq!(binding, CarmBinding::Level(2));
+
+        // Far above every knee the compute roof binds.
+        let (perf, binding) = r.attainable(&p, OpsPerByte::new(1000.0)).unwrap();
+        assert_eq!(binding, CarmBinding::Compute);
+        assert!((perf.to_gops() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_traffic_levels_cannot_bind() {
+        let r = roofline();
+        let p = TrafficProfile::from_bytes(&[0.0, 0.0, 5.0]).unwrap();
+        assert_eq!(
+            CacheAwareRoofline::effective_intensity(&p, 0, OpsPerByte::new(1.0)),
+            None
+        );
+        let (_, binding) = r.attainable(&p, OpsPerByte::new(0.1)).unwrap();
+        assert_eq!(binding, CarmBinding::Level(2));
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(TrafficProfile::from_bytes(&[]).is_err());
+        assert!(TrafficProfile::from_bytes(&[1.0, -2.0]).is_err());
+        assert!(TrafficProfile::from_bytes(&[0.0, 0.0]).is_err());
+        assert!(TrafficProfile::from_bytes(&[1.0, f64::NAN]).is_err());
+        let p = TrafficProfile::from_bytes(&[3.0, 1.0]).unwrap();
+        assert!((p.fraction(0) - 0.75).abs() < 1e-12);
+        assert!((p.fraction(1) - 0.25).abs() < 1e-12);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+
+        let mismatched = TrafficProfile::from_bytes(&[1.0]).unwrap();
+        let err = roofline()
+            .attainable(&mismatched, OpsPerByte::new(1.0))
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid_cache_config");
+        assert!(roofline()
+            .attainable(
+                &TrafficProfile::from_bytes(&[1.0, 1.0, 1.0]).unwrap(),
+                OpsPerByte::new(f64::INFINITY)
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn sweep_orders_bindings_from_memory_to_compute() {
+        let r = roofline();
+        let p = TrafficProfile::from_bytes(&[0.5, 0.3, 0.2]).unwrap();
+        let xs: Vec<f64> = (0..20).map(|i| 0.01 * 2f64.powi(i)).collect();
+        let pts = r.sweep(&p, &xs).unwrap();
+        assert_eq!(pts.len(), xs.len());
+        // Attainable is nondecreasing in intensity, and once compute
+        // binds it stays bound.
+        let mut saw_compute = false;
+        for pair in pts.windows(2) {
+            assert!(pair[1].attainable_gops >= pair[0].attainable_gops - 1e-12);
+        }
+        for pt in &pts {
+            if saw_compute {
+                assert_eq!(pt.binding, CarmBinding::Compute);
+            }
+            saw_compute |= pt.binding == CarmBinding::Compute;
+        }
+        assert!(saw_compute, "sweep must reach the compute roof");
+        assert_eq!(pts[0].binding, CarmBinding::Level(2), "DRAM binds at low I");
+    }
+
+    /// With a two-rung ladder (SRAM, DRAM) and `phi_dram = mi` the CARM
+    /// attainability reduces to the paper's SRAM-extension bound
+    /// `min(Ppeak, Bsram * I, Bdram * I / mi)`.
+    #[test]
+    fn two_rung_ladder_recovers_the_sram_extension() {
+        let ppeak = 40.0;
+        let bsram = 25.0;
+        let bdram = 10.0;
+        let mi = 0.3;
+        let r = CacheAwareRoofline::new(
+            OpsPerSec::from_gops(ppeak),
+            vec![
+                ("sram".to_string(), BytesPerSec::from_gbps(bsram)),
+                ("dram".to_string(), BytesPerSec::from_gbps(bdram)),
+            ],
+        )
+        .unwrap();
+        let p = TrafficProfile::from_bytes(&[1.0 - mi, mi]).unwrap();
+        for i in [0.05, 0.5, 2.0, 8.0] {
+            let (perf, _) = r.attainable(&p, OpsPerByte::new(i)).unwrap();
+            let expected = (bsram * i / (1.0 - mi)).min(bdram * i / mi).min(ppeak);
+            assert!(
+                (perf.to_gops() - expected).abs() < 1e-9,
+                "I={i}: {} vs {expected}",
+                perf.to_gops()
+            );
+        }
+    }
+}

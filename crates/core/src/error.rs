@@ -84,6 +84,12 @@ pub enum GablesError {
         /// What was being solved for.
         what: &'static str,
     },
+    /// A cache-hierarchy description for the cache-aware roofline was
+    /// malformed (empty ladder, non-increasing ceilings, ...).
+    InvalidCacheConfig {
+        /// What was wrong with the hierarchy.
+        what: String,
+    },
 }
 
 /// The coarse category of a [`GablesError`], independent of its payload.
@@ -112,6 +118,9 @@ pub enum ErrorKind {
     NoBusPath,
     /// An iterative solver failed to converge.
     NoConvergence,
+    /// A cache-hierarchy description was malformed (zero sets,
+    /// non-power-of-two line size, level ordering violations, ...).
+    InvalidCacheConfig,
 }
 
 impl ErrorKind {
@@ -132,12 +141,13 @@ impl ErrorKind {
             ErrorKind::BusMatrixShape => "bus_matrix_shape",
             ErrorKind::NoBusPath => "no_bus_path",
             ErrorKind::NoConvergence => "no_convergence",
+            ErrorKind::InvalidCacheConfig => "invalid_cache_config",
         }
     }
 
     /// All categories in declaration order, for exhaustive-coverage tests
     /// and documentation generators.
-    pub const ALL: [ErrorKind; 9] = [
+    pub const ALL: [ErrorKind; 10] = [
         ErrorKind::InvalidParameter,
         ErrorKind::WorkFractionSum,
         ErrorKind::IpCountMismatch,
@@ -147,6 +157,7 @@ impl ErrorKind {
         ErrorKind::BusMatrixShape,
         ErrorKind::NoBusPath,
         ErrorKind::NoConvergence,
+        ErrorKind::InvalidCacheConfig,
     ];
 }
 
@@ -216,6 +227,7 @@ impl GablesError {
             GablesError::BusMatrixShape { .. } => ErrorKind::BusMatrixShape,
             GablesError::NoBusPath { .. } => ErrorKind::NoBusPath,
             GablesError::NoConvergence { .. } => ErrorKind::NoConvergence,
+            GablesError::InvalidCacheConfig { .. } => ErrorKind::InvalidCacheConfig,
         }
     }
 }
@@ -267,6 +279,9 @@ impl fmt::Display for GablesError {
             GablesError::NoConvergence { what } => {
                 write!(f, "solver failed to converge while computing {what}")
             }
+            GablesError::InvalidCacheConfig { what } => {
+                write!(f, "invalid cache configuration: {what}")
+            }
         }
     }
 }
@@ -296,6 +311,9 @@ mod tests {
             },
             GablesError::NoBusPath { ip: 1 },
             GablesError::NoConvergence { what: "balance" },
+            GablesError::InvalidCacheConfig {
+                what: "hierarchy has no levels".into(),
+            },
         ];
         for err in cases {
             let msg = err.to_string();
@@ -389,6 +407,12 @@ mod tests {
             (
                 GablesError::NoConvergence { what: "balance" },
                 ErrorKind::NoConvergence,
+            ),
+            (
+                GablesError::InvalidCacheConfig {
+                    what: "empty".into(),
+                },
+                ErrorKind::InvalidCacheConfig,
             ),
         ];
         for (err, kind) in pairs {

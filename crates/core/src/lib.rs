@@ -74,6 +74,7 @@
 
 pub mod analysis;
 pub mod baselines;
+pub mod carm;
 pub mod error;
 pub mod explore;
 pub mod ext;

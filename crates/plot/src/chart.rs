@@ -249,6 +249,48 @@ pub fn render_gables_plot(data: &GablesPlotData, title: &str) -> String {
     svg
 }
 
+/// Renders a cache-aware roofline (CARM): one bandwidth ceiling per
+/// hierarchy level, each labelled in its own color on the sloped part of
+/// the curve (where the ceilings are visually distinct — they all merge
+/// into the compute roof on the right), plus the attainable curve for
+/// the measured traffic profile and dashed markers at the per-level knee
+/// intensities. This is the N-ceiling generalization of
+/// [`render_roofline`].
+pub fn render_carm(
+    title: &str,
+    ceilings: &[Series],
+    attainable: &Series,
+    knees: &[VerticalMarker],
+) -> String {
+    let cfg = ChartConfig::log_log(title, "Operational intensity (ops/byte)", "Gops / sec");
+    let mut series: Vec<Series> = ceilings.to_vec();
+    series.push(attainable.clone());
+    let mut svg = render_line_chart(&cfg, &series, knees);
+    // Per-ceiling labels: anchored at each curve's left end, where the
+    // bandwidth slopes fan apart (strictly decreasing ladder bandwidths
+    // guarantee distinct label positions).
+    let ((x_lo, x_hi), (y_lo, y_hi)) = data_bounds(&series);
+    let xs = Scale::log(x_lo, x_hi);
+    let ys = Scale::log(y_lo * 0.8, y_hi * 1.25);
+    let w = cfg.width as f64;
+    let h = cfg.height as f64;
+    let mut labels = String::new();
+    for (i, c) in ceilings.iter().enumerate() {
+        let Some(&(x0, y0)) = c.points.first() else {
+            continue;
+        };
+        let color = PALETTE[i % PALETTE.len()];
+        let px = xs.to_pixel(x0, MARGIN_L, w - MARGIN_R) + 4.0;
+        let py = ys.to_pixel(y0, h - MARGIN_B, MARGIN_T) - 5.0;
+        labels.push_str(&format!(
+            r##"<text x="{px:.1}" y="{py:.1}" font-size="10" font-family="sans-serif" fill="{color}">{}</text>"##,
+            c.label
+        ));
+    }
+    svg.insert_str(svg.rfind("</svg>").expect("closing tag"), &labels);
+    svg
+}
+
 #[cfg(test)]
 mod invariant_tests {
     use super::*;

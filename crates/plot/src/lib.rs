@@ -35,7 +35,8 @@ pub mod svg;
 
 pub use ascii::render_ascii;
 pub use chart::{
-    render_gables_plot, render_line_chart, render_roofline, ChartConfig, Series, VerticalMarker,
+    render_carm, render_gables_plot, render_line_chart, render_roofline, ChartConfig, Series,
+    VerticalMarker,
 };
 pub use flame::{render_flame, render_self_time_table};
 pub use gantt::{render_timeline, utilization_row, TimelineRow, TimelineSpan};

@@ -44,6 +44,10 @@ pub mod thermal;
 pub mod trace;
 
 pub use arbiter::ArbiterPolicy;
+pub use cache_sim::{
+    measure_bandwidth_ladder, sweep_block_sizes, BlockSweepPoint, HierarchyConfig, HierarchySim,
+    HierarchyStats, LevelBandwidth, LevelConfig, LevelStats, ReplacementPolicy,
+};
 pub use config::{SocConfig, TrafficPattern};
 pub use engine::{Job, JobResult, RunResult, ServedFrom, Simulator};
 pub use error::SimError;

@@ -61,6 +61,9 @@ cargo test -q -p gables-cli --test profile
 echo "==> fault-injection smoke (deterministic adversarial clients)"
 cargo test -q -p gables-cli --test fault_injection
 
+echo "==> carm loopback (envelope -> flight record -> prom reconciliation)"
+cargo test -q -p gables-cli --test carm_loopback
+
 if [ "$QUICK" -eq 0 ]; then
   echo "==> release-mode suites (debug_assert! compiled out)"
   cargo test --release -q -p gables-cli --test obs_loopback
