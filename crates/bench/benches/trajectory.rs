@@ -339,14 +339,14 @@ fn bench_carm(dir: &str, scale: usize, calibration: f64) {
     );
 }
 
-/// One full HTTP exchange against the loopback server.
+/// One full close-delimited HTTP exchange against the loopback server.
 fn http_post(addr: SocketAddr, target: &str, body: &str) -> u16 {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let raw = format!(
-        "POST {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).expect("send request");
@@ -380,7 +380,7 @@ fn serve_batch_ns(addr: SocketAddr, threads: usize, per_thread: usize) -> f64 {
                     // Cosmetic comment varies the body so cache hits prove
                     // canonicalization rather than byte equality.
                     let spec = format!("# probe {t}/{i}\n{FIGURE_6B_SPEC}");
-                    let status = http_post(addr, "/eval?format=text", &spec);
+                    let status = http_post(addr, "/v1/eval?format=text", &spec);
                     assert_eq!(status, 200, "eval request failed");
                 }
             })
@@ -392,12 +392,87 @@ fn serve_batch_ns(addr: SocketAddr, threads: usize, per_thread: usize) -> f64 {
     start.elapsed().as_nanos() as f64 / (threads * per_thread) as f64
 }
 
+/// Reads one `Content-Length`-framed response off a keep-alive stream
+/// and asserts it is a 200.
+fn read_framed_ok(stream: &mut TcpStream) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        let n = stream.read(&mut chunk).expect("read head");
+        assert!(n > 0, "EOF before the response head completed");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).expect("UTF-8 head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("numeric Content-Length");
+    while buf.len() < head_end + content_length {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "EOF before the response body completed");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Drives `threads × per_thread` `/v1/eval` requests with one
+/// keep-alive connection per thread (no per-request connect/close);
+/// returns wall-clock nanoseconds per request.
+fn serve_keepalive_batch_ns(addr: SocketAddr, threads: usize, per_thread: usize) -> f64 {
+    let start = Instant::now();
+    let clients: Vec<_> = (0..threads)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                for i in 0..per_thread {
+                    let spec = format!("# keepalive {t}/{i}\n{FIGURE_6B_SPEC}");
+                    let raw = format!(
+                        "POST /v1/eval?format=text HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{spec}",
+                        spec.len()
+                    );
+                    stream.write_all(raw.as_bytes()).expect("send request");
+                    read_framed_ok(&mut stream);
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    start.elapsed().as_nanos() as f64 / (threads * per_thread) as f64
+}
+
+/// POSTs one `/v1/batch` envelope of `items` cosmetically-varied specs
+/// and returns wall-clock nanoseconds per item.
+fn serve_batch_endpoint_ns(addr: SocketAddr, items: usize) -> f64 {
+    let specs: Vec<String> = (0..items)
+        .map(|i| Json::str(format!("# batch {i}\n{FIGURE_6B_SPEC}")).to_string())
+        .collect();
+    let payload = format!("{{\"specs\":[{}]}}", specs.join(","));
+    let start = Instant::now();
+    let status = http_post(addr, "/v1/batch", &payload);
+    assert_eq!(status, 200, "batch request failed");
+    start.elapsed().as_nanos() as f64 / items as f64
+}
+
 /// `serve` bench: loopback request latency with and without a live
 /// profiling session, so the committed artifact records the sampler's
 /// measured overhead. Base and profiled batches alternate (base,
 /// profiled, base, profiled, ...) and each side takes its median, so a
 /// frequency or load shift mid-bench lands on both sides instead of
-/// masquerading as profiler overhead.
+/// masquerading as profiler overhead. Two further rungs gate the event
+/// loop's steady-state paths: `serve_keepalive_request_ns` (framed
+/// requests reusing one connection per client) and
+/// `serve_batch_item_ns` (per-item cost of one `/v1/batch` envelope).
 fn bench_serve(dir: &str, scale: usize, calibration: f64) {
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
     let handle: ServerHandle = server.handle().expect("server handle");
@@ -428,6 +503,22 @@ fn bench_serve(dir: &str, scale: usize, calibration: f64) {
     let profiled_ns = median(&mut profiled_samples);
     let overhead_pct = (profiled_ns - base_ns) / base_ns * 100.0;
 
+    // Keep-alive rung: same request mix, one persistent connection per
+    // client thread. Warm up once, then take the median of three.
+    serve_keepalive_batch_ns(addr, threads, per_thread / 4);
+    let mut keepalive_samples: Vec<f64> = (0..rounds)
+        .map(|_| serve_keepalive_batch_ns(addr, threads, per_thread))
+        .collect();
+    let keepalive_ns = median(&mut keepalive_samples);
+
+    // Batch rung: one `/v1/batch` envelope per sample, per-item cost.
+    let batch_items = (16 * scale).clamp(32, 256);
+    serve_batch_endpoint_ns(addr, batch_items);
+    let mut batch_samples: Vec<f64> = (0..rounds)
+        .map(|_| serve_batch_endpoint_ns(addr, batch_items))
+        .collect();
+    let batch_ns = median(&mut batch_samples);
+
     handle.shutdown();
     join.join().expect("server thread");
 
@@ -436,8 +527,13 @@ fn bench_serve(dir: &str, scale: usize, calibration: f64) {
         "serve",
         scale,
         calibration,
-        vec![("serve_request_ns".into(), Json::num(base_ns))],
         vec![
+            ("serve_request_ns".into(), Json::num(base_ns)),
+            ("serve_keepalive_request_ns".into(), Json::num(keepalive_ns)),
+            ("serve_batch_item_ns".into(), Json::num(batch_ns)),
+        ],
+        vec![
+            ("batch_items".into(), Json::num(batch_items as f64)),
             ("client_threads".into(), Json::num(threads as f64)),
             (
                 "requests_per_batch".into(),
@@ -453,8 +549,8 @@ fn bench_serve(dir: &str, scale: usize, calibration: f64) {
         ],
     );
     println!(
-        "serve     {:>12.0} ns/request (profiler overhead {overhead_pct:+.1}%)  wrote {path}",
-        base_ns
+        "serve     {:>12.0} ns/request / {:.0} ns keep-alive / {:.0} ns batch item (profiler overhead {overhead_pct:+.1}%)  wrote {path}",
+        base_ns, keepalive_ns, batch_ns
     );
 }
 

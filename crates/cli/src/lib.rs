@@ -177,7 +177,7 @@ fn carm_args(args: &[String]) -> Result<(String, Option<String>), SpecError> {
 }
 
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables carm  <spec> [out.svg]     cache-aware roofline: measure per-level\n                                    ceilings with the hierarchy simulator, print\n                                    the ladder + ASCII plot (optionally write\n                                    the SVG); spec needs [cache.<level>] sections\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] serve the /v1 JSON API (eval, sweep, whatif,\n                                    simulate, metrics) over HTTP (default 127.0.0.1:7878)\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables carm  <spec> [out.svg]     cache-aware roofline: measure per-level\n                                    ceilings with the hierarchy simulator, print\n                                    the ladder + ASCII plot (optionally write\n                                    the SVG); spec needs [cache.<level>] sections\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] [--replicas N]\n                                    serve the /v1 JSON API (eval, batch, sweep,\n                                    whatif, simulate, metrics) over HTTP (default\n                                    127.0.0.1:7878); --replicas N shards across N\n                                    consistent-hashed child processes\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {

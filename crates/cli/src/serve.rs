@@ -3,11 +3,21 @@
 //!
 //! ## The v1 API
 //!
-//! Canonical routes live under `/v1/` (one request per connection, JSON
-//! by default, `?format=text` for the plain CLI output):
+//! Canonical routes live under `/v1/` (HTTP/1.1 with keep-alive and
+//! pipelining, JSON by default, `?format=text` for the plain CLI
+//! output). `GET /v1` returns a machine-readable index of everything
+//! below — routes, methods, query parameters, and the closed
+//! error-code vocabulary:
 //!
 //! * `POST /v1/eval` — spec text in the body → attainment + bottleneck.
 //!   With `?format=text` the body is byte-identical to `gables eval`.
+//! * `POST /v1/batch` — many specs in one JSON body (`{"specs":
+//!   [...]}` or a bare array of spec strings) → one envelope whose
+//!   `items` array holds, in order, *exactly* the envelope each spec
+//!   would have produced as a single `POST /v1/eval` — per-item error
+//!   codes included, so one bad spec never fails the batch. Items are
+//!   spliced into a single write buffer, and each item runs under a
+//!   `batch` span in the flight record.
 //! * `POST /v1/sweep` — ERT-style sweep; `?param=f|bpeak|intensity`,
 //!   `?from=`, `?to=`, `?steps=` (defaults sweep intensity 0.25..64).
 //!   Grid points are evaluated in parallel (`gables_model::par`), with
@@ -43,10 +53,26 @@
 //! handler span (`eval`, `sweep`, …), and `gables_model::par` worker
 //! chunks nest under those — see `gables_model::obs`.
 //!
-//! The original unversioned paths (`/eval`, `/sweep`, …) remain as
-//! deprecated aliases: they serve the same responses plus a
-//! `Deprecation: true` header and a `Link: </v1/...>;
-//! rel="successor-version"` pointer to the canonical route.
+//! The original unversioned paths (`/eval`, `/sweep`, …) carried
+//! `Deprecation: true` for one release; that sunset has now executed.
+//! They answer `410 Gone` with the closed `endpoint_gone` error code
+//! and a `Link: </v1/...>; rel="successor-version"` header naming the
+//! canonical route — a stable, machine-readable redirect, not a silent
+//! removal.
+//!
+//! ## Replicas
+//!
+//! `gables serve --replicas N` runs N shared-nothing shard processes,
+//! each with its own event loop, worker pool, LRU cache, flight
+//! recorder, and Prometheus registry. The parent process is a router:
+//! it parses each spec just enough to compute the canonical cache key
+//! ([`Spec::canonical_key`]) and consistent-hashes it onto a shard, so
+//! identical specs always land on the same shard's cache.
+//! `/v1/metrics` and `/v1/healthz` aggregate across every shard;
+//! debug routes answer from the parent's own recorder. Shard children
+//! are supervised over pipes: each announces `LISTENING <addr>` on
+//! stdout and exits when its stdin reaches EOF, so no shard can
+//! outlive its parent.
 //!
 //! Every JSON response uses the envelope documented in [`gables_serve`]:
 //! `{"ok": true, "data": ..., "error": null}` on success and
@@ -85,36 +111,55 @@ pub struct ServeOptions {
     pub addr: String,
     /// Worker threads, default 4.
     pub workers: usize,
+    /// Shard processes behind a routing parent; 1 means serve in-process.
+    pub replicas: usize,
+    /// Supervised mode: print `LISTENING <addr>` on stdout once bound
+    /// and shut down when stdin reaches EOF (how replica shards — and
+    /// tests — manage server lifetime).
+    pub announce: bool,
 }
 
-/// Parses `[addr] [--workers N]`.
+/// Parses `[addr] [--workers N] [--replicas N] [--announce]`.
 ///
 /// # Errors
 ///
-/// Returns [`SpecError`] for unknown flags or a malformed worker count.
+/// Returns [`SpecError`] for unknown flags or a malformed count.
 pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
     let mut opts = ServeOptions {
         addr: "127.0.0.1:7878".to_string(),
         workers: 4,
+        replicas: 1,
+        announce: false,
     };
     let mut it = args.iter();
     let mut addr_seen = false;
+    let positive = |flag: &str, n: &str| -> Result<usize, SpecError> {
+        let v: usize = n
+            .parse()
+            .map_err(|_| SpecError::general(format!("{flag}: {n:?} is not a positive integer")))?;
+        if v == 0 {
+            return Err(SpecError::general(format!("{flag} must be at least 1")));
+        }
+        Ok(v)
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => {
                 let n = it
                     .next()
                     .ok_or_else(|| SpecError::general("--workers needs a count"))?;
-                opts.workers = n.parse().map_err(|_| {
-                    SpecError::general(format!("--workers: {n:?} is not a positive integer"))
-                })?;
-                if opts.workers == 0 {
-                    return Err(SpecError::general("--workers must be at least 1"));
-                }
+                opts.workers = positive("--workers", n)?;
             }
+            "--replicas" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| SpecError::general("--replicas needs a count"))?;
+                opts.replicas = positive("--replicas", n)?;
+            }
+            "--announce" => opts.announce = true,
             other if other.starts_with('-') => {
                 return Err(SpecError::general(format!(
-                    "unknown serve flag {other:?} (only --workers <n>)"
+                    "unknown serve flag {other:?} (only --workers <n>, --replicas <n>, --announce)"
                 )))
             }
             other => {
@@ -131,14 +176,24 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
     Ok(opts)
 }
 
-/// `gables serve [addr] [--workers N]`: bind, log the listen address,
-/// and serve until the process is killed.
+/// `gables serve [addr] [--workers N] [--replicas N]`: bind, log the
+/// listen address, and serve until the process is killed (or, with
+/// `--announce`, until stdin reaches EOF).
 ///
 /// # Errors
 ///
-/// Returns [`SpecError`] for bad arguments or a failed bind.
+/// Returns [`SpecError`] for bad arguments, a failed bind, or a failed
+/// shard spawn.
 pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
     let opts = parse_serve_args(args)?;
+    // A long-running server narrates its lifecycle and access log at
+    // info by default; an explicit `--log` or `GABLES_LOG` still wins.
+    if !obs::level_is_explicit() && std::env::var_os("GABLES_LOG").is_none() {
+        obs::set_level(Some(obs::Level::Info));
+    }
+    if opts.replicas > 1 {
+        return run_replicated(&opts);
+    }
     let config = ServerConfig {
         workers: opts.workers,
         ..ServerConfig::default()
@@ -148,11 +203,6 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
     let addr = server
         .local_addr()
         .map_err(|e| SpecError::general(e.to_string()))?;
-    // A long-running server narrates its lifecycle and access log at
-    // info by default; an explicit `--log` or `GABLES_LOG` still wins.
-    if !obs::level_is_explicit() && std::env::var_os("GABLES_LOG").is_none() {
-        obs::set_level(Some(obs::Level::Info));
-    }
     let state = ServeState::new(
         server.metrics(),
         Arc::new(ShardedCache::new(8, 128)),
@@ -170,17 +220,47 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
             ("version", VERSION.into()),
             (
                 "routes",
-                "POST /v1/{eval,sweep,whatif,simulate,carm}; \
+                "GET /v1; POST /v1/{eval,batch,sweep,whatif,simulate,carm}; \
                  GET /v1/{metrics,healthz,debug/requests,debug/profile}"
                     .into(),
             ),
         ],
     );
+    if opts.announce {
+        announce_and_watch(
+            addr,
+            server
+                .handle()
+                .map_err(|e| SpecError::general(e.to_string()))?,
+        );
+    }
     server
         .run(router)
         .map_err(|e| SpecError::general(e.to_string()))?;
     obs::log(obs::Level::Info, "serve", "shutdown complete", &[]);
     Ok(String::new())
+}
+
+/// Supervised-mode plumbing: print `LISTENING <addr>` so the spawner
+/// can discover an ephemeral port, then watch stdin from a thread and
+/// trigger a graceful shutdown when it reaches EOF — the pipe-based
+/// lifetime contract that keeps a shard from outliving its parent.
+fn announce_and_watch(addr: std::net::SocketAddr, handle: gables_serve::ServerHandle) {
+    use std::io::Write as _;
+    println!("LISTENING {addr}");
+    let _ = std::io::stdout().flush();
+    std::thread::spawn(move || {
+        use std::io::Read as _;
+        let mut stdin = std::io::stdin();
+        let mut sink = [0u8; 256];
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        handle.shutdown();
+    });
 }
 
 /// The route-layer handler shape: returns the raw data payload (JSON
@@ -241,31 +321,51 @@ pub fn build_router(metrics: Arc<ServerMetrics>, cache: Arc<ShardedCache>) -> Ro
     ))
 }
 
+/// The sunset unversioned aliases: `(method, alias path, successor)`.
+/// Each answers `410 Gone` with the closed `endpoint_gone` error code
+/// and a `Link` header naming its `/v1` successor.
+const SUNSET_ALIASES: &[(&str, &str, &str)] = &[
+    ("POST", "/eval", "/v1/eval"),
+    ("POST", "/sweep", "/v1/sweep"),
+    ("POST", "/whatif", "/v1/whatif"),
+    ("POST", "/simulate", "/v1/simulate"),
+    ("POST", "/carm", "/v1/carm"),
+    ("GET", "/metrics", "/v1/metrics"),
+    ("GET", "/healthz", "/v1/healthz"),
+];
+
+/// The `410 Gone` answer for a sunset alias.
+fn gone(v1_path: &str) -> Response {
+    Response::error(
+        410,
+        &format!("this unversioned endpoint has been sunset; use {v1_path}"),
+    )
+    .with_header("Link", format!("<{v1_path}>; rel=\"successor-version\""))
+}
+
 /// Builds the Gables route table over the shared [`ServeState`]: the
-/// canonical `/v1/*` routes plus the deprecated unversioned aliases.
-/// Public so tests can run the server on an ephemeral port.
+/// `GET /v1` discovery index, the canonical `/v1/*` routes, and the
+/// `410 Gone` tombstones for the sunset unversioned aliases. Public so
+/// tests can run the server on an ephemeral port.
 pub fn build_router_with(state: &ServeState) -> Router {
     let healthz_state = state.clone();
-    let healthz_alias_state = state.clone();
     let debug_state = state.clone();
+    let metrics_state = state.clone();
+    let batch_metrics = Arc::clone(&state.metrics);
+    let batch_cache = Arc::clone(&state.cache);
     let mut router = Router::new()
+        .route("GET", "/v1", |_| discovery_response())
         .route("GET", "/v1/healthz", move |req| {
             healthz_response(req, &healthz_state)
-        })
-        .route("GET", "/healthz", move |req| {
-            deprecated(healthz_response(req, &healthz_alias_state), "/v1/healthz")
         })
         .route("GET", "/v1/debug/requests", move |req| {
             debug_requests_response(req, &debug_state)
         })
-        .route("GET", "/v1/debug/profile", debug_profile_response);
-    for alias in [false, true] {
-        let state = state.clone();
-        let path = if alias { "/metrics" } else { "/v1/metrics" };
-        router = router.route("GET", path, move |req| {
-            let snapshot = state.metrics.snapshot();
-            let resp = if req.query_param("format") == Some("prom") {
-                let mut body = snapshot.to_prometheus(state.uptime_seconds(), VERSION);
+        .route("GET", "/v1/debug/profile", debug_profile_response)
+        .route("GET", "/v1/metrics", move |req| {
+            let snapshot = metrics_state.metrics.snapshot();
+            if req.query_param("format") == Some("prom") {
+                let mut body = snapshot.to_prometheus(metrics_state.uptime_seconds(), VERSION);
                 body.push_str(&gables_model::prof::prometheus_text());
                 let mut resp = Response::text(200, body);
                 resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
@@ -274,14 +374,11 @@ pub fn build_router_with(state: &ServeState) -> Router {
                 Response::text(200, snapshot.to_text())
             } else {
                 Response::json(200, envelope(&snapshot.to_json()))
-            };
-            if alias {
-                deprecated(resp, "/v1/metrics")
-            } else {
-                resp
             }
+        })
+        .route("POST", "/v1/batch", move |req| {
+            batch_response(req, &batch_metrics, &batch_cache)
         });
-    }
     for (name, handler) in [
         ("eval", eval_handler as GablesHandler),
         ("sweep", sweep_handler),
@@ -290,24 +387,15 @@ pub fn build_router_with(state: &ServeState) -> Router {
         ("carm", carm_handler),
     ] {
         let v1_path = format!("/v1/{name}");
-        for alias in [false, true] {
-            let path = if alias {
-                format!("/{name}")
-            } else {
-                v1_path.clone()
-            };
-            let v1 = v1_path.clone();
-            let metrics = Arc::clone(&state.metrics);
-            let cache = Arc::clone(&state.cache);
-            router = router.route("POST", &path, move |req| {
-                let resp = handle_post(&v1, handler, &metrics, &cache, req);
-                if alias {
-                    deprecated(resp, &v1)
-                } else {
-                    resp
-                }
-            });
-        }
+        let v1 = v1_path.clone();
+        let metrics = Arc::clone(&state.metrics);
+        let cache = Arc::clone(&state.cache);
+        router = router.route("POST", &v1_path, move |req| {
+            handle_post(&v1, handler, &metrics, &cache, req)
+        });
+    }
+    for (method, alias, v1) in SUNSET_ALIASES {
+        router = router.route(method, alias, move |_| gone(v1));
     }
     router
 }
@@ -333,6 +421,264 @@ fn healthz_response(req: &Request, state: &ServeState) -> Response {
         ),
     ]);
     Response::json(200, envelope(&doc.to_string()))
+}
+
+/// The route descriptors behind `GET /v1`: method, path, recognized
+/// query parameters, one-line summary. This table *is* the API surface;
+/// `discovery_routes_match_the_router` keeps it honest against the
+/// actual route table.
+const V1_ROUTE_DOCS: &[(&str, &str, &[&str], &str)] = &[
+    ("GET", "/v1", &[], "this discovery document"),
+    (
+        "POST",
+        "/v1/eval",
+        &["format"],
+        "evaluate a spec: attainable performance and the binding bottleneck",
+    ),
+    (
+        "POST",
+        "/v1/batch",
+        &[],
+        "evaluate many specs in one body; ordered per-item envelopes",
+    ),
+    (
+        "POST",
+        "/v1/sweep",
+        &["param", "from", "to", "steps", "format"],
+        "sweep f, bpeak, or intensity over a grid",
+    ),
+    (
+        "POST",
+        "/v1/whatif",
+        &["format"],
+        "apply edits to a spec and report the delta",
+    ),
+    (
+        "POST",
+        "/v1/simulate",
+        &["format"],
+        "cycle-level simulation with per-job bottleneck attribution",
+    ),
+    (
+        "POST",
+        "/v1/carm",
+        &["format"],
+        "cache-aware roofline: measured per-level ceiling ladder",
+    ),
+    (
+        "GET",
+        "/v1/metrics",
+        &["format"],
+        "request counters, latency histogram, cache hit rate",
+    ),
+    ("GET", "/v1/healthz", &["format"], "liveness probe"),
+    (
+        "GET",
+        "/v1/debug/requests",
+        &["n", "id", "format"],
+        "flight recorder: recent requests with span trees",
+    ),
+    (
+        "GET",
+        "/v1/debug/profile",
+        &["seconds", "format"],
+        "run the sampling profiler and return the profile",
+    ),
+];
+
+/// Error kinds minted by the route layer itself (not the model or the
+/// spec parser): fine-grained `kind` codes that appear in error
+/// envelopes alongside the transport `code`.
+const ROUTE_ERROR_KINDS: &[&str] = &["invalid_parameter", "profile_in_progress"];
+
+/// `GET /v1`: the machine-readable API index — every route with its
+/// methods and query parameters, the sunset aliases with their
+/// successors, and the closed error-code vocabulary. The transport
+/// codes come from [`Response::ERROR_CODES`] and the kinds from
+/// [`gables_model::ErrorKind::code`] (plus the spec parser's and the
+/// route layer's own), so the document can never drift from what the
+/// server actually emits.
+fn discovery_response() -> Response {
+    let routes = Json::Array(
+        V1_ROUTE_DOCS
+            .iter()
+            .map(|(method, path, params, summary)| {
+                Json::Object(vec![
+                    ("method".into(), Json::str(*method)),
+                    ("path".into(), Json::str(*path)),
+                    (
+                        "params".into(),
+                        Json::Array(params.iter().map(|p| Json::str(*p)).collect()),
+                    ),
+                    ("summary".into(), Json::str(*summary)),
+                ])
+            })
+            .collect(),
+    );
+    let transport = Json::Array(
+        Response::ERROR_CODES
+            .iter()
+            .map(|(status, code)| {
+                Json::Object(vec![
+                    ("code".into(), Json::str(*code)),
+                    ("status".into(), Json::num(f64::from(*status))),
+                ])
+            })
+            .collect(),
+    );
+    let mut kinds: Vec<&str> = gables_model::ErrorKind::ALL
+        .iter()
+        .map(|k| k.code())
+        .collect();
+    kinds.push(crate::spec::SPEC_PARSE_KIND);
+    kinds.extend(ROUTE_ERROR_KINDS);
+    kinds.sort_unstable();
+    kinds.dedup();
+    let sunset = Json::Array(
+        SUNSET_ALIASES
+            .iter()
+            .map(|(method, alias, v1)| {
+                Json::Object(vec![
+                    ("method".into(), Json::str(*method)),
+                    ("path".into(), Json::str(*alias)),
+                    ("successor".into(), Json::str(*v1)),
+                    ("status".into(), Json::num(410.0)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Json::Object(vec![
+        ("version".into(), Json::str(VERSION)),
+        ("routes".into(), routes),
+        (
+            "error_codes".into(),
+            Json::Object(vec![
+                ("transport".into(), transport),
+                (
+                    "kinds".into(),
+                    Json::Array(kinds.into_iter().map(Json::str).collect()),
+                ),
+            ]),
+        ),
+        ("sunset".into(), sunset),
+    ]);
+    Response::json(200, envelope(&doc.to_string()))
+}
+
+/// Most specs accepted in one `POST /v1/batch` body.
+const MAX_BATCH_ITEMS: usize = 256;
+
+/// `POST /v1/batch`: evaluate many specs in one request. The body is
+/// `{"specs": [...]}` or a bare JSON array of spec strings; the
+/// response `data` carries `count` and `items`, where `items[i]` is —
+/// byte for byte — the envelope a single `POST /v1/eval` would have
+/// produced for `specs[i]` (per-item error codes included, so one bad
+/// spec never fails the batch). Items are spliced into one write
+/// buffer, and each runs under a `batch` span so flight records show
+/// the per-item timing.
+fn batch_response(req: &Request, metrics: &ServerMetrics, cache: &ShardedCache) -> Response {
+    let specs = match batch_specs(req) {
+        Ok(specs) => specs,
+        Err(resp) => return *resp,
+    };
+    let items: Vec<String> = specs
+        .iter()
+        .map(|spec_text| {
+            let _item_span = obs::span("batch");
+            let item_req = Request {
+                method: "POST".into(),
+                path: "/v1/eval".into(),
+                query: None,
+                headers: Vec::new(),
+                body: spec_text.as_bytes().to_vec(),
+            };
+            let resp = handle_post("/v1/eval", eval_handler, metrics, cache, &item_req);
+            String::from_utf8(resp.body).unwrap_or_default()
+        })
+        .collect();
+    Response::json(200, envelope(&splice_batch_items(&items)))
+}
+
+/// Extracts the spec strings from a batch body, or the error response.
+/// (Boxed so the happy path doesn't carry a `Response` by value.)
+fn batch_specs(req: &Request) -> Result<Vec<String>, Box<Response>> {
+    let body = req.body_str().map_err(|e| {
+        Box::new(Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            &e.to_string(),
+        ))
+    })?;
+    let doc = Json::parse(body).map_err(|_| {
+        Box::new(Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            "batch body must be JSON: {\"specs\": [...]} or a bare array of spec strings",
+        ))
+    })?;
+    let array = match &doc {
+        Json::Array(items) => items,
+        other => match other.get("specs") {
+            Some(Json::Array(items)) => items,
+            _ => {
+                return Err(Box::new(Response::error_with_kind(
+                    400,
+                    Some("invalid_parameter"),
+                    "batch body must be {\"specs\": [...]} or a bare array of spec strings",
+                )))
+            }
+        },
+    };
+    if array.is_empty() {
+        return Err(Box::new(Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            "batch needs at least one spec",
+        )));
+    }
+    if array.len() > MAX_BATCH_ITEMS {
+        return Err(Box::new(Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            &format!(
+                "batch has {} items; the limit is {MAX_BATCH_ITEMS}",
+                array.len()
+            ),
+        )));
+    }
+    array
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_str().map(str::to_string).ok_or_else(|| {
+                Box::new(Response::error_with_kind(
+                    400,
+                    Some("invalid_parameter"),
+                    &format!("batch item {i} must be a spec string"),
+                ))
+            })
+        })
+        .collect()
+}
+
+/// Splices pre-serialized per-item envelopes into the batch `data`
+/// payload with one amortized allocation — no re-parsing, no
+/// re-serialization, so item bytes are exactly what single requests
+/// produce.
+fn splice_batch_items(items: &[String]) -> String {
+    let total: usize = items.iter().map(String::len).sum();
+    let mut buf = String::with_capacity(total + items.len() + 48);
+    buf.push_str("{\"count\":");
+    buf.push_str(&items.len().to_string());
+    buf.push_str(",\"items\":[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(item);
+    }
+    buf.push_str("]}");
+    buf
 }
 
 /// Most records `GET /v1/debug/requests` returns in one listing.
@@ -514,13 +860,6 @@ fn wants_text(req: &Request) -> bool {
 /// already JSON text, so this is a splice, not a re-serialization.
 fn envelope(data: &str) -> String {
     format!("{{\"ok\":true,\"data\":{data},\"error\":null}}")
-}
-
-/// Marks a response served from a deprecated unversioned alias, per the
-/// HTTP `Deprecation` header plus a successor-version `Link`.
-fn deprecated(resp: Response, v1_path: &str) -> Response {
-    resp.with_header("Deprecation", "true")
-        .with_header("Link", format!("<{v1_path}>; rel=\"successor-version\""))
 }
 
 fn finish(req: &Request, data: String) -> Response {
@@ -717,6 +1056,456 @@ fn carm_handler(req: &Request, _spec: &Spec, body: &str) -> Result<String, Respo
     Ok(Json::Object(fields).to_string())
 }
 
+// ---------------------------------------------------------------------------
+// Replica sharding: a consistent-hash router in front of shard children.
+// ---------------------------------------------------------------------------
+
+/// Virtual nodes per shard on the consistent-hash ring. More points
+/// smooth the key distribution across shards.
+const RING_POINTS_PER_SHARD: usize = 64;
+
+/// A consistent-hash ring over shard indices: each shard contributes
+/// [`RING_POINTS_PER_SHARD`] points, and a key maps to the shard owning
+/// the first point at or after the key's hash (wrapping). Adding or
+/// removing one shard moves only ~1/N of the key space.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds the ring for `shards` shard indices (`shards >= 1`).
+    pub fn new(shards: usize) -> Self {
+        let mut points = Vec::with_capacity(shards.max(1) * RING_POINTS_PER_SHARD);
+        for shard in 0..shards.max(1) {
+            for point in 0..RING_POINTS_PER_SHARD {
+                points.push((obs::hash64(&format!("shard-{shard}-point-{point}")), shard));
+            }
+        }
+        points.sort_unstable();
+        Self { points }
+    }
+
+    /// The shard index owning this key.
+    pub fn shard_for(&self, key: &str) -> usize {
+        let h = obs::hash64(key);
+        let i = self.points.partition_point(|&(p, _)| p < h);
+        self.points[i % self.points.len()].1
+    }
+}
+
+/// One supervised shard child: its announced address plus the process
+/// and stdin handles that bound its lifetime to the parent's.
+struct Shard {
+    addr: String,
+    child: std::process::Child,
+    stdin: Option<std::process::ChildStdin>,
+}
+
+impl Shard {
+    /// Spawns one shard on an ephemeral port and waits for its
+    /// `LISTENING <addr>` announcement.
+    fn spawn(workers: usize) -> Result<Self, SpecError> {
+        use std::io::BufRead as _;
+        let exe = std::env::current_exe()
+            .map_err(|e| SpecError::general(format!("cannot locate own executable: {e}")))?;
+        let mut child = std::process::Command::new(exe)
+            .args([
+                "serve",
+                "127.0.0.1:0",
+                "--workers",
+                &workers.to_string(),
+                "--announce",
+            ])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::inherit())
+            .spawn()
+            .map_err(|e| SpecError::general(format!("cannot spawn shard: {e}")))?;
+        let stdin = child.stdin.take();
+        let stdout = child
+            .stdout
+            .take()
+            .expect("shard stdout was requested piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| SpecError::general(format!("shard announcement failed: {e}")))?;
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .ok_or_else(|| SpecError::general(format!("unexpected shard announcement {line:?}")))?
+            .to_string();
+        Ok(Self { addr, child, stdin })
+    }
+
+    /// Asks the shard to exit (stdin EOF) and reaps it, escalating to a
+    /// kill if it ignores the contract.
+    fn stop(&mut self) {
+        drop(self.stdin.take());
+        for _ in 0..30 {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(100)),
+                Err(_) => break,
+            }
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// `gables serve --replicas N`: spawn N shard children, then serve as a
+/// consistent-hash router in front of them.
+fn run_replicated(opts: &ServeOptions) -> Result<String, SpecError> {
+    let mut shards = Vec::with_capacity(opts.replicas);
+    for _ in 0..opts.replicas {
+        shards.push(Shard::spawn(opts.workers)?);
+    }
+    let addrs: Arc<Vec<String>> = Arc::new(shards.iter().map(|s| s.addr.clone()).collect());
+    let ring = Arc::new(HashRing::new(opts.replicas));
+
+    let config = ServerConfig {
+        workers: opts.workers,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(opts.addr.as_str(), config)
+        .map_err(|e| SpecError::general(format!("bind {}: {e}", opts.addr)))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| SpecError::general(e.to_string()))?;
+    let state = ServeState::new(
+        server.metrics(),
+        Arc::new(ShardedCache::new(8, 128)),
+        server.flight(),
+        opts.workers,
+    );
+    let router = build_parent_router(&state, addrs, ring);
+    obs::log(
+        obs::Level::Info,
+        "serve",
+        "listening",
+        &[
+            ("addr", format!("http://{addr}").into()),
+            ("replicas", opts.replicas.into()),
+            ("workers", opts.workers.into()),
+            ("version", VERSION.into()),
+            (
+                "shards",
+                shards
+                    .iter()
+                    .map(|s| s.addr.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+                    .into(),
+            ),
+        ],
+    );
+    if opts.announce {
+        announce_and_watch(
+            addr,
+            server
+                .handle()
+                .map_err(|e| SpecError::general(e.to_string()))?,
+        );
+    }
+    let run_result = server.run(router);
+    for shard in &mut shards {
+        shard.stop();
+    }
+    run_result.map_err(|e| SpecError::general(e.to_string()))?;
+    obs::log(obs::Level::Info, "serve", "shutdown complete", &[]);
+    Ok(String::new())
+}
+
+/// Builds the parent (router) route table: spec-carrying `POST`s are
+/// forwarded to the shard owning the spec's canonical key, `/v1/batch`
+/// scatters per item and gathers in order, `/v1/metrics` and
+/// `/v1/healthz` aggregate across shards, and the discovery document,
+/// debug routes, and alias tombstones answer locally.
+fn build_parent_router(state: &ServeState, addrs: Arc<Vec<String>>, ring: Arc<HashRing>) -> Router {
+    let healthz_addrs = Arc::clone(&addrs);
+    let metrics_addrs = Arc::clone(&addrs);
+    let metrics_state = state.clone();
+    let debug_state = state.clone();
+    let healthz_state = state.clone();
+    let batch_addrs = Arc::clone(&addrs);
+    let batch_ring = Arc::clone(&ring);
+    let mut router = Router::new()
+        .route("GET", "/v1", |_| discovery_response())
+        .route("GET", "/v1/healthz", move |req| {
+            aggregated_healthz(req, &healthz_addrs, &healthz_state)
+        })
+        .route("GET", "/v1/metrics", move |req| {
+            aggregated_metrics(req, &metrics_addrs, &metrics_state)
+        })
+        .route("GET", "/v1/debug/requests", move |req| {
+            debug_requests_response(req, &debug_state)
+        })
+        .route("GET", "/v1/debug/profile", debug_profile_response)
+        .route("POST", "/v1/batch", move |req| {
+            parent_batch_response(req, &batch_addrs, &batch_ring)
+        });
+    for name in ["eval", "sweep", "whatif", "simulate", "carm"] {
+        let path = format!("/v1/{name}");
+        let addrs = Arc::clone(&addrs);
+        let ring = Arc::clone(&ring);
+        let forward_path = path.clone();
+        router = router.route("POST", &path, move |req| {
+            route_to_shard(req, &forward_path, &addrs, &ring)
+        });
+    }
+    for (method, alias, v1) in SUNSET_ALIASES {
+        router = router.route(method, alias, move |_| gone(v1));
+    }
+    router
+}
+
+/// Forwards one spec-carrying `POST` to the shard that owns the spec's
+/// canonical key. Bodies that don't parse are answered locally — the
+/// same code path a shard would take, so the bytes are identical.
+fn route_to_shard(
+    req: &Request,
+    path: &str,
+    addrs: &Arc<Vec<String>>,
+    ring: &Arc<HashRing>,
+) -> Response {
+    let _route_span = obs::span("shard.route");
+    let body = match req.body_str() {
+        Ok(b) => b,
+        Err(e) => {
+            return Response::error_with_kind(
+                400,
+                Some(crate::spec::SPEC_PARSE_KIND),
+                &e.to_string(),
+            )
+        }
+    };
+    let spec = match Spec::parse(body) {
+        Ok(s) => s,
+        Err(e) => return bad_request(&e),
+    };
+    let shard = ring.shard_for(spec.canonical_key());
+    forward(&addrs[shard], req, path)
+        .unwrap_or_else(|e| Response::error(503, &format!("shard {shard} unavailable: {e}")))
+}
+
+/// Parent-side `POST /v1/batch`: scatter each item to the shard owning
+/// its canonical key (so every item hits the same shard cache a single
+/// request would), gather in order, splice. Item bytes therefore match
+/// `--replicas 1` and plain single-request serving exactly.
+fn parent_batch_response(
+    req: &Request,
+    addrs: &Arc<Vec<String>>,
+    ring: &Arc<HashRing>,
+) -> Response {
+    let specs = match batch_specs(req) {
+        Ok(specs) => specs,
+        Err(resp) => return *resp,
+    };
+    let items: Vec<String> = specs
+        .iter()
+        .map(|spec_text| {
+            let _item_span = obs::span("batch");
+            let item_req = Request {
+                method: "POST".into(),
+                path: "/v1/eval".into(),
+                query: None,
+                headers: Vec::new(),
+                body: spec_text.as_bytes().to_vec(),
+            };
+            let resp = route_to_shard(&item_req, "/v1/eval", addrs, ring);
+            String::from_utf8(resp.body).unwrap_or_default()
+        })
+        .collect();
+    Response::json(200, envelope(&splice_batch_items(&items)))
+}
+
+/// Parent-side `GET /v1/metrics`: fetch every shard's JSON snapshot,
+/// merge counter-wise, render in the requested format. The uptime and
+/// version stamped into the Prometheus view are the parent's own.
+fn aggregated_metrics(req: &Request, addrs: &Arc<Vec<String>>, state: &ServeState) -> Response {
+    use gables_serve::MetricsSnapshot;
+    let mut aggregate: Option<MetricsSnapshot> = None;
+    for (i, addr) in addrs.iter().enumerate() {
+        let shard_req = Request {
+            method: "GET".into(),
+            path: "/v1/metrics".into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let snapshot = forward(addr, &shard_req, "/v1/metrics")
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .and_then(|resp| {
+                let body = String::from_utf8(resp.body).ok()?;
+                let doc = Json::parse(&body).ok()?;
+                MetricsSnapshot::from_json(&doc.get("data")?.to_string())
+            });
+        let Some(snapshot) = snapshot else {
+            return Response::error(503, &format!("shard {i} metrics unavailable"));
+        };
+        match &mut aggregate {
+            Some(total) => total.merge(&snapshot),
+            None => aggregate = Some(snapshot),
+        }
+    }
+    let Some(snapshot) = aggregate else {
+        return Response::error(503, "no shards configured");
+    };
+    if req.query_param("format") == Some("prom") {
+        let mut body = snapshot.to_prometheus(state.uptime_seconds(), VERSION);
+        body.push_str(&gables_model::prof::prometheus_text());
+        let mut resp = Response::text(200, body);
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
+        resp
+    } else if wants_text(req) {
+        Response::text(200, snapshot.to_text())
+    } else {
+        Response::json(200, envelope(&snapshot.to_json()))
+    }
+}
+
+/// Parent-side `GET /v1/healthz`: healthy only if every shard is. The
+/// default body stays the byte-exact `ok\n` probes expect;
+/// `?format=json` details per-shard status.
+fn aggregated_healthz(req: &Request, addrs: &Arc<Vec<String>>, state: &ServeState) -> Response {
+    let statuses: Vec<(String, bool)> = addrs
+        .iter()
+        .map(|addr| {
+            let shard_req = Request {
+                method: "GET".into(),
+                path: "/v1/healthz".into(),
+                query: None,
+                headers: Vec::new(),
+                body: Vec::new(),
+            };
+            let healthy = forward(addr, &shard_req, "/v1/healthz")
+                .map(|resp| resp.status == 200)
+                .unwrap_or(false);
+            (addr.clone(), healthy)
+        })
+        .collect();
+    let all_healthy = statuses.iter().all(|(_, healthy)| *healthy);
+    if req.query_param("format") != Some("json") {
+        return if all_healthy {
+            Response::text(200, "ok\n")
+        } else {
+            Response::error(503, "one or more shards are unhealthy")
+        };
+    }
+    let doc = Json::Object(vec![
+        (
+            "status".into(),
+            Json::str(if all_healthy { "ok" } else { "degraded" }),
+        ),
+        ("version".into(), Json::str(VERSION)),
+        ("uptime_seconds".into(), Json::num(state.uptime_seconds())),
+        ("replicas".into(), Json::num(addrs.len() as f64)),
+        (
+            "shards".into(),
+            Json::Array(
+                statuses
+                    .iter()
+                    .map(|(addr, healthy)| {
+                        Json::Object(vec![
+                            ("addr".into(), Json::str(addr.clone())),
+                            (
+                                "status".into(),
+                                Json::str(if *healthy { "ok" } else { "unreachable" }),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let body = envelope(&doc.to_string());
+    if all_healthy {
+        Response::json(200, body)
+    } else {
+        let mut resp = Response::json(503, body);
+        resp.content_type = "application/json".to_string();
+        resp
+    }
+}
+
+/// Response headers never relayed from a shard: connection framing is
+/// the parent's business, and the parent stamps its own request ID.
+const HOP_HEADERS: &[&str] = &[
+    "connection",
+    "content-length",
+    "content-type",
+    "x-request-id",
+];
+
+/// Forwards a request to one shard over a fresh connection (clean
+/// `Connection: close` framing; shard keep-alive serves external
+/// clients, not this internal hop) and parses the response. The
+/// client's `X-Request-Id` is propagated so parent and shard flight
+/// records correlate.
+fn forward(addr: &str, req: &Request, path: &str) -> std::io::Result<Response> {
+    use std::io::{Read as _, Write as _};
+    let _span = obs::span("shard.forward");
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(30)))?;
+    let target = match &req.query {
+        Some(q) => format!("{path}?{q}"),
+        None => path.to_string(),
+    };
+    let mut head = format!(
+        "{} {} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        req.method,
+        target,
+        req.body.len(),
+    );
+    if let Some(id) = req.header("x-request-id") {
+        head.push_str(&format!("X-Request-Id: {id}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&req.body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_shard_response(&raw)
+}
+
+/// Parses a shard's full `Connection: close` response into a
+/// [`Response`], relaying status, content type, body, and every header
+/// except the hop-by-hop set in [`HOP_HEADERS`].
+fn parse_shard_response(raw: &[u8]) -> std::io::Result<Response> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("shard response has no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| bad("shard response head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty shard response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparsable shard status line"))?;
+    let mut resp = Response::text(status, "");
+    resp.body = raw[head_end + 4..].to_vec();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let (name, value) = (name.trim(), value.trim());
+        if name.eq_ignore_ascii_case("content-type") {
+            resp.content_type = value.to_string();
+        } else if !HOP_HEADERS.iter().any(|h| name.eq_ignore_ascii_case(h)) {
+            resp = resp.with_header(name, value);
+        }
+    }
+    Ok(resp)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,14 +1565,50 @@ mod tests {
         let opts = parse_serve_args(&[]).unwrap();
         assert_eq!(opts.addr, "127.0.0.1:7878");
         assert_eq!(opts.workers, 4);
+        assert_eq!(opts.replicas, 1);
+        assert!(!opts.announce);
         let opts =
             parse_serve_args(&["0.0.0.0:9000".into(), "--workers".into(), "2".into()]).unwrap();
         assert_eq!(opts.addr, "0.0.0.0:9000");
         assert_eq!(opts.workers, 2);
+        let opts =
+            parse_serve_args(&["--replicas".into(), "3".into(), "--announce".into()]).unwrap();
+        assert_eq!(opts.replicas, 3);
+        assert!(opts.announce);
         assert!(parse_serve_args(&["--workers".into()]).is_err());
         assert!(parse_serve_args(&["--workers".into(), "0".into()]).is_err());
+        assert!(parse_serve_args(&["--replicas".into(), "0".into()]).is_err());
+        assert!(parse_serve_args(&["--replicas".into(), "two".into()]).is_err());
         assert!(parse_serve_args(&["--frob".into()]).is_err());
         assert!(parse_serve_args(&["a:1".into(), "b:2".into()]).is_err());
+    }
+
+    #[test]
+    fn hash_ring_is_deterministic_and_covers_all_shards() {
+        let ring = HashRing::new(4);
+        // Deterministic: the same key always lands on the same shard.
+        for key in ["alpha", "beta", "gamma"] {
+            assert_eq!(ring.shard_for(key), HashRing::new(4).shard_for(key));
+        }
+        // Coverage: enough keys reach every shard.
+        let mut hit = [false; 4];
+        for i in 0..256 {
+            hit[ring.shard_for(&format!("key-{i}"))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "{hit:?}");
+        // Stability: growing the ring by one shard moves only part of
+        // the key space.
+        let bigger = HashRing::new(5);
+        let moved = (0..256)
+            .filter(|i| {
+                let key = format!("key-{i}");
+                ring.shard_for(&key) != bigger.shard_for(&key)
+            })
+            .count();
+        assert!(
+            moved < 160,
+            "consistent hashing should move ~1/5, moved {moved}/256"
+        );
     }
 
     #[test]
@@ -1045,41 +1870,36 @@ mod tests {
     }
 
     #[test]
-    fn aliases_share_the_cache_with_v1_routes() {
-        let metrics = Arc::new(ServerMetrics::new());
-        let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
-        let via_alias = router.dispatch(&post("/eval", None, FIGURE_6B_SPEC));
-        let via_v1 = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
-        assert_eq!(via_alias.body, via_v1.body);
-        let snapshot = metrics.snapshot();
-        assert_eq!(snapshot.cache_misses, 1);
-        assert_eq!(snapshot.cache_hits, 1);
-    }
-
-    #[test]
-    fn unversioned_aliases_carry_deprecation_headers() {
+    fn sunset_aliases_answer_410_gone_with_successor_links() {
         let router = router();
-        let whatif_body = Json::Object(vec![
-            ("spec".into(), Json::str(FIGURE_6B_SPEC)),
-            ("edits".into(), Json::str("set_bpeak 30")),
-        ])
-        .to_string();
-        for (req, v1) in [
-            (post("/eval", None, FIGURE_6B_SPEC), "/v1/eval"),
-            (post("/sweep", None, FIGURE_6B_SPEC), "/v1/sweep"),
-            (post("/whatif", None, &whatif_body), "/v1/whatif"),
-            (post("/simulate", None, FIGURE_6B_SPEC), "/v1/simulate"),
-            (get("/metrics", None), "/v1/metrics"),
-            (get("/healthz", None), "/v1/healthz"),
-        ] {
+        for (method, alias, v1) in SUNSET_ALIASES {
+            let req = if *method == "POST" {
+                post(alias, None, FIGURE_6B_SPEC)
+            } else {
+                get(alias, None)
+            };
             let resp = router.dispatch(&req);
-            assert_eq!(resp.status, 200, "{}", req.path);
-            assert_eq!(header(&resp, "Deprecation"), Some("true"), "{}", req.path);
+            assert_eq!(resp.status, 410, "{alias}");
+            assert_eq!(header(&resp, "Deprecation"), None, "{alias}");
             let link = header(&resp, "Link").unwrap_or_default();
             assert!(
                 link.contains(v1) && link.contains("successor-version"),
-                "{}: {link:?}",
-                req.path
+                "{alias}: {link:?}"
+            );
+            let (ok, error) = open_envelope(&resp);
+            assert!(!ok, "{alias}");
+            assert_eq!(
+                error.get("code").and_then(Json::as_str),
+                Some("endpoint_gone"),
+                "{alias}"
+            );
+            assert!(
+                error
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .contains(v1),
+                "{alias}"
             );
         }
     }
@@ -1099,12 +1919,190 @@ mod tests {
     }
 
     #[test]
-    fn healthz_answers_ok_at_both_paths() {
-        for path in ["/v1/healthz", "/healthz"] {
-            let resp = router().dispatch(&get(path, None));
-            assert_eq!(resp.status, 200, "{path}");
-            assert_eq!(resp.body, b"ok\n", "{path}");
+    fn healthz_answers_ok_at_the_v1_path_only() {
+        let resp = router().dispatch(&get("/v1/healthz", None));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok\n");
+        let resp = router().dispatch(&get("/healthz", None));
+        assert_eq!(resp.status, 410);
+    }
+
+    #[test]
+    fn discovery_lists_routes_sunsets_and_the_closed_error_vocabulary() {
+        let resp = router().dispatch(&get("/v1", None));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("version").and_then(Json::as_str), Some(VERSION));
+        let routes = data.get("routes").unwrap().as_array().unwrap();
+        let listed: Vec<(&str, &str)> = routes
+            .iter()
+            .map(|r| {
+                (
+                    r.get("method").and_then(Json::as_str).unwrap(),
+                    r.get("path").and_then(Json::as_str).unwrap(),
+                )
+            })
+            .collect();
+        // The document covers exactly the live route table (aliases are
+        // listed under "sunset", not "routes").
+        let live_router = router();
+        let table = live_router.route_table();
+        let live: Vec<(String, String)> = table
+            .iter()
+            .filter(|(_, p)| p.starts_with("/v1"))
+            .map(|(m, p)| (m.to_string(), p.to_string()))
+            .collect();
+        assert_eq!(listed.len(), live.len());
+        for (method, path) in &live {
+            assert!(
+                listed.contains(&(method.as_str(), path.as_str())),
+                "{method} {path} missing from discovery"
+            );
         }
+        // Sweep documents its query params.
+        let sweep = routes
+            .iter()
+            .find(|r| r.get("path").and_then(Json::as_str) == Some("/v1/sweep"))
+            .unwrap();
+        let params: Vec<&str> = sweep
+            .get("params")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert!(params.contains(&"steps"), "{params:?}");
+        // The error vocabulary is sourced from the closed sets.
+        let codes = data.get("error_codes").unwrap();
+        let transport: Vec<&str> = codes
+            .get("transport")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|c| c.get("code").and_then(Json::as_str))
+            .collect();
+        for (_, code) in Response::ERROR_CODES {
+            assert!(transport.contains(code), "{code} missing");
+        }
+        let kinds: Vec<&str> = codes
+            .get("kinds")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        for kind in gables_model::ErrorKind::ALL {
+            assert!(kinds.contains(&kind.code()), "{} missing", kind.code());
+        }
+        assert!(kinds.contains(&crate::spec::SPEC_PARSE_KIND));
+        assert!(kinds.contains(&"profile_in_progress"));
+        // Every sunset alias names its successor.
+        let sunset = data.get("sunset").unwrap().as_array().unwrap();
+        assert_eq!(sunset.len(), SUNSET_ALIASES.len());
+        for tomb in sunset {
+            assert_eq!(tomb.get("status").and_then(Json::as_f64), Some(410.0));
+            assert!(tomb.get("successor").and_then(Json::as_str).is_some());
+        }
+    }
+
+    #[test]
+    fn batch_items_are_bit_identical_to_single_eval_responses() {
+        let router = router();
+        let bad_spec = "not a spec";
+        let specs = Json::Object(vec![(
+            "specs".into(),
+            Json::Array(vec![
+                Json::str(FIGURE_6B_SPEC),
+                Json::str(bad_spec),
+                Json::str(FIGURE_6B_SPEC),
+            ]),
+        )])
+        .to_string();
+        let resp = router.dispatch(&post("/v1/batch", None, &specs));
+        assert_eq!(resp.status, 200, "one bad spec must not fail the batch");
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("count").and_then(Json::as_f64), Some(3.0));
+
+        // Bit-identity: each item is byte-for-byte a single /v1/eval
+        // response. The good spec was evaluated by the batch first, so
+        // the single request below is a cache hit — same bytes either
+        // way, which is the whole point of the canonical cache key.
+        let single_good = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
+        let single_bad = router.dispatch(&post("/v1/eval", None, bad_spec));
+        let good = String::from_utf8(single_good.body).unwrap();
+        let bad = String::from_utf8(single_bad.body).unwrap();
+        let expected = format!(
+            "{{\"ok\":true,\"data\":{{\"count\":3,\"items\":[{good},{bad},{good}]}},\"error\":null}}"
+        );
+        assert_eq!(body, expected);
+
+        // The per-item error carries its own closed code.
+        let items = data.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(items[1].get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            items[1]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some(crate::spec::SPEC_PARSE_KIND)
+        );
+    }
+
+    #[test]
+    fn batch_accepts_a_bare_array_and_rejects_malformed_bodies() {
+        let router = router();
+        let bare = Json::Array(vec![Json::str(FIGURE_6B_SPEC)]).to_string();
+        let resp = router.dispatch(&post("/v1/batch", None, &bare));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("count").and_then(Json::as_f64), Some(1.0));
+
+        for body in [
+            "",
+            "not json",
+            "{\"nope\": 1}",
+            "{\"specs\": \"one\"}",
+            "[]",
+            "{\"specs\": []}",
+            "[42]",
+        ] {
+            let resp = router.dispatch(&post("/v1/batch", None, body));
+            assert_eq!(resp.status, 400, "{body:?}");
+            let (ok, error) = open_envelope(&resp);
+            assert!(!ok, "{body:?}");
+            assert_eq!(
+                error.get("kind").and_then(Json::as_str),
+                Some("invalid_parameter"),
+                "{body:?}"
+            );
+        }
+        let over = Json::Array(vec![Json::str("x"); MAX_BATCH_ITEMS + 1]).to_string();
+        let resp = router.dispatch(&post("/v1/batch", None, &over));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn batch_shares_the_cache_with_single_eval_requests() {
+        let metrics = Arc::new(ServerMetrics::new());
+        let router = build_router(Arc::clone(&metrics), Arc::new(ShardedCache::new(4, 32)));
+        let _ = router.dispatch(&post("/v1/eval", None, FIGURE_6B_SPEC));
+        let batch = Json::Array(vec![Json::str(FIGURE_6B_SPEC)]).to_string();
+        let _ = router.dispatch(&post("/v1/batch", None, &batch));
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.cache_misses, 1);
+        assert_eq!(
+            snapshot.cache_hits, 1,
+            "the batch item must hit the single-request cache entry"
+        );
     }
 
     fn state() -> ServeState {

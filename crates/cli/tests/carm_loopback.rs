@@ -44,7 +44,7 @@ fn request(
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
-    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: localhost\r\n");
+    let mut raw = format!("{method} {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n");
     for (name, value) in extra_headers {
         raw.push_str(&format!("{name}: {value}\r\n"));
     }

@@ -81,14 +81,20 @@ fn fault_storm_never_produces_a_success_a_panic_or_a_dead_worker() {
     }
 
     // An induced handler panic is a structured 500 on that request...
-    let reply = raw_exchange(addr, "POST /v1/boom HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+    let reply = raw_exchange(
+        addr,
+        "POST /v1/boom HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n",
+    );
     assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
     assert!(reply.contains("\"code\":\"internal\""), "{reply}");
 
     // ...and the pool still serves real traffic afterwards: more
     // sequential probes than workers proves no worker died.
     for _ in 0..4 {
-        let reply = raw_exchange(addr, "GET /v1/healthz HTTP/1.1\r\n\r\n");
+        let reply = raw_exchange(
+            addr,
+            "GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
     }
 

@@ -142,7 +142,9 @@ fn http_get(addr: SocketAddr, target: &str) -> (String, String) {
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
-    let raw = format!("GET {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n");
+    let raw = format!(
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+    );
     stream.write_all(raw.as_bytes()).expect("send request");
     let mut bytes = Vec::new();
     let mut chunk = [0u8; 4096];
@@ -179,7 +181,7 @@ fn debug_profile_over_loopback_returns_folded_stacks() {
                 let mut stream = TcpStream::connect(addr).expect("connect");
                 let body = FIGURE_6B_SPEC;
                 let raw = format!(
-                    "POST /eval?format=text HTTP/1.1\r\nHost: l\r\nContent-Length: {}\r\n\r\n{body}",
+                    "POST /v1/eval?format=text HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
                     body.len()
                 );
                 stream.write_all(raw.as_bytes()).expect("send");

@@ -2,10 +2,10 @@
 //! ephemeral port, driven by plain `TcpStream` clients.
 //!
 //! These are the acceptance tests for the serving tier: a thousand-plus
-//! concurrent `/eval` requests answer byte-identically to the CLI's
+//! concurrent `/v1/eval` requests answer byte-identically to the CLI's
 //! `eval` output, repeats hit the cache, a full queue sheds load with
-//! `503` instead of hanging, and `/metrics` reconciles with the traffic
-//! actually sent.
+//! `503` instead of hanging, sunset unversioned aliases answer `410
+//! Gone`, and `/v1/metrics` reconciles with the traffic actually sent.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use gables_cli::serve::build_router;
 use gables_cli::spec::FIGURE_6B_SPEC;
 use gables_model::json::Json;
-use gables_serve::{Server, ServerConfig, ServerHandle, ShardedCache};
+use gables_serve::{Response, Server, ServerConfig, ServerHandle, ShardedCache};
 
 /// Starts a fresh server (own metrics, own cache) on an ephemeral port.
 fn start_server(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
@@ -33,7 +33,7 @@ fn request(addr: SocketAddr, method: &str, target: &str, body: &str) -> (String,
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     let raw = format!(
-        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(raw.as_bytes()).expect("send request");
@@ -84,7 +84,7 @@ fn concurrent_eval_storm_is_byte_identical_and_metrics_reconcile() {
                 // Vary the spec cosmetically (comment only) so cache hits
                 // prove canonicalization, not just string equality.
                 let spec = format!("# probe {t}/{i}\n{FIGURE_6B_SPEC}");
-                let (status, _, body) = request(addr, "POST", "/eval?format=text", &spec);
+                let (status, _, body) = request(addr, "POST", "/v1/eval?format=text", &spec);
                 assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
                 assert_eq!(body, expected, "response must match `gables eval` exactly");
             }
@@ -118,7 +118,7 @@ fn concurrent_eval_storm_is_byte_identical_and_metrics_reconcile() {
     assert!(num("cache_hit_rate") > 0.0);
     let routes = doc.get("routes").expect("routes object");
     assert_eq!(
-        routes.get("/eval").and_then(Json::as_f64),
+        routes.get("/v1/eval").and_then(Json::as_f64),
         Some(TOTAL as f64)
     );
     // The latency histogram accounts for every handled request.
@@ -174,28 +174,39 @@ fn json_eval_and_simulate_agree_on_the_bottleneck() {
 }
 
 #[test]
-fn unversioned_aliases_answer_identically_with_deprecation_headers() {
+fn sunset_aliases_answer_410_gone_and_v1_routes_serve() {
     let (handle, join) = start_server(ServerConfig::default());
     let addr = handle.addr();
 
-    let (status, headers, alias_body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
-    assert_eq!(status, "HTTP/1.1 200 OK", "{alias_body}");
-    assert!(headers.contains("Deprecation: true"), "{headers}");
+    // The unversioned aliases were sunset after their deprecation
+    // window: a closed 410 with the successor in the Link header.
+    let (status, headers, body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
+    assert_eq!(status, "HTTP/1.1 410 Gone", "{body}");
     assert!(
         headers.contains("Link: </v1/eval>; rel=\"successor-version\""),
         "{headers}"
+    );
+    let envelope = Json::parse(&body).expect("410 envelope");
+    assert_eq!(envelope.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        envelope
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("endpoint_gone")
     );
 
     let (status, headers, v1_body) = request(addr, "POST", "/v1/eval", FIGURE_6B_SPEC);
     assert_eq!(status, "HTTP/1.1 200 OK", "{v1_body}");
     assert!(!headers.contains("Deprecation"), "{headers}");
-    assert_eq!(alias_body, v1_body, "alias and v1 must serve the same data");
 
-    // The health probe is aliased the same way.
-    let (status, headers, body) = request(addr, "GET", "/healthz", "");
-    assert_eq!(status, "HTTP/1.1 200 OK");
-    assert_eq!(body, "ok\n");
-    assert!(headers.contains("Deprecation: true"), "{headers}");
+    // The health probe is sunset the same way.
+    let (status, headers, _) = request(addr, "GET", "/healthz", "");
+    assert_eq!(status, "HTTP/1.1 410 Gone");
+    assert!(
+        headers.contains("Link: </v1/healthz>; rel=\"successor-version\""),
+        "{headers}"
+    );
     let (status, headers, body) = request(addr, "GET", "/v1/healthz", "");
     assert_eq!(status, "HTTP/1.1 200 OK");
     assert_eq!(body, "ok\n");
@@ -220,23 +231,38 @@ fn unversioned_aliases_answer_identically_with_deprecation_headers() {
 
 #[test]
 fn full_queue_answers_503_immediately_instead_of_hanging() {
-    // One worker, one queue slot. Two connections that never send a
-    // request pin the worker and fill the slot (they hold until the
-    // read timeout); a real request must then be shed at accept time.
-    let (handle, join) = start_server(ServerConfig {
+    // One worker, one queue slot. Under the event loop idle connections
+    // cost nothing, so saturation needs real work: a deliberately slow
+    // route pins the worker while a second request fills the queue slot;
+    // a third must then be shed from the event loop immediately.
+    let config = ServerConfig {
         workers: 1,
         queue_depth: 1,
-        read_timeout: Duration::from_secs(5),
         ..ServerConfig::default()
-    });
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind loopback");
+    let handle = server.handle().expect("server handle");
+    let router = build_router(server.metrics(), Arc::new(ShardedCache::new(8, 128))).route(
+        "POST",
+        "/v1/slow",
+        |_| {
+            std::thread::sleep(Duration::from_millis(1500));
+            Response::text(200, "done")
+        },
+    );
+    let join = std::thread::spawn(move || server.run(router).expect("server run"));
     let addr = handle.addr();
-    let _stall_worker = TcpStream::connect(addr).expect("stall worker");
-    std::thread::sleep(Duration::from_millis(300));
-    let _stall_queue = TcpStream::connect(addr).expect("stall queue");
-    std::thread::sleep(Duration::from_millis(300));
+
+    let stallers: Vec<_> = (0..2)
+        .map(|_| {
+            let t = std::thread::spawn(move || request(addr, "POST", "/v1/slow", ""));
+            std::thread::sleep(Duration::from_millis(300));
+            t
+        })
+        .collect();
 
     let start = Instant::now();
-    let (status, headers, body) = request(addr, "POST", "/eval", FIGURE_6B_SPEC);
+    let (status, headers, body) = request(addr, "POST", "/v1/eval", FIGURE_6B_SPEC);
     assert!(
         start.elapsed() < Duration::from_secs(2),
         "backpressure must answer immediately, not wait out the stalled worker"
@@ -245,6 +271,12 @@ fn full_queue_answers_503_immediately_instead_of_hanging() {
     assert!(headers.contains("Retry-After: 1"), "{headers}");
     assert!(body.contains("queue is full"), "{body}");
     assert!(handle.metrics().snapshot().rejected >= 1);
+
+    // Both stalled requests still complete normally once the worker frees.
+    for staller in stallers {
+        let (status, _, body) = staller.join().expect("staller thread");
+        assert_eq!(status, "HTTP/1.1 200 OK", "{body}");
+    }
 
     handle.shutdown();
     join.join().expect("graceful shutdown");

@@ -186,7 +186,7 @@ impl FaultCase {
             FaultKind::SlowLoris => {
                 // Trickle a plausible head a byte at a time, then give
                 // up before the blank line ever arrives.
-                let head = b"GET /healthz HTTP/1.1\r\nX-Drip: 1\r\n";
+                let head = b"GET /v1/healthz HTTP/1.1\r\nX-Drip: 1\r\n";
                 let drips = rng.range_usize(4, head.len());
                 for byte in &head[..drips] {
                     if stream.write_all(std::slice::from_ref(byte)).is_err() {
@@ -197,7 +197,7 @@ impl FaultCase {
                 finish_sending(&mut stream)
             }
             FaultKind::OversizedHead => {
-                let mut head = String::from("GET /healthz HTTP/1.1\r\n");
+                let mut head = String::from("GET /v1/healthz HTTP/1.1\r\n");
                 let filler = format!("X-Pad: {}\r\n", "y".repeat(4096));
                 while head.len() <= MAX_HEAD_BYTES {
                     head.push_str(&filler);
@@ -217,7 +217,7 @@ impl FaultCase {
                 finish_sending(&mut stream)
             }
             FaultKind::TooManyHeaders => {
-                let mut req = String::from("GET /healthz HTTP/1.1\r\n");
+                let mut req = String::from("GET /v1/healthz HTTP/1.1\r\n");
                 for i in 0..=MAX_HEADERS {
                     req.push_str(&format!("X-Flood-{i}: {}\r\n", rng.next_u64()));
                 }
@@ -242,7 +242,7 @@ impl FaultCase {
                 finish_sending(&mut stream)
             }
             FaultKind::MidResponseDisconnect => {
-                let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+                let _ = stream.write_all(b"GET /v1/healthz HTTP/1.1\r\n\r\n");
                 // Vanish without reading a byte of the response; the
                 // server's write may hit a reset and must shrug it off.
                 let _ = stream.shutdown(Shutdown::Both);
@@ -302,7 +302,7 @@ mod tests {
         };
         let server = Server::bind("127.0.0.1:0", config).unwrap();
         let handle = server.handle().unwrap();
-        let router = Router::new().route("GET", "/healthz", |_| Response::text(200, "ok"));
+        let router = Router::new().route("GET", "/v1/healthz", |_| Response::text(200, "ok"));
         let join = std::thread::spawn(move || server.run(router).unwrap());
         (handle, join)
     }
@@ -341,7 +341,9 @@ mod tests {
         };
         let _ = case.inject(handle.addr(), Duration::from_secs(5));
         let mut probe = TcpStream::connect(handle.addr()).unwrap();
-        probe.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        probe
+            .write_all(b"GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
         let mut out = String::new();
         let _ = probe.read_to_string(&mut out);
         assert!(out.starts_with("HTTP/1.1 200"), "{out}");

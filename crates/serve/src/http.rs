@@ -1,8 +1,11 @@
 //! A deliberately small HTTP/1.1 layer: enough of RFC 9112 to serve JSON
 //! evaluation requests over loopback or a trusted LAN, built on `std`
-//! only. One request per connection (`Connection: close` is always
-//! sent), explicit size limits on the head and body, and no support for
-//! chunked transfer encoding — clients must send `Content-Length`.
+//! only. Requests are parsed *incrementally* ([`parse_request_bytes`])
+//! so the nonblocking event loop can feed it partial reads and
+//! pipelined request streams; keep-alive is the HTTP/1.1 default and
+//! honoured by [`Response::serialize`]. Explicit size limits apply to
+//! the head and body, and there is no support for chunked transfer
+//! encoding — clients must send `Content-Length`.
 
 use std::fmt::Write as _;
 use std::io::{Read, Write};
@@ -111,37 +114,48 @@ impl Request {
     }
 }
 
-/// Reads and parses one request from a stream.
+/// One request parsed out of a byte buffer, with enough framing
+/// information for a keep-alive event loop: how many bytes of the
+/// buffer the request occupied (pipelined successors may follow) and
+/// whether the client asked to keep the connection open.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The request itself.
+    pub request: Request,
+    /// Bytes consumed from the front of the buffer (head + body).
+    pub consumed: usize,
+    /// Whether HTTP keep-alive semantics apply: `HTTP/1.1` unless the
+    /// client sent `Connection: close`, `HTTP/1.0` only with an
+    /// explicit `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+/// Incrementally parses one request from the front of `buf`.
 ///
-/// The caller is expected to have set read timeouts on the underlying
-/// socket; a timeout surfaces as [`HttpError::Io`] with
-/// `WouldBlock`/`TimedOut`.
+/// Returns `Ok(None)` when the buffer holds only a prefix of a request
+/// (read more and call again), `Ok(Some(parsed))` once a complete
+/// request is available — `parsed.consumed` bytes belong to it; any
+/// remainder is the start of the next pipelined request — and an error
+/// as soon as the bytes can never become a valid request, however much
+/// more arrives.
 ///
 /// # Errors
 ///
-/// Returns [`HttpError`] for malformed, oversized, or interrupted
-/// requests.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
-    // Accumulate until the blank line that ends the head.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Returns [`HttpError`] for malformed or oversized requests.
+pub fn parse_request_bytes(buf: &[u8]) -> Result<Option<Parsed>, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(HttpError::Malformed(
-                "connection closed before a full request head arrived".into(),
-            ));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(None);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|e| HttpError::Malformed(format!("head is not UTF-8: {e}")))?;
@@ -224,25 +238,81 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
         ));
     }
 
-    // Body: whatever followed the head in the buffer, then the rest.
-    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let mut chunk = vec![0u8; (content_length - body.len()).min(64 * 1024)];
+    // Body: exactly `Content-Length` bytes after the head terminator.
+    let body_start = head_end + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
+    }
+    let body = buf[body_start..consumed].to_vec();
+
+    // Keep-alive: the HTTP/1.1 default, opted out of with
+    // `Connection: close`; HTTP/1.0 must opt in explicitly.
+    let connection = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("");
+    let wants = |token: &str| {
+        connection
+            .split(',')
+            .any(|t| t.trim().eq_ignore_ascii_case(token))
+    };
+    let keep_alive = if version == "HTTP/1.0" {
+        wants("keep-alive")
+    } else {
+        !wants("close")
+    };
+
+    Ok(Some(Parsed {
+        request: Request {
+            method: method.to_string(),
+            path,
+            query,
+            headers,
+            body,
+        },
+        consumed,
+        keep_alive,
+    }))
+}
+
+/// Reads and parses one request from a stream (the blocking
+/// counterpart of [`parse_request_bytes`]; leftover pipelined bytes
+/// are discarded).
+///
+/// The caller is expected to have set read timeouts on the underlying
+/// socket; a timeout surfaces as [`HttpError::Io`] with
+/// `WouldBlock`/`TimedOut`.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] for malformed, oversized, or interrupted
+/// requests.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        if let Some(parsed) = parse_request_bytes(&buf)? {
+            return Ok(parsed.request);
+        }
+        let mut chunk = [0u8; 4096];
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-body".into()));
+            return Err(closed_early(&buf));
         }
-        body.extend_from_slice(&chunk[..n]);
+        buf.extend_from_slice(&chunk[..n]);
     }
-    body.truncate(content_length);
+}
 
-    Ok(Request {
-        method: method.to_string(),
-        path,
-        query,
-        headers,
-        body,
-    })
+/// The error a connection earns by reaching EOF with an incomplete
+/// request buffered: distinguishes a truncated head from a truncated
+/// body, matching what the blocking reader always reported.
+pub fn closed_early(buf: &[u8]) -> HttpError {
+    if find_head_end(buf).is_none() {
+        HttpError::Malformed("connection closed before a full request head arrived".into())
+    } else {
+        HttpError::Malformed("connection closed mid-body".into())
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -314,21 +384,32 @@ impl Response {
         )
     }
 
+    /// The closed transport error vocabulary: every `(status, code)`
+    /// pair this server can put in an error envelope. `GET /v1`
+    /// discovery and [`Response::error_code`] both read this table, so
+    /// the documented set cannot drift from the served one.
+    pub const ERROR_CODES: &'static [(u16, &'static str)] = &[
+        (400, "bad_request"),
+        (404, "not_found"),
+        (405, "method_not_allowed"),
+        (408, "timeout"),
+        (409, "conflict"),
+        (410, "endpoint_gone"),
+        (413, "too_large"),
+        (422, "unprocessable"),
+        (500, "internal"),
+        (503, "unavailable"),
+    ];
+
     /// The stable machine-readable error code for a status — the
     /// documented set in the crate docs. Unknown statuses map to
     /// `"internal"`.
     pub fn error_code(status: u16) -> &'static str {
-        match status {
-            400 => "bad_request",
-            404 => "not_found",
-            405 => "method_not_allowed",
-            408 => "timeout",
-            409 => "conflict",
-            413 => "too_large",
-            422 => "unprocessable",
-            503 => "unavailable",
-            _ => "internal",
-        }
+        Self::ERROR_CODES
+            .iter()
+            .find(|(s, _)| *s == status)
+            .map(|(_, c)| *c)
+            .unwrap_or("internal")
     }
 
     /// Adds a header (builder style).
@@ -347,6 +428,7 @@ impl Response {
             405 => "Method Not Allowed",
             408 => "Request Timeout",
             409 => "Conflict",
+            410 => "Gone",
             413 => "Content Too Large",
             422 => "Unprocessable Content",
             500 => "Internal Server Error",
@@ -355,27 +437,37 @@ impl Response {
         }
     }
 
-    /// Serializes the response, always with `Connection: close`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates write failures (including write timeouts).
-    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
-        let mut head = String::with_capacity(128);
+    /// Serializes the whole response into one buffer, announcing
+    /// `Connection: keep-alive` or `Connection: close` — the event
+    /// loop's single-write path.
+    pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
+        let mut head = String::with_capacity(128 + self.body.len());
         let _ = write!(
             head,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             Self::reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
             let _ = write!(head, "{name}: {value}\r\n");
         }
         head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
-        stream.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response with `Connection: close` (the blocking,
+    /// one-request-per-connection path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (including write timeouts).
+    pub fn write_to(&self, stream: &mut impl Write) -> std::io::Result<()> {
+        stream.write_all(&self.serialize(false))?;
         stream.flush()
     }
 }
@@ -573,6 +665,7 @@ mod tests {
             (405, "method_not_allowed"),
             (408, "timeout"),
             (409, "conflict"),
+            (410, "endpoint_gone"),
             (413, "too_large"),
             (422, "unprocessable"),
             (500, "internal"),
@@ -580,6 +673,72 @@ mod tests {
         ] {
             assert_eq!(Response::error_code(status), code);
         }
+        // The lookup is driven by the same table discovery serves.
+        for (status, code) in Response::ERROR_CODES {
+            assert_eq!(Response::error_code(*status), *code);
+        }
+    }
+
+    #[test]
+    fn incremental_parse_waits_for_the_full_request() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            assert!(
+                parse_request_bytes(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must not parse"
+            );
+        }
+        let parsed = parse_request_bytes(raw).unwrap().expect("complete");
+        assert_eq!(parsed.consumed, raw.len());
+        assert_eq!(parsed.request.body, b"hello");
+        assert!(parsed.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn pipelined_requests_report_their_consumed_length() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let first = parse_request_bytes(raw).unwrap().expect("first");
+        assert_eq!(first.request.path, "/a");
+        assert!(first.keep_alive);
+        let rest = &raw[first.consumed..];
+        let second = parse_request_bytes(rest).unwrap().expect("second");
+        assert_eq!(second.request.path, "/b");
+        assert_eq!(first.consumed + second.consumed, raw.len());
+        assert!(!second.keep_alive, "Connection: close opts out");
+    }
+
+    #[test]
+    fn keep_alive_follows_the_http_version_default() {
+        let parse_ka = |raw: &[u8]| parse_request_bytes(raw).unwrap().unwrap().keep_alive;
+        assert!(!parse_ka(b"GET /x HTTP/1.0\r\n\r\n"));
+        assert!(parse_ka(
+            b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        ));
+        assert!(parse_ka(b"GET /x HTTP/1.1\r\n\r\n"));
+        assert!(!parse_ka(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(!parse_ka(
+            b"GET /x HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+    }
+
+    #[test]
+    fn serialize_announces_keep_alive() {
+        let bytes = Response::text(200, "hi").serialize(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn closed_early_distinguishes_head_from_body() {
+        assert!(closed_early(b"GET /x HT")
+            .to_string()
+            .contains("before a full request head"));
+        assert!(
+            closed_early(b"POST /x HTTP/1.1\r\nContent-Length: 9\r\n\r\nabc")
+                .to_string()
+                .contains("mid-body")
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! # gables-serve
 //!
 //! A dependency-free HTTP/1.1 JSON serving layer for the Gables suite,
-//! built entirely on `std`: `TcpListener` + a bounded worker thread
-//! pool, a tiny request/response codec ([`http`]), a sharded LRU
-//! response cache ([`cache`]), always-on request telemetry
+//! built entirely on `std`: a nonblocking epoll event loop ([`poll`] +
+//! [`server`]) that holds tens of thousands of idle keep-alive
+//! connections while CPU-bound work drains through a bounded worker
+//! pool, a tiny incremental request/response codec ([`http`]), a
+//! sharded LRU response cache ([`cache`]), always-on request telemetry
 //! ([`metrics`]), and a flight recorder of recent requests with their
 //! span trees ([`flight`]) — all in the spirit of the simulator's
 //! `Recorder` layer: observation never perturbs serving behaviour.
@@ -43,6 +45,7 @@
 //! | `method_not_allowed` | 405    | path exists, method does not              |
 //! | `timeout`            | 408    | the request did not arrive in time        |
 //! | `conflict`           | 409    | an exclusive resource is already in use   |
+//! | `endpoint_gone`      | 410    | a sunset endpoint; follow the `Link` header |
 //! | `too_large`          | 413    | head or body over its byte limit          |
 //! | `unprocessable`      | 422    | well-formed but semantically invalid input |
 //! | `internal`           | 500    | handler panic or other server-side fault  |
@@ -72,13 +75,15 @@ pub mod faults;
 pub mod flight;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod server;
 
 pub use cache::ShardedCache;
 pub use faults::{FaultCase, FaultKind, FaultOutcome, FaultReport, FaultSchedule};
 pub use flight::{FlightRecord, FlightRecorder};
 pub use http::{
-    read_request, HttpError, Request, Response, MAX_BODY_BYTES, MAX_HEADERS, MAX_HEAD_BYTES,
+    parse_request_bytes, read_request, HttpError, Parsed, Request, Response, MAX_BODY_BYTES,
+    MAX_HEADERS, MAX_HEAD_BYTES,
 };
 pub use metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS, MAX_ROUTE_LABELS};
 pub use server::{Handler, Router, Server, ServerConfig, ServerHandle};

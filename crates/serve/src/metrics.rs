@@ -298,6 +298,81 @@ impl MetricsSnapshot {
         .to_string()
     }
 
+    /// Parses a snapshot back out of the `/metrics` JSON document
+    /// ([`Self::to_json`]'s output) — how a replica router reads each
+    /// shard's counters before aggregating them. Returns `None` when
+    /// the document is not a metrics snapshot. The derived
+    /// `cache_hit_rate` field is ignored; it is recomputed from the
+    /// parsed counters.
+    pub fn from_json(text: &str) -> Option<Self> {
+        let doc = Json::parse(text).ok()?;
+        let num =
+            |key: &str| -> Option<u64> { doc.get(key).and_then(Json::as_f64).map(|v| v as u64) };
+        let latency: Vec<u64> = doc
+            .get("latency_us_log2")?
+            .as_array()?
+            .iter()
+            .map(|b| b.get("count").and_then(Json::as_f64).unwrap_or(0.0) as u64)
+            .collect();
+        if latency.len() != LATENCY_BUCKETS {
+            return None;
+        }
+        let pairs = |key: &str| -> Option<Vec<(String, u64)>> {
+            Some(
+                doc.get(key)?
+                    .as_object()?
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.as_f64().unwrap_or(0.0) as u64))
+                    .collect(),
+            )
+        };
+        Some(Self {
+            handled: num("handled")?,
+            rejected: num("rejected")?,
+            in_flight: num("in_flight")?,
+            status_2xx: num("status_2xx")?,
+            status_4xx: num("status_4xx")?,
+            status_5xx: num("status_5xx")?,
+            panics: num("panics")?,
+            cache_hits: num("cache_hits")?,
+            cache_misses: num("cache_misses")?,
+            latency,
+            latency_sum_us: num("latency_sum_us")?,
+            routes: pairs("routes")?,
+            phase_self_us: pairs("phase_self_us")?,
+        })
+    }
+
+    /// Adds another snapshot's counters into this one (histogram
+    /// buckets bucket-wise, route and phase maps key-wise) — the
+    /// aggregation a replica router applies across its shards.
+    pub fn merge(&mut self, other: &Self) {
+        self.handled += other.handled;
+        self.rejected += other.rejected;
+        self.in_flight += other.in_flight;
+        self.status_2xx += other.status_2xx;
+        self.status_4xx += other.status_4xx;
+        self.status_5xx += other.status_5xx;
+        self.panics += other.panics;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.latency_sum_us += other.latency_sum_us;
+        self.latency.resize(LATENCY_BUCKETS, 0);
+        for (i, n) in other.latency.iter().enumerate().take(LATENCY_BUCKETS) {
+            self.latency[i] += n;
+        }
+        let mut routes: BTreeMap<String, u64> = self.routes.drain(..).collect();
+        for (route, n) in &other.routes {
+            *routes.entry(route.clone()).or_insert(0) += n;
+        }
+        self.routes = routes.into_iter().collect();
+        let mut phases: BTreeMap<String, u64> = self.phase_self_us.drain(..).collect();
+        for (phase, us) in &other.phase_self_us {
+            *phases.entry(phase.clone()).or_insert(0) += us;
+        }
+        self.phase_self_us = phases.into_iter().collect();
+    }
+
     /// Renders the snapshot as a human-readable text page with an ASCII
     /// latency histogram (the `/metrics?format=text` view).
     pub fn to_text(&self) -> String {
@@ -682,6 +757,49 @@ mod tests {
         let capped = m.snapshot();
         assert!(capped.phase_self_us.len() <= MAX_PHASE_LABELS + 1);
         assert!(capped.phase_self_us.iter().any(|(p, _)| p == "(other)"));
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_and_merges() {
+        let a = ServerMetrics::new();
+        a.record_handled("/v1/eval", 200, Duration::from_micros(10));
+        a.record_handled("/v1/eval", 400, Duration::from_micros(100));
+        a.record_cache_hit();
+        a.record_phase_self("eval", 40.0);
+        let b = ServerMetrics::new();
+        b.record_handled("/v1/eval", 200, Duration::from_micros(20));
+        b.record_handled("/v1/sweep", 200, Duration::from_micros(30));
+        b.record_rejected();
+        b.record_cache_miss();
+        b.record_phase_self("eval", 10.0);
+        b.record_phase_self("sweep", 5.0);
+
+        // Round trip: to_json → from_json is lossless.
+        let sa = a.snapshot();
+        let parsed = MetricsSnapshot::from_json(&sa.to_json()).unwrap();
+        assert_eq!(parsed, sa);
+        assert!(MetricsSnapshot::from_json("{\"not\": \"metrics\"}").is_none());
+        assert!(MetricsSnapshot::from_json("garbage").is_none());
+
+        // Merge: every counter family is additive.
+        let mut merged = sa.clone();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.handled, 4);
+        assert_eq!(merged.rejected, 1);
+        assert_eq!(merged.status_2xx, 3);
+        assert_eq!(merged.status_4xx, 1);
+        assert_eq!(merged.cache_hits, 1);
+        assert_eq!(merged.cache_misses, 1);
+        assert_eq!(merged.latency.iter().sum::<u64>(), 4);
+        assert_eq!(merged.latency_sum_us, 160);
+        assert_eq!(
+            merged.routes,
+            vec![("/v1/eval".into(), 3), ("/v1/sweep".into(), 1)]
+        );
+        assert_eq!(
+            merged.phase_self_us,
+            vec![("eval".into(), 50), ("sweep".into(), 5)]
+        );
     }
 
     #[test]

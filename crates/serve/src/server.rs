@@ -1,24 +1,33 @@
-//! The serving loop: a `TcpListener` accept thread feeding a bounded
-//! queue drained by a fixed pool of worker threads.
+//! The serving core: a nonblocking epoll event loop that owns every
+//! connection, feeding a bounded pool of worker threads that run the
+//! CPU-bound request pipeline.
 //!
-//! The pool is *explicitly* bounded at both ends. Worker count caps
-//! concurrent evaluations (each worker handles one connection at a
-//! time), and the queue caps admitted-but-unserved connections. When the
-//! queue is full the accept thread answers `503 Service Unavailable`
-//! with a `Retry-After` header *inline* and closes the connection — load
-//! the server cannot absorb is shed immediately instead of queueing
-//! unboundedly or hanging the client. This mirrors how the Gables model
-//! treats a saturated resource: past the roofline's knee, extra offered
-//! load changes who waits, never the attainable throughput.
+//! One loop thread multiplexes the listener and every connection
+//! through [`crate::poll::Poller`] (level-triggered, `std`-only raw
+//! syscalls). Each connection is a small state machine —
+//! reading-headers/body → executing → writing → keep-alive idle — so
+//! an *idle* keep-alive connection costs one fd and a few hundred
+//! bytes, never a thread: one process holds tens of thousands of them
+//! while the worker pool bounds concurrent evaluations.
 //!
-//! Shutdown is cooperative: [`ServerHandle::shutdown`] sets a flag,
-//! wakes the blocking `accept` with a loopback self-connect, and the
-//! accept thread then posts one `Stop` poison per worker and joins them,
-//! letting in-flight requests finish.
+//! Capacity is still explicit at both ends. Worker count caps
+//! concurrent evaluations; the job queue caps parsed-but-unserved
+//! requests. When the queue is full the *loop* answers `503 Service
+//! Unavailable` with `Retry-After` inline — load the server cannot
+//! absorb is shed immediately instead of queueing unboundedly. This
+//! mirrors how the Gables model treats a saturated resource: past the
+//! roofline's knee, extra offered load changes who waits, never the
+//! attainable throughput.
+//!
+//! Shutdown is cooperative: [`ServerHandle::shutdown`] sets a flag and
+//! wakes the loop with a loopback self-connect; the loop closes idle
+//! connections, lets in-flight requests finish (bounded grace), then
+//! posts one `Stop` poison per worker and joins them.
 
 use std::collections::VecDeque;
 use std::io::{Read as _, Write as _};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -27,11 +36,32 @@ use std::time::{Duration, Instant};
 use gables_model::obs;
 
 use crate::flight::{FlightRecord, FlightRecorder};
-use crate::http::{read_request, Request, Response};
+use crate::http::{closed_early, parse_request_bytes, HttpError, Request, Response};
 use crate::metrics::ServerMetrics;
+use crate::poll::{Interest, Poller};
 
 /// Spans retained per request before the collector starts dropping.
 const SPAN_CAPACITY: usize = 512;
+
+/// epoll token of the listening socket.
+const TOKEN_LISTENER: u64 = u64::MAX;
+/// epoll token of the worker-completion waker pipe.
+const TOKEN_WAKER: u64 = u64::MAX - 1;
+
+/// Per-connection input buffer cap: one maximal request (head + body)
+/// plus room for a pipelined successor's head. Beyond this the loop
+/// stops reading (backpressure via TCP) until the buffer drains.
+const IN_BUF_CAP: usize = crate::http::MAX_HEAD_BYTES + crate::http::MAX_BODY_BYTES + 4096;
+
+/// Bytes of straggler input swallowed after a response that closes the
+/// connection, so the close cannot RST the response off the wire.
+const DRAIN_BUDGET: usize = 64 * 1024;
+
+/// How long the post-response drain waits for the client's EOF.
+const DRAIN_GRACE: Duration = Duration::from_millis(100);
+
+/// How long shutdown waits for in-flight connections before giving up.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
 /// A request handler: pure function of the parsed request.
 pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
@@ -80,6 +110,15 @@ impl Router {
         self.routes.iter().any(|(_, p, _)| p == path)
     }
 
+    /// Every registered `(method, path)` pair, in registration order —
+    /// the source of truth for the `GET /v1` discovery document.
+    pub fn route_table(&self) -> Vec<(&str, &str)> {
+        self.routes
+            .iter()
+            .map(|(m, p, _)| (m.as_str(), p.as_str()))
+            .collect()
+    }
+
     /// Dispatches one request: 404 for unknown paths, 405 (with the
     /// allowed methods) for known paths with the wrong method.
     pub fn dispatch(&self, req: &Request) -> Response {
@@ -117,18 +156,26 @@ impl Router {
 /// Tuning knobs for [`Server`]. `Default` suits tests and local use.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads (concurrent requests). Clamped to at least 1.
+    /// Worker threads (concurrent evaluations). Clamped to at least 1.
     pub workers: usize,
-    /// Connections allowed to wait for a worker before 503s start.
+    /// Parsed requests allowed to wait for a worker before 503s start.
     pub queue_depth: usize,
-    /// Socket read timeout while parsing a request.
+    /// Inactivity allowance while a partial request is buffered; on
+    /// expiry the connection is answered 408 and closed.
     pub read_timeout: Duration,
-    /// Socket write timeout while sending a response.
+    /// Inactivity allowance while a response is being written.
     pub write_timeout: Duration,
     /// Value of the `Retry-After` header on backpressure 503s.
     pub retry_after_secs: u64,
     /// Requests retained by the flight recorder ring.
     pub flight_capacity: usize,
+    /// How long an idle keep-alive connection (no buffered bytes) may
+    /// sit before the loop closes it.
+    pub keep_alive_timeout: Duration,
+    /// Concurrent connections the loop will hold; beyond this, new
+    /// connections are answered 503 and closed. Keep below the
+    /// process fd limit.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -140,55 +187,94 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             retry_after_secs: 1,
             flight_capacity: 64,
+            keep_alive_timeout: Duration::from_secs(60),
+            max_connections: 16_384,
         }
     }
+}
+
+/// One parsed request bound for the worker pool.
+struct Job {
+    slot: usize,
+    generation: u64,
+    request: Request,
+    keep_alive: bool,
 }
 
 enum Work {
-    Conn(TcpStream),
+    Job(Job),
     Stop,
 }
 
-struct Queue {
-    items: Mutex<VecDeque<Work>>,
-    ready: Condvar,
+/// A finished request: serialized bytes ready for the loop to write.
+struct Done {
+    slot: usize,
+    generation: u64,
+    bytes: Vec<u8>,
+    close: bool,
 }
 
-impl Queue {
-    fn new() -> Self {
+/// State shared between the event loop and the worker pool.
+struct Shared {
+    jobs: Mutex<VecDeque<Work>>,
+    ready: Condvar,
+    done: Mutex<Vec<Done>>,
+    wake_pending: AtomicBool,
+    waker: Mutex<std::io::PipeWriter>,
+}
+
+impl Shared {
+    fn new(waker: std::io::PipeWriter) -> Self {
         Self {
-            items: Mutex::new(VecDeque::new()),
+            jobs: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            done: Mutex::new(Vec::new()),
+            wake_pending: AtomicBool::new(false),
+            waker: Mutex::new(waker),
         }
     }
 
-    /// Pushes unconditionally (used for `Stop` poisons, which must never
-    /// be shed).
+    /// Pushes unconditionally (used for `Stop` poisons, which must
+    /// never be shed).
     fn push(&self, work: Work) {
-        self.items.lock().expect("queue poisoned").push_back(work);
+        self.jobs.lock().expect("queue poisoned").push_back(work);
         self.ready.notify_one();
     }
 
-    /// Pushes only if under `limit`; returns the work back on overflow.
-    fn try_push(&self, work: Work, limit: usize) -> Result<(), Work> {
-        let mut items = self.items.lock().expect("queue poisoned");
-        if items.len() >= limit {
-            return Err(work);
+    /// Pushes only if under `limit`; false means the caller sheds.
+    fn try_push(&self, work: Work, limit: usize) -> bool {
+        let mut jobs = self.jobs.lock().expect("queue poisoned");
+        if jobs.len() >= limit {
+            return false;
         }
-        items.push_back(work);
-        drop(items);
+        jobs.push_back(work);
+        drop(jobs);
         self.ready.notify_one();
-        Ok(())
+        true
     }
 
     fn pop(&self) -> Work {
-        let mut items = self.items.lock().expect("queue poisoned");
+        let mut jobs = self.jobs.lock().expect("queue poisoned");
         loop {
-            if let Some(work) = items.pop_front() {
+            if let Some(work) = jobs.pop_front() {
                 return work;
             }
-            items = self.ready.wait(items).expect("queue poisoned");
+            jobs = self.ready.wait(jobs).expect("queue poisoned");
         }
+    }
+
+    /// Hands a finished response back to the loop and pokes the waker
+    /// pipe (deduplicated: at most one pending byte).
+    fn complete(&self, done: Done) {
+        self.done.lock().expect("done poisoned").push(done);
+        if !self.wake_pending.swap(true, Ordering::SeqCst) {
+            let mut waker = self.waker.lock().expect("waker poisoned");
+            let _ = waker.write(&[1u8]);
+        }
+    }
+
+    fn take_done(&self) -> Vec<Done> {
+        std::mem::take(&mut *self.done.lock().expect("done poisoned"))
     }
 }
 
@@ -218,14 +304,14 @@ impl ServerHandle {
         &self.flight
     }
 
-    /// Requests a graceful stop: sets the flag and wakes the accept
+    /// Requests a graceful stop: sets the flag and wakes the event
     /// loop with a self-connect so it notices without waiting for an
-    /// external connection. Safe to call more than once.
+    /// external event. Safe to call more than once.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept call blocks until *some* connection arrives; give
-        // it one. Errors are fine — any concurrent real connection also
-        // wakes it.
+        // The loop may be parked in epoll_wait; a connection attempt
+        // makes the listener readable and wakes it. Errors are fine —
+        // any concurrent real event also wakes it.
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -301,41 +387,40 @@ impl Server {
     }
 
     /// Serves until [`ServerHandle::shutdown`] is called: spawns the
-    /// worker pool, accepts connections into the bounded queue, sheds
-    /// overflow with 503 + `Retry-After`, then drains and joins the
-    /// workers on shutdown. Blocks the calling thread for the server's
+    /// worker pool, runs the epoll event loop over the listener and
+    /// every connection, sheds queue overflow with 503 +
+    /// `Retry-After`, then drains in-flight work and joins the workers
+    /// on shutdown. Blocks the calling thread for the server's
     /// lifetime.
     ///
     /// # Errors
     ///
-    /// Returns an error only if the listener itself fails fatally;
-    /// per-connection errors are answered on that connection (or
-    /// dropped) and serving continues.
+    /// Returns an error only if the listener, the epoll instance, or
+    /// the waker pipe fails fatally (including `Unsupported` on
+    /// non-Linux builds); per-connection errors are answered on that
+    /// connection (or dropped) and serving continues.
     pub fn run(self, router: Router) -> std::io::Result<()> {
         let router = Arc::new(router);
-        let queue = Arc::new(Queue::new());
         let workers = self.config.workers.max(1);
-        // Stop poisons share the queue, so leave room for one per worker
-        // beyond the advertised connection depth.
-        let queue_limit = self.config.queue_depth.max(1);
+        let (waker_rx, waker_tx) = std::io::pipe()?;
+        let shared = Arc::new(Shared::new(waker_tx));
 
         let mut pool = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
             let router = Arc::clone(&router);
             let metrics = Arc::clone(&self.metrics);
             let flight = Arc::clone(&self.flight);
-            let config = self.config.clone();
             pool.push(std::thread::spawn(move || loop {
-                match queue.pop() {
+                match shared.pop() {
                     Work::Stop => break,
-                    Work::Conn(mut stream) => {
-                        // Backstop: `serve_connection` already confines
-                        // handler panics, so this only trips on a bug in
-                        // the serving plumbing itself — and even then the
+                    Work::Job(job) => {
+                        // Backstop: `execute` already confines handler
+                        // panics, so this only trips on a bug in the
+                        // serving plumbing itself — and even then the
                         // worker survives to drain the queue.
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            serve_connection(&mut stream, &router, &metrics, &config, &flight);
+                            execute(job, &router, &metrics, &flight, &shared);
                         }));
                         if outcome.is_err() {
                             metrics.record_panic();
@@ -345,160 +430,584 @@ impl Server {
             }));
         }
 
-        for conn in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                // The wake-up connection (or a late client) lands here;
-                // just drop it and stop accepting.
-                break;
-            }
-            let stream = match conn {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            if let Err(Work::Conn(mut stream)) = queue.try_push(Work::Conn(stream), queue_limit) {
-                self.metrics.record_rejected();
-                // The request was never read, so the client's request ID
-                // (if any) is unknown; a generated one still lets the
-                // client correlate the 503 with server logs.
-                let request_id = fresh_request_id();
-                obs::log(
-                    obs::Level::Warn,
-                    "serve.access",
-                    "request shed: queue full",
-                    &[("request_id", request_id.as_str().into())],
-                );
-                let resp = Response::error(503, "server busy: request queue is full")
-                    .with_header("Retry-After", self.config.retry_after_secs.to_string())
-                    .with_header("X-Request-Id", request_id);
-                let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-                let _ = resp.write_to(&mut stream);
-                // The shed connection's request bytes were never read, so
-                // a plain close would RST and could destroy the 503 still
-                // in the client's direction. Drain first (bounded).
-                drain_and_close(&mut stream);
-            }
-        }
+        let mut event_loop = EventLoop {
+            listener: self.listener,
+            poller: Poller::new()?,
+            waker_rx,
+            config: self.config,
+            metrics: self.metrics,
+            flight: self.flight,
+            shutdown: self.shutdown,
+            shared: Arc::clone(&shared),
+            conns: Vec::new(),
+            free: Vec::new(),
+            generation: 0,
+        };
+        let result = event_loop.run();
 
         for _ in 0..workers {
-            queue.push(Work::Stop);
+            shared.push(Work::Stop);
         }
         for worker in pool {
             let _ = worker.join();
         }
-        Ok(())
+        result
     }
 }
 
-/// Decrements the in-flight gauge on scope exit, so the gauge stays
-/// honest even when a handler panic unwinds through the serving path.
-struct InFlightGuard<'a>(&'a ServerMetrics);
+/// What the loop is doing with a connection right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Accumulating request bytes (an empty buffer is keep-alive idle).
+    Reading,
+    /// A parsed request is in the worker pool; the response is pending.
+    Executing,
+    /// Response bytes are being flushed to the socket.
+    Writing,
+    /// Half-closed after a final response; swallowing stragglers so the
+    /// close cannot RST the response off the wire.
+    Draining,
+}
 
-impl Drop for InFlightGuard<'_> {
-    fn drop(&mut self) {
-        self.0.exit_in_flight();
+/// One connection owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    state: ConnState,
+    in_buf: Vec<u8>,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    close_after_write: bool,
+    peer_eof: bool,
+    /// When the bytes of the *current* partial request started arriving
+    /// (drives the 408 deadline and the parse-error latency stamp).
+    read_started: Option<Instant>,
+    /// Last byte movement in either direction (drives idle/write
+    /// deadlines).
+    last_activity: Instant,
+    /// Remaining drain allowance in the `Draining` state.
+    drain_budget: usize,
+    drain_deadline: Instant,
+    generation: u64,
+    interest: Interest,
+}
+
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    waker_rx: std::io::PipeReader,
+    config: ServerConfig,
+    metrics: Arc<ServerMetrics>,
+    flight: Arc<FlightRecorder>,
+    shutdown: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    generation: u64,
+}
+
+impl EventLoop {
+    fn run(&mut self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        self.poller
+            .add(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        self.poller
+            .add(self.waker_rx.as_raw_fd(), TOKEN_WAKER, Interest::READ)?;
+
+        let mut events = Vec::new();
+        let mut stopping: Option<Instant> = None;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) && stopping.is_none() {
+                stopping = Some(Instant::now());
+                // Idle keep-alive connections have nothing owed to
+                // them; everything else gets a bounded grace.
+                for slot in 0..self.conns.len() {
+                    let idle = matches!(
+                        &self.conns[slot],
+                        Some(c) if c.state == ConnState::Reading && c.in_buf.is_empty()
+                    );
+                    if idle {
+                        self.close(slot);
+                    }
+                }
+            }
+            if let Some(since) = stopping {
+                let live = self.conns.iter().flatten().count();
+                if live == 0 || since.elapsed() > SHUTDOWN_GRACE {
+                    return Ok(());
+                }
+            }
+
+            self.poller.wait(&mut events, 100)?;
+            let batch: Vec<crate::poll::Event> = events.clone();
+            for ev in &batch {
+                match ev.token {
+                    TOKEN_LISTENER => self.on_accept(stopping.is_some()),
+                    TOKEN_WAKER => {
+                        let mut sink = [0u8; 64];
+                        let _ = self.waker_rx.read(&mut sink);
+                        self.shared.wake_pending.store(false, Ordering::SeqCst);
+                    }
+                    token => {
+                        self.on_conn_event(token as usize, ev.readable, ev.writable, ev.hangup)
+                    }
+                }
+            }
+            // Completions are drained every tick (not only on waker
+            // events), so a lost wake can delay a response by at most
+            // one poll timeout.
+            for done in self.shared.take_done() {
+                self.on_done(done);
+            }
+            self.scan_deadlines();
+        }
+    }
+
+    fn on_accept(&mut self, stopping: bool) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stopping {
+                        continue; // drop: shutdown wake-up or late client
+                    }
+                    let live = self.conns.iter().flatten().count();
+                    if live >= self.config.max_connections {
+                        let _ = stream.set_nonblocking(true);
+                        let resp = Response::error(503, "server busy: connection limit reached")
+                            .with_header("Retry-After", self.config.retry_after_secs.to_string());
+                        let mut s = stream;
+                        let _ = s.write(&resp.serialize(false));
+                        self.metrics.record_rejected();
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    self.generation += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), slot as u64, Interest::READ)
+                        .is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    self.conns[slot] = Some(Conn {
+                        stream,
+                        state: ConnState::Reading,
+                        in_buf: Vec::new(),
+                        out_buf: Vec::new(),
+                        out_pos: 0,
+                        close_after_write: false,
+                        peer_eof: false,
+                        read_started: None,
+                        last_activity: Instant::now(),
+                        drain_budget: DRAIN_BUDGET,
+                        drain_deadline: Instant::now(),
+                        generation: self.generation,
+                        interest: Interest::READ,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn on_conn_event(&mut self, slot: usize, readable: bool, writable: bool, hangup: bool) {
+        if slot >= self.conns.len() || self.conns[slot].is_none() {
+            return; // already closed this tick
+        }
+        if readable {
+            self.on_readable(slot);
+        }
+        if self.conns.get(slot).is_some_and(Option::is_some) && writable {
+            if let Some(conn) = self.conns[slot].as_ref() {
+                if conn.state == ConnState::Writing {
+                    self.flush_writes(slot);
+                }
+            }
+        }
+        // A bare hangup (no readable bit) can only be acted on when no
+        // response is owed; otherwise the write path discovers it.
+        if let Some(conn) = self.conns[slot].as_ref() {
+            if hangup && !readable && conn.state == ConnState::Reading && conn.in_buf.is_empty() {
+                self.close(slot);
+            }
+        }
+    }
+
+    fn on_readable(&mut self, slot: usize) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.peer_eof {
+                break;
+            }
+            if conn.state == ConnState::Draining {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => {
+                        self.close(slot);
+                        return;
+                    }
+                    Ok(n) => {
+                        if n >= conn.drain_budget {
+                            self.close(slot);
+                            return;
+                        }
+                        conn.drain_budget -= n;
+                        continue;
+                    }
+                }
+            }
+            if conn.in_buf.len() >= IN_BUF_CAP {
+                // Stop reading until the buffer drains; TCP backpressure
+                // does the rest.
+                self.update_interest(slot);
+                break;
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.in_buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = Instant::now();
+                    if conn.read_started.is_none() {
+                        conn.read_started = Some(conn.last_activity);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+        if let Some(conn) = self.conns[slot].as_ref() {
+            if conn.state == ConnState::Reading {
+                self.try_dispatch(slot);
+            } else if conn.state == ConnState::Executing && conn.peer_eof {
+                self.update_interest(slot);
+            }
+        }
+    }
+
+    /// Attempts to parse and hand off the next buffered request.
+    fn try_dispatch(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        match parse_request_bytes(&conn.in_buf) {
+            Ok(None) => {
+                if conn.peer_eof {
+                    if conn.in_buf.is_empty() {
+                        self.close(slot);
+                    } else {
+                        let err = closed_early(&conn.in_buf);
+                        self.finish_unparsed(slot, &err);
+                    }
+                }
+                // else: wait for more bytes (the 408 deadline guards).
+            }
+            Ok(Some(parsed)) => {
+                conn.in_buf.drain(..parsed.consumed);
+                if conn.in_buf.is_empty() {
+                    conn.read_started = None;
+                } else {
+                    conn.read_started = Some(Instant::now());
+                }
+                let keep_alive = parsed.keep_alive && !conn.peer_eof;
+                let job = Job {
+                    slot,
+                    generation: conn.generation,
+                    request: parsed.request,
+                    keep_alive,
+                };
+                conn.state = ConnState::Executing;
+                let limit = self.config.queue_depth.max(1);
+                if !self.shared.try_push(Work::Job(job), limit) {
+                    self.shed(slot);
+                } else {
+                    self.update_interest(slot);
+                }
+            }
+            Err(err) => self.finish_unparsed(slot, &err),
+        }
+    }
+
+    /// Answers a 503 for a parsed request the queue cannot absorb.
+    fn shed(&mut self, slot: usize) {
+        self.metrics.record_rejected();
+        let request_id = fresh_request_id();
+        obs::log(
+            obs::Level::Warn,
+            "serve.access",
+            "request shed: queue full",
+            &[("request_id", request_id.as_str().into())],
+        );
+        let resp = Response::error(503, "server busy: request queue is full")
+            .with_header("Retry-After", self.config.retry_after_secs.to_string())
+            .with_header("X-Request-Id", request_id);
+        self.queue_write(slot, resp.serialize(false), true);
+    }
+
+    /// Answers a request that never parsed (malformed, oversized, timed
+    /// out, truncated by EOF), recording the same telemetry the old
+    /// blocking path did: route `"(unparsed)"`, method `-`, a flight
+    /// record, and an access-log line.
+    fn finish_unparsed(&mut self, slot: usize, err: &HttpError) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        conn.in_buf.clear(); // framing is poisoned; nothing more parses
+        let started = conn.read_started.take();
+        let metrics = Arc::clone(&self.metrics);
+        metrics.enter_in_flight();
+        let _in_flight = InFlightGuard(&metrics);
+        let alloc_scope = gables_model::prof::AllocScope::begin();
+        let request_id = fresh_request_id();
+        let response = Response::error(err.status(), &err.to_string())
+            .with_header("X-Request-Id", request_id.as_str());
+        let status = response.status;
+        let latency = started.map(|t| t.elapsed()).unwrap_or_default();
+        let route = "(unparsed)".to_string();
+        self.metrics.record_handled(&route, status, latency);
+        if obs::enabled(obs::Level::Info) {
+            obs::log(
+                obs::Level::Info,
+                "serve.access",
+                "request",
+                &[
+                    ("method", "-".into()),
+                    ("route", route.as_str().into()),
+                    ("status", status.into()),
+                    ("latency_us", (latency.as_micros() as u64).into()),
+                    ("bytes", response.body.len().into()),
+                    ("cache", "-".into()),
+                    ("request_id", request_id.as_str().into()),
+                ],
+            );
+        }
+        let alloc = alloc_scope.delta();
+        self.flight.record(FlightRecord {
+            seq: 0, // stamped by the recorder
+            id: request_id,
+            method: "-".to_string(),
+            route,
+            status,
+            latency_us: latency.as_micros() as u64,
+            cache_hit: None,
+            allocs: alloc.allocs,
+            alloc_bytes: alloc.bytes,
+            cpu_busy_us: 0.0,
+            spans: Vec::new(),
+            spans_dropped: 0,
+        });
+        self.queue_write(slot, response.serialize(false), true);
+    }
+
+    /// Installs a response body and starts flushing it.
+    fn queue_write(&mut self, slot: usize, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        conn.out_buf = bytes;
+        conn.out_pos = 0;
+        conn.close_after_write = close;
+        conn.state = ConnState::Writing;
+        conn.last_activity = Instant::now();
+        self.flush_writes(slot);
+    }
+
+    fn flush_writes(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.out_pos >= conn.out_buf.len() {
+                self.on_write_complete(slot);
+                return;
+            }
+            match conn.stream.write(&conn.out_buf[conn.out_pos..]) {
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.update_interest(slot);
+                    return;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(slot);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_write_complete(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        conn.out_buf = Vec::new();
+        conn.out_pos = 0;
+        if conn.close_after_write {
+            if conn.peer_eof {
+                // The client already half-closed; everything it sent is
+                // consumed, so a plain close cannot RST the response.
+                self.close(slot);
+            } else {
+                // Half-close and swallow stragglers briefly so unread
+                // pipelined bytes cannot RST the response off the wire.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                conn.state = ConnState::Draining;
+                conn.drain_budget = DRAIN_BUDGET;
+                conn.drain_deadline = Instant::now() + DRAIN_GRACE;
+                self.update_interest(slot);
+            }
+        } else {
+            conn.state = ConnState::Reading;
+            conn.last_activity = Instant::now();
+            self.update_interest(slot);
+            // A pipelined successor may already be buffered.
+            self.try_dispatch(slot);
+        }
+    }
+
+    fn on_done(&mut self, done: Done) {
+        let Some(conn) = self.conns.get_mut(done.slot).and_then(Option::as_mut) else {
+            return; // connection died while executing
+        };
+        if conn.generation != done.generation || conn.state != ConnState::Executing {
+            return; // stale completion for a reused slot
+        }
+        let close = done.close || conn.peer_eof;
+        self.queue_write(done.slot, done.bytes, close);
+    }
+
+    fn scan_deadlines(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            match conn.state {
+                ConnState::Reading => {
+                    if conn.in_buf.is_empty() && conn.read_started.is_none() {
+                        if now.duration_since(conn.last_activity) > self.config.keep_alive_timeout {
+                            self.close(slot);
+                        }
+                    } else if now.duration_since(conn.last_activity) > self.config.read_timeout {
+                        let err = HttpError::Io(std::io::Error::from(std::io::ErrorKind::TimedOut));
+                        self.finish_unparsed(slot, &err);
+                    }
+                }
+                ConnState::Writing => {
+                    if now.duration_since(conn.last_activity) > self.config.write_timeout {
+                        self.close(slot);
+                    }
+                }
+                ConnState::Draining => {
+                    if now >= conn.drain_deadline {
+                        self.close(slot);
+                    }
+                }
+                ConnState::Executing => {}
+            }
+        }
+    }
+
+    /// The interest a connection's state implies.
+    fn desired_interest(conn: &Conn) -> Interest {
+        let read = !conn.peer_eof && conn.in_buf.len() < IN_BUF_CAP;
+        match conn.state {
+            ConnState::Reading | ConnState::Executing => Interest { read, write: false },
+            ConnState::Writing => Interest { read, write: true },
+            ConnState::Draining => Interest::READ,
+        }
+    }
+
+    fn update_interest(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let want = Self::desired_interest(conn);
+        if want != conn.interest
+            && self
+                .poller
+                .modify(conn.stream.as_raw_fd(), slot as u64, want)
+                .is_ok()
+        {
+            conn.interest = want;
+        }
+    }
+
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns[slot].take() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            self.free.push(slot);
+        }
     }
 }
 
-/// A fresh, process-unique request ID: 16 lowercase hex digits derived
-/// from a per-process salt and a counter. Unguessable enough to avoid
-/// collisions across restarts, cheap enough for the accept loop.
-fn fresh_request_id() -> String {
-    static COUNTER: AtomicU64 = AtomicU64::new(0);
-    static SALT: OnceLock<u64> = OnceLock::new();
-    let salt = *SALT.get_or_init(|| {
-        let nanos = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0x9E37_79B9_7F4A_7C15);
-        nanos ^ u64::from(std::process::id()).rotate_left(32)
-    });
-    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-    format!("{:016x}", obs::hash64(&format!("{salt:x}-{n}")))
-}
-
-/// Whether a client-supplied `X-Request-Id` is safe to echo and log:
-/// non-empty, at most 64 bytes, only `[A-Za-z0-9._:-]`.
-fn is_valid_request_id(value: &str) -> bool {
-    !value.is_empty()
-        && value.len() <= 64
-        && value
-            .bytes()
-            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
-}
-
-/// Reads one request off the connection, dispatches it inside a span
-/// tree, writes the response (always carrying `X-Request-Id`), and
-/// records metrics, an access-log line, and a flight-recorder entry. All
-/// errors — including a panicking handler, which is confined to this
-/// request and answered with a structured 500 — are answered on the wire
-/// where possible and never propagate.
-fn serve_connection(
-    stream: &mut TcpStream,
+/// Runs the full request pipeline on a worker thread: span tree,
+/// dispatch (with a confined panic answered as a structured 500),
+/// metrics, access log, and flight record — then hands the serialized
+/// response back to the event loop.
+fn execute(
+    job: Job,
     router: &Router,
     metrics: &ServerMetrics,
-    config: &ServerConfig,
     flight: &FlightRecorder,
+    shared: &Shared,
 ) {
     metrics.enter_in_flight();
     let _in_flight = InFlightGuard(metrics);
     let alloc_scope = gables_model::prof::AllocScope::begin();
     let started = Instant::now();
-    let _ = stream.set_read_timeout(Some(config.read_timeout));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let collector = obs::SpanCollector::new(SPAN_CAPACITY);
-    let (request_id, method, route, response, fully_read) = match read_request(stream) {
-        Ok(req) => {
-            let request_id = req
-                .header("x-request-id")
-                .filter(|v| is_valid_request_id(v))
-                .map(str::to_string)
-                .unwrap_or_else(fresh_request_id);
-            // Label unknown paths "(unmatched)" so metrics and span
-            // names stay low-cardinality no matter what paths clients
-            // probe (the 404 body still echoes the real path).
-            let route = if router.has_path(&req.path) {
-                req.path.clone()
-            } else {
-                "(unmatched)".to_string()
-            };
-            let response = {
-                // The trace ID derives from the request ID, so a client
-                // retrying with the same X-Request-Id produces the same
-                // trace identity.
-                let _root =
-                    obs::attach_root(&collector, obs::hash64(&request_id), "server.request");
-                let _dispatch = obs::span(&format!("dispatch {route}"));
-                // A panic in one handler must cost exactly that request:
-                // the worker answers a structured 500 and lives to serve
-                // the next connection. Handlers borrow only `&Request`,
-                // so no shared state can be left torn by the unwind
-                // (`AssertUnwindSafe` is about the borrow checker, not an
-                // actual safety waiver).
-                catch_unwind(AssertUnwindSafe(|| router.dispatch(&req))).unwrap_or_else(|_| {
-                    metrics.record_panic();
-                    Response::error(500, "internal error: handler panicked")
-                })
-            };
-            (request_id, req.method.clone(), route, response, true)
-        }
-        Err(err) => (
-            fresh_request_id(),
-            "-".to_string(),
-            "(unparsed)".to_string(),
-            Response::error(err.status(), &err.to_string()),
-            false,
-        ),
+    let req = &job.request;
+    let request_id = req
+        .header("x-request-id")
+        .filter(|v| is_valid_request_id(v))
+        .map(str::to_string)
+        .unwrap_or_else(fresh_request_id);
+    // Label unknown paths "(unmatched)" so metrics and span names stay
+    // low-cardinality no matter what paths clients probe (the 404 body
+    // still echoes the real path).
+    let route = if router.has_path(&req.path) {
+        req.path.clone()
+    } else {
+        "(unmatched)".to_string()
+    };
+    let response = {
+        // The trace ID derives from the request ID, so a client
+        // retrying with the same X-Request-Id produces the same trace
+        // identity.
+        let _root = obs::attach_root(&collector, obs::hash64(&request_id), "server.request");
+        let _dispatch = obs::span(&format!("dispatch {route}"));
+        // A panic in one handler must cost exactly that request: the
+        // worker answers a structured 500 and lives to serve the next
+        // job. Handlers borrow only `&Request`, so no shared state can
+        // be left torn by the unwind (`AssertUnwindSafe` is about the
+        // borrow checker, not an actual safety waiver).
+        catch_unwind(AssertUnwindSafe(|| router.dispatch(req))).unwrap_or_else(|_| {
+            metrics.record_panic();
+            Response::error(500, "internal error: handler panicked")
+        })
     };
     let response = response.with_header("X-Request-Id", request_id.as_str());
     let status = response.status;
-    let _ = response.write_to(stream);
-    let _ = stream.flush();
-    if !fully_read {
-        // A parse-rejected request leaves unread bytes on the socket;
-        // closing over them would RST and could race the error response
-        // off the wire before the client reads it.
-        drain_and_close(stream);
-    }
     let latency = started.elapsed();
     metrics.record_handled(&route, status, latency);
     // Handlers report cache attribution out-of-band via an `X-Cache`
@@ -514,7 +1023,7 @@ fn serve_connection(
             "serve.access",
             "request",
             &[
-                ("method", method.as_str().into()),
+                ("method", req.method.as_str().into()),
                 ("route", route.as_str().into()),
                 ("status", status.into()),
                 ("latency_us", (latency.as_micros() as u64).into()),
@@ -541,7 +1050,7 @@ fn serve_connection(
     flight.record(FlightRecord {
         seq: 0, // stamped by the recorder
         id: request_id,
-        method,
+        method: req.method.clone(),
         route,
         status,
         latency_us: latency.as_micros() as u64,
@@ -552,25 +1061,50 @@ fn serve_connection(
         spans,
         spans_dropped,
     });
+    let bytes = response.serialize(job.keep_alive);
+    shared.complete(Done {
+        slot: job.slot,
+        generation: job.generation,
+        bytes,
+        close: !job.keep_alive,
+    });
 }
 
-/// Best-effort graceful close for a connection with (possibly) unread
-/// request bytes: half-close the write side so the client sees EOF
-/// after the response, then drain what the client already sent so the
-/// kernel does not turn unread data into an RST that races the
-/// response. Both the drain time and the drained bytes are bounded, so
-/// a hostile client cannot pin the calling thread.
-fn drain_and_close(stream: &mut TcpStream) {
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut sink = [0u8; 4096];
-    let mut budget: usize = 64 * 1024;
-    while budget > 0 {
-        match stream.read(&mut sink) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => budget = budget.saturating_sub(n),
-        }
+/// Decrements the in-flight gauge on scope exit, so the gauge stays
+/// honest even when a handler panic unwinds through the serving path.
+struct InFlightGuard<'a>(&'a ServerMetrics);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.exit_in_flight();
     }
+}
+
+/// A fresh, process-unique request ID: 16 lowercase hex digits derived
+/// from a per-process salt and a counter. Unguessable enough to avoid
+/// collisions across restarts, cheap enough for the event loop.
+fn fresh_request_id() -> String {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static SALT: OnceLock<u64> = OnceLock::new();
+    let salt = *SALT.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        nanos ^ u64::from(std::process::id()).rotate_left(32)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{:016x}", obs::hash64(&format!("{salt:x}-{n}")))
+}
+
+/// Whether a client-supplied `X-Request-Id` is safe to echo and log:
+/// non-empty, at most 64 bytes, only `[A-Za-z0-9._:-]`.
+fn is_valid_request_id(value: &str) -> bool {
+    !value.is_empty()
+        && value.len() <= 64
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':'))
 }
 
 #[cfg(test)]
@@ -602,7 +1136,10 @@ mod tests {
     #[test]
     fn serves_requests_and_shuts_down_gracefully() {
         let (handle, join) = started(ping_router(), ServerConfig::default());
-        let reply = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
         assert!(reply.ends_with("pong"), "{reply}");
         handle.shutdown();
@@ -614,11 +1151,91 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_connection_serves_sequential_requests() {
+        let (handle, join) = started(ping_router(), ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        for _ in 0..3 {
+            stream.write_all(b"GET /ping HTTP/1.1\r\n\r\n").unwrap();
+            let reply = read_framed(&mut stream);
+            assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+            assert!(reply.contains("Connection: keep-alive"), "{reply}");
+            assert!(reply.ends_with("pong"), "{reply}");
+        }
+        drop(stream);
+        handle.shutdown();
+        join.join().unwrap();
+        assert_eq!(handle.metrics().snapshot().handled, 3);
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let router = Router::new()
+            .route("GET", "/a", |_| Response::text(200, "alpha"))
+            .route("GET", "/b", |_| Response::text(200, "beta"));
+        let (handle, join) = started(router, ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let alpha = out.find("alpha").expect("first response body");
+        let beta = out.find("beta").expect("second response body");
+        assert!(
+            alpha < beta,
+            "responses must arrive in request order:\n{out}"
+        );
+        handle.shutdown();
+        join.join().unwrap();
+        assert_eq!(handle.metrics().snapshot().handled, 2);
+    }
+
+    #[test]
+    fn idle_connections_do_not_occupy_workers() {
+        // One worker; a fistful of silent keep-alive connections must
+        // not stop a real request from being served immediately.
+        let config = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let (handle, join) = started(ping_router(), config);
+        let idle: Vec<TcpStream> = (0..8)
+            .map(|_| TcpStream::connect(handle.addr()).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(100));
+        let start = Instant::now();
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(reply.ends_with("pong"), "{reply}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "idle connections must not block the worker"
+        );
+        drop(idle);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
     fn unknown_path_is_404_and_wrong_method_is_405() {
         let (handle, join) = started(ping_router(), ServerConfig::default());
-        let reply = roundtrip(handle.addr(), "GET /nope HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
-        let reply = roundtrip(handle.addr(), "POST /ping HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(
+            handle.addr(),
+            "POST /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.starts_with("HTTP/1.1 405"), "{reply}");
         assert!(reply.contains("Allow: GET"), "{reply}");
         handle.shutdown();
@@ -637,33 +1254,47 @@ mod tests {
 
     #[test]
     fn full_queue_sheds_load_with_503_and_retry_after() {
-        // One worker, one queue slot. Two silent connections occupy the
-        // worker and the slot (they hold until the read timeout), so a
-        // third, real request must be shed immediately.
+        // One worker, one queue slot. Two slow requests occupy the
+        // worker and the slot, so a third, real request must be shed
+        // immediately — idle connections no longer pin anything, so the
+        // stallers are genuinely slow *handlers*.
+        let router = Router::new()
+            .route("GET", "/ping", |_| Response::text(200, "pong"))
+            .route("GET", "/slow", |_| {
+                std::thread::sleep(Duration::from_millis(1500));
+                Response::text(200, "slow")
+            });
         let config = ServerConfig {
             workers: 1,
             queue_depth: 1,
-            read_timeout: Duration::from_secs(5),
             ..ServerConfig::default()
         };
-        let (handle, join) = started(ping_router(), config);
-        // Stagger the stallers so the first is already *popped* (worker
-        // blocked reading it) before the second fills the queue slot;
-        // connecting back-to-back races the worker's pop and could shed
-        // the second staller instead of the probe request.
-        let _stall_worker = TcpStream::connect(handle.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(300));
-        let _stall_queue = TcpStream::connect(handle.addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(300));
+        let (handle, join) = started(router, config);
+        let addr = handle.addr();
+        let stallers: Vec<_> = (0..2)
+            .map(|_| {
+                let t = std::thread::spawn(move || {
+                    roundtrip(addr, "GET /slow HTTP/1.1\r\nConnection: close\r\n\r\n")
+                });
+                // Stagger so the first is already *executing* (popped)
+                // before the second fills the queue slot.
+                std::thread::sleep(Duration::from_millis(300));
+                t
+            })
+            .collect();
         let start = Instant::now();
-        let reply = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(addr, "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
         assert!(
             start.elapsed() < Duration::from_secs(2),
-            "503 must be immediate, not wait out the stalled worker"
+            "503 must be immediate, not wait out the busy worker"
         );
         assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
         assert!(reply.contains("Retry-After: 1"), "{reply}");
         assert!(handle.metrics().snapshot().rejected >= 1);
+        for t in stallers {
+            let reply = t.join().unwrap();
+            assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        }
         handle.shutdown();
         join.join().unwrap();
     }
@@ -680,10 +1311,16 @@ mod tests {
             ..ServerConfig::default()
         };
         let (handle, join) = started(router, config);
-        let reply = roundtrip(handle.addr(), "GET /boom HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /boom HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.starts_with("HTTP/1.1 500"), "{reply}");
         assert!(reply.contains("handler panicked"), "{reply}");
-        let reply = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.ends_with("pong"), "{reply}");
         handle.shutdown();
         join.join().unwrap();
@@ -710,6 +1347,7 @@ mod tests {
         assert_eq!(router.dispatch(&mk("POST", "/a")).body, b"posted");
         assert_eq!(router.dispatch(&mk("DELETE", "/a")).status, 405);
         assert_eq!(router.dispatch(&mk("GET", "/b")).status, 404);
+        assert_eq!(router.route_table(), vec![("GET", "/a"), ("POST", "/a")]);
     }
 
     #[test]
@@ -722,17 +1360,20 @@ mod tests {
     #[test]
     fn every_response_carries_a_request_id_and_custom_ids_echo_back() {
         let (handle, join) = started(ping_router(), ServerConfig::default());
-        let reply = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
+        let reply = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         assert!(reply.contains("X-Request-Id: "), "{reply}");
         let reply = roundtrip(
             handle.addr(),
-            "GET /ping HTTP/1.1\r\nX-Request-Id: my.custom-id:7\r\n\r\n",
+            "GET /ping HTTP/1.1\r\nX-Request-Id: my.custom-id:7\r\nConnection: close\r\n\r\n",
         );
         assert!(reply.contains("X-Request-Id: my.custom-id:7"), "{reply}");
         // A hostile ID (header-injection attempt) is replaced, not echoed.
         let reply = roundtrip(
             handle.addr(),
-            "GET /ping HTTP/1.1\r\nX-Request-Id: evil id\r\n\r\n",
+            "GET /ping HTTP/1.1\r\nX-Request-Id: evil id\r\nConnection: close\r\n\r\n",
         );
         assert!(!reply.contains("evil id"), "{reply}");
         assert!(reply.contains("X-Request-Id: "), "{reply}");
@@ -760,8 +1401,14 @@ mod tests {
     #[test]
     fn flight_recorder_captures_requests_with_routes_and_spans() {
         let (handle, join) = started(ping_router(), ServerConfig::default());
-        let _ = roundtrip(handle.addr(), "GET /ping HTTP/1.1\r\n\r\n");
-        let _ = roundtrip(handle.addr(), "GET /scan/0 HTTP/1.1\r\n\r\n");
+        let _ = roundtrip(
+            handle.addr(),
+            "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        let _ = roundtrip(
+            handle.addr(),
+            "GET /scan/0 HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
         handle.shutdown();
         join.join().unwrap();
         let recent = handle.flight().recent(10);
@@ -790,5 +1437,29 @@ mod tests {
         let routes = handle.metrics().snapshot().routes;
         assert!(routes.iter().any(|(r, n)| r == "(unmatched)" && *n == 1));
         assert!(!routes.iter().any(|(r, _)| r.contains("/scan")));
+    }
+
+    /// Reads exactly one `Content-Length`-framed response off a
+    /// keep-alive connection.
+    fn read_framed(stream: &mut TcpStream) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .and_then(|v| v.trim().parse().ok())
+                    .expect("Content-Length header");
+                let body_start = head_end + 4;
+                if buf.len() >= body_start + len {
+                    return String::from_utf8_lossy(&buf[..body_start + len]).to_string();
+                }
+            }
+            let n = stream.read(&mut chunk).expect("read response");
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        }
     }
 }

@@ -64,6 +64,22 @@ cargo test -q -p gables-cli --test fault_injection
 echo "==> carm loopback (envelope -> flight record -> prom reconciliation)"
 cargo test -q -p gables-cli --test carm_loopback
 
+echo "==> event-loop suite (pipelining, 10k idle soak, slow writers, batch/replica matrix)"
+cargo test -q -p gables-cli --test event_loop
+
+echo "==> replica router smoke (gables serve --replicas 2 boots, announces, shuts down)"
+# Immediate stdin EOF trips the supervised-mode watchdog, so the router
+# must announce its address and then exit cleanly on its own.
+announce="$(printf '' | timeout 60 cargo run -q -p gables-cli --bin gables -- \
+    serve 127.0.0.1:0 --replicas 2 --announce | head -n1)"
+case "$announce" in
+  "LISTENING "*) ;;
+  *)
+    echo "replica smoke failed: expected a LISTENING announcement, got '$announce'" >&2
+    exit 1
+    ;;
+esac
+
 if [ "$QUICK" -eq 0 ]; then
   echo "==> release-mode suites (debug_assert! compiled out)"
   cargo test --release -q -p gables-cli --test obs_loopback
