@@ -148,26 +148,50 @@ fn bench_eval(dir: &str, scale: usize, calibration: f64) {
     let scope = AllocScope::begin();
     std::hint::black_box(eval_command(FIGURE_6B_SPEC).expect("eval"));
     let alloc = scope.delta();
+
+    // Gated rung: the steady-state *model* evaluate (spec parsed once,
+    // outside the scope) must do zero heap allocations per call. The
+    // gate holds this at exactly zero, so any future allocation on the
+    // hot path fails the trajectory instead of creeping in.
+    let spec = gables_cli::spec::Spec::parse(FIGURE_6B_SPEC).expect("spec");
+    let soc = spec.soc().expect("soc");
+    let workload = spec.workload().expect("workload");
+    for _ in 0..8 {
+        std::hint::black_box(gables_model::evaluate(&soc, &workload).expect("evaluate"));
+    }
+    let steady_reps = 256u64;
+    let steady = AllocScope::begin();
+    for _ in 0..steady_reps {
+        std::hint::black_box(gables_model::evaluate(&soc, &workload).expect("evaluate"));
+    }
+    let eval_allocs = steady.delta().allocs as f64 / steady_reps as f64;
+
     let path = write_artifact(
         dir,
         "eval",
         scale,
         calibration,
-        vec![("eval_ns".into(), Json::num(ns))],
+        vec![
+            ("eval_ns".into(), Json::num(ns)),
+            ("eval_allocs".into(), Json::num(eval_allocs)),
+        ],
         vec![
             ("reps".into(), Json::num(reps as f64)),
             ("allocs_per_eval".into(), Json::num(alloc.allocs as f64)),
             ("alloc_bytes_per_eval".into(), Json::num(alloc.bytes as f64)),
         ],
     );
-    println!("eval      {:>12.0} ns/eval          wrote {path}", ns);
+    println!(
+        "eval      {:>12.0} ns/eval ({eval_allocs} allocs steady-state)  wrote {path}",
+        ns
+    );
 }
 
 /// `sweep` bench: an ERT-style intensity sweep, serial policy so the
 /// gated number is independent of the machine's core count.
 fn bench_sweep(dir: &str, scale: usize, calibration: f64) {
     let steps = 16 * scale;
-    let run = || {
+    let run_steps = |steps: usize| {
         std::hint::black_box(
             sweep_command_with(
                 FIGURE_6B_SPEC,
@@ -180,16 +204,33 @@ fn bench_sweep(dir: &str, scale: usize, calibration: f64) {
             .expect("sweep"),
         );
     };
+    let run = || run_steps(steps);
     let ns = time_median_ns(7, 20, run);
     let scope = AllocScope::begin();
     run();
     let alloc = scope.delta();
+
+    // Gated rung: the marginal allocation cost of one extra sweep
+    // point, from two sweeps that differ only in step count — the fixed
+    // setup (result storage, parsed spec) cancels out. Held at exactly
+    // zero by the gate.
+    let base = AllocScope::begin();
+    run_steps(steps);
+    let small = base.delta();
+    run_steps(steps * 2);
+    let large = base.delta().since(small);
+    let sweep_point_allocs = (large.allocs.saturating_sub(small.allocs)) as f64 / steps as f64;
+
     let path = write_artifact(
         dir,
         "sweep",
         scale,
         calibration,
-        vec![("sweep_serial_ns".into(), Json::num(ns))],
+        vec![
+            ("sweep_serial_ns".into(), Json::num(ns)),
+            ("sweep_point_ns".into(), Json::num(ns / (steps + 1) as f64)),
+            ("sweep_point_allocs".into(), Json::num(sweep_point_allocs)),
+        ],
         vec![
             ("steps".into(), Json::num(steps as f64)),
             (
@@ -199,7 +240,7 @@ fn bench_sweep(dir: &str, scale: usize, calibration: f64) {
         ],
     );
     println!(
-        "sweep     {:>12.0} ns/sweep ({} pts)  wrote {path}",
+        "sweep     {:>12.0} ns/sweep ({} pts, {sweep_point_allocs} allocs/extra pt)  wrote {path}",
         ns,
         steps + 1
     );

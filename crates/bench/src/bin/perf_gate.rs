@@ -6,6 +6,10 @@
 //! delta%`) and exits non-zero if any metric regressed by more than
 //! [`REGRESSION_RATIO`] *and* more than [`ABSOLUTE_SLACK_NS`] — the
 //! absolute floor keeps sub-microsecond jitter from failing the gate.
+//! Metrics named `*_allocs` are allocation counts, not times: they are
+//! judged with zero tolerance (no calibration scaling, no slack — any
+//! increase over the baseline fails), because allocation counts are
+//! deterministic where timings are noisy.
 //! `--update` copies the candidate artifacts over the baselines instead
 //! of judging them (re-baselining after an accepted perf change).
 //!
@@ -114,8 +118,26 @@ fn run() -> Result<bool, String> {
     );
     let mut failed = Vec::new();
     for bench in BENCHES {
-        let base = load(&format!("{baseline_dir}/BENCH_{bench}.json"))?;
-        let cand = load(&format!("{candidate_dir}/BENCH_{bench}.json"))?;
+        let base_path = format!("{baseline_dir}/BENCH_{bench}.json");
+        if !std::path::Path::new(&base_path).exists() {
+            return Err(format!(
+                "missing baseline {base_path} — BENCH_{bench} has no committed \
+                 baseline. Re-baseline with `scripts/perf_gate.sh --update` \
+                 (runs the trajectory bench and installs every candidate \
+                 artifact as the new baseline)."
+            ));
+        }
+        let cand_path = format!("{candidate_dir}/BENCH_{bench}.json");
+        if !std::path::Path::new(&cand_path).exists() {
+            return Err(format!(
+                "missing candidate {cand_path} — no fresh BENCH_{bench} run \
+                 found. Produce one with `cargo bench -q -p gables-bench \
+                 --bench trajectory` (scripts/perf_gate.sh does this before \
+                 judging)."
+            ));
+        }
+        let base = load(&base_path)?;
+        let cand = load(&cand_path)?;
         if base.scale != cand.scale {
             return Err(format!(
                 "BENCH_{bench}.json scale mismatch: baseline ran at \
@@ -141,16 +163,31 @@ fn run() -> Result<bool, String> {
                 .find(|(k, _)| k == name)
                 .map(|(_, v)| *v)
                 .ok_or_else(|| format!("BENCH_{bench}.json candidate lost metric {name}"))?;
-            let adj_ns = base_ns * speed_ratio;
-            let delta_pct = (cur_ns - adj_ns) / adj_ns * 100.0;
-            let regressed =
-                cur_ns > adj_ns * REGRESSION_RATIO && cur_ns - adj_ns > ABSOLUTE_SLACK_NS;
+            // Allocation rungs are exact counts: no machine-speed
+            // normalization, no ratio, no slack — any increase fails.
+            let exact = name.ends_with("_allocs");
+            let adj_ns = if exact {
+                *base_ns
+            } else {
+                base_ns * speed_ratio
+            };
+            let delta_pct = if adj_ns > 0.0 {
+                (cur_ns - adj_ns) / adj_ns * 100.0
+            } else {
+                0.0
+            };
+            let regressed = if exact {
+                cur_ns > adj_ns
+            } else {
+                cur_ns > adj_ns * REGRESSION_RATIO && cur_ns - adj_ns > ABSOLUTE_SLACK_NS
+            };
             println!(
-                "{:<28} {:>14.0} {:>14.0} {:>+8.1}%{}",
+                "{:<28} {:>14.3} {:>14.3} {:>+8.1}%{}{}",
                 format!("{bench}.{name}"),
                 adj_ns,
                 cur_ns,
                 delta_pct,
+                if exact { "  (exact)" } else { "" },
                 if regressed { "  REGRESSED" } else { "" }
             );
             if regressed {

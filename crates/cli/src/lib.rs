@@ -27,6 +27,7 @@ pub mod spec;
 use std::fmt::Write as _;
 
 use gables_model::analysis::{bpeak_sweep_with, sufficient_bpeak};
+use gables_model::decfmt;
 use gables_model::par::{self, Parallelism};
 use gables_model::viz::gables_plot_data;
 use gables_model::{evaluate, Workload};
@@ -341,17 +342,18 @@ pub fn eval_command(text: &str) -> Result<String, SpecError> {
     let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
-    let mut out = String::new();
+    // Roomy enough for the SoC header, per-IP lines, the evaluation
+    // breakdown, and the Bpeak line without growth reallocations.
+    let mut out = String::with_capacity(512 + 96 * soc.ip_count());
     let _ = writeln!(out, "{soc}");
     let eval = evaluate(&soc, &workload)?;
     let _ = write!(out, "{eval}");
     let needed = sufficient_bpeak(&soc, &workload)?;
-    let _ = writeln!(
-        out,
-        "sufficient Bpeak for this usecase: {:.2} GB/s (installed {:.2})",
-        needed.to_gbps(),
-        soc.bpeak().to_gbps()
-    );
+    out.push_str("sufficient Bpeak for this usecase: ");
+    decfmt::push_fixed(&mut out, needed.to_gbps(), 2);
+    out.push_str(" GB/s (installed ");
+    decfmt::push_fixed(&mut out, soc.bpeak().to_gbps(), 2);
+    out.push_str(")\n");
     if let Some(sram) = spec.sram()? {
         let with = sram.evaluate(&soc, &workload)?;
         let _ = writeln!(
@@ -391,7 +393,8 @@ pub fn sweep_command_with(
     let spec = Spec::parse(text)?;
     let soc = spec.soc()?;
     let workload = spec.workload()?;
-    let mut out = String::new();
+    // One header plus ~32 bytes per table row.
+    let mut out = String::with_capacity(64 + 36 * (steps + 1));
     match param {
         "f" => {
             if soc.ip_count() != 2 {
@@ -404,32 +407,33 @@ pub fn sweep_command_with(
             }
             let i0 = workload.assignment(0)?.intensity().value();
             let i1 = workload.assignment(1)?.intensity().value();
+            // The table needs only the attainment and the bottleneck, so
+            // the workers return those (a few words per point) instead of
+            // copying whole `Evaluation` breakdowns into the result vec.
             let points = par::try_map(parallelism, steps + 1, |k| {
                 let f = from + (to - from) * k as f64 / steps as f64;
                 let w = Workload::two_ip(f, i0, i1)?;
-                Ok::<_, SpecError>((f, evaluate(&soc, &w)?))
+                let eval = evaluate(&soc, &w)?;
+                Ok::<_, SpecError>((f, eval.attainable().to_gops(), eval.bottleneck()))
             })?;
-            let _ = writeln!(out, "f        Pattainable  bottleneck");
-            for (f, eval) in points {
-                let _ = writeln!(
-                    out,
-                    "{f:<8.4} {:>10.4}  {}",
-                    eval.attainable().to_gops(),
-                    eval.bottleneck()
-                );
+            out.push_str("f        Pattainable  bottleneck\n");
+            for (f, gops, bottleneck) in points {
+                decfmt::push_fixed_left(&mut out, f, 4, 8);
+                out.push(' ');
+                decfmt::push_fixed_right(&mut out, gops, 4, 10);
+                out.push_str("  ");
+                let _ = writeln!(out, "{bottleneck}");
             }
         }
         "bpeak" => {
             let points = bpeak_sweep_with(&soc, &workload, from, to, steps, parallelism)?;
-            let _ = writeln!(out, "Bpeak(GB/s)  Pattainable  bottleneck");
+            out.push_str("Bpeak(GB/s)  Pattainable  bottleneck\n");
             for p in points {
-                let _ = writeln!(
-                    out,
-                    "{:<12.3} {:>10.4}  {}",
-                    p.bpeak_gbps,
-                    p.evaluation.attainable().to_gops(),
-                    p.evaluation.bottleneck()
-                );
+                decfmt::push_fixed_left(&mut out, p.bpeak_gbps, 3, 12);
+                out.push(' ');
+                decfmt::push_fixed_right(&mut out, p.evaluation.attainable().to_gops(), 4, 10);
+                out.push_str("  ");
+                let _ = writeln!(out, "{}", p.evaluation.bottleneck());
             }
         }
         "intensity" => {
@@ -448,16 +452,16 @@ pub fn sweep_command_with(
                         w = w.with_intensity(idx, i)?;
                     }
                 }
-                Ok::<_, SpecError>((i, evaluate(&soc, &w)?))
+                let eval = evaluate(&soc, &w)?;
+                Ok::<_, SpecError>((i, eval.attainable().to_gops(), eval.bottleneck()))
             })?;
-            let _ = writeln!(out, "I(ops/B)  Pattainable  bottleneck");
-            for (i, eval) in points {
-                let _ = writeln!(
-                    out,
-                    "{i:<9.4} {:>10.4}  {}",
-                    eval.attainable().to_gops(),
-                    eval.bottleneck()
-                );
+            out.push_str("I(ops/B)  Pattainable  bottleneck\n");
+            for (i, gops, bottleneck) in points {
+                decfmt::push_fixed_left(&mut out, i, 4, 9);
+                out.push(' ');
+                decfmt::push_fixed_right(&mut out, gops, 4, 10);
+                out.push_str("  ");
+                let _ = writeln!(out, "{bottleneck}");
             }
         }
         other => {

@@ -26,7 +26,6 @@
 //! miss_ratios = 1.0, 0.1
 //! ```
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use gables_model::ext::sram::MemorySideSram;
@@ -101,33 +100,93 @@ impl From<GablesError> for SpecError {
     }
 }
 
-/// A section body: key -> (line number, raw value).
-type SectionBody = BTreeMap<String, (usize, String)>;
+/// A byte range into [`SpecFile::canonical`]. Keys, values, and section
+/// names are stored as spans instead of owned strings: the canonical
+/// text already contains every trimmed key and comma-collapsed value,
+/// so the parser's only allocations are the canonical buffer itself and
+/// the section vectors — not two heap strings per key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Span {
+    start: u32,
+    len: u32,
+}
+
+impl Span {
+    fn new(start: usize, len: usize) -> Self {
+        Span {
+            start: start as u32,
+            len: len as u32,
+        }
+    }
+
+    fn resolve<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+/// A section body: key -> (line number, value), kept in file order, with
+/// both key and value as spans into the canonical text.
+///
+/// Sections hold a handful of keys, so a linear-scan `Vec` beats a tree
+/// map on the parse hot path: one allocation per section instead of one
+/// per node, and lookups walk a single contiguous buffer.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct SectionBody(Vec<(Span, (usize, Span))>);
+
+impl SectionBody {
+    /// Resolves `key` against the canonical `text` this body indexes.
+    fn get<'a>(&self, text: &'a str, key: &str) -> Option<(usize, &'a str)> {
+        self.0
+            .iter()
+            .find(|(k, _)| k.resolve(text) == key)
+            .map(|(_, (line, v))| (*line, v.resolve(text)))
+    }
+
+    fn contains_key(&self, text: &str, key: &str) -> bool {
+        self.get(text, key).is_some()
+    }
+
+    /// Appends a key; `false` (without inserting) if it already exists.
+    fn insert_new(&mut self, text: &str, key: Span, value: (usize, Span)) -> bool {
+        if self.contains_key(text, key.resolve(text)) {
+            return false;
+        }
+        self.0.push((key, value));
+        true
+    }
+}
 
 /// A parsed (but not yet validated) spec file.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpecFile {
-    /// Sections in file order: `(section name, body)`.
-    sections: Vec<(String, SectionBody)>,
-    /// The canonicalized source text (see [`canonicalize`]), computed
-    /// once at parse time so cache keys never re-normalize.
+    /// Sections in file order: `(section name span, body)`.
+    sections: Vec<(Span, SectionBody)>,
+    /// The canonicalized source text (see [`canonicalize`]), built in
+    /// the same pass that parses, so cache keys never re-normalize and
+    /// every key/value span resolves against it.
     canonical: String,
 }
 
 impl SpecFile {
-    /// Parses the INI-style text.
+    /// Parses the INI-style text, building the canonical text (exactly
+    /// what [`canonicalize`] produces) in the same pass.
     ///
     /// # Errors
     ///
     /// Returns [`SpecError`] with a line number for malformed lines.
     pub fn parse(text: &str) -> Result<Self, SpecError> {
-        let mut sections: Vec<(String, SectionBody)> = Vec::new();
+        if text.len() > u32::MAX as usize {
+            return Err(SpecError::general("spec text too large"));
+        }
+        let mut sections: Vec<(Span, SectionBody)> = Vec::new();
+        let mut canonical = String::with_capacity(text.len());
         for (idx, raw) in text.lines().enumerate() {
             let n = idx + 1;
             let line = strip_comment(raw).trim();
             if line.is_empty() {
                 continue;
             }
+            let line_start = canonical.len();
             if let Some(rest) = line.strip_prefix('[') {
                 let Some(name) = rest.strip_suffix(']') else {
                     return Err(SpecError::at(n, "unterminated section header"));
@@ -136,7 +195,13 @@ impl SpecFile {
                 if name.is_empty() {
                     return Err(SpecError::at(n, "empty section name"));
                 }
-                sections.push((name.to_string(), BTreeMap::new()));
+                // canonicalize() keeps header lines verbatim; the span
+                // points at the trimmed name inside the brackets.
+                canonical.push_str(line);
+                canonical.push('\n');
+                let offset = name.as_ptr() as usize - line.as_ptr() as usize;
+                let span = Span::new(line_start + offset, name.len());
+                sections.push((span, SectionBody::default()));
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -148,17 +213,28 @@ impl SpecFile {
             let Some((_, body)) = sections.last_mut() else {
                 return Err(SpecError::at(n, "key before any [section]"));
             };
-            let key = key.trim().to_string();
-            if body
-                .insert(key.clone(), (n, value.trim().to_string()))
-                .is_some()
-            {
+            let key = key.trim();
+            // canonicalize() writes `key=` then the comma-collapsed
+            // value; the spans index straight into those bytes.
+            canonical.push_str(key);
+            let key_span = Span::new(line_start, key.len());
+            canonical.push('=');
+            let value_start = canonical.len();
+            for (i, piece) in value.split(',').enumerate() {
+                if i > 0 {
+                    canonical.push(',');
+                }
+                canonical.push_str(piece.trim());
+            }
+            let value_span = Span::new(value_start, canonical.len() - value_start);
+            canonical.push('\n');
+            if !body.insert_new(&canonical, key_span, (n, value_span)) {
                 return Err(SpecError::at(n, format!("duplicate key {key:?}")));
             }
         }
         Ok(Self {
             sections,
-            canonical: canonicalize(text),
+            canonical,
         })
     }
 
@@ -171,16 +247,19 @@ impl SpecFile {
     fn section(&self, name: &str) -> Option<&SectionBody> {
         self.sections
             .iter()
-            .find(|(s, _)| s == name)
+            .find(|(s, _)| s.resolve(&self.canonical) == name)
             .map(|(_, body)| body)
     }
 
-    /// IP sections in file order: `(ip name, body)`.
-    fn ip_sections(&self) -> Vec<(&str, &SectionBody)> {
-        self.sections
-            .iter()
-            .filter_map(|(s, body)| s.strip_prefix("ip.").map(|name| (name.trim(), body)))
-            .collect()
+    /// IP sections in file order: `(ip name, body)`. An iterator, not a
+    /// collected `Vec` — callers count or walk it, and the hot eval path
+    /// calls this three times per request.
+    fn ip_sections(&self) -> impl Iterator<Item = (&str, &SectionBody)> {
+        self.sections.iter().filter_map(|(s, body)| {
+            s.resolve(&self.canonical)
+                .strip_prefix("ip.")
+                .map(|name| (name.trim(), body))
+        })
     }
 
     /// Looks up and parses one numeric value, returning its source line
@@ -188,59 +267,66 @@ impl SpecFile {
     /// overflow literals like `1e400` — all of which `f64::from_str`
     /// accepts) are rejected here, at the input boundary, in every build
     /// profile, so garbage can never reach the model or the cache key.
-    fn raw_number(body: &SectionBody, key: &str, section: &str) -> Result<(usize, f64), SpecError> {
+    fn raw_number(
+        &self,
+        body: &SectionBody,
+        key: &str,
+        section: &str,
+    ) -> Result<(usize, f64), SpecError> {
         let (line, value) = body
-            .get(key)
+            .get(&self.canonical, key)
             .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
         let parsed = value.parse::<f64>().map_err(|_| {
             SpecError::at(
-                *line,
+                line,
                 format!("[{section}] {key} is not a number: {value:?}"),
             )
         })?;
         if !parsed.is_finite() {
             return Err(SpecError::at(
-                *line,
+                line,
                 format!("[{section}] {key} must be finite, got {value:?}"),
             )
             .with_kind(ErrorKind::InvalidParameter));
         }
-        Ok((*line, parsed))
+        Ok((line, parsed))
     }
 
-    fn number(body: &SectionBody, key: &str, section: &str) -> Result<f64, SpecError> {
-        Self::raw_number(body, key, section).map(|(_, v)| v)
+    fn number(&self, body: &SectionBody, key: &str, section: &str) -> Result<f64, SpecError> {
+        self.raw_number(body, key, section).map(|(_, v)| v)
     }
 
     /// Like [`Self::raw_number`] for non-negative integer keys (cache
     /// geometry counts), rejecting fractions, signs, and junk outright
     /// via `u64::from_str`.
     fn raw_integer(
+        &self,
         body: &SectionBody,
         key: &str,
         section: &str,
     ) -> Result<(usize, u64), SpecError> {
         let (line, value) = body
-            .get(key)
+            .get(&self.canonical, key)
             .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
         let parsed = value.parse::<u64>().map_err(|_| {
             SpecError::at(
-                *line,
+                line,
                 format!("[{section}] {key} is not a non-negative integer: {value:?}"),
             )
         })?;
-        Ok((*line, parsed))
+        Ok((line, parsed))
     }
 
     /// Like [`Self::raw_number`] for a comma-separated list, rejecting
     /// non-finite entries with the entry index in the message.
     fn raw_number_list(
+        &self,
         body: &SectionBody,
         key: &str,
         section: &str,
     ) -> Result<(usize, Vec<f64>), SpecError> {
         let (line, value) = body
-            .get(key)
+            .get(&self.canonical, key)
             .ok_or_else(|| SpecError::general(format!("[{section}] missing key {key:?}")))?;
         let values = value
             .split(',')
@@ -248,7 +334,7 @@ impl SpecFile {
             .map(|(idx, v)| {
                 let parsed = v.trim().parse::<f64>().map_err(|_| {
                     SpecError::at(
-                        *line,
+                        line,
                         format!(
                             "[{section}] {key} entry {idx} is not a number: {:?}",
                             v.trim()
@@ -257,7 +343,7 @@ impl SpecFile {
                 })?;
                 if !parsed.is_finite() {
                     return Err(SpecError::at(
-                        *line,
+                        line,
                         format!(
                             "[{section}] {key} entry {idx} must be finite, got {:?}",
                             v.trim()
@@ -268,11 +354,16 @@ impl SpecFile {
                 Ok(parsed)
             })
             .collect::<Result<Vec<f64>, SpecError>>()?;
-        Ok((*line, values))
+        Ok((line, values))
     }
 
-    fn number_list(body: &SectionBody, key: &str, section: &str) -> Result<Vec<f64>, SpecError> {
-        Self::raw_number_list(body, key, section).map(|(_, v)| v)
+    fn number_list(
+        &self,
+        body: &SectionBody,
+        key: &str,
+        section: &str,
+    ) -> Result<Vec<f64>, SpecError> {
+        self.raw_number_list(body, key, section).map(|(_, v)| v)
     }
 
     /// Builds the SoC specification.
@@ -285,30 +376,28 @@ impl SpecFile {
         let soc = self
             .section("soc")
             .ok_or_else(|| SpecError::general("missing [soc] section"))?;
-        let (ppeak_line, ppeak) = Self::raw_number(soc, "ppeak_gops", "soc")?;
+        let (ppeak_line, ppeak) = self.raw_number(soc, "ppeak_gops", "soc")?;
         let ppeak = OpsPerSec::try_from_gops(ppeak).map_err(|e| {
             SpecError::at(ppeak_line, format!("[soc] ppeak_gops: {e}")).with_kind(e.kind())
         })?;
-        let (bpeak_line, bpeak) = Self::raw_number(soc, "bpeak_gbps", "soc")?;
+        let (bpeak_line, bpeak) = self.raw_number(soc, "bpeak_gbps", "soc")?;
         let bpeak = BytesPerSec::try_from_gbps(bpeak).map_err(|e| {
             SpecError::at(bpeak_line, format!("[soc] bpeak_gbps: {e}")).with_kind(e.kind())
         })?;
-        let ips = self.ip_sections();
-        if ips.is_empty() {
-            return Err(SpecError::general("no [ip.<name>] sections"));
-        }
         let mut b = SocSpec::builder();
         b.ppeak(ppeak).bpeak(bpeak);
-        for (i, (name, body)) in ips.iter().enumerate() {
+        let mut ip_count = 0usize;
+        for (i, (name, body)) in self.ip_sections().enumerate() {
+            ip_count += 1;
             let section = format!("ip.{name}");
-            let (bw_line, bw) = Self::raw_number(body, "bandwidth_gbps", &section)?;
+            let (bw_line, bw) = self.raw_number(body, "bandwidth_gbps", &section)?;
             let bw = BytesPerSec::try_from_gbps(bw).map_err(|e| {
                 SpecError::at(bw_line, format!("[{section}] bandwidth_gbps: {e}"))
                     .with_kind(e.kind())
             })?;
             if i == 0 {
-                if body.contains_key("acceleration") {
-                    let (a_line, a) = Self::raw_number(body, "acceleration", &section)?;
+                if body.contains_key(&self.canonical, "acceleration") {
+                    let (a_line, a) = self.raw_number(body, "acceleration", &section)?;
                     if (a - 1.0).abs() > 1e-12 {
                         return Err(SpecError::at(
                             a_line,
@@ -318,14 +407,17 @@ impl SpecFile {
                         ));
                     }
                 }
-                b.cpu(*name, bw);
+                b.cpu(name, bw);
             } else {
-                let (a_line, a) = Self::raw_number(body, "acceleration", &section)?;
-                b.accelerator(*name, a, bw).map_err(|e| {
+                let (a_line, a) = self.raw_number(body, "acceleration", &section)?;
+                b.accelerator(name, a, bw).map_err(|e| {
                     SpecError::at(a_line, format!("[{section}] acceleration: {e}"))
                         .with_kind(e.kind())
                 })?;
             }
+        }
+        if ip_count == 0 {
+            return Err(SpecError::general("no [ip.<name>] sections"));
         }
         Ok(b.build()?)
     }
@@ -340,9 +432,9 @@ impl SpecFile {
         let w = self
             .section("workload")
             .ok_or_else(|| SpecError::general("missing [workload] section"))?;
-        let (f_line, fractions) = Self::raw_number_list(w, "fractions", "workload")?;
-        let (i_line, intensities) = Self::raw_number_list(w, "intensities", "workload")?;
-        let n = self.ip_sections().len();
+        let (f_line, fractions) = self.raw_number_list(w, "fractions", "workload")?;
+        let (i_line, intensities) = self.raw_number_list(w, "intensities", "workload")?;
+        let n = self.ip_sections().count();
         if fractions.len() != n || intensities.len() != n {
             return Err(SpecError::general(format!(
                 "workload lists must have one entry per IP ({n}); got {} fractions, {} intensities",
@@ -379,8 +471,8 @@ impl SpecFile {
         let Some(body) = self.section("sram") else {
             return Ok(None);
         };
-        let (line, ratios) = Self::raw_number_list(body, "miss_ratios", "sram")?;
-        if ratios.len() != self.ip_sections().len() {
+        let (line, ratios) = self.raw_number_list(body, "miss_ratios", "sram")?;
+        if ratios.len() != self.ip_sections().count() {
             return Err(SpecError::general(
                 "sram miss_ratios must have one entry per IP",
             ));
@@ -431,7 +523,11 @@ impl SpecFile {
         let level_sections: Vec<(&str, &SectionBody)> = self
             .sections
             .iter()
-            .filter_map(|(s, body)| s.strip_prefix("cache.").map(|name| (name.trim(), body)))
+            .filter_map(|(s, body)| {
+                s.resolve(&self.canonical)
+                    .strip_prefix("cache.")
+                    .map(|name| (name.trim(), body))
+            })
             .collect();
         if level_sections.is_empty() {
             return Ok(None);
@@ -441,8 +537,9 @@ impl SpecFile {
         let mut prev: Option<(String, u64)> = None;
         for (name, body) in level_sections {
             let section = format!("cache.{name}");
-            let (cap_line, cap_kib) =
-                Self::raw_integer(body, "capacity_kib", &section).map_err(|e| e.with_kind(kind))?;
+            let (cap_line, cap_kib) = self
+                .raw_integer(body, "capacity_kib", &section)
+                .map_err(|e| e.with_kind(kind))?;
             if cap_kib == 0 {
                 return Err(SpecError::at(
                     cap_line,
@@ -452,8 +549,9 @@ impl SpecFile {
             }
             let capacity_bytes = cap_kib * 1024;
             let opt_int = |key: &str, default: u64| -> Result<(usize, u64), SpecError> {
-                if body.contains_key(key) {
-                    Self::raw_integer(body, key, &section).map_err(|e| e.with_kind(kind))
+                if body.contains_key(&self.canonical, key) {
+                    self.raw_integer(body, key, &section)
+                        .map_err(|e| e.with_kind(kind))
                 } else {
                     // Defaults are always valid; violations therefore
                     // always have a real line. Fall back to the capacity
@@ -485,8 +583,9 @@ impl SpecFile {
                 )
                 .with_kind(kind));
             }
-            let (lat_line, latency_ns) =
-                Self::raw_number(body, "latency_ns", &section).map_err(|e| e.with_kind(kind))?;
+            let (lat_line, latency_ns) = self
+                .raw_number(body, "latency_ns", &section)
+                .map_err(|e| e.with_kind(kind))?;
             if latency_ns <= 0.0 {
                 return Err(SpecError::at(
                     lat_line,
@@ -494,11 +593,11 @@ impl SpecFile {
                 )
                 .with_kind(kind));
             }
-            let policy = match body.get("policy") {
+            let policy = match body.get(&self.canonical, "policy") {
                 None => ReplacementPolicy::Lru,
                 Some((line, value)) => ReplacementPolicy::parse(value).ok_or_else(|| {
                     SpecError::at(
-                        *line,
+                        line,
                         format!(
                             "[{section}] policy {value:?} must be one of lru, mru, \
                              way_prediction"
@@ -551,8 +650,9 @@ impl SpecFile {
             });
         }
         let dram_latency_ns = match self.section("cache") {
-            Some(body) if body.contains_key("dram_latency_ns") => {
-                let (line, v) = Self::raw_number(body, "dram_latency_ns", "cache")
+            Some(body) if body.contains_key(&self.canonical, "dram_latency_ns") => {
+                let (line, v) = self
+                    .raw_number(body, "dram_latency_ns", "cache")
                     .map_err(|e| e.with_kind(kind))?;
                 if v <= 0.0 {
                     return Err(SpecError::at(
@@ -616,13 +716,13 @@ impl SpecFile {
         let grid = CandidateGrid {
             ppeak_gops: soc.ppeak().to_gops(),
             b0_gbps: soc.ip(0)?.bandwidth().to_gbps(),
-            accelerations: Self::number_list(body, "accelerations", "explore")?,
-            b1_gbps: Self::number_list(body, "b1_gbps", "explore")?,
-            bpeak_gbps: Self::number_list(body, "bpeak_gbps", "explore")?,
+            accelerations: self.number_list(body, "accelerations", "explore")?,
+            b1_gbps: self.number_list(body, "b1_gbps", "explore")?,
+            bpeak_gbps: self.number_list(body, "bpeak_gbps", "explore")?,
         };
         let opt = |key: &str, default: f64| -> Result<f64, SpecError> {
-            if body.contains_key(key) {
-                Self::number(body, key, "explore")
+            if body.contains_key(&self.canonical, key) {
+                self.number(body, key, "explore")
             } else {
                 Ok(default)
             }
@@ -639,8 +739,7 @@ impl SpecFile {
     /// The IP names in model order.
     pub fn ip_names(&self) -> Vec<String> {
         self.ip_sections()
-            .iter()
-            .map(|(name, _)| (*name).to_string())
+            .map(|(name, _)| name.to_string())
             .collect()
     }
 }
@@ -805,13 +904,14 @@ pub fn canonicalize(text: &str) -> String {
         if let Some((key, value)) = line.split_once('=') {
             out.push_str(key.trim());
             out.push('=');
-            // Collapse spacing inside list values ("8, 0.1" == "8,0.1").
-            let value: String = value
-                .split(',')
-                .map(str::trim)
-                .collect::<Vec<_>>()
-                .join(",");
-            out.push_str(&value);
+            // Collapse spacing inside list values ("8, 0.1" == "8,0.1"),
+            // writing the pieces straight into the output buffer.
+            for (idx, piece) in value.split(',').enumerate() {
+                if idx > 0 {
+                    out.push(',');
+                }
+                out.push_str(piece.trim());
+            }
         } else {
             out.push_str(line);
         }

@@ -5,10 +5,10 @@
 //! reusable sweeps, balance solvers, and sensitivity analyses.
 
 use crate::error::GablesError;
-use crate::model::{evaluate, Evaluation};
+use crate::model::{evaluate, evaluate_with_bpeak, EvalScratch, Evaluation};
 use crate::par::{self, Parallelism};
 use crate::soc::SocSpec;
-use crate::units::{BytesPerSec, OpsPerSec};
+use crate::units::{BytesPerSec, OpsPerByte, OpsPerSec, WorkFraction};
 use crate::workload::Workload;
 
 /// One point of an offload sweep: the fraction `f` of work moved to the
@@ -81,12 +81,18 @@ pub fn offload_sweep_with(
             len: soc.ip_count(),
         });
     }
-    let baseline = evaluate(soc, &pad_two_ip(soc, 0.0, i0, i1)?)?
-        .attainable()
-        .value();
+    // The f = 0 workload doubles as the scratch template: every sweep
+    // point only rewrites the two leading assignments in place, so the
+    // per-point work is allocation-free (the scratch is a stack copy).
+    let template = pad_two_ip(soc, 0.0, i0, i1)?;
+    let baseline = evaluate(soc, &template)?.attainable().value();
+    let i0 = OpsPerByte::try_new(i0)?;
+    let i1 = OpsPerByte::try_new(i1)?;
     par::try_map(parallelism, steps + 1, |step| {
         let f = step as f64 / steps as f64;
-        let evaluation = evaluate(soc, &pad_two_ip(soc, f, i0, i1)?)?;
+        let mut scratch = EvalScratch::new(&template);
+        scratch.set_two_ip(WorkFraction::new(f)?, i0, i1)?;
+        let evaluation = evaluate(soc, scratch.workload())?;
         let normalized = evaluation.attainable().value() / baseline;
         Ok(OffloadPoint {
             f,
@@ -165,10 +171,11 @@ pub fn bpeak_sweep_with(
     par::try_map(parallelism, steps + 1, |step| {
         let t = step as f64 / steps as f64;
         let gbps = lo_gbps * (ratio * t).exp();
-        let edited = soc.with_bpeak(BytesPerSec::from_gbps(gbps))?;
+        // Overrides Bpeak without cloning the SoC: bit-identical to
+        // evaluating `soc.with_bpeak(..)` but allocation-free per point.
         Ok(BpeakPoint {
             bpeak_gbps: gbps,
-            evaluation: evaluate(&edited, workload)?,
+            evaluation: evaluate_with_bpeak(soc, workload, BytesPerSec::from_gbps(gbps))?,
         })
     })
 }

@@ -1,0 +1,268 @@
+//! Exact fixed-precision decimal formatting for display hot paths.
+//!
+//! `format!("{x:.3}")` routes every float through the full `core::fmt`
+//! machinery (Dragon4 digit generation plus `Formatter` padding), which
+//! costs a couple hundred nanoseconds per value and dominates the
+//! `Display` side of `gables eval` and the per-point cost of
+//! `gables sweep`. This module produces the *same bytes* with 128-bit
+//! integer arithmetic instead.
+//!
+//! Correctness argument: a finite `f64` is exactly `m * 2^e` for integers
+//! `m < 2^53` and `e`, so `|x| * 10^p` is the exact rational
+//! `(m * 10^p) / 2^s` (or the exact integer `m * 10^p * 2^e` when
+//! `e >= 0`). Rounding that rational to the nearest integer with ties to
+//! even is precisely the digit sequence std prints for `{x:.p$}` — std
+//! rounds the exact decimal expansion, not a scaled double — so
+//! comparing quotient remainder against one half reproduces it bit for
+//! bit. Magnitudes too large for the 128-bit fast path (|x| >= 2^41,
+//! where `m * 10^9 << e` could overflow) fall back to std formatting;
+//! every path is differentially tested against std in `fixed_tests`.
+
+use std::fmt;
+
+/// Widest fast-path output: sign + 22 integer digits + '.' + 9 fraction
+/// digits fits well within 48 bytes.
+const BUF: usize = 48;
+
+/// Highest supported fraction-digit count; larger precisions (and
+/// non-finite or huge values) take the std fallback.
+const MAX_PRECISION: usize = 9;
+
+/// A stack-formatted fixed-precision decimal, byte-identical to
+/// `format!("{x:.precision$}")`. `None` means the value needs the std
+/// fallback (non-finite, precision above [`MAX_PRECISION`], or a
+/// magnitude past the 128-bit fast path).
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed {
+    buf: [u8; BUF],
+    start: usize,
+}
+
+impl Fixed {
+    /// Formats `x` with exactly `precision` fraction digits, rounding
+    /// ties to even on the exact value — the same bytes std produces.
+    pub fn format(x: f64, precision: usize) -> Option<Fixed> {
+        if !x.is_finite() || precision > MAX_PRECISION {
+            return None;
+        }
+        let bits = x.to_bits();
+        let neg = (bits >> 63) == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Value magnitude is exactly m * 2^e.
+        let (m, e) = if biased == 0 {
+            (frac, -1074i64)
+        } else {
+            (frac | (1u64 << 52), biased - 1075)
+        };
+        let pow10 = 10u128.pow(precision as u32);
+        let n = u128::from(m) * pow10; // < 2^53 * 10^9 < 2^83
+        let scaled = if e >= 0 {
+            if e > 40 {
+                return None; // could overflow u128; |x| >= 2^41 here
+            }
+            n << e // exact integer, no rounding involved
+        } else {
+            let s = -e as u32;
+            if s >= 128 {
+                // |x| * 10^p < 2^83 / 2^128: far below one half.
+                0
+            } else {
+                let q = n >> s;
+                let rem = n & ((1u128 << s) - 1);
+                let half = 1u128 << (s - 1);
+                q + match rem.cmp(&half) {
+                    std::cmp::Ordering::Less => 0,
+                    std::cmp::Ordering::Greater => 1,
+                    std::cmp::Ordering::Equal => q & 1, // ties to even
+                }
+            }
+        };
+
+        // Render right to left: fraction digits, point, integer digits,
+        // sign (std keeps the sign of -0.0 and of negatives that round
+        // to zero, and so does this).
+        let mut buf = [0u8; BUF];
+        let mut i = BUF;
+        let mut int_part = scaled / pow10;
+        if precision > 0 {
+            let mut f = scaled % pow10;
+            for _ in 0..precision {
+                i -= 1;
+                buf[i] = b'0' + (f % 10) as u8;
+                f /= 10;
+            }
+            i -= 1;
+            buf[i] = b'.';
+        }
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (int_part % 10) as u8;
+            int_part /= 10;
+            if int_part == 0 {
+                break;
+            }
+        }
+        if neg {
+            i -= 1;
+            buf[i] = b'-';
+        }
+        Some(Fixed { buf, start: i })
+    }
+
+    /// The formatted digits.
+    pub fn as_str(&self) -> &str {
+        // The buffer holds only ASCII digits, '.', and '-'.
+        std::str::from_utf8(&self.buf[self.start..]).expect("ascii")
+    }
+}
+
+/// Writes `{x:.precision$}` through a `Formatter` without the float
+/// machinery; falls back to std off the fast path.
+pub fn write_fixed(f: &mut fmt::Formatter<'_>, x: f64, precision: usize) -> fmt::Result {
+    match Fixed::format(x, precision) {
+        Some(d) => f.write_str(d.as_str()),
+        None => write!(f, "{x:.precision$}"),
+    }
+}
+
+/// Appends `{x:.precision$}` to a string.
+pub fn push_fixed(out: &mut String, x: f64, precision: usize) {
+    use fmt::Write as _;
+    match Fixed::format(x, precision) {
+        Some(d) => out.push_str(d.as_str()),
+        None => {
+            let _ = write!(out, "{x:.precision$}");
+        }
+    }
+}
+
+/// Appends `{x:<width$.precision$}` (left-aligned, space-filled).
+pub fn push_fixed_left(out: &mut String, x: f64, precision: usize, width: usize) {
+    use fmt::Write as _;
+    match Fixed::format(x, precision) {
+        Some(d) => {
+            let s = d.as_str();
+            out.push_str(s);
+            for _ in s.len()..width {
+                out.push(' ');
+            }
+        }
+        None => {
+            let _ = write!(out, "{x:<width$.precision$}");
+        }
+    }
+}
+
+/// Appends `{x:>width$.precision$}` (right-aligned, space-filled).
+pub fn push_fixed_right(out: &mut String, x: f64, precision: usize, width: usize) {
+    use fmt::Write as _;
+    match Fixed::format(x, precision) {
+        Some(d) => {
+            let s = d.as_str();
+            for _ in s.len()..width {
+                out.push(' ');
+            }
+            out.push_str(s);
+        }
+        None => {
+            let _ = write!(out, "{x:>width$.precision$}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod fixed_tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn check(x: f64, precision: usize) {
+        let expected = format!("{x:.precision$}");
+        let mut got = String::new();
+        push_fixed(&mut got, x, precision);
+        assert_eq!(got, expected, "x={x:?} ({:#x}) p={precision}", x.to_bits());
+    }
+
+    #[test]
+    fn matches_std_on_edge_values() {
+        for p in 0..=9 {
+            for &x in &[
+                0.0,
+                -0.0,
+                1.0,
+                -1.0,
+                0.5,
+                1.5,
+                2.5,
+                -2.5,
+                0.00005,
+                0.000049999999,
+                0.15,
+                0.25,
+                0.35,
+                1.0 / 3.0,
+                2.0 / 3.0,
+                0.1,
+                0.2,
+                0.3,
+                f64::MIN_POSITIVE,
+                5e-324, // smallest subnormal
+                1e-300,
+                -1e-300,
+                1e15,
+                123_456_789.123_456_78,
+                (1u64 << 40) as f64,
+                (1u64 << 41) as f64, // just past the fast path
+                f64::MAX,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+            ] {
+                check(x, p);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_std_on_random_bit_patterns() {
+        // Raw bit patterns cover subnormals, huge exponents, and both
+        // fallback paths; the deterministic seed keeps failures
+        // reproducible.
+        let mut rng = SplitMix64::new(0x5eed_f0c5);
+        for _ in 0..20_000 {
+            let x = f64::from_bits(rng.next_u64());
+            for p in [0, 2, 3, 4, 9] {
+                check(x, p);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_std_on_model_scale_values() {
+        // The magnitudes the model actually prints: Gops/s and GB/s
+        // values spanning [1e-6, 1e6), where rounding boundaries are
+        // densest relative to the printed precision.
+        let mut rng = SplitMix64::new(0x600d_cafe);
+        for _ in 0..20_000 {
+            let mag = rng.range_f64(-6.0, 6.0);
+            let x = rng.range_f64(-1.0, 1.0) * 10f64.powf(mag);
+            for p in [2, 3, 4] {
+                check(x, p);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_matches_std() {
+        let mut rng = SplitMix64::new(0x0dec_fa07);
+        for _ in 0..5_000 {
+            let x = f64::from_bits(rng.next_u64() >> 2); // bias to finite
+            let mut left = String::new();
+            push_fixed_left(&mut left, x, 4, 8);
+            assert_eq!(left, format!("{x:<8.4}"), "left x={x:?}");
+            let mut right = String::new();
+            push_fixed_right(&mut right, x, 4, 10);
+            assert_eq!(right, format!("{x:>10.4}"), "right x={x:?}");
+        }
+    }
+}

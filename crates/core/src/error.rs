@@ -37,6 +37,21 @@ pub enum GablesError {
         /// Why the value was rejected.
         reason: &'static str,
     },
+    /// A value inside a candidate-grid axis (or another indexed parameter
+    /// list) was outside its valid domain. Like
+    /// [`GablesError::InvalidParameter`] but names the axis and the
+    /// offending index, so a bad grid fails up front with a precise
+    /// message instead of mid-exploration with a per-point one.
+    InvalidAxisParameter {
+        /// The axis / list name (e.g. `"accelerations"`).
+        axis: &'static str,
+        /// The index of the offending value within the axis.
+        index: usize,
+        /// The offending value.
+        value: f64,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
     /// The per-IP work fractions of a workload did not sum to 1.
     WorkFractionSum {
         /// The actual sum of the provided fractions.
@@ -216,9 +231,9 @@ impl GablesError {
     /// The coarse category of this error.
     pub fn kind(&self) -> ErrorKind {
         match self {
-            GablesError::InvalidParameter { .. } | GablesError::InvalidIpParameter { .. } => {
-                ErrorKind::InvalidParameter
-            }
+            GablesError::InvalidParameter { .. }
+            | GablesError::InvalidIpParameter { .. }
+            | GablesError::InvalidAxisParameter { .. } => ErrorKind::InvalidParameter,
             GablesError::WorkFractionSum { .. } => ErrorKind::WorkFractionSum,
             GablesError::IpCountMismatch { .. } => ErrorKind::IpCountMismatch,
             GablesError::IpIndexOutOfBounds { .. } => ErrorKind::IpIndexOutOfBounds,
@@ -249,6 +264,14 @@ impl fmt::Display for GablesError {
                 reason,
             } => {
                 write!(f, "IP[{ip}] has invalid {field} {value}: {reason}")
+            }
+            GablesError::InvalidAxisParameter {
+                axis,
+                index,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid {axis}[{index}] value {value}: {reason}")
             }
             GablesError::WorkFractionSum { sum } => {
                 write!(f, "work fractions must sum to 1, got {sum}")
@@ -297,6 +320,12 @@ mod tests {
         let cases: Vec<GablesError> = vec![
             GablesError::invalid_parameter("work fraction", 2.0, "must be within [0, 1]"),
             GablesError::invalid_ip_parameter(2, "IP bandwidth", -1.0, "must be positive"),
+            GablesError::InvalidAxisParameter {
+                axis: "accelerations",
+                index: 1,
+                value: f64::NAN,
+                reason: "must be finite and > 0",
+            },
             GablesError::WorkFractionSum { sum: 0.5 },
             GablesError::IpCountMismatch {
                 soc_ips: 2,
@@ -374,6 +403,15 @@ mod tests {
             ),
             (
                 GablesError::invalid_ip_parameter(0, "x", 0.0, "r"),
+                ErrorKind::InvalidParameter,
+            ),
+            (
+                GablesError::InvalidAxisParameter {
+                    axis: "b1_gbps",
+                    index: 0,
+                    value: -1.0,
+                    reason: "r",
+                },
                 ErrorKind::InvalidParameter,
             ),
             (

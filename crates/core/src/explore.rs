@@ -10,7 +10,7 @@ use crate::error::GablesError;
 use crate::model::{evaluate, Bottleneck};
 use crate::par::{self, Parallelism};
 use crate::soc::SocSpec;
-use crate::units::{BytesPerSec, OpsPerSec};
+use crate::units::{Acceleration, BytesPerSec, OpsPerSec};
 use crate::workload::Workload;
 
 /// A linear cost model in arbitrary cost units (area, dollars, …).
@@ -90,6 +90,9 @@ impl DesignPoint {
 ///
 /// * [`GablesError::InvalidParameter`] for an empty grid axis or invalid
 ///   fixed parameters.
+/// * [`GablesError::InvalidAxisParameter`] naming the axis and index of
+///   the first NaN/∞/non-positive axis value — the whole grid is
+///   validated up front, before any candidate is evaluated.
 /// * Propagates model errors.
 pub fn explore(
     grid: &CandidateGrid,
@@ -116,13 +119,29 @@ pub fn explore_with(
     usecase: &Workload,
     parallelism: Parallelism,
 ) -> Result<Vec<DesignPoint>, GablesError> {
-    if grid.accelerations.is_empty() || grid.b1_gbps.is_empty() || grid.bpeak_gbps.is_empty() {
-        return Err(GablesError::invalid_parameter(
-            "candidate grid",
-            0.0,
-            "every grid axis needs at least one value",
-        ));
-    }
+    validate_axis("accelerations", &grid.accelerations, |v| {
+        Acceleration::new(v).map(|_| ())
+    })?;
+    validate_axis("b1_gbps", &grid.b1_gbps, |v| {
+        BytesPerSec::try_from_gbps(v).map(|_| ())
+    })?;
+    validate_axis("bpeak_gbps", &grid.bpeak_gbps, |v| {
+        BytesPerSec::try_from_gbps(v).map(|_| ())
+    })?;
+    // The invariant candidate parts (fixed Ppeak/B0, string names, the
+    // CPU-at-index-0 shape) are built and validated exactly once; each
+    // grid point then clones the template and overwrites only its three
+    // varying fields, instead of re-running the full builder per point.
+    let template = SocSpec::builder()
+        .ppeak(OpsPerSec::from_gops(grid.ppeak_gops))
+        .bpeak(BytesPerSec::from_gbps(grid.bpeak_gbps[0]))
+        .cpu("CPU", BytesPerSec::from_gbps(grid.b0_gbps))
+        .accelerator(
+            "ACC",
+            grid.accelerations[0],
+            BytesPerSec::from_gbps(grid.b1_gbps[0]),
+        )?
+        .build()?;
     let nb = grid.b1_gbps.len();
     let np = grid.bpeak_gbps.len();
     let total = grid.accelerations.len() * nb * np;
@@ -130,12 +149,9 @@ pub fn explore_with(
         let a = grid.accelerations[idx / (nb * np)];
         let b1 = grid.b1_gbps[(idx / np) % nb];
         let bpeak = grid.bpeak_gbps[idx % np];
-        let soc = SocSpec::builder()
-            .ppeak(OpsPerSec::from_gops(grid.ppeak_gops))
-            .bpeak(BytesPerSec::from_gbps(bpeak))
-            .cpu("CPU", BytesPerSec::from_gbps(grid.b0_gbps))
-            .accelerator("ACC", a, BytesPerSec::from_gbps(b1))?
-            .build()?;
+        let mut soc = template.clone();
+        soc.set_bpeak_unchecked(BytesPerSec::from_gbps(bpeak));
+        soc.set_ip_unchecked(1, Acceleration::new(a)?, BytesPerSec::from_gbps(b1));
         let eval = evaluate(&soc, usecase)?;
         Ok(DesignPoint {
             cost: cost.price(a, grid.ppeak_gops, b1, bpeak),
@@ -144,6 +160,39 @@ pub fn explore_with(
             soc,
         })
     })
+}
+
+/// Validates one grid axis up front through a fallible unit constructor,
+/// translating the first failure into a closed `invalid_parameter` error
+/// that names the axis and the offending index. An empty axis is rejected
+/// the same way the pre-validation explorer did.
+fn validate_axis(
+    axis: &'static str,
+    values: &[f64],
+    construct: impl Fn(f64) -> Result<(), GablesError>,
+) -> Result<(), GablesError> {
+    if values.is_empty() {
+        return Err(GablesError::invalid_parameter(
+            "candidate grid",
+            0.0,
+            "every grid axis needs at least one value",
+        ));
+    }
+    for (index, &value) in values.iter().enumerate() {
+        if let Err(err) = construct(value) {
+            let reason = match err {
+                GablesError::InvalidParameter { reason, .. } => reason,
+                _ => "must be a valid axis value",
+            };
+            return Err(GablesError::InvalidAxisParameter {
+                axis,
+                index,
+                value,
+                reason,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Extracts the Pareto frontier (min cost, max performance), sorted by
@@ -323,6 +372,35 @@ mod tests {
         let mut g = grid();
         g.accelerations.clear();
         assert!(explore(&g, &CostModel::unit(), &usecase()).is_err());
+    }
+
+    #[test]
+    fn invalid_axis_value_names_axis_and_index() {
+        let mut g = grid();
+        g.b1_gbps = vec![5.0, f64::NAN, 10.0];
+        let err = explore(&g, &CostModel::unit(), &usecase()).unwrap_err();
+        match &err {
+            GablesError::InvalidAxisParameter { axis, index, .. } => {
+                assert_eq!(*axis, "b1_gbps");
+                assert_eq!(*index, 1);
+            }
+            other => panic!("expected InvalidAxisParameter, got {other:?}"),
+        }
+        assert_eq!(err.kind().code(), "invalid_parameter");
+        let msg = err.to_string();
+        assert!(msg.contains("b1_gbps[1]"), "message was: {msg}");
+
+        let mut g = grid();
+        g.accelerations[0] = -1.0;
+        let err = explore(&g, &CostModel::unit(), &usecase()).unwrap_err();
+        assert!(matches!(
+            err,
+            GablesError::InvalidAxisParameter {
+                axis: "accelerations",
+                index: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! A tiny fixed-capacity small-vector for the evaluation hot path.
+//!
+//! Mobile SoCs in the paper have 2–5 IP blocks, so per-IP collections
+//! ([`crate::workload::Workload`] assignments, [`crate::model::Evaluation`]
+//! breakdowns) almost never need the heap. `InlineVec` stores up to `N`
+//! elements inline and spills to a `Vec` only beyond that, which makes
+//! cloning and building these collections allocation-free in the steady
+//! state — the property the allocation-budget trajectory rungs pin.
+//!
+//! This type is deliberately `pub(crate)`: it is a storage detail, not
+//! part of the API surface. Public accessors keep returning `&[T]`.
+
+use core::fmt;
+
+/// A vector of up to `N` inline elements, spilling to the heap past `N`.
+///
+/// `T: Copy + Default` keeps construction trivial (`[T::default(); N]`)
+/// and clone a bitwise copy in the inline case.
+#[derive(Clone)]
+pub(crate) enum InlineVec<T: Copy + Default, const N: usize> {
+    /// Up to `N` elements stored inline; only `buf[..len]` is meaningful.
+    Inline {
+        /// Inline storage; slots past `len` hold `T::default()` filler.
+        buf: [T; N],
+        /// Number of live elements.
+        len: usize,
+    },
+    /// Spilled storage for more than `N` elements.
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no heap allocation).
+    pub(crate) fn new() -> Self {
+        InlineVec::Inline {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Copies a slice in; allocates only when `items.len() > N`.
+    pub(crate) fn from_slice(items: &[T]) -> Self {
+        if items.len() <= N {
+            let mut buf = [T::default(); N];
+            buf[..items.len()].copy_from_slice(items);
+            InlineVec::Inline {
+                buf,
+                len: items.len(),
+            }
+        } else {
+            InlineVec::Heap(items.to_vec())
+        }
+    }
+
+    /// Appends an element, spilling to the heap on overflow.
+    pub(crate) fn push(&mut self, item: T) {
+        match self {
+            InlineVec::Inline { buf, len } => {
+                if *len < N {
+                    buf[*len] = item;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N + 1);
+                    v.extend_from_slice(&buf[..*len]);
+                    v.push(item);
+                    *self = InlineVec::Heap(v);
+                }
+            }
+            InlineVec::Heap(v) => v.push(item),
+        }
+    }
+
+    /// Number of live elements.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len,
+            InlineVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// The live elements as a slice.
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { buf, len } => &buf[..*len],
+            InlineVec::Heap(v) => v,
+        }
+    }
+
+    /// The live elements as a mutable slice.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            InlineVec::Inline { buf, len } => &mut buf[..*len],
+            InlineVec::Heap(v) => v,
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Manual impls: the derives would compare/print the `buf` filler past
+// `len`, which is not part of the value.
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_within_capacity_stays_inline() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn push_past_capacity_spills_and_preserves_order() {
+        let mut v: InlineVec<u64, 4> = InlineVec::new();
+        for i in 0..9 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Heap(_)));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(v.len(), 9);
+        // Clones of spilled vectors still compare by contents.
+        assert_eq!(v.clone(), v);
+    }
+
+    #[test]
+    fn from_slice_picks_representation_by_length() {
+        let small = InlineVec::<u8, 4>::from_slice(&[1, 2]);
+        assert!(matches!(small, InlineVec::Inline { .. }));
+        let big = InlineVec::<u8, 4>::from_slice(&[1, 2, 3, 4, 5]);
+        assert!(matches!(big, InlineVec::Heap(_)));
+        assert_eq!(small.as_slice(), &[1, 2]);
+        assert_eq!(big.as_slice(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equality_ignores_filler_and_representation() {
+        let mut a = InlineVec::<u8, 4>::new();
+        a.push(7);
+        // Different lengths differ even though the filler matches.
+        assert_ne!(a, InlineVec::from_slice(&[7, 0]));
+        assert_eq!(a, InlineVec::from_slice(&[7]));
+        // Inline vs spilled with the same contents compare equal slices.
+        let spilled = InlineVec::<u8, 1>::from_slice(&[7, 8]);
+        let inline = InlineVec::<u8, 4>::from_slice(&[7, 8]);
+        assert_eq!(spilled.as_slice(), inline.as_slice());
+    }
+
+    #[test]
+    fn debug_prints_only_live_elements() {
+        let mut v: InlineVec<u8, 4> = InlineVec::new();
+        v.push(3);
+        v.push(5);
+        assert_eq!(format!("{v:?}"), "[3, 5]");
+    }
+}

@@ -75,9 +75,11 @@
 pub mod analysis;
 pub mod baselines;
 pub mod carm;
+pub mod decfmt;
 pub mod error;
 pub mod explore;
 pub mod ext;
+mod inline;
 pub mod json;
 pub mod model;
 pub mod obs;

@@ -20,9 +20,10 @@
 use core::fmt;
 
 use crate::error::GablesError;
+use crate::inline::InlineVec;
 use crate::soc::SocSpec;
-use crate::units::{Bytes, OpsPerByte, OpsPerSec, Seconds};
-use crate::workload::Workload;
+use crate::units::{Bytes, BytesPerSec, OpsPerByte, OpsPerSec, Seconds, WorkFraction};
+use crate::workload::{WorkAssignment, Workload, INLINE_IPS};
 
 /// Which component of the SoC limits attainable performance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +90,21 @@ pub struct IpBreakdown {
     pub perf_bound: Option<OpsPerSec>,
 }
 
+impl Default for IpBreakdown {
+    /// The idle breakdown — exactly what [`evaluate`] records for an IP
+    /// with no assigned work.
+    fn default() -> Self {
+        IpBreakdown {
+            compute_time: Seconds::new(0.0),
+            data: Bytes::new(0.0),
+            transfer_time: Seconds::new(0.0),
+            time: Seconds::new(0.0),
+            limit: IpLimit::Idle,
+            perf_bound: None,
+        }
+    }
+}
+
 /// The result of evaluating a workload on a SoC: `Pattainable` plus every
 /// intermediate term needed to understand *why*.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,7 +112,7 @@ pub struct IpBreakdown {
 pub struct Evaluation {
     attainable: OpsPerSec,
     bottleneck: Bottleneck,
-    ips: Vec<IpBreakdown>,
+    ips: InlineVec<IpBreakdown, INLINE_IPS>,
     memory_time: Seconds,
     memory_bound: OpsPerSec,
     iavg: Option<OpsPerByte>,
@@ -118,7 +134,7 @@ impl Evaluation {
 
     /// Per-IP breakdowns in IP index order.
     pub fn ips(&self) -> &[IpBreakdown] {
-        &self.ips
+        self.ips.as_slice()
     }
 
     /// The per-IP breakdown for IP\[i\].
@@ -128,10 +144,13 @@ impl Evaluation {
     /// Returns [`GablesError::IpIndexOutOfBounds`] if `index` is out of
     /// range.
     pub fn ip(&self, index: usize) -> Result<&IpBreakdown, GablesError> {
-        self.ips.get(index).ok_or(GablesError::IpIndexOutOfBounds {
-            index,
-            len: self.ips.len(),
-        })
+        self.ips
+            .as_slice()
+            .get(index)
+            .ok_or(GablesError::IpIndexOutOfBounds {
+                index,
+                len: self.ips.len(),
+            })
     }
 
     /// `Tmemory = Σ Di / Bpeak` (Equation 10).
@@ -156,7 +175,7 @@ impl Evaluation {
     pub fn binding_components(&self, rel_tol: f64) -> Vec<Bottleneck> {
         let max = self.max_time();
         let mut out = Vec::new();
-        for (i, ip) in self.ips.iter().enumerate() {
+        for (i, ip) in self.ips.as_slice().iter().enumerate() {
             if ip.time.value() >= max * (1.0 - rel_tol) && ip.limit != IpLimit::Idle {
                 out.push(Bottleneck::Ip(i));
             }
@@ -174,6 +193,7 @@ impl Evaluation {
         let binding = self.binding_components(rel_tol);
         let active = self
             .ips
+            .as_slice()
             .iter()
             .filter(|ip| ip.limit != IpLimit::Idle)
             .count();
@@ -183,6 +203,7 @@ impl Evaluation {
     fn max_time(&self) -> f64 {
         let ip_max = self
             .ips
+            .as_slice()
             .iter()
             .map(|ip| ip.time.value())
             .fold(0.0_f64, f64::max);
@@ -192,28 +213,22 @@ impl Evaluation {
 
 impl fmt::Display for Evaluation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "Pattainable = {:.4} Gops/s (bottleneck: {})",
-            self.attainable.to_gops(),
-            self.bottleneck
-        )?;
-        for (i, ip) in self.ips.iter().enumerate() {
+        f.write_str("Pattainable = ")?;
+        crate::decfmt::write_fixed(f, self.attainable.to_gops(), 4)?;
+        writeln!(f, " Gops/s (bottleneck: {})", self.bottleneck)?;
+        for (i, ip) in self.ips.as_slice().iter().enumerate() {
             match ip.perf_bound {
-                Some(bound) => writeln!(
-                    f,
-                    "  IP[{i}]: 1/TIP = {:.4} Gops/s ({})",
-                    bound.to_gops(),
-                    ip.limit
-                )?,
+                Some(bound) => {
+                    write!(f, "  IP[{i}]: 1/TIP = ")?;
+                    crate::decfmt::write_fixed(f, bound.to_gops(), 4)?;
+                    writeln!(f, " Gops/s ({})", ip.limit)?;
+                }
                 None => writeln!(f, "  IP[{i}]: idle")?,
             }
         }
-        writeln!(
-            f,
-            "  memory: 1/Tmem = {:.4} Gops/s",
-            self.memory_bound.to_gops()
-        )
+        f.write_str("  memory: 1/Tmem = ")?;
+        crate::decfmt::write_fixed(f, self.memory_bound.to_gops(), 4)?;
+        f.write_str(" Gops/s\n")
     }
 }
 
@@ -245,6 +260,40 @@ impl fmt::Display for Evaluation {
 /// # Ok::<(), gables_model::GablesError>(())
 /// ```
 pub fn evaluate(soc: &SocSpec, workload: &Workload) -> Result<Evaluation, GablesError> {
+    evaluate_at(soc, workload, soc.bpeak())
+}
+
+/// [`evaluate`] with `Bpeak` overridden, without cloning the `SocSpec`.
+///
+/// Bit-identical to `evaluate(&soc.with_bpeak(bpeak)?, workload)` — same
+/// validation, same float expressions in the same order — but with zero
+/// allocations, which is what makes `bpeak_sweep_with` allocation-free
+/// per point.
+pub(crate) fn evaluate_with_bpeak(
+    soc: &SocSpec,
+    workload: &Workload,
+    bpeak: BytesPerSec,
+) -> Result<Evaluation, GablesError> {
+    let bw = bpeak.value();
+    if !bw.is_normal() || bw <= 0.0 {
+        return Err(GablesError::invalid_parameter(
+            "Bpeak",
+            bw,
+            "must be finite, normal, and > 0",
+        ));
+    }
+    evaluate_at(soc, workload, bpeak)
+}
+
+/// The shared evaluation kernel: Equations 9–11 against an explicit
+/// `Bpeak`. Builds the per-IP breakdowns in inline storage, so the steady
+/// state performs no heap allocations for SoCs of up to
+/// [`INLINE_IPS`] IP blocks.
+fn evaluate_at(
+    soc: &SocSpec,
+    workload: &Workload,
+    bpeak: BytesPerSec,
+) -> Result<Evaluation, GablesError> {
     if soc.ip_count() != workload.ip_count() {
         return Err(GablesError::IpCountMismatch {
             soc_ips: soc.ip_count(),
@@ -252,19 +301,12 @@ pub fn evaluate(soc: &SocSpec, workload: &Workload) -> Result<Evaluation, Gables
         });
     }
 
-    let mut ips = Vec::with_capacity(soc.ip_count());
+    let mut ips = InlineVec::new();
     let mut total_data = 0.0;
     for (spec, assignment) in soc.ips().iter().zip(workload.assignments()) {
         let f = assignment.fraction().value();
         if f == 0.0 {
-            ips.push(IpBreakdown {
-                compute_time: Seconds::new(0.0),
-                data: Bytes::new(0.0),
-                transfer_time: Seconds::new(0.0),
-                time: Seconds::new(0.0),
-                limit: IpLimit::Idle,
-                perf_bound: None,
-            });
+            ips.push(IpBreakdown::default());
             continue;
         }
         let peak = (spec.acceleration() * soc.ppeak()).value();
@@ -287,14 +329,14 @@ pub fn evaluate(soc: &SocSpec, workload: &Workload) -> Result<Evaluation, Gables
         });
     }
 
-    let memory_time = total_data / soc.bpeak().value();
+    let memory_time = total_data / bpeak.value();
     let iavg = workload.iavg();
     let memory_bound = match iavg {
-        Some(i) => soc.bpeak() * i,
+        Some(i) => bpeak * i,
         None => OpsPerSec::new(f64::INFINITY),
     };
 
-    let (bottleneck, max_time) = slowest_component(&ips, memory_time);
+    let (bottleneck, max_time) = slowest_component(ips.as_slice(), memory_time);
     Ok(Evaluation {
         attainable: OpsPerSec::new(1.0 / max_time),
         bottleneck,
@@ -303,6 +345,58 @@ pub fn evaluate(soc: &SocSpec, workload: &Workload) -> Result<Evaluation, Gables
         memory_bound,
         iavg,
     })
+}
+
+/// Reusable per-point scratch for sweep hot loops.
+///
+/// Sweeps evaluate the same workload shape hundreds of times with one
+/// knob changed per point. `EvalScratch` owns a mutable copy of the
+/// workload and edits it in place between evaluations, so each point
+/// costs zero heap allocations (for SoCs within [`INLINE_IPS`]).
+///
+/// Ownership rules (see DESIGN.md "Scratch and arena ownership"):
+/// `EvalScratch` is `pub(crate)` and never stored inside a public type.
+/// Each parallel worker constructs its own scratch inside the `par`
+/// closure — construction is a stack copy, so per-point construction is
+/// free and no `&mut` state is shared across threads.
+#[derive(Debug, Clone)]
+pub(crate) struct EvalScratch {
+    workload: Workload,
+}
+
+impl EvalScratch {
+    /// A scratch seeded from a template workload (a stack copy — no heap
+    /// allocation within the inline capacity).
+    pub(crate) fn new(template: &Workload) -> Self {
+        Self {
+            workload: template.clone(),
+        }
+    }
+
+    /// Rewrites the first two assignments as the paper's two-IP split:
+    /// `1 - f` at IP\[0\] with intensity `i0`, `f` at IP\[1\] with `i1`.
+    /// The complement pair keeps the fraction-sum invariant intact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GablesError::InvalidParameter`] if an active side has a
+    /// non-positive intensity.
+    pub(crate) fn set_two_ip(
+        &mut self,
+        f: WorkFraction,
+        i0: OpsPerByte,
+        i1: OpsPerByte,
+    ) -> Result<(), GablesError> {
+        self.workload
+            .set_assignment(0, WorkAssignment::new(f.complement(), i0)?);
+        self.workload.set_assignment(1, WorkAssignment::new(f, i1)?);
+        Ok(())
+    }
+
+    /// The current scratch workload, ready to evaluate.
+    pub(crate) fn workload(&self) -> &Workload {
+        &self.workload
+    }
 }
 
 /// Finds the slowest component, breaking ties toward the lowest-indexed IP

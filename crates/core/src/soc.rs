@@ -6,16 +6,21 @@
 //! and its bandwidth `Bi` to/from the on-chip interconnect.
 
 use core::fmt;
+use std::sync::Arc;
 
 use crate::error::GablesError;
 use crate::units::{Acceleration, BytesPerSec, OpsPerSec};
 
 /// One IP block of the SoC (Figure 5): a CPU complex, GPU, DSP, ISP, or any
 /// other accelerator.
+///
+/// The name is interned behind an `Arc<str>`, so cloning an `IpSpec` (or a
+/// whole [`SocSpec`], as the design-space explorer does per candidate) is
+/// a reference-count bump rather than a string allocation.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IpSpec {
-    name: String,
+    name: Arc<str>,
     acceleration: Acceleration,
     bandwidth: BytesPerSec,
 }
@@ -40,8 +45,9 @@ impl IpSpec {
                 "must be finite, normal, and > 0",
             ));
         }
+        let name: String = name.into();
         Ok(Self {
-            name: name.into(),
+            name: Arc::from(name),
             acceleration,
             bandwidth,
         })
@@ -65,13 +71,9 @@ impl IpSpec {
 
 impl fmt::Display for IpSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} (A = {}, B = {:.3} GB/s)",
-            self.name,
-            self.acceleration,
-            self.bandwidth.to_gbps()
-        )
+        write!(f, "{} (A = {}, B = ", self.name, self.acceleration)?;
+        crate::decfmt::write_fixed(f, self.bandwidth.to_gbps(), 3)?;
+        f.write_str(" GB/s)")
     }
 }
 
@@ -170,17 +172,41 @@ impl SocSpec {
             ..self.clone()
         })
     }
+
+    /// Hot-loop plumbing for the design-space explorer: replaces `Bpeak`
+    /// in place without re-validating. The explorer validates every axis
+    /// value up front, so per-candidate re-validation would be pure waste.
+    pub(crate) fn set_bpeak_unchecked(&mut self, bpeak: BytesPerSec) {
+        self.bpeak = bpeak;
+    }
+
+    /// Hot-loop plumbing for the design-space explorer: rewrites IP
+    /// `index`'s acceleration and bandwidth in place (axis values are
+    /// validated up front by the caller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds (internal callers mutate IPs
+    /// the template is known to have).
+    pub(crate) fn set_ip_unchecked(
+        &mut self,
+        index: usize,
+        acceleration: Acceleration,
+        bandwidth: BytesPerSec,
+    ) {
+        let ip = &mut self.ips[index];
+        ip.acceleration = acceleration;
+        ip.bandwidth = bandwidth;
+    }
 }
 
 impl fmt::Display for SocSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "SoC: Ppeak = {:.3} Gops/s, Bpeak = {:.3} GB/s, {} IPs",
-            self.ppeak.to_gops(),
-            self.bpeak.to_gbps(),
-            self.ips.len()
-        )?;
+        f.write_str("SoC: Ppeak = ")?;
+        crate::decfmt::write_fixed(f, self.ppeak.to_gops(), 3)?;
+        f.write_str(" Gops/s, Bpeak = ")?;
+        crate::decfmt::write_fixed(f, self.bpeak.to_gbps(), 3)?;
+        writeln!(f, " GB/s, {} IPs", self.ips.len())?;
         for (i, ip) in self.ips.iter().enumerate() {
             writeln!(f, "  IP[{i}]: {ip}")?;
         }
@@ -221,10 +247,11 @@ impl SocSpecBuilder {
     pub fn cpu(&mut self, name: impl Into<String>, bandwidth: BytesPerSec) -> &mut Self {
         // Defer bandwidth validation to build() so the builder chain stays
         // infallible until an accelerator (which must validate A) is added.
+        let name: String = name.into();
         self.ips.insert(
             0,
             IpSpec {
-                name: name.into(),
+                name: Arc::from(name),
                 acceleration: Acceleration::UNITY,
                 bandwidth,
             },
@@ -245,8 +272,9 @@ impl SocSpecBuilder {
         bandwidth: BytesPerSec,
     ) -> Result<&mut Self, GablesError> {
         let a = Acceleration::new(acceleration)?;
+        let name: String = name.into();
         self.ips.push(IpSpec {
-            name: name.into(),
+            name: Arc::from(name),
             acceleration: a,
             bandwidth,
         });

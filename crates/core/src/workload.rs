@@ -9,7 +9,13 @@
 use core::fmt;
 
 use crate::error::GablesError;
+use crate::inline::InlineVec;
 use crate::units::{OpsPerByte, WorkFraction};
+
+/// Per-IP collections store up to this many IPs without heap allocation.
+/// Mobile SoCs in the paper have 2–5 IP blocks; larger SoCs still work,
+/// they just spill to the heap.
+pub(crate) const INLINE_IPS: usize = 8;
 
 /// Tolerance used when validating that work fractions sum to 1.
 pub const FRACTION_SUM_TOLERANCE: f64 = 1e-9;
@@ -96,6 +102,13 @@ impl WorkAssignment {
     }
 }
 
+impl Default for WorkAssignment {
+    /// The idle assignment ([`WorkAssignment::idle`]).
+    fn default() -> Self {
+        Self::idle()
+    }
+}
+
 /// The software half of the Gables model: a usecase apportioned over N IPs.
 ///
 /// # Examples
@@ -116,7 +129,7 @@ impl WorkAssignment {
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Workload {
-    assignments: Vec<WorkAssignment>,
+    assignments: InlineVec<WorkAssignment, INLINE_IPS>,
 }
 
 impl Workload {
@@ -133,10 +146,22 @@ impl Workload {
     /// to 1 (within [`FRACTION_SUM_TOLERANCE`]), or
     /// [`GablesError::NoIps`] if `assignments` is empty.
     pub fn from_assignments(assignments: Vec<WorkAssignment>) -> Result<Self, GablesError> {
-        if assignments.is_empty() {
+        Self::from_inline(InlineVec::from_slice(&assignments))
+    }
+
+    /// [`Workload::from_assignments`] over the inline representation —
+    /// the allocation-free path the hot loops use.
+    pub(crate) fn from_inline(
+        assignments: InlineVec<WorkAssignment, INLINE_IPS>,
+    ) -> Result<Self, GablesError> {
+        if assignments.len() == 0 {
             return Err(GablesError::NoIps);
         }
-        let sum: f64 = assignments.iter().map(|a| a.fraction().value()).sum();
+        let sum: f64 = assignments
+            .as_slice()
+            .iter()
+            .map(|a| a.fraction().value())
+            .sum();
         if (sum - 1.0).abs() > FRACTION_SUM_TOLERANCE {
             return Err(GablesError::WorkFractionSum { sum });
         }
@@ -153,10 +178,13 @@ impl Workload {
     /// non-positive intensity.
     pub fn two_ip(f: f64, i0: f64, i1: f64) -> Result<Self, GablesError> {
         let f = WorkFraction::new(f)?;
-        Self::from_assignments(vec![
-            WorkAssignment::new(f.complement(), OpsPerByte::try_new(i0)?)?,
-            WorkAssignment::new(f, OpsPerByte::try_new(i1)?)?,
-        ])
+        let mut assignments = InlineVec::new();
+        assignments.push(WorkAssignment::new(
+            f.complement(),
+            OpsPerByte::try_new(i0)?,
+        )?);
+        assignments.push(WorkAssignment::new(f, OpsPerByte::try_new(i1)?)?);
+        Self::from_inline(assignments)
     }
 
     /// The number of IPs this workload spans.
@@ -166,7 +194,7 @@ impl Workload {
 
     /// All work assignments in IP index order.
     pub fn assignments(&self) -> &[WorkAssignment] {
-        &self.assignments
+        self.assignments.as_slice()
     }
 
     /// The work assignment for IP\[i\].
@@ -177,6 +205,7 @@ impl Workload {
     /// range.
     pub fn assignment(&self, index: usize) -> Result<&WorkAssignment, GablesError> {
         self.assignments
+            .as_slice()
             .get(index)
             .ok_or(GablesError::IpIndexOutOfBounds {
                 index,
@@ -187,6 +216,7 @@ impl Workload {
     /// The indices of IPs that are assigned nonzero work.
     pub fn active_ips(&self) -> impl Iterator<Item = usize> + '_ {
         self.assignments
+            .as_slice()
             .iter()
             .enumerate()
             .filter(|(_, a)| a.is_active())
@@ -204,6 +234,7 @@ impl Workload {
     pub fn iavg(&self) -> Option<OpsPerByte> {
         let denom: f64 = self
             .assignments
+            .as_slice()
             .iter()
             .filter(|a| a.is_active())
             .map(|a| a.fraction().value() / a.intensity().value())
@@ -219,6 +250,7 @@ impl Workload {
     /// `Σ Di = Σ fi / Ii` — the reciprocal of [`iavg`](Self::iavg).
     pub fn total_data_per_op(&self) -> f64 {
         self.assignments
+            .as_slice()
             .iter()
             .filter(|a| a.is_active())
             .map(|a| a.fraction().value() / a.intensity().value())
@@ -236,15 +268,28 @@ impl Workload {
     pub fn with_intensity(&self, index: usize, intensity: f64) -> Result<Workload, GablesError> {
         let current = *self.assignment(index)?;
         let mut assignments = self.assignments.clone();
-        assignments[index] =
+        assignments.as_mut_slice()[index] =
             WorkAssignment::new(current.fraction(), OpsPerByte::try_new(intensity)?)?;
         Ok(Workload { assignments })
+    }
+
+    /// Replaces one assignment in place without re-validating the fraction
+    /// sum. Hot-loop plumbing for [`crate::model::EvalScratch`], which
+    /// only ever writes complement pairs or same-fraction intensity edits,
+    /// so the sum invariant is preserved by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds (internal callers index IPs that
+    /// are known to exist).
+    pub(crate) fn set_assignment(&mut self, index: usize, assignment: WorkAssignment) {
+        self.assignments.as_mut_slice()[index] = assignment;
     }
 }
 
 impl fmt::Display for Workload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, a) in self.assignments.iter().enumerate() {
+        for (i, a) in self.assignments.as_slice().iter().enumerate() {
             writeln!(
                 f,
                 "  IP[{i}]: f = {:.4}, I = {} ops/byte",
@@ -260,7 +305,7 @@ impl fmt::Display for Workload {
 /// added in IP index order.
 #[derive(Debug, Clone, Default)]
 pub struct WorkloadBuilder {
-    assignments: Vec<WorkAssignment>,
+    assignments: InlineVec<WorkAssignment, INLINE_IPS>,
 }
 
 impl WorkloadBuilder {
@@ -293,7 +338,7 @@ impl WorkloadBuilder {
     ///
     /// See [`Workload::from_assignments`].
     pub fn build(&self) -> Result<Workload, GablesError> {
-        Workload::from_assignments(self.assignments.clone())
+        Workload::from_inline(self.assignments.clone())
     }
 }
 
@@ -413,6 +458,27 @@ mod tests {
             b.work(0.125, 1.0).unwrap();
         }
         assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn workloads_beyond_inline_capacity_spill_to_the_heap() {
+        // 12 IPs exceed the INLINE_IPS buffer; behavior is unchanged.
+        let mut b = Workload::builder();
+        b.work(5.0 / 16.0, 1.0).unwrap();
+        for _ in 0..11 {
+            b.work(1.0 / 16.0, 2.0).unwrap();
+        }
+        let w = b.build().unwrap();
+        assert_eq!(w.ip_count(), 12);
+        assert_eq!(w.assignments().len(), 12);
+        assert_eq!(w.active_ips().count(), 12);
+        let w2 = w.with_intensity(11, 4.0).unwrap();
+        assert_eq!(w2.assignment(11).unwrap().intensity().value(), 4.0);
+        assert_eq!(w2.assignment(10).unwrap().intensity().value(), 2.0);
+        assert!(w.iavg().is_some());
+        // from_assignments round-trips the spilled representation.
+        let rebuilt = Workload::from_assignments(w.assignments().to_vec()).unwrap();
+        assert_eq!(rebuilt, w);
     }
 
     #[test]

@@ -151,23 +151,33 @@ pub fn sweep_with(
 ) -> Result<Vec<SweepPoint>, SimError> {
     let nf = config.flops_per_word.len();
     let total = config.array_bytes.len() * nf;
+    // Materialize the kernel grid once into a preallocated buffer.
+    // `RooflineKernel` is `Copy`, so the measurement closure below is a
+    // branch-free flat lookup — no per-point division chains or kernel
+    // rebuilding on the hot path, and the fill loop itself is a
+    // vectorizable stride over plain scalar fields.
+    let mut kernels: Vec<RooflineKernel> = Vec::with_capacity(total);
+    for &bytes in &config.array_bytes {
+        let words = (bytes / 4).max(1);
+        for &fpw in &config.flops_per_word {
+            kernels.push(RooflineKernel {
+                trials: config.trials,
+                words,
+                word_bytes: 4,
+                flops_per_word: fpw,
+                pattern: config.pattern,
+                data_type: gables_soc_sim::kernel::DataType::Fp32,
+            });
+        }
+    }
     par::try_map(parallelism, total, |idx| {
-        let bytes = config.array_bytes[idx / nf];
-        let fpw = config.flops_per_word[idx % nf];
-        let kernel = RooflineKernel {
-            trials: config.trials,
-            words: (bytes / 4).max(1),
-            word_bytes: 4,
-            flops_per_word: fpw,
-            pattern: config.pattern,
-            data_type: gables_soc_sim::kernel::DataType::Fp32,
-        };
+        let kernel = kernels[idx];
         let mut recorder = TimelineRecorder::new();
         let run = sim.run_with_recorder(&[Job { ip, kernel }], &mut recorder)?;
         let job = &run.jobs[0];
         Ok(SweepPoint {
-            array_bytes: bytes,
-            flops_per_word: fpw,
+            array_bytes: config.array_bytes[idx / nf],
+            flops_per_word: kernel.flops_per_word,
             intensity: kernel.intensity(),
             gflops: job.achieved_flops_per_sec / 1e9,
             gbps: job.achieved_bytes_per_sec / 1e9,
@@ -271,15 +281,20 @@ pub fn fit(points: &[SweepPoint]) -> EmpiricalRoofline {
     let mut cache_gbps: BTreeMap<String, f64> = BTreeMap::new();
     for p in points {
         peak_gflops = peak_gflops.max(p.gflops);
-        match &p.served_from {
-            ServedFrom::Dram => dram_gbps = dram_gbps.max(p.gbps),
-            ServedFrom::Cache(name) => {
-                let e = cache_gbps.entry(name.clone()).or_insert(0.0);
-                *e = e.max(p.gbps);
+        // Probe with the borrowed label first: the level name is only
+        // cloned the one time it first appears, not once per sample row.
+        let label: &str = match &p.served_from {
+            ServedFrom::Dram => {
+                dram_gbps = dram_gbps.max(p.gbps);
+                continue;
             }
-            ServedFrom::Scratchpad => {
-                let e = cache_gbps.entry("scratchpad".into()).or_insert(0.0);
-                *e = e.max(p.gbps);
+            ServedFrom::Cache(name) => name.as_str(),
+            ServedFrom::Scratchpad => "scratchpad",
+        };
+        match cache_gbps.get_mut(label) {
+            Some(e) => *e = e.max(p.gbps),
+            None => {
+                cache_gbps.insert(label.to_string(), p.gbps);
             }
         }
     }
@@ -311,19 +326,23 @@ pub fn measure(
 /// Formats a sweep as the classic ERT text table (one row per point),
 /// for the figure-regeneration binaries.
 pub fn table(points: &[SweepPoint]) -> String {
-    let mut s = String::from(
-        "array_bytes  flops/word  intensity(flops/B)  GFLOPS/s     GB/s  served_from\n",
-    );
+    use std::fmt::Write as _;
+    // One buffer for the whole table: rows are formatted straight into it
+    // and level labels are borrowed, so a row costs no allocations beyond
+    // the buffer's own growth.
+    let mut s = String::with_capacity(80 + points.len() * 72);
+    s.push_str("array_bytes  flops/word  intensity(flops/B)  GFLOPS/s     GB/s  served_from\n");
     for p in points {
-        let level = match &p.served_from {
-            ServedFrom::Dram => "DRAM".to_string(),
-            ServedFrom::Cache(name) => name.clone(),
-            ServedFrom::Scratchpad => "scratchpad".to_string(),
+        let level: &str = match &p.served_from {
+            ServedFrom::Dram => "DRAM",
+            ServedFrom::Cache(name) => name,
+            ServedFrom::Scratchpad => "scratchpad",
         };
-        s.push_str(&format!(
-            "{:>11}  {:>10}  {:>18.4}  {:>8.2}  {:>7.2}  {}\n",
+        let _ = writeln!(
+            s,
+            "{:>11}  {:>10}  {:>18.4}  {:>8.2}  {:>7.2}  {}",
             p.array_bytes, p.flops_per_word, p.intensity, p.gflops, p.gbps, level
-        ));
+        );
     }
     s
 }

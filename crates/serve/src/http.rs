@@ -7,7 +7,6 @@
 //! the head and body, and there is no support for chunked transfer
 //! encoding — clients must send `Content-Length`.
 
-use std::fmt::Write as _;
 use std::io::{Read, Write};
 
 /// Hard limit on the request head (request line + headers).
@@ -441,9 +440,21 @@ impl Response {
     /// `Connection: keep-alive` or `Connection: close` — the event
     /// loop's single-write path.
     pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
-        let mut head = String::with_capacity(128 + self.body.len());
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        self.serialize_into(keep_alive, &mut out);
+        out
+    }
+
+    /// [`Response::serialize`] into a caller-owned buffer. The buffer is
+    /// cleared, not reallocated, so a connection that recycles its write
+    /// buffer serializes steady-state responses without fresh heap
+    /// traffic once the buffer has grown to the working-set size.
+    pub fn serialize_into(&self, keep_alive: bool, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        out.clear();
+        // `write!` to a Vec<u8> is infallible: Vec's io::Write never errors.
         let _ = write!(
-            head,
+            out,
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             Self::reason(self.status),
@@ -452,12 +463,10 @@ impl Response {
             if keep_alive { "keep-alive" } else { "close" },
         );
         for (name, value) in &self.headers {
-            let _ = write!(head, "{name}: {value}\r\n");
+            let _ = write!(out, "{name}: {value}\r\n");
         }
-        head.push_str("\r\n");
-        let mut out = head.into_bytes();
+        out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
-        out
     }
 
     /// Writes the response with `Connection: close` (the blocking,
@@ -727,6 +736,24 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\nhi"));
+    }
+
+    #[test]
+    fn serialize_into_reuses_and_matches_serialize() {
+        let resp = Response::text(200, "hi");
+        let mut buf = Vec::with_capacity(256);
+        resp.serialize_into(true, &mut buf);
+        assert_eq!(buf, resp.serialize(true));
+        // A second response reuses the same storage: the buffer is
+        // cleared, not reallocated.
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        Response::text(404, "no").serialize_into(false, &mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
     }
 
     #[test]

@@ -63,6 +63,11 @@ const DRAIN_GRACE: Duration = Duration::from_millis(100);
 /// How long shutdown waits for in-flight connections before giving up.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
 
+/// Largest write-buffer capacity a connection keeps between responses.
+/// Buffers that grew past this (one oversized response) are released
+/// after the flush instead of staying resident per connection.
+const OUT_BUF_RECYCLE_CAP: usize = 256 * 1024;
+
 /// A request handler: pure function of the parsed request.
 pub type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
 
@@ -199,6 +204,11 @@ struct Job {
     generation: u64,
     request: Request,
     keep_alive: bool,
+    /// The connection's recycled write buffer, carried along so the
+    /// worker serializes the response into capacity the connection
+    /// already owns instead of a fresh `Vec` per response. It returns
+    /// to the connection inside [`Done::bytes`].
+    buf: Vec<u8>,
 }
 
 enum Work {
@@ -486,7 +496,11 @@ struct Conn {
     last_activity: Instant,
     /// Remaining drain allowance in the `Draining` state.
     drain_budget: usize,
-    drain_deadline: Instant,
+    /// Armed (only) on entry to `Draining`; `None` everywhere else, so a
+    /// state transition that forgets the arm can never leave a stale
+    /// instant behind that makes the connection reapable on the next
+    /// deadline tick.
+    drain_deadline: Option<Instant>,
     generation: u64,
     interest: Interest,
 }
@@ -606,7 +620,7 @@ impl EventLoop {
                         read_started: None,
                         last_activity: Instant::now(),
                         drain_budget: DRAIN_BUDGET,
-                        drain_deadline: Instant::now(),
+                        drain_deadline: None,
                         generation: self.generation,
                         interest: Interest::READ,
                     });
@@ -731,6 +745,9 @@ impl EventLoop {
                     generation: conn.generation,
                     request: parsed.request,
                     keep_alive,
+                    // Idle while Executing — lend it to the worker so the
+                    // response is serialized into recycled capacity.
+                    buf: std::mem::take(&mut conn.out_buf),
                 };
                 conn.state = ConnState::Executing;
                 let limit = self.config.queue_depth.max(1);
@@ -757,7 +774,7 @@ impl EventLoop {
         let resp = Response::error(503, "server busy: request queue is full")
             .with_header("Retry-After", self.config.retry_after_secs.to_string())
             .with_header("X-Request-Id", request_id);
-        self.queue_write(slot, resp.serialize(false), true);
+        self.queue_response(slot, &resp);
     }
 
     /// Answers a request that never parsed (malformed, oversized, timed
@@ -812,7 +829,18 @@ impl EventLoop {
             spans: Vec::new(),
             spans_dropped: 0,
         });
-        self.queue_write(slot, response.serialize(false), true);
+        self.queue_response(slot, &response);
+    }
+
+    /// Serializes a loop-side error response (always `Connection: close`)
+    /// into the connection's recycled write buffer and starts flushing.
+    fn queue_response(&mut self, slot: usize, response: &Response) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        let mut buf = std::mem::take(&mut conn.out_buf);
+        response.serialize_into(false, &mut buf);
+        self.queue_write(slot, buf, true);
     }
 
     /// Installs a response body and starts flushing it.
@@ -859,7 +887,14 @@ impl EventLoop {
         let Some(conn) = self.conns[slot].as_mut() else {
             return;
         };
-        conn.out_buf = Vec::new();
+        // Keep the buffer for this connection's next response; an
+        // oversized one-off releases its capacity instead of pinning it
+        // for the connection's lifetime.
+        if conn.out_buf.capacity() > OUT_BUF_RECYCLE_CAP {
+            conn.out_buf = Vec::new();
+        } else {
+            conn.out_buf.clear();
+        }
         conn.out_pos = 0;
         if conn.close_after_write {
             if conn.peer_eof {
@@ -872,7 +907,7 @@ impl EventLoop {
                 let _ = conn.stream.shutdown(std::net::Shutdown::Write);
                 conn.state = ConnState::Draining;
                 conn.drain_budget = DRAIN_BUDGET;
-                conn.drain_deadline = Instant::now() + DRAIN_GRACE;
+                conn.drain_deadline = Some(Instant::now() + DRAIN_GRACE);
                 self.update_interest(slot);
             }
         } else {
@@ -898,7 +933,7 @@ impl EventLoop {
     fn scan_deadlines(&mut self) {
         let now = Instant::now();
         for slot in 0..self.conns.len() {
-            let Some(conn) = self.conns[slot].as_ref() else {
+            let Some(conn) = self.conns[slot].as_mut() else {
                 continue;
             };
             match conn.state {
@@ -918,7 +953,11 @@ impl EventLoop {
                     }
                 }
                 ConnState::Draining => {
-                    if now >= conn.drain_deadline {
+                    // Armed on entry to Draining. A `None` here means a
+                    // transition missed the arm — grant the grace now
+                    // rather than reaping on the very next tick.
+                    let deadline = *conn.drain_deadline.get_or_insert(now + DRAIN_GRACE);
+                    if now >= deadline {
                         self.close(slot);
                     }
                 }
@@ -1061,7 +1100,10 @@ fn execute(
         spans,
         spans_dropped,
     });
-    let bytes = response.serialize(job.keep_alive);
+    // Serialize into the connection's recycled buffer (lent via the
+    // job); it rides back to the event loop inside `Done::bytes`.
+    let mut bytes = job.buf;
+    response.serialize_into(job.keep_alive, &mut bytes);
     shared.complete(Done {
         slot: job.slot,
         generation: job.generation,
@@ -1194,6 +1236,35 @@ mod tests {
         handle.shutdown();
         join.join().unwrap();
         assert_eq!(handle.metrics().snapshot().handled, 2);
+    }
+
+    #[test]
+    fn draining_swallows_stragglers_and_still_delivers_the_response() {
+        let (handle, join) = started(ping_router(), ServerConfig::default());
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // A close-delimited request with an unread pipelined successor:
+        // after the response, the server enters Draining and must swallow
+        // the leftover bytes for the drain grace instead of closing with
+        // unread input (which could RST the response off the wire). A
+        // connection whose drain deadline were left unarmed would be
+        // reapable on the next deadline tick, racing the client's read.
+        stream
+            .write_all(b"GET /ping HTTP/1.1\r\nConnection: close\r\n\r\nGET /ping HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("Connection: close"), "{out}");
+        assert!(out.ends_with("pong"), "{out}");
+        // Stragglers sent while Draining are swallowed, not answered.
+        let _ = stream.write(b"even later bytes");
+        handle.shutdown();
+        join.join().unwrap();
+        // The pipelined successor behind the close was never dispatched.
+        assert_eq!(handle.metrics().snapshot().handled, 1);
     }
 
     #[test]

@@ -49,6 +49,9 @@ cargo test -q
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> allocation-budget gate (zero-alloc evaluate / sweep points, debug)"
+cargo test -q -p gables-model --test alloc_budget
+
 echo "==> serve loopback smoke test (real server on an ephemeral port)"
 cargo test -q -p gables-cli --test serve_loopback
 
@@ -84,6 +87,9 @@ if [ "$QUICK" -eq 0 ]; then
   echo "==> release-mode suites (debug_assert! compiled out)"
   cargo test --release -q -p gables-cli --test obs_loopback
   cargo test --release -q -p gables-cli
+
+  echo "==> allocation-budget gate (release: the optimized hot paths)"
+  cargo test --release -q -p gables-model --test alloc_budget
 fi
 
 echo "==> differential property suite (dual forms, serial vs parallel, CLI vs HTTP)"
