@@ -23,6 +23,7 @@
 pub mod carm;
 pub mod serve;
 pub mod spec;
+pub mod top;
 
 use std::fmt::Write as _;
 
@@ -134,6 +135,7 @@ fn dispatch(
             Ok(out)
         }
         Some("serve") => serve::serve_command(&args[1..]),
+        Some("top") => top::top_command(&args[1..]),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(SpecError::general(format!(
             "unknown command {other:?} (valid commands: {})\n{}",
@@ -146,7 +148,7 @@ fn dispatch(
 /// Every valid subcommand, in the order `usage()` lists them.
 pub const COMMANDS: &[&str] = &[
     "example", "eval", "sweep", "plot", "ascii", "carm", "frontier", "whatif", "trace", "serve",
-    "help",
+    "top", "help",
 ];
 
 /// Parses `carm` operands: `carm <spec> [out.svg]`, with the spec path
@@ -178,7 +180,7 @@ fn carm_args(args: &[String]) -> Result<(String, Option<String>), SpecError> {
 }
 
 fn usage() -> String {
-    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables carm  <spec> [out.svg]     cache-aware roofline: measure per-level\n                                    ceilings with the hierarchy simulator, print\n                                    the ladder + ASCII plot (optionally write\n                                    the SVG); spec needs [cache.<level>] sections\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] [--replicas N]\n                                    serve the /v1 JSON API (eval, batch, sweep,\n                                    whatif, simulate, metrics) over HTTP (default\n                                    127.0.0.1:7878); --replicas N shards across N\n                                    consistent-hashed child processes\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
+    "usage:\n  gables example                    print a starter spec (Figure 6b)\n  gables eval  <spec>               evaluate Pattainable and the bottleneck\n  gables sweep <spec> f|bpeak|intensity <from> <to> <steps>\n  gables plot  <spec>               print the multi-roofline SVG to stdout\n  gables ascii <spec>               draw the multi-roofline plot in the terminal\n  gables carm  <spec> [out.svg]     cache-aware roofline: measure per-level\n                                    ceilings with the hierarchy simulator, print\n                                    the ladder + ASCII plot (optionally write\n                                    the SVG); spec needs [cache.<level>] sections\n  gables frontier <spec>            Pareto frontier of an [explore] grid\n  gables whatif <spec> <edits>      apply `; `-separated edits, e.g.\n                                    'move_work 0 1 0.75; set_bpeak 30; set_intensity 1 8'\n  gables trace <spec> [prefix]      simulate with telemetry; print the bottleneck\n                                    report and write <prefix>.trace.json (Chrome\n                                    trace), <prefix>.timeline.csv, <prefix>.report.txt\n  gables serve [addr] [--workers N] [--replicas N] [--slo DEF]...\n                                    serve the /v1 JSON API (eval, batch, sweep,\n                                    whatif, simulate, metrics, slo) over HTTP\n                                    (default 127.0.0.1:7878); --replicas N shards\n                                    across N consistent-hashed child processes;\n                                    --slo 'route=/v1/eval p99<2ms err<0.1%'\n                                    (repeatable) defines objectives for /v1/slo\n  gables top   [addr] [--interval S] [--frames N]\n                                    live dashboard over a running server: windowed\n                                    quantile sparklines, SLO burn-rate gauges,\n                                    worker saturation, cache hit ratio\n  gables help\n\noptions (any command):\n  --threads auto|serial|N           parallelism for sweep/frontier/trace grids;\n                                    results are bit-identical across policies\n                                    (GABLES_THREADS=N sets the 'auto' default)\n  --log error|warn|info|debug|trace|off\n                                    stderr log level (overrides GABLES_LOG;\n                                    default warn)\n  --log-format text|json            log line format (default text)\n  --profile <out>                   run under the sampling profiler; write a\n                                    collapsed-stack profile (flamegraph.pl\n                                    compatible; JSON when <out> ends in .json)\n                                    and print allocation + self-time summaries\n".to_string()
 }
 
 fn arg(args: &[String], idx: usize, what: &str) -> Result<String, SpecError> {

@@ -37,6 +37,11 @@
 //! * `GET /v1/healthz` — liveness probe; plain `ok` by default
 //!   (byte-identical for existing probes), `?format=json` adds uptime,
 //!   version, in-flight count, and worker-pool saturation.
+//! * `GET /v1/slo` — per-route streaming latency quantiles (DDSketch,
+//!   [`gables_model::sketch`]) over 1m/5m/1h windows plus the
+//!   cumulative sketch, error rates, and the error-budget burn rate of
+//!   every `--slo 'route=/v1/eval p99<2ms err<0.1%'` definition.
+//!   `?format=prom` renders `gables_slo_*` gauges and quantile series.
 //! * `GET /v1/debug/requests` — the flight recorder: the last N
 //!   requests with id, route, status, latency, cache outcome, and span
 //!   summary (`?n=` limits, `?id=` fetches one with full spans,
@@ -68,11 +73,16 @@
 //! it parses each spec just enough to compute the canonical cache key
 //! ([`Spec::canonical_key`]) and consistent-hashes it onto a shard, so
 //! identical specs always land on the same shard's cache.
-//! `/v1/metrics` and `/v1/healthz` aggregate across every shard;
-//! debug routes answer from the parent's own recorder. Shard children
-//! are supervised over pipes: each announces `LISTENING <addr>` on
-//! stdout and exits when its stdin reaches EOF, so no shard can
-//! outlive its parent.
+//! `/v1/metrics`, `/v1/healthz`, and `/v1/slo` aggregate across every
+//! shard (quantile sketches merge exactly, so fleet quantiles are
+//! bit-identical to a single sketch fed the union stream), and
+//! `/v1/debug/requests` interleaves every shard's flight ring into one
+//! fleet timeline ordered by wall-clock completion, each record tagged
+//! with its shard index. `?shard=i` pins either debug route to one
+//! shard (422 when the index is out of range). Shard children are
+//! supervised over pipes: each announces `LISTENING <addr>` on stdout
+//! and exits when its stdin reaches EOF, so no shard can outlive its
+//! parent.
 //!
 //! Every JSON response uses the envelope documented in [`gables_serve`]:
 //! `{"ok": true, "data": ..., "error": null}` on success and
@@ -96,6 +106,7 @@ use gables_model::json::Json;
 use gables_model::{evaluate, obs};
 use gables_serve::{
     FlightRecorder, Request, Response, Router, Server, ServerConfig, ServerMetrics, ShardedCache,
+    SloSnapshot, SloSpec,
 };
 
 use crate::spec::{Spec, SpecError};
@@ -117,19 +128,25 @@ pub struct ServeOptions {
     /// and shut down when stdin reaches EOF (how replica shards — and
     /// tests — manage server lifetime).
     pub announce: bool,
+    /// SLO definitions (`--slo 'route=/v1/eval p99<2ms err<0.1%'`,
+    /// repeatable), evaluated by `GET /v1/slo`.
+    pub slos: Vec<SloSpec>,
 }
 
-/// Parses `[addr] [--workers N] [--replicas N] [--announce]`.
+/// Parses `[addr] [--workers N] [--replicas N] [--slo DEF]...
+/// [--announce]`.
 ///
 /// # Errors
 ///
-/// Returns [`SpecError`] for unknown flags or a malformed count.
+/// Returns [`SpecError`] for unknown flags, a malformed count, or an
+/// unparsable SLO definition.
 pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
     let mut opts = ServeOptions {
         addr: "127.0.0.1:7878".to_string(),
         workers: 4,
         replicas: 1,
         announce: false,
+        slos: Vec::new(),
     };
     let mut it = args.iter();
     let mut addr_seen = false;
@@ -156,10 +173,21 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeOptions, SpecError> {
                     .ok_or_else(|| SpecError::general("--replicas needs a count"))?;
                 opts.replicas = positive("--replicas", n)?;
             }
+            "--slo" => {
+                let text = it.next().ok_or_else(|| {
+                    SpecError::general(
+                        "--slo needs a definition, e.g. 'route=/v1/eval p99<2ms err<0.1%'",
+                    )
+                })?;
+                opts.slos.push(
+                    SloSpec::parse(text).map_err(|e| SpecError::general(format!("--slo: {e}")))?,
+                );
+            }
             "--announce" => opts.announce = true,
             other if other.starts_with('-') => {
                 return Err(SpecError::general(format!(
-                    "unknown serve flag {other:?} (only --workers <n>, --replicas <n>, --announce)"
+                    "unknown serve flag {other:?} (only --workers <n>, --replicas <n>, \
+                     --slo <def>, --announce)"
                 )))
             }
             other => {
@@ -208,7 +236,8 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
         Arc::new(ShardedCache::new(8, 128)),
         server.flight(),
         opts.workers,
-    );
+    )
+    .with_slos(opts.slos.clone());
     let router = build_router_with(&state);
     obs::log(
         obs::Level::Info,
@@ -217,11 +246,12 @@ pub fn serve_command(args: &[String]) -> Result<String, SpecError> {
         &[
             ("addr", format!("http://{addr}").into()),
             ("workers", opts.workers.into()),
+            ("slos", opts.slos.len().into()),
             ("version", VERSION.into()),
             (
                 "routes",
                 "GET /v1; POST /v1/{eval,batch,sweep,whatif,simulate,carm}; \
-                 GET /v1/{metrics,healthz,debug/requests,debug/profile}"
+                 GET /v1/{metrics,healthz,slo,debug/requests,debug/profile}"
                     .into(),
             ),
         ],
@@ -284,6 +314,8 @@ pub struct ServeState {
     pub workers: usize,
     /// When this serving instance came up.
     pub started: Instant,
+    /// SLO definitions evaluated by `GET /v1/slo` (none by default).
+    pub slos: Arc<Vec<SloSpec>>,
 }
 
 impl ServeState {
@@ -300,7 +332,15 @@ impl ServeState {
             flight,
             workers,
             started: Instant::now(),
+            slos: Arc::new(Vec::new()),
         }
+    }
+
+    /// Attaches SLO definitions (builder-style; the default is none).
+    #[must_use]
+    pub fn with_slos(mut self, slos: Vec<SloSpec>) -> Self {
+        self.slos = Arc::new(slos);
+        self
     }
 
     fn uptime_seconds(&self) -> f64 {
@@ -351,6 +391,7 @@ pub fn build_router_with(state: &ServeState) -> Router {
     let healthz_state = state.clone();
     let debug_state = state.clone();
     let metrics_state = state.clone();
+    let slo_state = state.clone();
     let batch_metrics = Arc::clone(&state.metrics);
     let batch_cache = Arc::clone(&state.cache);
     let mut router = Router::new()
@@ -358,6 +399,7 @@ pub fn build_router_with(state: &ServeState) -> Router {
         .route("GET", "/v1/healthz", move |req| {
             healthz_response(req, &healthz_state)
         })
+        .route("GET", "/v1/slo", move |req| slo_response(req, &slo_state))
         .route("GET", "/v1/debug/requests", move |req| {
             debug_requests_response(req, &debug_state)
         })
@@ -423,6 +465,29 @@ fn healthz_response(req: &Request, state: &ServeState) -> Response {
     Response::json(200, envelope(&doc.to_string()))
 }
 
+/// `GET /v1/slo`: windowed latency quantiles, error rates, and the
+/// error-budget burn rate of every configured `--slo` definition, from
+/// this process's own [`gables_serve::SloRegistry`]. JSON by default
+/// (the mergeable sketch core plus derived quantile/burn sections);
+/// `?format=prom` renders `gables_slo_*` gauges and quantile series.
+fn slo_response(req: &Request, state: &ServeState) -> Response {
+    let snapshot = state.metrics.slo().snapshot();
+    slo_render(req, &snapshot, &state.slos, 1)
+}
+
+/// Renders an SLO snapshot (local or fleet-merged) in the requested
+/// format. `shards` stamps how many sources the snapshot aggregates.
+fn slo_render(req: &Request, snapshot: &SloSnapshot, specs: &[SloSpec], shards: usize) -> Response {
+    use gables_serve::slo::{render_slo_json, render_slo_prometheus};
+    if req.query_param("format") == Some("prom") {
+        let mut resp = Response::text(200, render_slo_prometheus(snapshot, specs, shards));
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8".to_string();
+        resp
+    } else {
+        Response::json(200, envelope(&render_slo_json(snapshot, specs, shards)))
+    }
+}
+
 /// The route descriptors behind `GET /v1`: method, path, recognized
 /// query parameters, one-line summary. This table *is* the API surface;
 /// `discovery_routes_match_the_router` keeps it honest against the
@@ -474,14 +539,20 @@ const V1_ROUTE_DOCS: &[(&str, &str, &[&str], &str)] = &[
     ("GET", "/v1/healthz", &["format"], "liveness probe"),
     (
         "GET",
+        "/v1/slo",
+        &["format"],
+        "windowed latency quantiles, error rates, and SLO burn rates",
+    ),
+    (
+        "GET",
         "/v1/debug/requests",
-        &["n", "id", "format"],
+        &["n", "id", "format", "shard"],
         "flight recorder: recent requests with span trees",
     ),
     (
         "GET",
         "/v1/debug/profile",
-        &["seconds", "format"],
+        &["seconds", "format", "shard"],
         "run the sampling profiler and return the profile",
     ),
 ];
@@ -1102,21 +1173,38 @@ struct Shard {
     stdin: Option<std::process::ChildStdin>,
 }
 
+/// Renders a parsed SLO back to its canonical `--slo` text (the clause
+/// labels round-trip through [`SloSpec::parse`]), so shard children are
+/// spawned with the same definitions the parent evaluates.
+fn slo_arg(spec: &SloSpec) -> String {
+    let mut text = format!("route={}", spec.route);
+    for objective in &spec.objectives {
+        text.push(' ');
+        text.push_str(&objective.label());
+    }
+    text
+}
+
 impl Shard {
     /// Spawns one shard on an ephemeral port and waits for its
     /// `LISTENING <addr>` announcement.
-    fn spawn(workers: usize) -> Result<Self, SpecError> {
+    fn spawn(workers: usize, slos: &[SloSpec]) -> Result<Self, SpecError> {
         use std::io::BufRead as _;
         let exe = std::env::current_exe()
             .map_err(|e| SpecError::general(format!("cannot locate own executable: {e}")))?;
+        let mut args = vec![
+            "serve".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--workers".to_string(),
+            workers.to_string(),
+            "--announce".to_string(),
+        ];
+        for spec in slos {
+            args.push("--slo".to_string());
+            args.push(slo_arg(spec));
+        }
         let mut child = std::process::Command::new(exe)
-            .args([
-                "serve",
-                "127.0.0.1:0",
-                "--workers",
-                &workers.to_string(),
-                "--announce",
-            ])
+            .args(&args)
             .stdin(std::process::Stdio::piped())
             .stdout(std::process::Stdio::piped())
             .stderr(std::process::Stdio::inherit())
@@ -1160,7 +1248,7 @@ impl Shard {
 fn run_replicated(opts: &ServeOptions) -> Result<String, SpecError> {
     let mut shards = Vec::with_capacity(opts.replicas);
     for _ in 0..opts.replicas {
-        shards.push(Shard::spawn(opts.workers)?);
+        shards.push(Shard::spawn(opts.workers, &opts.slos)?);
     }
     let addrs: Arc<Vec<String>> = Arc::new(shards.iter().map(|s| s.addr.clone()).collect());
     let ring = Arc::new(HashRing::new(opts.replicas));
@@ -1179,7 +1267,8 @@ fn run_replicated(opts: &ServeOptions) -> Result<String, SpecError> {
         Arc::new(ShardedCache::new(8, 128)),
         server.flight(),
         opts.workers,
-    );
+    )
+    .with_slos(opts.slos.clone());
     let router = build_parent_router(&state, addrs, ring);
     obs::log(
         obs::Level::Info,
@@ -1220,14 +1309,18 @@ fn run_replicated(opts: &ServeOptions) -> Result<String, SpecError> {
 
 /// Builds the parent (router) route table: spec-carrying `POST`s are
 /// forwarded to the shard owning the spec's canonical key, `/v1/batch`
-/// scatters per item and gathers in order, `/v1/metrics` and
-/// `/v1/healthz` aggregate across shards, and the discovery document,
-/// debug routes, and alias tombstones answer locally.
+/// scatters per item and gathers in order, `/v1/metrics`,
+/// `/v1/healthz`, and `/v1/slo` aggregate across shards, the debug
+/// routes answer fleet-wide (or pinned with `?shard=`), and the
+/// discovery document and alias tombstones answer locally.
 fn build_parent_router(state: &ServeState, addrs: Arc<Vec<String>>, ring: Arc<HashRing>) -> Router {
     let healthz_addrs = Arc::clone(&addrs);
     let metrics_addrs = Arc::clone(&addrs);
+    let slo_addrs = Arc::clone(&addrs);
+    let requests_addrs = Arc::clone(&addrs);
+    let profile_addrs = Arc::clone(&addrs);
     let metrics_state = state.clone();
-    let debug_state = state.clone();
+    let slo_state = state.clone();
     let healthz_state = state.clone();
     let batch_addrs = Arc::clone(&addrs);
     let batch_ring = Arc::clone(&ring);
@@ -1239,10 +1332,15 @@ fn build_parent_router(state: &ServeState, addrs: Arc<Vec<String>>, ring: Arc<Ha
         .route("GET", "/v1/metrics", move |req| {
             aggregated_metrics(req, &metrics_addrs, &metrics_state)
         })
-        .route("GET", "/v1/debug/requests", move |req| {
-            debug_requests_response(req, &debug_state)
+        .route("GET", "/v1/slo", move |req| {
+            aggregated_slo(req, &slo_addrs, &slo_state)
         })
-        .route("GET", "/v1/debug/profile", debug_profile_response)
+        .route("GET", "/v1/debug/requests", move |req| {
+            fleet_debug_requests(req, &requests_addrs)
+        })
+        .route("GET", "/v1/debug/profile", move |req| {
+            fleet_debug_profile(req, &profile_addrs)
+        })
         .route("POST", "/v1/batch", move |req| {
             parent_batch_response(req, &batch_addrs, &batch_ring)
         });
@@ -1431,6 +1529,161 @@ fn aggregated_healthz(req: &Request, addrs: &Arc<Vec<String>>, state: &ServeStat
     }
 }
 
+/// Parent-side `GET /v1/slo`: fetch every shard's snapshot, merge the
+/// quantile sketches (exact bucket-wise addition — the fleet sketch is
+/// bit-identical to one sketch fed the union stream), and evaluate the
+/// parent's SLO definitions against the merged windows.
+fn aggregated_slo(req: &Request, addrs: &Arc<Vec<String>>, state: &ServeState) -> Response {
+    let mut aggregate: Option<SloSnapshot> = None;
+    for (i, addr) in addrs.iter().enumerate() {
+        let shard_req = Request {
+            method: "GET".into(),
+            path: "/v1/slo".into(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let snapshot = forward(addr, &shard_req, "/v1/slo")
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .and_then(|resp| {
+                let body = String::from_utf8(resp.body).ok()?;
+                let doc = Json::parse(&body).ok()?;
+                SloSnapshot::from_json(doc.get("data")?)
+            });
+        let Some(snapshot) = snapshot else {
+            return Response::error(503, &format!("shard {i} SLO snapshot unavailable"));
+        };
+        match &mut aggregate {
+            Some(total) => {
+                if !total.merge(&snapshot) {
+                    return Response::error(503, &format!("shard {i} SLO snapshot incompatible"));
+                }
+            }
+            None => aggregate = Some(snapshot),
+        }
+    }
+    let Some(snapshot) = aggregate else {
+        return Response::error(503, "no shards configured");
+    };
+    slo_render(req, &snapshot, &state.slos, addrs.len())
+}
+
+/// Parses `?shard=` against the shard count: `Ok(None)` when absent,
+/// a 422 `invalid_parameter` when not an index in `0..shards`.
+fn shard_index_param(req: &Request, shards: usize) -> Result<Option<usize>, Box<Response>> {
+    let Some(raw) = req.query_param("shard") else {
+        return Ok(None);
+    };
+    match raw.parse::<usize>() {
+        Ok(i) if i < shards => Ok(Some(i)),
+        _ => Err(Box::new(Response::error_with_kind(
+            422,
+            Some("invalid_parameter"),
+            &format!("query parameter shard={raw:?} must be an integer in 0..{shards}"),
+        ))),
+    }
+}
+
+/// Parent-side `GET /v1/debug/requests`: with `?shard=i` the request is
+/// forwarded verbatim to that shard; without it, every shard's flight
+/// ring is fetched and interleaved into one fleet timeline ordered by
+/// wall-clock completion (`ts_unix_us`, newest first), each record
+/// tagged with its shard index. `?id=` scans the shards and relays the
+/// first one retaining the record.
+fn fleet_debug_requests(req: &Request, addrs: &Arc<Vec<String>>) -> Response {
+    let shard = match shard_index_param(req, addrs.len()) {
+        Ok(shard) => shard,
+        Err(resp) => return *resp,
+    };
+    if let Some(i) = shard {
+        return forward(&addrs[i], req, "/v1/debug/requests")
+            .unwrap_or_else(|e| Response::error(503, &format!("shard {i} unavailable: {e}")));
+    }
+    if let Some(id) = req.query_param("id") {
+        for addr in addrs.iter() {
+            if let Ok(resp) = forward(addr, req, "/v1/debug/requests") {
+                if resp.status == 200 {
+                    return resp;
+                }
+            }
+        }
+        return Response::error(404, &format!("no shard retains a request with id {id:?}"));
+    }
+    let n = match query_num(req, "n", 32.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    if n.fract() != 0.0 || n < 1.0 || n > MAX_DEBUG_REQUESTS as f64 {
+        return Response::error_with_kind(
+            400,
+            Some("invalid_parameter"),
+            &format!("query parameter n={n} must be an integer in 1..={MAX_DEBUG_REQUESTS}"),
+        );
+    }
+    let mut capacity = 0u64;
+    let mut recorded_total = 0u64;
+    let mut merged: Vec<Json> = Vec::new();
+    for (i, addr) in addrs.iter().enumerate() {
+        let shard_req = Request {
+            method: "GET".into(),
+            path: "/v1/debug/requests".into(),
+            query: Some(format!("n={}", n as usize)),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let data = forward(addr, &shard_req, "/v1/debug/requests")
+            .ok()
+            .filter(|resp| resp.status == 200)
+            .and_then(|resp| {
+                let body = String::from_utf8(resp.body).ok()?;
+                Json::parse(&body).ok()?.get("data").cloned()
+            });
+        let Some(data) = data else {
+            return Response::error(503, &format!("shard {i} flight records unavailable"));
+        };
+        let count = |key: &str| data.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        capacity += count("capacity");
+        recorded_total += count("recorded_total");
+        if let Some(requests) = data.get("requests").and_then(Json::as_array) {
+            for record in requests {
+                if let Json::Object(mut fields) = record.clone() {
+                    fields.push(("shard".into(), Json::num(i as f64)));
+                    merged.push(Json::Object(fields));
+                }
+            }
+        }
+    }
+    // One fleet timeline: newest completion first across every shard.
+    merged.sort_by(|a, b| {
+        let ts = |r: &Json| r.get("ts_unix_us").and_then(Json::as_f64).unwrap_or(0.0);
+        ts(b)
+            .partial_cmp(&ts(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    merged.truncate(n as usize);
+    let doc = Json::Object(vec![
+        ("capacity".into(), Json::num(capacity as f64)),
+        ("recorded_total".into(), Json::num(recorded_total as f64)),
+        ("shards".into(), Json::num(addrs.len() as f64)),
+        ("count".into(), Json::num(merged.len() as f64)),
+        ("requests".into(), Json::Array(merged)),
+    ]);
+    Response::json(200, envelope(&doc.to_string()))
+}
+
+/// Parent-side `GET /v1/debug/profile`: `?shard=i` forwards the request
+/// to that shard's profiler (422 when the index is out of range);
+/// without it the parent profiles its own routing process, as before.
+fn fleet_debug_profile(req: &Request, addrs: &Arc<Vec<String>>) -> Response {
+    match shard_index_param(req, addrs.len()) {
+        Err(resp) => *resp,
+        Ok(Some(i)) => forward(&addrs[i], req, "/v1/debug/profile")
+            .unwrap_or_else(|e| Response::error(503, &format!("shard {i} unavailable: {e}"))),
+        Ok(None) => debug_profile_response(req),
+    }
+}
+
 /// Response headers never relayed from a shard: connection framing is
 /// the parent's business, and the parent stamps its own request ID.
 const HOP_HEADERS: &[&str] = &[
@@ -1444,8 +1697,8 @@ const HOP_HEADERS: &[&str] = &[
 /// `Connection: close` framing; shard keep-alive serves external
 /// clients, not this internal hop) and parses the response. The
 /// client's `X-Request-Id` is propagated so parent and shard flight
-/// records correlate.
-fn forward(addr: &str, req: &Request, path: &str) -> std::io::Result<Response> {
+/// records correlate. Also the transport behind `gables top`'s polling.
+pub(crate) fn forward(addr: &str, req: &Request, path: &str) -> std::io::Result<Response> {
     use std::io::{Read as _, Write as _};
     let _span = obs::span("shard.forward");
     let mut stream = std::net::TcpStream::connect(addr)?;
@@ -1581,6 +1834,120 @@ mod tests {
         assert!(parse_serve_args(&["--replicas".into(), "two".into()]).is_err());
         assert!(parse_serve_args(&["--frob".into()]).is_err());
         assert!(parse_serve_args(&["a:1".into(), "b:2".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_serve_args_accepts_repeatable_slo_definitions() {
+        let opts = parse_serve_args(&[
+            "--slo".into(),
+            "route=/v1/eval p99<2ms err<0.1%".into(),
+            "--slo".into(),
+            "route=/v1/sweep p50<500us".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.slos.len(), 2);
+        assert_eq!(opts.slos[0].route, "/v1/eval");
+        assert_eq!(opts.slos[0].objectives.len(), 2);
+        assert_eq!(opts.slos[1].route, "/v1/sweep");
+        // Canonical text round-trips, so shards see the same definition.
+        assert_eq!(slo_arg(&opts.slos[0]), "route=/v1/eval p99<2ms err<0.1%");
+        assert_eq!(
+            SloSpec::parse(&slo_arg(&opts.slos[0])).unwrap(),
+            opts.slos[0]
+        );
+        assert!(parse_serve_args(&["--slo".into()]).is_err());
+        let err = parse_serve_args(&["--slo".into(), "p99<2ms".into()]).unwrap_err();
+        assert!(err.message.contains("route="), "{err}");
+        assert!(parse_serve_args(&["--slo".into(), "route=/v1/eval p75<2ms".into()]).is_err());
+    }
+
+    #[test]
+    fn slo_endpoint_reports_quantiles_and_burn_rates() {
+        let state = state().with_slos(vec![
+            SloSpec::parse("route=/v1/eval p99<1us").unwrap(),
+            SloSpec::parse("route=/v1/eval p99<60s err<50%").unwrap(),
+        ]);
+        for i in 0..50u64 {
+            let status = if i % 10 == 0 { 500 } else { 200 };
+            state.metrics.record_handled(
+                "/v1/eval",
+                status,
+                std::time::Duration::from_micros(100 + i),
+            );
+        }
+        let router = build_router_with(&state);
+        let resp = router.dispatch(&get("/v1/slo", None));
+        assert_eq!(resp.status, 200);
+        let (ok, data) = open_envelope(&resp);
+        assert!(ok);
+        assert_eq!(data.get("shards").and_then(Json::as_f64), Some(1.0));
+        let route = data.get("routes").unwrap().get("/v1/eval").unwrap();
+        assert_eq!(route.get("total").and_then(Json::as_f64), Some(50.0));
+        assert_eq!(route.get("errors").and_then(Json::as_f64), Some(5.0));
+        let cumulative = data
+            .get("quantiles")
+            .unwrap()
+            .get("/v1/eval")
+            .unwrap()
+            .get("cumulative")
+            .unwrap();
+        let p50 = cumulative.get("p50_us").and_then(Json::as_f64).unwrap();
+        assert!((100.0..=150.0).contains(&p50), "{p50}");
+        // Every request breaks p99<1us (burn ≫ 1); the generous SLO
+        // holds (burn ≤ 1 means within budget).
+        let slos = data.get("slos").unwrap().as_array().unwrap();
+        assert_eq!(slos.len(), 3, "one entry per objective");
+        let burn = |idx: usize| {
+            slos[idx].get("windows").unwrap().as_array().unwrap()[0]
+                .get("burn_rate")
+                .and_then(Json::as_f64)
+                .unwrap()
+        };
+        assert!(burn(0) > 1.0, "tight latency SLO must burn: {}", burn(0));
+        assert!(burn(1) <= 1.0, "loose latency SLO holds: {}", burn(1));
+        // err<50% with a 10% error rate burns at 0.2.
+        assert!((burn(2) - 0.2).abs() < 1e-9, "{}", burn(2));
+
+        let resp = router.dispatch(&get("/v1/slo", Some("format=prom")));
+        assert_eq!(resp.status, 200);
+        assert!(resp.content_type.starts_with("text/plain; version=0.0.4"));
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("gables_slo_shards 1\n"), "{body}");
+        assert!(
+            body.contains("gables_route_latency_quantile_seconds{route=\"/v1/eval\""),
+            "{body}"
+        );
+        assert!(
+            body.contains("gables_slo_burn_rate{route=\"/v1/eval\""),
+            "{body}"
+        );
+        assert!(body.contains("gables_slo_ok{route=\"/v1/eval\""), "{body}");
+    }
+
+    #[test]
+    fn fleet_debug_routes_reject_out_of_range_shard_indices() {
+        // The 422 contract needs no live shards: validation happens
+        // before any forwarding.
+        let addrs: Arc<Vec<String>> = Arc::new(vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()]);
+        for (target, handler) in [
+            (
+                "/v1/debug/profile",
+                fleet_debug_profile as fn(&Request, &Arc<Vec<String>>) -> Response,
+            ),
+            ("/v1/debug/requests", fleet_debug_requests),
+        ] {
+            for bad in ["shard=2", "shard=-1", "shard=one"] {
+                let resp = handler(&get(target, Some(bad)), &addrs);
+                assert_eq!(resp.status, 422, "{target}?{bad}");
+                let (ok, err) = open_envelope(&resp);
+                assert!(!ok);
+                assert_eq!(
+                    err.get("kind").and_then(Json::as_str),
+                    Some("invalid_parameter"),
+                    "{target}?{bad}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -2235,6 +2602,7 @@ mod tests {
                 method: "POST".into(),
                 route: "/v1/eval".into(),
                 status: 200,
+                ts_unix_us: 1_700_000_000_000_000 + i,
                 latency_us: 100 + i,
                 cache_hit: Some(i == 2),
                 allocs: 12,

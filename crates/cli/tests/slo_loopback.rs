@@ -1,0 +1,385 @@
+//! Real-socket acceptance tests for the fleet SLO plane: a request
+//! storm across `gables serve --replicas 2` must produce a parent
+//! `/v1/slo` whose merged `/v1/eval` sketch is bit-identical to both
+//! (a) the merge of the per-shard snapshots fetched directly from the
+//! shard children and (b) a union-stream sketch rebuilt locally from
+//! the exact per-request latencies in the fleet debug plane; sketch
+//! quantiles must honor the ±α relative-error bound against exact
+//! nearest-rank quantiles of those latencies; a deliberately
+//! unmeetable objective must report a burn rate above 1.0 while a
+//! generous one stays in SLO; and the fleet stays healthy through a
+//! client-side fault storm.
+//!
+//! The storm test is soak-sized (it spawns a parent plus two shard
+//! processes and pushes a few hundred requests); `scripts/check.sh
+//! --quick` skips it by exporting `GABLES_QUICK=1`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::Duration;
+
+use gables_cli::spec::FIGURE_6B_SPEC;
+use gables_model::json::Json;
+use gables_model::sketch::QuantileSketch;
+use gables_serve::faults::FaultSchedule;
+use gables_serve::SloSnapshot;
+
+/// Requests in the storm. Kept under a single shard's flight-ring
+/// capacity (64) so every latency survives for the exact-quantile
+/// check even if consistent hashing skews the split.
+const STORM: usize = 60;
+
+/// True when `scripts/check.sh --quick` asks to skip soak-sized tests.
+fn quick() -> bool {
+    std::env::var("GABLES_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// A supervised `gables serve` child process: spawned with
+/// `--announce`, bound address read from its stdout, shut down by
+/// dropping its stdin.
+struct ChildServer {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    addr: SocketAddr,
+}
+
+impl ChildServer {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_gables"));
+        cmd.arg("serve")
+            .arg("127.0.0.1:0")
+            .arg("--announce")
+            .args(extra_args)
+            .env("GABLES_LOG", "error")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child = cmd.spawn().expect("spawn gables serve");
+        let stdin = child.stdin.take();
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let line = lines
+            .next()
+            .expect("announcement line")
+            .expect("read announcement");
+        let addr = line
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+            .parse()
+            .expect("announced address");
+        ChildServer { child, stdin, addr }
+    }
+
+    fn stop(mut self) {
+        drop(self.stdin.take());
+        for _ in 0..100 {
+            if self.child.try_wait().expect("try_wait").is_some() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One close-delimited HTTP exchange; returns (status line, body).
+fn http(addr: SocketAddr, method: &str, target: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let raw = format!(
+        "{method} {target} HTTP/1.1\r\nHost: l\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(_) if !bytes.is_empty() => break,
+            Err(e) => panic!("read reply: {e}"),
+        }
+    }
+    let reply = String::from_utf8(bytes).expect("UTF-8 reply");
+    let (head, body) = reply.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_string();
+    (status, body.to_string())
+}
+
+/// GETs `target`, asserts 200, and returns the envelope's `data`.
+fn get_data(addr: SocketAddr, target: &str) -> Json {
+    let (status, body) = http(addr, "GET", target, "");
+    assert!(status.starts_with("HTTP/1.1 200"), "{target}: {status}");
+    let doc = Json::parse(&body).unwrap_or_else(|e| panic!("{target}: bad JSON ({e}): {body}"));
+    doc.get("data")
+        .unwrap_or_else(|| panic!("{target}: no data envelope: {body}"))
+        .clone()
+}
+
+/// The `i`-th storm spec: Figure 6b with a distinct `ppeak_gops`, so
+/// every request has a distinct canonical key and the consistent-hash
+/// ring spreads the storm across both shards.
+fn storm_spec(i: usize) -> String {
+    FIGURE_6B_SPEC.replace("ppeak_gops = 40", &format!("ppeak_gops = {}", 40 + i))
+}
+
+/// Exact nearest-rank quantile (1-based rank `⌈q·n⌉`), the same rule
+/// [`QuantileSketch::quantile`] uses, so the ±α bound is testable.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+#[test]
+fn fleet_slo_storm_aggregates_exactly_and_burns_budgets() {
+    if quick() {
+        return;
+    }
+    let server = ChildServer::spawn(&[
+        "--replicas",
+        "2",
+        "--slo",
+        "route=/v1/eval p99<1us",
+        "--slo",
+        "route=/v1/eval p99<60s err<50%",
+    ]);
+    let addr = server.addr;
+
+    // Discover the shard children behind the router.
+    let health = get_data(addr, "/v1/healthz?format=json");
+    let shard_addrs: Vec<SocketAddr> = health
+        .get("shards")
+        .and_then(Json::as_array)
+        .expect("shards listing")
+        .iter()
+        .map(|s| {
+            s.get("addr")
+                .and_then(Json::as_str)
+                .expect("shard addr")
+                .parse()
+                .expect("parse shard addr")
+        })
+        .collect();
+    assert_eq!(shard_addrs.len(), 2, "two shard children announced");
+
+    // The storm: distinct specs so the hash ring spreads them.
+    for i in 0..STORM {
+        let (status, body) = http(addr, "POST", "/v1/eval", &storm_spec(i));
+        assert!(
+            status.starts_with("HTTP/1.1 200"),
+            "eval {i}: {status} {body}"
+        );
+    }
+
+    // Harvest the exact latencies from the fleet debug plane before
+    // any further traffic can evict flight records.
+    let listing = get_data(addr, &format!("/v1/debug/requests?n={}", STORM * 4));
+    let capacity = listing.get("capacity").and_then(Json::as_f64).unwrap() as usize;
+    assert!(
+        STORM <= capacity / 2,
+        "storm ({STORM}) must fit one shard's flight ring (fleet capacity {capacity})"
+    );
+    assert_eq!(
+        listing.get("shards").and_then(Json::as_f64),
+        Some(2.0),
+        "merged listing reports its shard count"
+    );
+    let mut latencies: Vec<u64> = listing
+        .get("requests")
+        .and_then(Json::as_array)
+        .expect("requests array")
+        .iter()
+        .filter(|r| r.get("route").and_then(Json::as_str) == Some("/v1/eval"))
+        .map(|r| {
+            r.get("latency_us")
+                .and_then(Json::as_f64)
+                .expect("latency_us") as u64
+        })
+        .collect();
+    assert_eq!(latencies.len(), STORM, "every storm request was retained");
+    latencies.sort_unstable();
+
+    // Parent view first, then the shards directly: /v1/eval traffic is
+    // quiescent now, so the cumulative state cannot drift in between.
+    let fleet = get_data(addr, "/v1/slo");
+    let fleet_snapshot = SloSnapshot::from_json(&fleet).expect("parent snapshot decodes");
+    let fleet_eval = fleet_snapshot
+        .routes
+        .iter()
+        .find(|(route, _)| route == "/v1/eval")
+        .map(|(_, slo)| slo)
+        .expect("/v1/eval route in parent snapshot");
+    assert_eq!(fleet_eval.total, STORM as u64);
+    assert_eq!(fleet_eval.errors, 0);
+
+    // (a) The parent's merged sketch is bit-identical to the merge of
+    // the per-shard snapshots fetched straight from the children.
+    let mut union = SloSnapshot::empty();
+    for &shard in &shard_addrs {
+        let snapshot =
+            SloSnapshot::from_json(&get_data(shard, "/v1/slo")).expect("shard snapshot decodes");
+        let eval_total = snapshot
+            .routes
+            .iter()
+            .find(|(route, _)| route == "/v1/eval")
+            .map(|(_, slo)| slo.total)
+            .unwrap_or(0);
+        assert!(eval_total > 0, "the hash ring spread the storm to {shard}");
+        assert!(union.merge(&snapshot), "shard snapshots are compatible");
+    }
+    let union_eval = union
+        .routes
+        .iter()
+        .find(|(route, _)| route == "/v1/eval")
+        .map(|(_, slo)| slo)
+        .expect("/v1/eval route in shard union");
+    assert_eq!(union_eval.total, STORM as u64);
+    assert_eq!(
+        fleet_eval.cumulative.to_bytes(),
+        union_eval.cumulative.to_bytes(),
+        "parent merge is bit-identical to a direct shard merge"
+    );
+
+    // (b) ... and to a union-stream sketch rebuilt from the exact
+    // per-request latencies (merge order must not matter).
+    let mut replay = QuantileSketch::new(fleet_snapshot.alpha_ppm);
+    for &latency in &latencies {
+        replay.record(latency);
+    }
+    assert_eq!(
+        fleet_eval.cumulative.to_bytes(),
+        replay.to_bytes(),
+        "merged sketch is bit-identical to the union-stream sketch"
+    );
+
+    // Sketch quantiles honor the ±α relative-error bound against the
+    // exact nearest-rank quantiles of the recorded stream.
+    let alpha = f64::from(fleet_snapshot.alpha_ppm) / 1e6;
+    for q in [0.5, 0.9, 0.99] {
+        let exact = exact_quantile(&latencies, q) as f64;
+        let estimate = fleet_eval.cumulative.quantile(q).expect("quantile");
+        assert!(
+            (estimate - exact).abs() <= alpha * exact + 1e-6,
+            "p{q}: estimate {estimate} vs exact {exact} exceeds α={alpha}"
+        );
+    }
+
+    // Burn rates: the 1 µs objective is unmeetable (every eval takes
+    // longer), so its 1-minute burn must exceed 1.0; the generous
+    // objectives stay within budget.
+    let slos = fleet.get("slos").and_then(Json::as_array).expect("slos");
+    let entry = |label: &str| -> &Json {
+        slos.iter()
+            .find(|s| s.get("objective").and_then(Json::as_str) == Some(label))
+            .unwrap_or_else(|| panic!("objective {label} in slos"))
+    };
+    let minute = |label: &str, key: &str| -> f64 {
+        entry(label)
+            .get("windows")
+            .and_then(Json::as_array)
+            .unwrap()[0]
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{label} windows[0].{key}"))
+    };
+    let minute_ok = |label: &str| -> bool {
+        entry(label)
+            .get("windows")
+            .and_then(Json::as_array)
+            .unwrap()[0]
+            .get("ok")
+            .and_then(Json::as_bool)
+            .expect("windows[0].ok")
+    };
+    assert!(minute("p99<1us", "burn_rate") > 1.0, "tight SLO is burning");
+    assert!(!minute_ok("p99<1us"));
+    assert!(
+        minute("p99<60s", "burn_rate") <= 1.0,
+        "lax latency SLO holds"
+    );
+    assert!(minute_ok("p99<60s"));
+    assert!(
+        minute("err<50%", "burn_rate") <= 1.0,
+        "no 5xx: error SLO holds"
+    );
+    assert!(minute_ok("err<50%"));
+
+    // The Prometheus view of the same aggregation.
+    let (status, prom) = http(addr, "GET", "/v1/slo?format=prom", "");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    for needle in [
+        "gables_slo_shards 2",
+        "gables_route_latency_quantile_seconds{route=\"/v1/eval\",window=\"1m\",quantile=\"0.99\"}",
+        "gables_route_error_rate{route=\"/v1/eval\",window=\"1m\"} 0",
+        "gables_slo_burn_rate{route=\"/v1/eval\",objective=\"p99<1us\"",
+        "gables_slo_ok{route=\"/v1/eval\",objective=\"p99<1us\"} 0",
+        "gables_slo_ok{route=\"/v1/eval\",objective=\"err<50%\"} 1",
+    ] {
+        assert!(
+            prom.contains(needle),
+            "prom exposition missing {needle:?}:\n{prom}"
+        );
+    }
+
+    // A client-side fault storm (garbage bytes, slowloris, truncated
+    // bodies, ...) must neither crash the router nor poison the SLO
+    // plane: every fault resolves acceptably and the fleet stays
+    // healthy.
+    for case in FaultSchedule::new(0xDECAF).cases(12) {
+        let report = case
+            .inject(addr, Duration::from_secs(10))
+            .expect("inject fault");
+        assert!(report.acceptable(), "fault left a bad outcome: {report:?}");
+    }
+    let (status, _) = http(addr, "GET", "/v1/healthz", "");
+    assert!(
+        status.starts_with("HTTP/1.1 200"),
+        "fleet healthy after faults: {status}"
+    );
+
+    server.stop();
+}
+
+#[test]
+fn shard_pinning_forwards_and_rejects_out_of_range_indices() {
+    let server = ChildServer::spawn(&["--replicas", "2"]);
+    let addr = server.addr;
+
+    for i in 0..4 {
+        let (status, _) = http(addr, "POST", "/v1/eval", &storm_spec(i));
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    }
+
+    // A pinned shard answers with its own (untagged, unmerged) doc.
+    let pinned = get_data(addr, "/v1/debug/requests?n=8&shard=0");
+    assert!(pinned.get("shards").is_none(), "pinned doc is not merged");
+    assert!(pinned.get("requests").and_then(Json::as_array).is_some());
+
+    // The merged listing tags every record with its shard index.
+    let merged = get_data(addr, "/v1/debug/requests?n=8");
+    assert_eq!(merged.get("shards").and_then(Json::as_f64), Some(2.0));
+    for record in merged.get("requests").and_then(Json::as_array).unwrap() {
+        let shard = record
+            .get("shard")
+            .and_then(Json::as_f64)
+            .expect("shard tag");
+        assert!(shard == 0.0 || shard == 1.0, "shard tag in range: {shard}");
+    }
+
+    // Out-of-range pins are a 422 on both fleet debug routes.
+    for target in [
+        "/v1/debug/requests?shard=2",
+        "/v1/debug/profile?seconds=0.01&shard=2",
+    ] {
+        let (status, body) = http(addr, "GET", target, "");
+        assert!(status.starts_with("HTTP/1.1 422"), "{target}: {status}");
+        assert!(body.contains("invalid_parameter"), "{target}: {body}");
+    }
+
+    server.stop();
+}

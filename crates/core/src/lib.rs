@@ -68,6 +68,9 @@
 //! * [`rng`] — a tiny deterministic SplitMix64 PRNG used by tests,
 //!   benches, and the market synthesizer (the workspace builds offline,
 //!   with no registry dependencies).
+//! * [`sketch`] — deterministic DDSketch-style streaming quantile
+//!   sketches with exact merge, plus the rolling multi-window ring
+//!   behind the serving tier's SLO engine.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -86,6 +89,7 @@ pub mod obs;
 pub mod par;
 pub mod prof;
 pub mod rng;
+pub mod sketch;
 pub mod soc;
 pub mod two_ip;
 pub mod units;

@@ -1,0 +1,667 @@
+//! Deterministic streaming latency quantiles with a provable error
+//! bound, plus a rolling multi-window ring for windowed SLO math.
+//!
+//! The centerpiece is [`QuantileSketch`], a DDSketch-style sketch over
+//! integer microsecond latencies: values are hashed into γ-indexed
+//! geometric buckets where `γ = (1 + α) / (1 − α)` for a configured
+//! relative accuracy `α`. Bucket `i` covers `[γ^i, γ^(i+1))` and is
+//! estimated by the point `γ^i · 2γ/(γ+1)`, which sits within `±α`
+//! relative error of every value in the bucket (see DESIGN.md for the
+//! two-line proof). All retained state is integral — bucket indices,
+//! counts, and microsecond sums — so [`QuantileSketch::merge`] is an
+//! exact bucket-wise addition: merging per-shard sketches yields a
+//! sketch *bit-identical* to one fed the union stream, and merge is
+//! commutative and associative by construction.
+//!
+//! [`WindowRing`] stacks sketches into a ring of fixed 10-second slots
+//! (one hour of coverage) so callers can ask for p50/p90/p99 and error
+//! rates over trailing 1m/5m/1h windows — the windows SLO burn-rate
+//! alerting conventionally pairs (fast burn on the short window,
+//! sustained burn on the long one). Time is always passed in by the
+//! caller as whole seconds, keeping every code path deterministic
+//! under test.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::Json;
+
+/// Default relative accuracy: 1% (10_000 parts per million).
+pub const DEFAULT_ALPHA_PPM: u32 = 10_000;
+
+/// Seconds covered by one ring slot.
+pub const SLOT_SECS: u64 = 10;
+
+/// Number of slots in the ring: one hour of 10-second slots.
+pub const RING_SLOTS: usize = 360;
+
+/// The trailing windows the ring answers for, in seconds (1m/5m/1h).
+pub const WINDOWS_SECS: [u64; 3] = [60, 300, 3600];
+
+/// Magic prefix for the binary codec (version 1).
+const BINARY_MAGIC: &[u8; 4] = b"GSK1";
+
+/// A deterministic DDSketch-style streaming quantile sketch over
+/// integer microsecond values.
+///
+/// State is fully integral so that [`merge`](Self::merge) is exact:
+/// `merge(a, b) == merge(b, a)` bit for bit, and a merged fleet of
+/// sketches equals a single sketch fed the union of their streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    /// Relative accuracy α in parts per million.
+    alpha_ppm: u32,
+    /// Count of recorded zero values (index undefined at v = 0).
+    zero_count: u64,
+    /// Total recorded values, including zeros.
+    count: u64,
+    /// Sum of recorded values, for mean computation.
+    sum_us: u64,
+    /// Smallest recorded value (`u64::MAX` while empty).
+    min_us: u64,
+    /// Largest recorded value.
+    max_us: u64,
+    /// γ-indexed bucket counts, keyed by `floor(ln v / ln γ)`.
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(DEFAULT_ALPHA_PPM)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative accuracy `alpha_ppm` parts per
+    /// million (clamped to `[100, 200_000]`, i.e. 0.01%–20%).
+    pub fn new(alpha_ppm: u32) -> Self {
+        QuantileSketch {
+            alpha_ppm: alpha_ppm.clamp(100, 200_000),
+            zero_count: 0,
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// Relative accuracy α as a fraction (e.g. `0.01` for 1%).
+    pub fn alpha(&self) -> f64 {
+        self.alpha_ppm as f64 / 1_000_000.0
+    }
+
+    /// Relative accuracy in parts per million, as configured.
+    pub fn alpha_ppm(&self) -> u32 {
+        self.alpha_ppm
+    }
+
+    /// γ = (1 + α) / (1 − α).
+    fn gamma(&self) -> f64 {
+        let alpha = self.alpha();
+        (1.0 + alpha) / (1.0 - alpha)
+    }
+
+    /// Total recorded values, including zeros.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min_us(&self) -> Option<u64> {
+        (self.count > 0).then_some(if self.zero_count > 0 { 0 } else { self.min_us })
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max_us(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_us)
+    }
+
+    /// Number of occupied buckets (excluding the implicit zero bucket).
+    pub fn bucket_len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The γ-bucket index for a nonzero value: `floor(ln v / ln γ)`.
+    pub fn bucket_index(&self, value_us: u64) -> u32 {
+        debug_assert!(value_us > 0);
+        let idx = (value_us as f64).ln() / self.gamma().ln();
+        // floor() of a value ≥ 0 − ulp noise; clamp defensively.
+        idx.floor().max(0.0) as u32
+    }
+
+    /// The representative point of bucket `i`: `γ^i · 2γ/(γ+1)`,
+    /// within ±α relative error of every value in `[γ^i, γ^(i+1))`.
+    fn bucket_estimate(&self, index: u32) -> f64 {
+        let gamma = self.gamma();
+        gamma.powi(index as i32) * (2.0 * gamma / (gamma + 1.0))
+    }
+
+    /// Records one value (microseconds).
+    pub fn record(&mut self, value_us: u64) {
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(value_us);
+        self.min_us = self.min_us.min(value_us);
+        self.max_us = self.max_us.max(value_us);
+        if value_us == 0 {
+            self.zero_count += 1;
+        } else {
+            *self.buckets.entry(self.bucket_index(value_us)).or_insert(0) += 1;
+        }
+    }
+
+    /// Lossless merge: bucket-wise integer addition. Exact, so it is
+    /// commutative and associative, and merging shard sketches equals
+    /// sketching the union stream. Sketches must share `alpha_ppm`;
+    /// merging mismatched accuracies returns `false` and leaves `self`
+    /// untouched.
+    #[must_use = "a false return means the sketches were incompatible"]
+    pub fn merge(&mut self, other: &QuantileSketch) -> bool {
+        if self.alpha_ppm != other.alpha_ppm {
+            return false;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        for (&index, &n) in &other.buckets {
+            *self.buckets.entry(index).or_insert(0) += n;
+        }
+        true
+    }
+
+    /// Estimated quantile `q ∈ [0, 1]` in microseconds, or `None` when
+    /// empty. Uses the nearest-rank rule (1-based rank `⌈q·n⌉`), the
+    /// same rule tests apply to the exact sorted stream, so the ±α
+    /// guarantee is testable end to end.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank <= self.zero_count {
+            return Some(0.0);
+        }
+        let mut cumulative = self.zero_count;
+        for (&index, &n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                let estimate = self.bucket_estimate(index);
+                // The true min/max tighten the estimate at the edges
+                // without ever loosening the α bound.
+                return Some(estimate.clamp(self.min_us as f64, self.max_us as f64));
+            }
+        }
+        Some(self.max_us as f64)
+    }
+
+    /// Count of recorded values strictly greater than `threshold_us`,
+    /// estimated from whole buckets above the threshold's bucket. Used
+    /// for SLO violation rates (`p99 < 2ms` → values above 2ms burn
+    /// budget).
+    pub fn count_above(&self, threshold_us: u64) -> u64 {
+        if threshold_us == 0 {
+            return self.count - self.zero_count;
+        }
+        let boundary = self.bucket_index(threshold_us);
+        self.buckets
+            .iter()
+            .filter(|(&index, _)| index > boundary)
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Compact JSON codec: every field integral, so the round trip is
+    /// exact and merged decodes equal decoded merges.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.buckets.len() * 16);
+        // An empty sketch's `min_us` sentinel (`u64::MAX`) exceeds
+        // JSON's exact-integer range; encode it as 0 and restore the
+        // sentinel on decode (`count == 0` implies no min exists).
+        let min_us = if self.count == 0 { 0 } else { self.min_us };
+        let _ = write!(
+            out,
+            "{{\"alpha_ppm\":{},\"zero\":{},\"count\":{},\"sum_us\":{},\"min_us\":{},\"max_us\":{},\"buckets\":[",
+            self.alpha_ppm, self.zero_count, self.count, self.sum_us, min_us, self.max_us
+        );
+        for (i, (&index, &n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{index},{n}]");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Decodes [`to_json`](Self::to_json) output (or the same object
+    /// embedded in a larger document). Returns `None` on any shape or
+    /// consistency violation.
+    pub fn from_json(json: &Json) -> Option<QuantileSketch> {
+        let int = |key: &str| -> Option<u64> {
+            let x = json.get(key)?.as_f64()?;
+            (x >= 0.0 && x <= 2f64.powi(53) && x.fract() == 0.0).then_some(x as u64)
+        };
+        let alpha_ppm = int("alpha_ppm")?;
+        if !(100..=200_000).contains(&alpha_ppm) {
+            return None;
+        }
+        let mut sketch = QuantileSketch::new(alpha_ppm as u32);
+        sketch.zero_count = int("zero")?;
+        sketch.count = int("count")?;
+        sketch.sum_us = int("sum_us")?;
+        sketch.min_us = int("min_us")?;
+        sketch.max_us = int("max_us")?;
+        if sketch.count == 0 {
+            sketch.min_us = u64::MAX;
+        }
+        let mut total = sketch.zero_count;
+        for pair in json.get("buckets")?.as_array()? {
+            let pair = pair.as_array()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            let index = pair[0].as_f64()?;
+            let n = pair[1].as_f64()?;
+            if index < 0.0 || index.fract() != 0.0 || n < 1.0 || n.fract() != 0.0 {
+                return None;
+            }
+            // BTreeMap ordering makes duplicate keys detectable.
+            if sketch.buckets.insert(index as u32, n as u64).is_some() {
+                return None;
+            }
+            total += n as u64;
+        }
+        (total == sketch.count).then_some(sketch)
+    }
+
+    /// Parses a sketch from JSON text.
+    pub fn parse(text: &str) -> Option<QuantileSketch> {
+        QuantileSketch::from_json(&Json::parse(text).ok()?)
+    }
+
+    /// Compact little-endian binary codec (`GSK1` magic): fixed header
+    /// then `(u32 index, u64 count)` pairs in ascending index order.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48 + self.buckets.len() * 12);
+        out.extend_from_slice(BINARY_MAGIC);
+        out.extend_from_slice(&self.alpha_ppm.to_le_bytes());
+        out.extend_from_slice(&self.zero_count.to_le_bytes());
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum_us.to_le_bytes());
+        out.extend_from_slice(&self.min_us.to_le_bytes());
+        out.extend_from_slice(&self.max_us.to_le_bytes());
+        out.extend_from_slice(&(self.buckets.len() as u32).to_le_bytes());
+        for (&index, &n) in &self.buckets {
+            out.extend_from_slice(&index.to_le_bytes());
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes [`to_bytes`](Self::to_bytes) output; `None` on any
+    /// truncation, bad magic, disorder, or count mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Option<QuantileSketch> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let slice = bytes.get(*at..*at + n)?;
+            *at += n;
+            Some(slice)
+        };
+        let u32_at = |at: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(at, 4)?.try_into().ok()?))
+        };
+        let u64_at = |at: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(at, 8)?.try_into().ok()?))
+        };
+        if take(&mut at, 4)? != BINARY_MAGIC {
+            return None;
+        }
+        let alpha_ppm = u32_at(&mut at)?;
+        if !(100..=200_000).contains(&alpha_ppm) {
+            return None;
+        }
+        let mut sketch = QuantileSketch::new(alpha_ppm);
+        sketch.zero_count = u64_at(&mut at)?;
+        sketch.count = u64_at(&mut at)?;
+        sketch.sum_us = u64_at(&mut at)?;
+        sketch.min_us = u64_at(&mut at)?;
+        sketch.max_us = u64_at(&mut at)?;
+        let buckets = u32_at(&mut at)? as usize;
+        let mut total = sketch.zero_count;
+        let mut last: Option<u32> = None;
+        for _ in 0..buckets {
+            let index = u32_at(&mut at)?;
+            let n = u64_at(&mut at)?;
+            if n == 0 || last.is_some_and(|prev| prev >= index) {
+                return None;
+            }
+            last = Some(index);
+            sketch.buckets.insert(index, n);
+            total += n;
+        }
+        (at == bytes.len() && total == sketch.count).then_some(sketch)
+    }
+}
+
+/// One ring slot: a sketch plus error/total counters, stamped with the
+/// absolute slot number it covers so stale slots are detected on reuse.
+#[derive(Debug, Clone, Default)]
+struct WindowSlot {
+    /// Absolute slot number (`now_secs / SLOT_SECS`); 0 means unused.
+    epoch_slot: u64,
+    sketch: QuantileSketch,
+    errors: u64,
+    total: u64,
+}
+
+/// Windowed statistics merged over a trailing window of ring slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Window length in seconds, as requested.
+    pub window_secs: u64,
+    /// Merged sketch over the window.
+    pub sketch: QuantileSketch,
+    /// Requests counted as errors in the window.
+    pub errors: u64,
+    /// Total requests in the window.
+    pub total: u64,
+}
+
+impl WindowStats {
+    /// Error rate in `[0, 1]`; `0` when the window saw no traffic.
+    pub fn error_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.total as f64
+        }
+    }
+}
+
+/// A ring of [`RING_SLOTS`] fixed [`SLOT_SECS`]-second slots holding
+/// per-slot sketches and error counters, answering merged stats for
+/// any trailing window up to one hour. The caller supplies wall time
+/// as whole seconds, so tests drive the clock deterministically.
+#[derive(Debug, Clone)]
+pub struct WindowRing {
+    alpha_ppm: u32,
+    slots: Vec<WindowSlot>,
+}
+
+impl Default for WindowRing {
+    fn default() -> Self {
+        WindowRing::new(DEFAULT_ALPHA_PPM)
+    }
+}
+
+impl WindowRing {
+    /// An empty ring whose slot sketches use `alpha_ppm` accuracy.
+    pub fn new(alpha_ppm: u32) -> Self {
+        WindowRing {
+            alpha_ppm,
+            slots: vec![WindowSlot::default(); RING_SLOTS],
+        }
+    }
+
+    /// Records one request at wall time `now_secs`.
+    pub fn record(&mut self, now_secs: u64, latency_us: u64, is_error: bool) {
+        let epoch_slot = now_secs / SLOT_SECS;
+        let slot = &mut self.slots[(epoch_slot % RING_SLOTS as u64) as usize];
+        if slot.epoch_slot != epoch_slot {
+            // The ring lapped: this slot last covered a window at
+            // least an hour old. Reset it for the current interval.
+            slot.epoch_slot = epoch_slot;
+            slot.sketch = QuantileSketch::new(self.alpha_ppm);
+            slot.errors = 0;
+            slot.total = 0;
+        }
+        slot.sketch.record(latency_us);
+        slot.total += 1;
+        if is_error {
+            slot.errors += 1;
+        }
+    }
+
+    /// Merged stats over the trailing `window_secs` ending at
+    /// `now_secs` (clamped to the hour the ring covers).
+    pub fn window(&self, now_secs: u64, window_secs: u64) -> WindowStats {
+        let window_secs = window_secs.clamp(SLOT_SECS, SLOT_SECS * RING_SLOTS as u64);
+        let newest = now_secs / SLOT_SECS;
+        let span = window_secs / SLOT_SECS;
+        let oldest = newest.saturating_sub(span - 1);
+        let mut stats = WindowStats {
+            window_secs,
+            sketch: QuantileSketch::new(self.alpha_ppm),
+            errors: 0,
+            total: 0,
+        };
+        for slot in &self.slots {
+            if slot.total > 0 && (oldest..=newest).contains(&slot.epoch_slot) {
+                let merged = stats.sketch.merge(&slot.sketch);
+                debug_assert!(merged, "ring slots share one alpha");
+                stats.errors += slot.errors;
+                stats.total += slot.total;
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    /// Exact nearest-rank quantile over a sorted slice, matching the
+    /// rank rule `quantile()` uses.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    /// A heavy-tailed latency corpus: log-uniform µs values spanning
+    /// five orders of magnitude, the regime web latencies live in.
+    fn corpus(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let exponent = rng.range_f64(0.0, 5.0);
+                10f64.powf(exponent) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantiles_within_alpha_of_exact_on_ten_thousand_latencies() {
+        let values = corpus(0x51E7C4, 10_000);
+        let mut sketch = QuantileSketch::default();
+        for &v in &values {
+            sketch.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let alpha = sketch.alpha();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&sorted, q) as f64;
+            let estimate = sketch.quantile(q).expect("nonempty");
+            // Integer truncation at record time can cost up to 1µs on
+            // top of the α relative bound.
+            let bound = alpha * exact + 1.0;
+            assert!(
+                (estimate - exact).abs() <= bound,
+                "q={q}: estimate {estimate} vs exact {exact} (α={alpha})"
+            );
+        }
+        assert_eq!(sketch.count(), 10_000);
+        assert_eq!(sketch.sum_us(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merged_shards_are_bit_identical_to_the_union_stream() {
+        let values = corpus(0xFEED, 10_001);
+        let mut union = QuantileSketch::default();
+        let mut shards = [
+            QuantileSketch::default(),
+            QuantileSketch::default(),
+            QuantileSketch::default(),
+        ];
+        for (i, &v) in values.iter().enumerate() {
+            union.record(v);
+            shards[i % 3].record(v);
+        }
+        // merge(a, merge(b, c)) and merge(merge(a, b), c), both == union.
+        let mut left = shards[0].clone();
+        assert!(left.merge(&shards[1]));
+        assert!(left.merge(&shards[2]));
+        let mut right_tail = shards[1].clone();
+        assert!(right_tail.merge(&shards[2]));
+        let mut right = shards[0].clone();
+        assert!(right.merge(&right_tail));
+        assert_eq!(left, union, "merge must equal the union stream");
+        assert_eq!(right, union, "merge must be associative");
+        // Commutativity.
+        let mut ab = shards[0].clone();
+        assert!(ab.merge(&shards[1]));
+        let mut ba = shards[1].clone();
+        assert!(ba.merge(&shards[0]));
+        assert_eq!(ab, ba);
+        // And byte-for-byte identical over both codecs.
+        assert_eq!(left.to_bytes(), union.to_bytes());
+        assert_eq!(left.to_json(), union.to_json());
+    }
+
+    #[test]
+    fn json_and_binary_codecs_round_trip_exactly() {
+        let mut sketch = QuantileSketch::new(25_000);
+        for &v in &[0, 0, 1, 7, 93, 12_345, 7_777_777] {
+            sketch.record(v);
+        }
+        let decoded = QuantileSketch::parse(&sketch.to_json()).expect("json round trip");
+        assert_eq!(decoded, sketch);
+        let decoded = QuantileSketch::from_bytes(&sketch.to_bytes()).expect("binary round trip");
+        assert_eq!(decoded, sketch);
+        // Empty sketches round-trip too.
+        let empty = QuantileSketch::default();
+        assert_eq!(QuantileSketch::parse(&empty.to_json()), Some(empty.clone()));
+        assert_eq!(QuantileSketch::from_bytes(&empty.to_bytes()), Some(empty));
+    }
+
+    #[test]
+    fn codecs_reject_malformed_input() {
+        let mut sketch = QuantileSketch::default();
+        sketch.record(5);
+        // Tampered total: bucket counts no longer sum to `count`.
+        let tampered = sketch.to_json().replace("\"count\":1", "\"count\":3");
+        assert_eq!(QuantileSketch::parse(&tampered), None);
+        assert_eq!(QuantileSketch::parse("{\"alpha_ppm\":10000}"), None);
+        assert_eq!(QuantileSketch::parse("[1,2]"), None);
+        let mut bytes = sketch.to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(QuantileSketch::from_bytes(&bytes), None);
+        let mut truncated = sketch.to_bytes();
+        truncated.pop();
+        assert_eq!(QuantileSketch::from_bytes(&truncated), None);
+        assert_eq!(QuantileSketch::from_bytes(b""), None);
+    }
+
+    #[test]
+    fn zero_values_and_extremes_are_representable() {
+        let mut sketch = QuantileSketch::default();
+        sketch.record(0);
+        sketch.record(0);
+        sketch.record(1_000_000);
+        assert_eq!(sketch.quantile(0.5), Some(0.0));
+        assert_eq!(sketch.min_us(), Some(0));
+        assert_eq!(sketch.max_us(), Some(1_000_000));
+        let p100 = sketch.quantile(1.0).expect("nonempty");
+        assert!((p100 - 1_000_000.0).abs() <= sketch.alpha() * 1_000_000.0);
+        assert_eq!(QuantileSketch::default().quantile(0.5), None);
+        // Mismatched accuracies refuse to merge.
+        let mut coarse = QuantileSketch::new(50_000);
+        assert!(!coarse.merge(&sketch));
+        assert_eq!(coarse.count(), 0);
+    }
+
+    #[test]
+    fn count_above_tracks_threshold_violations() {
+        let mut sketch = QuantileSketch::default();
+        for v in [100u64, 200, 400, 800, 1_600, 3_200] {
+            sketch.record(v);
+        }
+        // Everything strictly above ~800µs: 1600 and 3200.
+        assert_eq!(sketch.count_above(800), 2);
+        assert_eq!(sketch.count_above(5_000), 0);
+        assert_eq!(sketch.count_above(0), 6);
+    }
+
+    #[test]
+    fn window_ring_answers_trailing_windows_and_laps_cleanly() {
+        let mut ring = WindowRing::default();
+        let t0 = 1_700_000_000u64;
+        // One request per second for 90 seconds, errors every 10th.
+        for s in 0..90u64 {
+            ring.record(t0 + s, 1_000 + s, s % 10 == 0);
+        }
+        let now = t0 + 89;
+        let minute = ring.window(now, 60);
+        // The 1m window spans 6 slots = 60 one-per-second records.
+        assert_eq!(minute.total, 60);
+        assert_eq!(minute.errors, 6);
+        assert!((minute.error_rate() - 0.1).abs() < 1e-12);
+        let hour = ring.window(now, 3600);
+        assert_eq!(hour.total, 90);
+        assert_eq!(hour.errors, 9);
+        // An hour later the ring has lapped: old slots are reset on
+        // write and ignored on read.
+        let later = t0 + 3_600 + 89;
+        ring.record(later, 42, false);
+        let fresh = ring.window(later, 60);
+        assert_eq!(fresh.total, 1);
+        assert_eq!(fresh.errors, 0);
+        let stale = ring.window(later, 3600);
+        assert_eq!(
+            stale.total, 1,
+            "slots older than the ring's hour never reappear"
+        );
+    }
+
+    #[test]
+    fn window_stats_merge_matches_direct_recording() {
+        // Two shards recording interleaved traffic; the merged window
+        // sketch must equal one ring fed everything.
+        let mut a = WindowRing::default();
+        let mut b = WindowRing::default();
+        let mut union = WindowRing::default();
+        let mut rng = SplitMix64::new(0xAB);
+        let t0 = 1_700_000_000u64;
+        for i in 0..500u64 {
+            let at = t0 + i % 60;
+            let latency = rng.range_u64(1, 100_000);
+            let err = rng.chance(0.05);
+            union.record(at, latency, err);
+            if i % 2 == 0 {
+                a.record(at, latency, err);
+            } else {
+                b.record(at, latency, err);
+            }
+        }
+        let now = t0 + 59;
+        let mut merged = a.window(now, 60);
+        let from_b = b.window(now, 60);
+        assert!(merged.sketch.merge(&from_b.sketch));
+        merged.errors += from_b.errors;
+        merged.total += from_b.total;
+        let direct = union.window(now, 60);
+        assert_eq!(merged.sketch, direct.sketch);
+        assert_eq!(merged.errors, direct.errors);
+        assert_eq!(merged.total, direct.total);
+    }
+}

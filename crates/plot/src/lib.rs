@@ -31,6 +31,7 @@ pub mod gantt;
 pub mod hist;
 pub mod scale;
 pub mod span_tree;
+pub mod spark;
 pub mod svg;
 
 pub use ascii::render_ascii;
@@ -42,4 +43,5 @@ pub use flame::{render_flame, render_self_time_table};
 pub use gantt::{render_timeline, utilization_row, TimelineRow, TimelineSpan};
 pub use hist::render_histogram;
 pub use span_tree::{render_span_tree, span_tree_summary};
+pub use spark::{gauge, sparkline};
 pub use svg::SvgDocument;

@@ -1,0 +1,99 @@
+//! Terminal sparklines and gauges for the `gables top` live dashboard.
+//!
+//! A sparkline compresses a short history of samples (one per poll
+//! tick) into a fixed-width strip of block glyphs; a gauge renders a
+//! single fraction as a bracketed bar. Both are pure text — no ANSI
+//! colour — so frames diff cleanly in tests and paste into docs.
+
+/// The eight block glyphs, shortest to tallest.
+const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders the last `width` samples as a sparkline, scaled to the
+/// min..max of the *rendered* window so the shape stays readable as
+/// the series drifts. Missing history (fewer samples than `width`)
+/// left-pads with spaces; a flat or empty series renders the lowest
+/// tick for every present sample.
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let shown = &values[values.len().saturating_sub(width)..];
+    let mut out = String::with_capacity(width * 3);
+    for _ in shown.len()..width {
+        out.push(' ');
+    }
+    let finite = shown.iter().copied().filter(|v| v.is_finite());
+    let lo = finite.clone().fold(f64::INFINITY, f64::min);
+    let hi = finite.fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    for &v in shown {
+        if !v.is_finite() {
+            out.push(' ');
+            continue;
+        }
+        let level = if span > 0.0 {
+            (((v - lo) / span) * (TICKS.len() - 1) as f64).round() as usize
+        } else {
+            0
+        };
+        out.push(TICKS[level.min(TICKS.len() - 1)]);
+    }
+    out
+}
+
+/// Renders a fraction as a `[####......]` gauge of `width` cells.
+/// Fractions above 1 fill the bar and flag the overflow with a `!`
+/// (the burn-rate case: past 1.0 the budget is burning), negatives and
+/// NaN clamp to empty.
+pub fn gauge(fraction: f64, width: usize) -> String {
+    let width = width.max(1);
+    let clamped = if fraction.is_finite() {
+        fraction.clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (clamped * width as f64).round() as usize;
+    let mut out = String::with_capacity(width + 3);
+    out.push('[');
+    for i in 0..width {
+        out.push(if i < filled { '#' } else { '.' });
+    }
+    out.push(']');
+    if fraction.is_finite() && fraction > 1.0 {
+        out.push('!');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_the_rendered_window() {
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], 8);
+        assert_eq!(line, "▁▂▃▄▅▆▇█");
+        // Only the last `width` samples matter for the scale.
+        let line = sparkline(&[1000.0, 0.0, 7.0], 2);
+        assert_eq!(line.chars().count(), 2);
+        assert_eq!(line, "▁█");
+    }
+
+    #[test]
+    fn sparkline_pads_missing_history_and_handles_flat_series() {
+        let line = sparkline(&[5.0, 5.0], 6);
+        assert_eq!(line, "    ▁▁");
+        assert_eq!(sparkline(&[], 4), "    ");
+        // Non-finite samples render as gaps, not panics.
+        let line = sparkline(&[1.0, f64::NAN, 2.0], 3);
+        assert_eq!(line.chars().count(), 3);
+        assert_eq!(line.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn gauge_fills_clamps_and_flags_overflow() {
+        assert_eq!(gauge(0.0, 10), "[..........]");
+        assert_eq!(gauge(0.5, 10), "[#####.....]");
+        assert_eq!(gauge(1.0, 10), "[##########]");
+        assert_eq!(gauge(3.7, 10), "[##########]!");
+        assert_eq!(gauge(-2.0, 4), "[....]");
+        assert_eq!(gauge(f64::NAN, 4), "[....]");
+    }
+}

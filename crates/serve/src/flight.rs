@@ -31,6 +31,10 @@ pub struct FlightRecord {
     pub route: String,
     /// Response status code.
     pub status: u16,
+    /// Wall-clock completion time, microseconds since the Unix epoch.
+    /// Lets a replica router interleave shard flight records into one
+    /// fleet-wide timeline.
+    pub ts_unix_us: u64,
     /// End-to-end service latency in microseconds.
     pub latency_us: u64,
     /// Cache outcome, when the handler reported one.
@@ -69,6 +73,7 @@ impl FlightRecord {
             ("method".to_string(), Json::str(&self.method)),
             ("route".to_string(), Json::str(&self.route)),
             ("status".to_string(), Json::num(f64::from(self.status))),
+            ("ts_unix_us".to_string(), Json::num(self.ts_unix_us as f64)),
             ("latency_us".to_string(), Json::num(self.latency_us as f64)),
             (
                 "cache".to_string(),
@@ -181,6 +186,7 @@ mod tests {
             method: "GET".to_string(),
             route: "/v1/eval".to_string(),
             status,
+            ts_unix_us: 1_700_000_000_000_000,
             latency_us: 42,
             cache_hit: Some(false),
             allocs: 7,

@@ -77,6 +77,7 @@ pub mod http;
 pub mod metrics;
 pub mod poll;
 pub mod server;
+pub mod slo;
 
 pub use cache::ShardedCache;
 pub use faults::{FaultCase, FaultKind, FaultOutcome, FaultReport, FaultSchedule};
@@ -87,3 +88,4 @@ pub use http::{
 };
 pub use metrics::{MetricsSnapshot, ServerMetrics, LATENCY_BUCKETS, MAX_ROUTE_LABELS};
 pub use server::{Handler, Router, Server, ServerConfig, ServerHandle};
+pub use slo::{SloRegistry, SloSnapshot, SloSpec};

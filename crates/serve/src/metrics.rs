@@ -57,6 +57,9 @@ pub struct ServerMetrics {
     // Accumulated span self-time per phase (span name), microseconds.
     // Same cardinality discipline as `routes`.
     phase_self_us: Mutex<BTreeMap<String, u64>>,
+    // Per-route quantile sketches and windowed error rates for the SLO
+    // engine; fed by the same `record_handled` call as everything else.
+    slo: crate::slo::SloRegistry,
 }
 
 impl ServerMetrics {
@@ -76,10 +79,9 @@ impl ServerMetrics {
         }
         .fetch_add(1, Ordering::Relaxed);
         self.latency[Self::bucket_for(latency)].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_us.fetch_add(
-            latency.as_micros().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
-        );
+        let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_sum_us.fetch_add(latency_us, Ordering::Relaxed);
+        self.slo.record(route, status, latency_us);
         let mut routes = self.routes.lock().expect("metrics route map poisoned");
         if routes.len() >= MAX_ROUTE_LABELS && !routes.contains_key(route) {
             *routes.entry("(other)".to_string()).or_insert(0) += 1;
@@ -103,6 +105,12 @@ impl ServerMetrics {
         } else {
             *phases.entry(phase.to_string()).or_insert(0) += us;
         }
+    }
+
+    /// The per-route SLO registry fed by [`Self::record_handled`] —
+    /// quantile sketches and windowed error rates for `/v1/slo`.
+    pub fn slo(&self) -> &crate::slo::SloRegistry {
+        &self.slo
     }
 
     /// Records one connection refused by queue backpressure (503 sent
@@ -232,19 +240,31 @@ impl MetricsSnapshot {
     /// The human label of one latency bucket (`"<1us"`, `"<2us"`, …,
     /// `">=2.1s"` for the overflow bucket).
     pub fn bucket_label(i: usize) -> String {
-        fn fmt_micros(micros: u128) -> String {
+        let mut out = String::with_capacity(8);
+        Self::push_bucket_label(&mut out, i);
+        out
+    }
+
+    /// Appends one latency bucket's label into `out` without
+    /// allocating (beyond any growth of `out` itself) — the hot-path
+    /// form [`Self::bucket_label`] wraps.
+    pub fn push_bucket_label(out: &mut String, i: usize) {
+        fn push_micros(out: &mut String, micros: u128) {
+            use std::fmt::Write as _;
             if micros >= 1_000_000 {
-                format!("{:.1}s", micros as f64 / 1e6)
+                let _ = write!(out, "{:.1}s", micros as f64 / 1e6);
             } else if micros >= 1_000 {
-                format!("{:.0}ms", micros as f64 / 1e3)
+                let _ = write!(out, "{:.0}ms", micros as f64 / 1e3);
             } else {
-                format!("{micros}us")
+                let _ = write!(out, "{micros}us");
             }
         }
         if i + 1 >= LATENCY_BUCKETS {
-            format!(">={}", fmt_micros(1u128 << (LATENCY_BUCKETS - 2)))
+            out.push_str(">=");
+            push_micros(out, 1u128 << (LATENCY_BUCKETS - 2));
         } else {
-            format!("<{}", fmt_micros(1u128 << i))
+            out.push('<');
+            push_micros(out, 1u128 << i);
         }
     }
 
@@ -428,125 +448,169 @@ impl MetricsSnapshot {
     /// total handled. `uptime_seconds` and `build_info` come from the
     /// caller because a snapshot has no clock or version of its own.
     pub fn to_prometheus(&self, uptime_seconds: f64, version: &str) -> String {
-        let mut out = String::new();
-        let mut metric = |name: &str, kind: &str, help: &str, series: &[(String, u64)]| {
-            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
-            for (labels, value) in series {
-                out.push_str(&format!("{name}{labels} {value}\n"));
-            }
+        let mut out = String::with_capacity(2048);
+        self.to_prometheus_into(&mut out, uptime_seconds, version);
+        out
+    }
+
+    /// Renders the Prometheus exposition into a caller-provided buffer
+    /// without allocating: every label and value is written straight
+    /// into `out` (integer and float `Display` format on the stack),
+    /// so a scrape that reuses its buffer does zero heap work. The
+    /// allocation budget is asserted by `tests/alloc_budget.rs`.
+    pub fn to_prometheus_into(&self, out: &mut String, uptime_seconds: f64, version: &str) {
+        use std::fmt::Write as _;
+        let header = |out: &mut String, name: &str, kind: &str, help: &str| {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(help);
+            out.push_str("\n# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(kind);
+            out.push('\n');
         };
-        let plain = |v: u64| vec![(String::new(), v)];
-        metric(
+        header(
+            out,
             "gables_requests_handled_total",
             "counter",
             "Requests fully processed (any status), excluding rejections.",
-            &plain(self.handled),
         );
-        metric(
+        let _ = writeln!(out, "gables_requests_handled_total {}", self.handled);
+        header(
+            out,
             "gables_requests_rejected_total",
             "counter",
             "Connections refused by queue backpressure (503 at accept).",
-            &plain(self.rejected),
         );
-        metric(
+        let _ = writeln!(out, "gables_requests_rejected_total {}", self.rejected);
+        header(
+            out,
             "gables_requests_in_flight",
             "gauge",
             "Requests currently in service.",
-            &plain(self.in_flight),
         );
-        metric(
+        let _ = writeln!(out, "gables_requests_in_flight {}", self.in_flight);
+        header(
+            out,
             "gables_responses_total",
             "counter",
             "Responses by status class.",
-            &[
-                ("{class=\"2xx\"}".to_string(), self.status_2xx),
-                ("{class=\"4xx\"}".to_string(), self.status_4xx),
-                ("{class=\"5xx\"}".to_string(), self.status_5xx),
-            ],
         );
-        metric(
+        let _ = writeln!(
+            out,
+            "gables_responses_total{{class=\"2xx\"}} {}",
+            self.status_2xx
+        );
+        let _ = writeln!(
+            out,
+            "gables_responses_total{{class=\"4xx\"}} {}",
+            self.status_4xx
+        );
+        let _ = writeln!(
+            out,
+            "gables_responses_total{{class=\"5xx\"}} {}",
+            self.status_5xx
+        );
+        header(
+            out,
             "gables_handler_panics_total",
             "counter",
             "Handler panics caught and answered with a structured 500.",
-            &plain(self.panics),
         );
-        metric(
+        let _ = writeln!(out, "gables_handler_panics_total {}", self.panics);
+        header(
+            out,
             "gables_cache_requests_total",
             "counter",
             "Cache-eligible requests by outcome.",
-            &[
-                ("{result=\"hit\"}".to_string(), self.cache_hits),
-                ("{result=\"miss\"}".to_string(), self.cache_misses),
-            ],
         );
-        let routes: Vec<(String, u64)> = self
-            .routes
-            .iter()
-            .map(|(route, n)| (format!("{{route=\"{}\"}}", escape_label(route)), *n))
-            .collect();
-        metric(
+        let _ = writeln!(
+            out,
+            "gables_cache_requests_total{{result=\"hit\"}} {}",
+            self.cache_hits
+        );
+        let _ = writeln!(
+            out,
+            "gables_cache_requests_total{{result=\"miss\"}} {}",
+            self.cache_misses
+        );
+        header(
+            out,
             "gables_route_requests_total",
             "counter",
             "Handled requests by route.",
-            &routes,
         );
-
-        out.push_str(concat!(
-            "# HELP gables_phase_self_seconds_total Span self-time accumulated per phase (span name).\n",
-            "# TYPE gables_phase_self_seconds_total counter\n",
-        ));
+        for (route, n) in &self.routes {
+            out.push_str("gables_route_requests_total{route=\"");
+            push_escaped_label(out, route);
+            let _ = writeln!(out, "\"}} {n}");
+        }
+        header(
+            out,
+            "gables_phase_self_seconds_total",
+            "counter",
+            "Span self-time accumulated per phase (span name).",
+        );
         for (phase, us) in &self.phase_self_us {
-            out.push_str(&format!(
-                "gables_phase_self_seconds_total{{phase=\"{}\"}} {}\n",
-                escape_label(phase),
-                *us as f64 / 1e6,
-            ));
+            out.push_str("gables_phase_self_seconds_total{phase=\"");
+            push_escaped_label(out, phase);
+            let _ = writeln!(out, "\"}} {}", *us as f64 / 1e6);
         }
 
         // Histogram: cumulative buckets in seconds, +Inf = total.
-        out.push_str(concat!(
-            "# HELP gables_request_latency_seconds Service latency of handled requests.\n",
-            "# TYPE gables_request_latency_seconds histogram\n",
-        ));
+        header(
+            out,
+            "gables_request_latency_seconds",
+            "histogram",
+            "Service latency of handled requests.",
+        );
         let mut cumulative = 0u64;
         for (i, count) in self.latency.iter().enumerate().take(LATENCY_BUCKETS - 1) {
             cumulative += count;
-            out.push_str(&format!(
-                "gables_request_latency_seconds_bucket{{le=\"{}\"}} {cumulative}\n",
+            let _ = writeln!(
+                out,
+                "gables_request_latency_seconds_bucket{{le=\"{}\"}} {cumulative}",
                 (1u64 << i) as f64 / 1e6,
-            ));
+            );
         }
         let total: u64 = self.latency.iter().sum();
-        out.push_str(&format!(
-            "gables_request_latency_seconds_bucket{{le=\"+Inf\"}} {total}\n"
-        ));
-        out.push_str(&format!(
-            "gables_request_latency_seconds_sum {}\n",
+        let _ = writeln!(
+            out,
+            "gables_request_latency_seconds_bucket{{le=\"+Inf\"}} {total}"
+        );
+        let _ = writeln!(
+            out,
+            "gables_request_latency_seconds_sum {}",
             self.latency_sum_us as f64 / 1e6
-        ));
-        out.push_str(&format!("gables_request_latency_seconds_count {total}\n"));
+        );
+        let _ = writeln!(out, "gables_request_latency_seconds_count {total}");
 
-        out.push_str(&format!(
-            concat!(
-                "# HELP gables_uptime_seconds Seconds since the server started.\n",
-                "# TYPE gables_uptime_seconds gauge\n",
-                "gables_uptime_seconds {}\n",
-            ),
+        header(
+            out,
+            "gables_uptime_seconds",
+            "gauge",
+            "Seconds since the server started.",
+        );
+        let _ = writeln!(
+            out,
+            "gables_uptime_seconds {}",
             if uptime_seconds.is_finite() {
                 uptime_seconds.max(0.0)
             } else {
                 0.0
             }
-        ));
-        out.push_str(&format!(
-            concat!(
-                "# HELP gables_build_info Build metadata; the value is always 1.\n",
-                "# TYPE gables_build_info gauge\n",
-                "gables_build_info{{version=\"{}\"}} 1\n",
-            ),
-            escape_label(version)
-        ));
-        out
+        );
+        header(
+            out,
+            "gables_build_info",
+            "gauge",
+            "Build metadata; the value is always 1.",
+        );
+        out.push_str("gables_build_info{version=\"");
+        push_escaped_label(out, version);
+        out.push_str("\"} 1\n");
     }
 }
 
@@ -554,6 +618,14 @@ impl MetricsSnapshot {
 /// newline must be backslash-escaped per the text exposition format.
 pub fn escape_label(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
+    push_escaped_label(&mut out, value);
+    out
+}
+
+/// Appends an escaped Prometheus label value into `out` — the
+/// allocation-free form [`escape_label`] wraps, used on the scrape
+/// path.
+pub fn push_escaped_label(out: &mut String, value: &str) {
     for c in value.chars() {
         match c {
             '\\' => out.push_str("\\\\"),
@@ -562,7 +634,6 @@ pub fn escape_label(value: &str) -> String {
             other => out.push(other),
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -800,6 +871,126 @@ mod tests {
             merged.phase_self_us,
             vec![("eval".into(), 50), ("sweep".into(), 5)]
         );
+    }
+
+    /// A randomized snapshot drawn from a seeded SplitMix64: counters,
+    /// a full histogram, and route/phase maps over a shared label pool
+    /// (so two snapshots overlap on some labels and differ on others).
+    fn random_label_pairs(
+        rng: &mut gables_model::rng::SplitMix64,
+        max: usize,
+    ) -> Vec<(String, u64)> {
+        const LABEL_POOL: [&str; 6] = [
+            "/v1/eval",
+            "/v1/sweep",
+            "/v1/metrics",
+            "/v1/carm",
+            "(unmatched)",
+            "(other)",
+        ];
+        let mut map = BTreeMap::new();
+        for _ in 0..rng.range_usize(0, max) {
+            let label = LABEL_POOL[rng.range_usize(0, LABEL_POOL.len() - 1)];
+            *map.entry(label.to_string()).or_insert(0) += rng.range_u64(1, 1000);
+        }
+        map.into_iter().collect()
+    }
+
+    fn random_snapshot(rng: &mut gables_model::rng::SplitMix64) -> MetricsSnapshot {
+        MetricsSnapshot {
+            handled: rng.range_u64(0, 10_000),
+            rejected: rng.range_u64(0, 100),
+            in_flight: rng.range_u64(0, 8),
+            status_2xx: rng.range_u64(0, 10_000),
+            status_4xx: rng.range_u64(0, 1_000),
+            status_5xx: rng.range_u64(0, 100),
+            panics: rng.range_u64(0, 10),
+            cache_hits: rng.range_u64(0, 5_000),
+            cache_misses: rng.range_u64(0, 5_000),
+            latency: (0..LATENCY_BUCKETS)
+                .map(|_| rng.range_u64(0, 500))
+                .collect(),
+            latency_sum_us: rng.range_u64(0, 1 << 40),
+            routes: random_label_pairs(rng, 8),
+            phase_self_us: random_label_pairs(rng, 8),
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative_on_random_snapshots() {
+        let mut rng = gables_model::rng::SplitMix64::new(0x5EED_0E7A);
+        for _ in 0..64 {
+            let a = random_snapshot(&mut rng);
+            let b = random_snapshot(&mut rng);
+            let c = random_snapshot(&mut rng);
+            // Commutativity: a ⊕ b == b ⊕ a.
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge must be commutative");
+            // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+            let mut left = ab.clone();
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            assert_eq!(left, right, "merge must be associative");
+            // The identity: merging an all-zero snapshot changes nothing.
+            let zero = MetricsSnapshot::from_json(&ServerMetrics::new().snapshot().to_json())
+                .expect("zero snapshot");
+            let mut with_zero = a.clone();
+            with_zero.merge(&zero);
+            assert_eq!(with_zero, a, "the empty snapshot is the identity");
+        }
+    }
+
+    #[test]
+    fn merge_adds_disjoint_and_overlapping_maps_keywise() {
+        let mut a = MetricsSnapshot::from_json(&ServerMetrics::new().snapshot().to_json()).unwrap();
+        a.routes = vec![("/v1/eval".into(), 3), ("/v1/sweep".into(), 5)];
+        a.phase_self_us = vec![("eval".into(), 100)];
+        let mut b = a.clone();
+        // Overlap on /v1/eval and eval; disjoint on the rest.
+        b.routes = vec![("/v1/eval".into(), 7), ("/v1/whatif".into(), 2)];
+        b.phase_self_us = vec![("eval".into(), 50), ("parse".into(), 9)];
+        a.merge(&b);
+        assert_eq!(
+            a.routes,
+            vec![
+                ("/v1/eval".into(), 10),
+                ("/v1/sweep".into(), 5),
+                ("/v1/whatif".into(), 2),
+            ],
+            "overlapping keys add, disjoint keys union, output stays sorted"
+        );
+        assert_eq!(
+            a.phase_self_us,
+            vec![("eval".into(), 150), ("parse".into(), 9)]
+        );
+    }
+
+    #[test]
+    fn merge_adds_histograms_bucket_wise_on_random_snapshots() {
+        let mut rng = gables_model::rng::SplitMix64::new(0xB0C4E7);
+        for _ in 0..32 {
+            let a = random_snapshot(&mut rng);
+            let b = random_snapshot(&mut rng);
+            let mut merged = a.clone();
+            merged.merge(&b);
+            assert_eq!(merged.latency.len(), LATENCY_BUCKETS);
+            for i in 0..LATENCY_BUCKETS {
+                assert_eq!(
+                    merged.latency[i],
+                    a.latency[i] + b.latency[i],
+                    "bucket {i} must add exactly"
+                );
+            }
+            assert_eq!(merged.latency_sum_us, a.latency_sum_us + b.latency_sum_us);
+            assert_eq!(merged.handled, a.handled + b.handled);
+            assert_eq!(merged.cache_hits, a.cache_hits + b.cache_hits);
+        }
     }
 
     #[test]

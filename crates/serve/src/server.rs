@@ -821,6 +821,7 @@ impl EventLoop {
             method: "-".to_string(),
             route,
             status,
+            ts_unix_us: crate::slo::unix_now_us(),
             latency_us: latency.as_micros() as u64,
             cache_hit: None,
             allocs: alloc.allocs,
@@ -1092,6 +1093,7 @@ fn execute(
         method: req.method.clone(),
         route,
         status,
+        ts_unix_us: crate::slo::unix_now_us(),
         latency_us: latency.as_micros() as u64,
         cache_hit,
         allocs: alloc.allocs,

@@ -70,6 +70,12 @@ cargo test -q -p gables-cli --test carm_loopback
 echo "==> event-loop suite (pipelining, 10k idle soak, slow writers, batch/replica matrix)"
 cargo test -q -p gables-cli --test event_loop
 
+echo "==> SLO loopback suite (fleet sketch merge, burn rates, shard pinning)"
+# Under --quick the storm half (a --replicas 2 fleet plus a request and
+# fault storm) is skipped via GABLES_QUICK=1; the shard-pinning checks
+# still run.
+GABLES_QUICK="$QUICK" cargo test -q -p gables-cli --test slo_loopback
+
 echo "==> replica router smoke (gables serve --replicas 2 boots, announces, shuts down)"
 # Immediate stdin EOF trips the supervised-mode watchdog, so the router
 # must announce its address and then exit cleanly on its own.
